@@ -1,0 +1,222 @@
+// Package repro holds the top-level benchmark harness: one testing.B
+// benchmark per figure of the paper's evaluation (Figures 2, 3, 5, 6
+// and the Section 4.1 storage comparison), each delegating to
+// internal/bench with a laptop-scale configuration, plus ablation
+// benchmarks for the design choices DESIGN.md calls out. Regenerate
+// everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or print the paper-style tables with `go run ./cmd/figures`.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"nekrs-sensei/internal/bench"
+	"nekrs-sensei/internal/cases"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/nekrs"
+)
+
+// inSituCfg is the shared scaled-down pb146 configuration (the paper
+// ran 3000 steps with triggers every 100 on 280-1120 ranks).
+func inSituCfg(b *testing.B, ranks int) bench.InSituConfig {
+	return bench.InSituConfig{
+		Ranks: ranks, Steps: 10, Interval: 5,
+		Refine: 1, Order: 3, ImagePx: 64,
+		OutputDir: b.TempDir(),
+	}
+}
+
+// BenchmarkFig2TimeToSolution reproduces Figure 2: pb146
+// time-to-solution for the Original / Checkpointing / Catalyst
+// configurations across the rank sweep (1:2:4 ratios, as 280:560:1120
+// in the paper). The benchmark time per iteration is the
+// time-to-solution.
+func BenchmarkFig2TimeToSolution(b *testing.B) {
+	for _, ranks := range []int{1, 2, 4} {
+		for _, mode := range []bench.InSituMode{bench.Original, bench.Checkpointing, bench.Catalyst} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", mode, ranks), func(b *testing.B) {
+				cfg := inSituCfg(b, ranks)
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunInSitu(mode, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Memory reproduces Figure 3: the aggregate memory
+// high-water mark across ranks for the Checkpointing and Catalyst
+// configurations, reported as the agg-mem-bytes metric.
+func BenchmarkFig3Memory(b *testing.B) {
+	for _, ranks := range []int{1, 2, 4} {
+		for _, mode := range []bench.InSituMode{bench.Checkpointing, bench.Catalyst} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", mode, ranks), func(b *testing.B) {
+				cfg := inSituCfg(b, ranks)
+				var agg int64
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunInSitu(mode, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					agg = res.AggMemPeak
+				}
+				b.ReportMetric(float64(agg), "agg-mem-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkStorageEconomy reproduces the Section 4.1 storage claim
+// (6.5 MB of images vs 19 GB of checkpoints): the ck/cat-ratio metric
+// is Checkpointing bytes over Catalyst bytes for identical runs.
+func BenchmarkStorageEconomy(b *testing.B) {
+	cfg := inSituCfg(b, 2)
+	var ck, cat int64
+	for i := 0; i < b.N; i++ {
+		r1, err := bench.RunInSitu(bench.Checkpointing, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := bench.RunInSitu(bench.Catalyst, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ck, cat = r1.BytesWritten, r2.BytesWritten
+	}
+	b.ReportMetric(float64(ck), "checkpoint-bytes")
+	b.ReportMetric(float64(cat), "catalyst-bytes")
+	b.ReportMetric(float64(ck)/float64(cat), "ck/cat-ratio")
+}
+
+// inTransitCfg is the shared scaled-down RBC weak-scaling
+// configuration (the paper kept load per rank constant with a 4:1
+// sim:endpoint split on JUWELS Booster).
+func inTransitCfg(b *testing.B, simRanks int) bench.InTransitConfig {
+	return bench.InTransitConfig{
+		SimRanks: simRanks, ElemsPerRankZ: 1, NxNy: 4, Order: 3,
+		Steps: 8, Interval: 4, ImagePx: 64,
+		OutputDir: b.TempDir(),
+	}
+}
+
+// BenchmarkFig5StepTime reproduces Figure 5: mean time per timestep on
+// the simulation ranks under weak scaling for the NoTransport /
+// Checkpointing / Catalyst measurement points, reported as
+// ms-per-step.
+func BenchmarkFig5StepTime(b *testing.B) {
+	for _, ranks := range []int{4, 8} {
+		for _, mode := range []bench.InTransitMode{bench.NoTransport, bench.EndpointCheckpoint, bench.EndpointCatalyst} {
+			b.Run(fmt.Sprintf("%s/simranks=%d", mode, ranks), func(b *testing.B) {
+				cfg := inTransitCfg(b, ranks)
+				var ms float64
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunInTransit(mode, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ms = float64(res.MeanStepTime.Microseconds()) / 1000
+				}
+				b.ReportMetric(ms, "ms-per-step")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Memory reproduces Figure 6: the per-simulation-rank
+// memory footprint (including the SST staging queue) for the three
+// measurement points, reported as mem-per-rank-bytes.
+func BenchmarkFig6Memory(b *testing.B) {
+	for _, ranks := range []int{4, 8} {
+		for _, mode := range []bench.InTransitMode{bench.NoTransport, bench.EndpointCheckpoint, bench.EndpointCatalyst} {
+			b.Run(fmt.Sprintf("%s/simranks=%d", mode, ranks), func(b *testing.B) {
+				cfg := inTransitCfg(b, ranks)
+				var mem int64
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunInTransit(mode, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mem = res.MemPerNode
+				}
+				b.ReportMetric(float64(mem), "mem-per-rank-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationImageResolution isolates the Catalyst rendering
+// cost as a function of image resolution — the knob that trades the
+// paper's in situ overhead against visualization fidelity.
+func BenchmarkAblationImageResolution(b *testing.B) {
+	for _, px := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("px=%d", px), func(b *testing.B) {
+			cfg := inSituCfg(b, 1)
+			cfg.ImagePx = px
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunInSitu(bench.Catalyst, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTriggerInterval isolates the cost of the in situ
+// trigger cadence (the paper's every-100-steps choice).
+func BenchmarkAblationTriggerInterval(b *testing.B) {
+	for _, interval := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("every=%d", interval), func(b *testing.B) {
+			cfg := inSituCfg(b, 1)
+			cfg.Interval = interval
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunInSitu(bench.Catalyst, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQueueDepth isolates the SST staging depth, the
+// mechanism behind Figure 6's Checkpointing memory overhead.
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	for _, q := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("queue=%d", q), func(b *testing.B) {
+			cfg := inTransitCfg(b, 4)
+			cfg.QueueLimit = q
+			var mem int64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunInTransit(bench.EndpointCheckpoint, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mem = res.MemPerNode
+			}
+			b.ReportMetric(float64(mem), "mem-per-rank-bytes")
+		})
+	}
+}
+
+// BenchmarkSolverStep measures the bare solver step (the denominator
+// of every overhead the paper reports) across polynomial orders.
+func BenchmarkSolverStep(b *testing.B) {
+	for _, order := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("order=%d", order), func(b *testing.B) {
+			comm := mpirt.NewWorld(1).Comm(0)
+			sim, err := nekrs.NewSim(comm, nil, cases.TaylorGreen(0.1, 3, order))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Solver.Step()
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation section at laptop scale and prints them as aligned text
+// (plus CSV files for plotting):
+//
+//	figures -fig all -out results/
+//	figures -fig 2 -ranks 1,2,4 -steps 60 -interval 10
+//	figures -fig 5 -ranks 4,8,16
+//
+// Rank counts keep the paper's ratios: the in situ sweep doubles ranks
+// twice (the paper's 280/560/1120) and the in transit sweep keeps the
+// 4:1 simulation:endpoint split.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"nekrs-sensei/internal/bench"
+	"nekrs-sensei/internal/metrics"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, all")
+	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
+	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
+	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
+	interval := flag.Int("interval", 0, "trigger cadence in steps (default 10 in situ, 5 in transit)")
+	refine := flag.Int("refine", 1, "mesh refinement factor")
+	order := flag.Int("order", 4, "polynomial order")
+	imagePx := flag.Int("imagepx", 128, "rendered image resolution")
+	flag.Parse()
+
+	if err := run(*fig, *out, *ranksFlag, *steps, *interval, *refine, *order, *imagePx); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func parseRanks(s string, def []int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad rank count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeCSV(dir, name string, t *metrics.Table) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.RenderCSV(f)
+	return nil
+}
+
+func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	wantInSitu := fig == "all" || fig == "2" || fig == "3" || fig == "storage"
+	wantInTransit := fig == "all" || fig == "5" || fig == "6"
+	if !wantInSitu && !wantInTransit {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+
+	if wantInSitu {
+		ranks, err := parseRanks(ranksFlag, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		cfg := bench.InSituConfig{
+			Steps: steps, Interval: interval, Refine: refine, Order: order,
+			ImagePx: imagePx, OutputDir: filepath.Join(out, "insitu"),
+		}
+		fmt.Printf("running in situ pb146 matrix (ranks %v)...\n", ranks)
+		results, err := bench.RunFig2And3(ranks, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if fig == "all" || fig == "2" {
+			t := bench.Fig2Table(results)
+			t.Render(os.Stdout)
+			if err := writeCSV(out, "fig2.csv", t); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if fig == "all" || fig == "3" {
+			t := bench.Fig3Table(results)
+			t.Render(os.Stdout)
+			if err := writeCSV(out, "fig3.csv", t); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if fig == "all" || fig == "storage" {
+			t := bench.StorageTable(results)
+			t.Render(os.Stdout)
+			if err := writeCSV(out, "storage.csv", t); err != nil {
+				return err
+			}
+			fmt.Printf("\n  Checkpointing/Catalyst storage ratio: %.0fx (paper: ~3000x at full scale)\n\n",
+				bench.StorageRatio(results))
+		}
+	}
+
+	if wantInTransit {
+		ranks, err := parseRanks(ranksFlag, []int{4, 8, 16})
+		if err != nil {
+			return err
+		}
+		cfg := bench.InTransitConfig{
+			Steps: steps, Interval: interval, Order: order, ImagePx: imagePx,
+			OutputDir: filepath.Join(out, "intransit"),
+		}
+		fmt.Printf("running in transit RBC weak-scaling matrix (sim ranks %v, endpoints 4:1)...\n", ranks)
+		results, err := bench.RunFig5And6(ranks, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if fig == "all" || fig == "5" {
+			t := bench.Fig5Table(results)
+			t.Render(os.Stdout)
+			if err := writeCSV(out, "fig5.csv", t); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if fig == "all" || fig == "6" {
+			t := bench.Fig6Table(results)
+			t.Render(os.Stdout)
+			if err := writeCSV(out, "fig6.csv", t); err != nil {
+				return err
+			}
+			fmt.Println()
+			// The Figure 6 mechanism in isolation: a slow endpoint
+			// backs up the SST queue and raises sim-side memory.
+			const delay = 150 * time.Millisecond
+			fast, slow, err := bench.QueueGrowthDemo(cfg, delay)
+			if err != nil {
+				return err
+			}
+			qt := bench.QueueGrowthTable(fast, slow, delay)
+			qt.Render(os.Stdout)
+			if err := writeCSV(out, "fig6_mechanism.csv", qt); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("artifacts in %s\n", out)
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command sensei-endpoint is the in transit data consumer: it waits
+// for the simulation's SST contact file, connects its readers (the
+// paper's 4:1 simulation:endpoint ratio by default), and runs a SENSEI
+// ConfigurableAnalysis on every received step:
+//
+//	sensei-endpoint -contact run/contact.txt -config endpoint.xml -ranks 2
+//
+// Pair it with `nekrs -sensei adios.xml` where adios.xml enables the
+// "adios" analysis with the same contact path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/intransit"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/sensei"
+
+	_ "nekrs-sensei/internal/catalyst"   // analysis type "catalyst"
+	_ "nekrs-sensei/internal/checkpoint" // analysis type "checkpoint"
+)
+
+func main() {
+	contact := flag.String("contact", "contact.txt", "SST contact file published by the simulation")
+	config := flag.String("config", "", "SENSEI XML configuration for the endpoint analyses")
+	ranks := flag.Int("ranks", 1, "endpoint ranks")
+	timeout := flag.Duration("timeout", 60*time.Second, "how long to wait for the contact file")
+	out := flag.String("out", "endpoint-out", "output directory")
+	flag.Parse()
+
+	if err := run(*contact, *config, *ranks, *timeout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "sensei-endpoint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(contact, config string, ranks int, timeout time.Duration, out string) error {
+	var cfgXML []byte
+	if config != "" {
+		var err error
+		if cfgXML, err = os.ReadFile(config); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	addrs, err := adios.ReadContact(contact, timeout)
+	if err != nil {
+		return err
+	}
+	if len(addrs)%ranks != 0 {
+		return fmt.Errorf("%d writers do not divide across %d endpoint ranks", len(addrs), ranks)
+	}
+	perRank := len(addrs) / ranks
+	fmt.Printf("connecting %d writers across %d endpoint ranks (%d each)\n", len(addrs), ranks, perRank)
+
+	errs := make([]error, ranks)
+	steps := make([]int, ranks)
+	bytesOut := make([]int64, ranks)
+	mpirt.Run(ranks, func(comm *mpirt.Comm) {
+		rank := comm.Rank()
+		var readers []*adios.Reader
+		for s := 0; s < perRank; s++ {
+			r, err := adios.OpenReader(addrs[rank*perRank+s])
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer r.Close()
+			readers = append(readers, r)
+		}
+		ctx := &sensei.Context{
+			Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+			Storage: metrics.NewStorageCounter(), OutputDir: out,
+		}
+		ep, err := intransit.NewEndpoint(ctx, readers, cfgXML)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		steps[rank], errs[rank] = ep.Run()
+		bytesOut[rank] = ctx.Storage.Bytes()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var totalBytes int64
+	for _, b := range bytesOut {
+		totalBytes += b
+	}
+	fmt.Printf("endpoint done: %d steps on rank 0, %s written to %s\n",
+		steps[0], metrics.HumanBytes(totalBytes), out)
+	return nil
+}

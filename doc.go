@@ -1,0 +1,21 @@
+// Package repro is a pure-Go, laptop-scale reproduction of "Scaling
+// Computational Fluid Dynamics: In Situ Visualization of NekRS using
+// SENSEI" (Mateevitsi et al., SC-W 2023): a spectral-element
+// Navier-Stokes solver instrumented with a SENSEI-style in situ
+// interface, a Catalyst-style rendering back end, Nek-style
+// checkpointing, and an ADIOS2/SST-style in transit transport, plus
+// the benchmark harness that regenerates every figure of the paper's
+// evaluation.
+//
+// Entry points:
+//
+//   - cmd/nekrs — drive the solver with a par file and a SENSEI XML
+//     configuration (the paper's Listing 1)
+//   - cmd/sensei-endpoint — the in transit data consumer
+//   - cmd/figures — regenerate Figures 2/3/5/6 and the storage table
+//   - examples/ — quickstart, pb146, rbc-intransit, histogram
+//
+// The package inventory and per-experiment index live in DESIGN.md;
+// paper-vs-measured results in EXPERIMENTS.md. The root package holds
+// only the figure-level benchmarks (bench_test.go).
+package repro

@@ -1,0 +1,364 @@
+package adios
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nekrs-sensei/internal/metrics"
+)
+
+func sampleStep() *Step {
+	return &Step{
+		Step: 7, Time: 0.007,
+		Attrs: map[string]string{"mesh": "mesh", "case": "rbc"},
+		Vars: []Variable{
+			NewF64("pressure", []float64{1.5, -2.5, 3.25}, 3),
+			NewI64("connectivity", []int64{0, 1, 2, 3, 4, 5, 6, 7}),
+			NewU8("types", []byte{12, 12}),
+		},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := sampleStep()
+	got, err := Unmarshal(Marshal(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip mismatch:\n  in:  %+v\n  out: %+v", s, got)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	s := sampleStep()
+	a := Marshal(s)
+	b := Marshal(s)
+	if string(a) != string(b) {
+		t.Error("marshaling not deterministic")
+	}
+}
+
+// TestMarshalProperty: random steps survive the round trip.
+func TestMarshalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Step{
+			Step: rng.Int63n(1e6), Time: rng.Float64(),
+			Attrs: map[string]string{},
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			s.Attrs[string(rune('a'+i))] = string(rune('A' + rng.Intn(26)))
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				data := make([]float64, rng.Intn(50))
+				for j := range data {
+					data[j] = rng.NormFloat64()
+				}
+				s.Vars = append(s.Vars, NewF64(string(rune('p'+i)), data, int64(len(data))))
+			case 1:
+				data := make([]int64, rng.Intn(50))
+				for j := range data {
+					data[j] = rng.Int63() - (1 << 62)
+				}
+				s.Vars = append(s.Vars, NewI64(string(rune('p'+i)), data))
+			case 2:
+				data := make([]byte, rng.Intn(50))
+				rng.Read(data)
+				s.Vars = append(s.Vars, NewU8(string(rune('p'+i)), data))
+			}
+		}
+		got, err := Unmarshal(Marshal(s))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(s, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("XX")); err == nil {
+		t.Error("expected magic error")
+	}
+	good := Marshal(sampleStep())
+	for _, cut := range []int{5, 12, 30, len(good) - 3} {
+		if _, err := Unmarshal(good[:cut]); err == nil {
+			t.Errorf("expected truncation error at %d", cut)
+		}
+	}
+}
+
+func TestSSTStreamDelivery(t *testing.T) {
+	w, err := ListenWriter("127.0.0.1:0", WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 10
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < steps; i++ {
+			s := sampleStep()
+			s.Step = int64(i)
+			if err := w.Put(s); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	r, err := OpenReader(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < steps; i++ {
+		s, err := r.BeginStep()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if s.Step != int64(i) {
+			t.Errorf("step order: got %d want %d", s.Step, i)
+		}
+		if s.FindVar("pressure") == nil {
+			t.Error("missing variable")
+		}
+	}
+	if _, err := r.BeginStep(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	wg.Wait()
+	if r.StepsReceived() != steps {
+		t.Errorf("StepsReceived = %d", r.StepsReceived())
+	}
+	if w.StepsSent() != steps {
+		t.Errorf("StepsSent = %d", w.StepsSent())
+	}
+}
+
+func TestSSTBackpressure(t *testing.T) {
+	acct := metrics.NewAccountant()
+	w, err := ListenWriter("127.0.0.1:0", WriterOptions{QueueLimit: 2, Acct: acct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No reader yet: the first two Puts stage, the third must block.
+	put := func() { w.Put(sampleStep()) } //nolint:errcheck // error path tested elsewhere
+	put()
+	put()
+	if acct.CategoryInUse("sst-queue") == 0 {
+		t.Error("queue not accounted")
+	}
+	blocked := make(chan struct{})
+	go func() {
+		put()
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Error("third Put should block on full queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// A consumer drains the queue and unblocks the producer.
+	r, err := OpenReader(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := r.BeginStep(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("producer still blocked after drain")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := acct.CategoryInUse("sst-queue"); got != 0 {
+		t.Errorf("queue accounting leak: %d", got)
+	}
+	if acct.CategoryPeak("sst-queue") == 0 {
+		t.Error("no queue peak recorded")
+	}
+}
+
+func TestSSTQueueGrowsWithSlowConsumer(t *testing.T) {
+	acct := metrics.NewAccountant()
+	w, err := ListenWriter("127.0.0.1:0", WriterOptions{QueueLimit: 8, Acct: acct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := w.Put(sampleStep()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All eight steps staged: queue memory is the per-step frame size
+	// times the depth — the Figure 6 mechanism.
+	frame := int64(len(Marshal(sampleStep())))
+	if got := w.QueuedBytes(); got != 8*frame {
+		t.Errorf("QueuedBytes = %d, want %d", got, 8*frame)
+	}
+	r, err := OpenReader(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	go w.Close() //nolint:errcheck // drained below
+	n := 0
+	for {
+		if _, err := r.BeginStep(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 8 {
+		t.Errorf("received %d steps, want 8", n)
+	}
+}
+
+func TestWriterPutAfterClose(t *testing.T) {
+	w, err := ListenWriter("127.0.0.1:0", WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(sampleStep()); err == nil {
+		t.Error("expected error on closed writer")
+	}
+}
+
+func TestContactFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contact.txt")
+	addrs := []string{"127.0.0.1:1111", "127.0.0.1:2222"}
+	if err := WriteContact(path, addrs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadContact(path, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(addrs, got) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestContactFileTimeout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never.txt")
+	if _, err := ReadContact(path, 30*time.Millisecond); err == nil {
+		t.Error("expected timeout")
+	}
+}
+
+func TestContactFileAppearsLate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "late.txt")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		WriteContact(path, []string{"127.0.0.1:9999"}) //nolint:errcheck
+	}()
+	got, err := ReadContact(path, 2*time.Second)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	s := &Step{Step: 1, Time: 0.1, Vars: []Variable{NewF64("u", data)}}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(Marshal(s))))
+	for i := 0; i < b.N; i++ {
+		Marshal(s)
+	}
+}
+
+func BenchmarkSSTThroughput(b *testing.B) {
+	data := make([]float64, 50000)
+	s := &Step{Step: 1, Time: 0.1, Vars: []Variable{NewF64("u", data)}}
+	w, err := ListenWriter("127.0.0.1:0", WriterOptions{QueueLimit: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := OpenReader(w.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.SetBytes(s.Bytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, err := r.BeginStep(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if err := w.Put(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	b.StopTimer()
+	w.Close() //nolint:errcheck
+}
+
+func TestOpenReaderBadServer(t *testing.T) {
+	// A listener that replies with garbage instead of an SST hello.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("not json\n")) //nolint:errcheck
+		conn.Close()
+	}()
+	if _, err := OpenReader(ln.Addr().String()); err == nil {
+		t.Error("expected handshake error")
+	}
+}
+
+func TestOpenReaderNoServer(t *testing.T) {
+	if _, err := OpenReader("127.0.0.1:1"); err == nil {
+		t.Error("expected dial error")
+	}
+}

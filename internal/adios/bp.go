@@ -1,0 +1,291 @@
+// Package adios reimplements the slice of ADIOS2 the paper's in
+// transit workflow uses: BP-style binary marshaling of variable sets
+// and the SST (Sustainable Staging Transport) engine — a staged
+// streaming architecture in which the data producer queues marshaled
+// steps and a remote consumer pulls them over the network, decoupling
+// simulation from visualization.
+//
+// The paper configures SST over UCX for data and TCP sockets for
+// control; here both planes share one TCP connection per writer-reader
+// pair, with a JSON control handshake followed by length-prefixed
+// binary data frames. The properties the evaluation measures — the
+// simulation side's bounded staging queue (memory), back-pressure from
+// a slow endpoint, and step pipelining — are preserved.
+package adios
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// bpMagic heads every marshaled step.
+const bpMagic = "BP05"
+
+// Kind discriminates variable payload types.
+type Kind uint8
+
+// Variable payload kinds.
+const (
+	KindFloat64 Kind = 0
+	KindInt64   Kind = 1
+	KindUint8   Kind = 2
+)
+
+// Variable is one named block of data within a step.
+type Variable struct {
+	Name  string
+	Kind  Kind
+	Shape []int64 // global dimensions, optional
+
+	F64 []float64
+	I64 []int64
+	U8  []byte
+}
+
+// NewF64 builds a float64 variable.
+func NewF64(name string, data []float64, shape ...int64) Variable {
+	return Variable{Name: name, Kind: KindFloat64, F64: data, Shape: shape}
+}
+
+// NewI64 builds an int64 variable.
+func NewI64(name string, data []int64, shape ...int64) Variable {
+	return Variable{Name: name, Kind: KindInt64, I64: data, Shape: shape}
+}
+
+// NewU8 builds a byte variable.
+func NewU8(name string, data []byte, shape ...int64) Variable {
+	return Variable{Name: name, Kind: KindUint8, U8: data, Shape: shape}
+}
+
+// Len reports the element count of the payload.
+func (v *Variable) Len() int {
+	switch v.Kind {
+	case KindFloat64:
+		return len(v.F64)
+	case KindInt64:
+		return len(v.I64)
+	case KindUint8:
+		return len(v.U8)
+	}
+	return 0
+}
+
+// Bytes reports the payload size in bytes.
+func (v *Variable) Bytes() int64 {
+	switch v.Kind {
+	case KindFloat64:
+		return int64(len(v.F64)) * 8
+	case KindInt64:
+		return int64(len(v.I64)) * 8
+	case KindUint8:
+		return int64(len(v.U8))
+	}
+	return 0
+}
+
+// Step is one timestep's payload: metadata plus variables.
+type Step struct {
+	Step  int64
+	Time  float64
+	Attrs map[string]string
+	Vars  []Variable
+}
+
+// FindVar returns the named variable or nil.
+func (s *Step) FindVar(name string) *Variable {
+	for i := range s.Vars {
+		if s.Vars[i].Name == name {
+			return &s.Vars[i]
+		}
+	}
+	return nil
+}
+
+// Bytes reports the step's total payload size.
+func (s *Step) Bytes() int64 {
+	var n int64
+	for i := range s.Vars {
+		n += s.Vars[i].Bytes()
+	}
+	return n
+}
+
+// Marshal serializes a step in BP-style binary form.
+func Marshal(s *Step) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(bpMagic)
+	putU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	putString := func(str string) {
+		putU64(uint64(len(str)))
+		buf.WriteString(str)
+	}
+	putU64(uint64(s.Step))
+	putU64(math.Float64bits(s.Time))
+	putU64(uint64(len(s.Attrs)))
+	// Sorted attribute order for deterministic output.
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		putString(k)
+		putString(s.Attrs[k])
+	}
+	putU64(uint64(len(s.Vars)))
+	for i := range s.Vars {
+		v := &s.Vars[i]
+		putString(v.Name)
+		buf.WriteByte(byte(v.Kind))
+		putU64(uint64(len(v.Shape)))
+		for _, d := range v.Shape {
+			putU64(uint64(d))
+		}
+		putU64(uint64(v.Len()))
+		switch v.Kind {
+		case KindFloat64:
+			raw := make([]byte, 8*len(v.F64))
+			for j, x := range v.F64 {
+				binary.LittleEndian.PutUint64(raw[8*j:], math.Float64bits(x))
+			}
+			buf.Write(raw)
+		case KindInt64:
+			raw := make([]byte, 8*len(v.I64))
+			for j, x := range v.I64 {
+				binary.LittleEndian.PutUint64(raw[8*j:], uint64(x))
+			}
+			buf.Write(raw)
+		case KindUint8:
+			buf.Write(v.U8)
+		}
+	}
+	return buf.Bytes()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Unmarshal decodes a step marshaled by Marshal.
+func Unmarshal(raw []byte) (*Step, error) {
+	if len(raw) < 4 || string(raw[:4]) != bpMagic {
+		return nil, fmt.Errorf("adios: bad magic")
+	}
+	pos := 4
+	getU64 := func() (uint64, error) {
+		if pos+8 > len(raw) {
+			return 0, fmt.Errorf("adios: truncated at %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(raw[pos:])
+		pos += 8
+		return v, nil
+	}
+	getString := func() (string, error) {
+		n, err := getU64()
+		if err != nil {
+			return "", err
+		}
+		if pos+int(n) > len(raw) {
+			return "", fmt.Errorf("adios: truncated string")
+		}
+		s := string(raw[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+	out := &Step{Attrs: map[string]string{}}
+	v, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	out.Step = int64(v)
+	if v, err = getU64(); err != nil {
+		return nil, err
+	}
+	out.Time = math.Float64frombits(v)
+	nattr, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nattr; i++ {
+		k, err := getString()
+		if err != nil {
+			return nil, err
+		}
+		val, err := getString()
+		if err != nil {
+			return nil, err
+		}
+		out.Attrs[k] = val
+	}
+	nvars, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nvars; i++ {
+		var vv Variable
+		if vv.Name, err = getString(); err != nil {
+			return nil, err
+		}
+		if pos >= len(raw) {
+			return nil, fmt.Errorf("adios: truncated kind")
+		}
+		vv.Kind = Kind(raw[pos])
+		pos++
+		ndim, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		for d := uint64(0); d < ndim; d++ {
+			s, err := getU64()
+			if err != nil {
+				return nil, err
+			}
+			vv.Shape = append(vv.Shape, int64(s))
+		}
+		n, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		switch vv.Kind {
+		case KindFloat64:
+			if pos+8*int(n) > len(raw) {
+				return nil, fmt.Errorf("adios: truncated f64 payload")
+			}
+			vv.F64 = make([]float64, n)
+			for j := range vv.F64 {
+				vv.F64[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos+8*j:]))
+			}
+			pos += 8 * int(n)
+		case KindInt64:
+			if pos+8*int(n) > len(raw) {
+				return nil, fmt.Errorf("adios: truncated i64 payload")
+			}
+			vv.I64 = make([]int64, n)
+			for j := range vv.I64 {
+				vv.I64[j] = int64(binary.LittleEndian.Uint64(raw[pos+8*j:]))
+			}
+			pos += 8 * int(n)
+		case KindUint8:
+			if pos+int(n) > len(raw) {
+				return nil, fmt.Errorf("adios: truncated u8 payload")
+			}
+			vv.U8 = make([]byte, n)
+			copy(vv.U8, raw[pos:pos+int(n)])
+			pos += int(n)
+		default:
+			return nil, fmt.Errorf("adios: unknown kind %d", vv.Kind)
+		}
+		out.Vars = append(out.Vars, vv)
+	}
+	return out, nil
+}

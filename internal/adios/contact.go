@@ -1,0 +1,46 @@
+package adios
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Contact files are SST's rendezvous mechanism: writers publish their
+// listening addresses to a shared filesystem path; readers poll for
+// the file and connect. One line per writer rank.
+
+// WriteContact publishes writer addresses (rank order) to path,
+// atomically via rename.
+func WriteContact(path string, addrs []string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadContact polls for a contact file until it appears (or timeout)
+// and returns the advertised addresses.
+func ReadContact(path string, timeout time.Duration) ([]string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		raw, err := os.ReadFile(path)
+		if err == nil {
+			var addrs []string
+			for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+				if line = strings.TrimSpace(line); line != "" {
+					addrs = append(addrs, line)
+				}
+			}
+			if len(addrs) > 0 {
+				return addrs, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("adios: contact file %s not available: %v", path, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,308 @@
+package adios
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/metrics"
+)
+
+// hello is the control-plane handshake message.
+type hello struct {
+	Type    string `json:"type"`
+	Role    string `json:"role"`
+	Engine  string `json:"engine"`
+	Marshal string `json:"marshal"`
+}
+
+// WriterOptions configures an SST writer.
+type WriterOptions struct {
+	// QueueLimit bounds the number of marshaled steps staged on the
+	// producer; Put blocks when the queue is full (back-pressure from
+	// a slow consumer). Default 2, the SST default queue depth.
+	QueueLimit int
+	// CloseWait bounds how long Close waits for a reader to connect
+	// so queued steps and the end-of-stream marker can be delivered.
+	// Default 5s; after the deadline staged steps are discarded.
+	CloseWait time.Duration
+	// Acct, when non-nil, tracks staged bytes under "sst-queue" — the
+	// simulation-node memory overhead Figure 6 measures.
+	Acct *metrics.Accountant
+}
+
+// Writer is the producer side of an SST stream. The writer listens and
+// advertises its address; exactly one reader connects (the paper pairs
+// each group of simulation ranks with its endpoint rank).
+type Writer struct {
+	ln   net.Listener
+	opts WriterOptions
+
+	queue chan []byte
+
+	mu        sync.Mutex
+	sendErr   error
+	queued    int64
+	stepsSent int64
+	closed    bool
+	accepted  bool
+
+	done chan struct{}
+}
+
+// ListenWriter starts a writer listening on addr (use "127.0.0.1:0"
+// for an ephemeral port) and returns immediately; the background
+// sender streams queued steps once a reader connects.
+func ListenWriter(addr string, opts WriterOptions) (*Writer, error) {
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 2
+	}
+	if opts.CloseWait <= 0 {
+		opts.CloseWait = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("adios: listen: %w", err)
+	}
+	w := &Writer{
+		ln:    ln,
+		opts:  opts,
+		queue: make(chan []byte, opts.QueueLimit),
+		done:  make(chan struct{}),
+	}
+	go w.serve()
+	return w, nil
+}
+
+// Addr reports the writer's contact address for the rendezvous step.
+func (w *Writer) Addr() string { return w.ln.Addr().String() }
+
+// QueuedBytes reports bytes currently staged in the queue.
+func (w *Writer) QueuedBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.queued
+}
+
+// StepsSent reports steps fully handed to the network.
+func (w *Writer) StepsSent() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stepsSent
+}
+
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	if w.sendErr == nil {
+		w.sendErr = err
+	}
+	w.mu.Unlock()
+}
+
+// drain discards queued frames (producer unblocking + accounting) on
+// error or shutdown paths.
+func (w *Writer) drain() {
+	for frame := range w.queue {
+		w.mu.Lock()
+		w.queued -= int64(len(frame))
+		w.mu.Unlock()
+		w.opts.Acct.Free("sst-queue", int64(len(frame)))
+	}
+}
+
+// serve accepts the single reader, handshakes, and drains the queue.
+func (w *Writer) serve() {
+	defer close(w.done)
+	conn, err := w.ln.Accept()
+	if err != nil {
+		w.setErr(fmt.Errorf("adios: accept: %w", err))
+		w.drain()
+		return
+	}
+	defer conn.Close()
+	w.mu.Lock()
+	w.accepted = true
+	w.mu.Unlock()
+
+	// Control plane: exchange hello messages.
+	dec := json.NewDecoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil || h.Role != "reader" {
+		w.setErr(fmt.Errorf("adios: bad reader handshake: %v", err))
+		w.drain()
+		return
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(hello{Type: "hello", Role: "writer", Engine: "sst", Marshal: "bp"}); err != nil {
+		w.setErr(err)
+		w.drain()
+		return
+	}
+
+	// Data plane: length-prefixed frames; zero length terminates.
+	// After each frame the writer waits for the reader's credit (ACK),
+	// SST's reader-driven flow control: a step only leaves the staging
+	// queue when the consumer has actually taken it, so a slow
+	// endpoint is visible as producer-side queue growth regardless of
+	// kernel socket buffering.
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	ackBuf := make([]byte, 1)
+	var lenBuf [8]byte
+	for frame := range w.queue {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			w.setErr(err)
+			break
+		}
+		if _, err := bw.Write(frame); err != nil {
+			w.setErr(err)
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			w.setErr(err)
+			break
+		}
+		if _, err := io.ReadFull(conn, ackBuf); err != nil {
+			w.setErr(fmt.Errorf("adios: waiting for step credit: %w", err))
+			break
+		}
+		w.mu.Lock()
+		w.queued -= int64(len(frame))
+		w.stepsSent++
+		w.mu.Unlock()
+		w.opts.Acct.Free("sst-queue", int64(len(frame)))
+	}
+	// Unblock any producers if we exited on error.
+	w.drain()
+	binary.LittleEndian.PutUint64(lenBuf[:], 0)
+	bw.Write(lenBuf[:]) //nolint:errcheck // best-effort EOS
+	bw.Flush()          //nolint:errcheck
+}
+
+// Put marshals and stages one step, blocking if the staging queue is
+// full (back-pressure). Returns any transport error observed so far.
+func (w *Writer) Put(s *Step) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("adios: put on closed writer")
+	}
+	err := w.sendErr
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	frame := Marshal(s)
+	w.opts.Acct.Alloc("sst-queue", int64(len(frame)))
+	w.mu.Lock()
+	w.queued += int64(len(frame))
+	w.mu.Unlock()
+	w.queue <- frame
+	return nil
+}
+
+// Close drains the queue, sends end-of-stream, and releases the
+// listener. If no reader is connected yet, Close waits up to
+// CloseWait for one so the end-of-stream marker is delivered; after
+// the deadline staged steps are discarded.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	accepted := w.accepted
+	w.mu.Unlock()
+	close(w.queue)
+	if !accepted {
+		if tl, ok := w.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Now().Add(w.opts.CloseWait)) //nolint:errcheck // best effort
+		}
+	}
+	<-w.done
+	w.ln.Close()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sendErr
+}
+
+// Reader is the consumer side of an SST stream.
+type Reader struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	stepsRecv int64
+	bytesRecv int64
+}
+
+// OpenReader connects to a writer's advertised address and completes
+// the control handshake.
+func OpenReader(addr string) (*Reader, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("adios: dial %s: %w", addr, err)
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(hello{Type: "hello", Role: "reader"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	dec := json.NewDecoder(br)
+	var h hello
+	if err := dec.Decode(&h); err != nil || h.Role != "writer" {
+		conn.Close()
+		return nil, fmt.Errorf("adios: bad writer handshake: %v", err)
+	}
+	// Splice any bytes the JSON decoder over-read back in front, and
+	// discard the newline json.Encoder appends after the hello — the
+	// first data frame starts right after it.
+	rest := dec.Buffered()
+	combined := bufio.NewReaderSize(io.MultiReader(rest, br), 1<<16)
+	if b, err := combined.ReadByte(); err == nil && b != '\n' {
+		if err := combined.UnreadByte(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return &Reader{conn: conn, br: combined}, nil
+}
+
+// BeginStep blocks for the next step; io.EOF signals a clean
+// end-of-stream. Receiving a step returns its credit to the writer,
+// releasing the corresponding staging-queue slot.
+func (r *Reader) BeginStep() (*Step, error) {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r.br, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(lenBuf[:])
+	if n == 0 {
+		return nil, io.EOF
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r.br, frame); err != nil {
+		return nil, err
+	}
+	if _, err := r.conn.Write([]byte{1}); err != nil {
+		return nil, fmt.Errorf("adios: returning step credit: %w", err)
+	}
+	r.stepsRecv++
+	r.bytesRecv += int64(n)
+	return Unmarshal(frame)
+}
+
+// StepsReceived reports completed BeginStep calls.
+func (r *Reader) StepsReceived() int64 { return r.stepsRecv }
+
+// BytesReceived reports payload bytes received.
+func (r *Reader) BytesReceived() int64 { return r.bytesRecv }
+
+// Close tears down the connection.
+func (r *Reader) Close() error { return r.conn.Close() }

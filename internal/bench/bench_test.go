@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns the smallest meaningful in situ configuration.
+func tiny(dir string) InSituConfig {
+	return InSituConfig{
+		Ranks: 2, Steps: 6, Interval: 3, Refine: 1, Order: 2,
+		ImagePx: 32, OutputDir: dir,
+	}
+}
+
+func TestRunInSituOriginal(t *testing.T) {
+	res, err := RunInSitu(Original, tiny(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallTime <= 0 {
+		t.Error("no wall time measured")
+	}
+	if res.BytesWritten != 0 {
+		t.Errorf("Original wrote %d bytes", res.BytesWritten)
+	}
+	if res.AggMemPeak <= 0 || res.MaxRankMemPeak <= 0 {
+		t.Error("memory not accounted")
+	}
+	if res.AggMemPeak < res.MaxRankMemPeak {
+		t.Error("aggregate < per-rank peak")
+	}
+}
+
+func TestRunInSituCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunInSitu(Checkpointing, tiny(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps 3 and 6 trigger on each of 2 ranks.
+	if res.FilesWritten != 4 {
+		t.Errorf("files = %d, want 4", res.FilesWritten)
+	}
+	if res.BytesWritten == 0 {
+		t.Error("no checkpoint bytes")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "pb146.f*"))
+	if len(matches) != 4 {
+		t.Errorf("found %d field files", len(matches))
+	}
+}
+
+func TestRunInSituCatalyst(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunInSitu(Catalyst, tiny(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two triggers x two pipelines = 4 images, written by rank 0.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.png"))
+	if len(matches) != 4 {
+		t.Errorf("found %d images: %v", len(matches), matches)
+	}
+	if res.BytesWritten == 0 {
+		t.Error("no image bytes accounted")
+	}
+}
+
+func TestRunInSituValidation(t *testing.T) {
+	if _, err := RunInSitu(Catalyst, InSituConfig{Ranks: 1}); err == nil {
+		t.Error("expected OutputDir error")
+	}
+}
+
+// TestFigure23Shapes runs the full (tiny) matrix and asserts the
+// paper's qualitative results: Original is fastest, Catalyst uses more
+// memory than Checkpointing, and Catalyst's storage footprint is far
+// below Checkpointing's.
+func TestFigure23Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix")
+	}
+	dir := t.TempDir()
+	base := tiny(dir)
+	base.Steps = 8
+	base.Interval = 2 // dense triggers so overheads exceed noise
+	results, err := RunFig2And3([]int{1, 2}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]InSituResult{}
+	for _, r := range results {
+		byKey[r.Mode.String()+"-"+itoa(r.Ranks)] = r
+	}
+	for _, ranks := range []string{"1", "2"} {
+		orig := byKey["Original-"+ranks]
+		ck := byKey["Checkpointing-"+ranks]
+		cat := byKey["Catalyst-"+ranks]
+		// Wall-clock ordering (Original fastest) is asserted by the
+		// sized figure harness (cmd/figures), not here: `go test ./...`
+		// runs package binaries concurrently, so sub-100ms wall times
+		// in this process carry unbounded scheduler noise. Here only
+		// check the timers ran.
+		if orig.WallTime <= 0 || ck.WallTime <= 0 || cat.WallTime <= 0 {
+			t.Errorf("ranks %s: missing wall time", ranks)
+		}
+		// Catalyst stages mirrors + VTK copies: more memory than
+		// Checkpointing's single staging buffer.
+		if cat.AggMemPeak <= ck.AggMemPeak {
+			t.Errorf("ranks %s: Catalyst mem %d <= Checkpointing %d",
+				ranks, cat.AggMemPeak, ck.AggMemPeak)
+		}
+		// Storage economy: images are at least 10x smaller even at
+		// this tiny scale (the paper reports ~3000x at full scale).
+		if cat.BytesWritten*10 > ck.BytesWritten {
+			t.Errorf("ranks %s: Catalyst storage %d not << Checkpointing %d",
+				ranks, cat.BytesWritten, ck.BytesWritten)
+		}
+	}
+	// Table rendering sanity.
+	if s := Fig2Table(results).String(); !strings.Contains(s, "Original") {
+		t.Error("Fig2 table empty")
+	}
+	if s := Fig3Table(results).String(); !strings.Contains(s, "Catalyst") {
+		t.Error("Fig3 table empty")
+	}
+	if s := StorageTable(results).String(); !strings.Contains(s, "Checkpointing") {
+		t.Error("storage table empty")
+	}
+	if r := StorageRatio(results); r < 10 {
+		t.Errorf("storage ratio = %v, want >= 10", r)
+	}
+}
+
+func itoa(v int) string {
+	return strconv.Itoa(v)
+}
+
+func tinyTransit(dir string) InTransitConfig {
+	return InTransitConfig{
+		SimRanks: 4, ElemsPerRankZ: 1, NxNy: 4, Order: 2,
+		Steps: 6, Interval: 3, ImagePx: 32, OutputDir: dir,
+	}
+}
+
+func TestRunInTransitNoTransport(t *testing.T) {
+	res, err := RunInTransit(NoTransport, tinyTransit(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanStepTime <= 0 {
+		t.Error("no step time")
+	}
+	if res.EndpointSteps != 0 || res.EndpointBytes != 0 {
+		t.Error("NoTransport should not reach an endpoint")
+	}
+}
+
+func TestRunInTransitCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunInTransit(EndpointCheckpoint, tinyTransit(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps 3 and 6 trigger -> endpoint processes 2 steps.
+	if res.EndpointSteps != 2 {
+		t.Errorf("endpoint steps = %d, want 2", res.EndpointSteps)
+	}
+	if res.EndpointBytes == 0 {
+		t.Error("endpoint wrote nothing")
+	}
+	vtus, _ := filepath.Glob(filepath.Join(dir, "rbc_*.vtu"))
+	if len(vtus) != 2 {
+		t.Errorf("vtu files = %d, want 2", len(vtus))
+	}
+}
+
+func TestRunInTransitCatalyst(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunInTransit(EndpointCatalyst, tinyTransit(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EndpointSteps != 2 {
+		t.Errorf("endpoint steps = %d, want 2", res.EndpointSteps)
+	}
+	pngs, _ := filepath.Glob(filepath.Join(dir, "*.png"))
+	if len(pngs) != 4 {
+		t.Errorf("images = %d, want 4 (2 steps x 2 pipelines)", len(pngs))
+	}
+}
+
+// TestFigure56Shapes asserts the paper's in transit findings at tiny
+// scale: transport modes carry sim-side memory overhead (the SST
+// queue) over NoTransport, and all modes complete under weak scaling.
+func TestFigure56Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix")
+	}
+	dir := t.TempDir()
+	results, err := RunFig5And6([]int{4, 8}, tinyTransit(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byKey := map[string]InTransitResult{}
+	for _, r := range results {
+		byKey[r.Mode.String()+itoa(r.SimRanks)] = r
+	}
+	for _, ranks := range []int{4, 8} {
+		nt := byKey["NoTransport"+itoa(ranks)]
+		ck := byKey["Checkpointing"+itoa(ranks)]
+		cat := byKey["Catalyst"+itoa(ranks)]
+		if ck.MemPerNode <= nt.MemPerNode {
+			t.Errorf("%d ranks: transport added no memory: %d vs %d",
+				ranks, ck.MemPerNode, nt.MemPerNode)
+		}
+		if cat.EndpointSteps == 0 || ck.EndpointSteps == 0 {
+			t.Errorf("%d ranks: endpoints idle", ranks)
+		}
+	}
+	if s := Fig5Table(results).String(); !strings.Contains(s, "NoTransport") {
+		t.Error("Fig5 table empty")
+	}
+	if s := Fig6Table(results).String(); !strings.Contains(s, "Catalyst") {
+		t.Error("Fig6 table empty")
+	}
+}
+
+// TestQueueGrowthMechanism: the Figure 6 mechanism — a slow endpoint
+// backs up the SST staging queue and raises simulation-side memory.
+func TestQueueGrowthMechanism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive mechanism demo")
+	}
+	cfg := tinyTransit(t.TempDir())
+	cfg.Steps = 12
+	fast, slow, err := QueueGrowthDemo(cfg, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MemPerNode <= fast.MemPerNode {
+		t.Errorf("slow endpoint did not raise sim memory: fast %d, slow %d",
+			fast.MemPerNode, slow.MemPerNode)
+	}
+	if s := QueueGrowthTable(fast, slow, 100*time.Millisecond).String(); s == "" {
+		t.Error("empty table")
+	}
+}

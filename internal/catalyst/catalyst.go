@@ -1,0 +1,357 @@
+// Package catalyst is the reproduction's Catalyst AnalysisAdaptor: a
+// SENSEI analysis back end that runs declarative rendering pipelines
+// (slice and contour filters feeding a rasterizer) and writes PNG
+// images, the role ParaView Catalyst plays in the paper's Polaris and
+// JUWELS experiments.
+//
+// Where the real Catalyst is scripted through `analysis.py`, this
+// adaptor reads an XML pipeline description (see ParsePipelines) named
+// by the `filename` attribute of its <analysis> element — preserving
+// the paper's property that rendering setup changes without
+// recompiling the simulation. Every rank rasterizes only its local
+// blocks; images are depth-composited to rank 0 and written there.
+package catalyst
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"nekrs-sensei/internal/isosurf"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/render"
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/vtkdata"
+)
+
+// SliceSpec is an axis plane filter: the plane {x : Normal.x = Offset}.
+type SliceSpec struct {
+	Normal [3]float64
+	Offset float64
+}
+
+// ContourSpec is an isosurface filter on the named field.
+type ContourSpec struct {
+	Field string
+	Iso   float64
+}
+
+// Pipeline renders one image per trigger: a filter (slice or contour)
+// colored by Field through Colormap, seen from CameraDir.
+type Pipeline struct {
+	Width, Height int
+	Output        string // filename pattern containing one %d for the step
+	Colormap      string
+	CameraDir     [3]float64
+	Field         string  // array to color by
+	Min, Max      float64 // scalar range; equal values mean auto
+	Slice         *SliceSpec
+	Contour       *ContourSpec
+}
+
+// xml parse targets for the pipeline script.
+type xCatalyst struct {
+	XMLName xml.Name `xml:"catalyst"`
+	Images  []xImage `xml:"image"`
+}
+
+type xImage struct {
+	Width    int       `xml:"width,attr"`
+	Height   int       `xml:"height,attr"`
+	Output   string    `xml:"output,attr"`
+	Colormap string    `xml:"colormap,attr"`
+	Camera   string    `xml:"camera,attr"`
+	Field    string    `xml:"field,attr"`
+	Min      string    `xml:"min,attr"`
+	Max      string    `xml:"max,attr"`
+	Slice    *xSlice   `xml:"slice"`
+	Contour  *xContour `xml:"contour"`
+}
+
+type xSlice struct {
+	Normal string  `xml:"normal,attr"`
+	Offset float64 `xml:"offset,attr"`
+}
+
+type xContour struct {
+	Field string  `xml:"field,attr"`
+	Iso   float64 `xml:"iso,attr"`
+}
+
+func parseVec3(s string, def [3]float64) ([3]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return def, fmt.Errorf("catalyst: want 3 comma-separated values, got %q", s)
+	}
+	var v [3]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return def, fmt.Errorf("catalyst: bad vector %q: %w", s, err)
+		}
+		v[i] = f
+	}
+	return v, nil
+}
+
+// ParsePipelines parses the XML pipeline script:
+//
+//	<catalyst>
+//	  <image width="256" height="256" output="slice_%06d.png"
+//	         colormap="viridis" camera="1,1,1" field="velocity_x">
+//	    <slice normal="0,0,1" offset="0.5"/>
+//	  </image>
+//	  <image width="256" height="256" output="iso_%06d.png"
+//	         field="temperature">
+//	    <contour field="temperature" iso="0.5"/>
+//	  </image>
+//	</catalyst>
+func ParsePipelines(doc []byte) ([]Pipeline, error) {
+	var cfg xCatalyst
+	if err := xml.Unmarshal(doc, &cfg); err != nil {
+		return nil, fmt.Errorf("catalyst: pipeline parse: %w", err)
+	}
+	if len(cfg.Images) == 0 {
+		return nil, fmt.Errorf("catalyst: pipeline script has no <image> entries")
+	}
+	out := make([]Pipeline, 0, len(cfg.Images))
+	for i, im := range cfg.Images {
+		p := Pipeline{
+			Width: im.Width, Height: im.Height,
+			Output: im.Output, Colormap: im.Colormap, Field: im.Field,
+		}
+		if p.Width <= 0 {
+			p.Width = 256
+		}
+		if p.Height <= 0 {
+			p.Height = 256
+		}
+		if p.Output == "" {
+			p.Output = fmt.Sprintf("image%d_%%06d.png", i)
+		}
+		if p.Field == "" {
+			return nil, fmt.Errorf("catalyst: image %d: field attribute required", i)
+		}
+		var err error
+		if p.CameraDir, err = parseVec3(im.Camera, [3]float64{1, 1, 1}); err != nil {
+			return nil, err
+		}
+		if im.Min != "" {
+			if p.Min, err = strconv.ParseFloat(im.Min, 64); err != nil {
+				return nil, fmt.Errorf("catalyst: image %d: bad min: %w", i, err)
+			}
+		}
+		if im.Max != "" {
+			if p.Max, err = strconv.ParseFloat(im.Max, 64); err != nil {
+				return nil, fmt.Errorf("catalyst: image %d: bad max: %w", i, err)
+			}
+		}
+		switch {
+		case im.Slice != nil && im.Contour != nil:
+			return nil, fmt.Errorf("catalyst: image %d: slice and contour are exclusive", i)
+		case im.Slice != nil:
+			normal, err := parseVec3(im.Slice.Normal, [3]float64{0, 0, 1})
+			if err != nil {
+				return nil, err
+			}
+			p.Slice = &SliceSpec{Normal: normal, Offset: im.Slice.Offset}
+		case im.Contour != nil:
+			cf := im.Contour.Field
+			if cf == "" {
+				cf = p.Field
+			}
+			p.Contour = &ContourSpec{Field: cf, Iso: im.Contour.Iso}
+		default:
+			return nil, fmt.Errorf("catalyst: image %d: needs a <slice> or <contour> filter", i)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Adaptor is the Catalyst analysis adaptor.
+type Adaptor struct {
+	ctx       *sensei.Context
+	meshName  string
+	pipelines []Pipeline
+
+	bounds     [6]float64 // global xmin,xmax,ymin,ymax,zmin,zmax
+	haveBounds bool
+
+	imagesWritten int
+	lastFrames    []*render.Framebuffer // rank 0: last composited frames
+}
+
+// New builds the adaptor programmatically.
+func New(ctx *sensei.Context, meshName string, pipelines []Pipeline) *Adaptor {
+	if meshName == "" {
+		meshName = "mesh"
+	}
+	return &Adaptor{ctx: ctx, meshName: meshName, pipelines: pipelines}
+}
+
+func init() {
+	sensei.Register("catalyst", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+		path := attrs["filename"]
+		if path == "" {
+			return nil, fmt.Errorf("catalyst: filename attribute (pipeline script) required")
+		}
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("catalyst: read pipeline script: %w", err)
+		}
+		pipelines, err := ParsePipelines(doc)
+		if err != nil {
+			return nil, err
+		}
+		return New(ctx, attrs["mesh"], pipelines), nil
+	})
+}
+
+// ImagesWritten reports how many PNG files this rank has written
+// (only rank 0 writes).
+func (a *Adaptor) ImagesWritten() int { return a.imagesWritten }
+
+// LastFrames exposes rank 0's most recent composited framebuffers for
+// testing and interactive use.
+func (a *Adaptor) LastFrames() []*render.Framebuffer { return a.lastFrames }
+
+// computeBounds caches the global mesh bounding box.
+func (a *Adaptor) computeBounds(g *vtkdata.UnstructuredGrid) {
+	if a.haveBounds {
+		return
+	}
+	lo := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	hi := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for p := 0; p < g.NumPoints(); p++ {
+		for d := 0; d < 3; d++ {
+			v := g.Points[3*p+d]
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	glo := a.ctx.Comm.AllreduceF64(lo[:], mpirt.OpMin)
+	ghi := a.ctx.Comm.AllreduceF64(hi[:], mpirt.OpMax)
+	a.bounds = [6]float64{glo[0], ghi[0], glo[1], ghi[1], glo[2], ghi[2]}
+	a.haveBounds = true
+}
+
+// Execute implements sensei.AnalysisAdaptor: pulls the needed arrays
+// through the data adaptor, runs each pipeline's filter, renders
+// locally, composites, and writes PNGs on rank 0.
+func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
+	g, err := da.Mesh(a.meshName, true)
+	if err != nil {
+		return false, err
+	}
+	// Attach every array any pipeline needs (deduplicated by AddArray).
+	for _, p := range a.pipelines {
+		if err := da.AddArray(g, a.meshName, sensei.AssocPoint, p.Field); err != nil {
+			return false, err
+		}
+		if p.Contour != nil && p.Contour.Field != p.Field {
+			if err := da.AddArray(g, a.meshName, sensei.AssocPoint, p.Contour.Field); err != nil {
+				return false, err
+			}
+		}
+	}
+	a.computeBounds(g)
+
+	a.lastFrames = a.lastFrames[:0]
+	for _, p := range a.pipelines {
+		color := g.FindPointData(p.Field)
+		if color == nil {
+			return false, fmt.Errorf("catalyst: array %q missing", p.Field)
+		}
+		var soup *render.TriangleSoup
+		switch {
+		case p.Slice != nil:
+			soup, err = isosurf.SliceCells(g, p.Slice.Normal, p.Slice.Offset, color.Data)
+		case p.Contour != nil:
+			cf := g.FindPointData(p.Contour.Field)
+			if cf == nil {
+				return false, fmt.Errorf("catalyst: contour array %q missing", p.Contour.Field)
+			}
+			soup, err = isosurf.ContourCells(g, cf.Data, color.Data, p.Contour.Iso)
+		}
+		if err != nil {
+			return false, err
+		}
+		a.ctx.Acct.Alloc("catalyst-geom", soup.Bytes())
+
+		// Scalar range must agree across ranks for consistent colors.
+		smin, smax := p.Min, p.Max
+		if smin == smax {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range color.Data {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			smin = a.ctx.Comm.AllreduceF64Scalar(lo, mpirt.OpMin)
+			smax = a.ctx.Comm.AllreduceF64Scalar(hi, mpirt.OpMax)
+		}
+
+		cam := render.FitBox(
+			render.Vec3{X: a.bounds[0], Y: a.bounds[2], Z: a.bounds[4]},
+			render.Vec3{X: a.bounds[1], Y: a.bounds[3], Z: a.bounds[5]},
+			render.Vec3{X: p.CameraDir[0], Y: p.CameraDir[1], Z: p.CameraDir[2]})
+		fb := render.NewFramebuffer(p.Width, p.Height)
+		a.ctx.Acct.Alloc("catalyst-fb", fb.Bytes())
+		render.Draw(fb, cam, soup, render.ColormapByName(p.Colormap), smin, smax, render.DefaultLight())
+
+		final := render.Composite(a.ctx.Comm, fb, 0)
+		if final != nil {
+			name := p.Output
+			if strings.Contains(name, "%") {
+				name = fmt.Sprintf(p.Output, da.TimeStep())
+			}
+			if err := a.writePNG(name, final); err != nil {
+				return false, err
+			}
+			a.lastFrames = append(a.lastFrames, final)
+		}
+		a.ctx.Acct.Free("catalyst-fb", fb.Bytes())
+		a.ctx.Acct.Free("catalyst-geom", soup.Bytes())
+	}
+	return true, nil
+}
+
+func (a *Adaptor) writePNG(name string, fb *render.Framebuffer) error {
+	dir := a.ctx.OutputDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := render.EncodePNG(f, fb)
+	if err != nil {
+		return err
+	}
+	a.ctx.Storage.AddFile(n)
+	a.imagesWritten++
+	return nil
+}
+
+// Finalize implements sensei.AnalysisAdaptor.
+func (a *Adaptor) Finalize() error { return nil }

@@ -1,0 +1,219 @@
+package catalyst
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+
+	"testing"
+
+	"nekrs-sensei/internal/core"
+	"nekrs-sensei/internal/fluid"
+	"nekrs-sensei/internal/mesh"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/occa"
+	"nekrs-sensei/internal/sensei"
+)
+
+func newSolver(t *testing.T, comm *mpirt.Comm, size int) *fluid.Solver {
+	t.Helper()
+	m, err := mesh.NewBox(mesh.BoxConfig{
+		Nx: 2, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 3,
+	}, comm.Rank(), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := map[mesh.Face]fluid.VelBC{}
+	for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+		bc[f] = fluid.VelBC{}
+	}
+	s, err := fluid.NewSolver(fluid.Config{
+		Mesh: m, Comm: comm, Dev: occa.NewDevice(occa.CUDA, nil),
+		Nu: 0.1, Kappa: 0.1, Dt: 1e-3, Temperature: true, VelBC: bc,
+		InitialTemperature: func(x, y, z float64) float64 { return z },
+		InitialVelocity: func(x, y, z float64) (float64, float64, float64) {
+			return math.Sin(math.Pi * x), 0, 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const testScript = `<catalyst>
+  <image width="64" height="64" output="slice_%06d.png" colormap="viridis"
+         camera="1,1,1" field="velocity_x">
+    <slice normal="0,0,1" offset="0.5"/>
+  </image>
+  <image width="64" height="64" output="iso_%06d.png" colormap="coolwarm"
+         field="temperature">
+    <contour field="temperature" iso="0.5"/>
+  </image>
+</catalyst>`
+
+func TestParsePipelines(t *testing.T) {
+	ps, err := ParsePipelines([]byte(testScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("pipelines = %d", len(ps))
+	}
+	if ps[0].Slice == nil || ps[0].Slice.Normal != [3]float64{0, 0, 1} || ps[0].Slice.Offset != 0.5 {
+		t.Errorf("slice spec = %+v", ps[0].Slice)
+	}
+	if ps[1].Contour == nil || ps[1].Contour.Iso != 0.5 || ps[1].Contour.Field != "temperature" {
+		t.Errorf("contour spec = %+v", ps[1].Contour)
+	}
+	if ps[0].Width != 64 || ps[0].Output != "slice_%06d.png" {
+		t.Errorf("pipeline 0 = %+v", ps[0])
+	}
+}
+
+func TestParsePipelinesErrors(t *testing.T) {
+	cases := []string{
+		`<catalyst></catalyst>`, // no images
+		`<catalyst><image width="8" height="8" field="p"/></catalyst>`,                                      // no filter
+		`<catalyst><image width="8" height="8"><slice normal="0,0,1"/></image></catalyst>`,                  // no field
+		`<catalyst><image field="p"><slice normal="0,0,1"/><contour field="p" iso="1"/></image></catalyst>`, // both filters
+		`<catalyst><image field="p" camera="1,2"><slice normal="0,0,1"/></image></catalyst>`,                // bad camera
+		`<catalyst><image field="p" min="abc"><slice normal="0,0,1"/></image></catalyst>`,                   // bad min
+		`<catalyst><image field="p"><slice normal="zero,0,1" offset="0.5"/></image></catalyst>`,             // bad normal
+	}
+	for i, c := range cases {
+		if _, err := ParsePipelines([]byte(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestExecuteWritesImages(t *testing.T) {
+	dir := t.TempDir()
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	acct := metrics.NewAccountant()
+	ctx := &sensei.Context{
+		Comm: comm, Acct: acct, Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: dir,
+	}
+	ps, err := ParsePipelines([]byte(testScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(ctx, "mesh", ps)
+	da := core.NewNekDataAdaptor(s, acct)
+	da.SetStep(100, 0.1)
+	ok, err := a.Execute(da)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if a.ImagesWritten() != 2 {
+		t.Errorf("images = %d, want 2", a.ImagesWritten())
+	}
+	for _, name := range []string{"slice_000100.png", "iso_000100.png"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	if ctx.Storage.Files() != 2 || ctx.Storage.Bytes() == 0 {
+		t.Errorf("storage: %d files, %d bytes", ctx.Storage.Files(), ctx.Storage.Bytes())
+	}
+	// Frames contain actual geometry.
+	for i, fb := range a.LastFrames() {
+		if fb.CoveredPixels() == 0 {
+			t.Errorf("frame %d empty", i)
+		}
+	}
+	// Transient buffers were freed but left a peak.
+	if acct.CategoryInUse("catalyst-fb") != 0 {
+		t.Error("framebuffer accounting leak")
+	}
+	if acct.CategoryPeak("catalyst-fb") == 0 {
+		t.Error("framebuffer never accounted")
+	}
+}
+
+func TestExecuteParallelComposite(t *testing.T) {
+	dir := t.TempDir()
+	const size = 4
+	mpirt.Run(size, func(c *mpirt.Comm) {
+		s := newSolver(t, c, size)
+		acct := metrics.NewAccountant()
+		ctx := &sensei.Context{
+			Comm: c, Acct: acct, Timer: metrics.NewTimer(),
+			Storage: metrics.NewStorageCounter(), OutputDir: dir,
+		}
+		ps, err := ParsePipelines([]byte(testScript))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		a := New(ctx, "mesh", ps)
+		da := core.NewNekDataAdaptor(s, acct)
+		da.SetStep(7, 0.007)
+		if _, err := a.Execute(da); err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			if a.ImagesWritten() != 2 {
+				t.Errorf("rank 0 images = %d", a.ImagesWritten())
+			}
+			// The composited slice must cover pixels from all ranks'
+			// quadrants; one rank alone covers about a quarter of the
+			// plane (~120 px at 64x64), the full slice about 470.
+			fb := a.LastFrames()[0]
+			if fb.CoveredPixels() < 400 {
+				t.Errorf("composited coverage = %d, want the whole slice", fb.CoveredPixels())
+			}
+		} else if a.ImagesWritten() != 0 {
+			t.Errorf("rank %d wrote %d images", c.Rank(), a.ImagesWritten())
+		}
+	})
+	files, _ := filepath.Glob(filepath.Join(dir, "*.png"))
+	if len(files) != 2 {
+		t.Errorf("png files = %d, want 2", len(files))
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "analysis.xml")
+	if err := os.WriteFile(script, []byte(testScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	comm := mpirt.NewWorld(1).Comm(0)
+	ctx := &sensei.Context{
+		Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: dir,
+	}
+	a, err := sensei.NewAnalysisAdaptor("catalyst", ctx, map[string]string{"filename": script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("nil adaptor")
+	}
+	if _, err := sensei.NewAnalysisAdaptor("catalyst", ctx, map[string]string{}); err == nil {
+		t.Error("expected filename-required error")
+	}
+	if _, err := sensei.NewAnalysisAdaptor("catalyst", ctx, map[string]string{"filename": "/does/not/exist.xml"}); err == nil {
+		t.Error("expected read error")
+	}
+	var found bool
+	for _, n := range sensei.RegisteredTypes() {
+		if n == "catalyst" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("catalyst not registered")
+	}
+}

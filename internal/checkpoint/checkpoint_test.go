@@ -1,0 +1,267 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nekrs-sensei/internal/core"
+	"nekrs-sensei/internal/fluid"
+	"nekrs-sensei/internal/mesh"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/occa"
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/vtkdata"
+)
+
+func newSolver(t *testing.T, comm *mpirt.Comm, size int) *fluid.Solver {
+	t.Helper()
+	m, err := mesh.NewBox(mesh.BoxConfig{
+		Nx: 2, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 2,
+	}, comm.Rank(), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := map[mesh.Face]fluid.VelBC{}
+	for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+		bc[f] = fluid.VelBC{}
+	}
+	s, err := fluid.NewSolver(fluid.Config{
+		Mesh: m, Comm: comm, Dev: occa.NewDevice(occa.CUDA, nil),
+		Nu: 0.1, Kappa: 0.1, Dt: 1e-3, Temperature: true, VelBC: bc,
+		InitialTemperature: func(x, y, z float64) float64 { return x + 2*y + 3*z },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFldRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	acct := metrics.NewAccountant()
+	storage := metrics.NewStorageCounter()
+	w := &FldWriter{Dir: dir, Prefix: "pb146", Acct: acct, Storage: storage}
+
+	n, err := w.Write(s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("no bytes written")
+	}
+	if storage.Bytes() != n || storage.Files() != 1 {
+		t.Errorf("storage: %d bytes %d files", storage.Bytes(), storage.Files())
+	}
+	if acct.CategoryInUse("checkpoint-buf") == 0 {
+		t.Error("staging buffer not accounted")
+	}
+
+	path := filepath.Join(dir, "pb146.f00042.r0000")
+	got, err := ReadFld(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Step != 42 || got.Header.Nelt != 8 || got.Header.Np != 27 {
+		t.Errorf("header = %+v", got.Header)
+	}
+	temp, ok := got.Fields["temperature"]
+	if !ok {
+		t.Fatalf("fields = %v", got.Header.Fields)
+	}
+	m := s.Mesh()
+	for i := range temp {
+		want := m.X[i] + 2*m.Y[i] + 3*m.Z[i]
+		if math.Abs(temp[i]-want) > 1e-12 {
+			t.Fatalf("T[%d] = %v, want %v", i, temp[i], want)
+		}
+	}
+	for i := range got.X {
+		if got.X[i] != m.X[i] || got.Y[i] != m.Y[i] || got.Z[i] != m.Z[i] {
+			t.Fatalf("coordinates differ at %d", i)
+		}
+	}
+	// A second write reuses the staging buffer (no double accounting).
+	before := acct.CategoryInUse("checkpoint-buf")
+	if _, err := w.Write(s, 43); err != nil {
+		t.Fatal(err)
+	}
+	if acct.CategoryInUse("checkpoint-buf") != before {
+		t.Error("staging buffer re-accounted")
+	}
+}
+
+func TestFldD2HTraffic(t *testing.T) {
+	dir := t.TempDir()
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	dev := s.Device()
+	before := dev.D2HBytes()
+	w := &FldWriter{Dir: dir}
+	if _, err := w.Write(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 5 fields x 8 elements x 27 nodes x 8 bytes.
+	want := int64(5 * 8 * 27 * 8)
+	if got := dev.D2HBytes() - before; got != want {
+		t.Errorf("D2H = %d, want %d", got, want)
+	}
+}
+
+func TestReadFldErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFld(bad); err == nil {
+		t.Error("expected magic error")
+	}
+	trunc := filepath.Join(dir, "trunc")
+	if err := os.WriteFile(trunc, []byte(fldMagic+"\x01\x02"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFld(trunc); err == nil {
+		t.Error("expected truncation error")
+	}
+	if _, err := ReadFld(filepath.Join(dir, "missing")); err == nil {
+		t.Error("expected not-found error")
+	}
+}
+
+func TestVTUCheckpointWritesPieces(t *testing.T) {
+	dir := t.TempDir()
+	const size = 2
+	mpirt.Run(size, func(c *mpirt.Comm) {
+		s := newSolver(t, c, size)
+		acct := metrics.NewAccountant()
+		ctx := &sensei.Context{
+			Comm: c, Acct: acct, Timer: metrics.NewTimer(),
+			Storage: metrics.NewStorageCounter(), OutputDir: dir,
+		}
+		ck := NewVTUCheckpoint(ctx, "mesh", []string{"pressure", "velocity_x"}, "ckpt")
+		da := core.NewNekDataAdaptor(s, acct)
+		da.SetStep(5, 0.005)
+		ok, err := ck.Execute(da)
+		if err != nil || !ok {
+			t.Error(err)
+			return
+		}
+		wantFiles := 1
+		if c.Rank() == 0 {
+			wantFiles = 2 // piece + pvtu
+		}
+		if ck.FilesWritten() != wantFiles {
+			t.Errorf("rank %d: files = %d, want %d", c.Rank(), ck.FilesWritten(), wantFiles)
+		}
+		if ctx.Storage.Bytes() == 0 {
+			t.Error("no storage accounted")
+		}
+	})
+	// Both pieces and the master exist; pieces parse back.
+	for _, name := range []string{"ckpt_000005_r0000.vtu", "ckpt_000005_r0001.vtu", "ckpt_000005.pvtu"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+	f, err := os.Open(filepath.Join(dir, "ckpt_000005_r0000.vtu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := vtkdata.ReadVTU(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FindPointData("pressure") == nil || g.FindPointData("velocity_x") == nil {
+		t.Error("arrays missing from checkpoint")
+	}
+	if g.FindPointData("temperature") != nil {
+		t.Error("unselected array written")
+	}
+}
+
+func TestVTUCheckpointAllArraysDefault(t *testing.T) {
+	dir := t.TempDir()
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	acct := metrics.NewAccountant()
+	ctx := &sensei.Context{
+		Comm: comm, Acct: acct, Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: dir,
+	}
+	ck := NewVTUCheckpoint(ctx, "", nil, "")
+	da := core.NewNekDataAdaptor(s, acct)
+	if _, err := ck.Execute(da); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "checkpoint_000000_r0000.vtu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := vtkdata.ReadVTU(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"velocity_x", "velocity_y", "velocity_z", "pressure", "temperature"} {
+		if g.FindPointData(name) == nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	ctx := &sensei.Context{Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter()}
+	a, err := sensei.NewAnalysisAdaptor("checkpoint", ctx, map[string]string{"arrays": "pressure, velocity_x", "prefix": "x"})
+	if err != nil || a == nil {
+		t.Fatal(err)
+	}
+	ck := a.(*VTUCheckpoint)
+	if len(ck.arrays) != 2 || ck.arrays[1] != "velocity_x" {
+		t.Errorf("arrays = %v", ck.arrays)
+	}
+}
+
+func TestVTUCheckpointPVDCollection(t *testing.T) {
+	dir := t.TempDir()
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	acct := metrics.NewAccountant()
+	ctx := &sensei.Context{
+		Comm: comm, Acct: acct, Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: dir,
+	}
+	ck := NewVTUCheckpoint(ctx, "mesh", []string{"pressure"}, "series")
+	da := core.NewNekDataAdaptor(s, acct)
+	for step := 0; step < 3; step++ {
+		da.SetStep(step*10, float64(step)*0.1)
+		if _, err := ck.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "series.pvd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(raw)
+	for _, want := range []string{
+		`type="Collection"`,
+		`file="series_000000.pvtu"`,
+		`file="series_000020.pvtu"`,
+		`timestep="0.2"`,
+	} {
+		if !strings.Contains(content, want) {
+			t.Errorf("pvd missing %q", want)
+		}
+	}
+}

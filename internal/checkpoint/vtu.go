@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/vtkdata"
+)
+
+// VTUCheckpoint is a SENSEI analysis adaptor that writes each
+// trigger's data as one VTU piece per rank plus a PVTU master on rank
+// 0 — the paper's in transit "Checkpointing" measurement point, where
+// the SENSEI endpoint writes the pressure and velocity fields to the
+// storage system as VTU files. Registered as analysis type
+// "checkpoint" with attributes mesh, arrays (comma-separated; empty =
+// all advertised arrays) and prefix.
+type VTUCheckpoint struct {
+	ctx      *sensei.Context
+	meshName string
+	arrays   []string
+	prefix   string
+
+	filesWritten int
+	collection   []vtkdata.PVDEntry // rank 0: timestep index for the .pvd
+}
+
+// NewVTUCheckpoint constructs the adaptor programmatically.
+func NewVTUCheckpoint(ctx *sensei.Context, meshName string, arrays []string, prefix string) *VTUCheckpoint {
+	if meshName == "" {
+		meshName = "mesh"
+	}
+	if prefix == "" {
+		prefix = "checkpoint"
+	}
+	return &VTUCheckpoint{ctx: ctx, meshName: meshName, arrays: arrays, prefix: prefix}
+}
+
+func init() {
+	sensei.Register("checkpoint", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+		var arrays []string
+		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
+			for _, s := range strings.Split(a, ",") {
+				arrays = append(arrays, strings.TrimSpace(s))
+			}
+		}
+		return NewVTUCheckpoint(ctx, attrs["mesh"], arrays, attrs["prefix"]), nil
+	})
+}
+
+// FilesWritten reports how many files this rank wrote.
+func (c *VTUCheckpoint) FilesWritten() int { return c.filesWritten }
+
+// Execute implements sensei.AnalysisAdaptor.
+func (c *VTUCheckpoint) Execute(da sensei.DataAdaptor) (bool, error) {
+	arrays := c.arrays
+	if len(arrays) == 0 {
+		md, err := da.MeshMetadata(0)
+		if err != nil {
+			return false, err
+		}
+		arrays = md.ArrayNames
+	}
+	g, err := da.Mesh(c.meshName, true)
+	if err != nil {
+		return false, err
+	}
+	for _, name := range arrays {
+		if err := da.AddArray(g, c.meshName, sensei.AssocPoint, name); err != nil {
+			return false, err
+		}
+	}
+	dir := c.ctx.OutputDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, err
+	}
+	rank := c.ctx.Comm.Rank()
+	step := da.TimeStep()
+	pieceName := func(r int) string {
+		return fmt.Sprintf("%s_%06d_r%04d.vtu", c.prefix, step, r)
+	}
+	f, err := os.Create(filepath.Join(dir, pieceName(rank)))
+	if err != nil {
+		return false, err
+	}
+	n, err := vtkdata.WriteVTU(f, g, vtkdata.WriteOptions{Encoding: vtkdata.AppendedRaw})
+	f.Close()
+	if err != nil {
+		return false, err
+	}
+	c.ctx.Storage.AddFile(n)
+	c.filesWritten++
+
+	if rank == 0 {
+		sources := make([]string, c.ctx.Comm.Size())
+		for r := range sources {
+			sources[r] = pieceName(r)
+		}
+		master := fmt.Sprintf("%s_%06d.pvtu", c.prefix, step)
+		mf, err := os.Create(filepath.Join(dir, master))
+		if err != nil {
+			return false, err
+		}
+		n, err := vtkdata.WritePVTU(mf, g, sources)
+		mf.Close()
+		if err != nil {
+			return false, err
+		}
+		c.ctx.Storage.AddFile(n)
+		c.filesWritten++
+		c.collection = append(c.collection, vtkdata.PVDEntry{Time: da.Time(), File: master})
+	}
+	// Ranks must not race ahead of the master file on shared storage.
+	c.ctx.Comm.Barrier()
+	return true, nil
+}
+
+// Finalize implements sensei.AnalysisAdaptor: rank 0 writes the
+// ParaView .pvd collection indexing the checkpoint series.
+func (c *VTUCheckpoint) Finalize() error {
+	if len(c.collection) == 0 {
+		return nil
+	}
+	dir := c.ctx.OutputDir
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.Create(filepath.Join(dir, c.prefix+".pvd"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := vtkdata.WritePVD(f, c.collection)
+	if err != nil {
+		return err
+	}
+	c.ctx.Storage.AddFile(n)
+	c.filesWritten++
+	return nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nekrs-sensei/internal/fluid"
+	"nekrs-sensei/internal/mesh"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/occa"
+	"nekrs-sensei/internal/sensei"
+)
+
+// newSolver builds a tiny single-rank solver with temperature.
+func newSolver(t *testing.T, acct *metrics.Accountant) *fluid.Solver {
+	t.Helper()
+	m, err := mesh.NewBox(mesh.BoxConfig{
+		Nx: 2, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 3,
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := map[mesh.Face]fluid.VelBC{}
+	for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+		bc[f] = fluid.VelBC{}
+	}
+	s, err := fluid.NewSolver(fluid.Config{
+		Mesh: m, Comm: mpirt.NewWorld(1).Comm(0), Dev: occa.NewDevice(occa.CUDA, acct),
+		Nu: 0.1, Kappa: 0.1, Dt: 1e-3, Temperature: true,
+		VelBC: bc, Acct: acct,
+		InitialTemperature: func(x, y, z float64) float64 { return x },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testCtx(acct *metrics.Accountant, comm *mpirt.Comm) *sensei.Context {
+	return &sensei.Context{
+		Comm: comm, Acct: acct,
+		Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter(),
+	}
+}
+
+func TestAdaptorStructure(t *testing.T) {
+	acct := metrics.NewAccountant()
+	s := newSolver(t, acct)
+	da := NewNekDataAdaptor(s, acct)
+
+	n, err := da.NumberOfMeshes()
+	if err != nil || n != 1 {
+		t.Fatalf("NumberOfMeshes = %d, %v", n, err)
+	}
+	g, err := da.Mesh(MeshName, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 elements x 4^3 points, 8 x 3^3 cells.
+	if g.NumPoints() != 8*64 {
+		t.Errorf("points = %d, want %d", g.NumPoints(), 8*64)
+	}
+	if g.NumCells() != 8*27 {
+		t.Errorf("cells = %d, want %d", g.NumCells(), 8*27)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := da.Mesh("other", true); err == nil {
+		t.Error("expected unknown-mesh error")
+	}
+	if acct.CategoryInUse("vtk-structure") == 0 {
+		t.Error("structure not accounted")
+	}
+}
+
+func TestAdaptorMetadata(t *testing.T) {
+	acct := metrics.NewAccountant()
+	s := newSolver(t, acct)
+	da := NewNekDataAdaptor(s, acct)
+	md, err := da.MeshMetadata(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.MeshName != MeshName || md.NumBlocks != 1 {
+		t.Errorf("metadata = %+v", md)
+	}
+	if md.NumPoints != 8*64 || md.NumCells != 8*27 {
+		t.Errorf("global sizes = %d, %d", md.NumPoints, md.NumCells)
+	}
+	for _, name := range []string{"velocity_x", "velocity_y", "velocity_z", "pressure", "temperature"} {
+		if !md.HasArray(name) {
+			t.Errorf("missing array %q", name)
+		}
+	}
+	if _, err := da.MeshMetadata(1); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestAddArrayStagesD2H(t *testing.T) {
+	acct := metrics.NewAccountant()
+	s := newSolver(t, acct)
+	da := NewNekDataAdaptor(s, acct)
+	dev := s.Device()
+	before := dev.D2HBytes()
+
+	g, _ := da.Mesh(MeshName, true)
+	if err := da.AddArray(g, MeshName, sensei.AssocPoint, "temperature"); err != nil {
+		t.Fatal(err)
+	}
+	after := dev.D2HBytes()
+	wantBytes := int64(8 * 64 * 8)
+	if after-before != wantBytes {
+		t.Errorf("D2H traffic = %d, want %d", after-before, wantBytes)
+	}
+	arr := g.FindPointData("temperature")
+	if arr == nil {
+		t.Fatal("array not attached")
+	}
+	// Initial temperature was T = x; verify staged values.
+	for i := 0; i < g.NumPoints(); i++ {
+		if math.Abs(arr.Data[i]-g.Points[3*i]) > 1e-12 {
+			t.Fatalf("T[%d] = %v, want x = %v", i, arr.Data[i], g.Points[3*i])
+		}
+	}
+	// Mirror persists, VTK copy accounted.
+	if acct.CategoryInUse("sensei-mirror") != wantBytes {
+		t.Errorf("mirror bytes = %d", acct.CategoryInUse("sensei-mirror"))
+	}
+	if acct.CategoryInUse("vtk-copy") != wantBytes {
+		t.Errorf("vtk copy bytes = %d", acct.CategoryInUse("vtk-copy"))
+	}
+
+	// Second AddArray on same grid is a no-op.
+	if err := da.AddArray(g, MeshName, sensei.AssocPoint, "temperature"); err != nil {
+		t.Fatal(err)
+	}
+	if acct.CategoryInUse("vtk-copy") != wantBytes {
+		t.Error("duplicate AddArray double-counted")
+	}
+
+	// ReleaseData drops copies but keeps mirrors.
+	if err := da.ReleaseData(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.CategoryInUse("vtk-copy") != 0 {
+		t.Errorf("vtk copies not released: %d", acct.CategoryInUse("vtk-copy"))
+	}
+	if acct.CategoryInUse("sensei-mirror") != wantBytes {
+		t.Error("mirror should persist")
+	}
+
+	// Unknown array and cell assoc rejected.
+	if err := da.AddArray(g, MeshName, sensei.AssocPoint, "vorticity"); err == nil {
+		t.Error("expected unknown-array error")
+	}
+	if err := da.AddArray(g, MeshName, sensei.AssocCell, "pressure"); err == nil {
+		t.Error("expected assoc error")
+	}
+}
+
+func TestBridgeWithHistogram(t *testing.T) {
+	acct := metrics.NewAccountant()
+	s := newSolver(t, acct)
+	ctx := testCtx(acct, s.Comm())
+	cfg := `<sensei>
+  <analysis type="histogram" mesh="mesh" array="temperature" bins="8" frequency="10"/>
+</sensei>`
+	b, err := Initialize(ctx, s, []byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Analysis().NumAnalyses() != 1 {
+		t.Fatal("analysis not configured")
+	}
+	for step := 0; step <= 20; step++ {
+		if err := b.Update(step, float64(step)*1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The histogram timer fired on steps 0, 10, 20.
+	snap := ctx.Timer.Snapshot()
+	if snap["sensei:histogram"].Count != 3 {
+		t.Errorf("histogram ran %d times, want 3", snap["sensei:histogram"].Count)
+	}
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Adaptor exposes time/step.
+	if b.DataAdaptor().TimeStep() != 20 {
+		t.Errorf("step = %d", b.DataAdaptor().TimeStep())
+	}
+	if math.Abs(b.DataAdaptor().Time()-0.02) > 1e-12 {
+		t.Errorf("time = %v", b.DataAdaptor().Time())
+	}
+}
+
+func TestBridgeBadConfig(t *testing.T) {
+	acct := metrics.NewAccountant()
+	s := newSolver(t, acct)
+	ctx := testCtx(acct, s.Comm())
+	if _, err := Initialize(ctx, s, []byte(`<sensei><analysis type="nope"/></sensei>`)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestAdaptorParallelMetadata(t *testing.T) {
+	cfg := mesh.BoxConfig{Nx: 4, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 2}
+	const size = 4
+	mpirt.Run(size, func(c *mpirt.Comm) {
+		m, err := mesh.NewBox(cfg, c.Rank(), size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acct := metrics.NewAccountant()
+		bc := map[mesh.Face]fluid.VelBC{}
+		for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+			bc[f] = fluid.VelBC{}
+		}
+		s, err := fluid.NewSolver(fluid.Config{
+			Mesh: m, Comm: c, Dev: occa.NewDevice(occa.CUDA, acct),
+			Nu: 0.1, Dt: 1e-3, VelBC: bc, Acct: acct,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		da := NewNekDataAdaptor(s, acct)
+		md, err := da.MeshMetadata(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if md.NumBlocks != size {
+			t.Errorf("blocks = %d", md.NumBlocks)
+		}
+		// 16 global elements x 27 points each.
+		if md.NumPoints != 16*27 {
+			t.Errorf("global points = %d, want %d", md.NumPoints, 16*27)
+		}
+	})
+}
+
+// TestVorticityDerivedField: the adaptor exposes curl(u) computed on
+// demand, staged D2H like primary fields.
+func TestVorticityDerivedField(t *testing.T) {
+	acct := metrics.NewAccountant()
+	s := newSolver(t, acct)
+	// Impose a linear shear u = z: curl = (0, 1, 0).
+	u := s.Fields()["velocity_x"]
+	host := make([]float64, u.Len())
+	m := s.Mesh()
+	for i := range host {
+		host[i] = m.Z[i]
+	}
+	u.CopyFromHost(host)
+
+	da := NewNekDataAdaptor(s, acct)
+	md, err := da.MeshMetadata(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"vorticity_x", "vorticity_y", "vorticity_z"} {
+		if !md.HasArray(name) {
+			t.Errorf("metadata missing %s", name)
+		}
+	}
+	g, _ := da.Mesh(MeshName, true)
+	if err := da.AddArray(g, MeshName, sensei.AssocPoint, "vorticity_y"); err != nil {
+		t.Fatal(err)
+	}
+	arr := g.FindPointData("vorticity_y")
+	for i, v := range arr.Data {
+		if math.Abs(v-1) > 1e-10 {
+			t.Fatalf("vorticity_y[%d] = %v, want 1", i, v)
+		}
+	}
+	if err := da.AddArray(g, MeshName, sensei.AssocPoint, "vorticity_x"); err != nil {
+		t.Fatal(err)
+	}
+	arrX := g.FindPointData("vorticity_x")
+	for i, v := range arrX.Data {
+		if math.Abs(v) > 1e-10 {
+			t.Fatalf("vorticity_x[%d] = %v, want 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package fluid
+
+import (
+	"math"
+
+	"nekrs-sensei/internal/mpirt"
+)
+
+// VolumeIntegral computes the global integral of the nodal field v
+// with GLL quadrature. Every element integrates its own subdomain, so
+// the sum runs over all local nodes without multiplicity weighting
+// (which applies only to inner products of continuous vectors).
+// Collective.
+func (s *Solver) VolumeIntegral(v []float64) float64 {
+	b := s.mesh.B
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sum += b[i] * v[i]
+	}
+	return s.comm.AllreduceF64Scalar(sum, mpirt.OpSum)
+}
+
+// Volume returns the global domain volume. Collective.
+func (s *Solver) Volume() float64 {
+	return s.comm.AllreduceF64Scalar(s.mesh.LocalVolume(), mpirt.OpSum)
+}
+
+// VolumeAverage is VolumeIntegral normalized by the domain volume.
+// Collective.
+func (s *Solver) VolumeAverage(v []float64) float64 {
+	return s.VolumeIntegral(v) / s.Volume()
+}
+
+// KineticEnergy returns the global kinetic energy
+// 0.5 * integral(u^2+v^2+w^2). Collective.
+func (s *Solver) KineticEnergy() float64 {
+	u, v, w := s.U.Data(), s.V.Data(), s.W.Data()
+	b := s.mesh.B
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sum += b[i] * (u[i]*u[i] + v[i]*v[i] + w[i]*w[i])
+	}
+	return 0.5 * s.comm.AllreduceF64Scalar(sum, mpirt.OpSum)
+}
+
+// MaxVelocity returns the global maximum velocity magnitude. Collective.
+func (s *Solver) MaxVelocity() float64 {
+	u, v, w := s.U.Data(), s.V.Data(), s.W.Data()
+	var vmax float64
+	for i := 0; i < s.n; i++ {
+		sp := u[i]*u[i] + v[i]*v[i] + w[i]*w[i]
+		if sp > vmax {
+			vmax = sp
+		}
+	}
+	return math.Sqrt(s.comm.AllreduceF64Scalar(vmax, mpirt.OpMax))
+}
+
+// DivergenceL2 returns the L2 norm of div(u) over the domain, the
+// discrete incompressibility error. Collective.
+func (s *Solver) DivergenceL2() float64 {
+	s.divergence(s.U.Data(), s.V.Data(), s.W.Data(), s.scr1)
+	b := s.mesh.B
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sum += b[i] * s.scr1[i] * s.scr1[i]
+	}
+	return math.Sqrt(s.comm.AllreduceF64Scalar(sum, mpirt.OpSum))
+}
+
+// ScalarFlux returns the volume average of w*T, the convective heat
+// flux that enters the Nusselt number of Rayleigh-Bénard convection.
+// Collective; requires the temperature equation.
+func (s *Solver) ScalarFlux() float64 {
+	if s.T == nil {
+		return 0
+	}
+	w := s.W.Data()
+	tp := s.T.Data()
+	b := s.mesh.B
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sum += b[i] * w[i] * tp[i]
+	}
+	return s.comm.AllreduceF64Scalar(sum, mpirt.OpSum) / s.Volume()
+}

@@ -1,0 +1,203 @@
+package fluid
+
+import "nekrs-sensei/internal/tensor"
+
+// localLaplacian applies the unassembled weak Laplacian A_L = D^T G D
+// element by element: out_e = Dr^T(Grr ur + Grs us + Grt ut) + ... .
+// It overwrites out and uses wr/ws/wt as scratch; in must not alias out
+// or the scratch arrays.
+func (s *Solver) localLaplacian(in, out []float64) {
+	nq, np := s.nq, s.np
+	d := s.mesh.D
+	g := s.mesh.G
+	s.dev.Launch(s.nelt, func(elo, ehi int) {
+		for e := elo; e < ehi; e++ {
+			off := e * np
+			ue := in[off : off+np]
+			ur := s.wr[off : off+np]
+			us := s.ws[off : off+np]
+			ut := s.wt[off : off+np]
+			tensor.DerivR(d, nq, ue, ur)
+			tensor.DerivS(d, nq, ue, us)
+			tensor.DerivT(d, nq, ue, ut)
+			for p := 0; p < np; p++ {
+				g6 := g[6*(off+p) : 6*(off+p)+6]
+				r, sv, tv := ur[p], us[p], ut[p]
+				ur[p] = g6[0]*r + g6[1]*sv + g6[2]*tv
+				us[p] = g6[1]*r + g6[3]*sv + g6[4]*tv
+				ut[p] = g6[2]*r + g6[4]*sv + g6[5]*tv
+			}
+			oe := out[off : off+np]
+			for p := range oe {
+				oe[p] = 0
+			}
+			tensor.DerivRT(d, nq, ur, oe)
+			tensor.DerivST(d, nq, us, oe)
+			tensor.DerivTT(d, nq, ut, oe)
+		}
+	})
+}
+
+// gradient computes the physical gradient of in into (outx, outy, outz)
+// using the chain rule with the inverse metric. Uses wr/ws/wt as
+// scratch.
+func (s *Solver) gradient(in, outx, outy, outz []float64) {
+	nq, np := s.nq, s.np
+	d := s.mesh.D
+	rx := s.mesh.RX
+	s.dev.Launch(s.nelt, func(elo, ehi int) {
+		for e := elo; e < ehi; e++ {
+			off := e * np
+			ue := in[off : off+np]
+			ur := s.wr[off : off+np]
+			us := s.ws[off : off+np]
+			ut := s.wt[off : off+np]
+			tensor.DerivR(d, nq, ue, ur)
+			tensor.DerivS(d, nq, ue, us)
+			tensor.DerivT(d, nq, ue, ut)
+			for p := 0; p < np; p++ {
+				r9 := rx[9*(off+p) : 9*(off+p)+9]
+				outx[off+p] = r9[0]*ur[p] + r9[1]*us[p] + r9[2]*ut[p]
+				outy[off+p] = r9[3]*ur[p] + r9[4]*us[p] + r9[5]*ut[p]
+				outz[off+p] = r9[6]*ur[p] + r9[7]*us[p] + r9[8]*ut[p]
+			}
+		}
+	})
+}
+
+// divergence computes div(ax, ay, az) pointwise into out. Uses
+// wr/ws/wt as scratch; out must not alias the inputs or scratch.
+func (s *Solver) divergence(ax, ay, az, out []float64) {
+	nq, np := s.nq, s.np
+	d := s.mesh.D
+	rx := s.mesh.RX
+	s.dev.Launch(s.nelt, func(elo, ehi int) {
+		for e := elo; e < ehi; e++ {
+			off := e * np
+			oe := out[off : off+np]
+			for p := range oe {
+				oe[p] = 0
+			}
+			for comp, field := range [3][]float64{ax, ay, az} {
+				fe := field[off : off+np]
+				ur := s.wr[off : off+np]
+				us := s.ws[off : off+np]
+				ut := s.wt[off : off+np]
+				tensor.DerivR(d, nq, fe, ur)
+				tensor.DerivS(d, nq, fe, us)
+				tensor.DerivT(d, nq, fe, ut)
+				for p := 0; p < np; p++ {
+					r9 := rx[9*(off+p) : 9*(off+p)+9]
+					oe[p] += r9[3*comp]*ur[p] + r9[3*comp+1]*us[p] + r9[3*comp+2]*ut[p]
+				}
+			}
+		}
+	})
+}
+
+// helmholtzLocal applies the unassembled Helmholtz operator
+// visc*A_L + (h0 + chi) B (chi only when withBrinkman) into out.
+func (s *Solver) helmholtzLocal(in, out []float64, visc, h0 float64, withBrinkman bool) {
+	s.localLaplacian(in, out)
+	b := s.mesh.B
+	if visc != 1 {
+		for i := range out {
+			out[i] *= visc
+		}
+	}
+	if withBrinkman && s.brink != nil {
+		for i := range out {
+			out[i] += (h0 + s.brink[i]) * b[i] * in[i]
+		}
+	} else {
+		for i := range out {
+			out[i] += h0 * b[i] * in[i]
+		}
+	}
+}
+
+// laplacianDiagLocal returns the unassembled diagonal of A_L.
+func (s *Solver) laplacianDiagLocal() []float64 {
+	nq, np := s.nq, s.np
+	d := s.mesh.D
+	g := s.mesh.G
+	diag := make([]float64, s.n)
+	for e := 0; e < s.nelt; e++ {
+		off := e * np
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					p := off + k*nq*nq + j*nq + i
+					var v float64
+					// rr: sum_m D[m,i]^2 Grr(m, j, k)
+					for m := 0; m < nq; m++ {
+						q := off + k*nq*nq + j*nq + m
+						v += d[m*nq+i] * d[m*nq+i] * g[6*q]
+					}
+					// ss: sum_m D[m,j]^2 Gss(i, m, k)
+					for m := 0; m < nq; m++ {
+						q := off + k*nq*nq + m*nq + i
+						v += d[m*nq+j] * d[m*nq+j] * g[6*q+3]
+					}
+					// tt: sum_m D[m,k]^2 Gtt(i, j, m)
+					for m := 0; m < nq; m++ {
+						q := off + m*nq*nq + j*nq + i
+						v += d[m*nq+k] * d[m*nq+k] * g[6*q+5]
+					}
+					// cross terms at the point itself.
+					g6 := g[6*p : 6*p+6]
+					v += 2 * d[i*nq+i] * d[j*nq+j] * g6[1]
+					v += 2 * d[i*nq+i] * d[k*nq+k] * g6[2]
+					v += 2 * d[j*nq+j] * d[k*nq+k] * g6[4]
+					diag[p] = v
+				}
+			}
+		}
+	}
+	return diag
+}
+
+// laplacianDiag returns the assembled diagonal of the weak Laplacian,
+// used as the pressure Jacobi preconditioner.
+func (s *Solver) laplacianDiag() []float64 {
+	diag := s.laplacianDiagLocal()
+	s.gsh.Sum(diag)
+	return diag
+}
+
+// buildHelmholtzDiags (re)builds the assembled Jacobi diagonals of the
+// velocity and scalar Helmholtz operators for the given b0/dt.
+func (s *Solver) buildHelmholtzDiags(b0dt float64) {
+	if s.diagB0 == b0dt && s.diagHV != nil {
+		return
+	}
+	local := s.laplacianDiagLocal()
+	b := s.mesh.B
+	s.diagHV = make([]float64, s.n)
+	for i := range s.diagHV {
+		chi := 0.0
+		if s.brink != nil {
+			chi = s.brink[i]
+		}
+		s.diagHV[i] = s.cfg.Nu*local[i] + (b0dt+chi)*b[i]
+	}
+	s.gsh.Sum(s.diagHV)
+	for i := range s.diagHV {
+		if s.maskV[i] == 0 {
+			s.diagHV[i] = 1
+		}
+	}
+	if s.cfg.Temperature {
+		s.diagHT = make([]float64, s.n)
+		for i := range s.diagHT {
+			s.diagHT[i] = s.cfg.Kappa*local[i] + b0dt*b[i]
+		}
+		s.gsh.Sum(s.diagHT)
+		for i := range s.diagHT {
+			if s.maskT[i] == 0 {
+				s.diagHT[i] = 1
+			}
+		}
+	}
+	s.diagB0 = b0dt
+}

@@ -1,0 +1,250 @@
+package fluid
+
+import (
+	"math"
+
+	"nekrs-sensei/internal/krylov"
+	"nekrs-sensei/internal/mpirt"
+)
+
+// bdfCoefficients returns (b0, b1, b2, e0, e1): the BDF terms of
+// (b0 u^{n+1} - b1 u^n - b2 u^{n-1})/dt and the EXT extrapolation
+// weights for the explicit terms. The first step bootstraps with
+// BDF1/EXT1.
+func bdfCoefficients(step int) (b0, b1, b2, e0, e1 float64) {
+	if step == 0 {
+		return 1, 1, 0, 1, 0
+	}
+	return 1.5, 2, -0.5, 2, -1
+}
+
+// computeExplicitTerms evaluates F^n = -(u·grad)u + f(x,t,T) into
+// fu/fv/fw and, when enabled, F_T^n = -(u·grad)T + q into ft.
+func (s *Solver) computeExplicitTerms(t float64) {
+	u, v, w := s.U.Data(), s.V.Data(), s.W.Data()
+	m := s.mesh
+
+	// Advection of each velocity component.
+	s.gradient(u, s.gx, s.gy, s.gz)
+	for i := 0; i < s.n; i++ {
+		s.fu[i] = -(u[i]*s.gx[i] + v[i]*s.gy[i] + w[i]*s.gz[i])
+	}
+	s.gradient(v, s.gx, s.gy, s.gz)
+	for i := 0; i < s.n; i++ {
+		s.fv[i] = -(u[i]*s.gx[i] + v[i]*s.gy[i] + w[i]*s.gz[i])
+	}
+	s.gradient(w, s.gx, s.gy, s.gz)
+	for i := 0; i < s.n; i++ {
+		s.fw[i] = -(u[i]*s.gx[i] + v[i]*s.gy[i] + w[i]*s.gz[i])
+	}
+
+	if s.cfg.Forcing != nil {
+		var tp []float64
+		if s.T != nil {
+			tp = s.T.Data()
+		}
+		for i := 0; i < s.n; i++ {
+			tv := 0.0
+			if tp != nil {
+				tv = tp[i]
+			}
+			fx, fy, fz := s.cfg.Forcing(m.X[i], m.Y[i], m.Z[i], t, tv)
+			s.fu[i] += fx
+			s.fv[i] += fy
+			s.fw[i] += fz
+		}
+	}
+
+	if s.cfg.Temperature {
+		tp := s.T.Data()
+		s.gradient(tp, s.gx, s.gy, s.gz)
+		for i := 0; i < s.n; i++ {
+			s.ft[i] = -(u[i]*s.gx[i] + v[i]*s.gy[i] + w[i]*s.gz[i])
+		}
+		if s.cfg.HeatSource != nil {
+			for i := 0; i < s.n; i++ {
+				s.ft[i] += s.cfg.HeatSource(m.X[i], m.Y[i], m.Z[i], t)
+			}
+		}
+	}
+}
+
+// Step advances the solution by one timestep and returns solve
+// statistics. Collective over the communicator.
+func (s *Solver) Step() StepStats {
+	timer := s.cfg.Timer
+	stopStep := timer.Start("step")
+	defer stopStep()
+
+	dt := s.cfg.Dt
+	tNew := s.time + dt
+	effStep := s.step
+	if s.bootstrap {
+		effStep = 0
+		s.bootstrap = false
+	}
+	b0, b1, b2, e0, e1 := bdfCoefficients(effStep)
+	b0dt := b0 / dt
+
+	u, v, w := s.U.Data(), s.V.Data(), s.W.Data()
+
+	// Explicit terms and BDF/EXT right-hand side r_i.
+	stopAdv := timer.Start("advection")
+	s.computeExplicitTerms(s.time)
+	for i := 0; i < s.n; i++ {
+		s.ru[i] = (b1*u[i]+b2*s.u1[i])/dt + e0*s.fu[i] + e1*s.fu1[i]
+		s.rv[i] = (b1*v[i]+b2*s.v1[i])/dt + e0*s.fv[i] + e1*s.fv1[i]
+		s.rw[i] = (b1*w[i]+b2*s.w1[i])/dt + e0*s.fw[i] + e1*s.fw1[i]
+	}
+	if s.cfg.Temperature {
+		tp := s.T.Data()
+		for i := 0; i < s.n; i++ {
+			s.rt[i] = (b1*tp[i]+b2*s.t1[i])/dt + e0*s.ft[i] + e1*s.ft1[i]
+		}
+	}
+	// Rotate histories now: u1 <- u^n, fu1 <- F^n.
+	copy(s.u1, u)
+	copy(s.v1, v)
+	copy(s.w1, w)
+	copy(s.fu1, s.fu)
+	copy(s.fv1, s.fv)
+	copy(s.fw1, s.fw)
+	if s.cfg.Temperature {
+		copy(s.t1, s.T.Data())
+		copy(s.ft1, s.ft)
+	}
+	stopAdv()
+
+	// Pressure Poisson: A p = -gs(B div r), all-Neumann with mean
+	// projection.
+	stopP := timer.Start("pressure")
+	s.divergence(s.ru, s.rv, s.rw, s.scr1)
+	b := s.mesh.B
+	for i := 0; i < s.n; i++ {
+		s.scr2[i] = -b[i] * s.scr1[i]
+	}
+	s.gsh.Sum(s.scr2)
+	pOp := krylov.OperatorFunc(func(out, in []float64) {
+		s.localLaplacian(in, out)
+		s.gsh.Sum(out)
+	})
+	pOpts := s.solverOptions(s.cfg.PressureTol, s.diagA, true)
+	pRes := krylov.CG(pOp, s.scr2, s.P.Data(), pOpts)
+	stopP()
+
+	// Velocity Helmholtz solves with Dirichlet lifting.
+	stopV := timer.Start("viscous")
+	s.gradient(s.P.Data(), s.gx, s.gy, s.gz)
+	if s.timeDependentBC {
+		s.refreshBoundaryValues(tNew)
+	}
+	s.buildHelmholtzDiags(b0dt)
+
+	var viscIters [3]int
+	comps := [3]struct {
+		vel, r, grad, bc []float64
+	}{
+		{u, s.ru, s.gx, s.ub},
+		{v, s.rv, s.gy, s.vb},
+		{w, s.rw, s.gz, s.wb},
+	}
+	hOp := krylov.OperatorFunc(func(out, in []float64) {
+		s.helmholtzLocal(in, out, s.cfg.Nu, b0dt, true)
+		s.gsh.Sum(out)
+		for i := range out {
+			out[i] *= s.maskV[i]
+		}
+	})
+	hOpts := s.solverOptions(s.cfg.VelocityTol, s.diagHV, false)
+	for c := range comps {
+		cm := &comps[c]
+		// rhs = gs(B (r - grad p) - H_L bc) * mask
+		s.helmholtzLocal(cm.bc, s.scr1, s.cfg.Nu, b0dt, true)
+		for i := 0; i < s.n; i++ {
+			s.scr2[i] = b[i]*(cm.r[i]-cm.grad[i]) - s.scr1[i]
+		}
+		s.gsh.Sum(s.scr2)
+		for i := 0; i < s.n; i++ {
+			s.scr2[i] *= s.maskV[i]
+		}
+		// Warm start from the previous solution's interior part.
+		x := s.fu // reuse as solve buffer; histories were rotated above
+		for i := 0; i < s.n; i++ {
+			x[i] = (cm.vel[i] - cm.bc[i]) * s.maskV[i]
+		}
+		res := krylov.CG(hOp, s.scr2, x, hOpts)
+		viscIters[c] = res.Iters
+		for i := 0; i < s.n; i++ {
+			cm.vel[i] = x[i] + cm.bc[i]
+		}
+	}
+	stopV()
+
+	// Scalar (temperature) Helmholtz.
+	scalarIters := 0
+	if s.cfg.Temperature {
+		stopT := timer.Start("scalar")
+		tp := s.T.Data()
+		tOp := krylov.OperatorFunc(func(out, in []float64) {
+			s.helmholtzLocal(in, out, s.cfg.Kappa, b0dt, false)
+			s.gsh.Sum(out)
+			for i := range out {
+				out[i] *= s.maskT[i]
+			}
+		})
+		tOpts := s.solverOptions(s.cfg.ScalarTol, s.diagHT, false)
+		s.helmholtzLocal(s.tb, s.scr1, s.cfg.Kappa, b0dt, false)
+		for i := 0; i < s.n; i++ {
+			s.scr2[i] = b[i]*s.rt[i] - s.scr1[i]
+		}
+		s.gsh.Sum(s.scr2)
+		for i := 0; i < s.n; i++ {
+			s.scr2[i] *= s.maskT[i]
+		}
+		x := s.ft
+		for i := 0; i < s.n; i++ {
+			x[i] = (tp[i] - s.tb[i]) * s.maskT[i]
+		}
+		res := krylov.CG(tOp, s.scr2, x, tOpts)
+		scalarIters = res.Iters
+		for i := 0; i < s.n; i++ {
+			tp[i] = x[i] + s.tb[i]
+		}
+		stopT()
+	}
+
+	s.time = tNew
+	s.step++
+	return StepStats{
+		Step:          s.step,
+		Time:          s.time,
+		PressureIters: pRes.Iters,
+		ViscousIters:  viscIters,
+		ScalarIters:   scalarIters,
+		CFL:           s.CFL(),
+	}
+}
+
+// Run advances n steps, invoking hook (if non-nil) after each step.
+func (s *Solver) Run(n int, hook func(StepStats)) {
+	for i := 0; i < n; i++ {
+		st := s.Step()
+		if hook != nil {
+			hook(st)
+		}
+	}
+}
+
+// CFL estimates the advective CFL number of the current state.
+func (s *Solver) CFL() float64 {
+	u, v, w := s.U.Data(), s.V.Data(), s.W.Data()
+	var vmax float64
+	for i := 0; i < s.n; i++ {
+		sp := math.Abs(u[i]) + math.Abs(v[i]) + math.Abs(w[i])
+		if sp > vmax {
+			vmax = sp
+		}
+	}
+	vmax = s.comm.AllreduceF64Scalar(vmax, mpirt.OpMax)
+	return vmax * s.cfg.Dt / s.mesh.MinSpacing()
+}

@@ -1,0 +1,29 @@
+package fluid
+
+// Vorticity computes the curl of the velocity field pointwise into
+// (wx, wy, wz), the derived field in situ pipelines most often render.
+// The computation runs element-local on the device, like NekRS's
+// omega kernels; the outputs must be distinct slices of length
+// NumNodes and must not alias solver work arrays.
+func (s *Solver) Vorticity(wx, wy, wz []float64) {
+	u, v, w := s.U.Data(), s.V.Data(), s.W.Data()
+
+	// curl_x = dw/dy - dv/dz, curl_y = du/dz - dw/dx,
+	// curl_z = dv/dx - du/dy. Three gradient sweeps, accumulating each
+	// term as its gradient becomes available.
+	s.gradient(u, s.gx, s.gy, s.gz)
+	for i := 0; i < s.n; i++ {
+		wy[i] = s.gz[i]  // du/dz
+		wz[i] = -s.gy[i] // -du/dy
+	}
+	s.gradient(v, s.gx, s.gy, s.gz)
+	for i := 0; i < s.n; i++ {
+		wx[i] = -s.gz[i] // -dv/dz
+		wz[i] += s.gx[i] // +dv/dx
+	}
+	s.gradient(w, s.gx, s.gy, s.gz)
+	for i := 0; i < s.n; i++ {
+		wx[i] += s.gy[i] // +dw/dy
+		wy[i] -= s.gx[i] // -dw/dx
+	}
+}

@@ -1,0 +1,84 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"nekrs-sensei/internal/mesh"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/occa"
+)
+
+// TestVorticityTaylorGreen: for u = sin x cos y, v = -cos x sin y,
+// w = 0 the curl is (0, 0, 2 sin x sin y).
+func TestVorticityTaylorGreen(t *testing.T) {
+	L := 2 * math.Pi
+	m, err := mesh.NewBox(mesh.BoxConfig{
+		Nx: 3, Ny: 3, Nz: 3, Lx: L, Ly: L, Lz: L, Order: 7,
+		Periodic: [3]bool{true, true, true},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(Config{
+		Mesh: m, Comm: mpirt.NewWorld(1).Comm(0), Dev: occa.NewDevice(occa.CUDA, nil),
+		Nu: 0.1, Dt: 1e-3,
+		InitialVelocity: func(x, y, z float64) (float64, float64, float64) {
+			return math.Sin(x) * math.Cos(y), -math.Cos(x) * math.Sin(y), 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wx := make([]float64, s.n)
+	wy := make([]float64, s.n)
+	wz := make([]float64, s.n)
+	s.Vorticity(wx, wy, wz)
+	var maxErr float64
+	for i := 0; i < s.n; i++ {
+		want := 2 * math.Sin(m.X[i]) * math.Sin(m.Y[i])
+		for _, e := range []float64{math.Abs(wx[i]), math.Abs(wy[i]), math.Abs(wz[i] - want)} {
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	// Order-7 spectral accuracy on sin/cos.
+	if maxErr > 2e-4 {
+		t.Errorf("max vorticity error %g", maxErr)
+	}
+}
+
+// TestVorticityLinearShear: u = (z, 0, 0) has curl (0, 1, 0), exact
+// for polynomial fields.
+func TestVorticityLinearShear(t *testing.T) {
+	m, err := mesh.NewBox(mesh.BoxConfig{
+		Nx: 2, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 3,
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := map[mesh.Face]VelBC{}
+	for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+		bc[f] = VelBC{}
+	}
+	s, err := NewSolver(Config{
+		Mesh: m, Comm: mpirt.NewWorld(1).Comm(0), Dev: occa.NewDevice(occa.CUDA, nil),
+		Nu: 0.1, Dt: 1e-3, VelBC: bc,
+		InitialVelocity: func(x, y, z float64) (float64, float64, float64) {
+			return z, 0, 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wx := make([]float64, s.n)
+	wy := make([]float64, s.n)
+	wz := make([]float64, s.n)
+	s.Vorticity(wx, wy, wz)
+	for i := 0; i < s.n; i++ {
+		if math.Abs(wx[i]) > 1e-11 || math.Abs(wy[i]-1) > 1e-11 || math.Abs(wz[i]) > 1e-11 {
+			t.Fatalf("curl at %d = (%g, %g, %g), want (0, 1, 0)", i, wx[i], wy[i], wz[i])
+		}
+	}
+}

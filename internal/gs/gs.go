@@ -1,0 +1,278 @@
+// Package gs implements gather-scatter (direct-stiffness summation)
+// over a global node numbering distributed across ranks — the role
+// gslib plays for Nek5000/NekRS. After setup with the local-to-global
+// id map, an operation combines the values of every copy of each
+// global node (across elements and ranks) and writes the combined
+// value back to all copies.
+//
+// The exchange uses an owner-rendezvous: each shared global id is
+// hashed to an owner rank; contributors send locally-combined partial
+// values to owners, owners combine across ranks and return totals.
+package gs
+
+import (
+	"sort"
+
+	"nekrs-sensei/internal/mpirt"
+)
+
+// Op selects the combining operation.
+type Op int
+
+// Supported combine operations.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) combine(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("gs: unknown op")
+}
+
+// identity returns the op's identity element.
+func (o Op) identity() float64 {
+	switch o {
+	case OpSum:
+		return 0
+	case OpMax:
+		return negInf
+	case OpMin:
+		return posInf
+	}
+	panic("gs: unknown op")
+}
+
+const (
+	negInf = -1.797693134862315708145274237317043567981e+308
+	posInf = 1.797693134862315708145274237317043567981e+308
+)
+
+// GS is a configured gather-scatter exchange for one id map.
+type GS struct {
+	comm *mpirt.Comm
+	n    int
+
+	// localGroups: gids with multiple copies all on this rank.
+	localGroups [][]int
+
+	// Contributor role: sharedGroups[k] holds the local indices of the
+	// k-th shared gid, ordered by (owner rank, gid); sendCount[d] is
+	// the number of shared gids owned by rank d.
+	sharedGroups [][]int
+	sendCount    []int
+
+	// Owner role: for each source rank, ownContrib[src][k] is the slot
+	// (into the owned-shared-gid table) of the k-th value received
+	// from src. ownSlots is the table size.
+	ownContrib [][]int
+	ownSlots   int
+
+	mult []float64 // node multiplicity (copies across all ranks)
+}
+
+// owner maps a global id to its owning rank.
+func owner(gid int64, size int) int {
+	// Knuth multiplicative hash for spread; gids are dense so modulo
+	// alone would also balance, but hashing decouples ownership from
+	// the lattice structure.
+	h := uint64(gid) * 2654435761
+	return int(h % uint64(size))
+}
+
+// New builds the exchange plan for the given local-to-global id map.
+// Every rank of comm must call New collectively with its own ids.
+func New(comm *mpirt.Comm, gids []int64) *GS {
+	size := comm.Size()
+	g := &GS{comm: comm, n: len(gids)}
+
+	// Group local indices by gid.
+	byGid := make(map[int64][]int, len(gids))
+	for i, id := range gids {
+		byGid[id] = append(byGid[id], i)
+	}
+	unique := make([]int64, 0, len(byGid))
+	for id := range byGid {
+		unique = append(unique, id)
+	}
+	sort.Slice(unique, func(i, j int) bool { return unique[i] < unique[j] })
+
+	// Rendezvous round 1: tell each owner which of its gids we hold.
+	sendSetup := make([][]int64, size)
+	for _, id := range unique {
+		d := owner(id, size)
+		sendSetup[d] = append(sendSetup[d], id)
+	}
+	recvSetup := comm.AlltoallI64(sendSetup)
+
+	// Owner: count contributing ranks per owned gid.
+	contribRanks := make(map[int64][]int)
+	for src, ids := range recvSetup {
+		for _, id := range ids {
+			contribRanks[id] = append(contribRanks[id], src)
+		}
+	}
+
+	// Owned shared gids in sorted order get slots.
+	ownShared := make([]int64, 0)
+	for id, srcs := range contribRanks {
+		if len(srcs) >= 2 {
+			ownShared = append(ownShared, id)
+		}
+	}
+	sort.Slice(ownShared, func(i, j int) bool { return ownShared[i] < ownShared[j] })
+	slotOf := make(map[int64]int, len(ownShared))
+	for s, id := range ownShared {
+		slotOf[id] = s
+	}
+	g.ownSlots = len(ownShared)
+
+	// Rendezvous round 2: reply shared/not flags aligned with each
+	// source's (sorted) setup list, and record the owner-side receive
+	// plan in the same order.
+	replyFlags := make([][]int64, size)
+	g.ownContrib = make([][]int, size)
+	for src, ids := range recvSetup {
+		flags := make([]int64, len(ids))
+		for k, id := range ids {
+			if slot, ok := slotOf[id]; ok {
+				flags[k] = 1
+				g.ownContrib[src] = append(g.ownContrib[src], slot)
+			}
+		}
+		replyFlags[src] = flags
+	}
+	sharedFlags := comm.AlltoallI64(replyFlags)
+
+	// Contributor: split gids into purely-local groups and shared
+	// groups ordered by (owner, gid) — the same order the owner
+	// recorded above.
+	g.sendCount = make([]int, size)
+	for d := 0; d < size; d++ {
+		flags := sharedFlags[d]
+		for k, id := range sendSetup[d] {
+			if flags[k] == 1 {
+				g.sharedGroups = append(g.sharedGroups, byGid[id])
+				g.sendCount[d]++
+			} else if len(byGid[id]) > 1 {
+				g.localGroups = append(g.localGroups, byGid[id])
+			}
+		}
+	}
+
+	// Multiplicity via a Sum on ones.
+	ones := make([]float64, len(gids))
+	for i := range ones {
+		ones[i] = 1
+	}
+	g.Apply(ones, OpSum)
+	g.mult = ones
+	return g
+}
+
+// Len reports the local vector length the exchange was built for.
+func (g *GS) Len() int { return g.n }
+
+// Multiplicity returns the number of copies (across elements and
+// ranks) of each local node. The returned slice is shared; do not
+// modify it.
+func (g *GS) Multiplicity() []float64 { return g.mult }
+
+// Apply combines all copies of every global node with op and writes
+// the combined value back to every copy, in place. Collective: every
+// rank must call with its local vector.
+func (g *GS) Apply(u []float64, op Op) {
+	if len(u) != g.n {
+		panic("gs: vector length does not match setup")
+	}
+	size := g.comm.Size()
+
+	// Purely local duplicates.
+	for _, grp := range g.localGroups {
+		acc := u[grp[0]]
+		for _, i := range grp[1:] {
+			acc = op.combine(acc, u[i])
+		}
+		for _, i := range grp {
+			u[i] = acc
+		}
+	}
+
+	// Locally combine shared groups and ship partials to owners.
+	send := make([][]float64, size)
+	pos := 0
+	for d := 0; d < size; d++ {
+		buf := make([]float64, g.sendCount[d])
+		for k := range buf {
+			grp := g.sharedGroups[pos+k]
+			acc := u[grp[0]]
+			for _, i := range grp[1:] {
+				acc = op.combine(acc, u[i])
+			}
+			buf[k] = acc
+		}
+		send[d] = buf
+		pos += g.sendCount[d]
+	}
+	recv := g.comm.AlltoallF64(send)
+
+	// Owner combine.
+	totals := make([]float64, g.ownSlots)
+	for i := range totals {
+		totals[i] = op.identity()
+	}
+	for src, buf := range recv {
+		plan := g.ownContrib[src]
+		for k, v := range buf {
+			totals[plan[k]] = op.combine(totals[plan[k]], v)
+		}
+	}
+
+	// Return totals to contributors in their send order.
+	reply := make([][]float64, size)
+	for src := range reply {
+		plan := g.ownContrib[src]
+		buf := make([]float64, len(plan))
+		for k, slot := range plan {
+			buf[k] = totals[slot]
+		}
+		reply[src] = buf
+	}
+	back := g.comm.AlltoallF64(reply)
+
+	// Scatter combined values to all local copies.
+	pos = 0
+	for d := 0; d < size; d++ {
+		buf := back[d]
+		for k, v := range buf {
+			for _, i := range g.sharedGroups[pos+k] {
+				u[i] = v
+			}
+		}
+		pos += g.sendCount[d]
+	}
+}
+
+// Sum is Apply with OpSum: direct-stiffness summation.
+func (g *GS) Sum(u []float64) { g.Apply(u, OpSum) }
+
+// Min is Apply with OpMin, used to make Dirichlet masks consistent
+// across shared nodes.
+func (g *GS) Min(u []float64) { g.Apply(u, OpMin) }
+
+// Max is Apply with OpMax.
+func (g *GS) Max(u []float64) { g.Apply(u, OpMax) }

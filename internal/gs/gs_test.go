@@ -1,0 +1,296 @@
+package gs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nekrs-sensei/internal/mesh"
+	"nekrs-sensei/internal/mpirt"
+)
+
+// serialReference computes, for each (rank, index), the op-combination
+// of all values sharing that entry's gid across all ranks.
+func serialReference(gids [][]int64, vals [][]float64, op Op) [][]float64 {
+	acc := make(map[int64]float64)
+	init := make(map[int64]bool)
+	for r := range gids {
+		for i, id := range gids[r] {
+			if !init[id] {
+				acc[id] = vals[r][i]
+				init[id] = true
+			} else {
+				acc[id] = op.combine(acc[id], vals[r][i])
+			}
+		}
+	}
+	out := make([][]float64, len(gids))
+	for r := range gids {
+		out[r] = make([]float64, len(gids[r]))
+		for i, id := range gids[r] {
+			out[r][i] = acc[id]
+		}
+	}
+	return out
+}
+
+func runGS(t *testing.T, gids [][]int64, vals [][]float64, op Op) [][]float64 {
+	t.Helper()
+	n := len(gids)
+	out := make([][]float64, n)
+	mpirt.Run(n, func(c *mpirt.Comm) {
+		g := New(c, gids[c.Rank()])
+		u := append([]float64(nil), vals[c.Rank()]...)
+		g.Apply(u, op)
+		out[c.Rank()] = u
+	})
+	return out
+}
+
+func TestSumSingleRankDuplicates(t *testing.T) {
+	gids := [][]int64{{5, 7, 5, 9, 7, 5}}
+	vals := [][]float64{{1, 2, 3, 4, 5, 6}}
+	got := runGS(t, gids, vals, OpSum)
+	want := serialReference(gids, vals, OpSum)
+	for i := range want[0] {
+		if got[0][i] != want[0][i] {
+			t.Errorf("u[%d] = %v, want %v", i, got[0][i], want[0][i])
+		}
+	}
+	// gid 5 appears 3 times: 1+3+6 = 10.
+	if got[0][0] != 10 {
+		t.Errorf("gid 5 sum = %v, want 10", got[0][0])
+	}
+}
+
+func TestSumAcrossRanks(t *testing.T) {
+	gids := [][]int64{
+		{0, 1, 2},
+		{2, 3, 4},
+		{4, 5, 0},
+	}
+	vals := [][]float64{
+		{1, 10, 100},
+		{1000, 2, 20},
+		{200, 3, 7},
+	}
+	got := runGS(t, gids, vals, OpSum)
+	want := serialReference(gids, vals, OpSum)
+	for r := range want {
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Errorf("rank %d u[%d] = %v, want %v", r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+func TestMinMaxOps(t *testing.T) {
+	gids := [][]int64{
+		{1, 2, 1},
+		{2, 1, 3},
+	}
+	vals := [][]float64{
+		{5, -2, 8},
+		{4, 0, 7},
+	}
+	gotMin := runGS(t, gids, vals, OpMin)
+	wantMin := serialReference(gids, vals, OpMin)
+	gotMax := runGS(t, gids, vals, OpMax)
+	wantMax := serialReference(gids, vals, OpMax)
+	for r := range gids {
+		for i := range gids[r] {
+			if gotMin[r][i] != wantMin[r][i] {
+				t.Errorf("min rank %d[%d] = %v, want %v", r, i, gotMin[r][i], wantMin[r][i])
+			}
+			if gotMax[r][i] != wantMax[r][i] {
+				t.Errorf("max rank %d[%d] = %v, want %v", r, i, gotMax[r][i], wantMax[r][i])
+			}
+		}
+	}
+}
+
+func TestMaxIsIdempotent(t *testing.T) {
+	gids := [][]int64{{1, 2, 3, 1}, {2, 3, 4, 4}}
+	vals := [][]float64{{4, 3, 2, 1}, {9, 8, 7, 6}}
+	once := runGS(t, gids, vals, OpMax)
+	twice := runGS(t, gids, once, OpMax)
+	for r := range once {
+		for i := range once[r] {
+			if once[r][i] != twice[r][i] {
+				t.Errorf("max not idempotent at rank %d[%d]", r, i)
+			}
+		}
+	}
+}
+
+// TestSumMatchesSerialProperty: random gid layouts across 2-5 ranks
+// must match the serial reference exactly.
+func TestSumMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 2 + rng.Intn(4)
+		gids := make([][]int64, ranks)
+		vals := make([][]float64, ranks)
+		for r := range gids {
+			n := 1 + rng.Intn(20)
+			gids[r] = make([]int64, n)
+			vals[r] = make([]float64, n)
+			for i := range gids[r] {
+				gids[r][i] = int64(rng.Intn(15))
+				vals[r][i] = float64(rng.Intn(100))
+			}
+		}
+		got := runGS(t, gids, vals, OpSum)
+		want := serialReference(gids, vals, OpSum)
+		for r := range want {
+			for i := range want[r] {
+				if math.Abs(got[r][i]-want[r][i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeshMultiplicity: on a 2x2x2 box the central lattice node is
+// shared by 8 elements, so its multiplicity must be 8 regardless of the
+// rank layout.
+func TestMeshMultiplicity(t *testing.T) {
+	cfg := mesh.BoxConfig{Nx: 2, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 2}
+	for _, size := range []int{1, 2, 4, 8} {
+		mpirt.Run(size, func(c *mpirt.Comm) {
+			m, err := mesh.NewBox(cfg, c.Rank(), size)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			g := New(c, m.GlobalID)
+			mult := g.Multiplicity()
+			var found8 bool
+			for i, mv := range mult {
+				// Node at domain center has coords (0.5, 0.5, 0.5).
+				if math.Abs(m.X[i]-0.5) < 1e-12 && math.Abs(m.Y[i]-0.5) < 1e-12 && math.Abs(m.Z[i]-0.5) < 1e-12 {
+					if mv != 8 {
+						t.Errorf("size %d: center multiplicity = %v, want 8", size, mv)
+					}
+					found8 = true
+				}
+			}
+			// Only ranks owning a center-adjacent element see it.
+			hasCenter := c.AllreduceF64Scalar(b2f(found8), mpirt.OpMax)
+			if hasCenter != 1 {
+				t.Errorf("size %d: no rank found the center node", size)
+			}
+			// Global weighted count of unique nodes: sum over all
+			// copies of 1/multiplicity equals the unique lattice size.
+			var local float64
+			for _, mv := range mult {
+				local += 1 / mv
+			}
+			unique := c.AllreduceF64Scalar(local, mpirt.OpSum)
+			if want := 5.0 * 5 * 5; math.Abs(unique-want) > 1e-9 {
+				t.Errorf("size %d: unique nodes = %v, want %v", size, unique, want)
+			}
+		})
+	}
+}
+
+// TestAssembledFieldIsContinuous: after gs.Sum of a random field scaled
+// by 1/mult, all copies of each gid hold identical values.
+func TestAssembledFieldIsContinuous(t *testing.T) {
+	cfg := mesh.BoxConfig{Nx: 3, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 3, Periodic: [3]bool{true, false, false}}
+	const size = 3
+	mpirt.Run(size, func(c *mpirt.Comm) {
+		m, err := mesh.NewBox(cfg, c.Rank(), size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := New(c, m.GlobalID)
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		u := make([]float64, m.NumNodes())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		g.Sum(u)
+		// Verify continuity: same gid -> same value, locally and globally.
+		local := make(map[int64]float64)
+		for i, id := range m.GlobalID {
+			if prev, ok := local[id]; ok {
+				if prev != u[i] {
+					t.Errorf("gid %d has values %v and %v on rank %d", id, prev, u[i], c.Rank())
+				}
+			} else {
+				local[id] = u[i]
+			}
+		}
+		// Cross-rank: serialize (gid, value) pairs to rank 0.
+		ids := make([]float64, 0, len(local))
+		for id, v := range local {
+			ids = append(ids, float64(id), v)
+		}
+		all := c.GatherF64(0, ids)
+		if c.Rank() == 0 {
+			global := make(map[int64]float64)
+			for _, pairs := range all {
+				for p := 0; p < len(pairs); p += 2 {
+					id, v := int64(pairs[p]), pairs[p+1]
+					if prev, ok := global[id]; ok && prev != v {
+						t.Errorf("gid %d differs across ranks: %v vs %v", id, prev, v)
+					}
+					global[id] = v
+				}
+			}
+		}
+	})
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	mpirt.Run(1, func(c *mpirt.Comm) {
+		g := New(c, []int64{1, 2, 3})
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on length mismatch")
+			}
+		}()
+		g.Sum(make([]float64, 2))
+	})
+}
+
+func BenchmarkGSSum(b *testing.B) {
+	cfg := mesh.BoxConfig{Nx: 8, Ny: 8, Nz: 8, Lx: 1, Ly: 1, Lz: 1, Order: 5}
+	const size = 4
+	b.ReportAllocs()
+	mpirt.Run(size, func(c *mpirt.Comm) {
+		m, err := mesh.NewBox(cfg, c.Rank(), size)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		g := New(c, m.GlobalID)
+		u := make([]float64, m.NumNodes())
+		for i := range u {
+			u[i] = float64(i % 17)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			g.Sum(u)
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package intransit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/vtkdata"
+)
+
+// StreamDataAdaptor implements sensei.DataAdaptor over data received
+// from SST streams: the endpoint-side mirror of the simulation's
+// NekDataAdaptor. Blocks from this endpoint rank's writers are merged
+// into one local unstructured grid.
+type StreamDataAdaptor struct {
+	comm *mpirt.Comm
+
+	step int
+	time float64
+
+	structures []*vtkdata.UnstructuredGrid // per source, cached
+	merged     *vtkdata.UnstructuredGrid   // merged structure, cached
+	arrays     map[string][]float64        // merged per-step arrays
+}
+
+// NewStreamDataAdaptor builds an adaptor expecting blocks from
+// nSources writers.
+func NewStreamDataAdaptor(comm *mpirt.Comm, nSources int) *StreamDataAdaptor {
+	return &StreamDataAdaptor{
+		comm:       comm,
+		structures: make([]*vtkdata.UnstructuredGrid, nSources),
+		arrays:     map[string][]float64{},
+	}
+}
+
+// Ingest absorbs one source's step: structure (if present) is cached,
+// arrays are staged for merging. Call for every source, then Seal.
+func (a *StreamDataAdaptor) Ingest(source int, s *adios.Step) error {
+	if s.Attrs["structure"] == "1" {
+		g := &vtkdata.UnstructuredGrid{}
+		if v := s.FindVar("points"); v != nil {
+			g.Points = v.F64
+		}
+		if v := s.FindVar("connectivity"); v != nil {
+			g.Connectivity = v.I64
+		}
+		if v := s.FindVar("offsets"); v != nil {
+			g.Offsets = v.I64
+		}
+		if v := s.FindVar("types"); v != nil {
+			g.CellTypes = v.U8
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("intransit: source %d structure: %w", source, err)
+		}
+		a.structures[source] = g
+		a.merged = nil
+	}
+	if a.structures[source] == nil {
+		return fmt.Errorf("intransit: source %d sent arrays before structure", source)
+	}
+	a.step = int(s.Step)
+	a.time = s.Time
+	for i := range s.Vars {
+		v := &s.Vars[i]
+		const prefix = "array/"
+		if len(v.Name) > len(prefix) && v.Name[:len(prefix)] == prefix {
+			name := v.Name[len(prefix):]
+			a.arrays[name] = append(a.arrays[name], v.F64...)
+		}
+	}
+	return nil
+}
+
+// Seal finalizes the merged structure after all sources ingested.
+func (a *StreamDataAdaptor) Seal() error {
+	if a.merged != nil {
+		return nil
+	}
+	m := &vtkdata.UnstructuredGrid{}
+	var pointBase, connBase int64
+	for i, g := range a.structures {
+		if g == nil {
+			return fmt.Errorf("intransit: source %d never sent structure", i)
+		}
+		m.Points = append(m.Points, g.Points...)
+		for _, c := range g.Connectivity {
+			m.Connectivity = append(m.Connectivity, c+pointBase)
+		}
+		for _, o := range g.Offsets {
+			m.Offsets = append(m.Offsets, o+connBase)
+		}
+		m.CellTypes = append(m.CellTypes, g.CellTypes...)
+		pointBase += int64(g.NumPoints())
+		connBase += int64(len(g.Connectivity))
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("intransit: merged structure: %w", err)
+	}
+	a.merged = m
+	return nil
+}
+
+// NumberOfMeshes implements sensei.DataAdaptor.
+func (a *StreamDataAdaptor) NumberOfMeshes() (int, error) { return 1, nil }
+
+// MeshMetadata implements sensei.DataAdaptor.
+func (a *StreamDataAdaptor) MeshMetadata(i int) (*sensei.MeshMetadata, error) {
+	if i != 0 {
+		return nil, fmt.Errorf("intransit: mesh %d out of range", i)
+	}
+	if a.merged == nil {
+		return nil, fmt.Errorf("intransit: no data ingested yet")
+	}
+	local := []int64{int64(a.merged.NumPoints()), int64(a.merged.NumCells())}
+	global := a.comm.AllreduceI64(local, mpirt.OpSum)
+	md := &sensei.MeshMetadata{
+		MeshName:  "mesh",
+		NumPoints: global[0],
+		NumCells:  global[1],
+		NumBlocks: a.comm.Size(),
+	}
+	for name := range a.arrays {
+		md.ArrayNames = append(md.ArrayNames, name)
+		md.ArrayAssoc = append(md.ArrayAssoc, sensei.AssocPoint)
+	}
+	sortInPlace(md.ArrayNames)
+	// Re-derive assoc slice length after sorting (all point arrays).
+	md.ArrayAssoc = md.ArrayAssoc[:len(md.ArrayNames)]
+	return md, nil
+}
+
+func sortInPlace(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Mesh implements sensei.DataAdaptor.
+func (a *StreamDataAdaptor) Mesh(meshName string, structureOnly bool) (*vtkdata.UnstructuredGrid, error) {
+	if meshName != "mesh" {
+		return nil, fmt.Errorf("intransit: unknown mesh %q", meshName)
+	}
+	if a.merged == nil {
+		return nil, fmt.Errorf("intransit: no data ingested yet")
+	}
+	return &vtkdata.UnstructuredGrid{
+		Points:       a.merged.Points,
+		Connectivity: a.merged.Connectivity,
+		Offsets:      a.merged.Offsets,
+		CellTypes:    a.merged.CellTypes,
+	}, nil
+}
+
+// AddArray implements sensei.DataAdaptor.
+func (a *StreamDataAdaptor) AddArray(g *vtkdata.UnstructuredGrid, meshName string, assoc sensei.Assoc, name string) error {
+	if assoc != sensei.AssocPoint {
+		return fmt.Errorf("intransit: only point arrays travel in transit")
+	}
+	data, ok := a.arrays[name]
+	if !ok {
+		return fmt.Errorf("intransit: array %q not in stream", name)
+	}
+	if g.FindPointData(name) != nil {
+		return nil
+	}
+	return g.AddPointData(name, 1, data)
+}
+
+// Time implements sensei.DataAdaptor.
+func (a *StreamDataAdaptor) Time() float64 { return a.time }
+
+// TimeStep implements sensei.DataAdaptor.
+func (a *StreamDataAdaptor) TimeStep() int { return a.step }
+
+// ReleaseData implements sensei.DataAdaptor: per-step arrays are
+// dropped, the merged structure persists.
+func (a *StreamDataAdaptor) ReleaseData() error {
+	a.arrays = map[string][]float64{}
+	return nil
+}
+
+// Endpoint drives the in transit consumer: it pulls aligned steps from
+// its SST readers and executes a SENSEI ConfigurableAnalysis on each —
+// a Catalyst render, a VTU checkpoint, or nothing, the paper's three
+// measurement points.
+type Endpoint struct {
+	ctx     *sensei.Context
+	readers []*adios.Reader
+	da      *StreamDataAdaptor
+	ca      *sensei.ConfigurableAnalysis
+
+	// StepDelay adds artificial processing time per step, modelling a
+	// slower consumer (saturated filesystem, heavier pipelines). With
+	// a sufficiently slow endpoint the producers' SST queues back up —
+	// the mechanism behind the paper's Figure 6 memory overhead.
+	StepDelay time.Duration
+
+	stepsProcessed int
+}
+
+// NewEndpoint builds an endpoint over the given readers with analyses
+// from configXML (empty config = pure sink).
+func NewEndpoint(ctx *sensei.Context, readers []*adios.Reader, configXML []byte) (*Endpoint, error) {
+	ca := sensei.NewConfigurableAnalysis(ctx)
+	if len(configXML) > 0 {
+		if err := ca.InitializeXML(configXML); err != nil {
+			return nil, err
+		}
+	}
+	return &Endpoint{
+		ctx:     ctx,
+		readers: readers,
+		da:      NewStreamDataAdaptor(ctx.Comm, len(readers)),
+		ca:      ca,
+	}, nil
+}
+
+// Analysis exposes the endpoint's analysis multiplexer.
+func (e *Endpoint) Analysis() *sensei.ConfigurableAnalysis { return e.ca }
+
+// StepsProcessed reports completed steps.
+func (e *Endpoint) StepsProcessed() int { return e.stepsProcessed }
+
+// Run consumes the streams until every source reaches end-of-stream,
+// executing the configured analyses per step. Returns the number of
+// steps processed. Analyses are finalized on every exit path; a
+// finalize failure (e.g. the .pvd index write) surfaces unless an
+// earlier error takes precedence.
+func (e *Endpoint) Run() (steps int, err error) {
+	defer func() {
+		if ferr := e.ca.Finalize(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	for {
+		eofs := 0
+		for src, r := range e.readers {
+			s, err := r.BeginStep()
+			if errors.Is(err, io.EOF) {
+				eofs++
+				continue
+			}
+			if err != nil {
+				return e.stepsProcessed, fmt.Errorf("intransit: source %d: %w", src, err)
+			}
+			if err := e.da.Ingest(src, s); err != nil {
+				return e.stepsProcessed, err
+			}
+		}
+		if eofs == len(e.readers) {
+			return e.stepsProcessed, nil
+		}
+		if eofs != 0 {
+			return e.stepsProcessed, fmt.Errorf("intransit: %d of %d sources ended early", eofs, len(e.readers))
+		}
+		if err := e.da.Seal(); err != nil {
+			return e.stepsProcessed, err
+		}
+		if e.StepDelay > 0 {
+			time.Sleep(e.StepDelay)
+		}
+		if err := e.ca.Execute(e.da); err != nil {
+			return e.stepsProcessed, err
+		}
+		if err := e.da.ReleaseData(); err != nil {
+			return e.stepsProcessed, err
+		}
+		e.stepsProcessed++
+	}
+}

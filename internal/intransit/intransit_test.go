@@ -1,0 +1,408 @@
+package intransit
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/core"
+	"nekrs-sensei/internal/fluid"
+	"nekrs-sensei/internal/mesh"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/occa"
+	"nekrs-sensei/internal/sensei"
+
+	_ "nekrs-sensei/internal/checkpoint" // register "checkpoint" analysis
+)
+
+func newSolver(t *testing.T, comm *mpirt.Comm, size int) *fluid.Solver {
+	t.Helper()
+	m, err := mesh.NewBox(mesh.BoxConfig{
+		Nx: 2, Ny: 2, Nz: 2, Lx: 1, Ly: 1, Lz: 1, Order: 2,
+	}, comm.Rank(), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := map[mesh.Face]fluid.VelBC{}
+	for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+		bc[f] = fluid.VelBC{}
+	}
+	s, err := fluid.NewSolver(fluid.Config{
+		Mesh: m, Comm: comm, Dev: occa.NewDevice(occa.CUDA, nil),
+		Nu: 0.1, Kappa: 0.1, Dt: 1e-3, Temperature: true, VelBC: bc,
+		InitialTemperature: func(x, y, z float64) float64 { return x + 10*y + 100*z },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func ctxFor(comm *mpirt.Comm, dir string) *sensei.Context {
+	return &sensei.Context{
+		Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: dir,
+	}
+}
+
+// TestFullPipelineIntegrity streams two simulation ranks' data through
+// SST into a single endpoint and verifies values arrive bit-exact.
+func TestFullPipelineIntegrity(t *testing.T) {
+	const simRanks = 2
+	const steps = 3
+
+	// Simulation side writers (addresses collected for the endpoint).
+	addrCh := make(chan [simRanks]string, 1)
+	var endpointErr error
+	var received [][]float64 // per step: merged temperature
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		addrs := <-addrCh
+		var readers []*adios.Reader
+		for _, a := range addrs {
+			r, err := adios.OpenReader(a)
+			if err != nil {
+				endpointErr = err
+				return
+			}
+			defer r.Close()
+			readers = append(readers, r)
+		}
+		ctx := ctxFor(mpirt.NewWorld(1).Comm(0), "")
+		ep, err := NewEndpoint(ctx, readers, nil)
+		if err != nil {
+			endpointErr = err
+			return
+		}
+		// Capture each step's merged temperature via a custom analysis.
+		ep.ca.AddAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
+			g, err := da.Mesh("mesh", true)
+			if err != nil {
+				return err
+			}
+			if err := da.AddArray(g, "mesh", sensei.AssocPoint, "temperature"); err != nil {
+				return err
+			}
+			arr := g.FindPointData("temperature")
+			received = append(received, append([]float64(nil), arr.Data...))
+			return nil
+		}))
+		if _, err := ep.Run(); err != nil {
+			endpointErr = err
+		}
+	}()
+
+	var sent [][]float64 // per step: concatenated rank temps (rank order)
+	sentPerStep := make([][][]float64, steps)
+	mpirt.Run(simRanks, func(c *mpirt.Comm) {
+		s := newSolver(t, c, simRanks)
+		ctx := ctxFor(c, "")
+		w, err := adios.ListenWriter("127.0.0.1:0", adios.WriterOptions{Acct: ctx.Acct})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Rendezvous: rank order matters for the merge comparison.
+		all := gatherAddrs(c, w.Addr())
+		if c.Rank() == 0 {
+			var a [simRanks]string
+			copy(a[:], all)
+			addrCh <- a
+		}
+		send := NewSendAdaptor(ctx, w, "mesh", []string{"temperature"})
+		da := core.NewNekDataAdaptor(s, ctx.Acct)
+		for step := 0; step < steps; step++ {
+			s.Step()
+			da.SetStep(step, s.Time())
+			if _, err := send.Execute(da); err != nil {
+				t.Error(err)
+				return
+			}
+			da.ReleaseData() //nolint:errcheck
+			// Record what this rank sent.
+			mirror := make([]float64, s.T.Len())
+			s.T.CopyToHost(mirror)
+			mu.Lock()
+			if sentPerStep[step] == nil {
+				sentPerStep[step] = make([][]float64, simRanks)
+			}
+			sentPerStep[step][c.Rank()] = mirror
+			mu.Unlock()
+		}
+		if err := send.Finalize(); err != nil {
+			t.Error(err)
+		}
+	})
+	wg.Wait()
+	if endpointErr != nil {
+		t.Fatal(endpointErr)
+	}
+	for step := range sentPerStep {
+		var merged []float64
+		for r := 0; r < simRanks; r++ {
+			merged = append(merged, sentPerStep[step][r]...)
+		}
+		sent = append(sent, merged)
+	}
+	if len(received) != steps {
+		t.Fatalf("endpoint saw %d steps, want %d", len(received), steps)
+	}
+	for step := range sent {
+		if len(sent[step]) != len(received[step]) {
+			t.Fatalf("step %d: %d vs %d values", step, len(sent[step]), len(received[step]))
+		}
+		for i := range sent[step] {
+			if sent[step][i] != received[step][i] {
+				t.Fatalf("step %d value %d: sent %v received %v", step, i, sent[step][i], received[step][i])
+			}
+		}
+	}
+}
+
+var mu sync.Mutex
+
+// captureFunc adapts a closure to sensei.AnalysisAdaptor.
+type captureFunc func(da sensei.DataAdaptor) error
+
+func (f captureFunc) Execute(da sensei.DataAdaptor) (bool, error) { return true, f(da) }
+func (f captureFunc) Finalize() error                             { return nil }
+
+// TestEndpointVTUCheckpoint drives the paper's in transit
+// Checkpointing measurement point end to end: sim -> SST -> endpoint
+// writes VTU.
+func TestEndpointVTUCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	const steps = 2
+
+	addrCh := make(chan string, 1)
+	var wg sync.WaitGroup
+	var epErr error
+	var processed int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := adios.OpenReader(<-addrCh)
+		if err != nil {
+			epErr = err
+			return
+		}
+		defer r.Close()
+		ctx := ctxFor(mpirt.NewWorld(1).Comm(0), dir)
+		cfg := `<sensei>
+  <analysis type="checkpoint" mesh="mesh" prefix="rbc" frequency="1"/>
+</sensei>`
+		ep, err := NewEndpoint(ctx, []*adios.Reader{r}, []byte(cfg))
+		if err != nil {
+			epErr = err
+			return
+		}
+		processed, epErr = ep.Run()
+	}()
+
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	ctx := ctxFor(comm, "")
+	w, err := adios.ListenWriter("127.0.0.1:0", adios.WriterOptions{Acct: ctx.Acct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh <- w.Addr()
+	send := NewSendAdaptor(ctx, w, "mesh", nil) // all arrays
+	da := core.NewNekDataAdaptor(s, ctx.Acct)
+	for step := 0; step < steps; step++ {
+		s.Step()
+		da.SetStep(step, s.Time())
+		if _, err := send.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+		da.ReleaseData() //nolint:errcheck
+	}
+	if err := send.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if epErr != nil {
+		t.Fatal(epErr)
+	}
+	if processed != steps {
+		t.Errorf("processed %d steps, want %d", processed, steps)
+	}
+	for _, name := range []string{"rbc_000000_r0000.vtu", "rbc_000001_r0000.vtu", "rbc_000000.pvtu"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+// TestStructureSentOnce: the grid structure travels only in the first
+// step; later steps carry arrays only.
+func TestStructureSentOnce(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	ctx := ctxFor(comm, "")
+	w, err := adios.ListenWriter("127.0.0.1:0", adios.WriterOptions{QueueLimit: 4, Acct: ctx.Acct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := adios.OpenReader(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	send := NewSendAdaptor(ctx, w, "mesh", []string{"pressure"})
+	da := core.NewNekDataAdaptor(s, ctx.Acct)
+	for step := 0; step < 2; step++ {
+		da.SetStep(step, 0)
+		if _, err := send.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+		da.ReleaseData() //nolint:errcheck
+	}
+	go w.Close() //nolint:errcheck
+	s1, err := r.BeginStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.BeginStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.FindVar("points") == nil || s1.Attrs["structure"] != "1" {
+		t.Error("first step missing structure")
+	}
+	if s2.FindVar("points") != nil || s2.Attrs["structure"] == "1" {
+		t.Error("second step resent structure")
+	}
+	if s1.Bytes() <= s2.Bytes() {
+		t.Errorf("structure step (%d B) should exceed array step (%d B)", s1.Bytes(), s2.Bytes())
+	}
+}
+
+func TestStreamAdaptorErrors(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	a := NewStreamDataAdaptor(comm, 1)
+	if _, err := a.Mesh("mesh", true); err == nil {
+		t.Error("expected no-data error")
+	}
+	if _, err := a.MeshMetadata(0); err == nil {
+		t.Error("expected no-data error")
+	}
+	// Arrays before structure.
+	step := &adios.Step{Step: 1, Vars: []adios.Variable{adios.NewF64("array/p", []float64{1})}}
+	if err := a.Ingest(0, step); err == nil {
+		t.Error("expected structure-first error")
+	}
+}
+
+// TestStreamAdaptorMergesBlocks verifies connectivity offsetting when
+// merging blocks from two sources.
+func TestStreamAdaptorMergesBlocks(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	a := NewStreamDataAdaptor(comm, 2)
+	mkStep := func(origin float64) *adios.Step {
+		pts := make([]float64, 24)
+		for i := 0; i < 8; i++ {
+			pts[3*i] = origin + float64(i%2)
+			pts[3*i+1] = float64((i / 2) % 2)
+			pts[3*i+2] = float64(i / 4)
+		}
+		return &adios.Step{
+			Step:  0,
+			Attrs: map[string]string{"structure": "1"},
+			Vars: []adios.Variable{
+				adios.NewF64("points", pts),
+				adios.NewI64("connectivity", []int64{0, 1, 3, 2, 4, 5, 7, 6}),
+				adios.NewI64("offsets", []int64{8}),
+				adios.NewU8("types", []byte{12}),
+				adios.NewF64("array/f", []float64{0, 1, 2, 3, 4, 5, 6, 7}),
+			},
+		}
+	}
+	if err := a.Ingest(0, mkStep(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ingest(1, mkStep(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.Mesh("mesh", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPoints() != 16 || g.NumCells() != 2 {
+		t.Fatalf("merged %d points %d cells", g.NumPoints(), g.NumCells())
+	}
+	// Second cell's connectivity must reference the second block.
+	if g.Connectivity[8] != 8 {
+		t.Errorf("offsetting failed: %v", g.Connectivity[8:])
+	}
+	if err := a.AddArray(g, "mesh", sensei.AssocPoint, "f"); err != nil {
+		t.Fatal(err)
+	}
+	arr := g.FindPointData("f")
+	if len(arr.Data) != 16 || arr.Data[8] != 0 {
+		t.Errorf("merged array = %v", arr.Data)
+	}
+	md, err := a.MeshMetadata(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.NumPoints != 16 || !md.HasArray("f") {
+		t.Errorf("metadata = %+v", md)
+	}
+	if math.Abs(a.Time()-0) > 1e-12 || a.TimeStep() != 0 {
+		t.Error("time metadata wrong")
+	}
+}
+
+func TestSendAdaptorFactory(t *testing.T) {
+	dir := t.TempDir()
+	contact := filepath.Join(dir, "contact.txt")
+	comm := mpirt.NewWorld(1).Comm(0)
+	ctx := ctxFor(comm, "")
+	a, err := sensei.NewAnalysisAdaptor("adios", ctx, map[string]string{
+		"address": "127.0.0.1:0", "queue": "4", "contact": contact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := a.(*SendAdaptor)
+	if send.Writer().Addr() == "" {
+		t.Error("no address")
+	}
+	addrs, err := adios.ReadContact(contact, 0)
+	if err != nil || len(addrs) != 1 || addrs[0] != send.Writer().Addr() {
+		t.Errorf("contact = %v, %v", addrs, err)
+	}
+	// Connect a sink so Finalize's end-of-stream delivery completes
+	// without waiting for the close deadline.
+	r, err := adios.OpenReader(send.Writer().Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := r.BeginStep(); err != nil {
+				return
+			}
+		}
+	}()
+	if err := send.Finalize(); err != nil {
+		t.Error(err)
+	}
+	<-done
+	if _, err := sensei.NewAnalysisAdaptor("adios", ctx, map[string]string{"queue": "bogus"}); err == nil {
+		t.Error("expected queue error")
+	}
+}

@@ -1,0 +1,158 @@
+// Package intransit implements the paper's in transit workflow: a
+// SENSEI analysis adaptor on the simulation side that ships each
+// trigger's data through the ADIOS2/SST transport (instead of
+// analyzing locally), and an endpoint runtime that receives steps,
+// reconstructs the VTK data model, and drives its own SENSEI
+// ConfigurableAnalysis — "the endpoint of our workflow is always a
+// SENSEI data consumer."
+//
+// With this split, the memory available to simulation ranks is
+// independent of the number of visualization ranks (the property the
+// paper emphasizes), and a slow endpoint shows up on the simulation
+// side only as bounded SST queue growth.
+package intransit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/sensei"
+)
+
+// SendAdaptor is the simulation-side analysis adaptor (SENSEI's
+// "ADIOS2 analysis adaptor"): Execute marshals the requested arrays —
+// and, once, the grid structure — into an SST step. Registered as
+// analysis type "adios" with attributes address, queue, arrays,
+// contact.
+type SendAdaptor struct {
+	ctx      *sensei.Context
+	writer   *adios.Writer
+	meshName string
+	arrays   []string
+
+	structureSent bool
+	stepsSent     int
+}
+
+// NewSendAdaptor wraps an existing SST writer (programmatic use).
+func NewSendAdaptor(ctx *sensei.Context, w *adios.Writer, meshName string, arrays []string) *SendAdaptor {
+	if meshName == "" {
+		meshName = "mesh"
+	}
+	return &SendAdaptor{ctx: ctx, writer: w, meshName: meshName, arrays: arrays}
+}
+
+func init() {
+	sensei.Register("adios", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+		addr := attrs["address"]
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		opts := adios.WriterOptions{Acct: ctx.Acct}
+		if q := attrs["queue"]; q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("intransit: bad queue %q", q)
+			}
+			opts.QueueLimit = v
+		}
+		w, err := adios.ListenWriter(addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Rendezvous: gather every rank's address; rank 0 publishes the
+		// contact file readers poll.
+		if contact := attrs["contact"]; contact != "" {
+			all := ctx.Comm.GatherBytes(0, []byte(w.Addr()))
+			if ctx.Comm.Rank() == 0 {
+				addrs := make([]string, len(all))
+				for i, b := range all {
+					addrs[i] = string(b)
+				}
+				if err := adios.WriteContact(contact, addrs); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var arrays []string
+		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
+			for _, s := range strings.Split(a, ",") {
+				arrays = append(arrays, strings.TrimSpace(s))
+			}
+		}
+		return NewSendAdaptor(ctx, w, attrs["mesh"], arrays), nil
+	})
+}
+
+// Writer exposes the underlying SST writer (stats, address).
+func (s *SendAdaptor) Writer() *adios.Writer { return s.writer }
+
+// StepsSent reports Execute calls that shipped a step.
+func (s *SendAdaptor) StepsSent() int { return s.stepsSent }
+
+// Execute implements sensei.AnalysisAdaptor.
+func (s *SendAdaptor) Execute(da sensei.DataAdaptor) (bool, error) {
+	arrays := s.arrays
+	if len(arrays) == 0 {
+		md, err := da.MeshMetadata(0)
+		if err != nil {
+			return false, err
+		}
+		arrays = md.ArrayNames
+	}
+	g, err := da.Mesh(s.meshName, true)
+	if err != nil {
+		return false, err
+	}
+	for _, name := range arrays {
+		if err := da.AddArray(g, s.meshName, sensei.AssocPoint, name); err != nil {
+			return false, err
+		}
+	}
+	step := &adios.Step{
+		Step:  int64(da.TimeStep()),
+		Time:  da.Time(),
+		Attrs: map[string]string{"mesh": s.meshName},
+	}
+	if !s.structureSent {
+		step.Attrs["structure"] = "1"
+		step.Vars = append(step.Vars,
+			adios.NewF64("points", g.Points, int64(g.NumPoints()), 3),
+			adios.NewI64("connectivity", g.Connectivity),
+			adios.NewI64("offsets", g.Offsets),
+			adios.NewU8("types", g.CellTypes),
+		)
+		s.structureSent = true
+	}
+	for _, name := range arrays {
+		arr := g.FindPointData(name)
+		if arr == nil {
+			return false, fmt.Errorf("intransit: array %q not attached", name)
+		}
+		step.Vars = append(step.Vars, adios.NewF64("array/"+name, arr.Data))
+	}
+	if err := s.writer.Put(step); err != nil {
+		return false, err
+	}
+	s.stepsSent++
+	return true, nil
+}
+
+// Finalize closes the stream, draining the staging queue.
+func (s *SendAdaptor) Finalize() error { return s.writer.Close() }
+
+// gatherAddrs is a test hook validating rank-ordered address exchange.
+func gatherAddrs(comm *mpirt.Comm, addr string) []string {
+	all := comm.GatherBytes(0, []byte(addr))
+	if comm.Rank() != 0 {
+		return nil
+	}
+	out := make([]string, len(all))
+	for i, b := range all {
+		out[i] = string(b)
+	}
+	return out
+}

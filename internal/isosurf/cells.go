@@ -1,0 +1,54 @@
+package isosurf
+
+import (
+	"fmt"
+
+	"nekrs-sensei/internal/render"
+	"nekrs-sensei/internal/vtkdata"
+)
+
+// vtkHexToLattice maps VTK hexahedron corner order to the 2x2x2
+// lattice order ContourGrid expects (i fastest, then j, then k).
+var vtkHexToLattice = [8]int{0, 1, 3, 2, 4, 5, 7, 6}
+
+// ContourCells contours the iso level of the per-point field f over
+// the hexahedral cells of a VTK unstructured grid, interpolating the
+// secondary scalar s. This is the form the Catalyst adaptor uses,
+// since analyses see simulation data only through the VTK data model.
+func ContourCells(g *vtkdata.UnstructuredGrid, f, s []float64, iso float64) (*render.TriangleSoup, error) {
+	if len(f) != g.NumPoints() || len(s) != g.NumPoints() {
+		return nil, fmt.Errorf("isosurf: field length %d/%d does not match %d points", len(f), len(s), g.NumPoints())
+	}
+	out := &render.TriangleSoup{}
+	var x, y, z, fv, sv [8]float64
+	start := int64(0)
+	for c := 0; c < g.NumCells(); c++ {
+		end := g.Offsets[c]
+		if g.CellTypes[c] != vtkdata.VTKHexahedron || end-start != 8 {
+			start = end
+			continue
+		}
+		conn := g.Connectivity[start:end]
+		start = end
+		for lat, vtk := range vtkHexToLattice {
+			p := conn[vtk]
+			x[lat] = g.Points[3*p]
+			y[lat] = g.Points[3*p+1]
+			z[lat] = g.Points[3*p+2]
+			fv[lat] = f[p]
+			sv[lat] = s[p]
+		}
+		ContourGrid(2, 2, 2, x[:], y[:], z[:], fv[:], sv[:], iso, out)
+	}
+	return out, nil
+}
+
+// SliceCells extracts the plane {x : n.x = c} through the grid's hex
+// cells, colored by the per-point scalar s.
+func SliceCells(g *vtkdata.UnstructuredGrid, normal [3]float64, c float64, s []float64) (*render.TriangleSoup, error) {
+	dist := make([]float64, g.NumPoints())
+	for p := range dist {
+		dist[p] = normal[0]*g.Points[3*p] + normal[1]*g.Points[3*p+1] + normal[2]*g.Points[3*p+2] - c
+	}
+	return ContourCells(g, dist, s, 0)
+}

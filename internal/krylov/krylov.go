@@ -1,0 +1,264 @@
+// Package krylov provides the iterative solvers used by the solver's
+// pressure-Poisson and Helmholtz systems: preconditioned conjugate
+// gradients and restarted GMRES. Operators are abstract, and the inner
+// product is injected so distributed solvers can supply a
+// multiplicity-weighted, Allreduce-backed dot product.
+package krylov
+
+import "math"
+
+// Operator applies a linear operator: out = A(in). out and in never alias.
+type Operator interface {
+	Apply(out, in []float64)
+}
+
+// OperatorFunc adapts a function to the Operator interface.
+type OperatorFunc func(out, in []float64)
+
+// Apply implements Operator.
+func (f OperatorFunc) Apply(out, in []float64) { f(out, in) }
+
+// Options configures a solve.
+type Options struct {
+	// Tol is the relative residual tolerance (against ||b||); AbsTol
+	// is the absolute floor. Defaults: 1e-8 and 1e-300.
+	Tol    float64
+	AbsTol float64
+	// MaxIter bounds the iteration count. Default 1000.
+	MaxIter int
+	// Diag, when non-nil, enables Jacobi preconditioning with the
+	// given diagonal (the entries of A's diagonal, not their inverses).
+	Diag []float64
+	// Dot computes the (possibly global) inner product. Defaults to
+	// the serial dot product.
+	Dot func(a, b []float64) float64
+	// Project, when non-nil, projects a vector onto the orthogonal
+	// complement of the operator's null space. It is applied to the
+	// initial residual, to each updated residual, and to the solution,
+	// which keeps CG convergent on consistent singular systems such as
+	// the all-Neumann pressure Poisson problem.
+	Project func(v []float64)
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	Iters     int
+	Residual  float64 // final absolute residual norm
+	Converged bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Tol == 0 {
+		out.Tol = 1e-8
+	}
+	if out.AbsTol == 0 {
+		out.AbsTol = 1e-300
+	}
+	if out.MaxIter == 0 {
+		out.MaxIter = 1000
+	}
+	if out.Dot == nil {
+		out.Dot = func(a, b []float64) float64 {
+			var s float64
+			for i := range a {
+				s += a[i] * b[i]
+			}
+			return s
+		}
+	}
+	return out
+}
+
+// CG solves A x = b for symmetric positive (semi-)definite A using
+// preconditioned conjugate gradients, starting from the initial guess
+// in x and overwriting it with the solution.
+func CG(op Operator, b, x []float64, opts Options) Result {
+	o := opts.withDefaults()
+	n := len(b)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+
+	// r = b - A x
+	op.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if o.Project != nil {
+		o.Project(r)
+	}
+
+	normb := math.Sqrt(o.Dot(b, b))
+	tol := math.Max(o.Tol*normb, o.AbsTol)
+
+	applyPrec := func(dst, src []float64) {
+		if o.Diag != nil {
+			for i := range dst {
+				dst[i] = src[i] / o.Diag[i]
+			}
+		} else {
+			copy(dst, src)
+		}
+	}
+
+	applyPrec(z, r)
+	copy(p, z)
+	rz := o.Dot(r, z)
+	res := math.Sqrt(o.Dot(r, r))
+	if res <= tol {
+		return Result{Iters: 0, Residual: res, Converged: true}
+	}
+
+	for it := 1; it <= o.MaxIter; it++ {
+		op.Apply(q, p)
+		pq := o.Dot(p, q)
+		if pq == 0 {
+			return Result{Iters: it - 1, Residual: res, Converged: false}
+		}
+		alpha := rz / pq
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * q[i]
+		}
+		if o.Project != nil {
+			o.Project(r)
+		}
+		res = math.Sqrt(o.Dot(r, r))
+		if res <= tol {
+			if o.Project != nil {
+				o.Project(x)
+			}
+			return Result{Iters: it, Residual: res, Converged: true}
+		}
+		applyPrec(z, r)
+		rz2 := o.Dot(r, z)
+		beta := rz2 / rz
+		rz = rz2
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	if o.Project != nil {
+		o.Project(x)
+	}
+	return Result{Iters: o.MaxIter, Residual: res, Converged: false}
+}
+
+// GMRES solves A x = b for general (possibly nonsymmetric) A with
+// restarted GMRES(m), starting from the guess in x and overwriting it.
+func GMRES(op Operator, b, x []float64, restart int, opts Options) Result {
+	o := opts.withDefaults()
+	if restart <= 0 {
+		restart = 30
+	}
+	n := len(b)
+	normb := math.Sqrt(o.Dot(b, b))
+	tol := math.Max(o.Tol*normb, o.AbsTol)
+
+	r := make([]float64, n)
+	w := make([]float64, n)
+	// Krylov basis.
+	v := make([][]float64, restart+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, restart+1)
+	for i := range h {
+		h[i] = make([]float64, restart)
+	}
+	cs := make([]float64, restart)
+	sn := make([]float64, restart)
+	s := make([]float64, restart+1)
+
+	totalIters := 0
+	for cycle := 0; totalIters < o.MaxIter; cycle++ {
+		op.Apply(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		beta := math.Sqrt(o.Dot(r, r))
+		if beta <= tol {
+			return Result{Iters: totalIters, Residual: beta, Converged: true}
+		}
+		inv := 1 / beta
+		for i := range r {
+			v[0][i] = r[i] * inv
+		}
+		for i := range s {
+			s[i] = 0
+		}
+		s[0] = beta
+
+		k := 0
+		for ; k < restart && totalIters < o.MaxIter; k++ {
+			totalIters++
+			op.Apply(w, v[k])
+			// Modified Gram-Schmidt.
+			for j := 0; j <= k; j++ {
+				h[j][k] = o.Dot(w, v[j])
+				for i := range w {
+					w[i] -= h[j][k] * v[j][i]
+				}
+			}
+			h[k+1][k] = math.Sqrt(o.Dot(w, w))
+			if h[k+1][k] > 1e-300 {
+				inv := 1 / h[k+1][k]
+				for i := range w {
+					v[k+1][i] = w[i] * inv
+				}
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for j := 0; j < k; j++ {
+				t := cs[j]*h[j][k] + sn[j]*h[j+1][k]
+				h[j+1][k] = -sn[j]*h[j][k] + cs[j]*h[j+1][k]
+				h[j][k] = t
+			}
+			// New rotation to annihilate h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = h[k][k] / denom
+				sn[k] = h[k+1][k] / denom
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			s[k+1] = -sn[k] * s[k]
+			s[k] = cs[k] * s[k]
+			if math.Abs(s[k+1]) <= tol {
+				k++
+				break
+			}
+		}
+		// Back-substitute y from the k x k triangular system.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			sum := s[i]
+			for j := i + 1; j < k; j++ {
+				sum -= h[i][j] * y[j]
+			}
+			y[i] = sum / h[i][i]
+		}
+		for j := 0; j < k; j++ {
+			for i := range x {
+				x[i] += y[j] * v[j][i]
+			}
+		}
+		// Convergence check on the true residual.
+		op.Apply(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		res := math.Sqrt(o.Dot(r, r))
+		if res <= tol {
+			return Result{Iters: totalIters, Residual: res, Converged: true}
+		}
+	}
+	op.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return Result{Iters: totalIters, Residual: math.Sqrt(o.Dot(r, r)), Converged: false}
+}

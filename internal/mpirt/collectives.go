@@ -1,0 +1,357 @@
+package mpirt
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Op is a reduction operator for Reduce/Allreduce.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+func (o Op) combineF64(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("mpirt: unknown op")
+}
+
+func (o Op) combineI64(a, b int64) int64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("mpirt: unknown op")
+}
+
+// AllreduceF64 element-wise reduces vals across all ranks with op and
+// returns the reduced vector on every rank. All ranks must pass vectors
+// of equal length.
+func (c *Comm) AllreduceF64(vals []float64, op Op) []float64 {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	res := c.joinCollective("allreduce-f64", cp, func(contrib []interface{}) interface{} {
+		acc := make([]float64, len(cp))
+		copy(acc, contrib[0].([]float64))
+		for r := 1; r < len(contrib); r++ {
+			v := contrib[r].([]float64)
+			if len(v) != len(acc) {
+				panic(fmt.Sprintf("mpirt: allreduce length mismatch: %d vs %d", len(v), len(acc)))
+			}
+			for i := range acc {
+				acc[i] = op.combineF64(acc[i], v[i])
+			}
+		}
+		return acc
+	})
+	out := make([]float64, len(vals))
+	copy(out, res.([]float64))
+	return out
+}
+
+// AllreduceF64Scalar reduces one float64 across all ranks.
+func (c *Comm) AllreduceF64Scalar(v float64, op Op) float64 {
+	return c.AllreduceF64([]float64{v}, op)[0]
+}
+
+// AllreduceI64 element-wise reduces int64 vectors across all ranks.
+func (c *Comm) AllreduceI64(vals []int64, op Op) []int64 {
+	cp := make([]int64, len(vals))
+	copy(cp, vals)
+	res := c.joinCollective("allreduce-i64", cp, func(contrib []interface{}) interface{} {
+		acc := make([]int64, len(cp))
+		copy(acc, contrib[0].([]int64))
+		for r := 1; r < len(contrib); r++ {
+			v := contrib[r].([]int64)
+			for i := range acc {
+				acc[i] = op.combineI64(acc[i], v[i])
+			}
+		}
+		return acc
+	})
+	out := make([]int64, len(vals))
+	copy(out, res.([]int64))
+	return out
+}
+
+// AllreduceI64Scalar reduces one int64 across all ranks.
+func (c *Comm) AllreduceI64Scalar(v int64, op Op) int64 {
+	return c.AllreduceI64([]int64{v}, op)[0]
+}
+
+// BcastF64 broadcasts root's vector to all ranks; every rank receives a
+// private copy. Non-root ranks may pass nil.
+func (c *Comm) BcastF64(root int, vals []float64) []float64 {
+	var payload interface{}
+	if c.rank == root {
+		cp := make([]float64, len(vals))
+		copy(cp, vals)
+		payload = cp
+	}
+	res := c.joinCollective("bcast-f64", payload, func(contrib []interface{}) interface{} {
+		return contrib[root]
+	})
+	src := res.([]float64)
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+// BcastBytes broadcasts root's byte slice to all ranks.
+func (c *Comm) BcastBytes(root int, b []byte) []byte {
+	var payload interface{}
+	if c.rank == root {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		payload = cp
+	}
+	res := c.joinCollective("bcast-bytes", payload, func(contrib []interface{}) interface{} {
+		return contrib[root]
+	})
+	src := res.([]byte)
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+
+// GatherF64 gathers each rank's vector to root in rank order; root
+// receives the per-rank slices, other ranks receive nil.
+func (c *Comm) GatherF64(root int, vals []float64) [][]float64 {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	res := c.joinCollective("gather-f64", cp, func(contrib []interface{}) interface{} {
+		out := make([][]float64, len(contrib))
+		for r, v := range contrib {
+			out[r] = v.([]float64)
+		}
+		return out
+	})
+	if c.rank != root {
+		return nil
+	}
+	return res.([][]float64)
+}
+
+// GatherBytes gathers each rank's byte slice to root in rank order.
+func (c *Comm) GatherBytes(root int, b []byte) [][]byte {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	res := c.joinCollective("gather-bytes", cp, func(contrib []interface{}) interface{} {
+		out := make([][]byte, len(contrib))
+		for r, v := range contrib {
+			out[r] = v.([]byte)
+		}
+		return out
+	})
+	if c.rank != root {
+		return nil
+	}
+	return res.([][]byte)
+}
+
+// AllgatherF64 gathers each rank's vector to every rank in rank order.
+func (c *Comm) AllgatherF64(vals []float64) [][]float64 {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	res := c.joinCollective("allgather-f64", cp, func(contrib []interface{}) interface{} {
+		out := make([][]float64, len(contrib))
+		for r, v := range contrib {
+			out[r] = v.([]float64)
+		}
+		return out
+	})
+	shared := res.([][]float64)
+	out := make([][]float64, len(shared))
+	for r, v := range shared {
+		out[r] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// AllgatherI64 gathers each rank's int64 vector to every rank.
+func (c *Comm) AllgatherI64(vals []int64) [][]int64 {
+	cp := make([]int64, len(vals))
+	copy(cp, vals)
+	res := c.joinCollective("allgather-i64", cp, func(contrib []interface{}) interface{} {
+		out := make([][]int64, len(contrib))
+		for r, v := range contrib {
+			out[r] = v.([]int64)
+		}
+		return out
+	})
+	shared := res.([][]int64)
+	out := make([][]int64, len(shared))
+	for r, v := range shared {
+		out[r] = append([]int64(nil), v...)
+	}
+	return out
+}
+
+// AlltoallI64 performs a personalized all-to-all exchange: send[d] goes
+// to rank d; the returned recv[s] is what rank s sent here. Used by the
+// gather-scatter setup rendezvous.
+func (c *Comm) AlltoallI64(send [][]int64) [][]int64 {
+	if len(send) != len(c.group) {
+		panic(fmt.Sprintf("mpirt: alltoall needs %d send buffers, got %d", len(c.group), len(send)))
+	}
+	cp := make([][]int64, len(send))
+	for i, s := range send {
+		cp[i] = append([]int64(nil), s...)
+	}
+	res := c.joinCollective("alltoall-i64", cp, func(contrib []interface{}) interface{} {
+		n := len(contrib)
+		// transposed[dst][src] = contrib[src][dst]
+		out := make([][][]int64, n)
+		for d := 0; d < n; d++ {
+			out[d] = make([][]int64, n)
+			for s := 0; s < n; s++ {
+				out[d][s] = contrib[s].([][]int64)[d]
+			}
+		}
+		return out
+	})
+	mine := res.([][][]int64)[c.rank]
+	out := make([][]int64, len(mine))
+	for s, v := range mine {
+		out[s] = append([]int64(nil), v...)
+	}
+	return out
+}
+
+// AlltoallF64 performs a personalized all-to-all exchange of float64
+// vectors, the data-movement pattern of a gather-scatter operation.
+func (c *Comm) AlltoallF64(send [][]float64) [][]float64 {
+	if len(send) != len(c.group) {
+		panic(fmt.Sprintf("mpirt: alltoall needs %d send buffers, got %d", len(c.group), len(send)))
+	}
+	cp := make([][]float64, len(send))
+	for i, s := range send {
+		cp[i] = append([]float64(nil), s...)
+	}
+	res := c.joinCollective("alltoall-f64", cp, func(contrib []interface{}) interface{} {
+		n := len(contrib)
+		out := make([][][]float64, n)
+		for d := 0; d < n; d++ {
+			out[d] = make([][]float64, n)
+			for s := 0; s < n; s++ {
+				out[d][s] = contrib[s].([][]float64)[d]
+			}
+		}
+		return out
+	})
+	mine := res.([][][]float64)[c.rank]
+	out := make([][]float64, len(mine))
+	for s, v := range mine {
+		out[s] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// splitReq is one rank's (color, key) contribution to Split.
+type splitReq struct {
+	color, key, rank int
+}
+
+// commIDCounter allocates unique communicator ids during Split; the
+// reduce callback runs on a single goroutine per collective, but Splits
+// on unrelated worlds may race, so the counter is atomic.
+var commIDCounter atomic.Int64
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, old rank), like MPI_Comm_split. Ranks
+// passing a negative color receive nil.
+func (c *Comm) Split(color, key int) *Comm {
+	req := splitReq{color: color, key: key, rank: c.rank}
+	res := c.joinCollective("split", req, func(contrib []interface{}) interface{} {
+		byColor := make(map[int][]splitReq)
+		for _, v := range contrib {
+			r := v.(splitReq)
+			if r.color >= 0 {
+				byColor[r.color] = append(byColor[r.color], r)
+			}
+		}
+		colors := make([]int, 0, len(byColor))
+		for col := range byColor {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		ids := make(map[int]int)      // color -> new comm id
+		groups := make(map[int][]int) // color -> old ranks in new order
+		for _, col := range colors {
+			reqs := byColor[col]
+			sort.Slice(reqs, func(i, j int) bool {
+				if reqs[i].key != reqs[j].key {
+					return reqs[i].key < reqs[j].key
+				}
+				return reqs[i].rank < reqs[j].rank
+			})
+			ids[col] = int(commIDCounter.Add(1))
+			g := make([]int, len(reqs))
+			for i, r := range reqs {
+				g[i] = r.rank
+			}
+			groups[col] = g
+		}
+		return struct {
+			ids    map[int]int
+			groups map[int][]int
+		}{ids, groups}
+	})
+	if color < 0 {
+		return nil
+	}
+	sr := res.(struct {
+		ids    map[int]int
+		groups map[int][]int
+	})
+	oldGroup := sr.groups[color]
+	newRank := -1
+	group := make([]int, len(oldGroup))
+	for i, old := range oldGroup {
+		group[i] = c.group[old] // translate to world ranks
+		if old == c.rank {
+			newRank = i
+		}
+	}
+	return &Comm{world: c.world, id: sr.ids[color], rank: newRank, group: group}
+}

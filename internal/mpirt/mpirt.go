@@ -1,0 +1,315 @@
+// Package mpirt is an in-process message-passing runtime that stands in
+// for MPI in the reproduction. Ranks run as goroutines inside one
+// process; point-to-point messages are matched on (source, tag) and
+// collectives are matched by per-communicator call sequence, exactly
+// like MPI's ordering rules.
+//
+// The paper's experiments ran on 280-1120 MPI ranks across Polaris and
+// JUWELS Booster nodes; here the same communication structure (halo
+// exchange, reductions, gather for image compositing) executes on
+// scaled-down rank counts with real concurrency. See DESIGN.md for the
+// substitution rationale.
+package mpirt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches a message from any source rank in Recv.
+const AnySource = -1
+
+// envelope is one in-flight point-to-point message.
+type envelope struct {
+	src, tag int
+	data     interface{}
+}
+
+// mailbox is a rank's incoming message queue with blocking matched receive.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []envelope
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	m.q = append(m.q, e)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available and
+// removes it from the queue. src may be AnySource.
+func (m *mailbox) take(src, tag int) envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.q {
+			if (src == AnySource || e.src == src) && e.tag == tag {
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return e
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is the global communicator context: one mailbox per rank plus
+// the collective rendezvous table.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	collMu sync.Mutex
+	colls  map[collKey]*collective
+}
+
+type collKey struct {
+	comm int // communicator id
+	seq  int // per-communicator collective sequence number
+}
+
+// collective is a single matched collective operation instance.
+type collective struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	kind     string
+	arrived  int
+	expect   int
+	contrib  []interface{}
+	result   interface{}
+	done     bool
+	poisoned string // non-empty if a rank detected a mismatch
+}
+
+// NewWorld creates a world with n ranks. Use World.Comm or Run.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic("mpirt: world size must be positive")
+	}
+	w := &World{size: n, colls: make(map[collKey]*collective)}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size reports the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the world communicator handle for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpirt: rank %d out of range [0,%d)", rank, w.size))
+	}
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{world: w, id: 0, rank: rank, group: group}
+}
+
+// Run spawns n ranks as goroutines, each executing body with its world
+// communicator, and waits for all to finish. A panic in any rank is
+// re-raised on the caller with the rank attached.
+func Run(n int, body func(c *Comm)) {
+	if err := RunErr(n, func(c *Comm) error {
+		body(c)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// RunErr is Run for bodies that can fail; the first non-nil error (by
+// rank order) is returned after all ranks complete.
+func RunErr(n int, body func(c *Comm) error) error {
+	w := NewWorld(n)
+	errs := make([]error, n)
+	panics := make([]interface{}, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			errs[rank] = body(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpirt: rank %d panicked: %v", r, p))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's handle on a communicator. Comm values are not safe
+// for concurrent use by multiple goroutines (matching MPI semantics,
+// where a communicator is driven by its owning rank).
+type Comm struct {
+	world *World
+	id    int   // communicator id (0 = world)
+	rank  int   // rank within this communicator
+	group []int // communicator rank -> world rank
+
+	collSeq int
+}
+
+// Rank reports this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank reports this rank's index in the world communicator.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// send delivers data (already copied by the typed wrapper) to dst.
+func (c *Comm) send(dst, tag int, data interface{}) {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("mpirt: send to rank %d out of range [0,%d)", dst, len(c.group)))
+	}
+	// Tags are namespaced by communicator id so Split'd communicators
+	// cannot intercept each other's traffic.
+	c.world.boxes[c.group[dst]].put(envelope{src: c.rank, tag: c.id<<20 | tag, data: data})
+}
+
+// recv blocks for a message matching (src, tag) and returns its payload
+// and actual source.
+func (c *Comm) recv(src, tag int) (interface{}, int) {
+	e := c.world.boxes[c.group[c.rank]].take(src, c.id<<20|tag)
+	return e.data, e.src
+}
+
+// SendF64 sends a copy of vals to dst with the given tag.
+func (c *Comm) SendF64(dst, tag int, vals []float64) {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	c.send(dst, tag, cp)
+}
+
+// RecvF64 receives a []float64 from src (or AnySource) with the given
+// tag, returning the payload and the actual source rank.
+func (c *Comm) RecvF64(src, tag int) ([]float64, int) {
+	d, from := c.recv(src, tag)
+	v, ok := d.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("mpirt: rank %d expected []float64 on tag %d, got %T", c.rank, tag, d))
+	}
+	return v, from
+}
+
+// SendI64 sends a copy of vals to dst with the given tag.
+func (c *Comm) SendI64(dst, tag int, vals []int64) {
+	cp := make([]int64, len(vals))
+	copy(cp, vals)
+	c.send(dst, tag, cp)
+}
+
+// RecvI64 receives a []int64 from src (or AnySource) with the given tag.
+func (c *Comm) RecvI64(src, tag int) ([]int64, int) {
+	d, from := c.recv(src, tag)
+	v, ok := d.([]int64)
+	if !ok {
+		panic(fmt.Sprintf("mpirt: rank %d expected []int64 on tag %d, got %T", c.rank, tag, d))
+	}
+	return v, from
+}
+
+// SendBytes sends a copy of b to dst with the given tag.
+func (c *Comm) SendBytes(dst, tag int, b []byte) {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	c.send(dst, tag, cp)
+}
+
+// RecvBytes receives a []byte from src (or AnySource) with the given tag.
+func (c *Comm) RecvBytes(src, tag int) ([]byte, int) {
+	d, from := c.recv(src, tag)
+	v, ok := d.([]byte)
+	if !ok {
+		panic(fmt.Sprintf("mpirt: rank %d expected []byte on tag %d, got %T", c.rank, tag, d))
+	}
+	return v, from
+}
+
+// joinCollective matches this rank's next collective call with its
+// peers', contributes payload, and blocks until the root (rank 0 of the
+// communicator) has computed the shared result via reduce.
+//
+// reduce runs exactly once, on the last arriving rank, over contributions
+// indexed by communicator rank.
+func (c *Comm) joinCollective(kind string, payload interface{}, reduce func(contrib []interface{}) interface{}) interface{} {
+	key := collKey{comm: c.id, seq: c.collSeq}
+	c.collSeq++
+
+	c.world.collMu.Lock()
+	inst := c.world.colls[key]
+	if inst == nil {
+		inst = &collective{kind: kind, expect: len(c.group), contrib: make([]interface{}, len(c.group))}
+		inst.cond = sync.NewCond(&inst.mu)
+		c.world.colls[key] = inst
+	}
+	c.world.collMu.Unlock()
+
+	inst.mu.Lock()
+	if inst.kind != kind {
+		// Program error: ranks disagree on the collective being
+		// executed. Poison the instance so peers blocked in Wait also
+		// panic instead of deadlocking, then panic here.
+		msg := fmt.Sprintf("mpirt: collective mismatch at seq %d: rank %d called %s, others called %s",
+			key.seq, c.rank, kind, inst.kind)
+		inst.poisoned = msg
+		inst.done = true
+		inst.cond.Broadcast()
+		inst.mu.Unlock()
+		panic(msg)
+	}
+	inst.contrib[c.rank] = payload
+	inst.arrived++
+	if inst.arrived == inst.expect {
+		inst.result = reduce(inst.contrib)
+		inst.done = true
+		inst.cond.Broadcast()
+		// Last rank cleans up the rendezvous entry.
+		c.world.collMu.Lock()
+		delete(c.world.colls, key)
+		c.world.collMu.Unlock()
+	} else {
+		for !inst.done {
+			inst.cond.Wait()
+		}
+	}
+	if inst.poisoned != "" {
+		msg := inst.poisoned
+		inst.mu.Unlock()
+		panic(msg)
+	}
+	res := inst.result
+	inst.mu.Unlock()
+	return res
+}
+
+// Barrier blocks until every rank in the communicator has entered it.
+func (c *Comm) Barrier() {
+	c.joinCollective("barrier", nil, func([]interface{}) interface{} { return nil })
+}

@@ -1,0 +1,344 @@
+package mpirt
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunRankIdentity(t *testing.T) {
+	const n = 7
+	seen := make([]bool, n)
+	var mu sync.Mutex
+	Run(n, func(c *Comm) {
+		if c.Size() != n {
+			t.Errorf("size = %d, want %d", c.Size(), n)
+		}
+		mu.Lock()
+		if seen[c.Rank()] {
+			t.Errorf("rank %d seen twice", c.Rank())
+		}
+		seen[c.Rank()] = true
+		mu.Unlock()
+	})
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never ran", r)
+		}
+	}
+}
+
+func TestRunErrPropagates(t *testing.T) {
+	want := errors.New("rank failure")
+	err := RunErr(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestSendRecvRing(t *testing.T) {
+	const n = 5
+	Run(n, func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		c.SendF64(next, 7, []float64{float64(c.Rank())})
+		got, from := c.RecvF64(prev, 7)
+		if from != prev {
+			t.Errorf("rank %d: from = %d, want %d", c.Rank(), from, prev)
+		}
+		if got[0] != float64(prev) {
+			t.Errorf("rank %d: got %v, want %d", c.Rank(), got, prev)
+		}
+	})
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2, 3}
+			c.SendF64(1, 0, buf)
+			buf[0] = 99 // must not corrupt in-flight message
+			c.Barrier()
+		} else {
+			c.Barrier()
+			got, _ := c.RecvF64(0, 0)
+			if got[0] != 1 {
+				t.Errorf("message corrupted by sender reuse: got %v", got)
+			}
+		}
+	})
+}
+
+func TestRecvAnySource(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := make(map[int]bool)
+			for i := 0; i < n-1; i++ {
+				v, from := c.RecvF64(AnySource, 3)
+				if int(v[0]) != from {
+					t.Errorf("payload %v does not match source %d", v, from)
+				}
+				seen[from] = true
+			}
+			if len(seen) != n-1 {
+				t.Errorf("saw %d distinct sources, want %d", len(seen), n-1)
+			}
+		} else {
+			c.SendF64(0, 3, []float64{float64(c.Rank())})
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			// Send out of order with respect to the receiver's Recv order.
+			c.SendF64(1, 20, []float64{20})
+			c.SendF64(1, 10, []float64{10})
+		} else {
+			a, _ := c.RecvF64(0, 10)
+			b, _ := c.RecvF64(0, 20)
+			if a[0] != 10 || b[0] != 20 {
+				t.Errorf("tag matching failed: got %v, %v", a, b)
+			}
+		}
+	})
+}
+
+func TestAllreduceOps(t *testing.T) {
+	const n = 6
+	Run(n, func(c *Comm) {
+		v := []float64{float64(c.Rank()), -float64(c.Rank())}
+		sum := c.AllreduceF64(v, OpSum)
+		wantSum := float64(n*(n-1)) / 2
+		if sum[0] != wantSum || sum[1] != -wantSum {
+			t.Errorf("sum = %v, want [%v %v]", sum, wantSum, -wantSum)
+		}
+		max := c.AllreduceF64Scalar(float64(c.Rank()), OpMax)
+		if max != n-1 {
+			t.Errorf("max = %v, want %d", max, n-1)
+		}
+		min := c.AllreduceF64Scalar(float64(c.Rank()), OpMin)
+		if min != 0 {
+			t.Errorf("min = %v, want 0", min)
+		}
+		isum := c.AllreduceI64Scalar(int64(c.Rank()), OpSum)
+		if isum != int64(wantSum) {
+			t.Errorf("int sum = %d, want %d", isum, int64(wantSum))
+		}
+	})
+}
+
+func TestAllreduceRepeatedCallsStayMatched(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		for iter := 0; iter < 100; iter++ {
+			got := c.AllreduceF64Scalar(float64(iter), OpMax)
+			if got != float64(iter) {
+				t.Fatalf("iter %d: got %v", iter, got)
+			}
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, func(c *Comm) {
+		var payload []float64
+		if c.Rank() == 2 {
+			payload = []float64{3.14, 2.71}
+		}
+		got := c.BcastF64(2, payload)
+		if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+			t.Errorf("rank %d: bcast got %v", c.Rank(), got)
+		}
+		// Mutating the received copy must not affect other ranks.
+		got[0] = float64(c.Rank())
+		c.Barrier()
+		got2 := c.BcastBytes(0, []byte("hello"))
+		if string(got2) != "hello" {
+			t.Errorf("bcast bytes got %q", got2)
+		}
+	})
+}
+
+func TestGatherAndAllgather(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		parts := c.GatherF64(1, []float64{float64(c.Rank() * 10)})
+		if c.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				if parts[r][0] != float64(r*10) {
+					t.Errorf("gather[%d] = %v", r, parts[r])
+				}
+			}
+		} else if parts != nil {
+			t.Errorf("non-root got %v", parts)
+		}
+		all := c.AllgatherI64([]int64{int64(c.Rank())})
+		for r := 0; r < n; r++ {
+			if all[r][0] != int64(r) {
+				t.Errorf("allgather[%d] = %v", r, all[r])
+			}
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		send := make([][]int64, n)
+		for d := 0; d < n; d++ {
+			// rank r sends {r, d} to rank d, with varying lengths
+			send[d] = []int64{int64(c.Rank()), int64(d)}
+			if d == c.Rank() {
+				send[d] = append(send[d], 42)
+			}
+		}
+		recv := c.AlltoallI64(send)
+		for s := 0; s < n; s++ {
+			if recv[s][0] != int64(s) || recv[s][1] != int64(c.Rank()) {
+				t.Errorf("recv[%d] = %v", s, recv[s])
+			}
+		}
+		if recv[c.Rank()][2] != 42 {
+			t.Errorf("self exchange lost data: %v", recv[c.Rank()])
+		}
+	})
+}
+
+func TestSplit(t *testing.T) {
+	const n = 8
+	Run(n, func(c *Comm) {
+		// Even ranks form one communicator, odd ranks another,
+		// ordered by descending world rank via key.
+		sub := c.Split(c.Rank()%2, -c.Rank())
+		if sub.Size() != n/2 {
+			t.Errorf("sub size = %d, want %d", sub.Size(), n/2)
+		}
+		// Highest world rank in each color gets sub-rank 0 because
+		// key = -rank; the max rank is n-2 (even color) or n-1 (odd).
+		wantRank := (n - 2 + c.Rank()%2 - c.Rank()) / 2
+		if sub.Rank() != wantRank {
+			t.Errorf("world rank %d: sub rank = %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Collectives on the sub-communicator are independent.
+		sum := sub.AllreduceF64Scalar(1, OpSum)
+		if sum != float64(n/2) {
+			t.Errorf("sub allreduce = %v, want %d", sum, n/2)
+		}
+		// Point-to-point within sub-communicator.
+		if sub.Rank() == 0 {
+			sub.SendF64(sub.Size()-1, 5, []float64{8.5})
+		}
+		if sub.Rank() == sub.Size()-1 {
+			v, _ := sub.RecvF64(0, 5)
+			if v[0] != 8.5 {
+				t.Errorf("sub p2p got %v", v)
+			}
+		}
+	})
+}
+
+func TestSplitNegativeColor(t *testing.T) {
+	Run(4, func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Errorf("negative color should yield nil comm")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d, want 3", sub.Size())
+		}
+	})
+}
+
+// TestRandomP2PStress drives a random but deadlock-free exchange pattern
+// to shake out matching bugs under concurrency.
+func TestRandomP2PStress(t *testing.T) {
+	const n = 6
+	const rounds = 50
+	Run(n, func(c *Comm) {
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 1))
+		for round := 0; round < rounds; round++ {
+			// Every rank sends to every other rank, then receives from all.
+			for d := 0; d < n; d++ {
+				if d == c.Rank() {
+					continue
+				}
+				c.SendI64(d, round, []int64{int64(c.Rank()*1000 + round)})
+			}
+			order := rng.Perm(n)
+			for _, s := range order {
+				if s == c.Rank() {
+					continue
+				}
+				v, _ := c.RecvI64(s, round)
+				if v[0] != int64(s*1000+round) {
+					t.Errorf("round %d: from %d got %v", round, s, v)
+				}
+			}
+		}
+	})
+}
+
+// TestAllreduceMatchesSerial is a property test: a distributed sum
+// allreduce must equal the serial sum of the same contributions.
+func TestAllreduceMatchesSerial(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		n := len(vals)
+		if n > 8 {
+			n = 8
+			vals = vals[:8]
+		}
+		var serial float64
+		for _, v := range vals {
+			serial += v
+		}
+		results := make([]float64, n)
+		Run(n, func(c *Comm) {
+			results[c.Rank()] = c.AllreduceF64Scalar(vals[c.Rank()], OpSum)
+		})
+		for _, r := range results {
+			if diff := r - serial; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectiveMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched collectives")
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Barrier()
+		} else {
+			c.AllreduceF64Scalar(1, OpSum)
+		}
+	})
+}

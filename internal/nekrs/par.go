@@ -1,0 +1,128 @@
+// Package nekrs is the solver façade mirroring how the NekRS binary is
+// driven: an INI-style ".par" case file selects timestep, tolerances,
+// output cadence and case parameters, and a Sim wraps case setup plus
+// the run loop with per-step hooks — the place the SENSEI bridge and
+// the built-in checkpointer attach, exactly as in the paper's
+// instrumentation.
+package nekrs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Par is a parsed NekRS-style parameter file: INI sections of
+// key = value pairs. Section and key lookups are case-insensitive,
+// matching NekRS's parfile conventions.
+type Par struct {
+	sections map[string]map[string]string
+}
+
+// ParsePar parses the INI-style text. Lines starting with '#' or ';'
+// are comments; keys outside any section go to the "" section.
+func ParsePar(src string) (*Par, error) {
+	p := &Par{sections: map[string]map[string]string{}}
+	section := ""
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("nekrs: par line %d: malformed section %q", lineNo+1, line)
+			}
+			section = strings.ToLower(strings.TrimSpace(line[1 : len(line)-1]))
+			if p.sections[section] == nil {
+				p.sections[section] = map[string]string{}
+			}
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("nekrs: par line %d: expected key = value, got %q", lineNo+1, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:eq]))
+		val := strings.TrimSpace(line[eq+1:])
+		if key == "" {
+			return nil, fmt.Errorf("nekrs: par line %d: empty key", lineNo+1)
+		}
+		if p.sections[section] == nil {
+			p.sections[section] = map[string]string{}
+		}
+		p.sections[section][key] = val
+	}
+	return p, nil
+}
+
+// Sections lists the section names, sorted.
+func (p *Par) Sections() []string {
+	out := make([]string, 0, len(p.sections))
+	for s := range p.sections {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the raw value and whether it was present.
+func (p *Par) Get(section, key string) (string, bool) {
+	m := p.sections[strings.ToLower(section)]
+	if m == nil {
+		return "", false
+	}
+	v, ok := m[strings.ToLower(key)]
+	return v, ok
+}
+
+// GetString returns the value or the default.
+func (p *Par) GetString(section, key, def string) string {
+	if v, ok := p.Get(section, key); ok {
+		return v
+	}
+	return def
+}
+
+// GetFloat returns the value parsed as float64 or the default.
+func (p *Par) GetFloat(section, key string, def float64) (float64, error) {
+	v, ok := p.Get(section, key)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return def, fmt.Errorf("nekrs: [%s] %s: bad float %q", section, key, v)
+	}
+	return f, nil
+}
+
+// GetInt returns the value parsed as int or the default.
+func (p *Par) GetInt(section, key string, def int) (int, error) {
+	v, ok := p.Get(section, key)
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return def, fmt.Errorf("nekrs: [%s] %s: bad int %q", section, key, v)
+	}
+	return i, nil
+}
+
+// GetBool returns the value parsed as a boolean (true/false/yes/no/1/0)
+// or the default.
+func (p *Par) GetBool(section, key string, def bool) (bool, error) {
+	v, ok := p.Get(section, key)
+	if !ok {
+		return def, nil
+	}
+	switch strings.ToLower(v) {
+	case "true", "yes", "1":
+		return true, nil
+	case "false", "no", "0":
+		return false, nil
+	}
+	return def, fmt.Errorf("nekrs: [%s] %s: bad bool %q", section, key, v)
+}

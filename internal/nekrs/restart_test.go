@@ -1,0 +1,97 @@
+package nekrs
+
+import (
+	"math"
+	"testing"
+
+	"nekrs-sensei/internal/cases"
+	"nekrs-sensei/internal/checkpoint"
+	"nekrs-sensei/internal/mpirt"
+)
+
+// TestRestartResumesTrajectory: checkpoint at step 10, restart a fresh
+// sim from the file, and compare against the uninterrupted run. The
+// restart re-bootstraps with BDF1 (the field file carries no BDF
+// history), so trajectories agree to integration-order accuracy, not
+// bitwise — the same contract as NekRS restarts.
+func TestRestartResumesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	tgv := cases.TaylorGreen(0.1, 3, 3)
+
+	// Reference: 15 uninterrupted steps.
+	comm := mpirt.NewWorld(1).Comm(0)
+	ref, err := NewSim(comm, nil, tgv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keRef float64
+	if err := ref.Run(15, nil); err != nil {
+		t.Fatal(err)
+	}
+	keRef = ref.Solver.KineticEnergy()
+
+	// Run 10, checkpoint, restart, run 5 more.
+	comm2 := mpirt.NewWorld(1).Comm(0)
+	first, err := NewSim(comm2, nil, tgv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Checkpoint = &checkpoint.FldWriter{Dir: dir, Prefix: "tgv", Acct: first.Acct, Storage: first.Storage}
+	first.CheckpointEvery = 10
+	if err := first.Run(10, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	comm3 := mpirt.NewWorld(1).Comm(0)
+	resumed, err := NewSim(comm3, nil, tgv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restart(dir, "tgv", 10); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Solver.StepCount() != 10 {
+		t.Errorf("restart step = %d, want 10", resumed.Solver.StepCount())
+	}
+	if math.Abs(resumed.Solver.Time()-first.Solver.Time()) > 1e-14 {
+		t.Errorf("restart time = %v, want %v", resumed.Solver.Time(), first.Solver.Time())
+	}
+	// State matches the checkpoint exactly before stepping.
+	keCk := first.Solver.KineticEnergy()
+	keRe := resumed.Solver.KineticEnergy()
+	if math.Abs(keCk-keRe) > 1e-13*keCk {
+		t.Errorf("restart KE = %v, checkpoint KE = %v", keRe, keCk)
+	}
+	if err := resumed.Run(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	keRes := resumed.Solver.KineticEnergy()
+	if rel := math.Abs(keRes-keRef) / keRef; rel > 1e-4 {
+		t.Errorf("resumed KE = %v vs reference %v (rel %g)", keRes, keRef, rel)
+	}
+}
+
+func TestRestartMissingFile(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	sim, err := NewSim(comm, nil, cases.TaylorGreen(0.1, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Restart(t.TempDir(), "nope", 3); err == nil {
+		t.Error("expected missing-file error")
+	}
+}
+
+func TestLoadFieldsValidation(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	sim, err := NewSim(comm, nil, cases.TaylorGreen(0.1, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Solver.LoadFields(map[string][]float64{"bogus": {1}}, 0, 0); err == nil {
+		t.Error("expected unknown-field error")
+	}
+	if err := sim.Solver.LoadFields(map[string][]float64{"pressure": {1, 2}}, 0, 0); err == nil {
+		t.Error("expected size error")
+	}
+}

@@ -1,0 +1,125 @@
+package occa
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nekrs-sensei/internal/metrics"
+)
+
+func TestMallocAccounting(t *testing.T) {
+	acct := metrics.NewAccountant()
+	d := NewDevice(CUDA, acct)
+	m := d.Malloc("u", 100)
+	if m.Len() != 100 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if got := d.AllocatedBytes(); got != 800 {
+		t.Errorf("AllocatedBytes = %d, want 800", got)
+	}
+	if got := acct.CategoryInUse("device"); got != 800 {
+		t.Errorf("accountant device = %d, want 800", got)
+	}
+	m.Free()
+	if got := d.AllocatedBytes(); got != 0 {
+		t.Errorf("after free: %d", got)
+	}
+	if got := acct.CategoryPeak("device"); got != 800 {
+		t.Errorf("peak = %d, want 800", got)
+	}
+}
+
+func TestCopyTrafficCounters(t *testing.T) {
+	d := NewDevice(CUDA, nil)
+	host := []float64{1, 2, 3, 4}
+	m := d.MallocFrom("f", host)
+	if d.H2DBytes() != 32 {
+		t.Errorf("H2D = %d, want 32", d.H2DBytes())
+	}
+	dst := make([]float64, 4)
+	m.CopyToHost(dst)
+	if d.D2HBytes() != 32 {
+		t.Errorf("D2H = %d, want 32", d.D2HBytes())
+	}
+	for i := range host {
+		if dst[i] != host[i] {
+			t.Errorf("roundtrip dst[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+func TestCopySizeMismatchPanics(t *testing.T) {
+	d := NewDevice(Serial, nil)
+	m := d.Malloc("x", 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.CopyToHost(make([]float64, 2))
+}
+
+func TestDeviceIsolation(t *testing.T) {
+	// Mutating the host buffer after upload must not affect device data.
+	d := NewDevice(CUDA, nil)
+	host := []float64{1, 2, 3}
+	m := d.MallocFrom("f", host)
+	host[0] = 99
+	dst := make([]float64, 3)
+	m.CopyToHost(dst)
+	if dst[0] != 1 {
+		t.Errorf("device data aliased host: %v", dst)
+	}
+}
+
+func TestLaunchCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		d := NewDeviceWorkers(CUDA, workers, nil)
+		var count atomic.Int64
+		hit := make([]atomic.Bool, 1000)
+		d.Launch(1000, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if hit[i].Swap(true) {
+					t.Errorf("index %d processed twice", i)
+				}
+				count.Add(1)
+			}
+		})
+		if count.Load() != 1000 {
+			t.Errorf("workers=%d: processed %d, want 1000", workers, count.Load())
+		}
+	}
+}
+
+func TestLaunchEmptyRange(t *testing.T) {
+	d := NewDevice(Serial, nil)
+	called := false
+	d.Launch(0, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestKernel(t *testing.T) {
+	d := NewDevice(Serial, nil)
+	u := d.Malloc("u", 10)
+	k := d.BuildKernel("fill", func(lo, hi int) {
+		data := u.Data()
+		for i := lo; i < hi; i++ {
+			data[i] = float64(i * i)
+		}
+	})
+	if k.Name() != "fill" {
+		t.Errorf("Name = %q", k.Name())
+	}
+	k.Run(10)
+	if u.Data()[7] != 49 {
+		t.Errorf("kernel result = %v", u.Data()[7])
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Serial.String() != "Serial" || CUDA.String() != "CUDA" {
+		t.Error("mode strings wrong")
+	}
+}

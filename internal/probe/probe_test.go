@@ -1,0 +1,194 @@
+package probe
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nekrs-sensei/internal/core"
+	"nekrs-sensei/internal/fluid"
+	"nekrs-sensei/internal/mesh"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/occa"
+	"nekrs-sensei/internal/sensei"
+)
+
+func newSolver(t *testing.T, comm *mpirt.Comm, size int) *fluid.Solver {
+	t.Helper()
+	m, err := mesh.NewBox(mesh.BoxConfig{
+		Nx: 3, Ny: 3, Nz: 3, Lx: 1, Ly: 1, Lz: 1, Order: 2,
+	}, comm.Rank(), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := map[mesh.Face]fluid.VelBC{}
+	for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+		bc[f] = fluid.VelBC{}
+	}
+	s, err := fluid.NewSolver(fluid.Config{
+		Mesh: m, Comm: comm, Dev: occa.NewDevice(occa.CUDA, nil),
+		Nu: 0.1, Kappa: 0.1, Dt: 1e-3, Temperature: true, VelBC: bc,
+		InitialTemperature: func(x, y, z float64) float64 { return 2*x - y + 3*z },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParsePoints(t *testing.T) {
+	pts, err := ParsePoints("0.5,0.5,0.5; 0.1, 0.2, 0.3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1] != (Point{0.1, 0.2, 0.3}) {
+		t.Errorf("points = %v", pts)
+	}
+	for _, bad := range []string{"", "1,2", "a,b,c"} {
+		if _, err := ParsePoints(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}
+
+// TestProbeInterpolatesLinearFieldExactly: trilinear sampling of a
+// linear field is exact at arbitrary points.
+func TestProbeInterpolatesLinearFieldExactly(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	ctx := &sensei.Context{
+		Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: t.TempDir(),
+	}
+	pts := []Point{{0.5, 0.5, 0.5}, {0.13, 0.87, 0.41}, {0, 0, 0}, {1, 1, 1}}
+	a := New(ctx, "mesh", pts, []string{"temperature"}, "probes.csv")
+	da := core.NewNekDataAdaptor(s, ctx.Acct)
+	da.SetStep(3, 0.003)
+	if _, err := a.Execute(da); err != nil {
+		t.Fatal(err)
+	}
+	rows := a.History()
+	if len(rows) != 1 {
+		t.Fatalf("history rows = %d", len(rows))
+	}
+	row := rows[0]
+	if math.Abs(row[0]-0.003) > 1e-12 {
+		t.Errorf("time = %v", row[0])
+	}
+	for i, p := range pts {
+		want := 2*p.X - p.Y + 3*p.Z
+		if math.Abs(row[1+i]-want) > 1e-12 {
+			t.Errorf("probe %d = %v, want %v", i, row[1+i], want)
+		}
+	}
+}
+
+func TestProbeParallelOwnership(t *testing.T) {
+	const size = 3
+	dir := t.TempDir()
+	histories := make([][][]float64, size)
+	mpirt.Run(size, func(comm *mpirt.Comm) {
+		s := newSolver(t, comm, size)
+		ctx := &sensei.Context{
+			Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+			Storage: metrics.NewStorageCounter(), OutputDir: dir,
+		}
+		// Points on rank boundaries are owned by several ranks; the
+		// averaged value must still be exact.
+		pts := []Point{{1.0 / 3, 0.5, 0.5}, {0.9, 0.1, 0.2}}
+		a := New(ctx, "mesh", pts, []string{"temperature"}, "par.csv")
+		da := core.NewNekDataAdaptor(s, ctx.Acct)
+		da.SetStep(0, 0)
+		if _, err := a.Execute(da); err != nil {
+			t.Error(err)
+			return
+		}
+		histories[comm.Rank()] = a.History()
+	})
+	if len(histories[0]) != 1 {
+		t.Fatal("rank 0 has no history")
+	}
+	row := histories[0][0]
+	wants := []float64{2*(1.0/3) - 0.5 + 3*0.5, 2*0.9 - 0.1 + 3*0.2}
+	for i, want := range wants {
+		if math.Abs(row[1+i]-want) > 1e-12 {
+			t.Errorf("probe %d = %v, want %v", i, row[1+i], want)
+		}
+	}
+	// Non-root ranks hold no history.
+	if len(histories[1]) != 0 || len(histories[2]) != 0 {
+		t.Error("non-root ranks recorded history")
+	}
+}
+
+func TestProbeCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	ctx := &sensei.Context{
+		Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: dir,
+	}
+	a := New(ctx, "mesh", []Point{{0.5, 0.5, 0.5}}, []string{"pressure", "temperature"}, "h.csv")
+	da := core.NewNekDataAdaptor(s, ctx.Acct)
+	for step := 0; step < 3; step++ {
+		da.SetStep(step, float64(step))
+		if _, err := a.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "h.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), raw)
+	}
+	if lines[0] != "step,time,p0_pressure,p0_temperature" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1,1,") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestProbeOutsideMeshFails(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	ctx := &sensei.Context{
+		Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(), OutputDir: t.TempDir(),
+	}
+	a := New(ctx, "mesh", []Point{{5, 5, 5}}, []string{"pressure"}, "x.csv")
+	da := core.NewNekDataAdaptor(s, ctx.Acct)
+	if _, err := a.Execute(da); err == nil {
+		t.Error("expected outside-mesh error")
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	ctx := &sensei.Context{
+		Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(),
+	}
+	a, err := sensei.NewAnalysisAdaptor("probe", ctx, map[string]string{
+		"points": "0.5,0.5,0.5", "arrays": "pressure", "output": "p.csv",
+	})
+	if err != nil || a == nil {
+		t.Fatal(err)
+	}
+	if _, err := sensei.NewAnalysisAdaptor("probe", ctx, map[string]string{"points": "0,0,0"}); err == nil {
+		t.Error("expected arrays-required error")
+	}
+	if _, err := sensei.NewAnalysisAdaptor("probe", ctx, map[string]string{"arrays": "p"}); err == nil {
+		t.Error("expected points error")
+	}
+}

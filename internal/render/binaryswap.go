@@ -1,0 +1,107 @@
+package render
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"nekrs-sensei/internal/mpirt"
+)
+
+// Composite depth-composites each rank's framebuffer to root using
+// binary swap when the communicator size is a power of two (log2(P)
+// exchange stages, each moving half the remaining image — the
+// standard sort-last algorithm of parallel rendering) and the serial
+// gather otherwise. Collective; returns the image on root, nil
+// elsewhere.
+func Composite(comm *mpirt.Comm, fb *Framebuffer, root int) *Framebuffer {
+	size := comm.Size()
+	if size > 1 && size&(size-1) == 0 {
+		return compositeBinarySwap(comm, fb, root)
+	}
+	return CompositeToRoot(comm, fb, root)
+}
+
+// packRegion serializes pixels [lo, hi) as color||depth bytes.
+func packRegion(fb *Framebuffer, lo, hi int) []byte {
+	n := hi - lo
+	buf := make([]byte, 4*n+4*n)
+	copy(buf, fb.Color[4*lo:4*hi])
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*n+4*i:], math.Float32bits(fb.Depth[lo+i]))
+	}
+	return buf
+}
+
+// mergeRegion composites the packed region into fb at [lo, hi),
+// keeping the nearer fragment per pixel.
+func mergeRegion(fb *Framebuffer, lo, hi int, buf []byte) {
+	n := hi - lo
+	for i := 0; i < n; i++ {
+		d := math.Float32frombits(binary.LittleEndian.Uint32(buf[4*n+4*i:]))
+		if d < fb.Depth[lo+i] {
+			fb.Depth[lo+i] = d
+			copy(fb.Color[4*(lo+i):4*(lo+i)+4], buf[4*i:4*i+4])
+		}
+	}
+}
+
+func compositeBinarySwap(comm *mpirt.Comm, fb *Framebuffer, root int) *Framebuffer {
+	rank := comm.Rank()
+	npix := fb.W * fb.H
+	stages := bits.TrailingZeros(uint(comm.Size()))
+
+	// Work on a copy so the caller's framebuffer is untouched.
+	work := NewFramebuffer(fb.W, fb.H)
+	copy(work.Color, fb.Color)
+	copy(work.Depth, fb.Depth)
+
+	lo, hi := 0, npix
+	for s := 0; s < stages; s++ {
+		partner := rank ^ (1 << s)
+		mid := lo + (hi-lo)/2
+		keepLow := rank&(1<<s) == 0
+		var sendLo, sendHi, keepLo, keepHi int
+		if keepLow {
+			keepLo, keepHi = lo, mid
+			sendLo, sendHi = mid, hi
+		} else {
+			keepLo, keepHi = mid, hi
+			sendLo, sendHi = lo, mid
+		}
+		// Exchange halves: lower rank sends first, higher receives
+		// first — mpirt buffers sends, so ordering is deadlock-free
+		// either way, but keep it symmetric for clarity.
+		comm.SendBytes(partner, 100+s, packRegion(work, sendLo, sendHi))
+		recv, _ := comm.RecvBytes(partner, 100+s)
+		mergeRegion(work, keepLo, keepHi, recv)
+		lo, hi = keepLo, keepHi
+	}
+
+	// Every rank now owns the fully composited region [lo, hi).
+	// Gather the regions to root. Region boundaries are deterministic
+	// from the rank id, so root reconstructs them the same way.
+	region := packRegion(work, lo, hi)
+	parts := comm.GatherBytes(root, region)
+	if rank != root {
+		return nil
+	}
+	out := NewFramebuffer(fb.W, fb.H)
+	for r, p := range parts {
+		rlo, rhi := 0, npix
+		for s := 0; s < stages; s++ {
+			mid := rlo + (rhi-rlo)/2
+			if r&(1<<s) == 0 {
+				rhi = mid
+			} else {
+				rlo = mid
+			}
+		}
+		n := rhi - rlo
+		copy(out.Color[4*rlo:4*rhi], p[:4*n])
+		for i := 0; i < n; i++ {
+			out.Depth[rlo+i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*n+4*i:]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package render
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nekrs-sensei/internal/mpirt"
+)
+
+// randomFB fills a framebuffer with deterministic per-rank content.
+func randomFB(w, h int, seed int64) *Framebuffer {
+	rng := rand.New(rand.NewSource(seed))
+	fb := NewFramebuffer(w, h)
+	for i := 0; i < w*h; i++ {
+		if rng.Float64() < 0.7 {
+			fb.Depth[i] = float32(rng.Float64())
+			fb.Color[4*i] = uint8(rng.Intn(256))
+			fb.Color[4*i+1] = uint8(rng.Intn(256))
+			fb.Color[4*i+2] = uint8(rng.Intn(256))
+			fb.Color[4*i+3] = 255
+		}
+	}
+	return fb
+}
+
+func framebuffersEqual(a, b *Framebuffer) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Depth {
+		if a.Depth[i] != b.Depth[i] {
+			return false
+		}
+	}
+	for i := range a.Color {
+		if a.Color[i] != b.Color[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBinarySwapMatchesSerial: binary-swap compositing must produce
+// bit-identical output to the serial gather reduction.
+func TestBinarySwapMatchesSerial(t *testing.T) {
+	for _, size := range []int{2, 4, 8} {
+		var swapped, serial *Framebuffer
+		mpirt.Run(size, func(c *mpirt.Comm) {
+			fb := randomFB(16, 12, int64(c.Rank())+7)
+			s1 := compositeBinarySwap(c, fb, 0)
+			s2 := CompositeToRoot(c, fb, 0)
+			if c.Rank() == 0 {
+				swapped, serial = s1, s2
+			}
+		})
+		if swapped == nil || serial == nil {
+			t.Fatalf("size %d: missing root image", size)
+		}
+		if !framebuffersEqual(swapped, serial) {
+			t.Errorf("size %d: binary swap differs from serial composite", size)
+		}
+	}
+}
+
+// TestBinarySwapProperty: random sizes and seeds keep the equivalence.
+func TestBinarySwapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sizes := []int{2, 4}
+		size := sizes[int(uint64(seed)%2)]
+		w := 8 + int(uint64(seed)%5)
+		h := 6 + int(uint64(seed)%3)
+		var ok bool
+		mpirt.Run(size, func(c *mpirt.Comm) {
+			fb := randomFB(w, h, seed+int64(c.Rank())*31)
+			s1 := compositeBinarySwap(c, fb, 0)
+			s2 := CompositeToRoot(c, fb, 0)
+			if c.Rank() == 0 {
+				ok = framebuffersEqual(s1, s2)
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompositeDispatch: Composite picks binary swap for powers of two
+// and falls back to the serial gather otherwise, with identical
+// results either way.
+func TestCompositeDispatch(t *testing.T) {
+	for _, size := range []int{1, 3, 4} {
+		var got, want *Framebuffer
+		mpirt.Run(size, func(c *mpirt.Comm) {
+			fb := randomFB(10, 10, int64(c.Rank()))
+			g := Composite(c, fb, 0)
+			w := CompositeToRoot(c, fb, 0)
+			if c.Rank() == 0 {
+				got, want = g, w
+			}
+		})
+		if got == nil || !framebuffersEqual(got, want) {
+			t.Errorf("size %d: dispatch result differs", size)
+		}
+	}
+}
+
+// TestBinarySwapPreservesInput: the caller's framebuffer is not
+// mutated by compositing.
+func TestBinarySwapPreservesInput(t *testing.T) {
+	mpirt.Run(2, func(c *mpirt.Comm) {
+		fb := randomFB(8, 8, int64(c.Rank()))
+		before := append([]uint8(nil), fb.Color...)
+		compositeBinarySwap(c, fb, 0)
+		for i := range before {
+			if fb.Color[i] != before[i] {
+				t.Errorf("rank %d: input framebuffer mutated", c.Rank())
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkCompositeBinarySwap(b *testing.B) {
+	const size = 4
+	b.ReportAllocs()
+	mpirt.Run(size, func(c *mpirt.Comm) {
+		fb := randomFB(256, 256, int64(c.Rank()))
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			compositeBinarySwap(c, fb, 0)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package render
+
+// Colormap maps a normalized scalar t in [0,1] (clamped) to RGB.
+type Colormap func(t float64) (r, g, b uint8)
+
+// lerpTable interpolates linearly through evenly spaced RGB control
+// points.
+func lerpTable(pts [][3]float64) Colormap {
+	n := len(pts)
+	return func(t float64) (uint8, uint8, uint8) {
+		if t <= 0 {
+			return uint8(pts[0][0]), uint8(pts[0][1]), uint8(pts[0][2])
+		}
+		if t >= 1 {
+			return uint8(pts[n-1][0]), uint8(pts[n-1][1]), uint8(pts[n-1][2])
+		}
+		x := t * float64(n-1)
+		i := int(x)
+		f := x - float64(i)
+		r := pts[i][0] + f*(pts[i+1][0]-pts[i][0])
+		g := pts[i][1] + f*(pts[i+1][1]-pts[i][1])
+		b := pts[i][2] + f*(pts[i+1][2]-pts[i][2])
+		return uint8(r), uint8(g), uint8(b)
+	}
+}
+
+// Viridis is the perceptually uniform matplotlib default, the usual
+// choice for scalar fields.
+var Viridis = lerpTable([][3]float64{
+	{68, 1, 84},
+	{71, 44, 122},
+	{59, 81, 139},
+	{44, 113, 142},
+	{33, 144, 141},
+	{39, 173, 129},
+	{92, 200, 99},
+	{170, 220, 50},
+	{253, 231, 37},
+})
+
+// CoolWarm is the diverging blue-white-red map used for signed fields
+// such as vertical velocity in convection renders.
+var CoolWarm = lerpTable([][3]float64{
+	{59, 76, 192},
+	{144, 178, 254},
+	{221, 221, 221},
+	{246, 153, 122},
+	{180, 4, 38},
+})
+
+// Grayscale maps t to luminance.
+var Grayscale = lerpTable([][3]float64{{0, 0, 0}, {255, 255, 255}})
+
+// ColormapByName resolves a colormap from its configuration-file name;
+// unknown names fall back to Viridis.
+func ColormapByName(name string) Colormap {
+	switch name {
+	case "coolwarm", "CoolWarm":
+		return CoolWarm
+	case "gray", "grayscale", "Grayscale":
+		return Grayscale
+	default:
+		return Viridis
+	}
+}

@@ -1,0 +1,66 @@
+package render
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"math"
+
+	"nekrs-sensei/internal/mpirt"
+)
+
+// CompositeToRoot performs sort-last depth compositing of each rank's
+// locally rendered framebuffer: color and depth buffers are gathered to
+// root, which keeps the nearest fragment per pixel. Collective; returns
+// the composited image on root and nil elsewhere.
+//
+// This is the standard parallel-rendering step that lets every rank
+// rasterize only its own partition of the mesh, as a Catalyst pipeline
+// does on each MPI rank before image reduction.
+func CompositeToRoot(comm *mpirt.Comm, fb *Framebuffer, root int) *Framebuffer {
+	// Pack color || depth.
+	buf := make([]byte, len(fb.Color)+4*len(fb.Depth))
+	copy(buf, fb.Color)
+	for i, d := range fb.Depth {
+		binary.LittleEndian.PutUint32(buf[len(fb.Color)+4*i:], math.Float32bits(d))
+	}
+	parts := comm.GatherBytes(root, buf)
+	if comm.Rank() != root {
+		return nil
+	}
+	out := NewFramebuffer(fb.W, fb.H)
+	npix := fb.W * fb.H
+	for _, p := range parts {
+		if len(p) != len(buf) {
+			panic(fmt.Sprintf("render: composite size mismatch: %d vs %d", len(p), len(buf)))
+		}
+		colors := p[:4*npix]
+		for i := 0; i < npix; i++ {
+			d := math.Float32frombits(binary.LittleEndian.Uint32(p[4*npix+4*i:]))
+			if d < out.Depth[i] {
+				out.Depth[i] = d
+				copy(out.Color[4*i:4*i+4], colors[4*i:4*i+4])
+			}
+		}
+	}
+	return out
+}
+
+// EncodePNG writes the framebuffer as a PNG image and returns the
+// encoded size in bytes.
+func EncodePNG(w io.Writer, fb *Framebuffer) (int64, error) {
+	img := &image.NRGBA{
+		Pix:    fb.Color,
+		Stride: 4 * fb.W,
+		Rect:   image.Rect(0, 0, fb.W, fb.H),
+	}
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}

@@ -1,0 +1,138 @@
+// Package render is a software rendering pipeline standing in for the
+// ParaView/Catalyst + OSPRay stack of the paper: a look-at perspective
+// camera, a z-buffered triangle rasterizer with per-vertex scalar
+// coloring and directional lighting, scientific colormaps, sort-last
+// depth compositing across MPI ranks, and PNG encoding.
+package render
+
+import "math"
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s * a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a x b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns the Euclidean length.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a unit vector in a's direction (zero stays zero).
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Mat4 is a row-major 4x4 matrix.
+type Mat4 [16]float64
+
+// Mul returns a * b.
+func (a Mat4) Mul(b Mat4) Mat4 {
+	var out Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += a[i*4+k] * b[k*4+j]
+			}
+			out[i*4+j] = s
+		}
+	}
+	return out
+}
+
+// MulPoint transforms a point, returning homogeneous (x, y, z, w).
+func (a Mat4) MulPoint(p Vec3) (x, y, z, w float64) {
+	x = a[0]*p.X + a[1]*p.Y + a[2]*p.Z + a[3]
+	y = a[4]*p.X + a[5]*p.Y + a[6]*p.Z + a[7]
+	z = a[8]*p.X + a[9]*p.Y + a[10]*p.Z + a[11]
+	w = a[12]*p.X + a[13]*p.Y + a[14]*p.Z + a[15]
+	return
+}
+
+// LookAt builds a right-handed view matrix with the camera at eye
+// looking toward center.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Normalize()
+	s := f.Cross(up).Normalize()
+	u := s.Cross(f)
+	return Mat4{
+		s.X, s.Y, s.Z, -s.Dot(eye),
+		u.X, u.Y, u.Z, -u.Dot(eye),
+		-f.X, -f.Y, -f.Z, f.Dot(eye),
+		0, 0, 0, 1,
+	}
+}
+
+// Perspective builds a perspective projection with vertical field of
+// view fovy (radians), mapping view-space z in [-far,-near] to NDC
+// depth [-1,1].
+func Perspective(fovy, aspect, near, far float64) Mat4 {
+	t := 1 / math.Tan(fovy/2)
+	return Mat4{
+		t / aspect, 0, 0, 0,
+		0, t, 0, 0,
+		0, 0, -(far + near) / (far - near), -2 * far * near / (far - near),
+		0, 0, -1, 0,
+	}
+}
+
+// Camera is a perspective look-at camera.
+type Camera struct {
+	Eye, LookAt, Up Vec3
+	FovYDeg         float64
+	Near, Far       float64
+}
+
+// ViewProj returns the combined projection*view matrix for the given
+// output aspect ratio (width/height).
+func (c Camera) ViewProj(aspect float64) Mat4 {
+	fov := c.FovYDeg * math.Pi / 180
+	if fov == 0 {
+		fov = 60 * math.Pi / 180
+	}
+	near, far := c.Near, c.Far
+	if near == 0 {
+		near = 0.01
+	}
+	if far == 0 {
+		far = 100
+	}
+	return Perspective(fov, aspect, near, far).Mul(LookAt(c.Eye, c.LookAt, c.Up))
+}
+
+// FitBox positions a camera to view the axis-aligned box [lo, hi] from
+// the given unit-ish direction.
+func FitBox(lo, hi, dir Vec3) Camera {
+	center := lo.Add(hi).Scale(0.5)
+	diag := hi.Sub(lo).Norm()
+	eye := center.Add(dir.Normalize().Scale(1.6 * diag))
+	up := Vec3{0, 0, 1}
+	if math.Abs(dir.Normalize().Z) > 0.9 {
+		up = Vec3{0, 1, 0}
+	}
+	return Camera{
+		Eye: eye, LookAt: center, Up: up,
+		FovYDeg: 45, Near: 0.01 * diag, Far: 10 * diag,
+	}
+}

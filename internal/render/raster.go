@@ -1,0 +1,195 @@
+package render
+
+import (
+	"fmt"
+	"math"
+)
+
+// TriangleSoup is an unindexed triangle list with one scalar value per
+// vertex, the exchange format between the contour/slice filters and
+// the rasterizer.
+type TriangleSoup struct {
+	Positions []float64 // 9 per triangle (xyz per vertex)
+	Scalars   []float64 // 3 per triangle (one per vertex)
+}
+
+// NumTriangles reports the triangle count.
+func (s *TriangleSoup) NumTriangles() int { return len(s.Positions) / 9 }
+
+// Append adds one triangle given vertex positions and scalars.
+func (s *TriangleSoup) Append(p0, p1, p2 Vec3, s0, s1, s2 float64) {
+	s.Positions = append(s.Positions,
+		p0.X, p0.Y, p0.Z, p1.X, p1.Y, p1.Z, p2.X, p2.Y, p2.Z)
+	s.Scalars = append(s.Scalars, s0, s1, s2)
+}
+
+// Merge appends all triangles of other into s.
+func (s *TriangleSoup) Merge(other *TriangleSoup) {
+	s.Positions = append(s.Positions, other.Positions...)
+	s.Scalars = append(s.Scalars, other.Scalars...)
+}
+
+// Bytes reports the soup's memory footprint.
+func (s *TriangleSoup) Bytes() int64 {
+	return int64(len(s.Positions)+len(s.Scalars)) * 8
+}
+
+// Light is a directional light with ambient and diffuse coefficients.
+type Light struct {
+	Dir              Vec3
+	Ambient, Diffuse float64
+}
+
+// DefaultLight gives pleasant two-sided shading.
+func DefaultLight() Light {
+	return Light{Dir: Vec3{-0.4, -0.6, -1}.Normalize(), Ambient: 0.35, Diffuse: 0.65}
+}
+
+// Framebuffer is an RGBA color buffer with a float depth buffer in NDC
+// units (smaller = nearer).
+type Framebuffer struct {
+	W, H  int
+	Color []uint8   // RGBA, 4 per pixel
+	Depth []float32 // NDC z, +Inf where empty
+}
+
+// NewFramebuffer returns a cleared framebuffer.
+func NewFramebuffer(w, h int) *Framebuffer {
+	fb := &Framebuffer{W: w, H: h, Color: make([]uint8, 4*w*h), Depth: make([]float32, w*h)}
+	fb.Clear([4]uint8{0, 0, 0, 255})
+	return fb
+}
+
+// Clear resets color and depth.
+func (fb *Framebuffer) Clear(c [4]uint8) {
+	for i := 0; i < len(fb.Color); i += 4 {
+		fb.Color[i] = c[0]
+		fb.Color[i+1] = c[1]
+		fb.Color[i+2] = c[2]
+		fb.Color[i+3] = c[3]
+	}
+	inf := float32(math.Inf(1))
+	for i := range fb.Depth {
+		fb.Depth[i] = inf
+	}
+}
+
+// At returns the RGBA color at pixel (x, y).
+func (fb *Framebuffer) At(x, y int) [4]uint8 {
+	i := 4 * (y*fb.W + x)
+	return [4]uint8{fb.Color[i], fb.Color[i+1], fb.Color[i+2], fb.Color[i+3]}
+}
+
+// Bytes reports the framebuffer memory footprint.
+func (fb *Framebuffer) Bytes() int64 { return int64(len(fb.Color)) + int64(len(fb.Depth))*4 }
+
+// Draw rasterizes the soup through the camera into fb, coloring by the
+// scalar mapped through cmap over [smin, smax] with two-sided
+// directional lighting. Triangles with any vertex behind the camera
+// are skipped (no near-plane clipping; scene cameras keep geometry in
+// front).
+func Draw(fb *Framebuffer, cam Camera, soup *TriangleSoup, cmap Colormap, smin, smax float64, light Light) {
+	if smax <= smin {
+		smax = smin + 1
+	}
+	mvp := cam.ViewProj(float64(fb.W) / float64(fb.H))
+	n := soup.NumTriangles()
+	for t := 0; t < n; t++ {
+		p := soup.Positions[9*t : 9*t+9]
+		sv := soup.Scalars[3*t : 3*t+3]
+		v0 := Vec3{p[0], p[1], p[2]}
+		v1 := Vec3{p[3], p[4], p[5]}
+		v2 := Vec3{p[6], p[7], p[8]}
+
+		// Face normal lighting (two-sided).
+		nrm := v1.Sub(v0).Cross(v2.Sub(v0)).Normalize()
+		intensity := light.Ambient + light.Diffuse*math.Abs(nrm.Dot(light.Dir))
+		if intensity > 1 {
+			intensity = 1
+		}
+
+		x0, y0, z0, w0 := mvp.MulPoint(v0)
+		x1, y1, z1, w1 := mvp.MulPoint(v1)
+		x2, y2, z2, w2 := mvp.MulPoint(v2)
+		if w0 <= 1e-9 || w1 <= 1e-9 || w2 <= 1e-9 {
+			continue
+		}
+		// Screen coordinates and NDC depth.
+		sx0, sy0 := (x0/w0+1)*0.5*float64(fb.W), (1-y0/w0)*0.5*float64(fb.H)
+		sx1, sy1 := (x1/w1+1)*0.5*float64(fb.W), (1-y1/w1)*0.5*float64(fb.H)
+		sx2, sy2 := (x2/w2+1)*0.5*float64(fb.W), (1-y2/w2)*0.5*float64(fb.H)
+		nz0, nz1, nz2 := z0/w0, z1/w1, z2/w2
+
+		area := (sx1-sx0)*(sy2-sy0) - (sx2-sx0)*(sy1-sy0)
+		if area == 0 {
+			continue
+		}
+		minX := int(math.Floor(min3(sx0, sx1, sx2)))
+		maxX := int(math.Ceil(max3(sx0, sx1, sx2)))
+		minY := int(math.Floor(min3(sy0, sy1, sy2)))
+		maxY := int(math.Ceil(max3(sy0, sy1, sy2)))
+		if minX < 0 {
+			minX = 0
+		}
+		if minY < 0 {
+			minY = 0
+		}
+		if maxX > fb.W-1 {
+			maxX = fb.W - 1
+		}
+		if maxY > fb.H-1 {
+			maxY = fb.H - 1
+		}
+		// Perspective-correct scalar: interpolate s/w and 1/w.
+		iw0, iw1, iw2 := 1/w0, 1/w1, 1/w2
+		sw0, sw1, sw2 := sv[0]*iw0, sv[1]*iw1, sv[2]*iw2
+		invArea := 1 / area
+		for py := minY; py <= maxY; py++ {
+			for px := minX; px <= maxX; px++ {
+				cx, cy := float64(px)+0.5, float64(py)+0.5
+				b0 := ((sx1-cx)*(sy2-cy) - (sx2-cx)*(sy1-cy)) * invArea
+				b1 := ((sx2-cx)*(sy0-cy) - (sx0-cx)*(sy2-cy)) * invArea
+				b2 := 1 - b0 - b1
+				if b0 < 0 || b1 < 0 || b2 < 0 {
+					continue
+				}
+				z := float32(b0*nz0 + b1*nz1 + b2*nz2)
+				idx := py*fb.W + px
+				if z >= fb.Depth[idx] {
+					continue
+				}
+				fb.Depth[idx] = z
+				sw := b0*sw0 + b1*sw1 + b2*sw2
+				iw := b0*iw0 + b1*iw1 + b2*iw2
+				sVal := sw / iw
+				tt := (sVal - smin) / (smax - smin)
+				r, g, b := cmap(tt)
+				fb.Color[4*idx] = uint8(float64(r) * intensity)
+				fb.Color[4*idx+1] = uint8(float64(g) * intensity)
+				fb.Color[4*idx+2] = uint8(float64(b) * intensity)
+				fb.Color[4*idx+3] = 255
+			}
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }
+
+// CoveredPixels counts pixels that received any geometry, a cheap
+// emptiness check for tests.
+func (fb *Framebuffer) CoveredPixels() int {
+	n := 0
+	inf := float32(math.Inf(1))
+	for _, d := range fb.Depth {
+		if d < inf {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the framebuffer.
+func (fb *Framebuffer) String() string {
+	return fmt.Sprintf("Framebuffer(%dx%d, %d covered)", fb.W, fb.H, fb.CoveredPixels())
+}

@@ -1,0 +1,140 @@
+package sensei
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// ConfigurableAnalysis multiplexes several analysis adaptors selected
+// and configured at runtime from an XML document of the form
+//
+//	<sensei>
+//	  <analysis type="catalyst" pipeline="script" filename="analysis.xml"
+//	            frequency="100" enabled="1"/>
+//	</sensei>
+//
+// mirroring the paper's Listing 1: enabling a different back end is an
+// XML edit, not a recompilation.
+type ConfigurableAnalysis struct {
+	ctx     *Context
+	entries []configEntry
+}
+
+type configEntry struct {
+	typeName  string
+	frequency int
+	adaptor   AnalysisAdaptor
+}
+
+// xml parse targets.
+type xSensei struct {
+	XMLName  xml.Name    `xml:"sensei"`
+	Analyses []xAnalysis `xml:"analysis"`
+}
+
+type xAnalysis struct {
+	Attrs []xml.Attr `xml:",any,attr"`
+}
+
+// NewConfigurableAnalysis returns an empty multiplexer.
+func NewConfigurableAnalysis(ctx *Context) *ConfigurableAnalysis {
+	return &ConfigurableAnalysis{ctx: ctx}
+}
+
+// InitializeXML parses the configuration document and instantiates the
+// enabled analyses.
+func (ca *ConfigurableAnalysis) InitializeXML(doc []byte) error {
+	var cfg xSensei
+	if err := xml.Unmarshal(doc, &cfg); err != nil {
+		return fmt.Errorf("sensei: config parse: %w", err)
+	}
+	for i, an := range cfg.Analyses {
+		attrs := make(map[string]string, len(an.Attrs))
+		for _, a := range an.Attrs {
+			attrs[a.Name.Local] = a.Value
+		}
+		typeName := attrs["type"]
+		if typeName == "" {
+			return fmt.Errorf("sensei: analysis %d: missing type attribute", i)
+		}
+		if en, ok := attrs["enabled"]; ok && (en == "0" || en == "false") {
+			continue
+		}
+		freq := 1
+		if f, ok := attrs["frequency"]; ok {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 1 {
+				return fmt.Errorf("sensei: analysis %d: bad frequency %q", i, f)
+			}
+			freq = v
+		}
+		adaptor, err := NewAnalysisAdaptor(typeName, ca.ctx, attrs)
+		if err != nil {
+			return err
+		}
+		ca.entries = append(ca.entries, configEntry{typeName: typeName, frequency: freq, adaptor: adaptor})
+	}
+	return nil
+}
+
+// InitializeFile loads the configuration from an XML file, the call
+// shape of the paper's bridge pseudocode (Listing 3).
+func (ca *ConfigurableAnalysis) InitializeFile(path string) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("sensei: read config: %w", err)
+	}
+	return ca.InitializeXML(doc)
+}
+
+// AddAnalysis appends a programmatically constructed analysis with the
+// given trigger frequency.
+func (ca *ConfigurableAnalysis) AddAnalysis(typeName string, freq int, a AnalysisAdaptor) {
+	if freq < 1 {
+		freq = 1
+	}
+	ca.entries = append(ca.entries, configEntry{typeName: typeName, frequency: freq, adaptor: a})
+}
+
+// NumAnalyses reports the number of enabled analyses.
+func (ca *ConfigurableAnalysis) NumAnalyses() int { return len(ca.entries) }
+
+// Types lists the enabled analysis type names in order.
+func (ca *ConfigurableAnalysis) Types() []string {
+	out := make([]string, len(ca.entries))
+	for i, e := range ca.entries {
+		out[i] = e.typeName
+	}
+	return out
+}
+
+// Execute runs every enabled analysis whose frequency divides the
+// adaptor's current timestep.
+func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) error {
+	step := da.TimeStep()
+	for _, e := range ca.entries {
+		if step%e.frequency != 0 {
+			continue
+		}
+		stop := ca.ctx.Timer.Start("sensei:" + e.typeName)
+		_, err := e.adaptor.Execute(da)
+		stop()
+		if err != nil {
+			return fmt.Errorf("sensei: analysis %s: %w", e.typeName, err)
+		}
+	}
+	return nil
+}
+
+// Finalize finalizes all analyses, returning the first error.
+func (ca *ConfigurableAnalysis) Finalize() error {
+	var first error
+	for _, e := range ca.entries {
+		if err := e.adaptor.Finalize(); err != nil && first == nil {
+			first = fmt.Errorf("sensei: finalize %s: %w", e.typeName, err)
+		}
+	}
+	return first
+}

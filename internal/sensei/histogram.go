@@ -1,0 +1,110 @@
+package sensei
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"nekrs-sensei/internal/mpirt"
+)
+
+// Histogram is SENSEI's classic built-in mini-analysis: a distributed
+// histogram of one array, computed with two reductions (range, then
+// counts). Registered as analysis type "histogram" with attributes
+// mesh, array, bins.
+type Histogram struct {
+	ctx   *Context
+	mesh  string
+	array string
+	bins  int
+
+	lastEdges  []float64
+	lastCounts []int64
+}
+
+// NewHistogram constructs the analysis directly (tests, examples).
+func NewHistogram(ctx *Context, meshName, array string, bins int) *Histogram {
+	if bins < 1 {
+		bins = 10
+	}
+	return &Histogram{ctx: ctx, mesh: meshName, array: array, bins: bins}
+}
+
+func init() {
+	Register("histogram", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+		bins := 10
+		if b, ok := attrs["bins"]; ok {
+			v, err := strconv.Atoi(b)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("sensei: histogram: bad bins %q", b)
+			}
+			bins = v
+		}
+		array := attrs["array"]
+		if array == "" {
+			return nil, fmt.Errorf("sensei: histogram: array attribute required")
+		}
+		meshName := attrs["mesh"]
+		if meshName == "" {
+			meshName = "mesh"
+		}
+		return NewHistogram(ctx, meshName, array, bins), nil
+	})
+}
+
+// Execute implements AnalysisAdaptor.
+func (h *Histogram) Execute(da DataAdaptor) (bool, error) {
+	g, err := da.Mesh(h.mesh, true)
+	if err != nil {
+		return false, err
+	}
+	if err := da.AddArray(g, h.mesh, AssocPoint, h.array); err != nil {
+		return false, err
+	}
+	arr := g.FindPointData(h.array)
+	if arr == nil {
+		return false, fmt.Errorf("sensei: histogram: array %q not attached", h.array)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range arr.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	lo = h.ctx.Comm.AllreduceF64Scalar(lo, mpirt.OpMin)
+	hi = h.ctx.Comm.AllreduceF64Scalar(hi, mpirt.OpMax)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	counts := make([]int64, h.bins)
+	scale := float64(h.bins) / (hi - lo)
+	for _, v := range arr.Data {
+		b := int((v - lo) * scale)
+		if b >= h.bins {
+			b = h.bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	counts = h.ctx.Comm.AllreduceI64(counts, mpirt.OpSum)
+	h.lastCounts = counts
+	h.lastEdges = make([]float64, h.bins+1)
+	for i := range h.lastEdges {
+		h.lastEdges[i] = lo + float64(i)*(hi-lo)/float64(h.bins)
+	}
+	return true, nil
+}
+
+// Finalize implements AnalysisAdaptor.
+func (h *Histogram) Finalize() error { return nil }
+
+// Last returns the most recent bin edges (bins+1) and global counts
+// (bins); nil before the first Execute.
+func (h *Histogram) Last() (edges []float64, counts []int64) {
+	return h.lastEdges, h.lastCounts
+}

@@ -1,0 +1,138 @@
+// Package sensei is the reproduction's port of the SENSEI generic in
+// situ interface (Ayachit et al., ISAV 2016): simulation codes
+// implement a DataAdaptor that exposes their state through the VTK
+// data model; analysis back ends implement an AnalysisAdaptor; and a
+// ConfigurableAnalysis multiplexes analyses selected at *runtime* from
+// an XML configuration — the paper's Listing 1 — so in situ algorithms
+// can be swapped without recompiling the simulation.
+package sensei
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/vtkdata"
+)
+
+// Assoc distinguishes point- from cell-centred arrays.
+type Assoc int
+
+// Array associations.
+const (
+	AssocPoint Assoc = iota
+	AssocCell
+)
+
+func (a Assoc) String() string {
+	if a == AssocCell {
+		return "cell"
+	}
+	return "point"
+}
+
+// MeshMetadata describes one mesh a DataAdaptor can produce, the
+// SENSEI structure analyses consult before pulling data.
+type MeshMetadata struct {
+	MeshName   string
+	NumPoints  int64 // global across ranks
+	NumCells   int64 // global across ranks
+	NumBlocks  int   // number of ranks contributing blocks
+	ArrayNames []string
+	ArrayAssoc []Assoc
+}
+
+// NumArrays reports the number of advertised arrays.
+func (md *MeshMetadata) NumArrays() int { return len(md.ArrayNames) }
+
+// HasArray reports whether the named array is advertised.
+func (md *MeshMetadata) HasArray(name string) bool {
+	for _, n := range md.ArrayNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DataAdaptor is the simulation-side interface (the paper's Listing 2:
+// GetNumberOfMeshes / GetMeshMetadata / GetMesh / AddArray, with Go
+// naming). Implementations expose simulation state as VTK grids; data
+// on accelerator memory must be staged to the host to satisfy the VTK
+// data model.
+type DataAdaptor interface {
+	// NumberOfMeshes reports how many meshes the simulation exposes.
+	NumberOfMeshes() (int, error)
+	// MeshMetadata describes mesh i.
+	MeshMetadata(i int) (*MeshMetadata, error)
+	// Mesh returns the local block of the named mesh; with
+	// structureOnly, no data arrays are attached.
+	Mesh(meshName string, structureOnly bool) (*vtkdata.UnstructuredGrid, error)
+	// AddArray attaches the named simulation array to a grid
+	// previously obtained from Mesh.
+	AddArray(g *vtkdata.UnstructuredGrid, meshName string, assoc Assoc, arrayName string) error
+	// Time reports the current simulation time.
+	Time() float64
+	// TimeStep reports the current step index.
+	TimeStep() int
+	// ReleaseData frees per-step resources created by Mesh/AddArray.
+	ReleaseData() error
+}
+
+// AnalysisAdaptor is the analysis-side interface: Execute consumes one
+// step through a DataAdaptor; Finalize flushes state at shutdown.
+type AnalysisAdaptor interface {
+	Execute(da DataAdaptor) (bool, error)
+	Finalize() error
+}
+
+// Context supplies rank-local resources to analysis adaptors.
+type Context struct {
+	Comm    *mpirt.Comm
+	Acct    *metrics.Accountant
+	Timer   *metrics.Timer
+	Storage *metrics.StorageCounter
+	// OutputDir is where file-producing adaptors write.
+	OutputDir string
+}
+
+// Factory instantiates an AnalysisAdaptor from its XML attributes.
+type Factory func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register makes an analysis type available to ConfigurableAnalysis.
+// Typically called from an adaptor package's init.
+func Register(typeName string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[typeName] = f
+}
+
+// RegisteredTypes lists the known analysis types, sorted.
+func RegisteredTypes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewAnalysisAdaptor instantiates a registered analysis type.
+func NewAnalysisAdaptor(typeName string, ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+	registryMu.RLock()
+	f := registry[typeName]
+	registryMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("sensei: unknown analysis type %q (registered: %v)", typeName, RegisteredTypes())
+	}
+	return f(ctx, attrs)
+}

@@ -1,0 +1,335 @@
+package sensei
+
+import (
+	"strings"
+	"testing"
+
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/vtkdata"
+)
+
+// mockAdaptor is a minimal DataAdaptor over a fixed point cloud.
+type mockAdaptor struct {
+	step   int
+	time   float64
+	values []float64
+}
+
+func (m *mockAdaptor) NumberOfMeshes() (int, error) { return 1, nil }
+
+func (m *mockAdaptor) MeshMetadata(i int) (*MeshMetadata, error) {
+	return &MeshMetadata{
+		MeshName:   "mesh",
+		NumPoints:  int64(len(m.values)),
+		NumCells:   1,
+		NumBlocks:  1,
+		ArrayNames: []string{"f"},
+		ArrayAssoc: []Assoc{AssocPoint},
+	}, nil
+}
+
+func (m *mockAdaptor) Mesh(name string, structureOnly bool) (*vtkdata.UnstructuredGrid, error) {
+	n := len(m.values)
+	g := &vtkdata.UnstructuredGrid{Points: make([]float64, 3*n)}
+	for i := 0; i < n; i++ {
+		g.Points[3*i] = float64(i)
+	}
+	// One degenerate hex so the grid validates.
+	g.Connectivity = make([]int64, 8)
+	g.Offsets = []int64{8}
+	g.CellTypes = []uint8{vtkdata.VTKHexahedron}
+	return g, nil
+}
+
+func (m *mockAdaptor) AddArray(g *vtkdata.UnstructuredGrid, mesh string, assoc Assoc, name string) error {
+	return g.AddPointData(name, 1, m.values)
+}
+
+func (m *mockAdaptor) Time() float64      { return m.time }
+func (m *mockAdaptor) TimeStep() int      { return m.step }
+func (m *mockAdaptor) ReleaseData() error { return nil }
+
+// countingAnalysis records how many times it executed.
+type countingAnalysis struct {
+	executions int
+	finalized  bool
+}
+
+func (c *countingAnalysis) Execute(da DataAdaptor) (bool, error) {
+	c.executions++
+	return true, nil
+}
+
+func (c *countingAnalysis) Finalize() error {
+	c.finalized = true
+	return nil
+}
+
+func testCtx() *Context {
+	return &Context{
+		Comm:    mpirt.NewWorld(1).Comm(0),
+		Acct:    metrics.NewAccountant(),
+		Timer:   metrics.NewTimer(),
+		Storage: metrics.NewStorageCounter(),
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	called := false
+	Register("test-adaptor", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+		called = true
+		if attrs["custom"] != "42" {
+			t.Errorf("attrs = %v", attrs)
+		}
+		return &countingAnalysis{}, nil
+	})
+	a, err := NewAnalysisAdaptor("test-adaptor", testCtx(), map[string]string{"custom": "42"})
+	if err != nil || a == nil || !called {
+		t.Fatalf("factory not invoked: %v", err)
+	}
+	if _, err := NewAnalysisAdaptor("nope", testCtx(), nil); err == nil {
+		t.Error("expected unknown-type error")
+	}
+	found := false
+	for _, n := range RegisteredTypes() {
+		if n == "test-adaptor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("test-adaptor not listed")
+	}
+}
+
+func TestConfigurableAnalysisFrequencyGating(t *testing.T) {
+	counter := &countingAnalysis{}
+	Register("counting", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+		return counter, nil
+	})
+	ca := NewConfigurableAnalysis(testCtx())
+	cfg := `<sensei>
+  <analysis type="counting" frequency="100"/>
+</sensei>`
+	if err := ca.InitializeXML([]byte(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if ca.NumAnalyses() != 1 {
+		t.Fatalf("NumAnalyses = %d", ca.NumAnalyses())
+	}
+	da := &mockAdaptor{values: []float64{1, 2, 3}}
+	for step := 0; step <= 1000; step++ {
+		da.step = step
+		if err := ca.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Steps 0, 100, ..., 1000 -> 11 executions.
+	if counter.executions != 11 {
+		t.Errorf("executions = %d, want 11", counter.executions)
+	}
+	if err := ca.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !counter.finalized {
+		t.Error("not finalized")
+	}
+}
+
+func TestConfigurableAnalysisEnabledFlag(t *testing.T) {
+	a := &countingAnalysis{}
+	b := &countingAnalysis{}
+	next := a
+	Register("toggled", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+		cur := next
+		next = b
+		return cur, nil
+	})
+	ca := NewConfigurableAnalysis(testCtx())
+	cfg := `<sensei>
+  <analysis type="toggled" enabled="0"/>
+  <analysis type="toggled" enabled="1"/>
+</sensei>`
+	if err := ca.InitializeXML([]byte(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if ca.NumAnalyses() != 1 {
+		t.Fatalf("NumAnalyses = %d, want 1 (one disabled)", ca.NumAnalyses())
+	}
+}
+
+func TestConfigurableAnalysisPaperListing(t *testing.T) {
+	// The exact configuration shape of the paper's Listing 1.
+	Register("catalyst-test", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+		if attrs["pipeline"] != "pythonscript" || attrs["filename"] != "analysis.py" {
+			t.Errorf("attrs = %v", attrs)
+		}
+		return &countingAnalysis{}, nil
+	})
+	cfg := `<sensei>
+  <analysis type="catalyst-test" pipeline="pythonscript" filename="analysis.py" frequency="100"/>
+</sensei>`
+	ca := NewConfigurableAnalysis(testCtx())
+	if err := ca.InitializeXML([]byte(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ca.Types(); len(got) != 1 || got[0] != "catalyst-test" {
+		t.Errorf("Types = %v", got)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	ca := NewConfigurableAnalysis(testCtx())
+	if err := ca.InitializeXML([]byte("<nonsense")); err == nil {
+		t.Error("expected XML error")
+	}
+	if err := ca.InitializeXML([]byte(`<sensei><analysis frequency="1"/></sensei>`)); err == nil {
+		t.Error("expected missing-type error")
+	}
+	if err := ca.InitializeXML([]byte(`<sensei><analysis type="histogram" array="f" frequency="zero"/></sensei>`)); err == nil {
+		t.Error("expected frequency error")
+	}
+	if err := ca.InitializeXML([]byte(`<sensei><analysis type="does-not-exist"/></sensei>`)); err == nil {
+		t.Error("expected unknown-type error")
+	} else if !strings.Contains(err.Error(), "does-not-exist") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestHistogramCounts(t *testing.T) {
+	ctx := testCtx()
+	h := NewHistogram(ctx, "mesh", "f", 4)
+	da := &mockAdaptor{values: []float64{0, 0.1, 0.3, 0.6, 0.9, 1.0}}
+	ok, err := h.Execute(da)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	edges, counts := h.Last()
+	if len(edges) != 5 || len(counts) != 4 {
+		t.Fatalf("edges %d counts %d", len(edges), len(counts))
+	}
+	if edges[0] != 0 || edges[4] != 1 {
+		t.Errorf("edges = %v", edges)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("total = %d, want 6", total)
+	}
+	// Bins: [0,0.25): {0, 0.1} = 2; [0.25,0.5): {0.3} = 1;
+	// [0.5,0.75): {0.6} = 1; [0.75,1]: {0.9, 1.0} = 2.
+	want := []int64{2, 1, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts = %v, want %v", counts, want)
+			break
+		}
+	}
+}
+
+func TestHistogramDistributed(t *testing.T) {
+	mpirt.Run(3, func(c *mpirt.Comm) {
+		ctx := &Context{Comm: c, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer()}
+		h := NewHistogram(ctx, "mesh", "f", 2)
+		// Rank r contributes values all equal to r.
+		da := &mockAdaptor{values: []float64{float64(c.Rank()), float64(c.Rank())}}
+		if _, err := h.Execute(da); err != nil {
+			t.Error(err)
+			return
+		}
+		_, counts := h.Last()
+		// Range [0,2], bins [0,1) and [1,2]: ranks 0 -> bin 0 (2 values),
+		// ranks 1,2 -> bin 1 (4 values).
+		if counts[0] != 2 || counts[1] != 4 {
+			t.Errorf("counts = %v", counts)
+		}
+	})
+}
+
+func TestHistogramFactoryValidation(t *testing.T) {
+	if _, err := NewAnalysisAdaptor("histogram", testCtx(), map[string]string{}); err == nil {
+		t.Error("expected array-required error")
+	}
+	if _, err := NewAnalysisAdaptor("histogram", testCtx(), map[string]string{"array": "f", "bins": "-2"}); err == nil {
+		t.Error("expected bins error")
+	}
+	a, err := NewAnalysisAdaptor("histogram", testCtx(), map[string]string{"array": "f", "bins": "16"})
+	if err != nil || a == nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMeshMetadataHelpers(t *testing.T) {
+	md := &MeshMetadata{ArrayNames: []string{"a", "b"}, ArrayAssoc: []Assoc{AssocPoint, AssocCell}}
+	if md.NumArrays() != 2 {
+		t.Error("NumArrays")
+	}
+	if !md.HasArray("b") || md.HasArray("c") {
+		t.Error("HasArray")
+	}
+	if AssocPoint.String() != "point" || AssocCell.String() != "cell" {
+		t.Error("Assoc strings")
+	}
+}
+
+func TestAutocorrelationConstantField(t *testing.T) {
+	ctx := testCtx()
+	a := NewAutocorrelation(ctx, "mesh", "f", 3)
+	da := &mockAdaptor{values: []float64{2, 2, 2}}
+	for step := 0; step < 6; step++ {
+		da.step = step
+		if _, err := a.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corr := a.Correlations()
+	// A constant signal is perfectly correlated at every lag.
+	for k, c := range corr {
+		if mathAbs(c-1) > 1e-12 {
+			t.Errorf("lag %d: corr = %v, want 1", k, c)
+		}
+	}
+}
+
+func TestAutocorrelationAlternatingField(t *testing.T) {
+	ctx := testCtx()
+	a := NewAutocorrelation(ctx, "mesh", "f", 2)
+	da := &mockAdaptor{values: []float64{1, 1}}
+	for step := 0; step < 8; step++ {
+		// Sign alternates each trigger: corr(1) = -1, corr(2) = +1.
+		v := 1.0
+		if step%2 == 1 {
+			v = -1
+		}
+		da.values = []float64{v, v}
+		if _, err := a.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corr := a.Correlations()
+	if mathAbs(corr[0]-1) > 1e-12 || mathAbs(corr[1]+1) > 1e-12 || mathAbs(corr[2]-1) > 1e-12 {
+		t.Errorf("correlations = %v, want [1 -1 1]", corr)
+	}
+}
+
+func TestAutocorrelationFactory(t *testing.T) {
+	if _, err := NewAnalysisAdaptor("autocorrelation", testCtx(), map[string]string{}); err == nil {
+		t.Error("expected array-required error")
+	}
+	if _, err := NewAnalysisAdaptor("autocorrelation", testCtx(), map[string]string{"array": "f", "window": "x"}); err == nil {
+		t.Error("expected window error")
+	}
+	a, err := NewAnalysisAdaptor("autocorrelation", testCtx(), map[string]string{"array": "f", "window": "5"})
+	if err != nil || a == nil {
+		t.Fatal(err)
+	}
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

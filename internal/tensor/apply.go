@@ -1,0 +1,198 @@
+package tensor
+
+// Field layout convention used throughout the solver: a scalar field on
+// one spectral element of order N (Nq = N+1 points per direction) is a
+// flat slice of length Nq^3 indexed u[k*Nq*Nq + j*Nq + i], with i the
+// fastest-varying (r/x) index, j the s/y index, and k the t/z index.
+// Multi-element fields stack elements contiguously.
+
+// DerivR applies the 1D operator D (row-major Nq x Nq) along the r
+// (fastest) axis of one element: out[k,j,i] = sum_m D[i,m] u[k,j,m].
+// out must not alias u.
+func DerivR(d []float64, nq int, u, out []float64) {
+	nq2 := nq * nq
+	for k := 0; k < nq; k++ {
+		for j := 0; j < nq; j++ {
+			base := k*nq2 + j*nq
+			line := u[base : base+nq]
+			for i := 0; i < nq; i++ {
+				var s float64
+				row := d[i*nq : (i+1)*nq]
+				for m := 0; m < nq; m++ {
+					s += row[m] * line[m]
+				}
+				out[base+i] = s
+			}
+		}
+	}
+}
+
+// DerivS applies D along the s (middle) axis: out[k,j,i] = sum_m D[j,m] u[k,m,i].
+// out must not alias u.
+func DerivS(d []float64, nq int, u, out []float64) {
+	nq2 := nq * nq
+	for k := 0; k < nq; k++ {
+		plane := u[k*nq2 : (k+1)*nq2]
+		outPlane := out[k*nq2 : (k+1)*nq2]
+		for j := 0; j < nq; j++ {
+			row := d[j*nq : (j+1)*nq]
+			dst := outPlane[j*nq : (j+1)*nq]
+			for i := range dst {
+				dst[i] = 0
+			}
+			for m := 0; m < nq; m++ {
+				c := row[m]
+				if c == 0 {
+					continue
+				}
+				src := plane[m*nq : (m+1)*nq]
+				for i := 0; i < nq; i++ {
+					dst[i] += c * src[i]
+				}
+			}
+		}
+	}
+}
+
+// DerivT applies D along the t (slowest) axis: out[k,j,i] = sum_m D[k,m] u[m,j,i].
+// out must not alias u.
+func DerivT(d []float64, nq int, u, out []float64) {
+	nq2 := nq * nq
+	for k := 0; k < nq; k++ {
+		row := d[k*nq : (k+1)*nq]
+		dst := out[k*nq2 : (k+1)*nq2]
+		for i := range dst {
+			dst[i] = 0
+		}
+		for m := 0; m < nq; m++ {
+			c := row[m]
+			if c == 0 {
+				continue
+			}
+			src := u[m*nq2 : (m+1)*nq2]
+			for i := 0; i < nq2; i++ {
+				dst[i] += c * src[i]
+			}
+		}
+	}
+}
+
+// DerivRT accumulates the transpose application along r:
+// out[k,j,i] += sum_m D[m,i] u[k,j,m]. Used for the D^T G D weak
+// Laplacian. out may hold prior partial sums; it must not alias u.
+func DerivRT(d []float64, nq int, u, out []float64) {
+	nq2 := nq * nq
+	for k := 0; k < nq; k++ {
+		for j := 0; j < nq; j++ {
+			base := k*nq2 + j*nq
+			line := u[base : base+nq]
+			dst := out[base : base+nq]
+			for m := 0; m < nq; m++ {
+				c := line[m]
+				if c == 0 {
+					continue
+				}
+				row := d[m*nq : (m+1)*nq]
+				for i := 0; i < nq; i++ {
+					dst[i] += c * row[i]
+				}
+			}
+		}
+	}
+}
+
+// DerivST accumulates the transpose application along s:
+// out[k,j,i] += sum_m D[m,j] u[k,m,i]. out must not alias u.
+func DerivST(d []float64, nq int, u, out []float64) {
+	nq2 := nq * nq
+	for k := 0; k < nq; k++ {
+		plane := u[k*nq2 : (k+1)*nq2]
+		outPlane := out[k*nq2 : (k+1)*nq2]
+		for m := 0; m < nq; m++ {
+			src := plane[m*nq : (m+1)*nq]
+			row := d[m*nq : (m+1)*nq]
+			for j := 0; j < nq; j++ {
+				c := row[j]
+				if c == 0 {
+					continue
+				}
+				dst := outPlane[j*nq : (j+1)*nq]
+				for i := 0; i < nq; i++ {
+					dst[i] += c * src[i]
+				}
+			}
+		}
+	}
+}
+
+// DerivTT accumulates the transpose application along t:
+// out[k,j,i] += sum_m D[m,k] u[m,j,i]. out must not alias u.
+func DerivTT(d []float64, nq int, u, out []float64) {
+	nq2 := nq * nq
+	for m := 0; m < nq; m++ {
+		src := u[m*nq2 : (m+1)*nq2]
+		row := d[m*nq : (m+1)*nq]
+		for k := 0; k < nq; k++ {
+			c := row[k]
+			if c == 0 {
+				continue
+			}
+			dst := out[k*nq2 : (k+1)*nq2]
+			for i := 0; i < nq2; i++ {
+				dst[i] += c * src[i]
+			}
+		}
+	}
+}
+
+// Interp3D interpolates one element's field from an n^3 grid to an m^3
+// grid by applying the row-major m x n matrix along each axis in turn.
+// scratch must have length at least m*n*n + m*m*n.
+func Interp3D(mat []float64, n, m int, u, out, scratch []float64) {
+	t1 := scratch[: m*n*n : m*n*n]
+	t2 := scratch[m*n*n : m*n*n+m*m*n]
+	// Apply along r: t1[k,j,a] = sum_i mat[a,i] u[k,j,i]
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			src := u[k*n*n+j*n : k*n*n+j*n+n]
+			dst := t1[k*m*n+j*m : k*m*n+j*m+m]
+			MatVec(mat, m, n, src, dst)
+		}
+	}
+	// Apply along s: t2[k,b,a] = sum_j mat[b,j] t1[k,j,a]
+	for k := 0; k < n; k++ {
+		for b := 0; b < m; b++ {
+			row := mat[b*n : (b+1)*n]
+			dst := t2[k*m*m+b*m : k*m*m+b*m+m]
+			for a := range dst {
+				dst[a] = 0
+			}
+			for j := 0; j < n; j++ {
+				c := row[j]
+				src := t1[k*m*n+j*m : k*m*n+j*m+m]
+				for a := 0; a < m; a++ {
+					dst[a] += c * src[a]
+				}
+			}
+		}
+	}
+	// Apply along t: out[c,b,a] = sum_k mat[c,k] t2[k,b,a]
+	mm := m * m
+	for c := 0; c < m; c++ {
+		row := mat[c*n : (c+1)*n]
+		dst := out[c*mm : (c+1)*mm]
+		for a := range dst {
+			dst[a] = 0
+		}
+		for k := 0; k < n; k++ {
+			w := row[k]
+			src := t2[k*mm : (k+1)*mm]
+			for a := 0; a < mm; a++ {
+				dst[a] += w * src[a]
+			}
+		}
+	}
+}
+
+// Interp3DScratchLen returns the scratch length Interp3D requires.
+func Interp3DScratchLen(n, m int) int { return m*n*n + m*m*n }

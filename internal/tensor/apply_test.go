@@ -1,0 +1,263 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDeriv applies D along the given axis (0=r, 1=s, 2=t) with plain
+// index arithmetic, as the reference for the fused kernels.
+func naiveDeriv(d []float64, nq int, u []float64, axis int) []float64 {
+	out := make([]float64, len(u))
+	idx := func(k, j, i int) int { return k*nq*nq + j*nq + i }
+	for k := 0; k < nq; k++ {
+		for j := 0; j < nq; j++ {
+			for i := 0; i < nq; i++ {
+				var s float64
+				for m := 0; m < nq; m++ {
+					switch axis {
+					case 0:
+						s += d[i*nq+m] * u[idx(k, j, m)]
+					case 1:
+						s += d[j*nq+m] * u[idx(k, m, i)]
+					case 2:
+						s += d[k*nq+m] * u[idx(m, j, i)]
+					}
+				}
+				out[idx(k, j, i)] = s
+			}
+		}
+	}
+	return out
+}
+
+// naiveDerivT applies D^T along the given axis.
+func naiveDerivT(d []float64, nq int, u []float64, axis int) []float64 {
+	// D^T application equals applying the transposed matrix.
+	dt := make([]float64, nq*nq)
+	for i := 0; i < nq; i++ {
+		for j := 0; j < nq; j++ {
+			dt[i*nq+j] = d[j*nq+i]
+		}
+	}
+	return naiveDeriv(dt, nq, u, axis)
+}
+
+func randField(rng *rand.Rand, n int) []float64 {
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 2*rng.Float64() - 1
+	}
+	return u
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestDerivKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, nq := range []int{2, 3, 5, 8} {
+		d := randField(rng, nq*nq)
+		u := randField(rng, nq*nq*nq)
+		out := make([]float64, len(u))
+
+		DerivR(d, nq, u, out)
+		if diff := maxAbsDiff(out, naiveDeriv(d, nq, u, 0)); diff > 1e-13 {
+			t.Errorf("nq=%d DerivR: max diff %g", nq, diff)
+		}
+		DerivS(d, nq, u, out)
+		if diff := maxAbsDiff(out, naiveDeriv(d, nq, u, 1)); diff > 1e-13 {
+			t.Errorf("nq=%d DerivS: max diff %g", nq, diff)
+		}
+		DerivT(d, nq, u, out)
+		if diff := maxAbsDiff(out, naiveDeriv(d, nq, u, 2)); diff > 1e-13 {
+			t.Errorf("nq=%d DerivT: max diff %g", nq, diff)
+		}
+	}
+}
+
+func TestTransposeKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, nq := range []int{2, 4, 6} {
+		d := randField(rng, nq*nq)
+		u := randField(rng, nq*nq*nq)
+
+		out := make([]float64, len(u))
+		DerivRT(d, nq, u, out)
+		if diff := maxAbsDiff(out, naiveDerivT(d, nq, u, 0)); diff > 1e-13 {
+			t.Errorf("nq=%d DerivRT: max diff %g", nq, diff)
+		}
+		out = make([]float64, len(u))
+		DerivST(d, nq, u, out)
+		if diff := maxAbsDiff(out, naiveDerivT(d, nq, u, 1)); diff > 1e-13 {
+			t.Errorf("nq=%d DerivST: max diff %g", nq, diff)
+		}
+		out = make([]float64, len(u))
+		DerivTT(d, nq, u, out)
+		if diff := maxAbsDiff(out, naiveDerivT(d, nq, u, 2)); diff > 1e-13 {
+			t.Errorf("nq=%d DerivTT: max diff %g", nq, diff)
+		}
+	}
+}
+
+// TestTransposeAccumulates: the T-variants accumulate into out rather
+// than overwriting, which the weak-Laplacian assembly relies on.
+func TestTransposeAccumulates(t *testing.T) {
+	const nq = 3
+	rng := rand.New(rand.NewSource(4))
+	d := randField(rng, nq*nq)
+	u := randField(rng, nq*nq*nq)
+	out := make([]float64, nq*nq*nq)
+	for i := range out {
+		out[i] = 1
+	}
+	DerivRT(d, nq, u, out)
+	ref := naiveDerivT(d, nq, u, 0)
+	for i := range out {
+		if math.Abs(out[i]-(ref[i]+1)) > 1e-13 {
+			t.Fatalf("DerivRT did not accumulate at %d: %v vs %v+1", i, out[i], ref[i])
+		}
+	}
+}
+
+// TestAdjointIdentity is a property test of the fundamental adjoint
+// relation <D u, v> = <u, D^T v> that the weak form depends on.
+func TestAdjointIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nq := 2 + rng.Intn(4)
+		d := randField(rng, nq*nq)
+		u := randField(rng, nq*nq*nq)
+		v := randField(rng, nq*nq*nq)
+		du := make([]float64, len(u))
+		DerivR(d, nq, u, du)
+		dtv := make([]float64, len(v))
+		DerivRT(d, nq, v, dtv)
+		var lhs, rhs float64
+		for i := range u {
+			lhs += du[i] * v[i]
+			rhs += u[i] * dtv[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-10*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDerivLinearity is a property test: D(a u + b v) = a Du + b Dv.
+func TestDerivLinearity(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 10)
+		b = math.Mod(b, 10)
+		rng := rand.New(rand.NewSource(seed))
+		nq := 2 + rng.Intn(3)
+		d := randField(rng, nq*nq)
+		u := randField(rng, nq*nq*nq)
+		v := randField(rng, nq*nq*nq)
+		combo := make([]float64, len(u))
+		for i := range combo {
+			combo[i] = a*u[i] + b*v[i]
+		}
+		dCombo := make([]float64, len(u))
+		DerivS(d, nq, combo, dCombo)
+		du := make([]float64, len(u))
+		dv := make([]float64, len(u))
+		DerivS(d, nq, u, du)
+		DerivS(d, nq, v, dv)
+		for i := range dCombo {
+			if math.Abs(dCombo[i]-(a*du[i]+b*dv[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterp3DExactOnTrilinearField(t *testing.T) {
+	// A field that is polynomial of degree < n in each variable is
+	// interpolated exactly to any target grid.
+	n, m := 4, 7
+	from, _ := GLL(n)
+	to, _ := GLL(m)
+	mat := InterpMatrix(from, to)
+	u := make([]float64, n*n*n)
+	fval := func(x, y, z float64) float64 { return 1 + 2*x - y + 3*z + x*y*z + x*x }
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				u[k*n*n+j*n+i] = fval(from[i], from[j], from[k])
+			}
+		}
+	}
+	out := make([]float64, m*m*m)
+	scratch := make([]float64, Interp3DScratchLen(n, m))
+	Interp3D(mat, n, m, u, out, scratch)
+	for k := 0; k < m; k++ {
+		for j := 0; j < m; j++ {
+			for i := 0; i < m; i++ {
+				want := fval(to[i], to[j], to[k])
+				got := out[k*m*m+j*m+i]
+				if math.Abs(got-want) > 1e-11 {
+					t.Fatalf("(%d,%d,%d): got %v, want %v", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterp3DIdentity(t *testing.T) {
+	n := 5
+	from, _ := GLL(n)
+	mat := InterpMatrix(from, from)
+	rng := rand.New(rand.NewSource(5))
+	u := randField(rng, n*n*n)
+	out := make([]float64, n*n*n)
+	scratch := make([]float64, Interp3DScratchLen(n, n))
+	Interp3D(mat, n, n, u, out, scratch)
+	if diff := maxAbsDiff(u, out); diff > 1e-12 {
+		t.Errorf("identity interpolation differs by %g", diff)
+	}
+}
+
+func BenchmarkDerivR(b *testing.B) {
+	const nq = 8
+	rng := rand.New(rand.NewSource(6))
+	d := randField(rng, nq*nq)
+	u := randField(rng, nq*nq*nq)
+	out := make([]float64, len(u))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DerivR(d, nq, u, out)
+	}
+}
+
+func BenchmarkInterp3D(b *testing.B) {
+	n, m := 6, 12
+	from, _ := GLL(n)
+	to, _ := GLL(m)
+	mat := InterpMatrix(from, to)
+	rng := rand.New(rand.NewSource(7))
+	u := randField(rng, n*n*n)
+	out := make([]float64, m*m*m)
+	scratch := make([]float64, Interp3DScratchLen(n, m))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Interp3D(mat, n, m, u, out, scratch)
+	}
+}

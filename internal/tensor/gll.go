@@ -1,0 +1,173 @@
+// Package tensor provides the one-dimensional spectral building blocks
+// of the solver — Gauss-Lobatto-Legendre (GLL) quadrature, Lagrange
+// derivative and interpolation matrices — and the fused tensor-product
+// contractions that apply them along each axis of a hexahedral
+// spectral element. This is the reproduction's stand-in for the
+// libParanumal/OCCA kernel layer NekRS builds on.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// legendre evaluates the Legendre polynomial P_n and its first
+// derivative at x using the three-term recurrence.
+func legendre(n int, x float64) (p, dp float64) {
+	if n == 0 {
+		return 1, 0
+	}
+	if n == 1 {
+		return x, 1
+	}
+	pm1, pm0 := 1.0, x // P_0, P_1
+	for k := 1; k < n; k++ {
+		pm1, pm0 = pm0, ((2*float64(k)+1)*x*pm0-float64(k)*pm1)/float64(k+1)
+	}
+	// (1-x^2) P_n' = n (P_{n-1} - x P_n)
+	if x == 1 || x == -1 {
+		dp = math.Pow(x, float64(n+1)) * float64(n) * float64(n+1) / 2
+	} else {
+		dp = float64(n) * (pm1 - x*pm0) / (1 - x*x)
+	}
+	return pm0, dp
+}
+
+// GLL returns the n Gauss-Lobatto-Legendre nodes on [-1,1] in ascending
+// order together with their quadrature weights. The rule is exact for
+// polynomials of degree <= 2n-3. n must be at least 2.
+func GLL(n int) (nodes, weights []float64) {
+	if n < 2 {
+		panic(fmt.Sprintf("tensor: GLL needs at least 2 points, got %d", n))
+	}
+	N := n - 1 // polynomial degree
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	nodes[0], nodes[N] = -1, 1
+
+	// Interior nodes are the roots of P'_N, found by Newton iteration
+	// from Chebyshev-Gauss-Lobatto initial guesses.
+	for i := 1; i < N; i++ {
+		x := -math.Cos(math.Pi * float64(i) / float64(N))
+		for iter := 0; iter < 100; iter++ {
+			pN, dpN := legendre(N, x)
+			// P''_N from the Legendre ODE: (1-x^2)P'' - 2xP' + N(N+1)P = 0.
+			d2pN := (2*x*dpN - float64(N)*float64(N+1)*pN) / (1 - x*x)
+			dx := dpN / d2pN
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = x
+	}
+	// Enforce exact symmetry of the node set.
+	for i := 0; i < n/2; i++ {
+		m := (nodes[n-1-i] - nodes[i]) / 2
+		nodes[i], nodes[n-1-i] = -m, m
+	}
+	for i := 0; i < n; i++ {
+		pN, _ := legendre(N, nodes[i])
+		weights[i] = 2 / (float64(N) * float64(N+1) * pN * pN)
+	}
+	return nodes, weights
+}
+
+// BaryWeights returns the barycentric weights of the Lagrange basis on
+// the given (distinct) nodes, normalized to unit maximum magnitude for
+// numerical robustness.
+func BaryWeights(nodes []float64) []float64 {
+	n := len(nodes)
+	w := make([]float64, n)
+	for j := range w {
+		w[j] = 1
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if k != j {
+				w[j] /= nodes[j] - nodes[k]
+			}
+		}
+	}
+	maxW := 0.0
+	for _, v := range w {
+		if a := math.Abs(v); a > maxW {
+			maxW = a
+		}
+	}
+	for j := range w {
+		w[j] /= maxW
+	}
+	return w
+}
+
+// DerivMatrix returns the row-major n x n differentiation matrix D of
+// the Lagrange basis on the given nodes: (D u)_i = u'(x_i) for u the
+// interpolant of the nodal values. Built from barycentric weights with
+// the negative-sum trick for the diagonal.
+func DerivMatrix(nodes []float64) []float64 {
+	n := len(nodes)
+	w := BaryWeights(nodes)
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := (w[j] / w[i]) / (nodes[i] - nodes[j])
+			d[i*n+j] = v
+			rowSum += v
+		}
+		d[i*n+i] = -rowSum
+	}
+	return d
+}
+
+// InterpMatrix returns the row-major len(to) x len(from) matrix that
+// interpolates nodal values from the `from` nodes to the `to` points
+// using the barycentric form of Lagrange interpolation.
+func InterpMatrix(from, to []float64) []float64 {
+	n := len(from)
+	m := len(to)
+	w := BaryWeights(from)
+	mat := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		x := to[i]
+		// If x coincides with a source node, the row is a unit vector.
+		exact := -1
+		for j := 0; j < n; j++ {
+			if x == from[j] {
+				exact = j
+				break
+			}
+		}
+		if exact >= 0 {
+			mat[i*n+exact] = 1
+			continue
+		}
+		var denom float64
+		row := mat[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			t := w[j] / (x - from[j])
+			row[j] = t
+			denom += t
+		}
+		for j := 0; j < n; j++ {
+			row[j] /= denom
+		}
+	}
+	return mat
+}
+
+// MatVec computes out = A u for a row-major r x c matrix A.
+func MatVec(a []float64, r, c int, u, out []float64) {
+	for i := 0; i < r; i++ {
+		var s float64
+		row := a[i*c : (i+1)*c]
+		for j, v := range row {
+			s += v * u[j]
+		}
+		out[i] = s
+	}
+}

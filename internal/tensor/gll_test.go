@@ -1,0 +1,227 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGLLSmallCases(t *testing.T) {
+	x2, w2 := GLL(2)
+	if x2[0] != -1 || x2[1] != 1 || w2[0] != 1 || w2[1] != 1 {
+		t.Errorf("GLL(2) = %v %v", x2, w2)
+	}
+	x3, w3 := GLL(3)
+	if x3[1] != 0 {
+		t.Errorf("GLL(3) middle node = %v", x3[1])
+	}
+	if math.Abs(w3[0]-1.0/3) > 1e-14 || math.Abs(w3[1]-4.0/3) > 1e-14 {
+		t.Errorf("GLL(3) weights = %v", w3)
+	}
+}
+
+func TestGLLNodesSymmetricAndSorted(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		x, w := GLL(n)
+		for i := 0; i < n/2; i++ {
+			if x[i] != -x[n-1-i] {
+				t.Errorf("n=%d: nodes not symmetric: %v vs %v", n, x[i], x[n-1-i])
+			}
+			if math.Abs(w[i]-w[n-1-i]) > 1e-14 {
+				t.Errorf("n=%d: weights not symmetric", n)
+			}
+		}
+		for i := 1; i < n; i++ {
+			if x[i] <= x[i-1] {
+				t.Errorf("n=%d: nodes not ascending at %d: %v", n, i, x)
+			}
+		}
+	}
+}
+
+func TestGLLWeightsSumToTwo(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		_, w := GLL(n)
+		var s float64
+		for _, v := range w {
+			s += v
+		}
+		if math.Abs(s-2) > 1e-13 {
+			t.Errorf("n=%d: weight sum = %v, want 2", n, s)
+		}
+	}
+}
+
+// TestGLLQuadratureExactness: an n-point GLL rule integrates x^p exactly
+// for p <= 2n-3.
+func TestGLLQuadratureExactness(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		x, w := GLL(n)
+		for p := 0; p <= 2*n-3; p++ {
+			var got float64
+			for i := range x {
+				got += w[i] * math.Pow(x[i], float64(p))
+			}
+			want := 0.0
+			if p%2 == 0 {
+				want = 2 / float64(p+1)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("n=%d p=%d: quad = %v, want %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestDerivMatrixExactOnPolynomials: D on n nodes differentiates
+// polynomials of degree < n exactly at the nodes.
+func TestDerivMatrixExactOnPolynomials(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		x, _ := GLL(n)
+		d := DerivMatrix(x)
+		for p := 0; p < n; p++ {
+			u := make([]float64, n)
+			for i := range x {
+				u[i] = math.Pow(x[i], float64(p))
+			}
+			du := make([]float64, n)
+			MatVec(d, n, n, u, du)
+			for i := range x {
+				want := 0.0
+				if p > 0 {
+					want = float64(p) * math.Pow(x[i], float64(p-1))
+				}
+				if math.Abs(du[i]-want) > 1e-10 {
+					t.Errorf("n=%d p=%d node %d: D u = %v, want %v", n, p, i, du[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDerivMatrixRowSumsZero(t *testing.T) {
+	x, _ := GLL(9)
+	d := DerivMatrix(x)
+	for i := 0; i < 9; i++ {
+		var s float64
+		for j := 0; j < 9; j++ {
+			s += d[i*9+j]
+		}
+		if math.Abs(s) > 1e-13 {
+			t.Errorf("row %d sums to %v, want 0 (constants differentiate to 0)", i, s)
+		}
+	}
+}
+
+func TestDerivMatrixCornerValues(t *testing.T) {
+	// Known GLL property: D_00 = -N(N+1)/4.
+	for _, n := range []int{4, 7, 10} {
+		N := float64(n - 1)
+		x, _ := GLL(n)
+		d := DerivMatrix(x)
+		want := -N * (N + 1) / 4
+		if math.Abs(d[0]-want) > 1e-10*math.Abs(want) {
+			t.Errorf("n=%d: D_00 = %v, want %v", n, d[0], want)
+		}
+		if math.Abs(d[n*n-1]+want) > 1e-10*math.Abs(want) {
+			t.Errorf("n=%d: D_NN = %v, want %v", n, d[n*n-1], -want)
+		}
+	}
+}
+
+// TestInterpMatrixReproducesPolynomials: interpolation from n GLL nodes
+// is exact for polynomials of degree < n at arbitrary points.
+func TestInterpMatrixReproducesPolynomials(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 10; n++ {
+		x, _ := GLL(n)
+		to := make([]float64, 7)
+		for i := range to {
+			to[i] = 2*rng.Float64() - 1
+		}
+		// Include an exact node hit.
+		to[0] = x[n/2]
+		mat := InterpMatrix(x, to)
+		for p := 0; p < n; p++ {
+			u := make([]float64, n)
+			for i := range x {
+				u[i] = math.Pow(x[i], float64(p))
+			}
+			out := make([]float64, len(to))
+			MatVec(mat, len(to), n, u, out)
+			for i, y := range to {
+				want := math.Pow(y, float64(p))
+				if math.Abs(out[i]-want) > 1e-11 {
+					t.Errorf("n=%d p=%d: interp(%v) = %v, want %v", n, p, y, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpMatrixIdentityOnSameNodes(t *testing.T) {
+	x, _ := GLL(6)
+	mat := InterpMatrix(x, x)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(mat[i*6+j]-want) > 1e-14 {
+				t.Errorf("I[%d,%d] = %v, want %v", i, j, mat[i*6+j], want)
+			}
+		}
+	}
+}
+
+// TestSpectralConvergence: differentiating exp(x) on GLL nodes converges
+// spectrally (error drops by orders of magnitude as n grows).
+func TestSpectralConvergence(t *testing.T) {
+	errAt := func(n int) float64 {
+		x, _ := GLL(n)
+		d := DerivMatrix(x)
+		u := make([]float64, n)
+		for i := range x {
+			u[i] = math.Exp(x[i])
+		}
+		du := make([]float64, n)
+		MatVec(d, n, n, u, du)
+		var maxErr float64
+		for i := range x {
+			if e := math.Abs(du[i] - u[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		return maxErr
+	}
+	e4, e8, e12 := errAt(4), errAt(8), errAt(12)
+	if e8 > e4/100 {
+		t.Errorf("not spectral: err(4)=%g err(8)=%g", e4, e8)
+	}
+	if e12 > 1e-9 {
+		t.Errorf("err(12)=%g, want < 1e-9", e12)
+	}
+}
+
+// TestGLLWeightsPositive is a property: quadrature weights are strictly
+// positive for every order.
+func TestGLLWeightsPositive(t *testing.T) {
+	for n := 2; n <= 24; n++ {
+		_, w := GLL(n)
+		for i, v := range w {
+			if v <= 0 {
+				t.Fatalf("n=%d: weight %d = %v", n, i, v)
+			}
+		}
+	}
+}
+
+func TestGLLPanicsBelowTwoPoints(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n < 2")
+		}
+	}()
+	GLL(1)
+}

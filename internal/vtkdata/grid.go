@@ -1,0 +1,150 @@
+// Package vtkdata implements the subset of the VTK data model that the
+// SENSEI coupling relies on: unstructured grids with point/cell data
+// arrays, plus VTU/PVTU writers (XML with appended raw binary or inline
+// base64) and a reader for round-trip tests.
+//
+// In the paper, SENSEI relays simulation data "aligned with the VTK
+// data model" to analysis adaptors, and the in transit Checkpointing
+// endpoint writes pressure and velocity as VTU files; this package is
+// that substrate. Only host memory is referenced — mirroring VTK's
+// lack of GPU-device support, which forces the D2H staging the paper
+// discusses.
+package vtkdata
+
+import "fmt"
+
+// VTK cell type tags used by the coupling.
+const (
+	VTKTriangle   uint8 = 5
+	VTKQuad       uint8 = 9
+	VTKHexahedron uint8 = 12
+)
+
+// DataArray is a named array of tuples attached to points or cells.
+type DataArray struct {
+	Name          string
+	NumComponents int
+	Data          []float64
+}
+
+// NumTuples reports the number of tuples in the array.
+func (a *DataArray) NumTuples() int {
+	if a.NumComponents == 0 {
+		return 0
+	}
+	return len(a.Data) / a.NumComponents
+}
+
+// Bytes reports the array payload size in bytes.
+func (a *DataArray) Bytes() int64 { return int64(len(a.Data)) * 8 }
+
+// UnstructuredGrid is a VTK unstructured grid: points, cells described
+// by a connectivity/offsets/types triple, and data arrays.
+type UnstructuredGrid struct {
+	// Points holds interleaved xyz coordinates, length 3*NumPoints.
+	Points []float64
+	// Connectivity lists point indices of each cell back to back;
+	// Offsets[i] is the end of cell i's slice (VTK XML convention).
+	Connectivity []int64
+	Offsets      []int64
+	CellTypes    []uint8
+
+	PointData []*DataArray
+	CellData  []*DataArray
+}
+
+// NumPoints reports the point count.
+func (g *UnstructuredGrid) NumPoints() int { return len(g.Points) / 3 }
+
+// NumCells reports the cell count.
+func (g *UnstructuredGrid) NumCells() int { return len(g.CellTypes) }
+
+// AddPointData attaches a point-data array; tuple count must match the
+// point count.
+func (g *UnstructuredGrid) AddPointData(name string, ncomp int, data []float64) error {
+	if ncomp <= 0 {
+		return fmt.Errorf("vtkdata: array %q: invalid component count %d", name, ncomp)
+	}
+	if len(data) != g.NumPoints()*ncomp {
+		return fmt.Errorf("vtkdata: array %q: %d values, want %d points x %d comps",
+			name, len(data), g.NumPoints(), ncomp)
+	}
+	g.PointData = append(g.PointData, &DataArray{Name: name, NumComponents: ncomp, Data: data})
+	return nil
+}
+
+// AddCellData attaches a cell-data array; tuple count must match the
+// cell count.
+func (g *UnstructuredGrid) AddCellData(name string, ncomp int, data []float64) error {
+	if ncomp <= 0 {
+		return fmt.Errorf("vtkdata: array %q: invalid component count %d", name, ncomp)
+	}
+	if len(data) != g.NumCells()*ncomp {
+		return fmt.Errorf("vtkdata: array %q: %d values, want %d cells x %d comps",
+			name, len(data), g.NumCells(), ncomp)
+	}
+	g.CellData = append(g.CellData, &DataArray{Name: name, NumComponents: ncomp, Data: data})
+	return nil
+}
+
+// FindPointData returns the named point array, or nil.
+func (g *UnstructuredGrid) FindPointData(name string) *DataArray {
+	for _, a := range g.PointData {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Bytes estimates the grid's in-memory payload in bytes, used for the
+// memory accounting of VTK copies in the Catalyst configuration.
+func (g *UnstructuredGrid) Bytes() int64 {
+	n := int64(len(g.Points))*8 + int64(len(g.Connectivity))*8 +
+		int64(len(g.Offsets))*8 + int64(len(g.CellTypes))
+	for _, a := range g.PointData {
+		n += a.Bytes()
+	}
+	for _, a := range g.CellData {
+		n += a.Bytes()
+	}
+	return n
+}
+
+// Validate checks structural consistency.
+func (g *UnstructuredGrid) Validate() error {
+	if len(g.Points)%3 != 0 {
+		return fmt.Errorf("vtkdata: points length %d not a multiple of 3", len(g.Points))
+	}
+	if len(g.Offsets) != len(g.CellTypes) {
+		return fmt.Errorf("vtkdata: %d offsets vs %d cell types", len(g.Offsets), len(g.CellTypes))
+	}
+	prev := int64(0)
+	np := int64(g.NumPoints())
+	for i, off := range g.Offsets {
+		if off < prev {
+			return fmt.Errorf("vtkdata: offsets not monotone at cell %d", i)
+		}
+		prev = off
+	}
+	if len(g.Offsets) > 0 && g.Offsets[len(g.Offsets)-1] != int64(len(g.Connectivity)) {
+		return fmt.Errorf("vtkdata: final offset %d != connectivity length %d",
+			g.Offsets[len(g.Offsets)-1], len(g.Connectivity))
+	}
+	for i, c := range g.Connectivity {
+		if c < 0 || c >= np {
+			return fmt.Errorf("vtkdata: connectivity[%d] = %d out of range [0,%d)", i, c, np)
+		}
+	}
+	for _, a := range g.PointData {
+		if a.NumTuples() != g.NumPoints() {
+			return fmt.Errorf("vtkdata: point array %q has %d tuples, want %d", a.Name, a.NumTuples(), g.NumPoints())
+		}
+	}
+	for _, a := range g.CellData {
+		if a.NumTuples() != g.NumCells() {
+			return fmt.Errorf("vtkdata: cell array %q has %d tuples, want %d", a.Name, a.NumTuples(), g.NumCells())
+		}
+	}
+	return nil
+}
