@@ -1,0 +1,22 @@
+# Build/test entry points. `make race` covers the concurrent
+# subsystems (staging hub, SST transport, endpoint loop, MPI runtime)
+# under the race detector.
+
+GO ?= go
+
+.PHONY: build test race vet all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/staging/... ./internal/intransit/... \
+		./internal/adios/... ./internal/mpirt/...
+
+vet:
+	$(GO) vet ./...

@@ -22,10 +22,11 @@ import (
 
 	"nekrs-sensei/internal/bench"
 	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/staging"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -33,9 +34,11 @@ func main() {
 	refine := flag.Int("refine", 1, "mesh refinement factor")
 	order := flag.Int("order", 4, "polynomial order")
 	imagePx := flag.Int("imagepx", 128, "rendered image resolution")
+	consumers := flag.String("consumers", "1,2,4,8", "comma-separated consumer counts for the fan-out comparison")
+	delay := flag.Duration("consumer-delay", 2*time.Millisecond, "per-step endpoint processing time in the fan-out comparison")
 	flag.Parse()
 
-	if err := run(*fig, *out, *ranksFlag, *steps, *interval, *refine, *order, *imagePx); err != nil {
+	if err := run(*fig, *out, *ranksFlag, *steps, *interval, *refine, *order, *imagePx, *consumers, *delay); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
@@ -66,13 +69,14 @@ func writeCSV(dir, name string, t *metrics.Table) error {
 	return nil
 }
 
-func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int) error {
+func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int, consumers string, delay time.Duration) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
 	wantInSitu := fig == "all" || fig == "2" || fig == "3" || fig == "storage"
 	wantInTransit := fig == "all" || fig == "5" || fig == "6"
-	if !wantInSitu && !wantInTransit {
+	wantFanout := fig == "all" || fig == "fanout"
+	if !wantInSitu && !wantInTransit && !wantFanout {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -162,6 +166,26 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 			}
 			fmt.Println()
 		}
+	}
+	if wantFanout {
+		counts, err := parseRanks(consumers, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("running fan-out comparison (consumers %v, %v-slow endpoints)...\n", counts, delay)
+		results, err := bench.RunFanoutMatrix(counts,
+			[]staging.Policy{staging.Block, staging.DropOldest, staging.LatestOnly},
+			bench.FanoutConfig{ConsumerDelay: delay})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.FanoutTable(results)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "fanout.csv", t); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 	fmt.Printf("artifacts in %s\n", out)
 	return nil

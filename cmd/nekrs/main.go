@@ -26,6 +26,7 @@ import (
 	_ "nekrs-sensei/internal/catalyst"  // analysis type "catalyst"
 	_ "nekrs-sensei/internal/intransit" // analysis type "adios"
 	_ "nekrs-sensei/internal/probe"     // analysis type "probe"
+	_ "nekrs-sensei/internal/staging"   // analysis type "staging"
 )
 
 func main() {
@@ -41,10 +42,29 @@ func main() {
 	logEvery := flag.Int("log-every", 10, "print step diagnostics every n steps")
 	flag.Parse()
 
+	if err := validateFlags(*ranks, *steps, *order); err != nil {
+		fmt.Fprintln(os.Stderr, "nekrs:", err)
+		os.Exit(2)
+	}
 	if err := run(*caseName, *parFile, *ranks, *steps, *senseiCfg, *ckEvery, *refine, *order, *out, *logEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "nekrs:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects impossible run shapes up front, instead of
+// letting them fail deep inside mesh partitioning or the solver.
+func validateFlags(ranks, steps, order int) error {
+	if ranks <= 0 {
+		return fmt.Errorf("-ranks must be positive (got %d)", ranks)
+	}
+	if steps <= 0 {
+		return fmt.Errorf("-steps must be positive (got %d)", steps)
+	}
+	if order < 1 {
+		return fmt.Errorf("-order must be at least 1 (got %d)", order)
+	}
+	return nil
 }
 
 func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, refine, order int, out string, logEvery int) error {

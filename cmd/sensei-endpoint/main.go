@@ -7,12 +7,22 @@
 //
 // Pair it with `nekrs -sensei adios.xml` where adios.xml enables the
 // "adios" analysis with the same contact path.
+//
+// With -policy set, the endpoint instead attaches to a staging hub
+// published by the "staging" analysis type, and -consumers N runs N
+// independent consumer replicas of the configured analysis, each with
+// its own backpressure policy window (fan-out mode):
+//
+//	sensei-endpoint -contact run/contact.txt -config endpoint.xml \
+//	    -policy latest-only -depth 1 -consumers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"nekrs-sensei/internal/adios"
@@ -20,32 +30,53 @@ import (
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/mpirt"
 	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/staging"
 
 	_ "nekrs-sensei/internal/catalyst"   // analysis type "catalyst"
 	_ "nekrs-sensei/internal/checkpoint" // analysis type "checkpoint"
+	_ "nekrs-sensei/internal/probe"      // analysis type "probe"
 )
 
 func main() {
 	contact := flag.String("contact", "contact.txt", "SST contact file published by the simulation")
 	config := flag.String("config", "", "SENSEI XML configuration for the endpoint analyses")
-	ranks := flag.Int("ranks", 1, "endpoint ranks")
+	ranks := flag.Int("ranks", 1, "endpoint ranks (direct SST mode)")
 	timeout := flag.Duration("timeout", 60*time.Second, "how long to wait for the contact file")
 	out := flag.String("out", "endpoint-out", "output directory")
+	policy := flag.String("policy", "", "staging backpressure policy: block, drop-oldest or latest-only (enables staged fan-out mode)")
+	depth := flag.Int("depth", 0, "staging queue depth per consumer (0 = hub default)")
+	consumers := flag.Int("consumers", 1, "independent consumer replicas (staged mode)")
+	name := flag.String("name", "endpoint", "consumer name prefix announced to the hub")
 	flag.Parse()
 
-	if err := run(*contact, *config, *ranks, *timeout, *out); err != nil {
+	var err error
+	if *policy != "" {
+		err = runStaged(*contact, *config, *consumers, *policy, *depth, *name, *timeout, *out)
+	} else {
+		err = runDirect(*contact, *config, *ranks, *timeout, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensei-endpoint:", err)
 		os.Exit(1)
 	}
 }
 
-func run(contact, config string, ranks int, timeout time.Duration, out string) error {
-	var cfgXML []byte
-	if config != "" {
-		var err error
-		if cfgXML, err = os.ReadFile(config); err != nil {
-			return err
-		}
+func readConfig(config string) ([]byte, error) {
+	if config == "" {
+		return nil, nil
+	}
+	return os.ReadFile(config)
+}
+
+// runDirect is the classic one-consumer workflow: each endpoint rank
+// drains its share of the simulation's SST writers.
+func runDirect(contact, config string, ranks int, timeout time.Duration, out string) error {
+	cfgXML, err := readConfig(config)
+	if err != nil {
+		return err
+	}
+	if ranks <= 0 {
+		return fmt.Errorf("-ranks must be positive (got %d)", ranks)
 	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
@@ -79,7 +110,7 @@ func run(contact, config string, ranks int, timeout time.Duration, out string) e
 			Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
 			Storage: metrics.NewStorageCounter(), OutputDir: out,
 		}
-		ep, err := intransit.NewEndpoint(ctx, readers, cfgXML)
+		ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), cfgXML)
 		if err != nil {
 			errs[rank] = err
 			return
@@ -98,5 +129,95 @@ func run(contact, config string, ranks int, timeout time.Duration, out string) e
 	}
 	fmt.Printf("endpoint done: %d steps on rank 0, %s written to %s\n",
 		steps[0], metrics.HumanBytes(totalBytes), out)
+	return nil
+}
+
+// runStaged attaches n consumer replicas to the simulation's staging
+// hubs (one server per simulation rank): each replica connects to
+// every hub under its own name, announces the requested backpressure
+// policy, and runs the configured analysis over the merged stream in
+// its own output subdirectory.
+func runStaged(contact, config string, n int, policy string, depth int, name string, timeout time.Duration, out string) error {
+	cfgXML, err := readConfig(config)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("-consumers must be positive (got %d)", n)
+	}
+	if _, err := staging.ParsePolicy(policy); err != nil {
+		return err
+	}
+	addrs, err := adios.ReadContact(contact, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attaching %d consumer(s) to %d staging hub(s), policy %s\n", n, len(addrs), policy)
+
+	errs := make([]error, n)
+	steps := make([]int, n)
+	skipped := make([]int, n)
+	bytesOut := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		dir := out
+		if n > 1 {
+			dir = filepath.Join(out, fmt.Sprintf("%s-%d", name, i))
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			consumerName := fmt.Sprintf("%s-%d", name, i)
+			var readers []*adios.Reader
+			defer func() {
+				for _, r := range readers {
+					r.Close()
+				}
+			}()
+			for _, addr := range addrs {
+				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
+					Consumer: consumerName, Policy: policy, Depth: depth,
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				readers = append(readers, r)
+			}
+			ctx := &sensei.Context{
+				Comm: mpirt.NewWorld(1).Comm(0), Acct: metrics.NewAccountant(),
+				Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter(),
+				OutputDir: dir,
+			}
+			ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), cfgXML)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			steps[i], errs[i] = ep.Run()
+			skipped[i] = ep.StepsSkipped()
+			bytesOut[i] = ctx.Storage.Bytes()
+		}(i, dir)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var totalBytes int64
+	for i := 0; i < n; i++ {
+		totalBytes += bytesOut[i]
+		if skipped[i] > 0 {
+			fmt.Printf("consumer %s-%d: %d steps (%d skipped realigning skewed hub streams)\n",
+				name, i, steps[i], skipped[i])
+		} else {
+			fmt.Printf("consumer %s-%d: %d steps\n", name, i, steps[i])
+		}
+	}
+	fmt.Printf("staged endpoint done: %s written to %s\n", metrics.HumanBytes(totalBytes), out)
 	return nil
 }

@@ -3,7 +3,9 @@
 // SENSEI" (Mateevitsi et al., SC-W 2023): a spectral-element
 // Navier-Stokes solver instrumented with a SENSEI-style in situ
 // interface, a Catalyst-style rendering back end, Nek-style
-// checkpointing, and an ADIOS2/SST-style in transit transport, plus
+// checkpointing, an ADIOS2/SST-style in transit transport, and an
+// in-transit staging hub that fans one simulation out to many
+// concurrent consumers under selectable backpressure policies, plus
 // the benchmark harness that regenerates every figure of the paper's
 // evaluation.
 //
@@ -11,9 +13,21 @@
 //
 //   - cmd/nekrs — drive the solver with a par file and a SENSEI XML
 //     configuration (the paper's Listing 1)
-//   - cmd/sensei-endpoint — the in transit data consumer
+//   - cmd/sensei-endpoint — the in transit data consumer; with
+//     -policy/-consumers it attaches N replicas to a staging hub
 //   - cmd/figures — regenerate Figures 2/3/5/6 and the storage table
-//   - examples/ — quickstart, pb146, rbc-intransit, histogram
+//   - examples/ — quickstart, pb146, rbc-intransit, histogram, and
+//     fanout (one simulation feeding histogram + probe + render
+//     consumers through the staging hub)
+//
+// Key packages: internal/sensei (DataAdaptor/AnalysisAdaptor and the
+// XML-configurable multiplexer), internal/core (the nek_sensei
+// coupling bridge), internal/adios + internal/intransit (the SST
+// transport and endpoint runtime), internal/staging (the
+// multi-consumer hub: ring buffer, reference-counted zero-copy
+// payloads, block / drop-oldest / latest-only policies), and
+// internal/bench (the figure harness plus the direct-vs-staged
+// fan-out comparison).
 //
 // The package inventory and per-experiment index live in DESIGN.md;
 // paper-vs-measured results in EXPERIMENTS.md. The root package holds

@@ -1,0 +1,3 @@
+module nekrs-sensei
+
+go 1.24

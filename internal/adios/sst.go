@@ -13,12 +13,38 @@ import (
 	"nekrs-sensei/internal/metrics"
 )
 
-// hello is the control-plane handshake message.
-type hello struct {
+// Hello is the control-plane handshake message, shared by every
+// server speaking this wire protocol (the single-reader Writer here
+// and the staging hub's multi-reader server). The consumer fields are
+// optional extensions: readers attaching to a multi-consumer hub
+// announce which named consumer they are and the backpressure policy
+// they want; plain SST writers ignore them. Error carries a
+// handshake-level rejection reason (Role "rejected").
+type Hello struct {
 	Type    string `json:"type"`
 	Role    string `json:"role"`
-	Engine  string `json:"engine"`
-	Marshal string `json:"marshal"`
+	Engine  string `json:"engine,omitempty"`
+	Marshal string `json:"marshal,omitempty"`
+
+	Consumer string `json:"consumer,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+	Depth    int    `json:"depth,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// SpliceHandshake builds the data-plane reader that follows a JSON
+// handshake: any bytes the decoder over-read are spliced back in
+// front of rest, and the newline json.Encoder appends after the hello
+// is discarded — the first data frame (or credit byte) starts right
+// after it.
+func SpliceHandshake(dec *json.Decoder, rest io.Reader) (*bufio.Reader, error) {
+	combined := bufio.NewReaderSize(io.MultiReader(dec.Buffered(), rest), 1<<16)
+	if b, err := combined.ReadByte(); err == nil && b != '\n' {
+		if err := combined.UnreadByte(); err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
 }
 
 // WriterOptions configures an SST writer.
@@ -131,14 +157,14 @@ func (w *Writer) serve() {
 
 	// Control plane: exchange hello messages.
 	dec := json.NewDecoder(conn)
-	var h hello
+	var h Hello
 	if err := dec.Decode(&h); err != nil || h.Role != "reader" {
 		w.setErr(fmt.Errorf("adios: bad reader handshake: %v", err))
 		w.drain()
 		return
 	}
 	enc := json.NewEncoder(conn)
-	if err := enc.Encode(hello{Type: "hello", Role: "writer", Engine: "sst", Marshal: "bp"}); err != nil {
+	if err := enc.Encode(Hello{Type: "hello", Role: "writer", Engine: "sst", Marshal: "bp"}); err != nil {
 		w.setErr(err)
 		w.drain()
 		return
@@ -187,6 +213,13 @@ func (w *Writer) serve() {
 // Put marshals and stages one step, blocking if the staging queue is
 // full (back-pressure). Returns any transport error observed so far.
 func (w *Writer) Put(s *Step) error {
+	return w.PutFrame(Marshal(s))
+}
+
+// PutFrame stages an already-marshaled step, the zero-copy path for
+// fan-out servers that marshal once and hand the same frame to many
+// writers. The frame must not be mutated after the call.
+func (w *Writer) PutFrame(frame []byte) error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -197,7 +230,6 @@ func (w *Writer) Put(s *Step) error {
 	if err != nil {
 		return err
 	}
-	frame := Marshal(s)
 	w.opts.Acct.Alloc("sst-queue", int64(len(frame)))
 	w.mu.Lock()
 	w.queued += int64(len(frame))
@@ -241,35 +273,58 @@ type Reader struct {
 	bytesRecv int64
 }
 
+// ReaderOptions carries the staging extensions of the reader
+// handshake: which named hub consumer this reader is (or wants to
+// become) and the backpressure policy/window it requests. All fields
+// are optional and ignored by plain SST writers.
+type ReaderOptions struct {
+	// Consumer names the hub consumer to attach as.
+	Consumer string
+	// Policy requests "block", "drop-oldest" or "latest-only".
+	Policy string
+	// Depth requests the consumer's queue depth (0 = server default).
+	Depth int
+}
+
 // OpenReader connects to a writer's advertised address and completes
 // the control handshake.
 func OpenReader(addr string) (*Reader, error) {
+	return OpenReaderWith(addr, ReaderOptions{})
+}
+
+// OpenReaderWith is OpenReader carrying staging consumer options in
+// the handshake.
+func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("adios: dial %s: %w", addr, err)
 	}
 	enc := json.NewEncoder(conn)
-	if err := enc.Encode(hello{Type: "hello", Role: "reader"}); err != nil {
+	h0 := Hello{Type: "hello", Role: "reader",
+		Consumer: opts.Consumer, Policy: opts.Policy, Depth: opts.Depth}
+	if err := enc.Encode(h0); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	br := bufio.NewReaderSize(conn, 1<<16)
 	dec := json.NewDecoder(br)
-	var h hello
-	if err := dec.Decode(&h); err != nil || h.Role != "writer" {
+	var h Hello
+	if err := dec.Decode(&h); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("adios: bad writer handshake: %v", err)
 	}
-	// Splice any bytes the JSON decoder over-read back in front, and
-	// discard the newline json.Encoder appends after the hello — the
-	// first data frame starts right after it.
-	rest := dec.Buffered()
-	combined := bufio.NewReaderSize(io.MultiReader(rest, br), 1<<16)
-	if b, err := combined.ReadByte(); err == nil && b != '\n' {
-		if err := combined.UnreadByte(); err != nil {
-			conn.Close()
-			return nil, err
-		}
+	if h.Role == "rejected" {
+		conn.Close()
+		return nil, fmt.Errorf("adios: writer rejected reader: %s", h.Error)
+	}
+	if h.Role != "writer" {
+		conn.Close()
+		return nil, fmt.Errorf("adios: bad writer handshake: unexpected role %q", h.Role)
+	}
+	combined, err := SpliceHandshake(dec, br)
+	if err != nil {
+		conn.Close()
+		return nil, err
 	}
 	return &Reader{conn: conn, br: combined}, nil
 }

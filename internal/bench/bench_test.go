@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"nekrs-sensei/internal/staging"
 )
 
 // tiny returns the smallest meaningful in situ configuration.
@@ -230,6 +232,85 @@ func TestFigure56Shapes(t *testing.T) {
 	}
 	if s := Fig6Table(results).String(); !strings.Contains(s, "Catalyst") {
 		t.Error("Fig6 table empty")
+	}
+}
+
+func tinyFanout() FanoutConfig {
+	return FanoutConfig{Consumers: 2, Steps: 8, PayloadF64: 512, Depth: 2}
+}
+
+func TestRunFanoutDirect(t *testing.T) {
+	res, err := RunFanoutDirect(tinyFanout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "direct" || res.Delivered != 16 || res.Dropped != 0 {
+		t.Errorf("direct result = %+v", res)
+	}
+	if res.ProducerWall <= 0 || res.ProducerMBps <= 0 {
+		t.Error("no throughput measured")
+	}
+}
+
+func TestRunFanoutStagedPolicies(t *testing.T) {
+	for _, p := range []staging.Policy{staging.Block, staging.DropOldest, staging.LatestOnly} {
+		cfg := tinyFanout()
+		cfg.Policy = p
+		res, err := RunFanoutStaged(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Mode != "staged" || res.Policy != p {
+			t.Errorf("%s: result = %+v", p, res)
+		}
+		// Conservation: every published step is either delivered to or
+		// dropped by each consumer.
+		if res.Delivered+res.Dropped != int64(cfg.Steps*cfg.Consumers) {
+			t.Errorf("%s: delivered %d + dropped %d != %d",
+				p, res.Delivered, res.Dropped, cfg.Steps*cfg.Consumers)
+		}
+		if p == staging.Block && res.Dropped != 0 {
+			t.Errorf("block dropped %d steps", res.Dropped)
+		}
+	}
+}
+
+// TestFanoutMatrixShapes runs the full (tiny) comparison and asserts
+// the subsystem's qualitative promise: with slow consumers, staged
+// drop policies keep the producer faster than the direct transport,
+// which must block on every consumer's queue.
+func TestFanoutMatrixShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fan-out matrix")
+	}
+	base := tinyFanout()
+	base.ConsumerDelay = 3 * time.Millisecond
+	results, err := RunFanoutMatrix([]int{1, 4},
+		[]staging.Policy{staging.Block, staging.DropOldest, staging.LatestOnly}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results = %d, want 8", len(results))
+	}
+	byKey := map[string]FanoutResult{}
+	for _, r := range results {
+		key := r.Mode + "-" + itoa(r.Consumers)
+		if r.Mode == "staged" {
+			key = r.Mode + "-" + r.Policy.String() + "-" + itoa(r.Consumers)
+		}
+		byKey[key] = r
+	}
+	for _, n := range []int{1, 4} {
+		direct := byKey["direct-"+itoa(n)]
+		latest := byKey["staged-latest-only-"+itoa(n)]
+		if latest.ProducerWall >= direct.ProducerWall {
+			t.Errorf("x%d: latest-only producer (%v) not faster than blocking direct (%v)",
+				n, latest.ProducerWall, direct.ProducerWall)
+		}
+	}
+	if s := FanoutTable(results).String(); !strings.Contains(s, "staged") || !strings.Contains(s, "drop-oldest") {
+		t.Error("fan-out table incomplete")
 	}
 }
 

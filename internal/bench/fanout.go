@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/staging"
+)
+
+// FanoutConfig parameterizes one fan-out transport measurement: one
+// producer streaming synthetic timesteps to N consumers, either over
+// N independent SST writers (direct — each step marshaled and queued
+// once per consumer) or through one staging hub (staged — marshaled
+// once, shared by every consumer).
+type FanoutConfig struct {
+	Consumers  int
+	Policy     staging.Policy // staged mode only; direct SST is always Block
+	Depth      int            // queue depth / consumer window (default 2)
+	Steps      int            // timesteps to stream (default 40)
+	PayloadF64 int            // float64s per step (default 16384 = 128 KiB)
+
+	// ConsumerDelay models endpoint processing time per step. With a
+	// slow consumer the policies separate: block throttles the
+	// producer to the slowest consumer, drop-oldest and latest-only
+	// keep it at full rate and shed steps instead.
+	ConsumerDelay time.Duration
+}
+
+func (c *FanoutConfig) withDefaults() FanoutConfig {
+	out := *c
+	if out.Consumers == 0 {
+		out.Consumers = 1
+	}
+	if out.Depth == 0 {
+		out.Depth = 2
+	}
+	if out.Steps == 0 {
+		out.Steps = 40
+	}
+	if out.PayloadF64 == 0 {
+		out.PayloadF64 = 16384
+	}
+	return out
+}
+
+// FanoutResult is one row of the fan-out comparison.
+type FanoutResult struct {
+	Mode      string // "direct" or "staged"
+	Policy    staging.Policy
+	Consumers int
+	Steps     int
+
+	// ProducerWall is the wall time the producer spent streaming all
+	// steps — the simulation-side cost the paper's Figure 5 metric
+	// cares about.
+	ProducerWall time.Duration
+	// ProducerMBps is payload throughput from the producer's view
+	// (payload counted once, independent of consumer count).
+	ProducerMBps float64
+
+	Delivered int64 // steps received across all consumers
+	Dropped   int64 // steps shed by drop policies
+}
+
+// fanoutStep builds one synthetic timestep of n float64s.
+func fanoutStep(seq, n int) *adios.Step {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(seq*n + i)
+	}
+	return &adios.Step{
+		Step:  int64(seq),
+		Time:  float64(seq),
+		Attrs: map[string]string{},
+		Vars:  []adios.Variable{adios.NewF64("array/payload", data)},
+	}
+}
+
+func mbps(bytes int64, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(bytes) / wall.Seconds() / (1 << 20)
+}
+
+// RunFanoutDirect streams through N independent SST writers, the only
+// fan-out shape the one-producer/one-consumer transport supports: the
+// producer marshals and queues every step once per consumer and blocks
+// on the slowest queue (SST semantics).
+func RunFanoutDirect(cfg FanoutConfig) (FanoutResult, error) {
+	c := cfg.withDefaults()
+	writers := make([]*adios.Writer, c.Consumers)
+	for i := range writers {
+		w, err := adios.ListenWriter("127.0.0.1:0", adios.WriterOptions{QueueLimit: c.Depth})
+		if err != nil {
+			return FanoutResult{}, err
+		}
+		writers[i] = w
+	}
+	recvd := make([]int64, c.Consumers)
+	errs := make([]error, c.Consumers)
+	var wg sync.WaitGroup
+	for i, w := range writers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			r, err := adios.OpenReader(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer r.Close()
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						errs[i] = err
+					}
+					return
+				}
+				recvd[i]++
+				if c.ConsumerDelay > 0 {
+					time.Sleep(c.ConsumerDelay)
+				}
+			}
+		}(i, w.Addr())
+	}
+
+	var payload int64
+	start := time.Now()
+	for s := 0; s < c.Steps; s++ {
+		step := fanoutStep(s, c.PayloadF64)
+		payload += step.Bytes()
+		for _, w := range writers {
+			if err := w.Put(step); err != nil {
+				return FanoutResult{}, err
+			}
+		}
+	}
+	wall := time.Since(start)
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return FanoutResult{}, err
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return FanoutResult{}, err
+		}
+	}
+	res := FanoutResult{
+		Mode: "direct", Policy: staging.Block, Consumers: c.Consumers,
+		Steps: c.Steps, ProducerWall: wall, ProducerMBps: mbps(payload, wall),
+	}
+	for _, n := range recvd {
+		res.Delivered += n
+	}
+	return res, nil
+}
+
+// RunFanoutStaged streams through one staging hub serving N network
+// consumers under the configured backpressure policy: each step is
+// marshaled once and the frame shared by every connection.
+func RunFanoutStaged(cfg FanoutConfig) (FanoutResult, error) {
+	c := cfg.withDefaults()
+	hub := staging.NewHub(nil)
+	srv, err := staging.Serve(hub, "127.0.0.1:0", nil)
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	errs := make([]error, c.Consumers)
+	var wg sync.WaitGroup
+	for i := 0; i < c.Consumers; i++ {
+		r, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+			Consumer: fmt.Sprintf("bench-%d", i),
+			Policy:   c.Policy.String(),
+			Depth:    c.Depth,
+		})
+		if err != nil {
+			return FanoutResult{}, err
+		}
+		wg.Add(1)
+		go func(i int, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						errs[i] = err
+					}
+					return
+				}
+				if c.ConsumerDelay > 0 {
+					time.Sleep(c.ConsumerDelay)
+				}
+			}
+		}(i, r)
+	}
+	// Every consumer is already subscribed: the server binds the hub
+	// consumer before replying to the handshake OpenReaderWith blocks
+	// on, so Block consumers cannot miss early steps.
+
+	var payload int64
+	start := time.Now()
+	for s := 0; s < c.Steps; s++ {
+		step := fanoutStep(s, c.PayloadF64)
+		payload += step.Bytes()
+		if err := hub.Publish(step); err != nil {
+			return FanoutResult{}, err
+		}
+	}
+	wall := time.Since(start)
+	if err := hub.Close(); err != nil {
+		return FanoutResult{}, err
+	}
+	if err := srv.Close(); err != nil {
+		return FanoutResult{}, err
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return FanoutResult{}, err
+		}
+	}
+	res := FanoutResult{
+		Mode: "staged", Policy: c.Policy, Consumers: c.Consumers,
+		Steps: c.Steps, ProducerWall: wall, ProducerMBps: mbps(payload, wall),
+	}
+	for _, s := range hub.Stats() {
+		res.Delivered += s.Delivered
+		res.Dropped += s.Dropped
+	}
+	return res, nil
+}
+
+// RunFanoutMatrix sweeps consumer counts: per count, a direct-SST
+// baseline plus one staged run per backpressure policy.
+func RunFanoutMatrix(consumerCounts []int, policies []staging.Policy, base FanoutConfig) ([]FanoutResult, error) {
+	var out []FanoutResult
+	for _, n := range consumerCounts {
+		cfg := base
+		cfg.Consumers = n
+		res, err := RunFanoutDirect(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: direct x%d: %w", n, err)
+		}
+		out = append(out, res)
+		for _, p := range policies {
+			cfg.Policy = p
+			res, err := RunFanoutStaged(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: staged %s x%d: %w", p, n, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// FanoutTable renders the fan-out comparison.
+func FanoutTable(results []FanoutResult) *metrics.Table {
+	t := metrics.NewTable("Fan-out: direct SST vs staging hub",
+		"mode", "policy", "consumers", "producer wall [ms]", "producer MB/s", "delivered", "dropped")
+	for _, r := range results {
+		policy := "-"
+		if r.Mode == "staged" {
+			policy = r.Policy.String()
+		}
+		t.AddRow(r.Mode, policy, r.Consumers,
+			fmt.Sprintf("%.1f", float64(r.ProducerWall.Microseconds())/1000),
+			fmt.Sprintf("%.1f", r.ProducerMBps), r.Delivered, r.Dropped)
+	}
+	return t
+}

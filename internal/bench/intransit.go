@@ -222,7 +222,7 @@ func RunInTransit(mode InTransitMode, cfg InTransitConfig) (InTransitResult, err
 					Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
 					Storage: metrics.NewStorageCounter(), OutputDir: c.OutputDir,
 				}
-				ep, err := intransit.NewEndpoint(ctx, readers, []byte(endpointXML))
+				ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), []byte(endpointXML))
 				if err != nil {
 					epErrs[rank] = err
 					return

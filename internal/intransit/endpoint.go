@@ -37,28 +37,39 @@ func NewStreamDataAdaptor(comm *mpirt.Comm, nSources int) *StreamDataAdaptor {
 	}
 }
 
+// IngestStructure caches a structure-carrying step's grid without
+// staging its arrays — used when a step is skipped during stream
+// resynchronization but its structure must not be lost.
+func (a *StreamDataAdaptor) IngestStructure(source int, s *adios.Step) error {
+	if s.Attrs["structure"] != "1" {
+		return nil
+	}
+	g := &vtkdata.UnstructuredGrid{}
+	if v := s.FindVar("points"); v != nil {
+		g.Points = v.F64
+	}
+	if v := s.FindVar("connectivity"); v != nil {
+		g.Connectivity = v.I64
+	}
+	if v := s.FindVar("offsets"); v != nil {
+		g.Offsets = v.I64
+	}
+	if v := s.FindVar("types"); v != nil {
+		g.CellTypes = v.U8
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("intransit: source %d structure: %w", source, err)
+	}
+	a.structures[source] = g
+	a.merged = nil
+	return nil
+}
+
 // Ingest absorbs one source's step: structure (if present) is cached,
 // arrays are staged for merging. Call for every source, then Seal.
 func (a *StreamDataAdaptor) Ingest(source int, s *adios.Step) error {
-	if s.Attrs["structure"] == "1" {
-		g := &vtkdata.UnstructuredGrid{}
-		if v := s.FindVar("points"); v != nil {
-			g.Points = v.F64
-		}
-		if v := s.FindVar("connectivity"); v != nil {
-			g.Connectivity = v.I64
-		}
-		if v := s.FindVar("offsets"); v != nil {
-			g.Offsets = v.I64
-		}
-		if v := s.FindVar("types"); v != nil {
-			g.CellTypes = v.U8
-		}
-		if err := g.Validate(); err != nil {
-			return fmt.Errorf("intransit: source %d structure: %w", source, err)
-		}
-		a.structures[source] = g
-		a.merged = nil
+	if err := a.IngestStructure(source, s); err != nil {
+		return err
 	}
 	if a.structures[source] == nil {
 		return fmt.Errorf("intransit: source %d sent arrays before structure", source)
@@ -186,13 +197,31 @@ func (a *StreamDataAdaptor) ReleaseData() error {
 	return nil
 }
 
+// StepSource delivers one stream of timesteps to an endpoint:
+// io.EOF signals a clean end-of-stream. Both *adios.Reader (a direct
+// SST stream) and *staging.Consumer (a fan-out hub subscription)
+// satisfy it, so the same endpoint runtime consumes either transport.
+type StepSource interface {
+	BeginStep() (*adios.Step, error)
+}
+
+// Sources adapts direct SST readers to the StepSource slice
+// NewEndpoint consumes.
+func Sources(readers ...*adios.Reader) []StepSource {
+	out := make([]StepSource, len(readers))
+	for i, r := range readers {
+		out[i] = r
+	}
+	return out
+}
+
 // Endpoint drives the in transit consumer: it pulls aligned steps from
-// its SST readers and executes a SENSEI ConfigurableAnalysis on each —
+// its step sources and executes a SENSEI ConfigurableAnalysis on each —
 // a Catalyst render, a VTU checkpoint, or nothing, the paper's three
 // measurement points.
 type Endpoint struct {
 	ctx     *sensei.Context
-	readers []*adios.Reader
+	sources []StepSource
 	da      *StreamDataAdaptor
 	ca      *sensei.ConfigurableAnalysis
 
@@ -203,11 +232,12 @@ type Endpoint struct {
 	StepDelay time.Duration
 
 	stepsProcessed int
+	stepsSkipped   int
 }
 
-// NewEndpoint builds an endpoint over the given readers with analyses
-// from configXML (empty config = pure sink).
-func NewEndpoint(ctx *sensei.Context, readers []*adios.Reader, configXML []byte) (*Endpoint, error) {
+// NewEndpoint builds an endpoint over the given step sources with
+// analyses from configXML (empty config = pure sink).
+func NewEndpoint(ctx *sensei.Context, sources []StepSource, configXML []byte) (*Endpoint, error) {
 	ca := sensei.NewConfigurableAnalysis(ctx)
 	if len(configXML) > 0 {
 		if err := ca.InitializeXML(configXML); err != nil {
@@ -216,8 +246,8 @@ func NewEndpoint(ctx *sensei.Context, readers []*adios.Reader, configXML []byte)
 	}
 	return &Endpoint{
 		ctx:     ctx,
-		readers: readers,
-		da:      NewStreamDataAdaptor(ctx.Comm, len(readers)),
+		sources: sources,
+		da:      NewStreamDataAdaptor(ctx.Comm, len(sources)),
 		ca:      ca,
 	}, nil
 }
@@ -227,6 +257,12 @@ func (e *Endpoint) Analysis() *sensei.ConfigurableAnalysis { return e.ca }
 
 // StepsProcessed reports completed steps.
 func (e *Endpoint) StepsProcessed() int { return e.stepsProcessed }
+
+// StepsSkipped reports source steps discarded while resynchronizing
+// skewed streams (see Run). Zero when every source delivers the same
+// step sequence — the only case for direct SST and for hub consumers
+// that subscribed before the first publish.
+func (e *Endpoint) StepsSkipped() int { return e.stepsSkipped }
 
 // Run consumes the streams until every source reaches end-of-stream,
 // executing the configured analyses per step. Returns the number of
@@ -241,7 +277,8 @@ func (e *Endpoint) Run() (steps int, err error) {
 	}()
 	for {
 		eofs := 0
-		for src, r := range e.readers {
+		steps := make([]*adios.Step, len(e.sources))
+		for src, r := range e.sources {
 			s, err := r.BeginStep()
 			if errors.Is(err, io.EOF) {
 				eofs++
@@ -250,15 +287,58 @@ func (e *Endpoint) Run() (steps int, err error) {
 			if err != nil {
 				return e.stepsProcessed, fmt.Errorf("intransit: source %d: %w", src, err)
 			}
-			if err := e.da.Ingest(src, s); err != nil {
-				return e.stepsProcessed, err
-			}
+			steps[src] = s
 		}
-		if eofs == len(e.readers) {
+		if eofs == len(e.sources) {
 			return e.stepsProcessed, nil
 		}
 		if eofs != 0 {
-			return e.stepsProcessed, fmt.Errorf("intransit: %d of %d sources ended early", eofs, len(e.readers))
+			return e.stepsProcessed, fmt.Errorf("intransit: %d of %d sources ended early", eofs, len(e.sources))
+		}
+		// Resynchronize: staging-hub sources can deliver different
+		// step subsequences — drop policies shed steps independently
+		// per hub, and consumers attaching mid-stream start at each
+		// hub's current step. Each stream is monotonic, so advancing
+		// every lagging source to the maximum step realigns them.
+		// Discarded steps are counted in StepsSkipped (their
+		// structure, if any, is still captured); lossless consumers
+		// that need zero skips must subscribe before the first
+		// publish (pre-declared consumers in the staging XML).
+		for {
+			var target int64
+			aligned := true
+			for _, s := range steps {
+				if s.Step > target {
+					target = s.Step
+				}
+			}
+			for _, s := range steps {
+				if s.Step != target {
+					aligned = false
+				}
+			}
+			if aligned {
+				break
+			}
+			for src, s := range steps {
+				for s.Step < target {
+					e.stepsSkipped++
+					if err := e.da.IngestStructure(src, s); err != nil {
+						return e.stepsProcessed, err
+					}
+					next, err := e.sources[src].BeginStep()
+					if err != nil {
+						return e.stepsProcessed, fmt.Errorf("intransit: source %d ended during resync at step %d: %w", src, target, err)
+					}
+					s = next
+					steps[src] = s
+				}
+			}
+		}
+		for src, s := range steps {
+			if err := e.da.Ingest(src, s); err != nil {
+				return e.stepsProcessed, err
+			}
 		}
 		if err := e.da.Seal(); err != nil {
 			return e.stepsProcessed, err

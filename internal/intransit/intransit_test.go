@@ -1,6 +1,7 @@
 package intransit
 
 import (
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -15,6 +16,8 @@ import (
 	"nekrs-sensei/internal/mpirt"
 	"nekrs-sensei/internal/occa"
 	"nekrs-sensei/internal/sensei"
+
+	"nekrs-sensei/internal/staging"
 
 	_ "nekrs-sensei/internal/checkpoint" // register "checkpoint" analysis
 )
@@ -75,7 +78,7 @@ func TestFullPipelineIntegrity(t *testing.T) {
 			readers = append(readers, r)
 		}
 		ctx := ctxFor(mpirt.NewWorld(1).Comm(0), "")
-		ep, err := NewEndpoint(ctx, readers, nil)
+		ep, err := NewEndpoint(ctx, Sources(readers...), nil)
 		if err != nil {
 			endpointErr = err
 			return
@@ -197,7 +200,7 @@ func TestEndpointVTUCheckpoint(t *testing.T) {
 		cfg := `<sensei>
   <analysis type="checkpoint" mesh="mesh" prefix="rbc" frequency="1"/>
 </sensei>`
-		ep, err := NewEndpoint(ctx, []*adios.Reader{r}, []byte(cfg))
+		ep, err := NewEndpoint(ctx, Sources(r), []byte(cfg))
 		if err != nil {
 			epErr = err
 			return
@@ -360,6 +363,182 @@ func TestStreamAdaptorMergesBlocks(t *testing.T) {
 	}
 	if math.Abs(a.Time()-0) > 1e-12 || a.TimeStep() != 0 {
 		t.Error("time metadata wrong")
+	}
+}
+
+// stubSource replays a canned step sequence, then io.EOF.
+type stubSource struct {
+	steps []*adios.Step
+	i     int
+}
+
+func (s *stubSource) BeginStep() (*adios.Step, error) {
+	if s.i >= len(s.steps) {
+		return nil, io.EOF
+	}
+	s.i++
+	return s.steps[s.i-1], nil
+}
+
+// stubStep builds a one-hex-cell step; structure travels on step 0.
+func stubStep(step int64, origin float64) *adios.Step {
+	s := &adios.Step{Step: step, Time: float64(step), Attrs: map[string]string{}}
+	if step == 0 {
+		pts := make([]float64, 24)
+		for i := 0; i < 8; i++ {
+			pts[3*i] = origin + float64(i%2)
+			pts[3*i+1] = float64((i / 2) % 2)
+			pts[3*i+2] = float64(i / 4)
+		}
+		s.Attrs["structure"] = "1"
+		s.Vars = append(s.Vars,
+			adios.NewF64("points", pts),
+			adios.NewI64("connectivity", []int64{0, 1, 3, 2, 4, 5, 7, 6}),
+			adios.NewI64("offsets", []int64{8}),
+			adios.NewU8("types", []byte{12}),
+		)
+	}
+	s.Vars = append(s.Vars, adios.NewF64("array/f", []float64{
+		float64(step), 1, 2, 3, 4, 5, 6, 7,
+	}))
+	return s
+}
+
+// TestEndpointResyncSkewedSources: hub sources under a drop policy
+// shed steps independently, so two sources can deliver different step
+// subsequences; the endpoint must realign on the common steps instead
+// of merging mismatched timesteps.
+func TestEndpointResyncSkewedSources(t *testing.T) {
+	a := &stubSource{steps: []*adios.Step{stubStep(0, 0), stubStep(2, 0), stubStep(5, 0)}}
+	b := &stubSource{steps: []*adios.Step{stubStep(0, 10), stubStep(3, 10), stubStep(5, 10)}}
+	ctx := ctxFor(mpirt.NewWorld(1).Comm(0), "")
+	ep, err := NewEndpoint(ctx, []StepSource{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	ep.ca.AddAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
+		g, err := da.Mesh("mesh", true)
+		if err != nil {
+			return err
+		}
+		if err := da.AddArray(g, "mesh", sensei.AssocPoint, "f"); err != nil {
+			return err
+		}
+		arr := g.FindPointData("f")
+		// Both blocks must carry the same step's data after resync.
+		if arr.Data[0] != arr.Data[8] {
+			t.Errorf("merged mismatched steps: %v vs %v", arr.Data[0], arr.Data[8])
+		}
+		seen = append(seen, da.TimeStep())
+		return nil
+	}))
+	n, err := ep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(seen) != 2 || seen[0] != 0 || seen[1] != 5 {
+		t.Errorf("processed %d steps %v, want the aligned steps [0 5]", n, seen)
+	}
+}
+
+// TestStagingFanoutEndpoints runs the hub-based deployment shape in
+// process: one simulation publishes into a staging hub and three
+// endpoints with different backpressure policies consume it through
+// the same StepSource seam as direct SST readers.
+func TestStagingFanoutEndpoints(t *testing.T) {
+	const steps = 6
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	ctx := ctxFor(comm, "")
+	hub := staging.NewHub(ctx.Acct)
+	send := staging.New(ctx, hub, "mesh", []string{"temperature"})
+
+	specs := []struct {
+		name   string
+		policy staging.Policy
+		depth  int
+	}{
+		{"sync", staging.Block, 2},
+		{"lossy", staging.DropOldest, 2},
+		{"viz", staging.LatestOnly, 1},
+	}
+	processed := make([]int, len(specs))
+	lastTemp := make([][]float64, len(specs))
+	epErrs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		cons, err := hub.Subscribe(spec.name, spec.policy, spec.depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, cons *staging.Consumer) {
+			defer wg.Done()
+			epCtx := ctxFor(mpirt.NewWorld(1).Comm(0), "")
+			ep, err := NewEndpoint(epCtx, []StepSource{cons}, nil)
+			if err != nil {
+				epErrs[i] = err
+				return
+			}
+			ep.ca.AddAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
+				g, err := da.Mesh("mesh", true)
+				if err != nil {
+					return err
+				}
+				if err := da.AddArray(g, "mesh", sensei.AssocPoint, "temperature"); err != nil {
+					return err
+				}
+				lastTemp[i] = append([]float64(nil), g.FindPointData("temperature").Data...)
+				return nil
+			}))
+			processed[i], epErrs[i] = ep.Run()
+		}(i, cons)
+	}
+
+	da := core.NewNekDataAdaptor(s, ctx.Acct)
+	for step := 0; step < steps; step++ {
+		s.Step()
+		da.SetStep(step, s.Time())
+		if _, err := send.Execute(da); err != nil {
+			t.Fatal(err)
+		}
+		da.ReleaseData() //nolint:errcheck
+	}
+	if err := send.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range epErrs {
+		if err != nil {
+			t.Fatalf("%s endpoint: %v", specs[i].name, err)
+		}
+	}
+
+	if processed[0] != steps {
+		t.Errorf("block endpoint processed %d steps, want %d", processed[0], steps)
+	}
+	for i := range specs {
+		if processed[i] == 0 {
+			t.Errorf("%s endpoint processed nothing", specs[i].name)
+		}
+	}
+	// Every endpoint's final step is the simulation's final state —
+	// bit-exact, since the hub shares the adaptor's buffers.
+	final := make([]float64, s.T.Len())
+	s.T.CopyToHost(final)
+	for i := range specs {
+		if len(lastTemp[i]) != len(final) {
+			t.Fatalf("%s: %d values, want %d", specs[i].name, len(lastTemp[i]), len(final))
+		}
+		for j := range final {
+			if lastTemp[i][j] != final[j] {
+				t.Fatalf("%s: value %d: got %v want %v", specs[i].name, j, lastTemp[i][j], final[j])
+			}
+		}
+	}
+	if hub.Published() != steps {
+		t.Errorf("hub published %d, want %d", hub.Published(), steps)
 	}
 }
 

@@ -110,6 +110,19 @@ func (ca *ConfigurableAnalysis) Types() []string {
 	return out
 }
 
+// FindAdaptor returns the first enabled analysis of the given type,
+// nil if none — the handle XML-configured drivers use to reach an
+// adaptor's extra API (e.g. the staging hub's stats) after
+// InitializeXML instantiated it.
+func (ca *ConfigurableAnalysis) FindAdaptor(typeName string) AnalysisAdaptor {
+	for _, e := range ca.entries {
+		if e.typeName == typeName {
+			return e.adaptor
+		}
+	}
+	return nil
+}
+
 // Execute runs every enabled analysis whose frequency divides the
 // adaptor's current timestep.
 func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) error {

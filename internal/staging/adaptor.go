@@ -1,0 +1,295 @@
+package staging
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/sensei"
+)
+
+// ConsumerSpec is one pre-declared consumer from the XML consumers
+// attribute: "name[:policy[:depth]]".
+type ConsumerSpec struct {
+	Name   string
+	Policy Policy
+	Depth  int
+}
+
+// ParseConsumers parses a comma-separated consumer list, e.g.
+// "hist:block:2,probe:drop-oldest:4,render:latest-only".
+func ParseConsumers(s string) ([]ConsumerSpec, error) {
+	var out []ConsumerSpec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("staging: consumer spec %q: want name[:policy[:depth]]", part)
+		}
+		spec := ConsumerSpec{Name: strings.TrimSpace(fields[0])}
+		if spec.Name == "" {
+			return nil, fmt.Errorf("staging: consumer spec %q: empty name", part)
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("staging: duplicate consumer %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		if len(fields) > 1 {
+			p, err := ParsePolicy(strings.TrimSpace(fields[1]))
+			if err != nil {
+				return nil, fmt.Errorf("staging: consumer %q: %w", spec.Name, err)
+			}
+			spec.Policy = p
+		}
+		if len(fields) > 2 {
+			d, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+			if err != nil || d < 1 {
+				return nil, fmt.Errorf("staging: consumer %q: bad depth %q", spec.Name, fields[2])
+			}
+			spec.Depth = d
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// Adaptor is the simulation-side staging analysis (SENSEI analysis
+// type "staging"): Execute publishes the requested arrays — and, once,
+// the grid structure — into the hub, from which any number of
+// consumers fan out. XML attributes:
+//
+//	address   server listen address (default 127.0.0.1:0)
+//	contact   contact file for the rendezvous (rank 0 writes it)
+//	mesh      mesh name (default "mesh")
+//	arrays    comma-separated array names ("" = all advertised)
+//	consumers pre-declared consumers, "name[:policy[:depth]],..." —
+//	          subscribed at initialization so no step is missed while
+//	          endpoints attach
+//	policy    default policy for consumers not pre-declared
+//	depth     default queue depth (default 2)
+type Adaptor struct {
+	ctx      *sensei.Context
+	hub      *Hub
+	server   *Server
+	meshName string
+	arrays   []string
+
+	defPolicy Policy
+	defDepth  int
+
+	mu         sync.Mutex
+	specs      map[string]ConsumerSpec // pre-declared consumer shapes
+	registered map[string]*Consumer    // current subscription per declared name
+	claimed    map[string]bool
+	dynSeq     int
+
+	structureSent bool
+	stepsStaged   int
+}
+
+// New builds a staging adaptor over an existing hub (programmatic
+// use; no network server).
+func New(ctx *sensei.Context, hub *Hub, meshName string, arrays []string) *Adaptor {
+	if meshName == "" {
+		meshName = "mesh"
+	}
+	return &Adaptor{
+		ctx: ctx, hub: hub, meshName: meshName, arrays: arrays,
+		defDepth:   2,
+		specs:      map[string]ConsumerSpec{},
+		registered: map[string]*Consumer{}, claimed: map[string]bool{},
+	}
+}
+
+func init() {
+	sensei.Register("staging", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+		hub := NewHub(ctx.Acct)
+		var arrays []string
+		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
+			for _, s := range strings.Split(a, ",") {
+				arrays = append(arrays, strings.TrimSpace(s))
+			}
+		}
+		ad := New(ctx, hub, attrs["mesh"], arrays)
+		if p := attrs["policy"]; p != "" {
+			pol, err := ParsePolicy(p)
+			if err != nil {
+				return nil, err
+			}
+			ad.defPolicy = pol
+		}
+		if d := attrs["depth"]; d != "" {
+			v, err := strconv.Atoi(d)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("staging: bad depth %q", d)
+			}
+			ad.defDepth = v
+		}
+		specs, err := ParseConsumers(attrs["consumers"])
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			if spec.Depth == 0 {
+				spec.Depth = ad.defDepth
+			}
+			cons, err := hub.Subscribe(spec.Name, spec.Policy, spec.Depth)
+			if err != nil {
+				return nil, err
+			}
+			ad.specs[spec.Name] = spec
+			ad.registered[spec.Name] = cons
+		}
+		addr := attrs["address"]
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		srv, err := Serve(hub, addr, ad.bindConsumer)
+		if err != nil {
+			return nil, err
+		}
+		ad.server = srv
+		// Rendezvous: gather every rank's server address; rank 0
+		// publishes the contact file readers poll — the same mechanism
+		// as direct SST streams.
+		if contact := attrs["contact"]; contact != "" {
+			all := ctx.Comm.GatherBytes(0, []byte(srv.Addr()))
+			if ctx.Comm.Rank() == 0 {
+				addrs := make([]string, len(all))
+				for i, b := range all {
+					addrs[i] = string(b)
+				}
+				if err := adios.WriteContact(contact, addrs); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return ad, nil
+	})
+}
+
+// bindConsumer resolves a network reader's handshake: pre-declared
+// names are claimed (one live connection at a time — after a
+// disconnect, a reconnect gets a fresh subscription with the declared
+// policy); unknown names get fresh subscriptions with the reader's
+// announced policy/depth or the adaptor defaults.
+func (a *Adaptor) bindConsumer(name, policy string, depth int) (*Consumer, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if spec, ok := a.specs[name]; ok {
+		cons := a.registered[name]
+		if !a.claimed[name] {
+			a.claimed[name] = true
+			return cons, nil
+		}
+		if cons.IsClosed() {
+			// The previous connection dropped (its pump closed the
+			// subscription). Re-subscribe under the declared policy;
+			// steps shed in between are lost, the structure replays
+			// from the bootstrap.
+			nc, err := a.hub.Subscribe(spec.Name, spec.Policy, spec.Depth)
+			if err != nil {
+				return nil, err
+			}
+			a.registered[name] = nc
+			return nc, nil
+		}
+		return nil, fmt.Errorf("already attached")
+	}
+	pol := a.defPolicy
+	if policy != "" {
+		p, err := ParsePolicy(policy)
+		if err != nil {
+			return nil, err
+		}
+		pol = p
+	}
+	if depth <= 0 {
+		depth = a.defDepth
+	}
+	if name == "" {
+		a.dynSeq++
+		name = fmt.Sprintf("consumer-%d", a.dynSeq)
+	}
+	return a.hub.Subscribe(name, pol, depth)
+}
+
+// Hub exposes the staging hub (stats, programmatic subscription).
+func (a *Adaptor) Hub() *Hub { return a.hub }
+
+// Server exposes the network server, nil for programmatic adaptors.
+func (a *Adaptor) Server() *Server { return a.server }
+
+// StepsStaged reports Execute calls that published a step.
+func (a *Adaptor) StepsStaged() int { return a.stepsStaged }
+
+// Execute implements sensei.AnalysisAdaptor: one step is marshaled
+// into the hub regardless of how many consumers fan out of it.
+func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
+	arrays := a.arrays
+	if len(arrays) == 0 {
+		md, err := da.MeshMetadata(0)
+		if err != nil {
+			return false, err
+		}
+		arrays = md.ArrayNames
+	}
+	g, err := da.Mesh(a.meshName, true)
+	if err != nil {
+		return false, err
+	}
+	for _, name := range arrays {
+		if err := da.AddArray(g, a.meshName, sensei.AssocPoint, name); err != nil {
+			return false, err
+		}
+	}
+	step := &adios.Step{
+		Step:  int64(da.TimeStep()),
+		Time:  da.Time(),
+		Attrs: map[string]string{"mesh": a.meshName},
+	}
+	if !a.structureSent {
+		step.Attrs["structure"] = "1"
+		step.Vars = append(step.Vars,
+			adios.NewF64("points", g.Points, int64(g.NumPoints()), 3),
+			adios.NewI64("connectivity", g.Connectivity),
+			adios.NewI64("offsets", g.Offsets),
+			adios.NewU8("types", g.CellTypes),
+		)
+		a.structureSent = true
+	}
+	for _, name := range arrays {
+		arr := g.FindPointData(name)
+		if arr == nil {
+			return false, fmt.Errorf("staging: array %q not attached", name)
+		}
+		// The per-trigger VTK copy is never written again after this
+		// Execute, so the hub shares it with every consumer un-copied
+		// ("released" by the bridge affects accounting only).
+		step.Vars = append(step.Vars, adios.NewF64("array/"+name, arr.Data))
+	}
+	if err := a.hub.Publish(step); err != nil {
+		return false, err
+	}
+	a.stepsStaged++
+	return true, nil
+}
+
+// Finalize closes the hub (consumers drain and see end-of-stream) and
+// then the network server, waiting for every pump to deliver its
+// remaining steps.
+func (a *Adaptor) Finalize() error {
+	err := a.hub.Close()
+	if a.server != nil {
+		if serr := a.server.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}

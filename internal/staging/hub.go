@@ -1,0 +1,421 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+)
+
+// ErrClosed is returned by Publish and Subscribe after Close.
+var ErrClosed = errors.New("staging: hub closed")
+
+// errConsumerClosed surfaces reads on a detached consumer.
+var errConsumerClosed = errors.New("staging: consumer closed")
+
+// stepEntry is one published timestep in the ring. The step pointer
+// and the lazily marshaled frame are shared by every consumer —
+// fan-out never copies payload data.
+type stepEntry struct {
+	seq   int64
+	step  *adios.Step
+	bytes int64
+	refs  int // consumers (plus the bootstrap hold) yet to release
+
+	marshalOnce sync.Once
+	frame       []byte
+}
+
+// Hub is the staging core: a producer publishes timesteps into a ring
+// buffer; each subscribed consumer walks the ring with its own cursor
+// under its own backpressure policy. All methods are safe for
+// concurrent use.
+type Hub struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on publish, cursor advance, close
+
+	acct *metrics.Accountant
+
+	ring    []*stepEntry // ring[i] holds seq headSeq+i
+	headSeq int64        // seq of ring[0]
+	nextSeq int64        // seq the next Publish receives
+
+	consumers []*Consumer
+
+	// bootstrap is the first structure-carrying step, retained (one
+	// extra reference) until Close so consumers attaching mid-stream
+	// still receive the grid structure.
+	bootstrap *stepEntry
+
+	closed    bool
+	published int64
+	dropped   int64
+}
+
+// NewHub creates an empty hub. Staged payload bytes are tracked under
+// the accountant's "staging-hub" category (nil disables accounting).
+func NewHub(acct *metrics.Accountant) *Hub {
+	h := &Hub{acct: acct}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Consumer is one subscriber's handle: a cursor into the hub's ring
+// plus the policy that governs how the producer and this cursor
+// interact.
+type Consumer struct {
+	hub    *Hub
+	name   string
+	policy Policy
+	depth  int
+
+	cursor    int64
+	delivered int64
+	dropped   int64
+	closed    bool
+
+	// pendingBootstrap is delivered before ring steps when the
+	// consumer subscribed after the structure step was published.
+	pendingBootstrap *stepEntry
+
+	// prev is the ref held by BeginStep between calls; owned by the
+	// consumer's single reader goroutine.
+	prev *StepRef
+}
+
+// StepRef is a reference-counted view of one published step. The
+// underlying step is shared with other consumers: treat it as
+// read-only. Release returns the reference; the payload's accounting
+// is freed once every consumer has released it.
+type StepRef struct {
+	hub      *Hub
+	e        *stepEntry
+	released bool
+}
+
+// Step returns the shared, read-only step payload.
+func (r *StepRef) Step() *adios.Step { return r.e.step }
+
+// Release returns this consumer's reference. Safe to call twice.
+func (r *StepRef) Release() {
+	r.hub.mu.Lock()
+	defer r.hub.mu.Unlock()
+	if r.released {
+		return
+	}
+	r.released = true
+	r.hub.releaseRef(r.e)
+}
+
+// releaseRef drops one reference; the last one frees the accounting.
+// Caller holds h.mu.
+func (h *Hub) releaseRef(e *stepEntry) {
+	e.refs--
+	if e.refs == 0 {
+		h.acct.Free("staging-hub", e.bytes)
+	}
+}
+
+// Subscribe attaches a named consumer. depth <= 0 selects the default
+// window of 2 (the SST default queue depth); LatestOnly forces a
+// window of one. Consumers attached after the first publish receive
+// the retained structure step first.
+func (h *Hub) Subscribe(name string, policy Policy, depth int) (*Consumer, error) {
+	if depth <= 0 {
+		depth = 2
+	}
+	if policy == LatestOnly {
+		depth = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, cursor: h.nextSeq}
+	if h.bootstrap != nil && h.nextSeq > h.bootstrap.seq {
+		c.pendingBootstrap = h.bootstrap
+		h.bootstrap.refs++
+	}
+	h.consumers = append(h.consumers, c)
+	return c, nil
+}
+
+// lag is the number of published-but-undelivered ring steps for c.
+// Caller holds h.mu.
+func (h *Hub) lag(c *Consumer) int64 { return h.nextSeq - c.cursor }
+
+// Publish stages one timestep for every subscribed consumer. It
+// blocks while any Block-policy consumer is a full window behind
+// (producer-side backpressure); DropOldest/LatestOnly consumers
+// instead lose their oldest undelivered steps. Publishing with no
+// consumers subscribed discards the step (but still retains the first
+// structure step for late subscribers).
+func (h *Hub) Publish(s *adios.Step) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.closed {
+			return ErrClosed
+		}
+		blocked := false
+		for _, c := range h.consumers {
+			if !c.closed && c.policy == Block && h.lag(c) >= int64(c.depth) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			break
+		}
+		h.cond.Wait()
+	}
+
+	e := &stepEntry{seq: h.nextSeq, step: s, bytes: s.Bytes()}
+	h.nextSeq++
+	h.published++
+	h.ring = append(h.ring, e)
+	h.acct.Alloc("staging-hub", e.bytes)
+	if h.bootstrap == nil && s.Attrs["structure"] == "1" {
+		h.bootstrap = e
+		e.refs++ // held until Close for late subscribers
+	}
+	for _, c := range h.consumers {
+		if c.closed {
+			continue
+		}
+		e.refs++
+		if c.policy != Block {
+			for h.lag(c) > int64(c.depth) {
+				h.dropOldest(c)
+			}
+		}
+	}
+	if e.refs == 0 {
+		h.acct.Free("staging-hub", e.bytes)
+	}
+	h.trim()
+	h.cond.Broadcast()
+	return nil
+}
+
+// dropOldest advances c past its oldest undelivered step. The
+// structure-carrying bootstrap step is never lost: a drop policy
+// defers it into the consumer's bootstrap slot instead, so endpoints
+// can always reconstruct the grid. Caller holds h.mu.
+func (h *Hub) dropOldest(c *Consumer) {
+	e := h.ring[c.cursor-h.headSeq]
+	c.cursor++
+	if e == h.bootstrap && c.pendingBootstrap == nil {
+		c.pendingBootstrap = e // transfer the reference, deliver first
+		return
+	}
+	c.dropped++
+	h.dropped++
+	h.releaseRef(e)
+}
+
+// trim discards ring entries every open consumer has passed. Caller
+// holds h.mu.
+func (h *Hub) trim() {
+	min := h.nextSeq
+	for _, c := range h.consumers {
+		if !c.closed && c.cursor < min {
+			min = c.cursor
+		}
+	}
+	n := int(min - h.headSeq)
+	if n <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		h.ring[i] = nil
+	}
+	h.ring = h.ring[n:]
+	h.headSeq = min
+	if len(h.ring) == 0 {
+		h.ring = nil // release the backing array when drained
+	}
+}
+
+// Close ends the stream: blocked producers fail with ErrClosed,
+// consumers drain their remaining steps and then see io.EOF.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	if h.bootstrap != nil {
+		h.releaseRef(h.bootstrap)
+		h.bootstrap = nil
+	}
+	h.cond.Broadcast()
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (h *Hub) Closed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// Published reports steps accepted by Publish.
+func (h *Hub) Published() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published
+}
+
+// Dropped reports steps dropped across all consumers.
+func (h *Hub) Dropped() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// ConsumerStats is one consumer's delivery record.
+type ConsumerStats struct {
+	Name      string
+	Policy    Policy
+	Depth     int
+	Delivered int64
+	Dropped   int64
+}
+
+// Stats snapshots every consumer's counters in subscription order.
+func (h *Hub) Stats() []ConsumerStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ConsumerStats, len(h.consumers))
+	for i, c := range h.consumers {
+		out[i] = ConsumerStats{
+			Name: c.name, Policy: c.policy, Depth: c.depth,
+			Delivered: c.delivered, Dropped: c.dropped,
+		}
+	}
+	return out
+}
+
+// Name reports the consumer's subscription name.
+func (c *Consumer) Name() string { return c.name }
+
+// Policy reports the consumer's backpressure policy.
+func (c *Consumer) Policy() Policy { return c.policy }
+
+// Depth reports the consumer's window depth.
+func (c *Consumer) Depth() int { return c.depth }
+
+// Delivered reports steps handed to this consumer.
+func (c *Consumer) Delivered() int64 {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.delivered
+}
+
+// Dropped reports steps this consumer lost to its policy.
+func (c *Consumer) Dropped() int64 {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.dropped
+}
+
+// IsClosed reports whether the consumer has been detached.
+func (c *Consumer) IsClosed() bool {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.closed
+}
+
+// Next blocks for this consumer's next step, returning a shared,
+// reference-counted view. io.EOF signals a drained, closed hub.
+func (c *Consumer) Next() (*StepRef, error) {
+	h := c.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, errConsumerClosed
+		}
+		if c.pendingBootstrap != nil {
+			e := c.pendingBootstrap
+			c.pendingBootstrap = nil
+			c.delivered++
+			return &StepRef{hub: h, e: e}, nil
+		}
+		if c.cursor < h.nextSeq {
+			e := h.ring[c.cursor-h.headSeq]
+			c.cursor++
+			c.delivered++
+			h.trim()
+			h.cond.Broadcast() // a Block producer may be waiting on us
+			return &StepRef{hub: h, e: e}, nil
+		}
+		if h.closed {
+			return nil, io.EOF
+		}
+		h.cond.Wait()
+	}
+}
+
+// BeginStep adapts the consumer to the intransit.StepSource shape:
+// each call releases the previous step's reference and blocks for the
+// next. Call from a single goroutine.
+func (c *Consumer) BeginStep() (*adios.Step, error) {
+	if c.prev != nil {
+		c.prev.Release()
+		c.prev = nil
+	}
+	ref, err := c.Next()
+	if err != nil {
+		return nil, err
+	}
+	c.prev = ref
+	return ref.Step(), nil
+}
+
+// Close detaches the consumer: its undelivered references are
+// returned and the producer stops waiting on it.
+func (c *Consumer) Close() {
+	h := c.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.pendingBootstrap != nil {
+		h.releaseRef(c.pendingBootstrap)
+		c.pendingBootstrap = nil
+	}
+	for seq := c.cursor; seq < h.nextSeq; seq++ {
+		h.releaseRef(h.ring[seq-h.headSeq])
+	}
+	c.cursor = h.nextSeq
+	h.trim()
+	h.cond.Broadcast()
+}
+
+// frame returns the entry's marshaled wire form, computing it once
+// and sharing it across all network consumers.
+func (e *stepEntry) frameBytes() []byte {
+	e.marshalOnce.Do(func() { e.frame = adios.Marshal(e.step) })
+	return e.frame
+}
+
+// Frame exposes the shared marshaled form of a delivered step (the
+// network pump's zero-copy path).
+func (r *StepRef) Frame() []byte { return r.e.frameBytes() }
+
+// String describes the hub for logs.
+func (h *Hub) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return fmt.Sprintf("staging.Hub{published: %d, consumers: %d, ring: %d}",
+		h.published, len(h.consumers), len(h.ring))
+}

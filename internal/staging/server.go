@@ -1,0 +1,238 @@
+package staging
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+)
+
+// SubscribeFunc resolves an incoming reader handshake to a hub
+// consumer. name/policy/depth are the reader's announced values (any
+// may be empty/zero); implementations typically claim a pre-registered
+// consumer by name or subscribe a new one.
+type SubscribeFunc func(name, policy string, depth int) (*Consumer, error)
+
+// Server accepts any number of SST readers on one address and pumps
+// each one from its own hub consumer: the multi-consumer counterpart
+// of the single-reader adios.Writer. Each frame is marshaled once in
+// the hub and shared by every connection.
+type Server struct {
+	hub       *Hub
+	ln        net.Listener
+	subscribe SubscribeFunc
+
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]*Consumer // nil until the handshake binds one
+	err    error
+	closed bool
+}
+
+// Serve starts a staging server on addr (use "127.0.0.1:0" for an
+// ephemeral port). subscribe may be nil, in which case every reader
+// gets a fresh consumer with its announced name/policy/depth (policy
+// defaults to block).
+func Serve(hub *Hub, addr string, subscribe SubscribeFunc) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("staging: listen: %w", err)
+	}
+	s := &Server{hub: hub, ln: ln, subscribe: subscribe, conns: map[net.Conn]*Consumer{}}
+	if s.subscribe == nil {
+		s.subscribe = func(name, policy string, depth int) (*Consumer, error) {
+			p, err := ParsePolicy(policy)
+			if err != nil {
+				return nil, err
+			}
+			return hub.Subscribe(name, p, depth)
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the server's contact address for the rendezvous step.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err reports the first connection error observed (nil if none).
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.setErr(fmt.Errorf("staging: accept: %w", err))
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = nil
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn handshakes one reader, binds it to a consumer, and pumps
+// frames with the credit-per-step flow control of the SST data plane.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	dec := json.NewDecoder(br)
+	var h adios.Hello
+	if err := dec.Decode(&h); err != nil {
+		s.setErr(fmt.Errorf("staging: bad reader handshake: %v", err))
+		return
+	}
+	if h.Role != "reader" {
+		s.setErr(fmt.Errorf("staging: bad reader handshake: unexpected role %q", h.Role))
+		return
+	}
+	// Bind before replying so a failed subscription is rejected in the
+	// handshake (the client would otherwise read a closed connection
+	// as a clean, empty end-of-stream).
+	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth)
+	if err != nil {
+		err = fmt.Errorf("staging: consumer %q: %w", h.Consumer, err)
+		s.setErr(err)
+		json.NewEncoder(conn).Encode(adios.Hello{ //nolint:errcheck // best-effort reject
+			Type: "hello", Role: "rejected", Error: err.Error(),
+		})
+		return
+	}
+	defer cons.Close()
+	if err := json.NewEncoder(conn).Encode(adios.Hello{
+		Type: "hello", Role: "writer", Engine: "sst-staging", Marshal: "bp",
+	}); err != nil {
+		s.setErr(err)
+		return
+	}
+	s.mu.Lock()
+	closed := s.closed
+	if !closed {
+		s.conns[conn] = cons
+	}
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+
+	// The credit bytes follow the handshake on the same connection.
+	credits, err := adios.SpliceHandshake(dec, br)
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var lenBuf [8]byte
+	ack := make([]byte, 1)
+	for {
+		ref, err := cons.Next()
+		if errors.Is(err, io.EOF) {
+			binary.LittleEndian.PutUint64(lenBuf[:], 0)
+			bw.Write(lenBuf[:]) //nolint:errcheck // best-effort EOS
+			bw.Flush()          //nolint:errcheck
+			return
+		}
+		if err != nil {
+			return // consumer closed under us (server shutdown)
+		}
+		frame := ref.Frame()
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			ref.Release()
+			s.setErr(err)
+			return
+		}
+		if _, err := bw.Write(frame); err != nil {
+			ref.Release()
+			s.setErr(err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			ref.Release()
+			s.setErr(err)
+			return
+		}
+		// Reader-driven flow control: hold this step's reference until
+		// the consumer returns its credit, so a slow endpoint shows up
+		// as staged-byte growth on the hub.
+		if _, err := io.ReadFull(credits, ack); err != nil {
+			ref.Release()
+			s.setErr(fmt.Errorf("staging: waiting for step credit: %w", err))
+			return
+		}
+		ref.Release()
+	}
+}
+
+// Close stops accepting, nudges stuck connections with a deadline,
+// and waits for every pump to finish. Close the hub first: pumps then
+// drain their consumers' remaining steps and exit through the
+// end-of-stream path. If the hub is still open, consumers are closed
+// forcibly instead (undelivered steps are returned to the hub).
+//
+// Close always returns nil: per-connection failures are consumer-side
+// conditions (a crashed endpoint, a rejected claim) and must not fail
+// the producer's shutdown. Inspect Err for diagnostics.
+func (s *Server) Close() error {
+	hubClosed := s.hub.Closed()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	for conn, cons := range s.conns {
+		// Bound the drain: a client that stops returning credits
+		// cannot hold the pump (and us) forever.
+		conn.SetDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // best effort
+		if cons != nil && !hubClosed {
+			cons.Close() // a pump blocked in Next exits immediately
+		}
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	return nil
+}

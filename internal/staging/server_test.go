@@ -1,0 +1,359 @@
+package staging
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/sensei"
+)
+
+func testCtx(dir string) *sensei.Context {
+	return &sensei.Context{
+		Comm: mpirt.NewWorld(1).Comm(0), Acct: metrics.NewAccountant(),
+		Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter(),
+		OutputDir: dir,
+	}
+}
+
+// TestServerFanout attaches three network readers with different
+// policies to one hub and verifies each sees the stream its policy
+// promises, over the real SST wire protocol.
+func TestServerFanout(t *testing.T) {
+	h := NewHub(nil)
+	srv, err := Serve(h, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		steps []int64
+		err   error
+	}
+	opts := []adios.ReaderOptions{
+		{Consumer: "sync", Policy: "block", Depth: 2},
+		{Consumer: "lossy", Policy: "drop-oldest", Depth: 2},
+		{Consumer: "viz", Policy: "latest-only"},
+	}
+	results := make([]result, len(opts))
+	var wg sync.WaitGroup
+	for i, o := range opts {
+		r, err := adios.OpenReaderWith(srv.Addr(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				s, err := r.BeginStep()
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				results[i].steps = append(results[i].steps, s.Step)
+			}
+		}(i, r)
+	}
+
+	// Wait until all three pumps have subscribed so the block consumer
+	// cannot miss early steps.
+	waitFor(t, func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return len(h.consumers) == 3
+	})
+	const steps = 20
+	for i := 0; i < steps; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("%s: %v", opts[i].Consumer, res.err)
+		}
+		if len(res.steps) == 0 {
+			t.Fatalf("%s: received nothing", opts[i].Consumer)
+		}
+		for j := 1; j < len(res.steps); j++ {
+			if res.steps[j] <= res.steps[j-1] {
+				t.Fatalf("%s: out of order: %v", opts[i].Consumer, res.steps)
+			}
+		}
+		if last := res.steps[len(res.steps)-1]; last != steps-1 {
+			t.Errorf("%s: last step %d, want %d", opts[i].Consumer, last, steps-1)
+		}
+	}
+	// The block consumer sees every step.
+	if len(results[0].steps) != steps {
+		t.Errorf("sync consumer got %d of %d steps", len(results[0].steps), steps)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+// TestServerCloseUnblocksIdleReader: closing the server (without a
+// hub close) must not hang on a pump waiting for steps.
+func TestServerCloseUnblocksIdleReader(t *testing.T) {
+	h := NewHub(nil)
+	srv, err := Serve(h, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{Consumer: "idle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	waitFor(t, func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return len(h.consumers) == 1
+	})
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server close hung on idle pump")
+	}
+}
+
+// TestAdaptorXML drives the "staging" analysis type the way the
+// Listing-1 XML does: pre-declared consumers, contact-file
+// rendezvous, and a full publish/attach/drain cycle.
+func TestAdaptorXML(t *testing.T) {
+	dir := t.TempDir()
+	contact := filepath.Join(dir, "contact.txt")
+	ctx := testCtx(dir)
+	a, err := sensei.NewAnalysisAdaptor("staging", ctx, map[string]string{
+		"consumers": "hist:block:2,viz:latest-only",
+		"contact":   contact,
+		"policy":    "drop-oldest",
+		"depth":     "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := a.(*Adaptor)
+	addrs, err := adios.ReadContact(contact, 0)
+	if err != nil || len(addrs) != 1 {
+		t.Fatalf("contact = %v, %v", addrs, err)
+	}
+
+	// Attach one pre-declared consumer and one dynamic one.
+	results := map[string][]int64{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range []string{"hist", "extra"} {
+		r, err := adios.OpenReaderWith(addrs[0], adios.ReaderOptions{Consumer: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				s, err := r.BeginStep()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				results[name] = append(results[name], s.Step)
+				mu.Unlock()
+			}
+		}(name, r)
+	}
+
+	// Publish through the hub directly (the Execute path is covered by
+	// the intransit integration test).
+	waitFor(t, func() bool {
+		ad.Hub().mu.Lock()
+		defer ad.Hub().mu.Unlock()
+		return len(ad.Hub().consumers) == 3 // hist, viz pre-declared + extra
+	})
+	for i := 0; i < 6; i++ {
+		if err := ad.Hub().Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ad.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if got := results["hist"]; len(got) != 6 {
+		t.Errorf("hist (block) got %v, want all 6 steps", got)
+	}
+	if got := results["extra"]; len(got) == 0 {
+		t.Errorf("extra (dynamic) got nothing")
+	}
+	// The unattached "viz" consumer must not have blocked the stream;
+	// its steps were dropped by latest-only.
+	stats := ad.Hub().Stats()
+	byName := map[string]ConsumerStats{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	if byName["viz"].Dropped == 0 {
+		t.Errorf("viz stats = %+v, want drops (never attached)", byName["viz"])
+	}
+	if byName["extra"].Policy != DropOldest || byName["extra"].Depth != 3 {
+		t.Errorf("extra consumer defaults = %+v, want drop-oldest depth 3", byName["extra"])
+	}
+}
+
+// TestServerRejectsDoubleClaim: the second reader claiming a
+// pre-declared consumer is rejected in the handshake — it must not
+// see a silent empty stream.
+func TestServerRejectsDoubleClaim(t *testing.T) {
+	ctx := testCtx(t.TempDir())
+	a, err := sensei.NewAnalysisAdaptor("staging", ctx, map[string]string{
+		"consumers": "solo:block:2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := a.(*Adaptor)
+	r1, err := adios.OpenReaderWith(ad.Server().Addr(), adios.ReaderOptions{Consumer: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	waitFor(t, func() bool {
+		ad.mu.Lock()
+		defer ad.mu.Unlock()
+		return ad.claimed["solo"]
+	})
+	if _, err := adios.OpenReaderWith(ad.Server().Addr(), adios.ReaderOptions{Consumer: "solo"}); err == nil {
+		t.Fatal("second claim succeeded; want handshake rejection")
+	} else if !strings.Contains(err.Error(), "already attached") {
+		t.Errorf("rejection error = %v, want the server's reason", err)
+	}
+	if err := ad.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.BeginStep(); !errors.Is(err, io.EOF) {
+		t.Errorf("surviving reader got %v, want EOF", err)
+	}
+}
+
+// TestReconnectPreDeclaredConsumer: after a claimed consumer's
+// connection drops (observed by its pump), a reader re-attaching
+// under the same name gets a fresh subscription with the declared
+// policy instead of "already attached" forever.
+func TestReconnectPreDeclaredConsumer(t *testing.T) {
+	ctx := testCtx(t.TempDir())
+	a, err := sensei.NewAnalysisAdaptor("staging", ctx, map[string]string{
+		"consumers": "solo:drop-oldest:2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := a.(*Adaptor)
+	r1, err := adios.OpenReaderWith(ad.Server().Addr(), adios.ReaderOptions{Consumer: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		ad.mu.Lock()
+		defer ad.mu.Unlock()
+		return ad.claimed["solo"]
+	})
+	r1.Close() // endpoint crash
+	// The pump notices the dead connection once a step flows.
+	if err := ad.Hub().Publish(mkStep(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		ad.mu.Lock()
+		cons := ad.registered["solo"]
+		ad.mu.Unlock()
+		return cons.IsClosed()
+	})
+	r2, err := adios.OpenReaderWith(ad.Server().Addr(), adios.ReaderOptions{Consumer: "solo"})
+	if err != nil {
+		t.Fatalf("reconnect rejected: %v", err)
+	}
+	defer r2.Close()
+	// The reattached consumer resumes the stream (structure replays
+	// from the bootstrap).
+	if err := ad.Hub().Publish(mkStep(1)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := r2.BeginStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Attrs["structure"] != "1" {
+		t.Errorf("reconnected consumer's first step lacks the structure (step %d)", s.Step)
+	}
+	if err := ad.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptorDoubleClaim: a pre-declared consumer can be claimed by
+// only one network reader.
+func TestAdaptorDoubleClaim(t *testing.T) {
+	ctx := testCtx(t.TempDir())
+	a, err := sensei.NewAnalysisAdaptor("staging", ctx, map[string]string{
+		"consumers": "solo:latest-only",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := a.(*Adaptor)
+	defer ad.Finalize() //nolint:errcheck
+	if _, err := ad.bindConsumer("solo", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.bindConsumer("solo", "", 0); err == nil {
+		t.Error("second claim of the same consumer should fail")
+	}
+	if _, err := ad.bindConsumer("", "bogus-policy", 0); err == nil {
+		t.Error("bad policy should fail")
+	}
+}
+
+func TestAdaptorBadAttrs(t *testing.T) {
+	ctx := testCtx(t.TempDir())
+	for _, attrs := range []map[string]string{
+		{"consumers": "a:warp"},
+		{"policy": "warp"},
+		{"depth": "0"},
+		{"depth": "x"},
+	} {
+		if _, err := sensei.NewAnalysisAdaptor("staging", ctx, attrs); err == nil {
+			t.Errorf("attrs %v: expected error", attrs)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package staging implements an in-memory, concurrent data-staging hub
+// that sits between the simulation's SENSEI analysis adaptor and N
+// independent consumers — the in transit deployment shape the paper
+// measures, generalized from one consumer to many.
+//
+// The hub keeps a ring of published timesteps with reference-counted,
+// zero-copy payloads: every consumer sees the same *adios.Step (and,
+// on the network path, the same marshaled frame), so fan-out to eight
+// consumers costs one marshal and no data copies on the producer.
+// Per-consumer cursors walk the ring under one of three backpressure
+// policies:
+//
+//   - block: the producer waits while this consumer lags queue-depth
+//     steps behind — the paper's synchronous SST semantics, where a
+//     slow endpoint is visible as producer-side queue growth.
+//   - drop-oldest: the consumer's window is bounded; when it overflows
+//     the oldest undelivered step is dropped, keeping the producer at
+//     full rate (steady-producer semantics).
+//   - latest-only: a drop-oldest window of one — visualization-style
+//     consumers always render the freshest state.
+//
+// Entry points: NewHub/Subscribe/Publish for programmatic use, the
+// "staging" analysis type (adaptor.go) for Listing-1 XML configuration,
+// and Serve (server.go) for network consumers speaking the adios/SST
+// wire protocol, so `internal/intransit` endpoints attach through the
+// same contact-file rendezvous as direct SST streams.
+package staging
+
+import "fmt"
+
+// Policy selects a consumer's backpressure behaviour.
+type Policy int
+
+// The three backpressure policies.
+const (
+	// Block makes the producer wait while the consumer's lag reaches
+	// its queue depth (synchronous SST semantics).
+	Block Policy = iota
+	// DropOldest bounds the consumer's window, discarding the oldest
+	// undelivered step on overflow.
+	DropOldest
+	// LatestOnly keeps only the freshest undelivered step.
+	LatestOnly
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case LatestOnly:
+		return "latest-only"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy parses a policy name as it appears in XML attributes and
+// command-line flags.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block", "":
+		return Block, nil
+	case "drop-oldest", "drop_oldest", "dropoldest":
+		return DropOldest, nil
+	case "latest-only", "latest_only", "latest", "latestonly":
+		return LatestOnly, nil
+	}
+	return Block, fmt.Errorf("staging: unknown policy %q (want block, drop-oldest or latest-only)", s)
+}
