@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: build test race vet all
+.PHONY: build test race vet fmt all
 
-all: build vet test
+all: build vet fmt test
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,9 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -36,9 +36,10 @@ func main() {
 	imagePx := flag.Int("imagepx", 128, "rendered image resolution")
 	consumers := flag.String("consumers", "1,2,4,8", "comma-separated consumer counts for the fan-out comparison")
 	delay := flag.Duration("consumer-delay", 2*time.Millisecond, "per-step endpoint processing time in the fan-out comparison")
+	endpointRanks := flag.String("endpoint-ranks", "1,2,4", "comma-separated endpoint group sizes for the endpoint-scaling sweep")
 	flag.Parse()
 
-	if err := run(*fig, *out, *ranksFlag, *steps, *interval, *refine, *order, *imagePx, *consumers, *delay); err != nil {
+	if err := run(*fig, *out, *ranksFlag, *steps, *interval, *refine, *order, *imagePx, *consumers, *delay, *endpointRanks); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
@@ -69,14 +70,15 @@ func writeCSV(dir, name string, t *metrics.Table) error {
 	return nil
 }
 
-func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int, consumers string, delay time.Duration) error {
+func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int, consumers string, delay time.Duration, endpointRanks string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
 	wantInSitu := fig == "all" || fig == "2" || fig == "3" || fig == "storage"
 	wantInTransit := fig == "all" || fig == "5" || fig == "6"
 	wantFanout := fig == "all" || fig == "fanout"
-	if !wantInSitu && !wantInTransit && !wantFanout {
+	wantEndpoint := fig == "all" || fig == "endpoint-scaling" || fig == "endpoint"
+	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -185,8 +187,68 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 		if err := writeCSV(out, "fanout.csv", t); err != nil {
 			return err
 		}
+		if err := writeJSON(filepath.Join(out, "BENCH_fanout.json"), func(w *os.File) error {
+			return bench.WriteFanoutJSON(w, results)
+		}); err != nil {
+			return err
+		}
 		fmt.Println()
+	}
+	if wantEndpoint {
+		sweep, err := parseRanks(endpointRanks, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		cfg := bench.EndpointScalingConfig{
+			EndpointRanks: sweep,
+			OutputDir:     filepath.Join(out, "endpoint"),
+		}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		fmt.Printf("running endpoint-scaling sweep (4 fixed producers, endpoint groups %v)...\n", sweep)
+		results, err := bench.RunEndpointScaling(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.EndpointScalingTable(results)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "endpoint.csv", t); err != nil {
+			return err
+		}
+		// The artifact lands beside the other figure outputs; an
+		// explicit endpoint-scaling run also drops a copy in the
+		// working directory, where harnesses look for it.
+		paths := []string{filepath.Join(out, "BENCH_endpoint.json")}
+		if fig != "all" {
+			paths = append(paths, "BENCH_endpoint.json")
+		}
+		for _, path := range paths {
+			if err := writeJSON(path, func(w *os.File) error {
+				return bench.WriteEndpointJSON(w, cfg, results)
+			}); err != nil {
+				return err
+			}
+		}
+		if len(results) > 1 {
+			first, last := results[0], results[len(results)-1]
+			fmt.Printf("\n  time-to-image: %.2f ms at %d rank(s) -> %.2f ms at %d ranks (%.1fx)\n\n",
+				float64(first.TimeToImage.Microseconds())/1000, first.EndpointRanks,
+				float64(last.TimeToImage.Microseconds())/1000, last.EndpointRanks,
+				float64(first.TimeToImage)/float64(last.TimeToImage))
+		}
 	}
 	fmt.Printf("artifacts in %s\n", out)
 	return nil
+}
+
+// writeJSON creates path and streams the document through write.
+func writeJSON(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
 }

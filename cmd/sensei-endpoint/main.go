@@ -8,13 +8,22 @@
 // Pair it with `nekrs -sensei adios.xml` where adios.xml enables the
 // "adios" analysis with the same contact path.
 //
-// With -policy set, the endpoint instead attaches to a staging hub
-// published by the "staging" analysis type, and -consumers N runs N
-// independent consumer replicas of the configured analysis, each with
-// its own backpressure policy window (fan-out mode):
+// With a staging policy set — via -policy, or a -consumer
+// "name[:policy[:depth]]" spec — the endpoint instead attaches to a
+// staging hub published by the "staging" analysis type. Two staged
+// shapes are available:
 //
-//	sensei-endpoint -contact run/contact.txt -config endpoint.xml \
-//	    -policy latest-only -depth 1 -consumers 4
+//   - -consumers N runs N independent consumer replicas of the
+//     configured analysis, each with its own backpressure window
+//     (fan-out mode);
+//
+//   - -group R runs ONE parallel endpoint of R cooperating ranks that
+//     claim a single consumer name as a consumer group and shard the
+//     analysis work: reductions merge across the ranks, rendering
+//     binary-swap composites into one image per step.
+//
+//     sensei-endpoint -contact run/contact.txt -config endpoint.xml \
+//     -consumer render:block:2 -group 4
 package main
 
 import (
@@ -37,23 +46,104 @@ import (
 	_ "nekrs-sensei/internal/probe"      // analysis type "probe"
 )
 
-func main() {
-	contact := flag.String("contact", "contact.txt", "SST contact file published by the simulation")
-	config := flag.String("config", "", "SENSEI XML configuration for the endpoint analyses")
-	ranks := flag.Int("ranks", 1, "endpoint ranks (direct SST mode)")
-	timeout := flag.Duration("timeout", 60*time.Second, "how long to wait for the contact file")
-	out := flag.String("out", "endpoint-out", "output directory")
-	policy := flag.String("policy", "", "staging backpressure policy: block, drop-oldest or latest-only (enables staged fan-out mode)")
-	depth := flag.Int("depth", 0, "staging queue depth per consumer (0 = hub default)")
-	consumers := flag.Int("consumers", 1, "independent consumer replicas (staged mode)")
-	name := flag.String("name", "endpoint", "consumer name prefix announced to the hub")
-	flag.Parse()
+// options carries the parsed, validated command line.
+type options struct {
+	contact   string
+	config    string
+	ranks     int
+	timeout   time.Duration
+	out       string
+	policy    string
+	depth     int
+	consumers int
+	group     int
+	name      string
 
-	var err error
-	if *policy != "" {
-		err = runStaged(*contact, *config, *consumers, *policy, *depth, *name, *timeout, *out)
-	} else {
-		err = runDirect(*contact, *config, *ranks, *timeout, *out)
+	staged bool // a staging policy or consumer spec was given
+}
+
+// parseArgs parses argv (without the program name) into options; the
+// consumer-spec grammar and cross-flag rules are checked here so the
+// whole surface is unit-testable.
+func parseArgs(argv []string) (*options, error) {
+	fs := flag.NewFlagSet("sensei-endpoint", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.contact, "contact", "contact.txt", "SST contact file published by the simulation")
+	fs.StringVar(&o.config, "config", "", "SENSEI XML configuration for the endpoint analyses")
+	fs.IntVar(&o.ranks, "ranks", 1, "endpoint ranks (direct SST mode)")
+	fs.DurationVar(&o.timeout, "timeout", 60*time.Second, "how long to wait for the contact file")
+	fs.StringVar(&o.out, "out", "endpoint-out", "output directory")
+	fs.StringVar(&o.policy, "policy", "", "staging backpressure policy: block, drop-oldest or latest-only (enables staged mode)")
+	fs.IntVar(&o.depth, "depth", 0, "staging queue depth per consumer (0 = hub default)")
+	fs.IntVar(&o.consumers, "consumers", 1, "independent consumer replicas (staged fan-out mode)")
+	fs.IntVar(&o.group, "group", 1, "cooperating endpoint ranks claiming one consumer name as a group (staged mode)")
+	fs.StringVar(&o.name, "name", "endpoint", "consumer name announced to the hub")
+	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth]]" (shorthand for -name/-policy/-depth, enables staged mode)`)
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *spec != "" {
+		if set["policy"] || set["depth"] || set["name"] {
+			return nil, fmt.Errorf("-consumer replaces -name/-policy/-depth; do not combine them")
+		}
+		specs, err := staging.ParseConsumers(*spec)
+		if err != nil {
+			return nil, err
+		}
+		if len(specs) != 1 {
+			return nil, fmt.Errorf("-consumer wants exactly one spec, got %d", len(specs))
+		}
+		o.name = specs[0].Name
+		o.policy = specs[0].Policy.String()
+		o.depth = specs[0].Depth
+		o.staged = true
+	}
+	if o.policy != "" {
+		if _, err := staging.ParsePolicy(o.policy); err != nil {
+			return nil, err
+		}
+		o.staged = true
+	}
+
+	switch {
+	case o.ranks < 1:
+		return nil, fmt.Errorf("-ranks must be positive (got %d)", o.ranks)
+	case o.depth < 0:
+		return nil, fmt.Errorf("-depth must be non-negative (got %d)", o.depth)
+	case o.consumers < 1:
+		return nil, fmt.Errorf("-consumers must be positive (got %d)", o.consumers)
+	case o.group < 1:
+		return nil, fmt.Errorf("-group must be positive (got %d)", o.group)
+	case o.consumers > 1 && o.group > 1:
+		return nil, fmt.Errorf("-consumers (replicas) and -group (one sharded endpoint) are mutually exclusive")
+	case o.group > 1 && !o.staged:
+		return nil, fmt.Errorf("-group needs staged mode: give -policy or -consumer")
+	case o.consumers > 1 && !o.staged:
+		return nil, fmt.Errorf("-consumers > 1 needs staged mode: give -policy or -consumer")
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:])
+	if err == flag.ErrHelp {
+		return
+	}
+	if err == nil {
+		switch {
+		case o.staged && o.group > 1:
+			err = runGroup(o)
+		case o.staged:
+			err = runStaged(o)
+		default:
+			err = runDirect(o)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensei-endpoint:", err)
@@ -70,31 +160,28 @@ func readConfig(config string) ([]byte, error) {
 
 // runDirect is the classic one-consumer workflow: each endpoint rank
 // drains its share of the simulation's SST writers.
-func runDirect(contact, config string, ranks int, timeout time.Duration, out string) error {
-	cfgXML, err := readConfig(config)
+func runDirect(o *options) error {
+	cfgXML, err := readConfig(o.config)
 	if err != nil {
 		return err
 	}
-	if ranks <= 0 {
-		return fmt.Errorf("-ranks must be positive (got %d)", ranks)
-	}
-	if err := os.MkdirAll(out, 0o755); err != nil {
+	if err := os.MkdirAll(o.out, 0o755); err != nil {
 		return err
 	}
-	addrs, err := adios.ReadContact(contact, timeout)
+	addrs, err := adios.ReadContact(o.contact, o.timeout)
 	if err != nil {
 		return err
 	}
-	if len(addrs)%ranks != 0 {
-		return fmt.Errorf("%d writers do not divide across %d endpoint ranks", len(addrs), ranks)
+	if len(addrs)%o.ranks != 0 {
+		return fmt.Errorf("%d writers do not divide across %d endpoint ranks", len(addrs), o.ranks)
 	}
-	perRank := len(addrs) / ranks
-	fmt.Printf("connecting %d writers across %d endpoint ranks (%d each)\n", len(addrs), ranks, perRank)
+	perRank := len(addrs) / o.ranks
+	fmt.Printf("connecting %d writers across %d endpoint ranks (%d each)\n", len(addrs), o.ranks, perRank)
 
-	errs := make([]error, ranks)
-	steps := make([]int, ranks)
-	bytesOut := make([]int64, ranks)
-	mpirt.Run(ranks, func(comm *mpirt.Comm) {
+	errs := make([]error, o.ranks)
+	steps := make([]int, o.ranks)
+	bytesOut := make([]int64, o.ranks)
+	mpirt.Run(o.ranks, func(comm *mpirt.Comm) {
 		rank := comm.Rank()
 		var readers []*adios.Reader
 		for s := 0; s < perRank; s++ {
@@ -108,7 +195,7 @@ func runDirect(contact, config string, ranks int, timeout time.Duration, out str
 		}
 		ctx := &sensei.Context{
 			Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
-			Storage: metrics.NewStorageCounter(), OutputDir: out,
+			Storage: metrics.NewStorageCounter(), OutputDir: o.out,
 		}
 		ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), cfgXML)
 		if err != nil {
@@ -128,7 +215,7 @@ func runDirect(contact, config string, ranks int, timeout time.Duration, out str
 		totalBytes += b
 	}
 	fmt.Printf("endpoint done: %d steps on rank 0, %s written to %s\n",
-		steps[0], metrics.HumanBytes(totalBytes), out)
+		steps[0], metrics.HumanBytes(totalBytes), o.out)
 	return nil
 }
 
@@ -137,22 +224,17 @@ func runDirect(contact, config string, ranks int, timeout time.Duration, out str
 // every hub under its own name, announces the requested backpressure
 // policy, and runs the configured analysis over the merged stream in
 // its own output subdirectory.
-func runStaged(contact, config string, n int, policy string, depth int, name string, timeout time.Duration, out string) error {
-	cfgXML, err := readConfig(config)
+func runStaged(o *options) error {
+	cfgXML, err := readConfig(o.config)
 	if err != nil {
 		return err
 	}
-	if n <= 0 {
-		return fmt.Errorf("-consumers must be positive (got %d)", n)
-	}
-	if _, err := staging.ParsePolicy(policy); err != nil {
-		return err
-	}
-	addrs, err := adios.ReadContact(contact, timeout)
+	addrs, err := adios.ReadContact(o.contact, o.timeout)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("attaching %d consumer(s) to %d staging hub(s), policy %s\n", n, len(addrs), policy)
+	n := o.consumers
+	fmt.Printf("attaching %d consumer(s) to %d staging hub(s), policy %s\n", n, len(addrs), o.policy)
 
 	errs := make([]error, n)
 	steps := make([]int, n)
@@ -160,9 +242,9 @@ func runStaged(contact, config string, n int, policy string, depth int, name str
 	bytesOut := make([]int64, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		dir := out
+		dir := o.out
 		if n > 1 {
-			dir = filepath.Join(out, fmt.Sprintf("%s-%d", name, i))
+			dir = filepath.Join(o.out, fmt.Sprintf("%s-%d", o.name, i))
 		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
@@ -170,7 +252,10 @@ func runStaged(contact, config string, n int, policy string, depth int, name str
 		wg.Add(1)
 		go func(i int, dir string) {
 			defer wg.Done()
-			consumerName := fmt.Sprintf("%s-%d", name, i)
+			consumerName := o.name
+			if n > 1 {
+				consumerName = fmt.Sprintf("%s-%d", o.name, i)
+			}
 			var readers []*adios.Reader
 			defer func() {
 				for _, r := range readers {
@@ -179,7 +264,7 @@ func runStaged(contact, config string, n int, policy string, depth int, name str
 			}()
 			for _, addr := range addrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
-					Consumer: consumerName, Policy: policy, Depth: depth,
+					Consumer: consumerName, Policy: o.policy, Depth: o.depth,
 				})
 				if err != nil {
 					errs[i] = err
@@ -211,13 +296,78 @@ func runStaged(contact, config string, n int, policy string, depth int, name str
 	var totalBytes int64
 	for i := 0; i < n; i++ {
 		totalBytes += bytesOut[i]
+		cname := o.name
+		if n > 1 {
+			cname = fmt.Sprintf("%s-%d", o.name, i)
+		}
 		if skipped[i] > 0 {
-			fmt.Printf("consumer %s-%d: %d steps (%d skipped realigning skewed hub streams)\n",
-				name, i, steps[i], skipped[i])
+			fmt.Printf("consumer %s: %d steps (%d skipped realigning skewed hub streams)\n",
+				cname, steps[i], skipped[i])
 		} else {
-			fmt.Printf("consumer %s-%d: %d steps\n", name, i, steps[i])
+			fmt.Printf("consumer %s: %d steps\n", cname, steps[i])
 		}
 	}
-	fmt.Printf("staged endpoint done: %s written to %s\n", metrics.HumanBytes(totalBytes), out)
+	fmt.Printf("staged endpoint done: %s written to %s\n", metrics.HumanBytes(totalBytes), o.out)
+	return nil
+}
+
+// runGroup runs one parallel endpoint of -group ranks: every rank
+// attaches to every hub as a member of the consumer group o.name, the
+// analyses shard by block range, and rank 0 writes the composited
+// outputs.
+func runGroup(o *options) error {
+	cfgXML, err := readConfig(o.config)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(o.out, 0o755); err != nil {
+		return err
+	}
+	addrs, err := adios.ReadContact(o.contact, o.timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attaching endpoint group %q (%d ranks) to %d staging hub(s), policy %s\n",
+		o.name, o.group, len(addrs), o.policy)
+
+	group, err := intransit.NewGroup(intransit.GroupConfig{
+		Ranks:     o.group,
+		ConfigXML: cfgXML,
+		OutputDir: o.out,
+		Sources: func(rank, ranks int) ([]intransit.StepSource, func(), error) {
+			var readers []*adios.Reader
+			cleanup := func() {
+				for _, r := range readers {
+					r.Close()
+				}
+			}
+			for _, addr := range addrs {
+				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
+					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: ranks,
+				})
+				if err != nil {
+					cleanup()
+					return nil, nil, err
+				}
+				readers = append(readers, r)
+			}
+			return intransit.Sources(readers...), cleanup, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	stats, err := group.Run()
+	if err != nil {
+		return err
+	}
+	skipped := 0
+	for _, s := range stats.Skipped {
+		skipped += s
+	}
+	fmt.Printf("endpoint group done: %d steps, %.2f ms mean time-to-result, %d skipped, %s in %d file(s) written to %s\n",
+		stats.Steps, float64(stats.MeanStepWall().Microseconds())/1000, skipped,
+		metrics.HumanBytes(stats.Bytes), stats.Files, o.out)
+	stats.Straggler.Render(os.Stdout)
 	return nil
 }

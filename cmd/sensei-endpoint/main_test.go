@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseArgs covers the flag surface and the consumer-spec grammar
+// ("name[:policy[:depth]]") including invalid specs and cross-flag
+// rules.
+func TestParseArgs(t *testing.T) {
+	tests := []struct {
+		name    string
+		argv    []string
+		wantErr string                // substring of the expected error, "" = ok
+		check   func(*options) string // extra assertion, returns "" if ok
+	}{
+		{
+			name: "defaults are direct mode",
+			argv: nil,
+			check: func(o *options) string {
+				if o.staged || o.ranks != 1 || o.contact != "contact.txt" {
+					return "want direct mode with 1 rank and default contact"
+				}
+				return ""
+			},
+		},
+		{
+			name: "policy flag enables staged mode",
+			argv: []string{"-policy", "latest-only", "-depth", "1", "-consumers", "4"},
+			check: func(o *options) string {
+				if !o.staged || o.policy != "latest-only" || o.depth != 1 || o.consumers != 4 {
+					return "want staged latest-only depth 1 with 4 replicas"
+				}
+				return ""
+			},
+		},
+		{
+			name: "full consumer spec",
+			argv: []string{"-consumer", "render:block:2", "-group", "4"},
+			check: func(o *options) string {
+				if !o.staged || o.name != "render" || o.policy != "block" || o.depth != 2 || o.group != 4 {
+					return "want staged group 4 claiming render:block:2"
+				}
+				return ""
+			},
+		},
+		{
+			name: "spec with name only keeps defaults",
+			argv: []string{"-consumer", "hist"},
+			check: func(o *options) string {
+				if !o.staged || o.name != "hist" || o.policy != "block" || o.depth != 0 {
+					return "want name hist, default block policy, hub-default depth"
+				}
+				return ""
+			},
+		},
+		{
+			name: "spec with policy alias",
+			argv: []string{"-consumer", "viz:latest_only"},
+			check: func(o *options) string {
+				if o.policy != "latest-only" {
+					return "want normalized latest-only policy"
+				}
+				return ""
+			},
+		},
+		{
+			name: "timeout and out pass through",
+			argv: []string{"-timeout", "5s", "-out", "results"},
+			check: func(o *options) string {
+				if o.timeout != 5*time.Second || o.out != "results" {
+					return "want timeout 5s, out results"
+				}
+				return ""
+			},
+		},
+		{name: "unknown policy", argv: []string{"-policy", "warp"}, wantErr: "unknown policy"},
+		{name: "spec with bad policy", argv: []string{"-consumer", "a:warp"}, wantErr: "unknown policy"},
+		{name: "spec with bad depth", argv: []string{"-consumer", "a:block:zero"}, wantErr: "bad depth"},
+		{name: "spec with negative depth", argv: []string{"-consumer", "a:block:-1"}, wantErr: "bad depth"},
+		{name: "spec with too many fields", argv: []string{"-consumer", "a:block:2:extra"}, wantErr: "want name[:policy[:depth]]"},
+		{name: "spec with empty name", argv: []string{"-consumer", ":block"}, wantErr: "empty name"},
+		{name: "two specs", argv: []string{"-consumer", "a:block,b:block"}, wantErr: "exactly one spec"},
+		{name: "spec conflicts with policy flag", argv: []string{"-consumer", "a:block", "-policy", "block"}, wantErr: "do not combine"},
+		{name: "spec conflicts with name flag", argv: []string{"-consumer", "a", "-name", "b"}, wantErr: "do not combine"},
+		{name: "spec conflicts even with explicit defaults", argv: []string{"-consumer", "a", "-name", "endpoint"}, wantErr: "do not combine"},
+		{name: "spec conflicts with explicit zero depth", argv: []string{"-consumer", "a", "-depth", "0"}, wantErr: "do not combine"},
+		{name: "zero ranks", argv: []string{"-ranks", "0"}, wantErr: "-ranks must be positive"},
+		{name: "negative depth flag", argv: []string{"-policy", "block", "-depth", "-2"}, wantErr: "-depth must be non-negative"},
+		{name: "zero consumers", argv: []string{"-policy", "block", "-consumers", "0"}, wantErr: "-consumers must be positive"},
+		{name: "zero group", argv: []string{"-policy", "block", "-group", "0"}, wantErr: "-group must be positive"},
+		{name: "group without staged mode", argv: []string{"-group", "4"}, wantErr: "-group needs staged mode"},
+		{name: "replicas without staged mode", argv: []string{"-consumers", "3"}, wantErr: "needs staged mode"},
+		{name: "group and replicas together", argv: []string{"-policy", "block", "-group", "2", "-consumers", "2"}, wantErr: "mutually exclusive"},
+		{name: "positional junk", argv: []string{"stray"}, wantErr: "unexpected arguments"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseArgs(tc.argv)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseArgs(%v) = %+v, want error containing %q", tc.argv, o, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseArgs(%v) error = %q, want substring %q", tc.argv, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%v): %v", tc.argv, err)
+			}
+			if tc.check != nil {
+				if msg := tc.check(o); msg != "" {
+					t.Errorf("parseArgs(%v) = %+v: %s", tc.argv, o, msg)
+				}
+			}
+		})
+	}
+}

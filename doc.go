@@ -3,33 +3,43 @@
 // SENSEI" (Mateevitsi et al., SC-W 2023): a spectral-element
 // Navier-Stokes solver instrumented with a SENSEI-style in situ
 // interface, a Catalyst-style rendering back end, Nek-style
-// checkpointing, an ADIOS2/SST-style in transit transport, and an
+// checkpointing, an ADIOS2/SST-style in transit transport, an
 // in-transit staging hub that fans one simulation out to many
-// concurrent consumers under selectable backpressure policies, plus
-// the benchmark harness that regenerates every figure of the paper's
-// evaluation.
+// concurrent consumers under selectable backpressure policies, and a
+// parallel endpoint runtime that shards in-transit analysis across
+// cooperating endpoint ranks with binary-swap image compositing —
+// plus the benchmark harness that regenerates every figure of the
+// paper's evaluation.
 //
 // Entry points:
 //
 //   - cmd/nekrs — drive the solver with a par file and a SENSEI XML
 //     configuration (the paper's Listing 1)
 //   - cmd/sensei-endpoint — the in transit data consumer; with
-//     -policy/-consumers it attaches N replicas to a staging hub
-//   - cmd/figures — regenerate Figures 2/3/5/6 and the storage table
-//   - examples/ — quickstart, pb146, rbc-intransit, histogram, and
-//     fanout (one simulation feeding histogram + probe + render
-//     consumers through the staging hub)
+//     -policy/-consumers it attaches N replicas to a staging hub, and
+//     with -consumer name:policy:depth -group R it runs one parallel
+//     endpoint of R sharded ranks
+//   - cmd/figures — regenerate Figures 2/3/5/6, the storage table,
+//     the fan-out comparison (BENCH_fanout.json), and the
+//     endpoint-scaling sweep (BENCH_endpoint.json)
+//   - examples/ — quickstart, pb146, rbc-intransit, histogram, fanout
+//     (one simulation feeding histogram + probe + render consumers
+//     through the staging hub), and endpoint-group (a 4-rank parallel
+//     endpoint compositing one PNG per step)
 //
 // Key packages: internal/sensei (DataAdaptor/AnalysisAdaptor and the
 // XML-configurable multiplexer), internal/core (the nek_sensei
 // coupling bridge), internal/adios + internal/intransit (the SST
-// transport and endpoint runtime), internal/staging (the
-// multi-consumer hub: ring buffer, reference-counted zero-copy
-// payloads, block / drop-oldest / latest-only policies), and
-// internal/bench (the figure harness plus the direct-vs-staged
-// fan-out comparison).
+// transport, the serial endpoint, and the parallel endpoint group),
+// internal/staging (the multi-consumer hub: ring buffer,
+// reference-counted zero-copy payloads, block / drop-oldest /
+// latest-only policies, consumer groups), internal/render (rasterizer
+// and binary-swap compositing), and internal/bench (the figure
+// harness plus the fan-out and endpoint-scaling studies).
 //
-// The package inventory and per-experiment index live in DESIGN.md;
-// paper-vs-measured results in EXPERIMENTS.md. The root package holds
-// only the figure-level benchmarks (bench_test.go).
+// README.md is the front door (architecture, quickstarts, figure
+// regeneration); the package inventory, the wire-protocol
+// specification, and the per-experiment index live in DESIGN.md. The
+// root package holds only the figure-level benchmarks
+// (bench_test.go).
 package repro

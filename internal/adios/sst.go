@@ -29,6 +29,7 @@ type Hello struct {
 	Consumer string `json:"consumer,omitempty"`
 	Policy   string `json:"policy,omitempty"`
 	Depth    int    `json:"depth,omitempty"`
+	Group    int    `json:"group,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
 
@@ -284,6 +285,11 @@ type ReaderOptions struct {
 	Policy string
 	// Depth requests the consumer's queue depth (0 = server default).
 	Depth int
+	// Group, when > 1, declares this reader to be one of Group
+	// cooperating members of a consumer group: the hub delivers every
+	// step of the named consumer's stream to all Group readers under
+	// one cursor (a parallel endpoint's ranks attach this way).
+	Group int
 }
 
 // OpenReader connects to a writer's advertised address and completes
@@ -301,7 +307,7 @@ func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 	}
 	enc := json.NewEncoder(conn)
 	h0 := Hello{Type: "hello", Role: "reader",
-		Consumer: opts.Consumer, Policy: opts.Policy, Depth: opts.Depth}
+		Consumer: opts.Consumer, Policy: opts.Policy, Depth: opts.Depth, Group: opts.Group}
 	if err := enc.Encode(h0); err != nil {
 		conn.Close()
 		return nil, err

@@ -1,0 +1,397 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/intransit"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/staging"
+
+	_ "nekrs-sensei/internal/catalyst" // analysis type "catalyst"
+)
+
+// EndpointScalingConfig parameterizes the endpoint-scaling experiment:
+// S paced producers (one staging hub per simulated solver rank) feed a
+// render endpoint group of R ranks; R is swept while the producer side
+// stays fixed, isolating how endpoint-side parallelism moves the
+// time-to-image — the serial-endpoint ceiling the paper's in transit
+// deployment runs into when analysis cost grows.
+type EndpointScalingConfig struct {
+	ProducerRanks int   // S: hubs/blocks (default 4)
+	EndpointRanks []int // R sweep (default 1,2,4)
+	Steps         int   // rendered timesteps per run (default 10)
+	BlockCells    [3]int
+	ImagePx       int
+	Depth         int           // block-policy window per group (default 2)
+	Interval      time.Duration // producer pacing per step (default 2ms)
+	OutputDir     string        // PNGs land in OutputDir/ep<R>/
+}
+
+func (c *EndpointScalingConfig) withDefaults() EndpointScalingConfig {
+	out := *c
+	if out.ProducerRanks == 0 {
+		out.ProducerRanks = 4
+	}
+	if len(out.EndpointRanks) == 0 {
+		out.EndpointRanks = []int{1, 2, 4}
+	}
+	if out.Steps == 0 {
+		out.Steps = 10
+	}
+	if out.BlockCells == [3]int{} {
+		out.BlockCells = [3]int{28, 28, 28}
+	}
+	if out.ImagePx == 0 {
+		out.ImagePx = 128
+	}
+	if out.Depth == 0 {
+		out.Depth = 2
+	}
+	if out.Interval == 0 {
+		out.Interval = 2 * time.Millisecond
+	}
+	if out.OutputDir == "" {
+		out.OutputDir = "endpoint-bench-out"
+	}
+	return out
+}
+
+// EndpointScalingResult is one row of the sweep.
+type EndpointScalingResult struct {
+	EndpointRanks int
+	Steps         int // steps the group processed
+	Images        int // composited PNGs written
+	// TimeToImage is the mean wall time per step from aligned data to
+	// barrier exit on rank 0: shard ingest, filtering, rasterization,
+	// binary-swap compositing, PNG encode, plus the wait for the
+	// slowest endpoint rank. Producer idle time is excluded.
+	TimeToImage time.Duration
+	// ProducerWall is the slowest producer's total streaming time at
+	// the fixed pacing — endpoint backpressure shows up here.
+	ProducerWall time.Duration
+	ProducerMBps float64
+	// MaxBarrierWait is the most-starved rank's total barrier wait.
+	MaxBarrierWait time.Duration
+	Skipped        int // steps discarded realigning skewed streams (all ranks)
+}
+
+// blockStructure builds block b of the synthetic mesh: cells[0] x
+// cells[1] x cells[2] hexahedra spanning x in [b, b+1), y,z in [0,1).
+func blockStructure(b int, cells [3]int) (points []float64, conn []int64, offs []int64, types []byte) {
+	nx, ny, nz := cells[0], cells[1], cells[2]
+	px, py, pz := nx+1, ny+1, nz+1
+	points = make([]float64, 0, 3*px*py*pz)
+	for k := 0; k < pz; k++ {
+		for j := 0; j < py; j++ {
+			for i := 0; i < px; i++ {
+				points = append(points,
+					float64(b)+float64(i)/float64(nx),
+					float64(j)/float64(ny),
+					float64(k)/float64(nz))
+			}
+		}
+	}
+	id := func(i, j, k int) int64 { return int64((k*py+j)*px + i) }
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				conn = append(conn,
+					id(i, j, k), id(i+1, j, k), id(i+1, j+1, k), id(i, j+1, k),
+					id(i, j, k+1), id(i+1, j, k+1), id(i+1, j+1, k+1), id(i, j+1, k+1))
+				offs = append(offs, int64(len(conn)))
+				types = append(types, 12) // VTK_HEXAHEDRON
+			}
+		}
+	}
+	return points, conn, offs, types
+}
+
+// blockField evaluates the synthetic temperature field at the block's
+// points for one timestep.
+func blockField(points []float64, step int) []float64 {
+	t := float64(step) * 0.1
+	vals := make([]float64, len(points)/3)
+	for p := range vals {
+		x, y, z := points[3*p], points[3*p+1], points[3*p+2]
+		vals[p] = math.Sin(2*math.Pi*(x*0.25+t))*math.Cos(math.Pi*y) + 0.5*z
+	}
+	return vals
+}
+
+// endpointStep assembles block b's step s (structure on step 0).
+func endpointStep(b, s int, points []float64, conn, offs []int64, types []byte) *adios.Step {
+	step := &adios.Step{
+		Step:  int64(s),
+		Time:  float64(s) * 0.1,
+		Attrs: map[string]string{"mesh": "mesh"},
+		Vars:  []adios.Variable{adios.NewF64("array/temperature", blockField(points, s))},
+	}
+	if s == 0 {
+		step.Attrs["structure"] = "1"
+		step.Vars = append(step.Vars,
+			adios.NewF64("points", points, int64(len(points)/3), 3),
+			adios.NewI64("connectivity", conn),
+			adios.NewI64("offsets", offs),
+			adios.NewU8("types", types),
+		)
+	}
+	return step
+}
+
+// RunEndpointScaling sweeps endpoint group sizes at a fixed producer
+// configuration. Per group size: S hubs with a pre-subscribed consumer
+// group of R members each (block policy — every step is rendered), S
+// paced producer goroutines, and an intransit.Group driving the
+// sharded render.
+func RunEndpointScaling(cfg EndpointScalingConfig) ([]EndpointScalingResult, error) {
+	c := cfg.withDefaults()
+	if err := os.MkdirAll(c.OutputDir, 0o755); err != nil {
+		return nil, err
+	}
+	script := filepath.Join(c.OutputDir, "render.xml")
+	// A contour pipeline: isosurface extraction visits every cell of
+	// the shard and emits dense geometry, so the per-step cost is
+	// dominated by shard-proportional work rather than the fixed
+	// image-space tail (compositing + PNG encode).
+	pipeline := fmt.Sprintf(`<catalyst>
+  <image width="%d" height="%d" output="step_%%06d.png" colormap="coolwarm"
+         camera="0.4,-1,0.6" field="temperature" min="-1.5" max="1.5">
+    <contour field="temperature" iso="0.2"/>
+  </image>
+</catalyst>`, c.ImagePx, c.ImagePx)
+	if err := os.WriteFile(script, []byte(pipeline), 0o644); err != nil {
+		return nil, err
+	}
+	configXML := fmt.Sprintf(`<sensei>
+  <analysis type="catalyst" pipeline="script" filename="%s"/>
+</sensei>`, script)
+
+	// Precompute block geometry once; reused across the sweep.
+	type block struct {
+		points []float64
+		conn   []int64
+		offs   []int64
+		types  []byte
+	}
+	blocks := make([]block, c.ProducerRanks)
+	for b := range blocks {
+		p, cn, of, ty := blockStructure(b, c.BlockCells)
+		blocks[b] = block{p, cn, of, ty}
+	}
+
+	var results []EndpointScalingResult
+	for _, R := range c.EndpointRanks {
+		if R < 1 {
+			return nil, fmt.Errorf("bench: endpoint rank count %d < 1", R)
+		}
+		outDir := filepath.Join(c.OutputDir, fmt.Sprintf("ep%d", R))
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return nil, err
+		}
+		hubs := make([]*staging.Hub, c.ProducerRanks)
+		members := make([][]*staging.Consumer, c.ProducerRanks)
+		for b := range hubs {
+			hubs[b] = staging.NewHub(nil)
+			ms, err := hubs[b].SubscribeGroup("render", staging.Block, c.Depth, R)
+			if err != nil {
+				return nil, err
+			}
+			members[b] = ms
+		}
+
+		group, err := intransit.NewGroup(intransit.GroupConfig{
+			Ranks:     R,
+			ConfigXML: []byte(configXML),
+			OutputDir: outDir,
+			Sources: func(rank, _ int) ([]intransit.StepSource, func(), error) {
+				src := make([]intransit.StepSource, len(members))
+				for b := range members {
+					src[b] = members[b][rank]
+				}
+				// Closing the members on every exit path keeps an
+				// erroring group from stranding the block-policy base
+				// cursors (and with them the paced producers).
+				cleanup := func() {
+					for b := range members {
+						members[b][rank].Close()
+					}
+				}
+				return src, cleanup, nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Producers: one per hub, paced at the fixed interval; Block
+		// backpressure from a slow endpoint group stretches their wall.
+		prodWall := make([]time.Duration, c.ProducerRanks)
+		prodBytes := make([]int64, c.ProducerRanks)
+		prodErr := make([]error, c.ProducerRanks)
+		var wg sync.WaitGroup
+		for b := range hubs {
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				defer hubs[b].Close()
+				start := time.Now()
+				next := start
+				for s := 0; s < c.Steps; s++ {
+					step := endpointStep(b, s, blocks[b].points, blocks[b].conn, blocks[b].offs, blocks[b].types)
+					prodBytes[b] += step.Bytes()
+					if err := hubs[b].Publish(step); err != nil {
+						prodErr[b] = err
+						return
+					}
+					next = next.Add(c.Interval)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				prodWall[b] = time.Since(start)
+			}(b)
+		}
+
+		stats, err := group.Run()
+		wg.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("bench: endpoint group x%d: %w", R, err)
+		}
+		for _, err := range prodErr {
+			if err != nil {
+				return nil, fmt.Errorf("bench: producer: %w", err)
+			}
+		}
+
+		res := EndpointScalingResult{
+			EndpointRanks:  R,
+			Steps:          stats.Steps,
+			Images:         stats.Files,
+			TimeToImage:    stats.MeanStepWall(),
+			MaxBarrierWait: stats.Straggler.MaxWait(),
+		}
+		var bytes int64
+		for b := range prodWall {
+			if prodWall[b] > res.ProducerWall {
+				res.ProducerWall = prodWall[b]
+			}
+			bytes += prodBytes[b]
+		}
+		res.ProducerMBps = mbps(bytes, res.ProducerWall)
+		for _, s := range stats.Skipped {
+			res.Skipped += s
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// EndpointScalingTable renders the sweep.
+func EndpointScalingTable(results []EndpointScalingResult) *metrics.Table {
+	t := metrics.NewTable("Endpoint scaling: sharded render group, fixed producers",
+		"endpoint ranks", "steps", "images", "time-to-image [ms]",
+		"producer wall [ms]", "producer MB/s", "max barrier wait [ms]", "skipped")
+	for _, r := range results {
+		t.AddRow(r.EndpointRanks, r.Steps, r.Images,
+			fmt.Sprintf("%.2f", float64(r.TimeToImage.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(r.ProducerWall.Microseconds())/1000),
+			fmt.Sprintf("%.1f", r.ProducerMBps),
+			fmt.Sprintf("%.2f", float64(r.MaxBarrierWait.Microseconds())/1000),
+			r.Skipped)
+	}
+	return t
+}
+
+// endpointRow is the JSON shape of one sweep row.
+type endpointRow struct {
+	EndpointRanks    int     `json:"endpoint_ranks"`
+	Steps            int     `json:"steps"`
+	Images           int     `json:"images"`
+	TimeToImageMs    float64 `json:"time_to_image_ms"`
+	ProducerWallMs   float64 `json:"producer_wall_ms"`
+	ProducerMBps     float64 `json:"producer_mbps"`
+	MaxBarrierWaitMs float64 `json:"max_barrier_wait_ms"`
+	Skipped          int     `json:"skipped"`
+}
+
+// WriteEndpointJSON emits the sweep as the BENCH_endpoint.json
+// artifact.
+func WriteEndpointJSON(w io.Writer, cfg EndpointScalingConfig, results []EndpointScalingResult) error {
+	c := cfg.withDefaults()
+	doc := struct {
+		Figure        string        `json:"figure"`
+		ProducerRanks int           `json:"producer_ranks"`
+		Steps         int           `json:"steps"`
+		BlockCells    [3]int        `json:"block_cells"`
+		ImagePx       int           `json:"image_px"`
+		IntervalMs    float64       `json:"producer_interval_ms"`
+		GoMaxProcs    int           `json:"gomaxprocs"` // wall-clock speedup is capped by available cores
+		Rows          []endpointRow `json:"rows"`
+	}{
+		Figure:        "endpoint-scaling",
+		ProducerRanks: c.ProducerRanks,
+		Steps:         c.Steps,
+		BlockCells:    c.BlockCells,
+		ImagePx:       c.ImagePx,
+		IntervalMs:    float64(c.Interval.Microseconds()) / 1000,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	for _, r := range results {
+		doc.Rows = append(doc.Rows, endpointRow{
+			EndpointRanks:    r.EndpointRanks,
+			Steps:            r.Steps,
+			Images:           r.Images,
+			TimeToImageMs:    float64(r.TimeToImage.Microseconds()) / 1000,
+			ProducerWallMs:   float64(r.ProducerWall.Microseconds()) / 1000,
+			ProducerMBps:     r.ProducerMBps,
+			MaxBarrierWaitMs: float64(r.MaxBarrierWait.Microseconds()) / 1000,
+			Skipped:          r.Skipped,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteFanoutJSON emits the fan-out comparison as a JSON artifact
+// (BENCH_fanout.json), the machine-readable twin of FanoutTable.
+func WriteFanoutJSON(w io.Writer, results []FanoutResult) error {
+	type row struct {
+		Mode           string  `json:"mode"`
+		Policy         string  `json:"policy"`
+		Consumers      int     `json:"consumers"`
+		Steps          int     `json:"steps"`
+		ProducerWallMs float64 `json:"producer_wall_ms"`
+		ProducerMBps   float64 `json:"producer_mbps"`
+		Delivered      int64   `json:"delivered"`
+		Dropped        int64   `json:"dropped"`
+	}
+	doc := struct {
+		Figure string `json:"figure"`
+		Rows   []row  `json:"rows"`
+	}{Figure: "fanout"}
+	for _, r := range results {
+		policy := "-"
+		if r.Mode == "staged" {
+			policy = r.Policy.String()
+		}
+		doc.Rows = append(doc.Rows, row{
+			Mode: r.Mode, Policy: policy, Consumers: r.Consumers, Steps: r.Steps,
+			ProducerWallMs: float64(r.ProducerWall.Microseconds()) / 1000,
+			ProducerMBps:   r.ProducerMBps,
+			Delivered:      r.Delivered, Dropped: r.Dropped,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestEndpointScaling: every group size processes every paced step
+// into exactly one composited image, and the JSON artifact carries
+// one row per swept size. (Timing improvements are demonstrated by
+// cmd/figures -fig endpoint-scaling at full workload; asserting them
+// here would be flaky on loaded CI machines.)
+func TestEndpointScaling(t *testing.T) {
+	cfg := EndpointScalingConfig{
+		ProducerRanks: 3, EndpointRanks: []int{1, 2, 3}, Steps: 4,
+		BlockCells: [3]int{6, 6, 6}, ImagePx: 48,
+		Interval: time.Millisecond, OutputDir: t.TempDir(),
+	}
+	results, err := RunEndpointScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d rows, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Steps != cfg.Steps {
+			t.Errorf("ranks=%d processed %d steps, want %d", r.EndpointRanks, r.Steps, cfg.Steps)
+		}
+		if r.Images != cfg.Steps {
+			t.Errorf("ranks=%d wrote %d images, want one per step (%d)", r.EndpointRanks, r.Images, cfg.Steps)
+		}
+		if r.TimeToImage <= 0 {
+			t.Errorf("ranks=%d time-to-image %v not positive", r.EndpointRanks, r.TimeToImage)
+		}
+		imgs, _ := filepath.Glob(filepath.Join(cfg.OutputDir, "ep*", "step_*.png"))
+		if len(imgs) == 0 {
+			t.Error("no composited PNGs on disk")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteEndpointJSON(&buf, cfg, results); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Figure string                   `json:"figure"`
+		Rows   []map[string]interface{} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if doc.Figure != "endpoint-scaling" || len(doc.Rows) != 3 {
+		t.Errorf("artifact = %+v, want figure endpoint-scaling with 3 rows", doc)
+	}
+}
+
+func TestWriteFanoutJSON(t *testing.T) {
+	res, err := RunFanoutStaged(FanoutConfig{Consumers: 2, Steps: 4, PayloadF64: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFanoutJSON(&buf, []FanoutResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+}

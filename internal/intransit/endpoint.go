@@ -22,6 +22,11 @@ type StreamDataAdaptor struct {
 	step int
 	time float64
 
+	// The shard is the half-open source (block) range this adaptor
+	// merges and exposes; a Group rank owns one shard of the full
+	// stream, a classic endpoint owns [0, nSources).
+	shardLo, shardHi int
+
 	structures []*vtkdata.UnstructuredGrid // per source, cached
 	merged     *vtkdata.UnstructuredGrid   // merged structure, cached
 	arrays     map[string][]float64        // merged per-step arrays
@@ -32,16 +37,47 @@ type StreamDataAdaptor struct {
 func NewStreamDataAdaptor(comm *mpirt.Comm, nSources int) *StreamDataAdaptor {
 	return &StreamDataAdaptor{
 		comm:       comm,
+		shardHi:    nSources,
 		structures: make([]*vtkdata.UnstructuredGrid, nSources),
 		arrays:     map[string][]float64{},
 	}
 }
 
+// SetShard restricts the adaptor to sources [lo, hi): steps from all
+// sources are still ingested (the stream must keep flowing for
+// resynchronization and flow control), but only the shard's blocks
+// are merged into the exposed grid and arrays. Endpoint-group ranks
+// call this with disjoint ranges so the union of all ranks' grids is
+// the full mesh, which makes the analyses' cross-rank reductions
+// exact. Must be called before the first Ingest.
+func (a *StreamDataAdaptor) SetShard(lo, hi int) error {
+	if lo < 0 || hi > len(a.structures) || lo > hi {
+		return fmt.Errorf("intransit: shard [%d,%d) out of range [0,%d)", lo, hi, len(a.structures))
+	}
+	a.shardLo, a.shardHi = lo, hi
+	a.merged = nil
+	return nil
+}
+
+// inShard reports whether the source index belongs to this shard.
+func (a *StreamDataAdaptor) inShard(source int) bool {
+	return source >= a.shardLo && source < a.shardHi
+}
+
+// ShardRange computes rank's balanced contiguous share of n blocks
+// across ranks — the partition Group uses for SetShard.
+func ShardRange(n, ranks, rank int) (lo, hi int) {
+	return rank * n / ranks, (rank + 1) * n / ranks
+}
+
 // IngestStructure caches a structure-carrying step's grid without
 // staging its arrays — used when a step is skipped during stream
-// resynchronization but its structure must not be lost.
+// resynchronization but its structure must not be lost. Out-of-shard
+// sources are skipped entirely: caching their geometry would keep
+// every group rank's memory at O(full mesh) when only the shard's
+// blocks are ever merged.
 func (a *StreamDataAdaptor) IngestStructure(source int, s *adios.Step) error {
-	if s.Attrs["structure"] != "1" {
+	if s.Attrs["structure"] != "1" || !a.inShard(source) {
 		return nil
 	}
 	g := &vtkdata.UnstructuredGrid{}
@@ -71,11 +107,14 @@ func (a *StreamDataAdaptor) Ingest(source int, s *adios.Step) error {
 	if err := a.IngestStructure(source, s); err != nil {
 		return err
 	}
-	if a.structures[source] == nil {
+	if a.structures[source] == nil && a.inShard(source) {
 		return fmt.Errorf("intransit: source %d sent arrays before structure", source)
 	}
 	a.step = int(s.Step)
 	a.time = s.Time
+	if !a.inShard(source) {
+		return nil // another rank's shard: structure cached, arrays skipped
+	}
 	for i := range s.Vars {
 		v := &s.Vars[i]
 		const prefix = "array/"
@@ -87,16 +126,17 @@ func (a *StreamDataAdaptor) Ingest(source int, s *adios.Step) error {
 	return nil
 }
 
-// Seal finalizes the merged structure after all sources ingested.
+// Seal finalizes the merged structure (the shard's blocks) after all
+// sources ingested.
 func (a *StreamDataAdaptor) Seal() error {
 	if a.merged != nil {
 		return nil
 	}
 	m := &vtkdata.UnstructuredGrid{}
 	var pointBase, connBase int64
-	for i, g := range a.structures {
+	for i, g := range a.structures[a.shardLo:a.shardHi] {
 		if g == nil {
-			return fmt.Errorf("intransit: source %d never sent structure", i)
+			return fmt.Errorf("intransit: source %d never sent structure", a.shardLo+i)
 		}
 		m.Points = append(m.Points, g.Points...)
 		for _, c := range g.Connectivity {
@@ -176,7 +216,13 @@ func (a *StreamDataAdaptor) AddArray(g *vtkdata.UnstructuredGrid, meshName strin
 	}
 	data, ok := a.arrays[name]
 	if !ok {
-		return fmt.Errorf("intransit: array %q not in stream", name)
+		if a.shardLo == a.shardHi {
+			// Empty shard (more endpoint ranks than blocks): expose an
+			// empty array so analyses still execute their collectives.
+			data = nil
+		} else {
+			return fmt.Errorf("intransit: array %q not in stream", name)
+		}
 	}
 	if g.FindPointData(name) != nil {
 		return nil

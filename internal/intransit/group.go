@@ -1,0 +1,348 @@
+package intransit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/sensei"
+)
+
+// Group is the parallel endpoint runtime: R cooperative ranks consume
+// one logical in-transit stream and shard the analysis work across
+// themselves, so endpoint-side cost no longer caps producer
+// throughput (the serial-endpoint ceiling of the paper's Figures
+// 5/6). Each rank owns a contiguous block (source) range of the
+// stream — histogram and probe reductions merge the shards through
+// the group's mpirt collectives exactly as the simulation-side ranks
+// would, and rendering rasterizes each shard locally before
+// depth-compositing across the endpoint ranks via binary swap into a
+// single image per step.
+//
+// Ranks attach to the staging hub as members of one consumer group
+// (staging.SubscribeGroup / the hello's group field), which
+// guarantees every rank sees the identical step sequence per hub;
+// across hubs, drop policies can still shed different steps, so the
+// runtime realigns skewed streams with a cross-rank step agreement
+// and resynchronizes at a per-step barrier whose waits are charged to
+// a metrics.Straggler.
+type Group struct {
+	cfg GroupConfig
+
+	cas []*sensei.ConfigurableAnalysis
+}
+
+// GroupConfig configures a parallel endpoint group.
+type GroupConfig struct {
+	// Ranks is the number of cooperative endpoint ranks R.
+	Ranks int
+	// ConfigXML is the SENSEI analysis configuration every rank runs
+	// (empty = pure sink).
+	ConfigXML []byte
+	// OutputDir is where file-producing analyses write (rank 0 writes
+	// composited images and probe series).
+	OutputDir string
+	// Sources supplies one rank's step sources — typically one
+	// consumer-group member per staging hub, or one SST reader per
+	// assigned writer. Called inside the rank's goroutine; the
+	// returned cleanup (may be nil) runs when the rank finishes.
+	Sources func(rank, ranks int) ([]StepSource, func(), error)
+	// StepDelay adds artificial processing time per rank per step
+	// (skew and slow-consumer experiments).
+	StepDelay time.Duration
+}
+
+// GroupStats summarizes one Run.
+type GroupStats struct {
+	Ranks int
+	// Steps is the number of steps every rank processed (analyses
+	// executed, image composited).
+	Steps int
+	// Skipped counts steps each rank discarded while realigning
+	// skewed streams.
+	Skipped []int
+	// Straggler is the per-rank barrier-wait accounting.
+	Straggler metrics.StragglerStats
+	// StepWall is rank 0's total wall time from aligned step to
+	// barrier exit — ingest, shard analysis, compositing, and the wait
+	// for the slowest peer; producer idle time is excluded.
+	StepWall time.Duration
+	// Bytes/Files total the output written across ranks.
+	Bytes int64
+	Files int
+}
+
+// MeanStepWall is the mean time-to-result per processed step — for a
+// rendering endpoint, the time-to-image.
+func (s GroupStats) MeanStepWall() time.Duration {
+	if s.Steps == 0 {
+		return 0
+	}
+	return s.StepWall / time.Duration(s.Steps)
+}
+
+// NewGroup validates the configuration.
+func NewGroup(cfg GroupConfig) (*Group, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("intransit: group needs at least 1 rank (got %d)", cfg.Ranks)
+	}
+	if cfg.Sources == nil {
+		return nil, fmt.Errorf("intransit: group needs a Sources factory")
+	}
+	return &Group{cfg: cfg, cas: make([]*sensei.ConfigurableAnalysis, cfg.Ranks)}, nil
+}
+
+// Analysis returns rank's analysis multiplexer; valid after Run (for
+// inspecting reduced results, which every rank holds identically).
+func (g *Group) Analysis(rank int) *sensei.ConfigurableAnalysis { return g.cas[rank] }
+
+// Per-rank stream status for the cross-rank agreement.
+const (
+	stOK  = 0 // a step is aligned locally
+	stEOF = 1 // every source reached end-of-stream
+	stErr = 2 // a source failed (or ended early)
+)
+
+// rankStream drives one rank's sources: pulling, local realignment
+// across this rank's hubs, and skip bookkeeping.
+type rankStream struct {
+	sources []StepSource
+	steps   []*adios.Step
+	da      *StreamDataAdaptor
+	skipped int
+	err     error
+}
+
+// pull fills every empty source slot. Returns stOK/stEOF/stErr.
+func (rs *rankStream) pull() int {
+	eofs := 0
+	for src, s := range rs.steps {
+		if s != nil {
+			continue
+		}
+		next, err := rs.sources[src].BeginStep()
+		if errors.Is(err, io.EOF) {
+			eofs++
+			continue
+		}
+		if err != nil {
+			rs.err = fmt.Errorf("intransit: source %d: %w", src, err)
+			return stErr
+		}
+		rs.steps[src] = next
+	}
+	if eofs == len(rs.sources) {
+		return stEOF
+	}
+	if eofs != 0 {
+		rs.err = fmt.Errorf("intransit: %d of %d sources ended early", eofs, len(rs.sources))
+		return stErr
+	}
+	return stOK
+}
+
+// advance moves every source to at least target, skipping (and
+// structure-capturing) intermediate steps, then realigns locally to
+// the maximum step across this rank's sources. Returns the status and
+// the locally aligned step.
+func (rs *rankStream) advance(target int64) (int, int64) {
+	for {
+		local := target
+		for _, s := range rs.steps {
+			if s.Step > local {
+				local = s.Step
+			}
+		}
+		aligned := true
+		for src, s := range rs.steps {
+			for s.Step < local {
+				rs.skipped++
+				if err := rs.da.IngestStructure(src, s); err != nil {
+					rs.err = err
+					return stErr, 0
+				}
+				next, err := rs.sources[src].BeginStep()
+				if errors.Is(err, io.EOF) {
+					return stEOF, 0
+				}
+				if err != nil {
+					rs.err = fmt.Errorf("intransit: source %d ended during resync at step %d: %w", src, local, err)
+					return stErr, 0
+				}
+				s = next
+				rs.steps[src] = s
+			}
+			if s.Step != local {
+				aligned = false
+			}
+		}
+		if aligned {
+			return stOK, local
+		}
+	}
+}
+
+// Run spawns the R endpoint ranks, consumes the streams to
+// end-of-stream, and executes the sharded analyses per step. Every
+// stage that can fail on a single rank (source setup, initialization,
+// ingest, analysis execution) ends in a cross-rank agreement, so an
+// asymmetric failure — rank 0's image write, one rank's dropped
+// connection — stops the whole group cleanly instead of stranding the
+// peers in a collective. The one remaining MPI-like hazard is a rank
+// failing between the matched collectives *inside* one analysis'
+// Execute; mpirt's kind checking turns that into a panic rather than
+// a silent deadlock where the collective kinds differ.
+func (g *Group) Run() (GroupStats, error) {
+	R := g.cfg.Ranks
+	straggler := metrics.NewStraggler(R)
+	stats := GroupStats{Ranks: R, Skipped: make([]int, R)}
+	stepsDone := make([]int, R)
+	bytesOut := make([]int64, R)
+	filesOut := make([]int, R)
+	var stepWall time.Duration // rank 0 only
+
+	err := mpirt.RunErr(R, func(comm *mpirt.Comm) error {
+		rank := comm.Rank()
+		sources, cleanup, err := g.cfg.Sources(rank, R)
+		if cleanup != nil {
+			defer cleanup()
+		}
+		// Every phase that can fail on one rank ends in an agreement so
+		// the others exit instead of blocking in a collective.
+		if comm.AllreduceI64Scalar(boolStatus(err != nil), mpirt.OpMax) != stOK {
+			return err
+		}
+
+		lo, hi := ShardRange(len(sources), R, rank)
+		da := NewStreamDataAdaptor(comm, len(sources))
+		err = da.SetShard(lo, hi)
+		ctx := &sensei.Context{
+			Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
+			Storage: metrics.NewStorageCounter(), OutputDir: g.cfg.OutputDir,
+			Shard: &sensei.Shard{Rank: rank, Ranks: R, BlockLo: lo, BlockHi: hi},
+		}
+		ca := sensei.NewConfigurableAnalysis(ctx)
+		if err == nil && len(g.cfg.ConfigXML) > 0 {
+			err = ca.InitializeXML(g.cfg.ConfigXML)
+		}
+		if comm.AllreduceI64Scalar(boolStatus(err != nil), mpirt.OpMax) != stOK {
+			return err
+		}
+		g.cas[rank] = ca
+		defer func() {
+			bytesOut[rank] = ctx.Storage.Bytes()
+			filesOut[rank] = ctx.Storage.Files()
+		}()
+
+		rs := &rankStream{
+			sources: sources,
+			steps:   make([]*adios.Step, len(sources)),
+			da:      da,
+		}
+		runErr := g.runRank(comm, rs, da, ca, straggler, &stepsDone[rank], &stepWall)
+		stats.Skipped[rank] = rs.skipped
+		if ferr := ca.Finalize(); ferr != nil && runErr == nil {
+			runErr = ferr
+		}
+		return runErr
+	})
+
+	stats.Steps = stepsDone[0]
+	stats.Straggler = straggler.Stats()
+	stats.StepWall = stepWall
+	for r := 0; r < R; r++ {
+		stats.Bytes += bytesOut[r]
+		stats.Files += filesOut[r]
+	}
+	return stats, err
+}
+
+func boolStatus(failed bool) int64 {
+	if failed {
+		return stErr
+	}
+	return stOK
+}
+
+// runRank is one rank's step loop: pull, agree on a global target
+// step, realign, execute the shard, barrier.
+func (g *Group) runRank(comm *mpirt.Comm, rs *rankStream, da *StreamDataAdaptor,
+	ca *sensei.ConfigurableAnalysis, straggler *metrics.Straggler,
+	stepsDone *int, stepWall *time.Duration) error {
+	rank := comm.Rank()
+	for {
+		status := rs.pull()
+		var local int64
+		if status == stOK {
+			status, local = rs.advance(0)
+		}
+		// Cross-rank resynchronization: hubs shed steps independently
+		// under drop policies, so ranks can surface different step
+		// numbers. Agree on the maximum, advance stragglers, and repeat
+		// until every rank holds the same step (or any rank ends).
+		for {
+			res := comm.AllreduceI64([]int64{int64(status), local}, mpirt.OpMax)
+			if res[0] == stErr {
+				return rs.err // nil on ranks that stopped for a failed peer
+			}
+			if res[0] == stEOF {
+				return nil // group ends when any rank's stream ends
+			}
+			agree := int64(0)
+			if local == res[1] {
+				agree = 1
+			}
+			if comm.AllreduceI64Scalar(agree, mpirt.OpMin) == 1 {
+				break
+			}
+			status, local = rs.advance(res[1])
+			if status != stOK {
+				local = 0
+			}
+		}
+
+		// Execution failures can strike one rank only (rank 0's image
+		// write, a shard-shaped ingest error), so each stage ends in an
+		// agreement rather than a bare return — a bare return would
+		// leave the peers blocked in their next collective forever.
+		stepStart := time.Now()
+		var stepErr error
+		for src, s := range rs.steps {
+			if stepErr = da.Ingest(src, s); stepErr != nil {
+				break
+			}
+		}
+		if stepErr == nil {
+			stepErr = da.Seal()
+		}
+		if comm.AllreduceI64Scalar(boolStatus(stepErr != nil), mpirt.OpMax) != stOK {
+			return stepErr
+		}
+		if g.cfg.StepDelay > 0 {
+			time.Sleep(g.cfg.StepDelay)
+		}
+		stepErr = ca.Execute(da)
+		// The post-execute agreement doubles as the per-step barrier
+		// whose waits the straggler tracker accounts.
+		barrierStart := time.Now()
+		agreed := comm.AllreduceI64Scalar(boolStatus(stepErr != nil), mpirt.OpMax)
+		straggler.Record(rank, time.Since(barrierStart))
+		if rank == 0 {
+			*stepWall += time.Since(stepStart)
+		}
+		if agreed != stOK {
+			return stepErr
+		}
+		if err := da.ReleaseData(); err != nil {
+			return err
+		}
+		*stepsDone++
+		for i := range rs.steps {
+			rs.steps[i] = nil
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package intransit
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/staging"
+
+	_ "nekrs-sensei/internal/catalyst" // analysis type "catalyst"
+)
+
+// blockStep builds one synthetic timestep for block b: a unit hex
+// cell shifted along x, with one point array "temperature". The first
+// step (seq 0) carries the structure.
+func blockStep(b, seq int) *adios.Step {
+	vals := make([]float64, 8)
+	for i := range vals {
+		vals[i] = float64(b*100+seq*10+i) * 0.01
+	}
+	s := &adios.Step{
+		Step:  int64(seq),
+		Time:  float64(seq) * 0.1,
+		Attrs: map[string]string{"mesh": "mesh"},
+		Vars:  []adios.Variable{adios.NewF64("array/temperature", vals)},
+	}
+	if seq == 0 {
+		x0 := float64(b)
+		s.Attrs["structure"] = "1"
+		s.Vars = append(s.Vars,
+			adios.NewF64("points", []float64{
+				x0, 0, 0, x0 + 1, 0, 0, x0 + 1, 1, 0, x0, 1, 0,
+				x0, 0, 1, x0 + 1, 0, 1, x0 + 1, 1, 1, x0, 1, 1,
+			}, 8, 3),
+			adios.NewI64("connectivity", []int64{0, 1, 2, 3, 4, 5, 6, 7}),
+			adios.NewI64("offsets", []int64{8}),
+			adios.NewU8("types", []byte{12}),
+		)
+	}
+	return s
+}
+
+// scriptedSource replays a fixed step sequence, then EOF.
+type scriptedSource struct {
+	steps []*adios.Step
+	pos   int
+}
+
+func (s *scriptedSource) BeginStep() (*adios.Step, error) {
+	if s.pos >= len(s.steps) {
+		return nil, io.EOF
+	}
+	st := s.steps[s.pos]
+	s.pos++
+	return st, nil
+}
+
+// runGroupOverHubs publishes `steps` timesteps of `blocks` blocks
+// through one staging hub per block and runs a Group of R ranks over
+// consumer-group members. Returns the group and its stats.
+func runGroupOverHubs(t *testing.T, blocks, ranks, steps int, configXML, outDir string) (*Group, GroupStats) {
+	t.Helper()
+	hubs := make([]*staging.Hub, blocks)
+	members := make([][]*staging.Consumer, blocks)
+	for b := range hubs {
+		hubs[b] = staging.NewHub(nil)
+		ms, err := hubs[b].SubscribeGroup("ep", staging.Block, 4, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[b] = ms
+	}
+	g, err := NewGroup(GroupConfig{
+		Ranks:     ranks,
+		ConfigXML: []byte(configXML),
+		OutputDir: outDir,
+		Sources: func(rank, _ int) ([]StepSource, func(), error) {
+			src := make([]StepSource, blocks)
+			for b := range src {
+				src[b] = members[b][rank]
+			}
+			return src, nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for s := 0; s < steps; s++ {
+			for b, h := range hubs {
+				if err := h.Publish(blockStep(b, s)); err != nil {
+					done <- err
+					return
+				}
+			}
+		}
+		for _, h := range hubs {
+			h.Close()
+		}
+		done <- nil
+	}()
+	stats, err := g.Run()
+	if err != nil {
+		t.Fatalf("group run: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	return g, stats
+}
+
+const histConfig = `<sensei>
+  <analysis type="histogram" array="temperature" bins="6"/>
+</sensei>`
+
+// TestGroupShardedHistogramMatchesSerial: a histogram sharded over R
+// endpoint ranks (block-range partition + allreduce merge) must equal
+// the single-rank endpoint's histogram of the same stream.
+func TestGroupShardedHistogramMatchesSerial(t *testing.T) {
+	const blocks, steps = 4, 5
+	results := map[int][]int64{}
+	for _, ranks := range []int{1, 2, 4} {
+		g, stats := runGroupOverHubs(t, blocks, ranks, steps, histConfig, t.TempDir())
+		if stats.Steps != steps {
+			t.Fatalf("ranks=%d: processed %d steps, want %d", ranks, stats.Steps, steps)
+		}
+		hist, ok := g.Analysis(0).FindAdaptor("histogram").(*sensei.Histogram)
+		if !ok {
+			t.Fatal("histogram adaptor missing")
+		}
+		_, counts := hist.Last()
+		results[ranks] = counts
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if want := int64(blocks * 8); total != want {
+			t.Errorf("ranks=%d: histogram counted %d points, want %d", ranks, total, want)
+		}
+	}
+	for _, ranks := range []int{2, 4} {
+		if fmt.Sprint(results[ranks]) != fmt.Sprint(results[1]) {
+			t.Errorf("ranks=%d counts %v != serial %v", ranks, results[ranks], results[1])
+		}
+	}
+}
+
+// TestGroupRenderOneImagePerStep: a render endpoint group composites
+// each rank's shard via binary swap into exactly one PNG per step —
+// including the non-power-of-two group size that exercises the
+// compositor's fold pre-stage.
+func TestGroupRenderOneImagePerStep(t *testing.T) {
+	const blocks, steps = 4, 4
+	for _, ranks := range []int{3, 4} {
+		dir := t.TempDir()
+		script := filepath.Join(dir, "render.xml")
+		if err := os.WriteFile(script, []byte(`<catalyst>
+  <image width="64" height="48" output="step_%06d.png" field="temperature">
+    <slice normal="0,0,1" offset="0.5"/>
+  </image>
+</catalyst>`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := fmt.Sprintf(`<sensei>
+  <analysis type="catalyst" pipeline="script" filename="%s"/>
+</sensei>`, script)
+
+		_, stats := runGroupOverHubs(t, blocks, ranks, steps, cfg, dir)
+		if stats.Steps != steps {
+			t.Fatalf("ranks=%d: processed %d steps, want %d", ranks, stats.Steps, steps)
+		}
+		imgs, err := filepath.Glob(filepath.Join(dir, "step_*.png"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(imgs) != steps {
+			t.Fatalf("ranks=%d: wrote %d images, want exactly one per step (%d): %v", ranks, len(imgs), steps, imgs)
+		}
+		for _, img := range imgs {
+			if fi, err := os.Stat(img); err != nil || fi.Size() == 0 {
+				t.Errorf("image %s missing or empty", img)
+			}
+		}
+		if stats.Files != steps {
+			t.Errorf("ranks=%d: storage counted %d files, want %d (only rank 0 writes)", ranks, stats.Files, steps)
+		}
+		if len(stats.Straggler.Ranks) != ranks || stats.Straggler.Ranks[0].Count != steps {
+			t.Errorf("ranks=%d: straggler accounting incomplete: %+v", ranks, stats.Straggler)
+		}
+	}
+}
+
+// TestGroupRealignsSkewedStreams: ranks whose hubs shed different
+// steps agree on a common step per round; lagging ranks skip forward
+// and account the skips.
+func TestGroupRealignsSkewedStreams(t *testing.T) {
+	mk := func(seqs ...int) *scriptedSource {
+		s := &scriptedSource{}
+		for _, q := range seqs {
+			s.steps = append(s.steps, blockStep(0, q))
+		}
+		return s
+	}
+	perRank := [][]StepSource{
+		{mk(0, 1, 2, 3, 4)}, // rank 0 sees every step
+		{mk(0, 2, 4)},       // rank 1's hub shed steps 1 and 3
+	}
+	g, err := NewGroup(GroupConfig{
+		Ranks: 2,
+		Sources: func(rank, _ int) ([]StepSource, func(), error) {
+			return perRank[rank], nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != 3 {
+		t.Errorf("processed %d steps, want 3 (0, 2, 4)", stats.Steps)
+	}
+	if stats.Skipped[0] != 2 || stats.Skipped[1] != 0 {
+		t.Errorf("skipped = %v, want [2 0]", stats.Skipped)
+	}
+}
+
+// TestGroupAsymmetricAnalysisErrorDoesNotHang: a failure that strikes
+// only rank 0 (the image write — only root writes) must stop the
+// whole group through the per-step agreement instead of stranding the
+// other ranks in their next collective.
+func TestGroupAsymmetricAnalysisErrorDoesNotHang(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "render.xml")
+	if err := os.WriteFile(script, []byte(`<catalyst>
+  <image width="32" height="32" output="step_%06d.png" field="temperature">
+    <slice normal="0,0,1" offset="0.5"/>
+  </image>
+</catalyst>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The output "directory" is a file: rank 0's PNG write fails, the
+	// other ranks' Execute succeeds.
+	outFile := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(outFile, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fmt.Sprintf(`<sensei>
+  <analysis type="catalyst" pipeline="script" filename="%s"/>
+</sensei>`, script)
+
+	const blocks, ranks = 2, 2
+	hubs := make([]*staging.Hub, blocks)
+	members := make([][]*staging.Consumer, blocks)
+	for b := range hubs {
+		hubs[b] = staging.NewHub(nil)
+		ms, err := hubs[b].SubscribeGroup("ep", staging.Block, 4, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[b] = ms
+	}
+	g, err := NewGroup(GroupConfig{
+		Ranks:     ranks,
+		ConfigXML: []byte(cfg),
+		OutputDir: outFile,
+		Sources: func(rank, _ int) ([]StepSource, func(), error) {
+			src := make([]StepSource, blocks)
+			for b := range src {
+				src[b] = members[b][rank]
+			}
+			cleanup := func() {
+				for b := range members {
+					members[b][rank].Close()
+				}
+			}
+			return src, cleanup, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		for s := 0; s < 8; s++ {
+			for b, h := range hubs {
+				if h.Publish(blockStep(b, s)) != nil {
+					return
+				}
+			}
+		}
+	}()
+	if _, err := g.Run(); err == nil {
+		t.Fatal("expected rank 0's write error to surface")
+	}
+	// The producer must unblock too (members closed via cleanup).
+	select {
+	case <-prodDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer still blocked after the group failed")
+	}
+	for _, h := range hubs {
+		h.Close()
+	}
+}
+
+// TestGroupSourceErrorDoesNotHang: one rank failing to build sources
+// stops the whole group instead of deadlocking the others.
+func TestGroupSourceErrorDoesNotHang(t *testing.T) {
+	g, err := NewGroup(GroupConfig{
+		Ranks: 3,
+		Sources: func(rank, _ int) ([]StepSource, func(), error) {
+			if rank == 1 {
+				return nil, nil, fmt.Errorf("rank 1 cannot connect")
+			}
+			return []StepSource{&scriptedSource{}}, nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err == nil {
+		t.Fatal("expected the source error to surface")
+	}
+}
+
+func TestShardRange(t *testing.T) {
+	for _, tc := range []struct {
+		n, ranks int
+		want     [][2]int
+	}{
+		{4, 2, [][2]int{{0, 2}, {2, 4}}},
+		{4, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{5, 2, [][2]int{{0, 2}, {2, 5}}},
+		{1, 2, [][2]int{{0, 0}, {0, 1}}},
+	} {
+		for r, want := range tc.want {
+			lo, hi := ShardRange(tc.n, tc.ranks, r)
+			if lo != want[0] || hi != want[1] {
+				t.Errorf("ShardRange(%d,%d,%d) = [%d,%d), want [%d,%d)",
+					tc.n, tc.ranks, r, lo, hi, want[0], want[1])
+			}
+		}
+	}
+}

@@ -10,6 +10,14 @@
 // independent of the number of visualization ranks (the property the
 // paper emphasizes), and a slow endpoint shows up on the simulation
 // side only as bounded SST queue growth.
+//
+// Two endpoint runtimes consume the stream: Endpoint is the paper's
+// serial consumer, and Group is its parallel generalization — R
+// cooperative ranks that claim one staging consumer name as a group,
+// shard the analysis work by block range (reductions merge across
+// ranks, rendering composites via binary swap into one image per
+// step), and realign skewed streams at a per-step barrier with
+// straggler accounting. See group.go and DESIGN.md.
 package intransit
 
 import (

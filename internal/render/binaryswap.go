@@ -9,14 +9,15 @@ import (
 )
 
 // Composite depth-composites each rank's framebuffer to root using
-// binary swap when the communicator size is a power of two (log2(P)
-// exchange stages, each moving half the remaining image — the
-// standard sort-last algorithm of parallel rendering) and the serial
-// gather otherwise. Collective; returns the image on root, nil
-// elsewhere.
+// binary swap: log2(P) exchange stages, each moving half the
+// remaining image — the standard sort-last algorithm of parallel
+// rendering. Non-power-of-two communicators (an endpoint group of,
+// say, 3 ranks) are handled with a fold pre-stage: the ranks beyond
+// the largest power of two send their full framebuffer to a partner
+// in the power-of-two set, which merges it before the swap stages.
+// Collective; returns the image on root, nil elsewhere.
 func Composite(comm *mpirt.Comm, fb *Framebuffer, root int) *Framebuffer {
-	size := comm.Size()
-	if size > 1 && size&(size-1) == 0 {
+	if comm.Size() > 1 {
 		return compositeBinarySwap(comm, fb, root)
 	}
 	return CompositeToRoot(comm, fb, root)
@@ -48,8 +49,12 @@ func mergeRegion(fb *Framebuffer, lo, hi int, buf []byte) {
 
 func compositeBinarySwap(comm *mpirt.Comm, fb *Framebuffer, root int) *Framebuffer {
 	rank := comm.Rank()
+	size := comm.Size()
 	npix := fb.W * fb.H
-	stages := bits.TrailingZeros(uint(comm.Size()))
+	// M is the largest power of two <= size; the M ranks below it run
+	// the swap stages, the size-M ranks above fold into them first.
+	stages := bits.Len(uint(size)) - 1
+	M := 1 << stages
 
 	// Work on a copy so the caller's framebuffer is untouched.
 	work := NewFramebuffer(fb.W, fb.H)
@@ -57,30 +62,42 @@ func compositeBinarySwap(comm *mpirt.Comm, fb *Framebuffer, root int) *Framebuff
 	copy(work.Depth, fb.Depth)
 
 	lo, hi := 0, npix
-	for s := 0; s < stages; s++ {
-		partner := rank ^ (1 << s)
-		mid := lo + (hi-lo)/2
-		keepLow := rank&(1<<s) == 0
-		var sendLo, sendHi, keepLo, keepHi int
-		if keepLow {
-			keepLo, keepHi = lo, mid
-			sendLo, sendHi = mid, hi
-		} else {
-			keepLo, keepHi = mid, hi
-			sendLo, sendHi = lo, mid
+	if rank >= M {
+		// Fold: ship the whole framebuffer to the power-of-two set and
+		// own nothing afterwards.
+		comm.SendBytes(rank-M, 99, packRegion(work, 0, npix))
+		lo, hi = 0, 0
+	} else {
+		if rank+M < size {
+			recv, _ := comm.RecvBytes(rank+M, 99)
+			mergeRegion(work, 0, npix, recv)
 		}
-		// Exchange halves: lower rank sends first, higher receives
-		// first — mpirt buffers sends, so ordering is deadlock-free
-		// either way, but keep it symmetric for clarity.
-		comm.SendBytes(partner, 100+s, packRegion(work, sendLo, sendHi))
-		recv, _ := comm.RecvBytes(partner, 100+s)
-		mergeRegion(work, keepLo, keepHi, recv)
-		lo, hi = keepLo, keepHi
+		for s := 0; s < stages; s++ {
+			partner := rank ^ (1 << s)
+			mid := lo + (hi-lo)/2
+			keepLow := rank&(1<<s) == 0
+			var sendLo, sendHi, keepLo, keepHi int
+			if keepLow {
+				keepLo, keepHi = lo, mid
+				sendLo, sendHi = mid, hi
+			} else {
+				keepLo, keepHi = mid, hi
+				sendLo, sendHi = lo, mid
+			}
+			// Exchange halves: lower rank sends first, higher receives
+			// first — mpirt buffers sends, so ordering is deadlock-free
+			// either way, but keep it symmetric for clarity.
+			comm.SendBytes(partner, 100+s, packRegion(work, sendLo, sendHi))
+			recv, _ := comm.RecvBytes(partner, 100+s)
+			mergeRegion(work, keepLo, keepHi, recv)
+			lo, hi = keepLo, keepHi
+		}
 	}
 
-	// Every rank now owns the fully composited region [lo, hi).
-	// Gather the regions to root. Region boundaries are deterministic
-	// from the rank id, so root reconstructs them the same way.
+	// Every swap rank now owns its fully composited region [lo, hi)
+	// (folded ranks own nothing). Gather the regions to root. Region
+	// boundaries are deterministic from the rank id, so root
+	// reconstructs them the same way.
 	region := packRegion(work, lo, hi)
 	parts := comm.GatherBytes(root, region)
 	if rank != root {
@@ -88,6 +105,9 @@ func compositeBinarySwap(comm *mpirt.Comm, fb *Framebuffer, root int) *Framebuff
 	}
 	out := NewFramebuffer(fb.W, fb.H)
 	for r, p := range parts {
+		if r >= M {
+			continue // folded rank, empty region
+		}
 		rlo, rhi := 0, npix
 		for s := 0; s < stages; s++ {
 			mid := rlo + (rhi-rlo)/2

@@ -44,7 +44,7 @@ func framebuffersEqual(a, b *Framebuffer) bool {
 // TestBinarySwapMatchesSerial: binary-swap compositing must produce
 // bit-identical output to the serial gather reduction.
 func TestBinarySwapMatchesSerial(t *testing.T) {
-	for _, size := range []int{2, 4, 8} {
+	for _, size := range []int{2, 3, 4, 5, 6, 7, 8} {
 		var swapped, serial *Framebuffer
 		mpirt.Run(size, func(c *mpirt.Comm) {
 			fb := randomFB(16, 12, int64(c.Rank())+7)
@@ -66,8 +66,8 @@ func TestBinarySwapMatchesSerial(t *testing.T) {
 // TestBinarySwapProperty: random sizes and seeds keep the equivalence.
 func TestBinarySwapProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		sizes := []int{2, 4}
-		size := sizes[int(uint64(seed)%2)]
+		sizes := []int{2, 3, 4, 5}
+		size := sizes[int(uint64(seed)%4)]
 		w := 8 + int(uint64(seed)%5)
 		h := 6 + int(uint64(seed)%3)
 		var ok bool
@@ -86,11 +86,11 @@ func TestBinarySwapProperty(t *testing.T) {
 	}
 }
 
-// TestCompositeDispatch: Composite picks binary swap for powers of two
-// and falls back to the serial gather otherwise, with identical
-// results either way.
+// TestCompositeDispatch: Composite runs binary swap (with the fold
+// pre-stage off powers of two) for every size > 1 and the serial path
+// for one rank, with identical results either way.
 func TestCompositeDispatch(t *testing.T) {
-	for _, size := range []int{1, 3, 4} {
+	for _, size := range []int{1, 3, 4, 6} {
 		var got, want *Framebuffer
 		mpirt.Run(size, func(c *mpirt.Comm) {
 			fb := randomFB(10, 10, int64(c.Rank()))

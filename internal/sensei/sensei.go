@@ -88,6 +88,26 @@ type AnalysisAdaptor interface {
 	Finalize() error
 }
 
+// Shard describes this rank's slice of a work-sharded analysis
+// group: a parallel in-transit endpoint partitions the incoming
+// stream's blocks across its ranks, and each rank's DataAdaptor
+// exposes only blocks [BlockLo, BlockHi). Analyses do not need to
+// consult it to be correct — the partition is disjoint, so the
+// existing reductions (histogram counts, probe sums, depth
+// compositing) merge shards exactly — but adaptors that emit
+// per-rank artifacts can use it for labeling and sizing decisions.
+type Shard struct {
+	Rank, Ranks      int // position in the endpoint group
+	BlockLo, BlockHi int // half-open block (source) range owned here
+}
+
+// Blocks reports the number of blocks owned by this shard.
+func (s *Shard) Blocks() int { return s.BlockHi - s.BlockLo }
+
+func (s *Shard) String() string {
+	return fmt.Sprintf("shard %d/%d (blocks [%d,%d))", s.Rank, s.Ranks, s.BlockLo, s.BlockHi)
+}
+
 // Context supplies rank-local resources to analysis adaptors.
 type Context struct {
 	Comm    *mpirt.Comm
@@ -96,6 +116,10 @@ type Context struct {
 	Storage *metrics.StorageCounter
 	// OutputDir is where file-producing adaptors write.
 	OutputDir string
+	// Shard is non-nil when this rank executes analyses over one
+	// shard of a parallel endpoint group (see intransit.Group); nil
+	// for in situ and single-endpoint execution.
+	Shard *Shard
 }
 
 // Factory instantiates an AnalysisAdaptor from its XML attributes.

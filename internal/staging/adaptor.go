@@ -87,6 +87,7 @@ type Adaptor struct {
 	specs      map[string]ConsumerSpec // pre-declared consumer shapes
 	registered map[string]*Consumer    // current subscription per declared name
 	claimed    map[string]bool
+	groups     groupBroker // group members handed out per logical name
 	dynSeq     int
 
 	structureSent bool
@@ -178,8 +179,17 @@ func init() {
 // names are claimed (one live connection at a time — after a
 // disconnect, a reconnect gets a fresh subscription with the declared
 // policy); unknown names get fresh subscriptions with the reader's
-// announced policy/depth or the adaptor defaults.
-func (a *Adaptor) bindConsumer(name, policy string, depth int) (*Consumer, error) {
+// announced policy/depth or the adaptor defaults. Readers announcing
+// group > 1 are brokered into one consumer group per logical name:
+// the first member's claim converts the pre-declared subscription
+// (keeping its cursor, so pre-declared groups still lose no steps)
+// into the group's base, and the remaining members attach to it.
+func (a *Adaptor) bindConsumer(name, policy string, depth, group int) (*Consumer, error) {
+	if group > 1 {
+		return a.groups.attach(a.hub, name, group, func() (*Consumer, error) {
+			return a.bindConsumer(name, policy, depth, 1)
+		})
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if spec, ok := a.specs[name]; ok {

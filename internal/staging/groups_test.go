@@ -1,0 +1,526 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+)
+
+// drainMember consumes a group member to EOF, returning the delivered
+// step sequence.
+func drainMember(t *testing.T, c *Consumer) []int64 {
+	t.Helper()
+	var seqs []int64
+	for {
+		ref, err := c.Next()
+		if errors.Is(err, io.EOF) {
+			return seqs
+		}
+		if err != nil {
+			t.Errorf("member next: %v", err)
+			return seqs
+		}
+		seqs = append(seqs, ref.Step().Step)
+		ref.Release()
+	}
+}
+
+// TestGroupMembersSeeSameSequence: every member of a group receives
+// every delivered step, in order, while the hub sees one consumer.
+func TestGroupMembersSeeSameSequence(t *testing.T) {
+	h := NewHub(nil)
+	members, err := h.SubscribeGroup("grp", Block, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 10
+	got := make([][]int64, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *Consumer) {
+			defer wg.Done()
+			got[i] = drainMember(t, m)
+		}(i, m)
+	}
+	for i := 0; i < steps; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	wg.Wait()
+
+	for i, seqs := range got {
+		if len(seqs) != steps {
+			t.Fatalf("member %d saw %d steps, want %d (%v)", i, len(seqs), steps, seqs)
+		}
+		for j, s := range seqs {
+			if s != int64(j) {
+				t.Fatalf("member %d step %d = %d, want %d", i, j, s, j)
+			}
+		}
+	}
+	stats := h.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("hub sees %d consumers, want 1 (the group base): %+v", len(stats), stats)
+	}
+	if stats[0].Name != "grp" || stats[0].Delivered != steps {
+		t.Errorf("base stats = %+v, want name grp, delivered %d", stats[0], steps)
+	}
+}
+
+// TestGroupAccounting: the group holds one reference per step; it is
+// freed when the last member releases, leaving zero staged bytes.
+func TestGroupAccounting(t *testing.T) {
+	acct := metrics.NewAccountant()
+	h := NewHub(acct)
+	members, err := h.SubscribeGroup("grp", Block, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First member drains; bytes stay staged (second member pending).
+	refs := make([]*StepRef, 0, 4)
+	for i := 0; i < 4; i++ {
+		ref, err := members[0].Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+		r2, err := members[1].Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r2)
+	}
+	if got := acct.CategoryInUse("staging-hub"); got == 0 {
+		t.Error("staged bytes freed while a member still holds references")
+	}
+	for _, r := range refs {
+		r.Release()
+		r.Release() // double release must be a no-op
+	}
+	h.Close()
+	if got := acct.CategoryInUse("staging-hub"); got != 0 {
+		t.Errorf("in-use after all members released = %d, want 0", got)
+	}
+}
+
+// TestGroupDropConsistency: drop decisions are made once at the group
+// cursor, so every member sees the identical (possibly shortened)
+// subsequence — the property that keeps a parallel endpoint's
+// collectives matched.
+func TestGroupDropConsistency(t *testing.T) {
+	h := NewHub(nil)
+	members, err := h.SubscribeGroup("grp", DropOldest, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish 8 steps with nobody reading: the window keeps the last 2
+	// plus the deferred structure bootstrap.
+	for i := 0; i < 8; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	var want []int64
+	for i, m := range members {
+		seqs := drainMember(t, m)
+		if i == 0 {
+			want = seqs
+			if len(seqs) == 0 || seqs[0] != 0 {
+				t.Fatalf("structure step lost: %v", seqs)
+			}
+			continue
+		}
+		if fmt.Sprint(seqs) != fmt.Sprint(want) {
+			t.Fatalf("member %d saw %v, member 0 saw %v", i, seqs, want)
+		}
+	}
+	if h.Dropped() == 0 {
+		t.Error("expected drops with an unread drop-oldest window")
+	}
+}
+
+// TestGroupMemberCloseEarly: a member leaving mid-stream neither
+// blocks the survivors nor strands references; the last close shuts
+// the base cursor so the producer stops waiting on the group.
+func TestGroupMemberCloseEarly(t *testing.T) {
+	acct := metrics.NewAccountant()
+	h := NewHub(acct)
+	members, err := h.SubscribeGroup("grp", Block, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []int64, 1)
+	go func() { done <- drainMember(t, members[1]) }()
+
+	if err := h.Publish(mkStep(0)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := members[0].Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Release()
+	members[0].Close()
+
+	for i := 1; i < 6; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	seqs := <-done
+	if len(seqs) != 6 {
+		t.Fatalf("surviving member saw %d steps, want 6: %v", len(seqs), seqs)
+	}
+	if _, err := members[0].Next(); !errors.Is(err, errConsumerClosed) {
+		t.Errorf("closed member Next error = %v, want errConsumerClosed", err)
+	}
+	if got := acct.CategoryInUse("staging-hub"); got != 0 {
+		t.Errorf("in-use after drain = %d, want 0", got)
+	}
+
+	// All members gone: the base closes and the producer is released.
+	h2 := NewHub(nil)
+	ms, err := h2.SubscribeGroup("grp", Block, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Publish(mkStep(0)); err != nil {
+		t.Fatal(err)
+	}
+	ms[0].Close()
+	ms[1].Close()
+	for i := 1; i < 4; i++ { // would block forever if the base survived
+		if err := h2.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2.Close()
+}
+
+// TestGroupNetworkAttach: R readers announcing the same consumer name
+// with group=R are brokered into one group by the server's default
+// subscriber; each receives the full stream over the wire.
+func TestGroupNetworkAttach(t *testing.T) {
+	h := NewHub(nil)
+	srv, err := Serve(h, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const groupSize, steps = 3, 6
+	counts := make([]int, groupSize)
+	var wg sync.WaitGroup
+	for i := 0; i < groupSize; i++ {
+		r, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+			Consumer: "render", Policy: "block", Depth: 2, Group: groupSize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						t.Errorf("reader %d: %v", i, err)
+					}
+					return
+				}
+				counts[i]++
+			}
+		}(i, r)
+	}
+
+	// A fourth member or a size mismatch is rejected in the handshake.
+	if _, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+		Consumer: "render", Group: 2,
+	}); err == nil {
+		t.Error("group size mismatch should be rejected")
+	}
+	if _, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+		Consumer: "render", Group: groupSize,
+	}); err == nil {
+		t.Error("extra member beyond the group size should be rejected")
+	}
+
+	for i := 0; i < steps; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, n := range counts {
+		if n != steps {
+			t.Errorf("reader %d received %d steps, want %d", i, n, steps)
+		}
+	}
+}
+
+// TestGroupLogBounded: a stalled member must not let the delivery log
+// grow without bound — pulls stop at the group's policy window, the
+// base cursor lags, and the hub's single backpressure policy applies
+// to the whole group (here drop-oldest sheds steps for everyone).
+func TestGroupLogBounded(t *testing.T) {
+	acct := metrics.NewAccountant()
+	h := NewHub(acct)
+	members, err := h.SubscribeGroup("grp", DropOldest, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member 0 reads as fast as it can; member 1 never reads.
+	var delivered0 int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			ref, err := members[0].Next()
+			if err != nil {
+				return
+			}
+			delivered0++
+			ref.Release()
+		}
+	}()
+	const steps = 20
+	var stepBytes int64
+	for i := 0; i < steps; i++ {
+		s := mkStep(i)
+		stepBytes = s.Bytes()
+		if err := h.Publish(s); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Staged bytes stay within the policy window (ring window + log +
+	// bootstrap + in-flight ref), nowhere near the full stream.
+	if peak, limit := acct.CategoryPeak("staging-hub"), 8*stepBytes; peak > limit {
+		t.Errorf("staged peak %d exceeds bounded-window limit %d (log grew with the stalled member)", peak, limit)
+	}
+	if h.Dropped() == 0 {
+		t.Error("expected the lagging group cursor to shed steps under drop-oldest")
+	}
+	members[1].Close()
+	h.Close()
+	<-done
+	if delivered0 >= steps {
+		t.Errorf("member 0 received all %d steps; the stalled member should have capped the group", steps)
+	}
+}
+
+// TestGroupPartialAttachReleasesProducer: a brokered group whose
+// attached members all disconnect before the rest ever attach must
+// release its base cursor — a block-policy producer would otherwise
+// wait on the dead group forever.
+func TestGroupPartialAttachReleasesProducer(t *testing.T) {
+	h := NewHub(nil)
+	srv, err := Serve(h, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck
+	// One of three members attaches, then drops.
+	r, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+		Consumer: "render", Policy: "block", Depth: 2, Group: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// The producer must get past the dead group's depth-2 window.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 8; i++ {
+			if err := h.Publish(mkStep(i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer still blocked on a partially attached dead group")
+	}
+	h.Close()
+}
+
+// TestGroupBrokerRestart: once every attached member of a group has
+// disconnected, the name is free again — a restarted endpoint group
+// re-attaches where a single consumer would re-subscribe.
+func TestGroupBrokerRestart(t *testing.T) {
+	h := NewHub(nil)
+	srv, err := Serve(h, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(group int) (*adios.Reader, error) {
+		return adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+			Consumer: "render", Policy: "latest-only", Group: group,
+		})
+	}
+	// First incarnation: both members attach, then the endpoint dies.
+	r0, err := open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.Close()
+	r1.Close()
+
+	// Second incarnation re-attaches under the same name. As with
+	// single-consumer reconnects, the server notices a dropped reader
+	// on its next delivery attempt — publish steps until the dead
+	// pumps trip over the closed connections and free the name.
+	var n0 *adios.Reader
+	deadline := time.Now().Add(5 * time.Second)
+	seq := 0
+	for {
+		n0, err = open(2)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted group could not re-attach: %v", err)
+		}
+		if err := h.Publish(mkStep(seq)); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		time.Sleep(10 * time.Millisecond)
+	}
+	n1, err := open(2)
+	if err != nil {
+		t.Fatalf("second member of restarted group rejected: %v", err)
+	}
+	counts := make([]int, 2)
+	var wg sync.WaitGroup
+	for i, r := range []*adios.Reader{n0, n1} {
+		wg.Add(1)
+		go func(i int, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					return
+				}
+				counts[i]++
+			}
+		}(i, r)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("restarted group members received %v steps, want both > 0", counts)
+	}
+}
+
+// TestGroupConsumerAdoptsCursor: converting a pre-declared consumer
+// into a group base keeps its cursor, so steps published before the
+// group attached are still delivered to every member.
+func TestGroupConsumerAdoptsCursor(t *testing.T) {
+	h := NewHub(nil)
+	base, err := h.Subscribe("early", Block, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members, err := h.GroupConsumer(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GroupConsumer(members[0], 2); err == nil {
+		t.Error("grouping a group member should fail")
+	}
+	h.Close()
+	for i, m := range members {
+		seqs := drainMember(t, m)
+		if len(seqs) != 3 {
+			t.Errorf("member %d saw %v, want steps 0..2", i, seqs)
+		}
+	}
+}
+
+// TestGroupMemberStepSource: members satisfy intransit.StepSource via
+// BeginStep with automatic reference release.
+func TestGroupMemberStepSource(t *testing.T) {
+	acct := metrics.NewAccountant()
+	h := NewHub(acct)
+	members, err := h.SubscribeGroup("grp", Block, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := members[1].BeginStep(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+		s, err := members[0].BeginStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Step != int64(i) {
+			t.Fatalf("BeginStep returned step %d, want %d", s.Step, i)
+		}
+	}
+	h.Close()
+	if _, err := members[0].BeginStep(); !errors.Is(err, io.EOF) {
+		t.Fatalf("BeginStep after close = %v, want io.EOF", err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("member 1 ended with %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("member 1 did not reach EOF")
+	}
+}

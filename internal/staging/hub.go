@@ -65,7 +65,9 @@ func NewHub(acct *metrics.Accountant) *Hub {
 
 // Consumer is one subscriber's handle: a cursor into the hub's ring
 // plus the policy that governs how the producer and this cursor
-// interact.
+// interact. A Consumer is either direct (its own hub cursor) or a
+// member of a consumer group (see SubscribeGroup), in which case it
+// reads from the group's shared delivery log instead.
 type Consumer struct {
 	hub    *Hub
 	name   string
@@ -81,6 +83,16 @@ type Consumer struct {
 	// consumer subscribed after the structure step was published.
 	pendingBootstrap *stepEntry
 
+	// grp is non-nil for group members: Next reads the group's shared
+	// log (fed by the group's single base cursor) and grpIdx counts
+	// the entries this member has consumed. grpClaimed marks members
+	// handed to a reader; once every claimed member closes, unclaimed
+	// members are closed too so the base cursor cannot outlive a
+	// partially attached group (see closeMemberLocked).
+	grp        *groupState
+	grpIdx     int64
+	grpClaimed bool
+
 	// prev is the ref held by BeginStep between calls; owned by the
 	// consumer's single reader goroutine.
 	prev *StepRef
@@ -94,6 +106,12 @@ type StepRef struct {
 	hub      *Hub
 	e        *stepEntry
 	released bool
+
+	// ge is set for group-member views: Release decrements the log
+	// entry's member count instead of the hub reference, which is
+	// returned (through the group's base ref) by the last member.
+	ge  *groupEntry
+	grp *groupState
 }
 
 // Step returns the shared, read-only step payload.
@@ -103,10 +121,23 @@ func (r *StepRef) Step() *adios.Step { return r.e.step }
 func (r *StepRef) Release() {
 	r.hub.mu.Lock()
 	defer r.hub.mu.Unlock()
+	r.releaseLocked()
+}
+
+// releaseLocked is Release with h.mu held.
+func (r *StepRef) releaseLocked() {
 	if r.released {
 		return
 	}
 	r.released = true
+	if r.ge != nil {
+		r.ge.remaining--
+		if r.ge.remaining == 0 {
+			r.ge.ref.releaseLocked()
+			r.grp.trimLogLocked()
+		}
+		return
+	}
 	r.hub.releaseRef(r.e)
 }
 
@@ -338,29 +369,45 @@ func (c *Consumer) Next() (*StepRef, error) {
 	h := c.hub
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if c.grp != nil {
+		return c.grp.nextMemberLocked(c)
+	}
 	for {
-		if c.closed {
-			return nil, errConsumerClosed
-		}
-		if c.pendingBootstrap != nil {
-			e := c.pendingBootstrap
-			c.pendingBootstrap = nil
-			c.delivered++
-			return &StepRef{hub: h, e: e}, nil
-		}
-		if c.cursor < h.nextSeq {
-			e := h.ring[c.cursor-h.headSeq]
-			c.cursor++
-			c.delivered++
-			h.trim()
-			h.cond.Broadcast() // a Block producer may be waiting on us
-			return &StepRef{hub: h, e: e}, nil
-		}
-		if h.closed {
-			return nil, io.EOF
+		ref, err := c.tryNextLocked()
+		if ref != nil || err != nil {
+			return ref, err
 		}
 		h.cond.Wait()
 	}
+}
+
+// tryNextLocked is the non-blocking core of Next: it returns the next
+// deliverable step if one is available, (nil, nil) if the caller
+// should wait, io.EOF when the hub is closed and drained, or
+// errConsumerClosed. Caller holds h.mu.
+func (c *Consumer) tryNextLocked() (*StepRef, error) {
+	h := c.hub
+	if c.closed {
+		return nil, errConsumerClosed
+	}
+	if c.pendingBootstrap != nil {
+		e := c.pendingBootstrap
+		c.pendingBootstrap = nil
+		c.delivered++
+		return &StepRef{hub: h, e: e}, nil
+	}
+	if c.cursor < h.nextSeq {
+		e := h.ring[c.cursor-h.headSeq]
+		c.cursor++
+		c.delivered++
+		h.trim()
+		h.cond.Broadcast() // a Block producer may be waiting on us
+		return &StepRef{hub: h, e: e}, nil
+	}
+	if h.closed {
+		return nil, io.EOF
+	}
+	return nil, nil
 }
 
 // BeginStep adapts the consumer to the intransit.StepSource shape:
@@ -380,11 +427,22 @@ func (c *Consumer) BeginStep() (*adios.Step, error) {
 }
 
 // Close detaches the consumer: its undelivered references are
-// returned and the producer stops waiting on it.
+// returned and the producer stops waiting on it. Closing the last
+// member of a consumer group closes the group's base cursor.
 func (c *Consumer) Close() {
 	h := c.hub
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if c.grp != nil {
+		c.grp.closeMemberLocked(c)
+		return
+	}
+	c.closeLocked()
+}
+
+// closeLocked detaches a direct consumer with h.mu held.
+func (c *Consumer) closeLocked() {
+	h := c.hub
 	if c.closed {
 		return
 	}

@@ -15,10 +15,14 @@ import (
 )
 
 // SubscribeFunc resolves an incoming reader handshake to a hub
-// consumer. name/policy/depth are the reader's announced values (any
-// may be empty/zero); implementations typically claim a pre-registered
-// consumer by name or subscribe a new one.
-type SubscribeFunc func(name, policy string, depth int) (*Consumer, error)
+// consumer. name/policy/depth/group are the reader's announced values
+// (any may be empty/zero); implementations typically claim a
+// pre-registered consumer by name or subscribe a new one. group > 1
+// declares the reader to be one of group cooperating members of a
+// consumer group (see Hub.SubscribeGroup): the implementation must
+// hand each of the group readers announcing the same name a distinct
+// member of one shared group.
+type SubscribeFunc func(name, policy string, depth, group int) (*Consumer, error)
 
 // Server accepts any number of SST readers on one address and pumps
 // each one from its own hub consumer: the multi-consumer counterpart
@@ -40,7 +44,8 @@ type Server struct {
 // Serve starts a staging server on addr (use "127.0.0.1:0" for an
 // ephemeral port). subscribe may be nil, in which case every reader
 // gets a fresh consumer with its announced name/policy/depth (policy
-// defaults to block).
+// defaults to block), and readers announcing group > 1 are brokered
+// into shared consumer groups by name.
 func Serve(hub *Hub, addr string, subscribe SubscribeFunc) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -48,10 +53,16 @@ func Serve(hub *Hub, addr string, subscribe SubscribeFunc) (*Server, error) {
 	}
 	s := &Server{hub: hub, ln: ln, subscribe: subscribe, conns: map[net.Conn]*Consumer{}}
 	if s.subscribe == nil {
-		s.subscribe = func(name, policy string, depth int) (*Consumer, error) {
+		var broker groupBroker
+		s.subscribe = func(name, policy string, depth, group int) (*Consumer, error) {
 			p, err := ParsePolicy(policy)
 			if err != nil {
 				return nil, err
+			}
+			if group > 1 {
+				return broker.attach(hub, name, group, func() (*Consumer, error) {
+					return hub.Subscribe(name, p, depth)
+				})
 			}
 			return hub.Subscribe(name, p, depth)
 		}
@@ -129,7 +140,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Bind before replying so a failed subscription is rejected in the
 	// handshake (the client would otherwise read a closed connection
 	// as a clean, empty end-of-stream).
-	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth)
+	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth, h.Group)
 	if err != nil {
 		err = fmt.Errorf("staging: consumer %q: %w", h.Consumer, err)
 		s.setErr(err)

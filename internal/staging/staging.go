@@ -19,10 +19,18 @@
 //   - latest-only: a drop-oldest window of one — visualization-style
 //     consumers always render the freshest state.
 //
-// Entry points: NewHub/Subscribe/Publish for programmatic use, the
-// "staging" analysis type (adaptor.go) for Listing-1 XML configuration,
-// and Serve (server.go) for network consumers speaking the adios/SST
-// wire protocol, so `internal/intransit` endpoints attach through the
+// A consumer may also be a group of R cooperating readers (a parallel
+// endpoint's ranks): SubscribeGroup keeps ONE cursor and one policy
+// window on the hub and delivers every step to all R members under a
+// single reference count, so the members are guaranteed the identical
+// step sequence — the property that keeps a sharded endpoint's
+// per-step collectives matched (see groups.go and DESIGN.md).
+//
+// Entry points: NewHub/Subscribe/SubscribeGroup/Publish for
+// programmatic use, the "staging" analysis type (adaptor.go) for
+// Listing-1 XML configuration, and Serve (server.go) for network
+// consumers speaking the adios/SST wire protocol (specified in
+// DESIGN.md), so `internal/intransit` endpoints attach through the
 // same contact-file rendezvous as direct SST streams.
 package staging
 
