@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -37,9 +37,10 @@ func main() {
 	consumers := flag.String("consumers", "1,2,4,8", "comma-separated consumer counts for the fan-out comparison")
 	delay := flag.Duration("consumer-delay", 2*time.Millisecond, "per-step endpoint processing time in the fan-out comparison")
 	endpointRanks := flag.String("endpoint-ranks", "1,2,4", "comma-separated endpoint group sizes for the endpoint-scaling sweep")
+	requested := flag.String("requested", "1,2,4", "comma-separated requested-array counts for the subset sweep (full run added automatically)")
 	flag.Parse()
 
-	if err := run(*fig, *out, *ranksFlag, *steps, *interval, *refine, *order, *imagePx, *consumers, *delay, *endpointRanks); err != nil {
+	if err := run(*fig, *out, *ranksFlag, *steps, *interval, *refine, *order, *imagePx, *consumers, *delay, *endpointRanks, *requested); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
@@ -70,7 +71,7 @@ func writeCSV(dir, name string, t *metrics.Table) error {
 	return nil
 }
 
-func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int, consumers string, delay time.Duration, endpointRanks string) error {
+func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int, consumers string, delay time.Duration, endpointRanks, requested string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -78,7 +79,8 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 	wantInTransit := fig == "all" || fig == "5" || fig == "6"
 	wantFanout := fig == "all" || fig == "fanout"
 	wantEndpoint := fig == "all" || fig == "endpoint-scaling" || fig == "endpoint"
-	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint {
+	wantSubset := fig == "all" || fig == "subset"
+	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -238,6 +240,41 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 				float64(last.TimeToImage.Microseconds())/1000, last.EndpointRanks,
 				float64(first.TimeToImage)/float64(last.TimeToImage))
 		}
+	}
+	if wantSubset {
+		counts, err := parseRanks(requested, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		cfg := bench.SubsetConfig{}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		fmt.Printf("running array-subsetting sweep (requested %v of 6 advertised)...\n", counts)
+		results, err := bench.RunSubsetMatrix(counts, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.SubsetTable(results)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "subset.csv", t); err != nil {
+			return err
+		}
+		// Like the endpoint sweep, an explicit subset run also drops the
+		// artifact in the working directory, where harnesses look for it.
+		paths := []string{filepath.Join(out, "BENCH_subset.json")}
+		if fig != "all" {
+			paths = append(paths, "BENCH_subset.json")
+		}
+		for _, path := range paths {
+			if err := writeJSON(path, func(w *os.File) error {
+				return bench.WriteSubsetJSON(w, cfg, results)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
 	}
 	fmt.Printf("artifacts in %s\n", out)
 	return nil

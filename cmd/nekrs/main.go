@@ -123,7 +123,19 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 					st.Step, st.Time, st.CFL, st.PressureIters, st.ViscousIters)
 			}
 			if bridge != nil {
-				return bridge.Update(st.Step, st.Time)
+				stop, err := bridge.Update(st.Step, st.Time)
+				if err != nil {
+					return err
+				}
+				if stop {
+					// An analysis requested a clean stop: the trigger
+					// is deterministic, so every rank stops at the
+					// same step and the collectives stay matched.
+					if rank == 0 {
+						fmt.Printf("analysis requested stop at step %d\n", st.Step)
+					}
+					return nekrs.ErrStop
+				}
 			}
 			return nil
 		})
@@ -142,6 +154,9 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 			fmt.Printf("done: %d steps, KE=%.6g, peak mem/rank=%s, storage=%s in %d files\n",
 				steps, ke, metrics.HumanBytes(sim.Acct.Peak()),
 				metrics.HumanBytes(sim.Storage.Bytes()), sim.Storage.Files())
+			if bridge != nil {
+				bridge.Analysis().PullTable().Render(os.Stdout)
+			}
 		} else {
 			// Collective KE call must be matched on every rank.
 			sim.Solver.KineticEnergy()

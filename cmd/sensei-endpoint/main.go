@@ -24,6 +24,12 @@
 //
 //     sensei-endpoint -contact run/contact.txt -config endpoint.xml \
 //     -consumer render:block:2 -group 4
+//
+// In every mode, -arrays (or the 4th, +-separated field of a
+// -consumer spec) declares the array subset this endpoint needs: the
+// producer ships only those arrays — the requirements-driven data
+// plane's wire savings — and rejects the handshake if one of them is
+// not advertised.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,6 +65,7 @@ type options struct {
 	consumers int
 	group     int
 	name      string
+	arrays    []string // array subset declared in the reader hello
 
 	staged bool // a staging policy or consumer spec was given
 }
@@ -78,7 +86,8 @@ func parseArgs(argv []string) (*options, error) {
 	fs.IntVar(&o.consumers, "consumers", 1, "independent consumer replicas (staged fan-out mode)")
 	fs.IntVar(&o.group, "group", 1, "cooperating endpoint ranks claiming one consumer name as a group (staged mode)")
 	fs.StringVar(&o.name, "name", "endpoint", "consumer name announced to the hub")
-	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth]]" (shorthand for -name/-policy/-depth, enables staged mode)`)
+	arraysFlag := fs.String("arrays", "", "comma-separated array subset to request in the reader hello (empty = every published array)")
+	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth[:arrays]]]" (shorthand for -name/-policy/-depth/-arrays with +-separated arrays, enables staged mode)`)
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
 	}
@@ -88,9 +97,16 @@ func parseArgs(argv []string) (*options, error) {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
+	if *arraysFlag != "" {
+		for _, a := range strings.Split(*arraysFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				o.arrays = append(o.arrays, a)
+			}
+		}
+	}
 	if *spec != "" {
-		if set["policy"] || set["depth"] || set["name"] {
-			return nil, fmt.Errorf("-consumer replaces -name/-policy/-depth; do not combine them")
+		if set["policy"] || set["depth"] || set["name"] || set["arrays"] {
+			return nil, fmt.Errorf("-consumer replaces -name/-policy/-depth/-arrays; do not combine them")
 		}
 		specs, err := staging.ParseConsumers(*spec)
 		if err != nil {
@@ -102,6 +118,7 @@ func parseArgs(argv []string) (*options, error) {
 		o.name = specs[0].Name
 		o.policy = specs[0].Policy.String()
 		o.depth = specs[0].Depth
+		o.arrays = specs[0].Arrays
 		o.staged = true
 	}
 	if o.policy != "" {
@@ -185,7 +202,7 @@ func runDirect(o *options) error {
 		rank := comm.Rank()
 		var readers []*adios.Reader
 		for s := 0; s < perRank; s++ {
-			r, err := adios.OpenReader(addrs[rank*perRank+s])
+			r, err := adios.OpenReaderWith(addrs[rank*perRank+s], adios.ReaderOptions{Arrays: o.arrays})
 			if err != nil {
 				errs[rank] = err
 				return
@@ -264,7 +281,7 @@ func runStaged(o *options) error {
 			}()
 			for _, addr := range addrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
-					Consumer: consumerName, Policy: o.policy, Depth: o.depth,
+					Consumer: consumerName, Policy: o.policy, Depth: o.depth, Arrays: o.arrays,
 				})
 				if err != nil {
 					errs[i] = err
@@ -343,7 +360,7 @@ func runGroup(o *options) error {
 			}
 			for _, addr := range addrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
-					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: ranks,
+					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: ranks, Arrays: o.arrays,
 				})
 				if err != nil {
 					cleanup()

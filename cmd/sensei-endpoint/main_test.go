@@ -80,7 +80,28 @@ func TestParseArgs(t *testing.T) {
 		{name: "spec with bad policy", argv: []string{"-consumer", "a:warp"}, wantErr: "unknown policy"},
 		{name: "spec with bad depth", argv: []string{"-consumer", "a:block:zero"}, wantErr: "bad depth"},
 		{name: "spec with negative depth", argv: []string{"-consumer", "a:block:-1"}, wantErr: "bad depth"},
-		{name: "spec with too many fields", argv: []string{"-consumer", "a:block:2:extra"}, wantErr: "want name[:policy[:depth]]"},
+		{
+			name: "spec with arrays subset",
+			argv: []string{"-consumer", "viz:latest-only:1:pressure+velocity_x"},
+			check: func(o *options) string {
+				if len(o.arrays) != 2 || o.arrays[0] != "pressure" || o.arrays[1] != "velocity_x" {
+					return "want arrays [pressure velocity_x]"
+				}
+				return ""
+			},
+		},
+		{
+			name: "arrays flag",
+			argv: []string{"-policy", "block", "-arrays", "pressure, temperature"},
+			check: func(o *options) string {
+				if len(o.arrays) != 2 || o.arrays[1] != "temperature" {
+					return "want arrays [pressure temperature]"
+				}
+				return ""
+			},
+		},
+		{name: "spec with too many fields", argv: []string{"-consumer", "a:block:2:x:y"}, wantErr: "want name[:policy[:depth[:arrays]]]"},
+		{name: "spec conflicts with arrays flag", argv: []string{"-consumer", "a:block:2:x", "-arrays", "y"}, wantErr: "do not combine"},
 		{name: "spec with empty name", argv: []string{"-consumer", ":block"}, wantErr: "empty name"},
 		{name: "two specs", argv: []string{"-consumer", "a:block,b:block"}, wantErr: "exactly one spec"},
 		{name: "spec conflicts with policy flag", argv: []string{"-consumer", "a:block", "-policy", "block"}, wantErr: "do not combine"},

@@ -20,22 +20,26 @@
 //     with -consumer name:policy:depth -group R it runs one parallel
 //     endpoint of R sharded ranks
 //   - cmd/figures — regenerate Figures 2/3/5/6, the storage table,
-//     the fan-out comparison (BENCH_fanout.json), and the
-//     endpoint-scaling sweep (BENCH_endpoint.json)
+//     the fan-out comparison (BENCH_fanout.json), the
+//     endpoint-scaling sweep (BENCH_endpoint.json), and the
+//     array-subsetting sweep (BENCH_subset.json)
 //   - examples/ — quickstart, pb146, rbc-intransit, histogram, fanout
 //     (one simulation feeding histogram + probe + render consumers
 //     through the staging hub), and endpoint-group (a 4-rank parallel
 //     endpoint compositing one PNG per step)
 //
-// Key packages: internal/sensei (DataAdaptor/AnalysisAdaptor and the
-// XML-configurable multiplexer), internal/core (the nek_sensei
-// coupling bridge), internal/adios + internal/intransit (the SST
-// transport, the serial endpoint, and the parallel endpoint group),
+// Key packages: internal/sensei (DataAdaptor, the requirements-driven
+// Analysis contract — declare-what-you-need Describe, pull-once
+// shared Steps, stop signal — and the XML-configurable planner),
+// internal/core (the nek_sensei coupling bridge), internal/adios +
+// internal/intransit (the SST transport with array subsetting on the
+// wire, the serial endpoint, and the parallel endpoint group),
 // internal/staging (the multi-consumer hub: ring buffer,
 // reference-counted zero-copy payloads, block / drop-oldest /
-// latest-only policies, consumer groups), internal/render (rasterizer
-// and binary-swap compositing), and internal/bench (the figure
-// harness plus the fan-out and endpoint-scaling studies).
+// latest-only policies, consumer groups, per-consumer array subsets),
+// internal/render (rasterizer and binary-swap compositing), and
+// internal/bench (the figure harness plus the fan-out,
+// endpoint-scaling, and array-subsetting studies).
 //
 // README.md is the front door (architecture, quickstarts, figure
 // regeneration); the package inventory, the wire-protocol

@@ -147,7 +147,8 @@ func run() error {
 			return
 		}
 		err = sim.Run(steps, func(st fluid.StepStats) error {
-			return bridge.Update(st.Step, st.Time)
+			_, err := bridge.Update(st.Step, st.Time)
+			return err
 		})
 		if err == nil {
 			err = bridge.Finalize()

@@ -48,16 +48,24 @@ func run() error {
 			return
 		}
 		errs[rank] = sim.Run(30, func(st fluid.StepStats) error {
-			return bridge.Update(st.Step, st.Time)
+			_, err := bridge.Update(st.Step, st.Time)
+			return err
 		})
 		if errs[rank] != nil {
 			return
 		}
-		// Run one final histogram directly so the example can render it.
+		// Run one final histogram directly so the example can render
+		// it: pull a Step satisfying the histogram's own declared
+		// requirements, the same path the planner takes.
 		h := sensei.NewHistogram(ctx, "mesh", "temperature", 16)
 		da := bridge.DataAdaptor()
 		da.SetStep(sim.Solver.StepCount(), sim.Solver.Time())
-		if _, err := h.Execute(da); err != nil {
+		step, err := sensei.Pull(da, h.Describe(), nil)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		if _, err := h.Execute(step); err != nil {
 			errs[rank] = err
 			return
 		}

@@ -67,7 +67,13 @@ func run() error {
 	da := core.NewNekDataAdaptor(sim.Solver, sim.Acct)
 	da.SetStep(sim.Solver.StepCount(), sim.Solver.Time())
 	adaptor := catalyst.New(ctx, "mesh", pipelines)
-	if _, err := adaptor.Execute(da); err != nil {
+	// Pull a Step satisfying the adaptor's declared requirements — the
+	// same pull-once path the ConfigurableAnalysis planner takes.
+	step, err := sensei.Pull(da, adaptor.Describe(), nil)
+	if err != nil {
+		return err
+	}
+	if _, err := adaptor.Execute(step); err != nil {
 		return err
 	}
 	fmt.Printf("\nwrote %d image(s) to quickstart-out/ (%s)\n",

@@ -30,7 +30,16 @@ type Hello struct {
 	Policy   string `json:"policy,omitempty"`
 	Depth    int    `json:"depth,omitempty"`
 	Group    int    `json:"group,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// Arrays is the reader's declared array subset: only the named
+	// arrays travel on this connection (the structure step is always
+	// shipped whole). Empty means every array the producer publishes.
+	// A producer that advertises its array set rejects a hello naming
+	// an unadvertised array. On a direct (single-reader) writer the
+	// subset takes effect at the producer's next marshal: steps staged
+	// before the handshake arrived — at most the writer's queue depth
+	// — still carry the full configured set.
+	Arrays []string `json:"arrays,omitempty"`
+	Error  string   `json:"error,omitempty"`
 }
 
 // SpliceHandshake builds the data-plane reader that follows a JSON
@@ -61,6 +70,11 @@ type WriterOptions struct {
 	// Acct, when non-nil, tracks staged bytes under "sst-queue" — the
 	// simulation-node memory overhead Figure 6 measures.
 	Acct *metrics.Accountant
+	// Advertise lists the arrays this producer can supply. When set, a
+	// reader handshake requesting an array outside the list is rejected
+	// (Role "rejected" with the offending name); when nil, any request
+	// is accepted and resolution is deferred to the producer's Execute.
+	Advertise []string
 }
 
 // Writer is the producer side of an SST stream. The writer listens and
@@ -78,8 +92,43 @@ type Writer struct {
 	stepsSent int64
 	closed    bool
 	accepted  bool
+	reqArrays []string // the reader's declared subset, nil until known
 
 	done chan struct{}
+}
+
+// UnadvertisedArrayError reports a reader handshake requesting an
+// array the producer does not advertise.
+type UnadvertisedArrayError struct {
+	Array     string
+	Advertise []string
+}
+
+func (e *UnadvertisedArrayError) Error() string {
+	return fmt.Sprintf("adios: requested array %q is not advertised (have %v)", e.Array, e.Advertise)
+}
+
+// CheckAdvertised validates a requested subset against an advertised
+// array set; nil advertise accepts anything. Shared by every server
+// speaking this wire protocol (the direct Writer here and the staging
+// hub) so the rejection rule stays identical.
+func CheckAdvertised(requested, advertise []string) error {
+	if advertise == nil {
+		return nil
+	}
+	for _, want := range requested {
+		ok := false
+		for _, have := range advertise {
+			if want == have {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return &UnadvertisedArrayError{Array: want, Advertise: advertise}
+		}
+	}
+	return nil
 }
 
 // ListenWriter starts a writer listening on addr (use "127.0.0.1:0"
@@ -121,6 +170,16 @@ func (w *Writer) StepsSent() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.stepsSent
+}
+
+// RequestedArrays reports the array subset the connected reader
+// declared in its handshake: nil while no reader has connected or
+// when the reader wants everything. The producer's send adaptor
+// consults this per step to marshal only the requested arrays.
+func (w *Writer) RequestedArrays() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reqArrays
 }
 
 func (w *Writer) setErr(err error) {
@@ -165,6 +224,17 @@ func (w *Writer) serve() {
 		return
 	}
 	enc := json.NewEncoder(conn)
+	if err := CheckAdvertised(h.Arrays, w.opts.Advertise); err != nil {
+		enc.Encode(Hello{Type: "hello", Role: "rejected", Error: err.Error()}) //nolint:errcheck // best-effort reject
+		w.setErr(err)
+		w.drain()
+		return
+	}
+	if len(h.Arrays) > 0 {
+		w.mu.Lock()
+		w.reqArrays = append([]string(nil), h.Arrays...)
+		w.mu.Unlock()
+	}
 	if err := enc.Encode(Hello{Type: "hello", Role: "writer", Engine: "sst", Marshal: "bp"}); err != nil {
 		w.setErr(err)
 		w.drain()
@@ -290,6 +360,11 @@ type ReaderOptions struct {
 	// step of the named consumer's stream to all Group readers under
 	// one cursor (a parallel endpoint's ranks attach this way).
 	Group int
+	// Arrays declares the array subset this reader needs: the producer
+	// ships only these (structure step excepted), and rejects the
+	// handshake if one of them is not advertised. Empty requests every
+	// published array.
+	Arrays []string
 }
 
 // OpenReader connects to a writer's advertised address and completes
@@ -307,7 +382,8 @@ func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 	}
 	enc := json.NewEncoder(conn)
 	h0 := Hello{Type: "hello", Role: "reader",
-		Consumer: opts.Consumer, Policy: opts.Policy, Depth: opts.Depth, Group: opts.Group}
+		Consumer: opts.Consumer, Policy: opts.Policy, Depth: opts.Depth,
+		Group: opts.Group, Arrays: opts.Arrays}
 	if err := enc.Encode(h0); err != nil {
 		conn.Close()
 		return nil, err

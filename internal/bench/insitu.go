@@ -168,7 +168,8 @@ func RunInSitu(mode InSituMode, cfg InSituConfig) (InSituResult, error) {
 				return
 			}
 			hook = func(st fluid.StepStats) error {
-				return bridge.Update(st.Step, st.Time)
+				_, err := bridge.Update(st.Step, st.Time)
+				return err
 			}
 			defer bridge.Finalize() //nolint:errcheck // nothing to surface here
 		}

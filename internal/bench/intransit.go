@@ -265,7 +265,8 @@ func RunInTransit(mode InTransitMode, cfg InTransitConfig) (InTransitResult, err
 		}
 		start := time.Now()
 		err = sim.Run(c.Steps, func(st fluid.StepStats) error {
-			return bridge.Update(st.Step, st.Time)
+			_, err := bridge.Update(st.Step, st.Time)
+			return err
 		})
 		stepTimes[rank] = time.Since(start) / time.Duration(c.Steps)
 		if err != nil {

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/staging"
+)
+
+// SubsetConfig parameterizes one array-subsetting measurement: one
+// producer publishing steps of Advertised equal-sized arrays through a
+// staging hub, and Consumers network readers that each declare the
+// same Requested-array subset in their hello. The comparison across
+// Requested values (full vs subset at equal step counts) is the wire
+// side of the requirements-driven data plane: bytes-on-wire should
+// scale with what consumers declared, not with what the producer has.
+type SubsetConfig struct {
+	Advertised int // arrays published per step (default 6)
+	Consumers  int // subset readers per run (default 2)
+	Steps      int // timesteps to stream (default 40)
+	PayloadF64 int // float64s per array per step (default 8192 = 64 KiB)
+}
+
+func (c *SubsetConfig) withDefaults() SubsetConfig {
+	out := *c
+	if out.Advertised == 0 {
+		out.Advertised = 6
+	}
+	if out.Consumers == 0 {
+		out.Consumers = 2
+	}
+	if out.Steps == 0 {
+		out.Steps = 40
+	}
+	if out.PayloadF64 == 0 {
+		out.PayloadF64 = 8192
+	}
+	return out
+}
+
+// SubsetResult is one row of the subsetting comparison.
+type SubsetResult struct {
+	Requested  int // arrays each consumer declared (== Advertised for full)
+	Advertised int
+	Consumers  int
+	Steps      int
+
+	// ProducerWall/ProducerMBps measure the publish loop (payload
+	// counted once per step, all advertised arrays).
+	ProducerWall time.Duration
+	ProducerMBps float64
+
+	// WireBytesPerConsumer is the mean marshaled bytes shipped to one
+	// consumer over the run (from the hub's per-consumer accounting).
+	WireBytesPerConsumer int64
+	Delivered            int64
+}
+
+// subsetArrayNames names the advertised arrays a0..a<n-1>.
+func subsetArrayNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("a%d", i)
+	}
+	return out
+}
+
+// subsetStep builds one synthetic timestep carrying every advertised
+// array; step 0 carries a structure payload like a real stream.
+func subsetStep(seq int, names []string, width int) *adios.Step {
+	s := &adios.Step{
+		Step:  int64(seq),
+		Time:  float64(seq),
+		Attrs: map[string]string{},
+	}
+	if seq == 0 {
+		s.Attrs["structure"] = "1"
+		s.Vars = append(s.Vars, adios.NewF64("points", make([]float64, 3*width)))
+	}
+	for _, n := range names {
+		data := make([]float64, width)
+		for i := range data {
+			data[i] = float64(seq*width + i)
+		}
+		s.Vars = append(s.Vars, adios.NewF64("array/"+n, data))
+	}
+	return s
+}
+
+// RunSubset streams one configuration: every consumer declares the
+// first `requested` of the advertised arrays (requested >= Advertised
+// means a full consumer, no subset in the hello).
+func RunSubset(cfg SubsetConfig, requested int) (SubsetResult, error) {
+	c := cfg.withDefaults()
+	if requested < 1 || requested > c.Advertised {
+		requested = c.Advertised
+	}
+	names := subsetArrayNames(c.Advertised)
+	var declared []string
+	if requested < c.Advertised {
+		declared = names[:requested]
+	}
+
+	hub := staging.NewHub(nil)
+	hub.SetAdvertised(names)
+	srv, err := staging.Serve(hub, "127.0.0.1:0", nil)
+	if err != nil {
+		return SubsetResult{}, err
+	}
+	errs := make([]error, c.Consumers)
+	var wg sync.WaitGroup
+	for i := 0; i < c.Consumers; i++ {
+		r, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+			Consumer: fmt.Sprintf("sub-%d", i),
+			Policy:   staging.Block.String(),
+			Depth:    4,
+			Arrays:   declared,
+		})
+		if err != nil {
+			return SubsetResult{}, err
+		}
+		wg.Add(1)
+		go func(i int, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						errs[i] = err
+					}
+					return
+				}
+			}
+		}(i, r)
+	}
+
+	var payload int64
+	start := time.Now()
+	for s := 0; s < c.Steps; s++ {
+		step := subsetStep(s, names, c.PayloadF64)
+		payload += step.Bytes()
+		if err := hub.Publish(step); err != nil {
+			return SubsetResult{}, err
+		}
+	}
+	wall := time.Since(start)
+	if err := hub.Close(); err != nil {
+		return SubsetResult{}, err
+	}
+	if err := srv.Close(); err != nil {
+		return SubsetResult{}, err
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return SubsetResult{}, err
+		}
+	}
+	res := SubsetResult{
+		Requested: requested, Advertised: c.Advertised,
+		Consumers: c.Consumers, Steps: c.Steps,
+		ProducerWall: wall, ProducerMBps: mbps(payload, wall),
+	}
+	var wire int64
+	for _, s := range hub.Stats() {
+		res.Delivered += s.Delivered
+		wire += s.WireBytes
+	}
+	if c.Consumers > 0 {
+		res.WireBytesPerConsumer = wire / int64(c.Consumers)
+	}
+	return res, nil
+}
+
+// RunSubsetMatrix sweeps requested-array counts (e.g. 1, 2, 4 of 6
+// advertised, plus the full run) with everything else held fixed, so
+// rows compare bytes-on-wire for subset vs full consumers at equal
+// step counts.
+func RunSubsetMatrix(requestCounts []int, base SubsetConfig) ([]SubsetResult, error) {
+	c := base.withDefaults()
+	seen := map[int]bool{}
+	var out []SubsetResult
+	for _, k := range append(append([]int(nil), requestCounts...), c.Advertised) {
+		if k < 1 || k > c.Advertised {
+			k = c.Advertised
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		res, err := RunSubset(base, k)
+		if err != nil {
+			return nil, fmt.Errorf("bench: subset %d/%d: %w", k, c.Advertised, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SubsetTable renders the subsetting comparison; the "vs full" column
+// is each row's wire volume relative to the full-array consumer.
+func SubsetTable(results []SubsetResult) *metrics.Table {
+	var full int64
+	for _, r := range results {
+		if r.Requested == r.Advertised {
+			full = r.WireBytesPerConsumer
+		}
+	}
+	t := metrics.NewTable("Array subsetting: bytes-on-wire per consumer (declared requirements)",
+		"requested", "advertised", "consumers", "producer wall [ms]", "producer MB/s",
+		"wire bytes/consumer", "vs full")
+	for _, r := range results {
+		rel := "—"
+		if full > 0 {
+			rel = fmt.Sprintf("%.3fx", float64(r.WireBytesPerConsumer)/float64(full))
+		}
+		t.AddRow(r.Requested, r.Advertised, r.Consumers,
+			fmt.Sprintf("%.1f", float64(r.ProducerWall.Microseconds())/1000),
+			fmt.Sprintf("%.1f", r.ProducerMBps),
+			metrics.HumanBytes(r.WireBytesPerConsumer), rel)
+	}
+	return t
+}
+
+// WriteSubsetJSON emits the sweep as the BENCH_subset.json artifact.
+func WriteSubsetJSON(w io.Writer, cfg SubsetConfig, results []SubsetResult) error {
+	c := cfg.withDefaults()
+	type row struct {
+		Requested            int     `json:"requested"`
+		Advertised           int     `json:"advertised"`
+		Consumers            int     `json:"consumers"`
+		Steps                int     `json:"steps"`
+		ProducerWallMs       float64 `json:"producer_wall_ms"`
+		ProducerMBps         float64 `json:"producer_mbps"`
+		WireBytesPerConsumer int64   `json:"wire_bytes_per_consumer"`
+		WireVsFull           float64 `json:"wire_vs_full"`
+		Delivered            int64   `json:"delivered"`
+	}
+	var full int64
+	for _, r := range results {
+		if r.Requested == r.Advertised {
+			full = r.WireBytesPerConsumer
+		}
+	}
+	doc := struct {
+		Figure string `json:"figure"`
+		Config struct {
+			Advertised int `json:"advertised"`
+			Consumers  int `json:"consumers"`
+			Steps      int `json:"steps"`
+			PayloadF64 int `json:"payload_f64_per_array"`
+		} `json:"config"`
+		Rows []row `json:"rows"`
+	}{Figure: "subset"}
+	doc.Config.Advertised = c.Advertised
+	doc.Config.Consumers = c.Consumers
+	doc.Config.Steps = c.Steps
+	doc.Config.PayloadF64 = c.PayloadF64
+	for _, r := range results {
+		rel := 0.0
+		if full > 0 {
+			rel = float64(r.WireBytesPerConsumer) / float64(full)
+		}
+		doc.Rows = append(doc.Rows, row{
+			Requested: r.Requested, Advertised: r.Advertised,
+			Consumers: r.Consumers, Steps: r.Steps,
+			ProducerWallMs:       float64(r.ProducerWall.Microseconds()) / 1000,
+			ProducerMBps:         r.ProducerMBps,
+			WireBytesPerConsumer: r.WireBytesPerConsumer,
+			WireVsFull:           rel,
+			Delivered:            r.Delivered,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

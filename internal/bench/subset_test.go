@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSubsetMatrix: subset consumers receive fewer bytes on the
+// wire than full consumers at equal step counts — the acceptance
+// property behind BENCH_subset.json.
+func TestRunSubsetMatrix(t *testing.T) {
+	cfg := SubsetConfig{Advertised: 6, Consumers: 2, Steps: 6, PayloadF64: 512}
+	results, err := RunSubsetMatrix([]int{1, 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: requested 1, 4, and the automatic full run (6).
+	if len(results) != 3 {
+		t.Fatalf("got %d rows, want 3", len(results))
+	}
+	var full, one SubsetResult
+	for _, r := range results {
+		if r.Steps != cfg.Steps || r.Delivered != int64(cfg.Steps*cfg.Consumers) {
+			t.Errorf("row %d/%d: steps=%d delivered=%d", r.Requested, r.Advertised, r.Steps, r.Delivered)
+		}
+		switch r.Requested {
+		case 1:
+			one = r
+		case 6:
+			full = r
+		}
+	}
+	if one.WireBytesPerConsumer == 0 || full.WireBytesPerConsumer == 0 {
+		t.Fatal("missing wire accounting")
+	}
+	if one.WireBytesPerConsumer >= full.WireBytesPerConsumer {
+		t.Errorf("subset wire bytes %d >= full %d: no savings",
+			one.WireBytesPerConsumer, full.WireBytesPerConsumer)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSubsetJSON(&buf, cfg, results); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Figure string `json:"figure"`
+		Rows   []struct {
+			Requested  int     `json:"requested"`
+			WireVsFull float64 `json:"wire_vs_full"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Figure != "subset" || len(doc.Rows) != 3 {
+		t.Errorf("artifact = %s", buf.String())
+	}
+	for _, r := range doc.Rows {
+		if r.Requested < 6 && r.WireVsFull >= 1 {
+			t.Errorf("requested %d: wire_vs_full = %v, want < 1", r.Requested, r.WireVsFull)
+		}
+	}
+	if SubsetTable(results).String() == "" || !strings.Contains(SubsetTable(results).String(), "vs full") {
+		t.Error("subset table missing")
+	}
+}

@@ -198,7 +198,7 @@ func New(ctx *sensei.Context, meshName string, pipelines []Pipeline) *Adaptor {
 }
 
 func init() {
-	sensei.Register("catalyst", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+	sensei.Register("catalyst", func(ctx *sensei.Context, attrs map[string]string) (sensei.Analysis, error) {
 		path := attrs["filename"]
 		if path == "" {
 			return nil, fmt.Errorf("catalyst: filename attribute (pipeline script) required")
@@ -247,24 +247,32 @@ func (a *Adaptor) computeBounds(g *vtkdata.UnstructuredGrid) {
 	a.haveBounds = true
 }
 
-// Execute implements sensei.AnalysisAdaptor: pulls the needed arrays
-// through the data adaptor, runs each pipeline's filter, renders
-// locally, composites, and writes PNGs on rank 0.
-func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
-	g, err := da.Mesh(a.meshName, true)
+// fields lists every array any pipeline reads (color and contour
+// fields), with duplicates.
+func (a *Adaptor) fields() []string {
+	var out []string
+	for _, p := range a.pipelines {
+		out = append(out, p.Field)
+		if p.Contour != nil && p.Contour.Field != p.Field {
+			out = append(out, p.Contour.Field)
+		}
+	}
+	return out
+}
+
+// Describe implements sensei.Analysis: every field any pipeline
+// colors by or contours on (the Requirements union deduplicates).
+func (a *Adaptor) Describe() sensei.Requirements {
+	return sensei.RequireArrays(a.meshName, sensei.AssocPoint, a.fields()...)
+}
+
+// Execute implements sensei.Analysis: runs each pipeline's filter over
+// the shared pulled step, renders locally, composites, and writes PNGs
+// on rank 0.
+func (a *Adaptor) Execute(st *sensei.Step) (bool, error) {
+	g, err := st.Mesh(a.meshName)
 	if err != nil {
 		return false, err
-	}
-	// Attach every array any pipeline needs (deduplicated by AddArray).
-	for _, p := range a.pipelines {
-		if err := da.AddArray(g, a.meshName, sensei.AssocPoint, p.Field); err != nil {
-			return false, err
-		}
-		if p.Contour != nil && p.Contour.Field != p.Field {
-			if err := da.AddArray(g, a.meshName, sensei.AssocPoint, p.Contour.Field); err != nil {
-				return false, err
-			}
-		}
 	}
 	a.computeBounds(g)
 
@@ -318,7 +326,7 @@ func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
 		if final != nil {
 			name := p.Output
 			if strings.Contains(name, "%") {
-				name = fmt.Sprintf(p.Output, da.TimeStep())
+				name = fmt.Sprintf(p.Output, st.TimeStep())
 			}
 			if err := a.writePNG(name, final); err != nil {
 				return false, err
@@ -328,7 +336,7 @@ func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
 		a.ctx.Acct.Free("catalyst-fb", fb.Bytes())
 		a.ctx.Acct.Free("catalyst-geom", soup.Bytes())
 	}
-	return true, nil
+	return false, nil
 }
 
 func (a *Adaptor) writePNG(name string, fb *render.Framebuffer) error {
@@ -353,5 +361,5 @@ func (a *Adaptor) writePNG(name string, fb *render.Framebuffer) error {
 	return nil
 }
 
-// Finalize implements sensei.AnalysisAdaptor.
+// Finalize implements sensei.Analysis.
 func (a *Adaptor) Finalize() error { return nil }

@@ -105,8 +105,11 @@ func TestExecuteWritesImages(t *testing.T) {
 	a := New(ctx, "mesh", ps)
 	da := core.NewNekDataAdaptor(s, acct)
 	da.SetStep(100, 0.1)
-	ok, err := a.Execute(da)
-	if err != nil || !ok {
+	st, err := sensei.Pull(da, a.Describe(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Execute(st); err != nil {
 		t.Fatal(err)
 	}
 	if a.ImagesWritten() != 2 {
@@ -158,7 +161,12 @@ func TestExecuteParallelComposite(t *testing.T) {
 		a := New(ctx, "mesh", ps)
 		da := core.NewNekDataAdaptor(s, acct)
 		da.SetStep(7, 0.007)
-		if _, err := a.Execute(da); err != nil {
+		st, err := sensei.Pull(da, a.Describe(), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := a.Execute(st); err != nil {
 			t.Error(err)
 			return
 		}

@@ -147,8 +147,12 @@ func TestVTUCheckpointWritesPieces(t *testing.T) {
 		ck := NewVTUCheckpoint(ctx, "mesh", []string{"pressure", "velocity_x"}, "ckpt")
 		da := core.NewNekDataAdaptor(s, acct)
 		da.SetStep(5, 0.005)
-		ok, err := ck.Execute(da)
-		if err != nil || !ok {
+		st, err := sensei.Pull(da, ck.Describe(), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := ck.Execute(st); err != nil {
 			t.Error(err)
 			return
 		}
@@ -197,7 +201,11 @@ func TestVTUCheckpointAllArraysDefault(t *testing.T) {
 	}
 	ck := NewVTUCheckpoint(ctx, "", nil, "")
 	da := core.NewNekDataAdaptor(s, acct)
-	if _, err := ck.Execute(da); err != nil {
+	st, err := sensei.Pull(da, ck.Describe(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Execute(st); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(filepath.Join(dir, "checkpoint_000000_r0000.vtu"))
@@ -242,7 +250,11 @@ func TestVTUCheckpointPVDCollection(t *testing.T) {
 	da := core.NewNekDataAdaptor(s, acct)
 	for step := 0; step < 3; step++ {
 		da.SetStep(step*10, float64(step)*0.1)
-		if _, err := ck.Execute(da); err != nil {
+		st, err := sensei.Pull(da, ck.Describe(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ck.Execute(st); err != nil {
 			t.Fatal(err)
 		}
 	}

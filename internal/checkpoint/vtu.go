@@ -39,7 +39,7 @@ func NewVTUCheckpoint(ctx *sensei.Context, meshName string, arrays []string, pre
 }
 
 func init() {
-	sensei.Register("checkpoint", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+	sensei.Register("checkpoint", func(ctx *sensei.Context, attrs map[string]string) (sensei.Analysis, error) {
 		var arrays []string
 		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
 			for _, s := range strings.Split(a, ",") {
@@ -53,24 +53,30 @@ func init() {
 // FilesWritten reports how many files this rank wrote.
 func (c *VTUCheckpoint) FilesWritten() int { return c.filesWritten }
 
-// Execute implements sensei.AnalysisAdaptor.
-func (c *VTUCheckpoint) Execute(da sensei.DataAdaptor) (bool, error) {
+// Describe implements sensei.Analysis: the configured arrays, or every
+// advertised array when none were configured.
+func (c *VTUCheckpoint) Describe() sensei.Requirements {
+	if len(c.arrays) == 0 {
+		return sensei.RequireAllArrays(c.meshName)
+	}
+	return sensei.RequireArrays(c.meshName, sensei.AssocPoint, c.arrays...)
+}
+
+// Execute implements sensei.Analysis. The written grid carries exactly
+// this adaptor's declared arrays — a subset head of the shared step,
+// so arrays other analyses declared never leak into the checkpoint.
+func (c *VTUCheckpoint) Execute(st *sensei.Step) (bool, error) {
 	arrays := c.arrays
 	if len(arrays) == 0 {
-		md, err := da.MeshMetadata(0)
+		md, err := st.Metadata(c.meshName)
 		if err != nil {
 			return false, err
 		}
 		arrays = md.ArrayNames
 	}
-	g, err := da.Mesh(c.meshName, true)
+	g, err := st.MeshSubset(c.meshName, arrays)
 	if err != nil {
 		return false, err
-	}
-	for _, name := range arrays {
-		if err := da.AddArray(g, c.meshName, sensei.AssocPoint, name); err != nil {
-			return false, err
-		}
 	}
 	dir := c.ctx.OutputDir
 	if dir == "" {
@@ -80,7 +86,7 @@ func (c *VTUCheckpoint) Execute(da sensei.DataAdaptor) (bool, error) {
 		return false, err
 	}
 	rank := c.ctx.Comm.Rank()
-	step := da.TimeStep()
+	step := st.TimeStep()
 	pieceName := func(r int) string {
 		return fmt.Sprintf("%s_%06d_r%04d.vtu", c.prefix, step, r)
 	}
@@ -113,14 +119,14 @@ func (c *VTUCheckpoint) Execute(da sensei.DataAdaptor) (bool, error) {
 		}
 		c.ctx.Storage.AddFile(n)
 		c.filesWritten++
-		c.collection = append(c.collection, vtkdata.PVDEntry{Time: da.Time(), File: master})
+		c.collection = append(c.collection, vtkdata.PVDEntry{Time: st.Time(), File: master})
 	}
 	// Ranks must not race ahead of the master file on shared storage.
 	c.ctx.Comm.Barrier()
-	return true, nil
+	return false, nil
 }
 
-// Finalize implements sensei.AnalysisAdaptor: rank 0 writes the
+// Finalize implements sensei.Analysis: rank 0 writes the
 // ParaView .pvd collection indexing the checkpoint series.
 func (c *VTUCheckpoint) Finalize() error {
 	if len(c.collection) == 0 {

@@ -275,14 +275,17 @@ func (b *Bridge) DataAdaptor() *NekDataAdaptor { return b.da }
 func (b *Bridge) Analysis() *sensei.ConfigurableAnalysis { return b.ca }
 
 // Update advances SENSEI to the given step: analyses whose frequency
-// divides step execute against fresh data; per-step copies are
-// released afterwards.
-func (b *Bridge) Update(step int, time float64) error {
+// divides step execute against fresh data (pulled once and shared by
+// the planner); per-step copies are released afterwards. The returned
+// stop is true when an analysis requested a clean simulation stop —
+// the bridge's caller should finish this step and finalize.
+func (b *Bridge) Update(step int, time float64) (stop bool, err error) {
 	b.da.SetStep(step, time)
-	if err := b.ca.Execute(b.da); err != nil {
-		return err
+	stop, err = b.ca.Execute(b.da)
+	if err != nil {
+		return false, err
 	}
-	return b.da.ReleaseData()
+	return stop, b.da.ReleaseData()
 }
 
 // Finalize shuts down all analyses.

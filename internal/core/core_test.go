@@ -176,7 +176,7 @@ func TestBridgeWithHistogram(t *testing.T) {
 		t.Fatal("analysis not configured")
 	}
 	for step := 0; step <= 20; step++ {
-		if err := b.Update(step, float64(step)*1e-3); err != nil {
+		if _, err := b.Update(step, float64(step)*1e-3); err != nil {
 			t.Fatal(err)
 		}
 	}

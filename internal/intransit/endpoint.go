@@ -279,6 +279,7 @@ type Endpoint struct {
 
 	stepsProcessed int
 	stepsSkipped   int
+	stopped        bool
 }
 
 // NewEndpoint builds an endpoint over the given step sources with
@@ -309,6 +310,10 @@ func (e *Endpoint) StepsProcessed() int { return e.stepsProcessed }
 // step sequence — the only case for direct SST and for hub consumers
 // that subscribed before the first publish.
 func (e *Endpoint) StepsSkipped() int { return e.stepsSkipped }
+
+// Stopped reports whether an analysis ended the run early through the
+// stop signal (as opposed to the stream reaching end-of-stream).
+func (e *Endpoint) Stopped() bool { return e.stopped }
 
 // Run consumes the streams until every source reaches end-of-stream,
 // executing the configured analyses per step. Returns the number of
@@ -392,12 +397,21 @@ func (e *Endpoint) Run() (steps int, err error) {
 		if e.StepDelay > 0 {
 			time.Sleep(e.StepDelay)
 		}
-		if err := e.ca.Execute(e.da); err != nil {
+		stop, err := e.ca.Execute(e.da)
+		if err != nil {
 			return e.stepsProcessed, err
 		}
 		if err := e.da.ReleaseData(); err != nil {
 			return e.stepsProcessed, err
 		}
 		e.stepsProcessed++
+		if stop {
+			// An analysis requested the endpoint stop: exit cleanly
+			// without draining the remaining stream (the producer sees
+			// a dropped connection and unblocks through its error
+			// path, or keeps publishing to its other consumers).
+			e.stopped = true
+			return e.stepsProcessed, nil
+		}
 	}
 }

@@ -100,11 +100,14 @@ func NewGroup(cfg GroupConfig) (*Group, error) {
 // inspecting reduced results, which every rank holds identically).
 func (g *Group) Analysis(rank int) *sensei.ConfigurableAnalysis { return g.cas[rank] }
 
-// Per-rank stream status for the cross-rank agreement.
+// Per-rank stream status for the cross-rank agreement, ordered so the
+// max-reduction picks the most severe outcome: an error beats a stop
+// request beats end-of-stream beats OK.
 const (
-	stOK  = 0 // a step is aligned locally
-	stEOF = 1 // every source reached end-of-stream
-	stErr = 2 // a source failed (or ended early)
+	stOK   = 0 // a step is aligned locally
+	stEOF  = 1 // every source reached end-of-stream
+	stStop = 2 // an analysis requested a clean stop
+	stErr  = 3 // a source failed (or ended early)
 )
 
 // rankStream drives one rank's sources: pulling, local realignment
@@ -325,22 +328,36 @@ func (g *Group) runRank(comm *mpirt.Comm, rs *rankStream, da *StreamDataAdaptor,
 		if g.cfg.StepDelay > 0 {
 			time.Sleep(g.cfg.StepDelay)
 		}
-		stepErr = ca.Execute(da)
+		var stopReq bool
+		stopReq, stepErr = ca.Execute(da)
+		execStatus := int64(stOK)
+		switch {
+		case stepErr != nil:
+			execStatus = stErr
+		case stopReq:
+			execStatus = stStop
+		}
 		// The post-execute agreement doubles as the per-step barrier
 		// whose waits the straggler tracker accounts.
 		barrierStart := time.Now()
-		agreed := comm.AllreduceI64Scalar(boolStatus(stepErr != nil), mpirt.OpMax)
+		agreed := comm.AllreduceI64Scalar(execStatus, mpirt.OpMax)
 		straggler.Record(rank, time.Since(barrierStart))
 		if rank == 0 {
 			*stepWall += time.Since(stepStart)
 		}
-		if agreed != stOK {
+		if agreed == stErr {
 			return stepErr
 		}
 		if err := da.ReleaseData(); err != nil {
 			return err
 		}
 		*stepsDone++
+		if agreed == stStop {
+			// One rank's analysis requested a stop: the agreement makes
+			// every rank leave after the same completed step, keeping
+			// the collectives matched.
+			return nil
+		}
 		for i := range rs.steps {
 			rs.steps[i] = nil
 		}

@@ -1,10 +1,12 @@
 package intransit
 
 import (
+	"errors"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -84,7 +86,7 @@ func TestFullPipelineIntegrity(t *testing.T) {
 			return
 		}
 		// Capture each step's merged temperature via a custom analysis.
-		ep.ca.AddAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
+		ep.ca.AddLegacyAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
 			g, err := da.Mesh("mesh", true)
 			if err != nil {
 				return err
@@ -123,7 +125,12 @@ func TestFullPipelineIntegrity(t *testing.T) {
 		for step := 0; step < steps; step++ {
 			s.Step()
 			da.SetStep(step, s.Time())
-			if _, err := send.Execute(da); err != nil {
+			sendStep, err := sensei.Pull(da, send.Describe(), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := send.Execute(sendStep); err != nil {
 				t.Error(err)
 				return
 			}
@@ -170,10 +177,12 @@ func TestFullPipelineIntegrity(t *testing.T) {
 
 var mu sync.Mutex
 
-// captureFunc adapts a closure to sensei.AnalysisAdaptor.
+// captureFunc adapts a closure to the legacy sensei.AnalysisAdaptor
+// shape (exercising the Legacy compat wrapper end to end); it never
+// requests a stop.
 type captureFunc func(da sensei.DataAdaptor) error
 
-func (f captureFunc) Execute(da sensei.DataAdaptor) (bool, error) { return true, f(da) }
+func (f captureFunc) Execute(da sensei.DataAdaptor) (bool, error) { return false, f(da) }
 func (f captureFunc) Finalize() error                             { return nil }
 
 // TestEndpointVTUCheckpoint drives the paper's in transit
@@ -221,7 +230,11 @@ func TestEndpointVTUCheckpoint(t *testing.T) {
 	for step := 0; step < steps; step++ {
 		s.Step()
 		da.SetStep(step, s.Time())
-		if _, err := send.Execute(da); err != nil {
+		sendStep, err := sensei.Pull(da, send.Describe(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := send.Execute(sendStep); err != nil {
 			t.Fatal(err)
 		}
 		da.ReleaseData() //nolint:errcheck
@@ -262,7 +275,11 @@ func TestStructureSentOnce(t *testing.T) {
 	da := core.NewNekDataAdaptor(s, ctx.Acct)
 	for step := 0; step < 2; step++ {
 		da.SetStep(step, 0)
-		if _, err := send.Execute(da); err != nil {
+		sendStep, err := sensei.Pull(da, send.Describe(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := send.Execute(sendStep); err != nil {
 			t.Fatal(err)
 		}
 		da.ReleaseData() //nolint:errcheck
@@ -417,7 +434,7 @@ func TestEndpointResyncSkewedSources(t *testing.T) {
 		t.Fatal(err)
 	}
 	var seen []int
-	ep.ca.AddAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
+	ep.ca.AddLegacyAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
 		g, err := da.Mesh("mesh", true)
 		if err != nil {
 			return err
@@ -481,7 +498,7 @@ func TestStagingFanoutEndpoints(t *testing.T) {
 				epErrs[i] = err
 				return
 			}
-			ep.ca.AddAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
+			ep.ca.AddLegacyAnalysis("capture", 1, captureFunc(func(da sensei.DataAdaptor) error {
 				g, err := da.Mesh("mesh", true)
 				if err != nil {
 					return err
@@ -500,7 +517,11 @@ func TestStagingFanoutEndpoints(t *testing.T) {
 	for step := 0; step < steps; step++ {
 		s.Step()
 		da.SetStep(step, s.Time())
-		if _, err := send.Execute(da); err != nil {
+		sendStep, err := sensei.Pull(da, send.Describe(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := send.Execute(sendStep); err != nil {
 			t.Fatal(err)
 		}
 		da.ReleaseData() //nolint:errcheck
@@ -584,4 +605,149 @@ func TestSendAdaptorFactory(t *testing.T) {
 	if _, err := sensei.NewAnalysisAdaptor("adios", ctx, map[string]string{"queue": "bogus"}); err == nil {
 		t.Error("expected queue error")
 	}
+}
+
+// TestSendSubsetOnWire: a reader declaring an array subset in its
+// hello makes the send adaptor pull and ship only those arrays
+// (structure step excepted); an unadvertised array is rejected in the
+// handshake.
+func TestSendSubsetOnWire(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	s := newSolver(t, comm, 1)
+	ctx := ctxFor(comm, "")
+	w, err := adios.ListenWriter("127.0.0.1:0", adios.WriterOptions{
+		QueueLimit: 8, Acct: ctx.Acct,
+		Advertise: []string{"pressure", "temperature"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Handshake rejection: the requested array is not advertised.
+	if _, err := adios.OpenReaderWith(w.Addr(), adios.ReaderOptions{
+		Arrays: []string{"vorticity_x"},
+	}); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("want handshake rejection, got %v", err)
+	}
+	w.Close() //nolint:errcheck // rejected handshake poisons the writer
+
+	w, err = adios.ListenWriter("127.0.0.1:0", adios.WriterOptions{
+		QueueLimit: 8, Acct: ctx.Acct,
+		Advertise: []string{"pressure", "temperature"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := adios.OpenReaderWith(w.Addr(), adios.ReaderOptions{Arrays: []string{"pressure"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	send := NewSendAdaptor(ctx, w, "mesh", []string{"pressure", "temperature"})
+	if got := w.RequestedArrays(); len(got) != 1 || got[0] != "pressure" {
+		t.Fatalf("RequestedArrays = %v, want [pressure]", got)
+	}
+	// The declaration shrank to the reader's subset.
+	if req := send.Describe(); req.Mesh("mesh") == nil ||
+		len(req.Mesh("mesh").PointArrayNames()) != 1 {
+		t.Errorf("Describe after subset hello = %v", send.Describe())
+	}
+
+	da := core.NewNekDataAdaptor(s, ctx.Acct)
+	const steps = 2
+	for step := 0; step < steps; step++ {
+		s.Step()
+		da.SetStep(step, s.Time())
+		st, err := sensei.Pull(da, send.Describe(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := send.Execute(st); err != nil {
+			t.Fatal(err)
+		}
+		da.ReleaseData() //nolint:errcheck
+	}
+	go send.Finalize() //nolint:errcheck
+	for step := 0; step < steps; step++ {
+		got, err := r.BeginStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.FindVar("array/pressure") == nil {
+			t.Errorf("step %d: requested array missing", step)
+		}
+		if got.FindVar("array/temperature") != nil {
+			t.Errorf("step %d: unrequested array shipped", step)
+		}
+	}
+	if _, err := r.BeginStep(); !errors.Is(err, io.EOF) {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+// stopAfter is a v2 analysis requesting a stop at the n-th execution.
+type stopAfter struct {
+	n, execs int
+}
+
+func (s *stopAfter) Describe() sensei.Requirements { return sensei.NoRequirements() }
+func (s *stopAfter) Execute(st *sensei.Step) (bool, error) {
+	s.execs++
+	return s.execs >= s.n, nil
+}
+func (s *stopAfter) Finalize() error { return nil }
+
+// TestEndpointStopSignal: an analysis returning stop=true ends the
+// endpoint's Run cleanly after that step, without an error and
+// without draining the rest of the stream.
+func TestEndpointStopSignal(t *testing.T) {
+	hub := staging.NewHub(nil)
+	cons, err := hub.Subscribe("stop", staging.DropOldest, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxFor(mpirt.NewWorld(1).Comm(0), "")
+	ep, err := NewEndpoint(ctx, []StepSource{cons}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.ca.AddAnalysis("stopper", 1, &stopAfter{n: 2})
+
+	names := []string{"f"}
+	for i := 0; i < 6; i++ {
+		if err := hub.Publish(mkHubStep(i, names)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps, err := ep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 || !ep.Stopped() {
+		t.Errorf("steps=%d stopped=%v, want 2 steps and stopped", steps, ep.Stopped())
+	}
+	hub.Close()
+}
+
+// mkHubStep builds a minimal valid stream step for hub-fed endpoints.
+func mkHubStep(seq int, names []string) *adios.Step {
+	s := &adios.Step{
+		Step:  int64(seq),
+		Time:  float64(seq),
+		Attrs: map[string]string{"mesh": "mesh"},
+	}
+	if seq == 0 {
+		s.Attrs["structure"] = "1"
+		s.Vars = append(s.Vars,
+			adios.NewF64("points", make([]float64, 3*8), 8, 3),
+			adios.NewI64("connectivity", []int64{0, 1, 2, 3, 4, 5, 6, 7}),
+			adios.NewI64("offsets", []int64{8}),
+			adios.NewU8("types", []byte{12}),
+		)
+	}
+	for _, n := range names {
+		s.Vars = append(s.Vars, adios.NewF64("array/"+n, []float64{1, 2, 3, 4, 5, 6, 7, 8}))
+	}
+	return s
 }

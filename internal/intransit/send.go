@@ -35,6 +35,18 @@ import (
 // and, once, the grid structure — into an SST step. Registered as
 // analysis type "adios" with attributes address, queue, arrays,
 // contact.
+//
+// The adaptor is requirements-aware in both directions: Describe
+// declares the configured arrays downstream of the simulation (so the
+// planner pulls them once, shared with co-located analyses), and the
+// reader's hello may declare an `arrays` subset upstream — from then
+// on only the requested arrays are pulled and shipped, turning the
+// endpoint's declared requirements into wire-bandwidth savings.
+// (Steps staged before the handshake arrived — at most the writer's
+// queue depth, and usually zero because Put blocks on a full queue
+// until the reader attaches — still carry the full configured set.)
+// A subset naming an array outside the configured `arrays` attribute
+// is rejected in the handshake.
 type SendAdaptor struct {
 	ctx      *sensei.Context
 	writer   *adios.Writer
@@ -54,7 +66,7 @@ func NewSendAdaptor(ctx *sensei.Context, w *adios.Writer, meshName string, array
 }
 
 func init() {
-	sensei.Register("adios", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+	sensei.Register("adios", func(ctx *sensei.Context, attrs map[string]string) (sensei.Analysis, error) {
 		addr := attrs["address"]
 		if addr == "" {
 			addr = "127.0.0.1:0"
@@ -67,6 +79,15 @@ func init() {
 			}
 			opts.QueueLimit = v
 		}
+		var arrays []string
+		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
+			for _, s := range strings.Split(a, ",") {
+				arrays = append(arrays, strings.TrimSpace(s))
+			}
+		}
+		// A configured array set doubles as the advertisement readers'
+		// subset requests are validated against in the handshake.
+		opts.Advertise = arrays
 		w, err := adios.ListenWriter(addr, opts)
 		if err != nil {
 			return nil, err
@@ -85,12 +106,6 @@ func init() {
 				}
 			}
 		}
-		var arrays []string
-		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
-			for _, s := range strings.Split(a, ",") {
-				arrays = append(arrays, strings.TrimSpace(s))
-			}
-		}
 		return NewSendAdaptor(ctx, w, attrs["mesh"], arrays), nil
 	})
 }
@@ -101,28 +116,43 @@ func (s *SendAdaptor) Writer() *adios.Writer { return s.writer }
 // StepsSent reports Execute calls that shipped a step.
 func (s *SendAdaptor) StepsSent() int { return s.stepsSent }
 
-// Execute implements sensei.AnalysisAdaptor.
-func (s *SendAdaptor) Execute(da sensei.DataAdaptor) (bool, error) {
-	arrays := s.arrays
+// sendSet resolves the arrays this step must ship: the connected
+// reader's declared subset when one arrived, otherwise the configured
+// set (nil = every advertised array).
+func (s *SendAdaptor) sendSet() []string {
+	if req := s.writer.RequestedArrays(); req != nil {
+		return req
+	}
+	return s.arrays
+}
+
+// Describe implements sensei.Analysis: the arrays to ship — shrunk to
+// the reader's declared subset once its hello arrives, so upstream
+// requirements reach all the way into the simulation-side pull.
+func (s *SendAdaptor) Describe() sensei.Requirements {
+	if set := s.sendSet(); len(set) > 0 {
+		return sensei.RequireArrays(s.meshName, sensei.AssocPoint, set...)
+	}
+	return sensei.RequireAllArrays(s.meshName)
+}
+
+// Execute implements sensei.Analysis.
+func (s *SendAdaptor) Execute(st *sensei.Step) (bool, error) {
+	arrays := s.sendSet()
 	if len(arrays) == 0 {
-		md, err := da.MeshMetadata(0)
+		md, err := st.Metadata(s.meshName)
 		if err != nil {
 			return false, err
 		}
 		arrays = md.ArrayNames
 	}
-	g, err := da.Mesh(s.meshName, true)
+	g, err := st.Mesh(s.meshName)
 	if err != nil {
 		return false, err
 	}
-	for _, name := range arrays {
-		if err := da.AddArray(g, s.meshName, sensei.AssocPoint, name); err != nil {
-			return false, err
-		}
-	}
 	step := &adios.Step{
-		Step:  int64(da.TimeStep()),
-		Time:  da.Time(),
+		Step:  int64(st.TimeStep()),
+		Time:  st.Time(),
 		Attrs: map[string]string{"mesh": s.meshName},
 	}
 	if !s.structureSent {
@@ -146,7 +176,7 @@ func (s *SendAdaptor) Execute(da sensei.DataAdaptor) (bool, error) {
 		return false, err
 	}
 	s.stepsSent++
-	return true, nil
+	return false, nil
 }
 
 // Finalize closes the stream, draining the staging queue.

@@ -1,6 +1,7 @@
 package nekrs
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 
@@ -11,6 +12,14 @@ import (
 	"nekrs-sensei/internal/mpirt"
 	"nekrs-sensei/internal/occa"
 )
+
+// ErrStop is the sentinel a step hook returns to request a clean early
+// stop of the run — the path a SENSEI analysis' stop signal takes to
+// reach the time loop (every rank's hook must return it on the same
+// step, which holds for the deterministic SENSEI triggers). Run
+// treats it as success: no further steps are taken and no error is
+// reported.
+var ErrStop = errors.New("nekrs: stop requested")
 
 // Sim is one rank's assembled simulation: the case, its solver, and
 // the rank-local instrumentation.
@@ -107,7 +116,9 @@ func CaseByName(name string, refine, order int, p *Par) (cases.Case, error) {
 
 // Run advances n steps, invoking the built-in checkpointer at its
 // cadence and hook (if non-nil) after every step. Step indices are
-// 1-based in hooks, matching NekRS's istep counter.
+// 1-based in hooks, matching NekRS's istep counter. A hook returning
+// ErrStop ends the run cleanly after the current step (an analysis
+// requested the simulation stop); any other error aborts.
 func (s *Sim) Run(n int, hook StepHook) error {
 	for i := 0; i < n; i++ {
 		stats := s.Solver.Step()
@@ -118,6 +129,9 @@ func (s *Sim) Run(n int, hook StepHook) error {
 		}
 		if hook != nil {
 			if err := hook(stats); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
 				return fmt.Errorf("nekrs: step hook at %d: %w", stats.Step, err)
 			}
 		}

@@ -89,7 +89,7 @@ func ParsePoints(s string) ([]Point, error) {
 }
 
 func init() {
-	sensei.Register("probe", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+	sensei.Register("probe", func(ctx *sensei.Context, attrs map[string]string) (sensei.Analysis, error) {
 		points, err := ParsePoints(attrs["points"])
 		if err != nil {
 			return nil, err
@@ -159,20 +159,22 @@ func sampleCell(g *vtkdata.UnstructuredGrid, conn []int64, x, y, z float64, arra
 	return true
 }
 
-// Execute implements sensei.AnalysisAdaptor.
-func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
-	g, err := da.Mesh(a.meshName, true)
+// Describe implements sensei.Analysis: the sampled point arrays of
+// one mesh.
+func (a *Adaptor) Describe() sensei.Requirements {
+	return sensei.RequireArrays(a.meshName, sensei.AssocPoint, a.arrays...)
+}
+
+// Execute implements sensei.Analysis.
+func (a *Adaptor) Execute(st *sensei.Step) (bool, error) {
+	g, err := st.Mesh(a.meshName)
 	if err != nil {
 		return false, err
 	}
 	arrs := make([]*vtkdata.DataArray, len(a.arrays))
 	for i, name := range a.arrays {
-		if err := da.AddArray(g, a.meshName, sensei.AssocPoint, name); err != nil {
+		if arrs[i], err = st.PointArray(a.meshName, name); err != nil {
 			return false, err
-		}
-		arrs[i] = g.FindPointData(name)
-		if arrs[i] == nil {
-			return false, fmt.Errorf("probe: array %q not attached", name)
 		}
 	}
 
@@ -213,13 +215,13 @@ func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
 	}
 
 	if a.ctx.Comm.Rank() == 0 {
-		row := append([]float64{da.Time()}, vals...)
+		row := append([]float64{st.Time()}, vals...)
 		a.history = append(a.history, row)
-		if err := a.appendCSV(da.TimeStep(), row); err != nil {
+		if err := a.appendCSV(st.TimeStep(), row); err != nil {
 			return false, err
 		}
 	}
-	return true, nil
+	return false, nil
 }
 
 func (a *Adaptor) appendCSV(step int, row []float64) error {

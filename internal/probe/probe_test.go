@@ -67,7 +67,11 @@ func TestProbeInterpolatesLinearFieldExactly(t *testing.T) {
 	a := New(ctx, "mesh", pts, []string{"temperature"}, "probes.csv")
 	da := core.NewNekDataAdaptor(s, ctx.Acct)
 	da.SetStep(3, 0.003)
-	if _, err := a.Execute(da); err != nil {
+	st, err := sensei.Pull(da, a.Describe(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Execute(st); err != nil {
 		t.Fatal(err)
 	}
 	rows := a.History()
@@ -102,7 +106,12 @@ func TestProbeParallelOwnership(t *testing.T) {
 		a := New(ctx, "mesh", pts, []string{"temperature"}, "par.csv")
 		da := core.NewNekDataAdaptor(s, ctx.Acct)
 		da.SetStep(0, 0)
-		if _, err := a.Execute(da); err != nil {
+		st, err := sensei.Pull(da, a.Describe(), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := a.Execute(st); err != nil {
 			t.Error(err)
 			return
 		}
@@ -136,7 +145,11 @@ func TestProbeCSVOutput(t *testing.T) {
 	da := core.NewNekDataAdaptor(s, ctx.Acct)
 	for step := 0; step < 3; step++ {
 		da.SetStep(step, float64(step))
-		if _, err := a.Execute(da); err != nil {
+		st, err := sensei.Pull(da, a.Describe(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Execute(st); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -168,7 +181,11 @@ func TestProbeOutsideMeshFails(t *testing.T) {
 	}
 	a := New(ctx, "mesh", []Point{{5, 5, 5}}, []string{"pressure"}, "x.csv")
 	da := core.NewNekDataAdaptor(s, ctx.Acct)
-	if _, err := a.Execute(da); err == nil {
+	st, err := sensei.Pull(da, a.Describe(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Execute(st); err == nil {
 		t.Error("expected outside-mesh error")
 	}
 }

@@ -36,7 +36,7 @@ func NewAutocorrelation(ctx *Context, meshName, array string, window int) *Autoc
 }
 
 func init() {
-	Register("autocorrelation", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+	Register("autocorrelation", func(ctx *Context, attrs map[string]string) (Analysis, error) {
 		array := attrs["array"]
 		if array == "" {
 			return nil, fmt.Errorf("sensei: autocorrelation: array attribute required")
@@ -57,19 +57,17 @@ func init() {
 	})
 }
 
-// Execute implements AnalysisAdaptor: accumulates lag products of the
+// Describe implements Analysis: one point array of one mesh.
+func (a *Autocorrelation) Describe() Requirements {
+	return RequireArrays(a.mesh, AssocPoint, a.array)
+}
+
+// Execute implements Analysis: accumulates lag products of the
 // current snapshot against the window.
-func (a *Autocorrelation) Execute(da DataAdaptor) (bool, error) {
-	g, err := da.Mesh(a.mesh, true)
+func (a *Autocorrelation) Execute(st *Step) (bool, error) {
+	arr, err := st.PointArray(a.mesh, a.array)
 	if err != nil {
 		return false, err
-	}
-	if err := da.AddArray(g, a.mesh, AssocPoint, a.array); err != nil {
-		return false, err
-	}
-	arr := g.FindPointData(a.array)
-	if arr == nil {
-		return false, fmt.Errorf("sensei: autocorrelation: array %q not attached", a.array)
 	}
 	now := append([]float64(nil), arr.Data...)
 
@@ -95,10 +93,10 @@ func (a *Autocorrelation) Execute(da DataAdaptor) (bool, error) {
 	if len(a.ring) > a.window {
 		a.ring = a.ring[1:]
 	}
-	return true, nil
+	return false, nil
 }
 
-// Finalize implements AnalysisAdaptor.
+// Finalize implements Analysis.
 func (a *Autocorrelation) Finalize() error { return nil }
 
 // Correlations returns the global lag correlations C(k)/C(0) for

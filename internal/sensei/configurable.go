@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+
+	"nekrs-sensei/internal/metrics"
 )
 
 // ConfigurableAnalysis multiplexes several analysis adaptors selected
@@ -17,6 +19,16 @@ import (
 //
 // mirroring the paper's Listing 1: enabling a different back end is an
 // XML edit, not a recompilation.
+//
+// Beyond multiplexing, it is the data-movement planner of the
+// requirements-driven data plane: at initialization it caches every
+// analysis' declared Requirements and their union; per step it pulls
+// each declared mesh and array from the DataAdaptor exactly once into
+// a shared read-only Step and fans that out to every triggered
+// analysis, so N analyses over one mesh cost one Mesh and one AddArray
+// per distinct array — not N. Bytes pulled are accounted per analysis
+// (PullStats/PullTable). Legacy v1 adaptors (opaque requirements)
+// still pull through the DataAdaptor themselves.
 type ConfigurableAnalysis struct {
 	ctx     *Context
 	entries []configEntry
@@ -24,8 +36,13 @@ type ConfigurableAnalysis struct {
 
 type configEntry struct {
 	typeName  string
-	frequency int
-	adaptor   AnalysisAdaptor
+	frequency int // lcm of the XML frequency and the declared cadence
+	adaptor   Analysis
+	reqs      Requirements // cached Describe() from initialization
+
+	executions  int
+	bytesPulled int64
+	stopped     bool
 }
 
 // xml parse targets.
@@ -74,7 +91,7 @@ func (ca *ConfigurableAnalysis) InitializeXML(doc []byte) error {
 		if err != nil {
 			return err
 		}
-		ca.entries = append(ca.entries, configEntry{typeName: typeName, frequency: freq, adaptor: adaptor})
+		ca.add(typeName, freq, adaptor)
 	}
 	return nil
 }
@@ -89,13 +106,31 @@ func (ca *ConfigurableAnalysis) InitializeFile(path string) error {
 	return ca.InitializeXML(doc)
 }
 
-// AddAnalysis appends a programmatically constructed analysis with the
-// given trigger frequency.
-func (ca *ConfigurableAnalysis) AddAnalysis(typeName string, freq int, a AnalysisAdaptor) {
+// add appends one entry, caching its declaration and folding the
+// declared cadence into the trigger frequency (both gates must open,
+// hence the lcm).
+func (ca *ConfigurableAnalysis) add(typeName string, freq int, a Analysis) {
 	if freq < 1 {
 		freq = 1
 	}
-	ca.entries = append(ca.entries, configEntry{typeName: typeName, frequency: freq, adaptor: a})
+	reqs := a.Describe()
+	ca.entries = append(ca.entries, configEntry{
+		typeName:  typeName,
+		frequency: lcm(freq, reqs.Frequency()),
+		adaptor:   a,
+		reqs:      reqs,
+	})
+}
+
+// AddAnalysis appends a programmatically constructed analysis with the
+// given trigger frequency.
+func (ca *ConfigurableAnalysis) AddAnalysis(typeName string, freq int, a Analysis) {
+	ca.add(typeName, freq, a)
+}
+
+// AddLegacyAnalysis appends a v1 adaptor through the compat wrapper.
+func (ca *ConfigurableAnalysis) AddLegacyAnalysis(typeName string, freq int, a AnalysisAdaptor) {
+	ca.add(typeName, freq, Legacy(a))
 }
 
 // NumAnalyses reports the number of enabled analyses.
@@ -113,32 +148,80 @@ func (ca *ConfigurableAnalysis) Types() []string {
 // FindAdaptor returns the first enabled analysis of the given type,
 // nil if none — the handle XML-configured drivers use to reach an
 // adaptor's extra API (e.g. the staging hub's stats) after
-// InitializeXML instantiated it.
-func (ca *ConfigurableAnalysis) FindAdaptor(typeName string) AnalysisAdaptor {
+// InitializeXML instantiated it. Legacy wrappers are unwrapped so the
+// concrete v1 adaptor type-asserts directly.
+func (ca *ConfigurableAnalysis) FindAdaptor(typeName string) any {
 	for _, e := range ca.entries {
 		if e.typeName == typeName {
+			if lw, ok := e.adaptor.(interface{ Unwrap() AnalysisAdaptor }); ok {
+				return lw.Unwrap()
+			}
 			return e.adaptor
 		}
 	}
 	return nil
 }
 
-// Execute runs every enabled analysis whose frequency divides the
-// adaptor's current timestep.
-func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) error {
-	step := da.TimeStep()
+// Requirements returns the union of every enabled analysis' declared
+// requirements — the full data plan, as computed at initialization.
+// In-transit senders consult the per-consumer subset instead; this
+// union is what one simulation step must be able to supply.
+func (ca *ConfigurableAnalysis) Requirements() Requirements {
+	var u Requirements
 	for _, e := range ca.entries {
+		u = u.Union(e.reqs)
+	}
+	return u
+}
+
+// Execute runs every enabled analysis whose frequency divides the
+// adaptor's current timestep: the union of the triggered analyses'
+// requirements is pulled ONCE into a shared Step (each mesh fetched
+// once, each distinct array attached once) and fanned out. The
+// returned stop is true when any analysis requested a clean stop of
+// the simulation/endpoint loop.
+func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) (stop bool, err error) {
+	step := da.TimeStep()
+	var triggered []*configEntry
+	union := NoRequirements()
+	for i := range ca.entries {
+		e := &ca.entries[i]
 		if step%e.frequency != 0 {
 			continue
 		}
-		stop := ca.ctx.Timer.Start("sensei:" + e.typeName)
-		_, err := e.adaptor.Execute(da)
-		stop()
+		// Re-Describe per step: adaptors with dynamic needs (an
+		// in-transit sender whose reader announced an array subset
+		// mid-run) shrink the pull as soon as they know less is needed.
+		e.reqs = e.adaptor.Describe()
+		triggered = append(triggered, e)
+		union = union.Union(e.reqs)
+	}
+	if len(triggered) == 0 {
+		return false, nil
+	}
+	stopPull := ca.ctx.Timer.Start("sensei:pull")
+	st, err := Pull(da, union, ca.ctx.Shard)
+	stopPull()
+	if err != nil {
+		return false, err
+	}
+	for _, e := range triggered {
+		stopT := ca.ctx.Timer.Start("sensei:" + e.typeName)
+		reqStop, err := e.adaptor.Execute(st)
+		stopT()
 		if err != nil {
-			return fmt.Errorf("sensei: analysis %s: %w", e.typeName, err)
+			return false, fmt.Errorf("sensei: analysis %s: %w", e.typeName, err)
+		}
+		e.executions++
+		for i := range e.reqs.Meshes() {
+			e.bytesPulled += st.bytesPulled(&e.reqs.Meshes()[i])
+		}
+		if reqStop {
+			e.stopped = true
+			stop = true
 		}
 	}
-	return nil
+	return stop, nil
 }
 
 // Finalize finalizes all analyses, returning the first error.
@@ -150,4 +233,51 @@ func (ca *ConfigurableAnalysis) Finalize() error {
 		}
 	}
 	return first
+}
+
+// PullStat is one analysis' data-movement accounting record.
+type PullStat struct {
+	Type string
+	// Frequency is the effective trigger cadence.
+	Frequency int
+	// Requirements is the analysis' declaration, rendered.
+	Requirements string
+	// Executions counts Execute calls.
+	Executions int
+	// BytesPulled is the payload volume attributable to this analysis'
+	// declaration across all executions. Shared arrays are charged to
+	// every analysis that declared them (the planner pulled them only
+	// once; compare the sum against the "sensei:pull" timer to see the
+	// dedup win). Zero for opaque (legacy) adaptors, which pull outside
+	// the planner.
+	BytesPulled int64
+	// Stopped reports whether this analysis requested a stop.
+	Stopped bool
+}
+
+// PullStats snapshots the per-analysis data-movement accounting.
+func (ca *ConfigurableAnalysis) PullStats() []PullStat {
+	out := make([]PullStat, len(ca.entries))
+	for i, e := range ca.entries {
+		out[i] = PullStat{
+			Type: e.typeName, Frequency: e.frequency,
+			Requirements: e.reqs.String(),
+			Executions:   e.executions, BytesPulled: e.bytesPulled,
+			Stopped: e.stopped,
+		}
+	}
+	return out
+}
+
+// PullTable renders the per-analysis data-movement accounting: what
+// each analysis declared, how often it ran, and the bytes its
+// declaration pulled (deduplicated across analyses by the planner).
+func (ca *ConfigurableAnalysis) PullTable() *metrics.Table {
+	t := metrics.NewTable("Requirements plan: bytes pulled per analysis",
+		"analysis", "requirements", "freq", "executions", "bytes pulled")
+	for _, s := range ca.PullStats() {
+		t.AddRow(s.Type, s.Requirements, s.Frequency, s.Executions,
+			metrics.HumanBytes(s.BytesPulled))
+	}
+	return t
 }

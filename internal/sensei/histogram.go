@@ -31,7 +31,7 @@ func NewHistogram(ctx *Context, meshName, array string, bins int) *Histogram {
 }
 
 func init() {
-	Register("histogram", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+	Register("histogram", func(ctx *Context, attrs map[string]string) (Analysis, error) {
 		bins := 10
 		if b, ok := attrs["bins"]; ok {
 			v, err := strconv.Atoi(b)
@@ -52,18 +52,16 @@ func init() {
 	})
 }
 
-// Execute implements AnalysisAdaptor.
-func (h *Histogram) Execute(da DataAdaptor) (bool, error) {
-	g, err := da.Mesh(h.mesh, true)
+// Describe implements Analysis: one point array of one mesh.
+func (h *Histogram) Describe() Requirements {
+	return RequireArrays(h.mesh, AssocPoint, h.array)
+}
+
+// Execute implements Analysis.
+func (h *Histogram) Execute(st *Step) (bool, error) {
+	arr, err := st.PointArray(h.mesh, h.array)
 	if err != nil {
 		return false, err
-	}
-	if err := da.AddArray(g, h.mesh, AssocPoint, h.array); err != nil {
-		return false, err
-	}
-	arr := g.FindPointData(h.array)
-	if arr == nil {
-		return false, fmt.Errorf("sensei: histogram: array %q not attached", h.array)
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range arr.Data {
@@ -97,10 +95,10 @@ func (h *Histogram) Execute(da DataAdaptor) (bool, error) {
 	for i := range h.lastEdges {
 		h.lastEdges[i] = lo + float64(i)*(hi-lo)/float64(h.bins)
 	}
-	return true, nil
+	return false, nil
 }
 
-// Finalize implements AnalysisAdaptor.
+// Finalize implements Analysis.
 func (h *Histogram) Finalize() error { return nil }
 
 // Last returns the most recent bin edges (bins+1) and global counts

@@ -1,10 +1,23 @@
 // Package sensei is the reproduction's port of the SENSEI generic in
 // situ interface (Ayachit et al., ISAV 2016): simulation codes
 // implement a DataAdaptor that exposes their state through the VTK
-// data model; analysis back ends implement an AnalysisAdaptor; and a
-// ConfigurableAnalysis multiplexes analyses selected at *runtime* from
-// an XML configuration — the paper's Listing 1 — so in situ algorithms
-// can be swapped without recompiling the simulation.
+// data model; analysis back ends implement the Analysis contract; and
+// a ConfigurableAnalysis multiplexes analyses selected at *runtime*
+// from an XML configuration — the paper's Listing 1 — so in situ
+// algorithms can be swapped without recompiling the simulation.
+//
+// The analysis side is requirements-driven (mirroring SENSEI's own
+// evolution toward declared data requirements): every Analysis
+// declares up front which meshes and arrays it consumes (Describe →
+// Requirements), the ConfigurableAnalysis plans the union of the
+// triggered declarations and pulls each mesh and array from the
+// simulation exactly once per step into a shared read-only Step, and
+// the declarations propagate upstream so in-transit senders ship only
+// the requested arrays (see Requirements, Pull, and the intransit /
+// staging packages). Legacy pull-it-yourself adaptors
+// (AnalysisAdaptor) keep working through the Legacy wrapper. An
+// Analysis may also request a clean stop of the simulation or
+// endpoint loop by returning stop=true from Execute.
 package sensei
 
 import (
@@ -81,8 +94,26 @@ type DataAdaptor interface {
 	ReleaseData() error
 }
 
-// AnalysisAdaptor is the analysis-side interface: Execute consumes one
-// step through a DataAdaptor; Finalize flushes state at shutdown.
+// Analysis is the analysis-side interface (v2): Describe declares up
+// front which meshes and arrays Execute will consume, so the planner
+// (ConfigurableAnalysis) can pull each mesh and array exactly once per
+// step — shared by every triggered analysis through the read-only Step
+// — and in-transit senders can ship only the declared subset. Execute
+// returns stop=true to request that the simulation or endpoint stop
+// cleanly after this step. Finalize flushes state at shutdown.
+//
+// All in-tree adaptors implement Analysis; v1 adaptors that still pull
+// through the raw DataAdaptor keep working via the Legacy wrapper.
+type Analysis interface {
+	Describe() Requirements
+	Execute(step *Step) (bool, error)
+	Finalize() error
+}
+
+// AnalysisAdaptor is the legacy (v1) analysis-side interface: Execute
+// pulls ad hoc through the DataAdaptor itself. Wrap with Legacy to run
+// one under the requirements-driven planner; its pulls are neither
+// deduplicated nor subsettable.
 type AnalysisAdaptor interface {
 	Execute(da DataAdaptor) (bool, error)
 	Finalize() error
@@ -122,8 +153,9 @@ type Context struct {
 	Shard *Shard
 }
 
-// Factory instantiates an AnalysisAdaptor from its XML attributes.
-type Factory func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error)
+// Factory instantiates an Analysis from its XML attributes. Factories
+// for v1 adaptors return Legacy(adaptor).
+type Factory func(ctx *Context, attrs map[string]string) (Analysis, error)
 
 var (
 	registryMu sync.RWMutex
@@ -151,7 +183,7 @@ func RegisteredTypes() []string {
 }
 
 // NewAnalysisAdaptor instantiates a registered analysis type.
-func NewAnalysisAdaptor(typeName string, ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+func NewAnalysisAdaptor(typeName string, ctx *Context, attrs map[string]string) (Analysis, error) {
 	registryMu.RLock()
 	f := registry[typeName]
 	registryMu.RUnlock()

@@ -9,27 +9,44 @@ import (
 	"nekrs-sensei/internal/vtkdata"
 )
 
-// mockAdaptor is a minimal DataAdaptor over a fixed point cloud.
+// mockAdaptor is a minimal DataAdaptor over fixed per-array point
+// values (the legacy single-array form sets values for array "f").
 type mockAdaptor struct {
 	step   int
 	time   float64
-	values []float64
+	values []float64            // array "f"
+	extra  map[string][]float64 // additional arrays
+
+	meshCalls     int
+	addArrayCalls map[string]int
 }
 
 func (m *mockAdaptor) NumberOfMeshes() (int, error) { return 1, nil }
 
+func (m *mockAdaptor) arrayNames() []string {
+	names := []string{"f"}
+	for n := range m.extra {
+		names = append(names, n)
+	}
+	sortStringsForTest(names)
+	return names
+}
+
 func (m *mockAdaptor) MeshMetadata(i int) (*MeshMetadata, error) {
+	names := m.arrayNames()
+	assoc := make([]Assoc, len(names))
 	return &MeshMetadata{
 		MeshName:   "mesh",
 		NumPoints:  int64(len(m.values)),
 		NumCells:   1,
 		NumBlocks:  1,
-		ArrayNames: []string{"f"},
-		ArrayAssoc: []Assoc{AssocPoint},
+		ArrayNames: names,
+		ArrayAssoc: assoc,
 	}, nil
 }
 
 func (m *mockAdaptor) Mesh(name string, structureOnly bool) (*vtkdata.UnstructuredGrid, error) {
+	m.meshCalls++
 	n := len(m.values)
 	g := &vtkdata.UnstructuredGrid{Points: make([]float64, 3*n)}
 	for i := 0; i < n; i++ {
@@ -43,6 +60,13 @@ func (m *mockAdaptor) Mesh(name string, structureOnly bool) (*vtkdata.Unstructur
 }
 
 func (m *mockAdaptor) AddArray(g *vtkdata.UnstructuredGrid, mesh string, assoc Assoc, name string) error {
+	if m.addArrayCalls == nil {
+		m.addArrayCalls = map[string]int{}
+	}
+	m.addArrayCalls[name]++
+	if data, ok := m.extra[name]; ok {
+		return g.AddPointData(name, 1, data)
+	}
 	return g.AddPointData(name, 1, m.values)
 }
 
@@ -50,15 +74,37 @@ func (m *mockAdaptor) Time() float64      { return m.time }
 func (m *mockAdaptor) TimeStep() int      { return m.step }
 func (m *mockAdaptor) ReleaseData() error { return nil }
 
+func sortStringsForTest(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// pull materializes a Step for one analysis' own declaration — the
+// single-adaptor test path.
+func pull(t *testing.T, da DataAdaptor, a Analysis) *Step {
+	t.Helper()
+	st, err := Pull(da, a.Describe(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 // countingAnalysis records how many times it executed.
 type countingAnalysis struct {
 	executions int
 	finalized  bool
+	stop       bool
 }
 
-func (c *countingAnalysis) Execute(da DataAdaptor) (bool, error) {
+func (c *countingAnalysis) Describe() Requirements { return NoRequirements() }
+
+func (c *countingAnalysis) Execute(st *Step) (bool, error) {
 	c.executions++
-	return true, nil
+	return c.stop, nil
 }
 
 func (c *countingAnalysis) Finalize() error {
@@ -77,7 +123,7 @@ func testCtx() *Context {
 
 func TestRegistryRoundTrip(t *testing.T) {
 	called := false
-	Register("test-adaptor", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+	Register("test-adaptor", func(ctx *Context, attrs map[string]string) (Analysis, error) {
 		called = true
 		if attrs["custom"] != "42" {
 			t.Errorf("attrs = %v", attrs)
@@ -104,7 +150,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 
 func TestConfigurableAnalysisFrequencyGating(t *testing.T) {
 	counter := &countingAnalysis{}
-	Register("counting", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+	Register("counting", func(ctx *Context, attrs map[string]string) (Analysis, error) {
 		return counter, nil
 	})
 	ca := NewConfigurableAnalysis(testCtx())
@@ -120,7 +166,7 @@ func TestConfigurableAnalysisFrequencyGating(t *testing.T) {
 	da := &mockAdaptor{values: []float64{1, 2, 3}}
 	for step := 0; step <= 1000; step++ {
 		da.step = step
-		if err := ca.Execute(da); err != nil {
+		if _, err := ca.Execute(da); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -140,7 +186,7 @@ func TestConfigurableAnalysisEnabledFlag(t *testing.T) {
 	a := &countingAnalysis{}
 	b := &countingAnalysis{}
 	next := a
-	Register("toggled", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+	Register("toggled", func(ctx *Context, attrs map[string]string) (Analysis, error) {
 		cur := next
 		next = b
 		return cur, nil
@@ -160,7 +206,7 @@ func TestConfigurableAnalysisEnabledFlag(t *testing.T) {
 
 func TestConfigurableAnalysisPaperListing(t *testing.T) {
 	// The exact configuration shape of the paper's Listing 1.
-	Register("catalyst-test", func(ctx *Context, attrs map[string]string) (AnalysisAdaptor, error) {
+	Register("catalyst-test", func(ctx *Context, attrs map[string]string) (Analysis, error) {
 		if attrs["pipeline"] != "pythonscript" || attrs["filename"] != "analysis.py" {
 			t.Errorf("attrs = %v", attrs)
 		}
@@ -200,9 +246,9 @@ func TestHistogramCounts(t *testing.T) {
 	ctx := testCtx()
 	h := NewHistogram(ctx, "mesh", "f", 4)
 	da := &mockAdaptor{values: []float64{0, 0.1, 0.3, 0.6, 0.9, 1.0}}
-	ok, err := h.Execute(da)
-	if err != nil || !ok {
-		t.Fatal(err)
+	stop, err := h.Execute(pull(t, da, h))
+	if err != nil || stop {
+		t.Fatalf("stop=%v err=%v", stop, err)
 	}
 	edges, counts := h.Last()
 	if len(edges) != 5 || len(counts) != 4 {
@@ -235,7 +281,12 @@ func TestHistogramDistributed(t *testing.T) {
 		h := NewHistogram(ctx, "mesh", "f", 2)
 		// Rank r contributes values all equal to r.
 		da := &mockAdaptor{values: []float64{float64(c.Rank()), float64(c.Rank())}}
-		if _, err := h.Execute(da); err != nil {
+		st, err := Pull(da, h.Describe(), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := h.Execute(st); err != nil {
 			t.Error(err)
 			return
 		}
@@ -280,7 +331,7 @@ func TestAutocorrelationConstantField(t *testing.T) {
 	da := &mockAdaptor{values: []float64{2, 2, 2}}
 	for step := 0; step < 6; step++ {
 		da.step = step
-		if _, err := a.Execute(da); err != nil {
+		if _, err := a.Execute(pull(t, da, a)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -304,7 +355,7 @@ func TestAutocorrelationAlternatingField(t *testing.T) {
 			v = -1
 		}
 		da.values = []float64{v, v}
-		if _, err := a.Execute(da); err != nil {
+		if _, err := a.Execute(pull(t, da, a)); err != nil {
 			t.Fatal(err)
 		}
 	}

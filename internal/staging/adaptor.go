@@ -11,15 +11,19 @@ import (
 )
 
 // ConsumerSpec is one pre-declared consumer from the XML consumers
-// attribute: "name[:policy[:depth]]".
+// attribute: "name[:policy[:depth[:arrays]]]" where arrays is a
+// `+`-separated subset of the published arrays (e.g.
+// "render:latest-only:1:pressure+velocity_x"). An empty arrays field
+// means every published array.
 type ConsumerSpec struct {
 	Name   string
 	Policy Policy
 	Depth  int
+	Arrays []string // declared subset, nil = all
 }
 
 // ParseConsumers parses a comma-separated consumer list, e.g.
-// "hist:block:2,probe:drop-oldest:4,render:latest-only".
+// "hist:block:2,probe:drop-oldest:4,render:latest-only:1:pressure+velocity_x".
 func ParseConsumers(s string) ([]ConsumerSpec, error) {
 	var out []ConsumerSpec
 	seen := map[string]bool{}
@@ -29,8 +33,8 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 			continue
 		}
 		fields := strings.Split(part, ":")
-		if len(fields) > 3 {
-			return nil, fmt.Errorf("staging: consumer spec %q: want name[:policy[:depth]]", part)
+		if len(fields) > 4 {
+			return nil, fmt.Errorf("staging: consumer spec %q: want name[:policy[:depth[:arrays]]]", part)
 		}
 		spec := ConsumerSpec{Name: strings.TrimSpace(fields[0])}
 		if spec.Name == "" {
@@ -54,6 +58,16 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 			}
 			spec.Depth = d
 		}
+		if len(fields) > 3 {
+			for _, a := range strings.Split(fields[3], "+") {
+				if a = strings.TrimSpace(a); a != "" {
+					spec.Arrays = append(spec.Arrays, a)
+				}
+			}
+			if len(spec.Arrays) == 0 {
+				return nil, fmt.Errorf("staging: consumer %q: empty arrays field", spec.Name)
+			}
+		}
 		out = append(out, spec)
 	}
 	return out, nil
@@ -67,10 +81,15 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 //	address   server listen address (default 127.0.0.1:0)
 //	contact   contact file for the rendezvous (rank 0 writes it)
 //	mesh      mesh name (default "mesh")
-//	arrays    comma-separated array names ("" = all advertised)
-//	consumers pre-declared consumers, "name[:policy[:depth]],..." —
-//	          subscribed at initialization so no step is missed while
-//	          endpoints attach
+//	arrays    comma-separated array names ("" = all advertised); also
+//	          the advertisement consumer subset requests are validated
+//	          against
+//	consumers pre-declared consumers,
+//	          "name[:policy[:depth[:arrays]]],..." with +-separated
+//	          arrays (e.g. "render:latest-only:1:pressure+velocity_x")
+//	          — subscribed at initialization so no step is missed
+//	          while endpoints attach; the arrays field subsets what is
+//	          shipped to that consumer
 //	policy    default policy for consumers not pre-declared
 //	depth     default queue depth (default 2)
 type Adaptor struct {
@@ -109,7 +128,7 @@ func New(ctx *sensei.Context, hub *Hub, meshName string, arrays []string) *Adapt
 }
 
 func init() {
-	sensei.Register("staging", func(ctx *sensei.Context, attrs map[string]string) (sensei.AnalysisAdaptor, error) {
+	sensei.Register("staging", func(ctx *sensei.Context, attrs map[string]string) (sensei.Analysis, error) {
 		hub := NewHub(ctx.Acct)
 		var arrays []string
 		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
@@ -117,6 +136,9 @@ func init() {
 				arrays = append(arrays, strings.TrimSpace(s))
 			}
 		}
+		// A configured array set is the advertisement consumer subset
+		// requests are validated against (handshake rejection).
+		hub.SetAdvertised(arrays)
 		ad := New(ctx, hub, attrs["mesh"], arrays)
 		if p := attrs["policy"]; p != "" {
 			pol, err := ParsePolicy(p)
@@ -140,7 +162,7 @@ func init() {
 			if spec.Depth == 0 {
 				spec.Depth = ad.defDepth
 			}
-			cons, err := hub.Subscribe(spec.Name, spec.Policy, spec.Depth)
+			cons, err := hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, spec.Arrays)
 			if err != nil {
 				return nil, err
 			}
@@ -179,15 +201,18 @@ func init() {
 // names are claimed (one live connection at a time — after a
 // disconnect, a reconnect gets a fresh subscription with the declared
 // policy); unknown names get fresh subscriptions with the reader's
-// announced policy/depth or the adaptor defaults. Readers announcing
-// group > 1 are brokered into one consumer group per logical name:
-// the first member's claim converts the pre-declared subscription
-// (keeping its cursor, so pre-declared groups still lose no steps)
-// into the group's base, and the remaining members attach to it.
-func (a *Adaptor) bindConsumer(name, policy string, depth, group int) (*Consumer, error) {
+// announced policy/depth/arrays or the adaptor defaults. A reader
+// claiming a pre-declared name may narrow its subset further in the
+// hello; an array outside the advertisement rejects the handshake.
+// Readers announcing group > 1 are brokered into one consumer group
+// per logical name: the first member's claim converts the pre-declared
+// subscription (keeping its cursor, so pre-declared groups still lose
+// no steps) into the group's base, and the remaining members attach to
+// it.
+func (a *Adaptor) bindConsumer(name, policy string, depth, group int, arrays []string) (*Consumer, error) {
 	if group > 1 {
 		return a.groups.attach(a.hub, name, group, func() (*Consumer, error) {
-			return a.bindConsumer(name, policy, depth, 1)
+			return a.bindConsumer(name, policy, depth, 1, arrays)
 		})
 	}
 	a.mu.Lock()
@@ -195,6 +220,19 @@ func (a *Adaptor) bindConsumer(name, policy string, depth, group int) (*Consumer
 	if spec, ok := a.specs[name]; ok {
 		cons := a.registered[name]
 		if !a.claimed[name] {
+			if len(arrays) > 0 {
+				// The reader narrowed (or set) the subset at attach
+				// time: re-subscribe at the declared cursor semantics
+				// closest equivalent — a fresh subscription with the
+				// declared policy/depth and the announced arrays, after
+				// validating them. The pre-declared cursor is kept by
+				// converting the existing subscription only when the
+				// announced subset matches the declaration.
+				if err := a.hub.validateSubset(arrays); err != nil {
+					return nil, err
+				}
+				a.hub.setConsumerArrays(cons, arrays)
+			}
 			a.claimed[name] = true
 			return cons, nil
 		}
@@ -203,7 +241,11 @@ func (a *Adaptor) bindConsumer(name, policy string, depth, group int) (*Consumer
 			// subscription). Re-subscribe under the declared policy;
 			// steps shed in between are lost, the structure replays
 			// from the bootstrap.
-			nc, err := a.hub.Subscribe(spec.Name, spec.Policy, spec.Depth)
+			sub := spec.Arrays
+			if len(arrays) > 0 {
+				sub = arrays
+			}
+			nc, err := a.hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, sub)
 			if err != nil {
 				return nil, err
 			}
@@ -227,7 +269,7 @@ func (a *Adaptor) bindConsumer(name, policy string, depth, group int) (*Consumer
 		a.dynSeq++
 		name = fmt.Sprintf("consumer-%d", a.dynSeq)
 	}
-	return a.hub.Subscribe(name, pol, depth)
+	return a.hub.SubscribeArrays(name, pol, depth, arrays)
 }
 
 // Hub exposes the staging hub (stats, programmatic subscription).
@@ -239,29 +281,37 @@ func (a *Adaptor) Server() *Server { return a.server }
 // StepsStaged reports Execute calls that published a step.
 func (a *Adaptor) StepsStaged() int { return a.stepsStaged }
 
-// Execute implements sensei.AnalysisAdaptor: one step is marshaled
-// into the hub regardless of how many consumers fan out of it.
-func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
+// Describe implements sensei.Analysis: the configured arrays, or
+// every advertised array when none were configured. The hub stages
+// the full published set — per-consumer subsets are applied on
+// delivery (Consumer arrays / the hello's arrays field), because
+// consumers attach and detach dynamically and late subscribers must
+// still be able to request anything published.
+func (a *Adaptor) Describe() sensei.Requirements {
+	if len(a.arrays) > 0 {
+		return sensei.RequireArrays(a.meshName, sensei.AssocPoint, a.arrays...)
+	}
+	return sensei.RequireAllArrays(a.meshName)
+}
+
+// Execute implements sensei.Analysis: one step is marshaled into the
+// hub regardless of how many consumers fan out of it.
+func (a *Adaptor) Execute(st *sensei.Step) (bool, error) {
 	arrays := a.arrays
 	if len(arrays) == 0 {
-		md, err := da.MeshMetadata(0)
+		md, err := st.Metadata(a.meshName)
 		if err != nil {
 			return false, err
 		}
 		arrays = md.ArrayNames
 	}
-	g, err := da.Mesh(a.meshName, true)
+	g, err := st.Mesh(a.meshName)
 	if err != nil {
 		return false, err
 	}
-	for _, name := range arrays {
-		if err := da.AddArray(g, a.meshName, sensei.AssocPoint, name); err != nil {
-			return false, err
-		}
-	}
 	step := &adios.Step{
-		Step:  int64(da.TimeStep()),
-		Time:  da.Time(),
+		Step:  int64(st.TimeStep()),
+		Time:  st.Time(),
 		Attrs: map[string]string{"mesh": a.meshName},
 	}
 	if !a.structureSent {
@@ -288,7 +338,7 @@ func (a *Adaptor) Execute(da sensei.DataAdaptor) (bool, error) {
 		return false, err
 	}
 	a.stepsStaged++
-	return true, nil
+	return false, nil
 }
 
 // Finalize closes the hub (consumers drain and see end-of-stream) and

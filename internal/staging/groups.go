@@ -85,7 +85,7 @@ func (h *Hub) GroupConsumer(base *Consumer, size int) ([]*Consumer, error) {
 	for i := range members {
 		members[i] = &Consumer{
 			hub: h, name: base.name, policy: base.policy, depth: base.depth,
-			grp: gs, grpClaimed: true,
+			arrays: base.arrays, grp: gs, grpClaimed: true,
 		}
 	}
 	gs.members = members
@@ -113,7 +113,7 @@ func (g *groupState) nextMemberLocked(c *Consumer) (*StepRef, error) {
 			ge := g.log[pos]
 			c.grpIdx++
 			c.delivered++
-			return &StepRef{hub: h, e: ge.ref.e, ge: ge, grp: g}, nil
+			return &StepRef{hub: h, e: ge.ref.e, arrays: c.arrays, ge: ge, grp: g}, nil
 		}
 		if g.done {
 			return nil, g.err

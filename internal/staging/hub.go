@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"nekrs-sensei/internal/adios"
@@ -18,7 +19,10 @@ var errConsumerClosed = errors.New("staging: consumer closed")
 
 // stepEntry is one published timestep in the ring. The step pointer
 // and the lazily marshaled frame are shared by every consumer —
-// fan-out never copies payload data.
+// fan-out never copies payload data. Consumers that declared an array
+// subset share per-subset views and frames (subs), keyed by the
+// canonical subset key; payload slices are shared with the full step,
+// so a subset view costs headers, not data copies.
 type stepEntry struct {
 	seq   int64
 	step  *adios.Step
@@ -27,6 +31,95 @@ type stepEntry struct {
 
 	marshalOnce sync.Once
 	frame       []byte
+
+	subMu sync.Mutex
+	subs  map[string]*subsetForm
+}
+
+// subsetForm is one array subset's shared view of a step entry: the
+// filtered step and its lazily marshaled frame, shared by every
+// consumer that declared the same subset.
+type subsetForm struct {
+	step *adios.Step
+
+	marshalOnce sync.Once
+	frame       []byte
+}
+
+// subsetKey canonicalizes an array subset (sorted, comma-joined).
+// Callers pass sorted subsets (normalizeArrays).
+func subsetKey(arrays []string) string {
+	key := ""
+	for i, a := range arrays {
+		if i > 0 {
+			key += ","
+		}
+		key += a
+	}
+	return key
+}
+
+// normalizeArrays sorts and deduplicates a requested subset; nil and
+// empty mean "every array".
+func normalizeArrays(arrays []string) []string {
+	if len(arrays) == 0 {
+		return nil
+	}
+	out := append([]string(nil), arrays...)
+	sort.Strings(out)
+	n := 0
+	for i, a := range out {
+		if i == 0 || a != out[i-1] {
+			out[n] = a
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// filterStep builds a subset view of s containing only the named
+// arrays (plus every non-array variable, e.g. the structure). Var
+// payloads are shared, not copied.
+func filterStep(s *adios.Step, arrays []string) *adios.Step {
+	out := &adios.Step{Step: s.Step, Time: s.Time, Attrs: s.Attrs}
+	for i := range s.Vars {
+		v := &s.Vars[i]
+		const prefix = "array/"
+		if len(v.Name) > len(prefix) && v.Name[:len(prefix)] == prefix {
+			name := v.Name[len(prefix):]
+			keep := false
+			for _, a := range arrays {
+				if a == name {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		out.Vars = append(out.Vars, *v)
+	}
+	return out
+}
+
+// subsetFor returns the shared subset view of this entry for the given
+// (normalized, non-empty) arrays. The structure-carrying step is
+// always delivered whole so late-subsetting consumers can still
+// reconstruct the grid.
+func (e *stepEntry) subsetFor(arrays []string) *subsetForm {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	key := subsetKey(arrays)
+	if f := e.subs[key]; f != nil {
+		return f
+	}
+	if e.subs == nil {
+		e.subs = map[string]*subsetForm{}
+	}
+	f := &subsetForm{step: filterStep(e.step, arrays)}
+	e.subs[key] = f
+	return f
 }
 
 // Hub is the staging core: a producer publishes timesteps into a ring
@@ -44,6 +137,11 @@ type Hub struct {
 	nextSeq int64        // seq the next Publish receives
 
 	consumers []*Consumer
+
+	// advertised, when non-nil, is the array set the producer
+	// publishes: subscriptions declaring a subset are validated
+	// against it and rejected when they name an unknown array.
+	advertised []string
 
 	// bootstrap is the first structure-carrying step, retained (one
 	// extra reference) until Close so consumers attaching mid-stream
@@ -73,10 +171,15 @@ type Consumer struct {
 	name   string
 	policy Policy
 	depth  int
+	// arrays is this consumer's declared subset (normalized); nil
+	// means every published array. Delivered steps and network frames
+	// are filtered to it (the structure step always travels whole).
+	arrays []string
 
 	cursor    int64
 	delivered int64
 	dropped   int64
+	wireBytes int64
 	closed    bool
 
 	// pendingBootstrap is delivered before ring steps when the
@@ -107,6 +210,10 @@ type StepRef struct {
 	e        *stepEntry
 	released bool
 
+	// arrays is the owning consumer's declared subset: Step and Frame
+	// deliver the filtered shared view (structure steps excepted).
+	arrays []string
+
 	// ge is set for group-member views: Release decrements the log
 	// entry's member count instead of the hub reference, which is
 	// returned (through the group's base ref) by the last member.
@@ -114,8 +221,24 @@ type StepRef struct {
 	grp *groupState
 }
 
-// Step returns the shared, read-only step payload.
-func (r *StepRef) Step() *adios.Step { return r.e.step }
+// subset resolves this view's subset form, nil for full delivery
+// (no declared subset, or the structure step, which always travels
+// whole).
+func (r *StepRef) subset() *subsetForm {
+	if r.arrays == nil || r.e.step.Attrs["structure"] == "1" {
+		return nil
+	}
+	return r.e.subsetFor(r.arrays)
+}
+
+// Step returns the shared, read-only step payload, filtered to the
+// consumer's declared array subset.
+func (r *StepRef) Step() *adios.Step {
+	if f := r.subset(); f != nil {
+		return f.step
+	}
+	return r.e.step
+}
 
 // Release returns this consumer's reference. Safe to call twice.
 func (r *StepRef) Release() {
@@ -150,23 +273,80 @@ func (h *Hub) releaseRef(e *stepEntry) {
 	}
 }
 
-// Subscribe attaches a named consumer. depth <= 0 selects the default
-// window of 2 (the SST default queue depth); LatestOnly forces a
-// window of one. Consumers attached after the first publish receive
-// the retained structure step first.
+// SetAdvertised declares the array set this hub's producer publishes.
+// Once set, subscriptions declaring a subset are validated against it:
+// naming an unknown array fails the Subscribe (and, through the
+// network server, rejects the reader's handshake). Nil clears the
+// advertisement (any subset accepted).
+func (h *Hub) SetAdvertised(arrays []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.advertised = normalizeArrays(arrays)
+}
+
+// Advertised reports the declared producer array set (nil = unknown).
+func (h *Hub) Advertised() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.advertised
+}
+
+// validateSubsetLocked rejects subsets naming arrays outside the
+// advertisement (no-op while no advertisement is set), using the wire
+// protocol's shared rejection rule. Caller holds h.mu.
+func (h *Hub) validateSubsetLocked(arrays []string) error {
+	if err := adios.CheckAdvertised(arrays, h.advertised); err != nil {
+		return fmt.Errorf("staging: %w", err)
+	}
+	return nil
+}
+
+// validateSubset is validateSubsetLocked for external callers.
+func (h *Hub) validateSubset(arrays []string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.validateSubsetLocked(normalizeArrays(arrays))
+}
+
+// setConsumerArrays replaces an existing subscription's declared
+// subset — the path that lets a reader narrow a pre-declared consumer
+// at attach time without losing its cursor.
+func (h *Hub) setConsumerArrays(c *Consumer, arrays []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c.arrays = normalizeArrays(arrays)
+}
+
+// Subscribe attaches a named consumer receiving every published
+// array. depth <= 0 selects the default window of 2 (the SST default
+// queue depth); LatestOnly forces a window of one. Consumers attached
+// after the first publish receive the retained structure step first.
 func (h *Hub) Subscribe(name string, policy Policy, depth int) (*Consumer, error) {
+	return h.SubscribeArrays(name, policy, depth, nil)
+}
+
+// SubscribeArrays is Subscribe with a declared array subset: the
+// consumer receives (and, over the network, is shipped) only the named
+// arrays, except the structure step which always travels whole. Nil or
+// empty arrays mean everything. When the producer advertised its array
+// set, a subset naming an unknown array is rejected.
+func (h *Hub) SubscribeArrays(name string, policy Policy, depth int, arrays []string) (*Consumer, error) {
 	if depth <= 0 {
 		depth = 2
 	}
 	if policy == LatestOnly {
 		depth = 1
 	}
+	arrays = normalizeArrays(arrays)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
 		return nil, ErrClosed
 	}
-	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, cursor: h.nextSeq}
+	if err := h.validateSubsetLocked(arrays); err != nil {
+		return nil, err
+	}
+	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, arrays: arrays, cursor: h.nextSeq}
 	if h.bootstrap != nil && h.nextSeq > h.bootstrap.seq {
 		c.pendingBootstrap = h.bootstrap
 		h.bootstrap.refs++
@@ -315,8 +495,10 @@ type ConsumerStats struct {
 	Name      string
 	Policy    Policy
 	Depth     int
+	Arrays    []string // declared subset, nil = all
 	Delivered int64
 	Dropped   int64
+	WireBytes int64 // marshaled bytes shipped by the network pump
 }
 
 // Stats snapshots every consumer's counters in subscription order.
@@ -326,8 +508,8 @@ func (h *Hub) Stats() []ConsumerStats {
 	out := make([]ConsumerStats, len(h.consumers))
 	for i, c := range h.consumers {
 		out[i] = ConsumerStats{
-			Name: c.name, Policy: c.policy, Depth: c.depth,
-			Delivered: c.delivered, Dropped: c.dropped,
+			Name: c.name, Policy: c.policy, Depth: c.depth, Arrays: c.arrays,
+			Delivered: c.delivered, Dropped: c.dropped, WireBytes: c.wireBytes,
 		}
 	}
 	return out
@@ -354,6 +536,28 @@ func (c *Consumer) Dropped() int64 {
 	c.hub.mu.Lock()
 	defer c.hub.mu.Unlock()
 	return c.dropped
+}
+
+// Arrays reports the consumer's declared array subset (nil = all).
+func (c *Consumer) Arrays() []string {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.arrays
+}
+
+// WireBytes reports the marshaled bytes the network pump shipped to
+// this consumer.
+func (c *Consumer) WireBytes() int64 {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.wireBytes
+}
+
+// addWireBytes accumulates shipped frame bytes (network pump).
+func (c *Consumer) addWireBytes(n int64) {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	c.wireBytes += n
 }
 
 // IsClosed reports whether the consumer has been detached.
@@ -394,7 +598,7 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		e := c.pendingBootstrap
 		c.pendingBootstrap = nil
 		c.delivered++
-		return &StepRef{hub: h, e: e}, nil
+		return &StepRef{hub: h, e: e, arrays: c.arrays}, nil
 	}
 	if c.cursor < h.nextSeq {
 		e := h.ring[c.cursor-h.headSeq]
@@ -402,7 +606,7 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		c.delivered++
 		h.trim()
 		h.cond.Broadcast() // a Block producer may be waiting on us
-		return &StepRef{hub: h, e: e}, nil
+		return &StepRef{hub: h, e: e, arrays: c.arrays}, nil
 	}
 	if h.closed {
 		return nil, io.EOF
@@ -467,8 +671,15 @@ func (e *stepEntry) frameBytes() []byte {
 }
 
 // Frame exposes the shared marshaled form of a delivered step (the
-// network pump's zero-copy path).
-func (r *StepRef) Frame() []byte { return r.e.frameBytes() }
+// network pump's zero-copy path), filtered to the consumer's declared
+// subset: consumers sharing a subset share one marshal.
+func (r *StepRef) Frame() []byte {
+	if f := r.subset(); f != nil {
+		f.marshalOnce.Do(func() { f.frame = adios.Marshal(f.step) })
+		return f.frame
+	}
+	return r.e.frameBytes()
+}
 
 // String describes the hub for logs.
 func (h *Hub) String() string {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func TestParsePolicy(t *testing.T) {
 }
 
 func TestParseConsumers(t *testing.T) {
-	specs, err := ParseConsumers("hist:block:2, probe:drop-oldest:4 ,render:latest-only")
+	specs, err := ParseConsumers("hist:block:2, probe:drop-oldest:4 ,render:latest-only, sub:block:2:pressure+velocity_x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,16 +59,17 @@ func TestParseConsumers(t *testing.T) {
 		{Name: "hist", Policy: Block, Depth: 2},
 		{Name: "probe", Policy: DropOldest, Depth: 4},
 		{Name: "render", Policy: LatestOnly},
+		{Name: "sub", Policy: Block, Depth: 2, Arrays: []string{"pressure", "velocity_x"}},
 	}
 	if len(specs) != len(want) {
 		t.Fatalf("got %d specs", len(specs))
 	}
 	for i := range want {
-		if specs[i] != want[i] {
+		if !reflect.DeepEqual(specs[i], want[i]) {
 			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
 		}
 	}
-	for _, bad := range []string{"a:block:0", "a:warp", ":block", "a,a", "a:b:c:d"} {
+	for _, bad := range []string{"a:block:0", "a:warp", ":block", "a,a", "a:block:2:", "a:block:2:x:y"} {
 		if _, err := ParseConsumers(bad); err == nil {
 			t.Errorf("ParseConsumers(%q): expected error", bad)
 		}

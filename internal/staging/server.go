@@ -15,14 +15,16 @@ import (
 )
 
 // SubscribeFunc resolves an incoming reader handshake to a hub
-// consumer. name/policy/depth/group are the reader's announced values
-// (any may be empty/zero); implementations typically claim a
+// consumer. name/policy/depth/group/arrays are the reader's announced
+// values (any may be empty/zero); implementations typically claim a
 // pre-registered consumer by name or subscribe a new one. group > 1
 // declares the reader to be one of group cooperating members of a
 // consumer group (see Hub.SubscribeGroup): the implementation must
 // hand each of the group readers announcing the same name a distinct
-// member of one shared group.
-type SubscribeFunc func(name, policy string, depth, group int) (*Consumer, error)
+// member of one shared group. arrays is the reader's declared array
+// subset (nil = everything); returning an error — e.g. for an
+// unadvertised array — rejects the handshake.
+type SubscribeFunc func(name, policy string, depth, group int, arrays []string) (*Consumer, error)
 
 // Server accepts any number of SST readers on one address and pumps
 // each one from its own hub consumer: the multi-consumer counterpart
@@ -54,17 +56,17 @@ func Serve(hub *Hub, addr string, subscribe SubscribeFunc) (*Server, error) {
 	s := &Server{hub: hub, ln: ln, subscribe: subscribe, conns: map[net.Conn]*Consumer{}}
 	if s.subscribe == nil {
 		var broker groupBroker
-		s.subscribe = func(name, policy string, depth, group int) (*Consumer, error) {
+		s.subscribe = func(name, policy string, depth, group int, arrays []string) (*Consumer, error) {
 			p, err := ParsePolicy(policy)
 			if err != nil {
 				return nil, err
 			}
 			if group > 1 {
 				return broker.attach(hub, name, group, func() (*Consumer, error) {
-					return hub.Subscribe(name, p, depth)
+					return hub.SubscribeArrays(name, p, depth, arrays)
 				})
 			}
-			return hub.Subscribe(name, p, depth)
+			return hub.SubscribeArrays(name, p, depth, arrays)
 		}
 	}
 	s.wg.Add(1)
@@ -140,7 +142,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Bind before replying so a failed subscription is rejected in the
 	// handshake (the client would otherwise read a closed connection
 	// as a clean, empty end-of-stream).
-	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth, h.Group)
+	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth, h.Group, h.Arrays)
 	if err != nil {
 		err = fmt.Errorf("staging: consumer %q: %w", h.Consumer, err)
 		s.setErr(err)
@@ -188,6 +190,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // consumer closed under us (server shutdown)
 		}
 		frame := ref.Frame()
+		cons.addWireBytes(int64(len(frame)))
 		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
 		if _, err := bw.Write(lenBuf[:]); err != nil {
 			ref.Release()

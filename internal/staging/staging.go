@@ -26,6 +26,16 @@
 // step sequence — the property that keeps a sharded endpoint's
 // per-step collectives matched (see groups.go and DESIGN.md).
 //
+// Consumers may declare an array subset (SubscribeArrays, or the
+// reader hello's `arrays` field): delivered steps and network frames
+// are filtered to the declared arrays — per-subset views share the
+// full step's payload slices and same-subset consumers share one
+// marshal — except the structure-carrying step, which always travels
+// whole. When the producer advertised its array set (SetAdvertised),
+// a subset naming an unknown array fails the subscription and, over
+// the network, rejects the reader's handshake. Per-consumer shipped
+// bytes are accounted in ConsumerStats.WireBytes.
+//
 // Entry points: NewHub/Subscribe/SubscribeGroup/Publish for
 // programmatic use, the "staging" analysis type (adaptor.go) for
 // Listing-1 XML configuration, and Serve (server.go) for network

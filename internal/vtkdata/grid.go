@@ -97,6 +97,16 @@ func (g *UnstructuredGrid) FindPointData(name string) *DataArray {
 	return nil
 }
 
+// FindCellData returns the named cell array, or nil.
+func (g *UnstructuredGrid) FindCellData(name string) *DataArray {
+	for _, a := range g.CellData {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
 // Bytes estimates the grid's in-memory payload in bytes, used for the
 // memory accounting of VTK copies in the Catalyst configuration.
 func (g *UnstructuredGrid) Bytes() int64 {
