@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -80,7 +80,8 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 	wantFanout := fig == "all" || fig == "fanout"
 	wantEndpoint := fig == "all" || fig == "endpoint-scaling" || fig == "endpoint"
 	wantSubset := fig == "all" || fig == "subset"
-	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset {
+	wantWire := fig == "all" || fig == "wire"
+	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -270,6 +271,38 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 		for _, path := range paths {
 			if err := writeJSON(path, func(w *os.File) error {
 				return bench.WriteSubsetJSON(w, cfg, results)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	if wantWire {
+		cfg := bench.WireConfig{}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		fmt.Printf("running wire/alloc measurement (%d arrays x %d KiB)...\n",
+			6, 64)
+		res, err := bench.RunWireAlloc(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.WireTable(res)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "wire.csv", t); err != nil {
+			return err
+		}
+		// Like the other sweeps, an explicit wire run also drops the
+		// artifact in the working directory, where harnesses look for it.
+		paths := []string{filepath.Join(out, "BENCH_wire.json")}
+		if fig != "all" {
+			paths = append(paths, "BENCH_wire.json")
+		}
+		for _, path := range paths {
+			if err := writeJSON(path, func(w *os.File) error {
+				return bench.WriteWireJSON(w, res)
 			}); err != nil {
 				return err
 			}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"nekrs-sensei/internal/checkpoint"
 	"nekrs-sensei/internal/core"
@@ -92,6 +93,14 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 	}
 
 	errs := make([]error, ranks)
+	// Allocator window over the stepping loop (process-wide: all
+	// simulated ranks share one Go heap) — the steady-state alloc/GC
+	// pressure the zero-allocation data plane is budgeted against. The
+	// window opens at the first step callback so one-time setup (mesh
+	// build, solver state, bridge init) does not drown the per-step
+	// signal.
+	alloc := metrics.NewAllocStats()
+	var allocBegin sync.Once
 	mpirt.Run(ranks, func(comm *mpirt.Comm) {
 		rank := comm.Rank()
 		sim, err := nekrs.NewSim(comm, nil, c)
@@ -118,6 +127,7 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 			}
 		}
 		err = sim.Run(steps, func(st fluid.StepStats) error {
+			allocBegin.Do(alloc.Begin)
 			if rank == 0 && logEvery > 0 && st.Step%logEvery == 0 {
 				fmt.Printf("step %6d  t=%.4f  CFL=%.3f  iters p=%d v=%v\n",
 					st.Step, st.Time, st.CFL, st.PressureIters, st.ViscousIters)
@@ -157,6 +167,7 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 			if bridge != nil {
 				bridge.Analysis().PullTable().Render(os.Stdout)
 			}
+			alloc.Window(steps).Table().Render(os.Stdout)
 		} else {
 			// Collective KE call must be matched on every rank.
 			sim.Solver.KineticEnergy()

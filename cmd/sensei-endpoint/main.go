@@ -347,11 +347,17 @@ func runGroup(o *options) error {
 	fmt.Printf("attaching endpoint group %q (%d ranks) to %d staging hub(s), policy %s\n",
 		o.name, o.group, len(addrs), o.policy)
 
+	// The allocator window opens when the first rank attaches its
+	// sources, so flag parsing and contact-file polling stay out of the
+	// per-step numbers (reader dialing is part of the run and counted).
+	alloc := metrics.NewAllocStats()
+	var allocBegin sync.Once
 	group, err := intransit.NewGroup(intransit.GroupConfig{
 		Ranks:     o.group,
 		ConfigXML: cfgXML,
 		OutputDir: o.out,
 		Sources: func(rank, ranks int) ([]intransit.StepSource, func(), error) {
+			allocBegin.Do(alloc.Begin)
 			var readers []*adios.Reader
 			cleanup := func() {
 				for _, r := range readers {
@@ -386,5 +392,6 @@ func runGroup(o *options) error {
 		stats.Steps, float64(stats.MeanStepWall().Microseconds())/1000, skipped,
 		metrics.HumanBytes(stats.Bytes), stats.Files, o.out)
 	stats.Straggler.Render(os.Stdout)
+	alloc.Window(stats.Steps).Table().Render(os.Stdout)
 	return nil
 }

@@ -1,0 +1,65 @@
+package adios
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchStep mirrors the wire matrix shape: 6 arrays of 8192 float64s
+// (64 KiB each), the hub's dominant steady-state traffic.
+func benchStep() *Step {
+	s := &Step{Step: 2, Time: 0.002, Attrs: map[string]string{"mesh": "mesh"}}
+	for i := 0; i < 6; i++ {
+		data := make([]float64, 8192)
+		for j := range data {
+			data[j] = float64(j)
+		}
+		s.Vars = append(s.Vars, NewF64(fmt.Sprintf("array/a%d", i), data))
+	}
+	return s
+}
+
+func BenchmarkMarshalWire(b *testing.B) {
+	s := benchStep()
+	b.SetBytes(int64(MarshaledSize(s)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(s)
+	}
+}
+
+func BenchmarkMarshalFrame(b *testing.B) {
+	s := benchStep()
+	p := NewFramePool()
+	b.SetBytes(int64(MarshaledSize(s)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := MarshalFrame(s, p)
+		f.Release()
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	frame := Marshal(benchStep())
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalInto(b *testing.B) {
+	frame := Marshal(benchStep())
+	dst := &Step{}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := UnmarshalInto(frame, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,14 @@
 // binary data frames. The properties the evaluation measures — the
 // simulation side's bounded staging queue (memory), back-pressure from
 // a slow endpoint, and step pipelining — are preserved.
+//
+// The marshal layer is built for an allocation-free steady state: a
+// step's wire size is computed exactly up front (MarshaledSize), the
+// encode is a single pass straight into the destination (MarshalInto,
+// chunked across goroutines for large arrays), frames lease from a
+// refcounted FramePool (MarshalFrame), and readers decode into
+// recycled Step storage (UnmarshalInto / ReuseStep). See DESIGN.md
+// "Memory discipline" for the ownership rules.
 package adios
 
 import (
@@ -18,6 +26,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 )
 
 // bpMagic heads every marshaled step.
@@ -112,18 +123,95 @@ func (s *Step) Bytes() int64 {
 	return n
 }
 
-// Marshal serializes a step in BP-style binary form.
-func Marshal(s *Step) []byte {
-	var buf bytes.Buffer
-	buf.WriteString(bpMagic)
+// MarshaledSize reports the exact wire size of a step — the buffer
+// MarshalInto fills completely, with no growth or trailing slack.
+func MarshaledSize(s *Step) int {
+	n := len(bpMagic) + 8 + 8 + 8 // magic, step, time, attr count
+	for k, v := range s.Attrs {
+		n += 8 + len(k) + 8 + len(v)
+	}
+	n += 8 // var count
+	for i := range s.Vars {
+		v := &s.Vars[i]
+		n += 8 + len(v.Name) + 1 + 8 + 8*len(v.Shape) + 8 + int(v.Bytes())
+	}
+	return n
+}
+
+// parallelEncodeMin is the element count above which the bulk encode
+// of one array is chunked across goroutines (256 KiB of float64s) —
+// large enough that goroutine startup is noise against the copy.
+const parallelEncodeMin = 1 << 15
+
+// chunked splits n elements across min(NumCPU, 8) workers and runs f
+// on each [lo, hi) range concurrently.
+func chunked(n int, f func(lo, hi int)) {
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// encodeF64 bulk-encodes src little-endian into dst, chunking large
+// arrays across goroutines. Returns bytes written.
+func encodeF64(dst []byte, src []float64) int {
+	if len(src) >= parallelEncodeMin {
+		chunked(len(src), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(src[i]))
+			}
+		})
+		return 8 * len(src)
+	}
+	for i, x := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(x))
+	}
+	return 8 * len(src)
+}
+
+// encodeI64 is encodeF64 for int64 payloads.
+func encodeI64(dst []byte, src []int64) int {
+	if len(src) >= parallelEncodeMin {
+		chunked(len(src), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				binary.LittleEndian.PutUint64(dst[8*i:], uint64(src[i]))
+			}
+		})
+		return 8 * len(src)
+	}
+	for i, x := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(x))
+	}
+	return 8 * len(src)
+}
+
+// MarshalInto serializes a step in BP-style binary form straight into
+// dst, which must be exactly MarshaledSize(s) bytes (the single-pass,
+// zero-growth encode under Marshal and MarshalFrame). Returns the
+// bytes written.
+func MarshalInto(s *Step, dst []byte) int {
+	off := copy(dst, bpMagic)
 	putU64 := func(v uint64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], v)
-		buf.Write(b[:])
+		binary.LittleEndian.PutUint64(dst[off:], v)
+		off += 8
 	}
 	putString := func(str string) {
 		putU64(uint64(len(str)))
-		buf.WriteString(str)
+		off += copy(dst[off:], str)
 	}
 	putU64(uint64(s.Step))
 	putU64(math.Float64bits(s.Time))
@@ -133,7 +221,7 @@ func Marshal(s *Step) []byte {
 	for k := range s.Attrs {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	for _, k := range keys {
 		putString(k)
 		putString(s.Attrs[k])
@@ -142,7 +230,8 @@ func Marshal(s *Step) []byte {
 	for i := range s.Vars {
 		v := &s.Vars[i]
 		putString(v.Name)
-		buf.WriteByte(byte(v.Kind))
+		dst[off] = byte(v.Kind)
+		off++
 		putU64(uint64(len(v.Shape)))
 		for _, d := range v.Shape {
 			putU64(uint64(d))
@@ -150,36 +239,96 @@ func Marshal(s *Step) []byte {
 		putU64(uint64(v.Len()))
 		switch v.Kind {
 		case KindFloat64:
-			raw := make([]byte, 8*len(v.F64))
-			for j, x := range v.F64 {
-				binary.LittleEndian.PutUint64(raw[8*j:], math.Float64bits(x))
-			}
-			buf.Write(raw)
+			off += encodeF64(dst[off:], v.F64)
 		case KindInt64:
-			raw := make([]byte, 8*len(v.I64))
-			for j, x := range v.I64 {
-				binary.LittleEndian.PutUint64(raw[8*j:], uint64(x))
-			}
-			buf.Write(raw)
+			off += encodeI64(dst[off:], v.I64)
 		case KindUint8:
-			buf.Write(v.U8)
+			off += copy(dst[off:], v.U8)
 		}
 	}
-	return buf.Bytes()
+	return off
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+// Marshal serializes a step in BP-style binary form.
+func Marshal(s *Step) []byte {
+	dst := make([]byte, MarshaledSize(s))
+	MarshalInto(s, dst)
+	return dst
 }
 
-// Unmarshal decodes a step marshaled by Marshal.
+// MarshalFrame serializes a step into a frame leased from p, the
+// allocation-free steady-state encode path: the returned frame holds
+// one reference and its buffer recycles on the last Release.
+func MarshalFrame(s *Step, p *FramePool) *Frame {
+	f := p.Lease(MarshaledSize(s))
+	MarshalInto(s, f.Bytes())
+	return f
+}
+
+// Unmarshal decodes a step marshaled by Marshal into fresh storage.
 func Unmarshal(raw []byte) (*Step, error) {
+	out := &Step{}
+	if err := UnmarshalInto(raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReuseStep vets a consumed step for decode-into-reuse: it returns s
+// itself when its storage may be recycled as an UnmarshalInto
+// destination, and nil when it must not be — s is nil, or it carries
+// the grid structure, whose payload slices downstream grid caches
+// keep referencing for the rest of the stream (see
+// intransit.StreamDataAdaptor.IngestStructure). Structure steps are
+// therefore never pooled; they occur once per stream, so the steady
+// state is unaffected.
+func ReuseStep(s *Step) *Step {
+	if s == nil || s.Attrs["structure"] == "1" {
+		return nil
+	}
+	return s
+}
+
+// decodeF64 bulk-decodes little-endian floats, chunking large arrays.
+func decodeF64(dst []float64, raw []byte) {
+	if len(dst) >= parallelEncodeMin {
+		chunked(len(dst), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+			}
+		})
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+}
+
+// decodeI64 is decodeF64 for int64 payloads.
+func decodeI64(dst []int64, raw []byte) {
+	if len(dst) >= parallelEncodeMin {
+		chunked(len(dst), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+			}
+		})
+		return
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+}
+
+// UnmarshalInto decodes a step marshaled by Marshal into out, reusing
+// out's attribute map, variable headers, shape slices and payload
+// storage wherever capacities allow — the decode side of the
+// zero-allocation steady state. A zero-valued out behaves like a
+// fresh Unmarshal; a recycled out (see ReuseStep) decodes a stream of
+// same-shaped steps without allocating. On error out's contents are
+// unspecified.
+func UnmarshalInto(raw []byte, out *Step) error {
 	if len(raw) < 4 || string(raw[:4]) != bpMagic {
-		return nil, fmt.Errorf("adios: bad magic")
+		return fmt.Errorf("adios: bad magic")
 	}
 	pos := 4
 	getU64 := func() (uint64, error) {
@@ -190,102 +339,180 @@ func Unmarshal(raw []byte) (*Step, error) {
 		pos += 8
 		return v, nil
 	}
-	getString := func() (string, error) {
+	// getBytes returns the next length-prefixed region in place (no
+	// copy): callers compare against existing strings before allocating.
+	// Lengths are validated against the remaining bytes before any
+	// conversion to int, so a hostile frame cannot overflow the bounds
+	// checks into a huge or negative allocation.
+	getBytes := func() ([]byte, error) {
 		n, err := getU64()
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		if pos+int(n) > len(raw) {
-			return "", fmt.Errorf("adios: truncated string")
+		if n > uint64(len(raw)-pos) {
+			return nil, fmt.Errorf("adios: truncated string")
 		}
-		s := string(raw[pos : pos+int(n)])
+		b := raw[pos : pos+int(n)]
 		pos += int(n)
-		return s, nil
+		return b, nil
 	}
-	out := &Step{Attrs: map[string]string{}}
 	v, err := getU64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	out.Step = int64(v)
 	if v, err = getU64(); err != nil {
-		return nil, err
+		return err
 	}
 	out.Time = math.Float64frombits(v)
 	nattr, err := getU64()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	if nattr > uint64(len(raw)-pos)/16 { // each attr needs two length words
+		return fmt.Errorf("adios: attr count %d exceeds frame", nattr)
+	}
+	if out.Attrs == nil {
+		out.Attrs = make(map[string]string, nattr)
+	}
+	// Reuse the attribute map. Fast path: verify — without mutating —
+	// that the frame's attrs are exactly the map's current contents
+	// (the steady state, where attrs repeat per step: zero
+	// allocations). Any mismatch, a stale or missing key, or a
+	// duplicate key in a hostile frame falls back to a full rebuild,
+	// so the decoded map is always exactly the frame's attrs (last
+	// write wins on duplicates, matching a fresh decode).
+	const attrFastPathMax = 16
+	attrStart := pos
+	match := nattr <= attrFastPathMax && uint64(len(out.Attrs)) == nattr
+	var seenKeys [attrFastPathMax][]byte
 	for i := uint64(0); i < nattr; i++ {
-		k, err := getString()
+		kb, err := getBytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		val, err := getString()
+		vb, err := getBytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Attrs[k] = val
+		if match {
+			for j := uint64(0); j < i; j++ {
+				if bytes.Equal(seenKeys[j], kb) {
+					match = false // duplicate key: counting is unreliable
+				}
+			}
+			seenKeys[i] = kb
+			if cur, ok := out.Attrs[string(kb)]; !ok || cur != string(vb) {
+				match = false
+			}
+		}
+	}
+	if !match {
+		clear(out.Attrs)
+		pos = attrStart
+		for i := uint64(0); i < nattr; i++ {
+			kb, _ := getBytes() // region validated by the first pass
+			vb, _ := getBytes()
+			out.Attrs[string(kb)] = string(vb)
+		}
 	}
 	nvars, err := getU64()
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if nvars > uint64(len(raw)-pos)/25 { // name len + kind + ndim + elem count
+		return fmt.Errorf("adios: var count %d exceeds frame", nvars)
+	}
+	if cap(out.Vars) >= int(nvars) {
+		out.Vars = out.Vars[:nvars]
+	} else {
+		out.Vars = make([]Variable, nvars)
 	}
 	for i := uint64(0); i < nvars; i++ {
-		var vv Variable
-		if vv.Name, err = getString(); err != nil {
-			return nil, err
+		vv := &out.Vars[i]
+		nb, err := getBytes()
+		if err != nil {
+			return err
+		}
+		if vv.Name != string(nb) {
+			vv.Name = string(nb)
 		}
 		if pos >= len(raw) {
-			return nil, fmt.Errorf("adios: truncated kind")
+			return fmt.Errorf("adios: truncated kind")
 		}
 		vv.Kind = Kind(raw[pos])
 		pos++
 		ndim, err := getU64()
 		if err != nil {
-			return nil, err
+			return err
+		}
+		if ndim > uint64(len(raw)-pos)/8 {
+			return fmt.Errorf("adios: shape rank %d exceeds frame", ndim)
+		}
+		if vv.Shape == nil && ndim > 0 || cap(vv.Shape) < int(ndim) {
+			vv.Shape = make([]int64, ndim)
+		} else {
+			vv.Shape = vv.Shape[:ndim]
 		}
 		for d := uint64(0); d < ndim; d++ {
 			s, err := getU64()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			vv.Shape = append(vv.Shape, int64(s))
+			vv.Shape[d] = int64(s)
 		}
 		n, err := getU64()
 		if err != nil {
-			return nil, err
+			return err
+		}
+		// Truncate the payload slices the new kind does not use, so a
+		// reused Variable that changed kind cannot expose stale data
+		// (capacity is kept for a later flip back).
+		switch vv.Kind {
+		case KindFloat64:
+			vv.I64, vv.U8 = vv.I64[:0], vv.U8[:0]
+		case KindInt64:
+			vv.F64, vv.U8 = vv.F64[:0], vv.U8[:0]
+		case KindUint8:
+			vv.F64, vv.I64 = vv.F64[:0], vv.I64[:0]
 		}
 		switch vv.Kind {
 		case KindFloat64:
-			if pos+8*int(n) > len(raw) {
-				return nil, fmt.Errorf("adios: truncated f64 payload")
+			if n > uint64(len(raw)-pos)/8 {
+				return fmt.Errorf("adios: truncated f64 payload")
 			}
-			vv.F64 = make([]float64, n)
-			for j := range vv.F64 {
-				vv.F64[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos+8*j:]))
+			if vv.F64 == nil || cap(vv.F64) < int(n) {
+				vv.F64 = make([]float64, n)
+			} else {
+				vv.F64 = vv.F64[:n]
 			}
+			decodeF64(vv.F64, raw[pos:])
 			pos += 8 * int(n)
 		case KindInt64:
-			if pos+8*int(n) > len(raw) {
-				return nil, fmt.Errorf("adios: truncated i64 payload")
+			if n > uint64(len(raw)-pos)/8 {
+				return fmt.Errorf("adios: truncated i64 payload")
 			}
-			vv.I64 = make([]int64, n)
-			for j := range vv.I64 {
-				vv.I64[j] = int64(binary.LittleEndian.Uint64(raw[pos+8*j:]))
+			if vv.I64 == nil || cap(vv.I64) < int(n) {
+				vv.I64 = make([]int64, n)
+			} else {
+				vv.I64 = vv.I64[:n]
 			}
+			decodeI64(vv.I64, raw[pos:])
 			pos += 8 * int(n)
 		case KindUint8:
-			if pos+int(n) > len(raw) {
-				return nil, fmt.Errorf("adios: truncated u8 payload")
+			if n > uint64(len(raw)-pos) {
+				return fmt.Errorf("adios: truncated u8 payload")
 			}
-			vv.U8 = make([]byte, n)
+			if vv.U8 == nil || cap(vv.U8) < int(n) {
+				vv.U8 = make([]byte, n)
+			} else {
+				vv.U8 = vv.U8[:n]
+			}
 			copy(vv.U8, raw[pos:pos+int(n)])
 			pos += int(n)
 		default:
-			return nil, fmt.Errorf("adios: unknown kind %d", vv.Kind)
+			return fmt.Errorf("adios: unknown kind %d", vv.Kind)
 		}
-		out.Vars = append(out.Vars, vv)
 	}
-	return out, nil
+	return nil
 }

@@ -77,14 +77,23 @@ type WriterOptions struct {
 	Advertise []string
 }
 
+// queuedFrame is one staged step: the wire bytes plus the pooled
+// frame they lease from (nil for caller-owned PutFrame bytes). The
+// sender releases the lease once the reader's credit arrives.
+type queuedFrame struct {
+	b []byte
+	f *Frame
+}
+
 // Writer is the producer side of an SST stream. The writer listens and
 // advertises its address; exactly one reader connects (the paper pairs
 // each group of simulation ranks with its endpoint rank).
 type Writer struct {
 	ln   net.Listener
 	opts WriterOptions
+	pool *FramePool // Put's marshal leases recycle here after send
 
-	queue chan []byte
+	queue chan queuedFrame
 
 	mu        sync.Mutex
 	sendErr   error
@@ -148,7 +157,8 @@ func ListenWriter(addr string, opts WriterOptions) (*Writer, error) {
 	w := &Writer{
 		ln:    ln,
 		opts:  opts,
-		queue: make(chan []byte, opts.QueueLimit),
+		pool:  NewFramePool(),
+		queue: make(chan queuedFrame, opts.QueueLimit),
 		done:  make(chan struct{}),
 	}
 	go w.serve()
@@ -193,11 +203,14 @@ func (w *Writer) setErr(err error) {
 // drain discards queued frames (producer unblocking + accounting) on
 // error or shutdown paths.
 func (w *Writer) drain() {
-	for frame := range w.queue {
+	for qf := range w.queue {
 		w.mu.Lock()
-		w.queued -= int64(len(frame))
+		w.queued -= int64(len(qf.b))
 		w.mu.Unlock()
-		w.opts.Acct.Free("sst-queue", int64(len(frame)))
+		w.opts.Acct.Free("sst-queue", int64(len(qf.b)))
+		if qf.f != nil {
+			qf.f.Release()
+		}
 	}
 }
 
@@ -248,31 +261,37 @@ func (w *Writer) serve() {
 	// endpoint is visible as producer-side queue growth regardless of
 	// kernel socket buffering.
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	ackBuf := make([]byte, 1)
+	// Connection-scoped scratch: the ack byte and length prefix live on
+	// the stack for the whole stream, not per step.
+	var ackBuf [1]byte
 	var lenBuf [8]byte
-	for frame := range w.queue {
+	for qf := range w.queue {
+		frame := qf.b
 		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
 		if _, err := bw.Write(lenBuf[:]); err != nil {
 			w.setErr(err)
+			w.finishFrame(qf)
 			break
 		}
 		if _, err := bw.Write(frame); err != nil {
 			w.setErr(err)
+			w.finishFrame(qf)
 			break
 		}
 		if err := bw.Flush(); err != nil {
 			w.setErr(err)
+			w.finishFrame(qf)
 			break
 		}
-		if _, err := io.ReadFull(conn, ackBuf); err != nil {
+		if _, err := io.ReadFull(conn, ackBuf[:]); err != nil {
 			w.setErr(fmt.Errorf("adios: waiting for step credit: %w", err))
+			w.finishFrame(qf)
 			break
 		}
 		w.mu.Lock()
-		w.queued -= int64(len(frame))
 		w.stepsSent++
 		w.mu.Unlock()
-		w.opts.Acct.Free("sst-queue", int64(len(frame)))
+		w.finishFrame(qf)
 	}
 	// Unblock any producers if we exited on error.
 	w.drain()
@@ -281,31 +300,61 @@ func (w *Writer) serve() {
 	bw.Flush()          //nolint:errcheck
 }
 
+// release returns the pooled lease behind a staged frame, if any.
+func (q queuedFrame) release() {
+	if q.f != nil {
+		q.f.Release()
+	}
+}
+
+// finishFrame retires one dequeued frame — queue-byte accounting freed
+// and the pooled lease released — on success and error paths alike, so
+// a failed send cannot leak its bytes from QueuedBytes and the
+// accountant's "sst-queue" category.
+func (w *Writer) finishFrame(qf queuedFrame) {
+	w.mu.Lock()
+	w.queued -= int64(len(qf.b))
+	w.mu.Unlock()
+	w.opts.Acct.Free("sst-queue", int64(len(qf.b)))
+	qf.release()
+}
+
 // Put marshals and stages one step, blocking if the staging queue is
-// full (back-pressure). Returns any transport error observed so far.
+// full (back-pressure). The marshal is a single-pass encode into a
+// frame leased from the writer's pool; the buffer recycles once the
+// reader's credit confirms delivery, so a steady stream of same-shaped
+// steps stages without allocating. Returns any transport error
+// observed so far.
 func (w *Writer) Put(s *Step) error {
-	return w.PutFrame(Marshal(s))
+	f := MarshalFrame(s, w.pool)
+	return w.putFrame(queuedFrame{b: f.Bytes(), f: f})
 }
 
 // PutFrame stages an already-marshaled step, the zero-copy path for
 // fan-out servers that marshal once and hand the same frame to many
 // writers. The frame must not be mutated after the call.
 func (w *Writer) PutFrame(frame []byte) error {
+	return w.putFrame(queuedFrame{b: frame})
+}
+
+func (w *Writer) putFrame(qf queuedFrame) error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
+		qf.release()
 		return fmt.Errorf("adios: put on closed writer")
 	}
 	err := w.sendErr
 	w.mu.Unlock()
 	if err != nil {
+		qf.release()
 		return err
 	}
-	w.opts.Acct.Alloc("sst-queue", int64(len(frame)))
+	w.opts.Acct.Alloc("sst-queue", int64(len(qf.b)))
 	w.mu.Lock()
-	w.queued += int64(len(frame))
+	w.queued += int64(len(qf.b))
 	w.mu.Unlock()
-	w.queue <- frame
+	w.queue <- qf
 	return nil
 }
 
@@ -335,10 +384,18 @@ func (w *Writer) Close() error {
 	return w.sendErr
 }
 
-// Reader is the consumer side of an SST stream.
+// Reader is the consumer side of an SST stream. Its receive path is
+// allocation-free in the steady state: frames land in a grow-only
+// connection-scoped buffer, and callers that return consumed steps
+// with Recycle get them decoded in place (UnmarshalInto) instead of
+// into fresh storage.
 type Reader struct {
 	conn net.Conn
 	br   *bufio.Reader
+
+	frameBuf []byte // grow-only receive scratch, reused per frame
+	spare    *Step  // recycled decode destination (see Recycle)
+	ack      [1]byte
 
 	stepsRecv int64
 	bytesRecv int64
@@ -413,7 +470,9 @@ func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 
 // BeginStep blocks for the next step; io.EOF signals a clean
 // end-of-stream. Receiving a step returns its credit to the writer,
-// releasing the corresponding staging-queue slot.
+// releasing the corresponding staging-queue slot. The returned step is
+// fresh storage unless the caller recycled a previous one (Recycle),
+// in which case it is decoded in place.
 func (r *Reader) BeginStep() (*Step, error) {
 	var lenBuf [8]byte
 	if _, err := io.ReadFull(r.br, lenBuf[:]); err != nil {
@@ -423,16 +482,40 @@ func (r *Reader) BeginStep() (*Step, error) {
 	if n == 0 {
 		return nil, io.EOF
 	}
-	frame := make([]byte, n)
-	if _, err := io.ReadFull(r.br, frame); err != nil {
+	if uint64(cap(r.frameBuf)) >= n {
+		r.frameBuf = r.frameBuf[:n]
+	} else {
+		r.frameBuf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r.br, r.frameBuf); err != nil {
 		return nil, err
 	}
-	if _, err := r.conn.Write([]byte{1}); err != nil {
+	r.ack[0] = 1
+	if _, err := r.conn.Write(r.ack[:]); err != nil {
 		return nil, fmt.Errorf("adios: returning step credit: %w", err)
 	}
 	r.stepsRecv++
 	r.bytesRecv += int64(n)
-	return Unmarshal(frame)
+	if st := r.spare; st != nil {
+		r.spare = nil
+		if err := UnmarshalInto(r.frameBuf, st); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	return Unmarshal(r.frameBuf)
+}
+
+// Recycle returns a consumed step's storage to the reader so the next
+// BeginStep decodes into it instead of allocating. Call only once the
+// caller (and everything it handed the step to) is done reading it —
+// the decoded contents are overwritten in place. Structure-carrying
+// steps are refused (ReuseStep): their payload slices live on in grid
+// caches downstream.
+func (r *Reader) Recycle(s *Step) {
+	if s := ReuseStep(s); s != nil {
+		r.spare = s
+	}
 }
 
 // StepsReceived reports completed BeginStep calls.

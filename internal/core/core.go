@@ -43,12 +43,26 @@ type NekDataAdaptor struct {
 	structure *vtkdata.UnstructuredGrid // cached points+cells, no arrays
 	mirrors   map[string][]float64      // persistent D2H staging buffers
 
+	// reuseCopies recycles per-step VTK array copies through copyPool
+	// instead of dropping them to the GC — enabled by the bridge when
+	// every configured analysis honours the no-retention step contract
+	// (sensei.ConfigurableAnalysis.CanReuseStepStorage).
+	reuseCopies bool
+	copyPool    map[string][]float64 // one spare buffer per array
+	liveCopies  []namedCopy          // copies handed out this step
+
 	// Derived vorticity fields, computed on device on demand once per
 	// step (the omega arrays NekRS pipelines commonly request).
 	vort     map[string]*occa.Memory
 	vortStep int
 
 	liveArrays int64 // bytes of per-step VTK array copies
+}
+
+// namedCopy records one live per-step VTK copy for return to the pool.
+type namedCopy struct {
+	name string
+	buf  []float64
 }
 
 // NewNekDataAdaptor wires the adaptor to the solver. The grid
@@ -63,6 +77,17 @@ func NewNekDataAdaptor(s *fluid.Solver, acct *metrics.Accountant) *NekDataAdapto
 	da.structure = da.buildStructure()
 	da.acct.Alloc("vtk-structure", da.structure.Bytes())
 	return da
+}
+
+// SetCopyReuse enables (or disables) recycling of the per-step VTK
+// array copies across triggers. Only safe when no analysis retains
+// references to pulled arrays beyond its Execute — the bridge decides
+// from the configured analyses' declarations.
+func (da *NekDataAdaptor) SetCopyReuse(on bool) {
+	da.reuseCopies = on
+	if on && da.copyPool == nil {
+		da.copyPool = make(map[string][]float64)
+	}
 }
 
 // buildStructure converts the rank's spectral elements to a VTK
@@ -216,11 +241,27 @@ func (da *NekDataAdaptor) AddArray(g *vtkdata.UnstructuredGrid, meshName string,
 	}
 	// The D2H copy the paper identifies as the GPU-coupling cost.
 	mem.CopyToHost(mirror)
-	vtkCopy := make([]float64, len(mirror))
+	vtkCopy := da.takeCopy(arrayName, len(mirror))
 	copy(vtkCopy, mirror)
 	da.acct.Alloc("vtk-copy", int64(len(vtkCopy))*8)
 	da.liveArrays += int64(len(vtkCopy)) * 8
 	return g.AddPointData(arrayName, 1, vtkCopy)
+}
+
+// takeCopy hands out the per-step VTK buffer for one array: a recycled
+// buffer from the pool under copy reuse, a fresh one otherwise. Every
+// copy is recorded so ReleaseData can return it.
+func (da *NekDataAdaptor) takeCopy(name string, n int) []float64 {
+	buf := da.copyPool[name]
+	if da.reuseCopies && len(buf) == n {
+		delete(da.copyPool, name)
+	} else {
+		buf = make([]float64, n)
+	}
+	if da.reuseCopies {
+		da.liveCopies = append(da.liveCopies, namedCopy{name: name, buf: buf})
+	}
+	return buf
 }
 
 // Time implements sensei.DataAdaptor.
@@ -230,10 +271,16 @@ func (da *NekDataAdaptor) Time() float64 { return da.time }
 func (da *NekDataAdaptor) TimeStep() int { return da.step }
 
 // ReleaseData implements sensei.DataAdaptor: per-step VTK array copies
-// are dropped; the structure and mirrors persist across triggers.
+// are dropped — recycled into the copy pool under copy reuse, left to
+// the GC otherwise; the structure and mirrors persist across triggers.
 func (da *NekDataAdaptor) ReleaseData() error {
 	da.acct.Free("vtk-copy", da.liveArrays)
 	da.liveArrays = 0
+	for i, c := range da.liveCopies {
+		da.copyPool[c.name] = c.buf
+		da.liveCopies[i] = namedCopy{}
+	}
+	da.liveCopies = da.liveCopies[:0]
 	return nil
 }
 
@@ -253,6 +300,7 @@ func Initialize(ctx *sensei.Context, s *fluid.Solver, configXML []byte) (*Bridge
 	if err := ca.InitializeXML(configXML); err != nil {
 		return nil, err
 	}
+	da.SetCopyReuse(ca.CanReuseStepStorage())
 	return &Bridge{da: da, ca: ca}, nil
 }
 
@@ -264,6 +312,7 @@ func InitializeFile(ctx *sensei.Context, s *fluid.Solver, path string) (*Bridge,
 	if err := ca.InitializeFile(path); err != nil {
 		return nil, err
 	}
+	da.SetCopyReuse(ca.CanReuseStepStorage())
 	return &Bridge{da: da, ca: ca}, nil
 }
 

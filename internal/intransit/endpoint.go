@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"nekrs-sensei/internal/adios"
@@ -30,6 +31,17 @@ type StreamDataAdaptor struct {
 	structures []*vtkdata.UnstructuredGrid // per source, cached
 	merged     *vtkdata.UnstructuredGrid   // merged structure, cached
 	arrays     map[string][]float64        // merged per-step arrays
+
+	// reuseArrays keeps the merged arrays' backing storage across steps:
+	// ReleaseData parks each buffer in arrayPool (truncated, capacity
+	// kept) and the next step's Ingest appends into it. Parking — rather
+	// than truncating in place — preserves the live map's missing-key
+	// semantics: an array that stops arriving is an error in AddArray,
+	// not a silent zero-length delivery. Enabled by the endpoint
+	// runtimes when every configured analysis honours the no-retention
+	// step contract (sensei CanReuseStepStorage).
+	reuseArrays bool
+	arrayPool   map[string][]float64
 }
 
 // NewStreamDataAdaptor builds an adaptor expecting blocks from
@@ -58,6 +70,12 @@ func (a *StreamDataAdaptor) SetShard(lo, hi int) error {
 	a.merged = nil
 	return nil
 }
+
+// SetStorageReuse enables recycling of the merged per-step array
+// buffers across steps. Only safe when no analysis retains pulled
+// arrays beyond its Execute; the endpoint runtimes decide from the
+// configured analyses' declarations.
+func (a *StreamDataAdaptor) SetStorageReuse(on bool) { a.reuseArrays = on }
 
 // inShard reports whether the source index belongs to this shard.
 func (a *StreamDataAdaptor) inShard(source int) bool {
@@ -120,7 +138,13 @@ func (a *StreamDataAdaptor) Ingest(source int, s *adios.Step) error {
 		const prefix = "array/"
 		if len(v.Name) > len(prefix) && v.Name[:len(prefix)] == prefix {
 			name := v.Name[len(prefix):]
-			a.arrays[name] = append(a.arrays[name], v.F64...)
+			buf, ok := a.arrays[name]
+			if !ok && a.reuseArrays {
+				// Recycled capacity from a previous step, if any.
+				buf = a.arrayPool[name]
+				delete(a.arrayPool, name)
+			}
+			a.arrays[name] = append(buf, v.F64...)
 		}
 	}
 	return nil
@@ -179,18 +203,10 @@ func (a *StreamDataAdaptor) MeshMetadata(i int) (*sensei.MeshMetadata, error) {
 		md.ArrayNames = append(md.ArrayNames, name)
 		md.ArrayAssoc = append(md.ArrayAssoc, sensei.AssocPoint)
 	}
-	sortInPlace(md.ArrayNames)
+	sort.Strings(md.ArrayNames)
 	// Re-derive assoc slice length after sorting (all point arrays).
 	md.ArrayAssoc = md.ArrayAssoc[:len(md.ArrayNames)]
 	return md, nil
-}
-
-func sortInPlace(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Mesh implements sensei.DataAdaptor.
@@ -237,8 +253,21 @@ func (a *StreamDataAdaptor) Time() float64 { return a.time }
 func (a *StreamDataAdaptor) TimeStep() int { return a.step }
 
 // ReleaseData implements sensei.DataAdaptor: per-step arrays are
-// dropped, the merged structure persists.
+// dropped, the merged structure persists. Under storage reuse each
+// buffer is parked (truncated, capacity kept) for the next step's
+// Ingest; the live map is emptied either way, so a vanished array is
+// a missing key — an AddArray error — not stale data.
 func (a *StreamDataAdaptor) ReleaseData() error {
+	if a.reuseArrays {
+		if a.arrayPool == nil {
+			a.arrayPool = map[string][]float64{}
+		}
+		for k, v := range a.arrays {
+			a.arrayPool[k] = v[:0]
+			delete(a.arrays, k)
+		}
+		return nil
+	}
 	a.arrays = map[string][]float64{}
 	return nil
 }
@@ -259,6 +288,27 @@ func Sources(readers ...*adios.Reader) []StepSource {
 		out[i] = r
 	}
 	return out
+}
+
+// StepRecycler is the optional StepSource extension for decode-into-
+// reuse: a source that can decode the next step into recycled storage
+// accepts consumed steps back through Recycle. *adios.Reader
+// implements it (structure steps are refused — their slices live on in
+// grid caches); *staging.Consumer does not, because hub steps are
+// shared and reclaimed by reference count instead.
+type StepRecycler interface {
+	Recycle(*adios.Step)
+}
+
+// recycleStep hands a fully consumed step back to its source when the
+// source supports decode-into-reuse. Safe for nil steps.
+func recycleStep(src StepSource, s *adios.Step) {
+	if s == nil {
+		return
+	}
+	if r, ok := src.(StepRecycler); ok {
+		r.Recycle(s)
+	}
 }
 
 // Endpoint drives the in transit consumer: it pulls aligned steps from
@@ -291,10 +341,12 @@ func NewEndpoint(ctx *sensei.Context, sources []StepSource, configXML []byte) (*
 			return nil, err
 		}
 	}
+	da := NewStreamDataAdaptor(ctx.Comm, len(sources))
+	da.SetStorageReuse(ca.CanReuseStepStorage())
 	return &Endpoint{
 		ctx:     ctx,
 		sources: sources,
-		da:      NewStreamDataAdaptor(ctx.Comm, len(sources)),
+		da:      da,
 		ca:      ca,
 	}, nil
 }
@@ -326,9 +378,9 @@ func (e *Endpoint) Run() (steps int, err error) {
 			err = ferr
 		}
 	}()
+	pending := make([]*adios.Step, len(e.sources))
 	for {
 		eofs := 0
-		steps := make([]*adios.Step, len(e.sources))
 		for src, r := range e.sources {
 			s, err := r.BeginStep()
 			if errors.Is(err, io.EOF) {
@@ -338,7 +390,7 @@ func (e *Endpoint) Run() (steps int, err error) {
 			if err != nil {
 				return e.stepsProcessed, fmt.Errorf("intransit: source %d: %w", src, err)
 			}
-			steps[src] = s
+			pending[src] = s
 		}
 		if eofs == len(e.sources) {
 			return e.stepsProcessed, nil
@@ -358,12 +410,12 @@ func (e *Endpoint) Run() (steps int, err error) {
 		for {
 			var target int64
 			aligned := true
-			for _, s := range steps {
+			for _, s := range pending {
 				if s.Step > target {
 					target = s.Step
 				}
 			}
-			for _, s := range steps {
+			for _, s := range pending {
 				if s.Step != target {
 					aligned = false
 				}
@@ -371,22 +423,26 @@ func (e *Endpoint) Run() (steps int, err error) {
 			if aligned {
 				break
 			}
-			for src, s := range steps {
+			for src, s := range pending {
 				for s.Step < target {
 					e.stepsSkipped++
 					if err := e.da.IngestStructure(src, s); err != nil {
 						return e.stepsProcessed, err
 					}
+					// The skipped step is fully consumed (its structure,
+					// if any, was just captured by reference — Recycle
+					// refuses structure steps for exactly that reason).
+					recycleStep(e.sources[src], s)
 					next, err := e.sources[src].BeginStep()
 					if err != nil {
 						return e.stepsProcessed, fmt.Errorf("intransit: source %d ended during resync at step %d: %w", src, target, err)
 					}
 					s = next
-					steps[src] = s
+					pending[src] = s
 				}
 			}
 		}
-		for src, s := range steps {
+		for src, s := range pending {
 			if err := e.da.Ingest(src, s); err != nil {
 				return e.stepsProcessed, err
 			}
@@ -403,6 +459,13 @@ func (e *Endpoint) Run() (steps int, err error) {
 		}
 		if err := e.da.ReleaseData(); err != nil {
 			return e.stepsProcessed, err
+		}
+		// The analyses are done with this step's data (Ingest copied the
+		// arrays, structure steps are refused by Recycle): hand each
+		// decoded step back to its source for decode-into-reuse.
+		for src, s := range pending {
+			recycleStep(e.sources[src], s)
+			pending[src] = nil
 		}
 		e.stepsProcessed++
 		if stop {

@@ -168,6 +168,9 @@ func (rs *rankStream) advance(target int64) (int, int64) {
 					rs.err = err
 					return stErr, 0
 				}
+				// Skipped steps are consumed here; hand their storage
+				// back for decode-into-reuse (structure steps refused).
+				recycleStep(rs.sources[src], s)
 				next, err := rs.sources[src].BeginStep()
 				if errors.Is(err, io.EOF) {
 					return stEOF, 0
@@ -235,6 +238,7 @@ func (g *Group) Run() (GroupStats, error) {
 		if comm.AllreduceI64Scalar(boolStatus(err != nil), mpirt.OpMax) != stOK {
 			return err
 		}
+		da.SetStorageReuse(ca.CanReuseStepStorage())
 		g.cas[rank] = ca
 		defer func() {
 			bytesOut[rank] = ctx.Storage.Bytes()
@@ -358,7 +362,10 @@ func (g *Group) runRank(comm *mpirt.Comm, rs *rankStream, da *StreamDataAdaptor,
 			// the collectives matched.
 			return nil
 		}
-		for i := range rs.steps {
+		// This step's data is consumed (arrays copied by Ingest): hand
+		// each decoded step back to its source for decode-into-reuse.
+		for i, s := range rs.steps {
+			recycleStep(rs.sources[i], s)
 			rs.steps[i] = nil
 		}
 	}

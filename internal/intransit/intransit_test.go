@@ -751,3 +751,73 @@ func mkHubStep(seq int, names []string) *adios.Step {
 	}
 	return s
 }
+
+// TestStorageReuseVanishedArray: with storage reuse enabled, an array
+// that stops arriving mid-stream must still be a hard AddArray error
+// (missing key), not a silent zero-length delivery from a recycled
+// buffer.
+func TestStorageReuseVanishedArray(t *testing.T) {
+	comm := mpirt.NewWorld(1).Comm(0)
+	da := NewStreamDataAdaptor(comm, 1)
+	da.SetStorageReuse(true)
+
+	structure := &adios.Step{
+		Step: 0, Attrs: map[string]string{"structure": "1"},
+		Vars: []adios.Variable{
+			adios.NewF64("points", []float64{0, 0, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 0, 0, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1}),
+			adios.NewI64("connectivity", []int64{0, 1, 2, 3, 4, 5, 6, 7}),
+			adios.NewI64("offsets", []int64{8}),
+			adios.NewU8("types", []byte{12}),
+			adios.NewF64("array/p", []float64{1, 2, 3, 4, 5, 6, 7, 8}),
+		},
+	}
+	if err := da.Ingest(0, structure); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := da.Mesh("mesh", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := da.AddArray(g, "mesh", sensei.AssocPoint, "p"); err != nil {
+		t.Fatalf("step 0: %v", err)
+	}
+	if err := da.ReleaseData(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 1 no longer ships "p".
+	next := &adios.Step{Step: 1, Attrs: map[string]string{}}
+	if err := da.Ingest(0, next); err != nil {
+		t.Fatal(err)
+	}
+	g, err = da.Mesh("mesh", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := da.AddArray(g, "mesh", sensei.AssocPoint, "p"); err == nil {
+		t.Error("vanished array delivered silently under storage reuse")
+	}
+
+	// Step 2 ships it again: the parked buffer is recycled.
+	again := &adios.Step{Step: 2, Attrs: map[string]string{},
+		Vars: []adios.Variable{adios.NewF64("array/p", []float64{9, 10, 11, 12, 13, 14, 15, 16})}}
+	if err := da.ReleaseData(); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.Ingest(0, again); err != nil {
+		t.Fatal(err)
+	}
+	g, err = da.Mesh("mesh", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := da.AddArray(g, "mesh", sensei.AssocPoint, "p"); err != nil {
+		t.Fatalf("step 2: %v", err)
+	}
+	if arr := g.FindPointData("p"); arr == nil || arr.Data[0] != 9 {
+		t.Errorf("recycled array has wrong contents: %+v", arr)
+	}
+}

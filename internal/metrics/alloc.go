@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// AllocStats turns Go runtime allocator counters into the per-step
+// costs the zero-allocation data plane is budgeted against. Begin
+// snapshots runtime.MemStats; Window(steps) reports the deltas since
+// the snapshot averaged over the steps of the window: heap
+// allocations/step, allocated bytes/step, GC cycles and accumulated GC
+// pause time. The counters are process-global — with all simulated MPI
+// ranks in one Go process, a window spans every rank's work, matching
+// how the Accountant reports logical memory.
+//
+// ReadMemStats briefly stops the world, so sample at window
+// boundaries (run start/end, bench phases), never per step.
+type AllocStats struct {
+	mu    sync.Mutex
+	start runtime.MemStats
+	begun time.Time
+}
+
+// NewAllocStats snapshots the current counters and returns the
+// tracker; the first window starts now.
+func NewAllocStats() *AllocStats {
+	a := &AllocStats{}
+	a.Begin()
+	return a
+}
+
+// Begin starts a new window at the current counter values.
+func (a *AllocStats) Begin() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	runtime.ReadMemStats(&a.start)
+	a.begun = time.Now()
+}
+
+// AllocWindow is the allocator activity of one sampled window.
+type AllocWindow struct {
+	Steps   int           // steps the window spanned (0 = report raw totals)
+	Wall    time.Duration // wall time of the window
+	Allocs  uint64        // heap allocations (Mallocs delta)
+	Bytes   uint64        // heap bytes allocated (TotalAlloc delta)
+	GCs     uint32        // completed GC cycles in the window
+	GCPause time.Duration // GC stop-the-world pause accumulated in the window
+}
+
+// Window reports the deltas since Begin, averaged over steps.
+func (a *AllocStats) Window(steps int) AllocWindow {
+	if a == nil {
+		return AllocWindow{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var now runtime.MemStats
+	runtime.ReadMemStats(&now)
+	return AllocWindow{
+		Steps:   steps,
+		Wall:    time.Since(a.begun),
+		Allocs:  now.Mallocs - a.start.Mallocs,
+		Bytes:   now.TotalAlloc - a.start.TotalAlloc,
+		GCs:     now.NumGC - a.start.NumGC,
+		GCPause: time.Duration(now.PauseTotalNs - a.start.PauseTotalNs),
+	}
+}
+
+// AllocsPerStep is the mean heap allocations per step of the window.
+func (w AllocWindow) AllocsPerStep() float64 {
+	if w.Steps <= 0 {
+		return float64(w.Allocs)
+	}
+	return float64(w.Allocs) / float64(w.Steps)
+}
+
+// BytesPerStep is the mean heap bytes allocated per step of the window.
+func (w AllocWindow) BytesPerStep() float64 {
+	if w.Steps <= 0 {
+		return float64(w.Bytes)
+	}
+	return float64(w.Bytes) / float64(w.Steps)
+}
+
+// Table renders the window as the standard aligned table, one row.
+func (w AllocWindow) Table() *Table {
+	t := NewTable("allocator pressure (process-wide)",
+		"steps", "allocs/step", "alloc bytes/step", "GC cycles", "GC pause [ms]")
+	t.AddRow(w.Steps,
+		fmt.Sprintf("%.1f", w.AllocsPerStep()),
+		HumanBytes(int64(w.BytesPerStep())),
+		w.GCs,
+		fmt.Sprintf("%.2f", float64(w.GCPause.Microseconds())/1000))
+	return t
+}

@@ -32,6 +32,12 @@ import (
 type ConfigurableAnalysis struct {
 	ctx     *Context
 	entries []configEntry
+
+	// scratch is the recycled Step handed to PullInto when
+	// CanReuseStepStorage allows it — nil while any analysis retains
+	// step data (or declares opaquely), in which case every step pulls
+	// into fresh bookkeeping.
+	scratch *Step
 }
 
 type configEntry struct {
@@ -162,6 +168,31 @@ func (ca *ConfigurableAnalysis) FindAdaptor(typeName string) any {
 	return nil
 }
 
+// CanReuseStepStorage reports whether pulled step storage — the Step's
+// bookkeeping and, at the adaptors' discretion, the array buffers
+// under it — may be recycled across steps: true iff every enabled
+// analysis declares its requirements (no opaque legacy pulls the
+// planner cannot see) and none retains step data beyond Execute
+// (StepRetainer). Data adaptors consult this once at bridge/endpoint
+// initialization to decide whether their per-step copies go back into
+// a free list on ReleaseData.
+func (ca *ConfigurableAnalysis) CanReuseStepStorage() bool {
+	for _, e := range ca.entries {
+		if e.reqs.IsOpaque() {
+			return false
+		}
+		if r, ok := e.adaptor.(StepRetainer); ok && r.RetainsStepData() {
+			return false
+		}
+		if lw, ok := e.adaptor.(interface{ Unwrap() AnalysisAdaptor }); ok {
+			if r, ok := lw.Unwrap().(StepRetainer); ok && r.RetainsStepData() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Requirements returns the union of every enabled analysis' declared
 // requirements — the full data plan, as computed at initialization.
 // In-transit senders consult the per-consumer subset instead; this
@@ -200,7 +231,8 @@ func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) (stop bool, err error) {
 		return false, nil
 	}
 	stopPull := ca.ctx.Timer.Start("sensei:pull")
-	st, err := Pull(da, union, ca.ctx.Shard)
+	st, err := PullInto(da, union, ca.ctx.Shard, ca.scratch)
+	ca.scratch = nil
 	stopPull()
 	if err != nil {
 		return false, err
@@ -220,6 +252,12 @@ func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) (stop bool, err error) {
 			e.stopped = true
 			stop = true
 		}
+	}
+	// Recycle the step's bookkeeping for the next pull once every
+	// triggered analysis has run — but only under the no-retention
+	// contract; a retaining analysis may still be reading it.
+	if ca.CanReuseStepStorage() {
+		ca.scratch = st
 	}
 	return stop, nil
 }

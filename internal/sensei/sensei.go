@@ -119,6 +119,19 @@ type AnalysisAdaptor interface {
 	Finalize() error
 }
 
+// StepRetainer is the opt-out from the data plane's storage-recycling
+// contract. By default an analysis may only read pulled step data
+// during the Execute call that received it, which lets the planner and
+// the data adaptors reuse array storage across steps (the
+// zero-allocation steady state). An analysis that keeps references
+// beyond Execute — the staging adaptor shares pulled array slices with
+// hub consumers for as long as they hold the step — implements
+// StepRetainer returning true, and the planner pins fresh storage per
+// step for the whole run (ConfigurableAnalysis.CanReuseStepStorage).
+type StepRetainer interface {
+	RetainsStepData() bool
+}
+
 // Shard describes this rank's slice of a work-sharded analysis
 // group: a parallel in-transit endpoint partitions the incoming
 // stream's blocks across its ranks, and each rank's DataAdaptor

@@ -148,11 +148,29 @@ func (s *Step) bytesPulled(m *MeshRequirement) int64 {
 // metadata. Opaque requirements pull nothing — the legacy adaptor
 // reaches through Adaptor() itself.
 func Pull(da DataAdaptor, reqs Requirements, shard *Shard) (*Step, error) {
-	st := &Step{
-		da: da, step: da.TimeStep(), time: da.Time(), shard: shard,
-		grids:       map[string]*vtkdata.UnstructuredGrid{},
-		pulledBytes: map[string]map[ArrayKey]int64{},
+	return PullInto(da, reqs, shard, nil)
+}
+
+// PullInto is Pull decoding into recycled Step bookkeeping: a non-nil
+// reuse step (from a previous PullInto over the same adaptor) has its
+// maps cleared and reused instead of reallocated, so the planner's
+// per-step overhead reaches a zero-allocation steady state. Only the
+// Step's own structures are recycled here; whether the *array* storage
+// under the grids may also be reused across steps is the adaptors'
+// decision, gated by ConfigurableAnalysis.CanReuseStepStorage. Callers
+// must not pass a reuse step that any analysis still holds.
+func PullInto(da DataAdaptor, reqs Requirements, shard *Shard, reuse *Step) (*Step, error) {
+	st := reuse
+	if st == nil {
+		st = &Step{
+			grids:       map[string]*vtkdata.UnstructuredGrid{},
+			pulledBytes: map[string]map[ArrayKey]int64{},
+		}
+	} else {
+		clear(st.grids)
+		clear(st.metas)
 	}
+	st.da, st.step, st.time, st.shard = da, da.TimeStep(), da.Time(), shard
 	for _, m := range reqs.Meshes() {
 		g, err := da.Mesh(m.Mesh, true)
 		if err != nil {
@@ -169,7 +187,16 @@ func Pull(da DataAdaptor, reqs Requirements, shard *Shard) (*Step, error) {
 				keys[i] = ArrayKey{Name: name, Assoc: md.ArrayAssoc[i]}
 			}
 		}
-		per := map[ArrayKey]int64{}
+		// Reuse the accounting map from a recycled step. Meshes pulled
+		// by earlier steps but not this one leave stale outer entries;
+		// they are harmless, because bytesPulled is only consulted for
+		// meshes in this step's union.
+		per := st.pulledBytes[m.Mesh]
+		if per == nil {
+			per = map[ArrayKey]int64{}
+		} else {
+			clear(per)
+		}
 		for _, k := range keys {
 			if err := da.AddArray(g, m.Mesh, k.Assoc, k.Name); err != nil {
 				return nil, fmt.Errorf("sensei: pull array %s of mesh %q: %w", k, m.Mesh, err)

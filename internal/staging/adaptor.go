@@ -272,6 +272,13 @@ func (a *Adaptor) bindConsumer(name, policy string, depth, group int, arrays []s
 	return a.hub.SubscribeArrays(name, pol, depth, arrays)
 }
 
+// RetainsStepData implements sensei.StepRetainer: published steps
+// share the pulled arrays' backing slices with every hub consumer,
+// which may hold them (and frames marshaled from them) long after
+// Execute returns — so the planner must pin fresh array storage per
+// step while a staging analysis is enabled.
+func (a *Adaptor) RetainsStepData() bool { return true }
+
 // Hub exposes the staging hub (stats, programmatic subscription).
 func (a *Adaptor) Hub() *Hub { return a.hub }
 

@@ -1,0 +1,208 @@
+package staging
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/sensei"
+)
+
+// allocStep builds one steady-state step (no structure) with the given
+// number of 64-float arrays.
+func allocStep(seq int, arrays int) *adios.Step {
+	s := &adios.Step{
+		Step: int64(seq), Time: float64(seq),
+		Attrs: map[string]string{"mesh": "mesh"},
+	}
+	for i := 0; i < arrays; i++ {
+		data := make([]float64, 64)
+		for j := range data {
+			data[j] = float64(seq*64 + j)
+		}
+		s.Vars = append(s.Vars, adios.NewF64(fmt.Sprintf("array/a%d", i), data))
+	}
+	return s
+}
+
+// TestFrameHeldAcrossStepsNotRecycled pins the pool-correctness
+// property the network pump depends on: a frame obtained through a
+// held StepRef keeps its contents — bit for bit — while later steps
+// are published, marshaled, and released around it, and only recycles
+// once the holder releases.
+func TestFrameHeldAcrossStepsNotRecycled(t *testing.T) {
+	hub := NewHub(nil)
+	held, err := hub.Subscribe("held", Block, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := hub.Subscribe("churn", Block, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := allocStep(0, 4)
+	if err := hub.Publish(first); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := held.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := ref.Frame()
+	want := append([]byte(nil), frame...)
+
+	// Churn the hub: the other consumer drains (and marshals, as the
+	// network pump would) ten more steps, all fully released — so after
+	// its own release of step 0, only `held`'s reference keeps the
+	// frame alive, and none of the churned frames may reuse its buffer.
+	for i := 1; i <= 10; i++ {
+		if err := hub.Publish(allocStep(i, 4)); err != nil {
+			t.Fatal(err)
+		}
+		cr, err := churn.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = cr.Frame()
+		cr.Release()
+	}
+
+	if !bytes.Equal(ref.Frame(), want) {
+		t.Fatal("held frame's contents changed while other steps churned")
+	}
+	if !bytes.Equal(ref.Frame(), adios.Marshal(first)) {
+		t.Fatal("held frame no longer matches its step's wire form")
+	}
+	ref.Release()
+	ref.Release() // double release must not double-recycle
+	hub.Close()
+}
+
+// TestStepRefDoubleRelease ensures a consumer's defensive double
+// Release does not return the hub reference (or the pooled frame)
+// twice.
+func TestStepRefDoubleRelease(t *testing.T) {
+	hub := NewHub(nil)
+	a, err := hub.Subscribe("a", Block, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Subscribe("b", Block, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Publish(allocStep(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), ra.Frame()...)
+	ra.Release()
+	ra.Release() // second release must not free b's reference
+	rb, err := b.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rb.Frame(), want) {
+		t.Fatal("frame freed while second consumer still held its reference")
+	}
+	rb.Release()
+	hub.Close()
+}
+
+// steadyAllocBudget is the CI gate for the zero-allocation steady
+// state: heap allocations per hub publish→consume→frame step, after
+// warmup. The loop's true steady cost is ~4 (entry, ref, frame
+// header, marshal key scratch); 8 leaves headroom for runtime noise
+// without letting a per-array or per-byte regression through.
+const steadyAllocBudget = 8
+
+// TestSteadyStateAllocBudget fails if the hub publish→consume loop
+// allocates more than the budget per step in the steady state — the
+// regression gate for the pooled-frame data plane.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	hub := NewHub(nil)
+	cons, err := hub.Subscribe("gate", Block, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	step := allocStep(2, 6)
+	iter := func() {
+		if err := hub.Publish(step); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := cons.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ref.Frame()
+		ref.Release()
+	}
+	// Warm the ring, the frame pool, and the marshal path.
+	for i := 0; i < 8; i++ {
+		iter()
+	}
+	avg := testing.AllocsPerRun(200, iter)
+	if avg > steadyAllocBudget {
+		t.Errorf("steady-state hub publish->consume allocates %.1f/step, budget %d", avg, steadyAllocBudget)
+	}
+}
+
+// BenchmarkHubPublishConsume measures the steady-state loop with
+// -benchmem so alloc regressions show up in CI bench output.
+func BenchmarkHubPublishConsume(b *testing.B) {
+	hub := NewHub(nil)
+	cons, err := hub.Subscribe("bench", Block, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hub.Close()
+	step := allocStep(2, 6)
+	for i := 0; i < 4; i++ {
+		if err := hub.Publish(step); err != nil {
+			b.Fatal(err)
+		}
+		ref, err := cons.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ref.Frame()
+		ref.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hub.Publish(step); err != nil {
+			b.Fatal(err)
+		}
+		ref, err := cons.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ref.Frame()
+		ref.Release()
+	}
+}
+
+// TestStagingAdaptorRetains: the staging analysis shares pulled array
+// slices with hub consumers beyond Execute, so its presence must pin
+// the planner to fresh step storage (no cross-step reuse).
+func TestStagingAdaptorRetains(t *testing.T) {
+	hub := NewHub(nil)
+	defer hub.Close()
+	ctx := &sensei.Context{}
+	ad := New(ctx, hub, "mesh", nil)
+	if !ad.RetainsStepData() {
+		t.Fatal("staging adaptor must declare step-data retention")
+	}
+	ca := sensei.NewConfigurableAnalysis(ctx)
+	ca.AddAnalysis("staging", 1, ad)
+	if ca.CanReuseStepStorage() {
+		t.Error("planner must not reuse step storage while a staging analysis is enabled")
+	}
+}

@@ -23,6 +23,11 @@ var errConsumerClosed = errors.New("staging: consumer closed")
 // subset share per-subset views and frames (subs), keyed by the
 // canonical subset key; payload slices are shared with the full step,
 // so a subset view costs headers, not data copies.
+//
+// Frames lease from the hub's pool; the entry holds one frame
+// reference per marshaled form, returned when the last consumer
+// releases the entry — so the wire buffers of a steady stream recycle
+// instead of accumulating for the GC.
 type stepEntry struct {
 	seq   int64
 	step  *adios.Step
@@ -30,7 +35,7 @@ type stepEntry struct {
 	refs  int // consumers (plus the bootstrap hold) yet to release
 
 	marshalOnce sync.Once
-	frame       []byte
+	frame       *adios.Frame
 
 	subMu sync.Mutex
 	subs  map[string]*subsetForm
@@ -43,7 +48,28 @@ type subsetForm struct {
 	step *adios.Step
 
 	marshalOnce sync.Once
-	frame       []byte
+	frame       *adios.Frame
+}
+
+// releaseFrames returns the entry's pooled frame leases (full form and
+// every subset form). Called when the entry's last reference drops;
+// the empty Do calls order us after any in-flight marshal, and no new
+// marshal can start because no consumer holds a reference anymore.
+func (e *stepEntry) releaseFrames() {
+	e.marshalOnce.Do(func() {})
+	if e.frame != nil {
+		e.frame.Release()
+		e.frame = nil
+	}
+	e.subMu.Lock()
+	for _, f := range e.subs {
+		f.marshalOnce.Do(func() {})
+		if f.frame != nil {
+			f.frame.Release()
+			f.frame = nil
+		}
+	}
+	e.subMu.Unlock()
 }
 
 // subsetKey canonicalizes an array subset (sorted, comma-joined).
@@ -131,6 +157,7 @@ type Hub struct {
 	cond *sync.Cond // broadcast on publish, cursor advance, close
 
 	acct *metrics.Accountant
+	pool *adios.FramePool // marshaled frames lease here, recycle on last release
 
 	ring    []*stepEntry // ring[i] holds seq headSeq+i
 	headSeq int64        // seq of ring[0]
@@ -156,7 +183,7 @@ type Hub struct {
 // NewHub creates an empty hub. Staged payload bytes are tracked under
 // the accountant's "staging-hub" category (nil disables accounting).
 func NewHub(acct *metrics.Accountant) *Hub {
-	h := &Hub{acct: acct}
+	h := &Hub{acct: acct, pool: adios.NewFramePool()}
 	h.cond = sync.NewCond(&h.mu)
 	return h
 }
@@ -264,12 +291,13 @@ func (r *StepRef) releaseLocked() {
 	r.hub.releaseRef(r.e)
 }
 
-// releaseRef drops one reference; the last one frees the accounting.
-// Caller holds h.mu.
+// releaseRef drops one reference; the last one frees the accounting
+// and returns the entry's pooled frames. Caller holds h.mu.
 func (h *Hub) releaseRef(e *stepEntry) {
 	e.refs--
 	if e.refs == 0 {
 		h.acct.Free("staging-hub", e.bytes)
+		e.releaseFrames()
 	}
 }
 
@@ -442,14 +470,16 @@ func (h *Hub) trim() {
 	if n <= 0 {
 		return
 	}
-	for i := 0; i < n; i++ {
+	// Compact toward the front instead of reslicing forward: the
+	// backing array is reused by the next Publish, so a steady
+	// publish/consume loop appends into recycled capacity instead of
+	// allocating a fresh ring segment per step.
+	m := copy(h.ring, h.ring[n:])
+	for i := m; i < len(h.ring); i++ {
 		h.ring[i] = nil
 	}
-	h.ring = h.ring[n:]
+	h.ring = h.ring[:m]
 	h.headSeq = min
-	if len(h.ring) == 0 {
-		h.ring = nil // release the backing array when drained
-	}
 }
 
 // Close ends the stream: blocked producers fail with ErrClosed,
@@ -663,22 +693,25 @@ func (c *Consumer) closeLocked() {
 	h.cond.Broadcast()
 }
 
-// frame returns the entry's marshaled wire form, computing it once
-// and sharing it across all network consumers.
-func (e *stepEntry) frameBytes() []byte {
-	e.marshalOnce.Do(func() { e.frame = adios.Marshal(e.step) })
-	return e.frame
+// frameBytes returns the entry's marshaled wire form, computing it
+// once into a pooled frame and sharing it across all network
+// consumers.
+func (e *stepEntry) frameBytes(pool *adios.FramePool) []byte {
+	e.marshalOnce.Do(func() { e.frame = adios.MarshalFrame(e.step, pool) })
+	return e.frame.Bytes()
 }
 
 // Frame exposes the shared marshaled form of a delivered step (the
 // network pump's zero-copy path), filtered to the consumer's declared
-// subset: consumers sharing a subset share one marshal.
+// subset: consumers sharing a subset share one marshal. The returned
+// bytes lease from the hub's frame pool through this reference — do
+// not touch them after Release.
 func (r *StepRef) Frame() []byte {
 	if f := r.subset(); f != nil {
-		f.marshalOnce.Do(func() { f.frame = adios.Marshal(f.step) })
-		return f.frame
+		f.marshalOnce.Do(func() { f.frame = adios.MarshalFrame(f.step, r.hub.pool) })
+		return f.frame.Bytes()
 	}
-	return r.e.frameBytes()
+	return r.e.frameBytes(r.hub.pool)
 }
 
 // String describes the hub for logs.

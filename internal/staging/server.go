@@ -176,8 +176,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	// Connection-scoped scratch: the length prefix and credit byte are
+	// stack arrays reused for every step of the pump.
 	var lenBuf [8]byte
-	ack := make([]byte, 1)
+	var ack [1]byte
 	for {
 		ref, err := cons.Next()
 		if errors.Is(err, io.EOF) {
@@ -210,7 +212,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		// Reader-driven flow control: hold this step's reference until
 		// the consumer returns its credit, so a slow endpoint shows up
 		// as staged-byte growth on the hub.
-		if _, err := io.ReadFull(credits, ack); err != nil {
+		if _, err := io.ReadFull(credits, ack[:]); err != nil {
 			ref.Release()
 			s.setErr(fmt.Errorf("staging: waiting for step credit: %w", err))
 			return

@@ -36,6 +36,15 @@
 // the network, rejects the reader's handshake. Per-consumer shipped
 // bytes are accounted in ConsumerStats.WireBytes.
 //
+// The hub's steady state is allocation-free: marshaled frames lease
+// from a refcounted adios.FramePool and recycle when the last
+// consumer releases its step reference, the ring compacts in place,
+// and the network pumps reuse connection-scoped scratch — so
+// sustained publish/consume pressure lands on the wire, not the Go
+// allocator (see DESIGN.md "Memory discipline"; the alloc budget is
+// gated by TestSteadyStateAllocBudget). Frame bytes obtained through
+// StepRef.Frame are valid only until that reference's Release.
+//
 // Entry points: NewHub/Subscribe/SubscribeGroup/Publish for
 // programmatic use, the "staging" analysis type (adaptor.go) for
 // Listing-1 XML configuration, and Serve (server.go) for network
