@@ -1,10 +1,12 @@
 # Build/test entry points. `make race` covers the concurrent
-# subsystems (staging hub, SST transport, endpoint loop, MPI runtime)
-# under the race detector.
+# subsystems (staging hub + spill tier, SST transport, endpoint loop,
+# archive record/replay, MPI runtime) under the race detector.
+# `make bench` regenerates every BENCH_*.json artifact at smoke scale;
+# `make clean` removes example/figure outputs and bench JSON scratch.
 
 GO ?= go
 
-.PHONY: build test race vet fmt all
+.PHONY: build test race vet fmt bench clean all
 
 all: build vet fmt test
 
@@ -16,7 +18,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/staging/... ./internal/intransit/... \
-		./internal/adios/... ./internal/mpirt/...
+		./internal/adios/... ./internal/archive/... ./internal/mpirt/...
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +28,18 @@ fmt:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# Each sweep runs from inside bench-out/ so the working-directory
+# JSON copies cmd/figures drops for explicit runs land there too,
+# never clobbering the committed BENCH_*.json baselines at the root.
+bench:
+	mkdir -p bench-out
+	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig fanout -consumers 1,2 -consumer-delay 500us -out .
+	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig subset -requested 1,2,4 -steps 10 -out .
+	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig wire -out .
+	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig archive -out .
+	@echo "bench artifacts in bench-out/"
+
+clean:
+	rm -rf ./*-out
+	rm -f BENCH_fanout.json BENCH_endpoint.json BENCH_archive.json

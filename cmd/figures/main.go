@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, archive, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -81,7 +81,8 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 	wantEndpoint := fig == "all" || fig == "endpoint-scaling" || fig == "endpoint"
 	wantSubset := fig == "all" || fig == "subset"
 	wantWire := fig == "all" || fig == "wire"
-	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire {
+	wantArchive := fig == "all" || fig == "archive"
+	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire && !wantArchive {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -303,6 +304,42 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 		for _, path := range paths {
 			if err := writeJSON(path, func(w *os.File) error {
 				return bench.WriteWireJSON(w, res)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	if wantArchive {
+		cfg := bench.ArchiveConfig{Dir: filepath.Join(out, "archive-bench")}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		// A fresh recording per run: record overhead must not include
+		// replaying over an ever-growing archive from earlier sweeps.
+		if err := os.RemoveAll(cfg.Dir); err != nil {
+			return err
+		}
+		fmt.Printf("running archive record/replay measurement (%d arrays x %d KiB)...\n", 6, 64)
+		res, err := bench.RunArchive(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.ArchiveTable(res)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "archive.csv", t); err != nil {
+			return err
+		}
+		// Like the other sweeps, an explicit archive run also drops the
+		// artifact in the working directory, where harnesses look for it.
+		paths := []string{filepath.Join(out, "BENCH_archive.json")}
+		if fig != "all" {
+			paths = append(paths, "BENCH_archive.json")
+		}
+		for _, path := range paths {
+			if err := writeJSON(path, func(w *os.File) error {
+				return bench.WriteArchiveJSON(w, res)
 			}); err != nil {
 				return err
 			}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"sync"
 
+	"nekrs-sensei/internal/archive"
 	"nekrs-sensei/internal/checkpoint"
 	"nekrs-sensei/internal/core"
 	"nekrs-sensei/internal/fluid"
@@ -36,6 +37,7 @@ func main() {
 	ranks := flag.Int("ranks", 4, "simulated MPI ranks")
 	steps := flag.Int("steps", 100, "timesteps")
 	senseiCfg := flag.String("sensei", "", "SENSEI XML configuration (enables instrumentation)")
+	record := flag.String("record", "", "record the outgoing stream (staging or adios analysis) into per-rank archives under this directory")
 	ckEvery := flag.Int("checkpoint-every", 0, "built-in checkpoint cadence in steps (0 = off)")
 	refine := flag.Int("refine", 1, "mesh refinement factor")
 	order := flag.Int("order", 4, "polynomial order")
@@ -47,7 +49,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nekrs:", err)
 		os.Exit(2)
 	}
-	if err := run(*caseName, *parFile, *ranks, *steps, *senseiCfg, *ckEvery, *refine, *order, *out, *logEvery); err != nil {
+	if *record != "" && *senseiCfg == "" {
+		fmt.Fprintln(os.Stderr, "nekrs: -record needs -sensei with a staging or adios analysis (there is no stream to record)")
+		os.Exit(2)
+	}
+	if err := run(*caseName, *parFile, *ranks, *steps, *senseiCfg, *record, *ckEvery, *refine, *order, *out, *logEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "nekrs:", err)
 		os.Exit(1)
 	}
@@ -68,7 +74,7 @@ func validateFlags(ranks, steps, order int) error {
 	return nil
 }
 
-func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, refine, order int, out string, logEvery int) error {
+func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, ckEvery, refine, order int, out string, logEvery int) error {
 	var par *nekrs.Par
 	if parFile != "" {
 		src, err := os.ReadFile(parFile)
@@ -115,6 +121,8 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 			sim.CheckpointEvery = ckEvery
 		}
 		var bridge *core.Bridge
+		var recFinish func() error
+		var recArchive *archive.Archive
 		if senseiCfg != "" {
 			ctx := &sensei.Context{
 				Comm: comm, Acct: sim.Acct, Timer: sim.Timer,
@@ -124,6 +132,18 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 			if err != nil {
 				errs[rank] = err
 				return
+			}
+			if record != "" {
+				// Each rank's outgoing stream lands in its own archive,
+				// mirroring the live topology for cmd/archive -replay.
+				recArchive, err = archive.Open(archive.RankDir(record, rank), archive.Options{})
+				if err == nil {
+					recFinish, err = archive.AttachAnalysis(bridge.Analysis(), recArchive)
+				}
+				if err != nil {
+					errs[rank] = err
+					return
+				}
 			}
 		}
 		err = sim.Run(steps, func(st fluid.StepStats) error {
@@ -157,6 +177,24 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg string, ckEvery, 
 			if err := bridge.Finalize(); err != nil {
 				errs[rank] = err
 				return
+			}
+		}
+		if recFinish != nil {
+			// The stream is closed: drain the recorder and seal the
+			// archive before reporting.
+			if err := recFinish(); err != nil {
+				errs[rank] = err
+				return
+			}
+			recorded := recArchive.Len()
+			bytes := recArchive.Bytes()
+			if err := recArchive.Close(); err != nil {
+				errs[rank] = err
+				return
+			}
+			if rank == 0 {
+				fmt.Printf("recorded %d step(s), %s into %s\n",
+					recorded, metrics.HumanBytes(bytes), record)
 			}
 		}
 		if rank == 0 {

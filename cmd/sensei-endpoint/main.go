@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/archive"
 	"nekrs-sensei/internal/intransit"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/mpirt"
@@ -66,6 +67,7 @@ type options struct {
 	group     int
 	name      string
 	arrays    []string // array subset declared in the reader hello
+	record    string   // directory for per-source archives of the received streams
 
 	staged bool // a staging policy or consumer spec was given
 }
@@ -87,6 +89,7 @@ func parseArgs(argv []string) (*options, error) {
 	fs.IntVar(&o.group, "group", 1, "cooperating endpoint ranks claiming one consumer name as a group (staged mode)")
 	fs.StringVar(&o.name, "name", "endpoint", "consumer name announced to the hub")
 	arraysFlag := fs.String("arrays", "", "comma-separated array subset to request in the reader hello (empty = every published array)")
+	fs.StringVar(&o.record, "record", "", "record the received streams into per-source archives under this directory (group mode records rank 0's sources)")
 	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth[:arrays]]]" (shorthand for -name/-policy/-depth/-arrays with +-separated arrays, enables staged mode)`)
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
@@ -143,8 +146,60 @@ func parseArgs(argv []string) (*options, error) {
 		return nil, fmt.Errorf("-group needs staged mode: give -policy or -consumer")
 	case o.consumers > 1 && !o.staged:
 		return nil, fmt.Errorf("-consumers > 1 needs staged mode: give -policy or -consumer")
+	case o.consumers > 1 && o.record != "":
+		return nil, fmt.Errorf("-record captures one consumer's stream; drop -consumers (replicas would record duplicates)")
 	}
 	return o, nil
+}
+
+// recorder wires per-source archives onto readers and closes them
+// when the run ends. The recorded frames are the exact received wire
+// bytes (adios.Reader.SetRecord), one archive per source so the
+// layout replays like the live topology.
+type recorder struct {
+	dir      string
+	mu       sync.Mutex
+	archives []*archive.Archive
+}
+
+// attach starts recording reader src's stream (no-op without a dir).
+func (rec *recorder) attach(src int, r *adios.Reader) error {
+	if rec == nil || rec.dir == "" {
+		return nil
+	}
+	a, err := archive.Open(archive.RankDir(rec.dir, src), archive.Options{})
+	if err != nil {
+		return err
+	}
+	rec.mu.Lock()
+	rec.archives = append(rec.archives, a)
+	rec.mu.Unlock()
+	r.SetRecord(a)
+	return nil
+}
+
+// close seals every archive, reporting what was captured.
+func (rec *recorder) close() error {
+	if rec == nil || rec.dir == "" {
+		return nil
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var steps, bytes int64
+	var first error
+	for _, a := range rec.archives {
+		steps += int64(a.Len())
+		bytes += a.Bytes()
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first == nil && len(rec.archives) > 0 {
+		fmt.Printf("recorded %d step(s), %s across %d source archive(s) in %s\n",
+			steps, metrics.HumanBytes(bytes), len(rec.archives), rec.dir)
+	}
+	rec.archives = nil
+	return first
 }
 
 func main() {
@@ -195,6 +250,7 @@ func runDirect(o *options) error {
 	perRank := len(addrs) / o.ranks
 	fmt.Printf("connecting %d writers across %d endpoint ranks (%d each)\n", len(addrs), o.ranks, perRank)
 
+	rec := &recorder{dir: o.record}
 	errs := make([]error, o.ranks)
 	steps := make([]int, o.ranks)
 	bytesOut := make([]int64, o.ranks)
@@ -202,12 +258,17 @@ func runDirect(o *options) error {
 		rank := comm.Rank()
 		var readers []*adios.Reader
 		for s := 0; s < perRank; s++ {
-			r, err := adios.OpenReaderWith(addrs[rank*perRank+s], adios.ReaderOptions{Arrays: o.arrays})
+			src := rank*perRank + s
+			r, err := adios.OpenReaderWith(addrs[src], adios.ReaderOptions{Arrays: o.arrays})
 			if err != nil {
 				errs[rank] = err
 				return
 			}
 			defer r.Close()
+			if err := rec.attach(src, r); err != nil {
+				errs[rank] = err
+				return
+			}
 			readers = append(readers, r)
 		}
 		ctx := &sensei.Context{
@@ -226,6 +287,9 @@ func runDirect(o *options) error {
 		if err != nil {
 			return err
 		}
+	}
+	if err := rec.close(); err != nil {
+		return err
 	}
 	var totalBytes int64
 	for _, b := range bytesOut {
@@ -253,6 +317,7 @@ func runStaged(o *options) error {
 	n := o.consumers
 	fmt.Printf("attaching %d consumer(s) to %d staging hub(s), policy %s\n", n, len(addrs), o.policy)
 
+	rec := &recorder{dir: o.record}
 	errs := make([]error, n)
 	steps := make([]int, n)
 	skipped := make([]int, n)
@@ -279,11 +344,15 @@ func runStaged(o *options) error {
 					r.Close()
 				}
 			}()
-			for _, addr := range addrs {
+			for src, addr := range addrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
 					Consumer: consumerName, Policy: o.policy, Depth: o.depth, Arrays: o.arrays,
 				})
 				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := rec.attach(src, r); err != nil {
 					errs[i] = err
 					return
 				}
@@ -309,6 +378,9 @@ func runStaged(o *options) error {
 		if err != nil {
 			return err
 		}
+	}
+	if err := rec.close(); err != nil {
+		return err
 	}
 	var totalBytes int64
 	for i := 0; i < n; i++ {
@@ -352,6 +424,7 @@ func runGroup(o *options) error {
 	// per-step numbers (reader dialing is part of the run and counted).
 	alloc := metrics.NewAllocStats()
 	var allocBegin sync.Once
+	rec := &recorder{dir: o.record}
 	group, err := intransit.NewGroup(intransit.GroupConfig{
 		Ranks:     o.group,
 		ConfigXML: cfgXML,
@@ -364,13 +437,21 @@ func runGroup(o *options) error {
 					r.Close()
 				}
 			}
-			for _, addr := range addrs {
+			for src, addr := range addrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
 					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: ranks, Arrays: o.arrays,
 				})
 				if err != nil {
 					cleanup()
 					return nil, nil, err
+				}
+				// Every group rank sees the identical step sequence;
+				// rank 0's sources capture the full stream once.
+				if rank == 0 {
+					if err := rec.attach(src, r); err != nil {
+						cleanup()
+						return nil, nil, err
+					}
 				}
 				readers = append(readers, r)
 			}
@@ -382,6 +463,9 @@ func runGroup(o *options) error {
 	}
 	stats, err := group.Run()
 	if err != nil {
+		return err
+	}
+	if err := rec.close(); err != nil {
 		return err
 	}
 	skipped := 0

@@ -5,11 +5,12 @@
 // interface, a Catalyst-style rendering back end, Nek-style
 // checkpointing, an ADIOS2/SST-style in transit transport, an
 // in-transit staging hub that fans one simulation out to many
-// concurrent consumers under selectable backpressure policies, and a
+// concurrent consumers under selectable backpressure policies, a
 // parallel endpoint runtime that shards in-transit analysis across
-// cooperating endpoint ranks with binary-swap image compositing —
-// plus the benchmark harness that regenerates every figure of the
-// paper's evaluation.
+// cooperating endpoint ranks with binary-swap image compositing, and
+// a persistent stream archive that records the exact wire frames and
+// replays them post hoc over the same protocol — plus the benchmark
+// harness that regenerates every figure of the paper's evaluation.
 //
 // Entry points:
 //
@@ -19,14 +20,22 @@
 //     -policy/-consumers it attaches N replicas to a staging hub, and
 //     with -consumer name:policy:depth -group R it runs one parallel
 //     endpoint of R sharded ranks
+//   - cmd/archive — record a live run's streams into per-rank
+//     archives, inspect them, and replay them at configurable pacing
+//     (max / realtime / fixed rate) with index-answered step-range
+//     and array-subset queries; `nekrs -record` and
+//     `sensei-endpoint -record` record at the source
 //   - cmd/figures — regenerate Figures 2/3/5/6, the storage table,
 //     the fan-out comparison (BENCH_fanout.json), the
-//     endpoint-scaling sweep (BENCH_endpoint.json), and the
-//     array-subsetting sweep (BENCH_subset.json)
+//     endpoint-scaling sweep (BENCH_endpoint.json), the
+//     array-subsetting sweep (BENCH_subset.json), and the archive
+//     record/replay measurement (BENCH_archive.json)
 //   - examples/ — quickstart, pb146, rbc-intransit, histogram, fanout
 //     (one simulation feeding histogram + probe + render consumers
-//     through the staging hub), and endpoint-group (a 4-rank parallel
-//     endpoint compositing one PNG per step)
+//     through the staging hub), endpoint-group (a 4-rank parallel
+//     endpoint compositing one PNG per step), and posthoc (record a
+//     run with no consumer attached, then replay it into an ordinary
+//     endpoint and re-query it from the on-disk index)
 //
 // Key packages: internal/sensei (DataAdaptor, the requirements-driven
 // Analysis contract — declare-what-you-need Describe, pull-once
@@ -36,7 +45,9 @@
 // wire, the serial endpoint, and the parallel endpoint group),
 // internal/staging (the multi-consumer hub: ring buffer,
 // reference-counted zero-copy payloads, block / drop-oldest /
-// latest-only policies, consumer groups, per-consumer array subsets),
+// latest-only / spill policies, consumer groups, per-consumer array
+// subsets), internal/archive (the persistent tier: segment store +
+// sidecar index, crash recovery, spill stores, indexed replay),
 // internal/render (rasterizer and binary-swap compositing), and
 // internal/bench (the figure harness plus the fan-out,
 // endpoint-scaling, and array-subsetting studies).

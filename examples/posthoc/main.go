@@ -1,0 +1,254 @@
+// posthoc: the record-once, analyze-forever loop. Phase 1 runs a
+// pb146 simulation whose staging hubs are tapped by a recording sink
+// — no analysis consumer is even attached; the exact wire frames land
+// in per-rank archives. Phase 2 replays those archives over the
+// unchanged SST wire protocol and attaches a completely ordinary
+// endpoint (histogram over temperature), which cannot tell it is
+// running after the fact. Phase 3 replays again with an
+// index-answered query — only steps >= a threshold and only the
+// temperature array are read from disk.
+//
+//	go run ./examples/posthoc
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/archive"
+	"nekrs-sensei/internal/core"
+	"nekrs-sensei/internal/fluid"
+	"nekrs-sensei/internal/intransit"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/nekrs"
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/staging"
+
+	"nekrs-sensei/internal/cases"
+)
+
+const (
+	simRanks = 2
+	steps    = 8
+	interval = 2
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "posthoc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := "posthoc-out"
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	recDir := filepath.Join(out, "recording")
+	if err := os.RemoveAll(recDir); err != nil {
+		return err
+	}
+
+	// ---- Phase 1: simulate and record. No endpoint anywhere. ----
+	fmt.Printf("phase 1: pb146 (%d ranks, %d steps, staging every %d) -> %s\n",
+		simRanks, steps, interval, recDir)
+	senseiXML := fmt.Sprintf(`<sensei>
+  <analysis type="staging" frequency="%d" arrays="pressure,temperature"/>
+</sensei>`, interval)
+	pb := cases.PB146(1, 4)
+	simErrs := make([]error, simRanks)
+	recorded := make([]int, simRanks)
+	mpirt.Run(simRanks, func(comm *mpirt.Comm) {
+		rank := comm.Rank()
+		sim, err := nekrs.NewSim(comm, nil, pb)
+		if err != nil {
+			simErrs[rank] = err
+			return
+		}
+		ctx := &sensei.Context{
+			Comm: comm, Acct: sim.Acct, Timer: sim.Timer,
+			Storage: sim.Storage, OutputDir: out,
+		}
+		bridge, err := core.Initialize(ctx, sim.Solver, []byte(senseiXML))
+		if err != nil {
+			simErrs[rank] = err
+			return
+		}
+		a, err := archive.Open(archive.RankDir(recDir, rank), archive.Options{})
+		if err != nil {
+			simErrs[rank] = err
+			return
+		}
+		finish, err := archive.AttachAnalysis(bridge.Analysis(), a)
+		if err != nil {
+			simErrs[rank] = err
+			return
+		}
+		err = sim.Run(steps, func(st fluid.StepStats) error {
+			_, err := bridge.Update(st.Step, st.Time)
+			return err
+		})
+		if err == nil {
+			err = bridge.Finalize()
+		}
+		if err == nil {
+			err = finish()
+		}
+		recorded[rank] = a.Len()
+		if cerr := a.Close(); err == nil {
+			err = cerr
+		}
+		simErrs[rank] = err
+	})
+	for rank, err := range simErrs {
+		if err != nil {
+			return fmt.Errorf("sim rank %d: %w", rank, err)
+		}
+	}
+	fmt.Printf("recorded %d step(s) per rank — the simulation is gone now\n\n", recorded[0])
+
+	// ---- Phase 2: replay everything into an ordinary endpoint. ----
+	fmt.Println("phase 2: full replay -> histogram endpoint over the same wire")
+	hist, n, err := replayInto(recDir, archive.ReplayOptions{
+		Consumers: []staging.ConsumerSpec{{Name: "hist", Policy: staging.Block, Depth: 2}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("endpoint processed %d step(s) post hoc\n", n)
+	printHistogram(hist)
+
+	// ---- Phase 3: an indexed query — late steps, one array. ----
+	from := int64(steps / 2)
+	fmt.Printf("\nphase 3: indexed query — steps >= %d, temperature only (unrequested bytes never leave disk)\n", from)
+	hist, n, err = replayInto(recDir, archive.ReplayOptions{
+		From:   from,
+		Arrays: []string{"temperature"},
+		Consumers: []staging.ConsumerSpec{{
+			Name: "hist", Policy: staging.Block, Depth: 2, Arrays: []string{"temperature"},
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("endpoint processed %d step(s) of the selected window\n", n)
+	printHistogram(hist)
+	return nil
+}
+
+// replayInto replays every rank archive under dir and consumes the
+// stream with a histogram endpoint, exactly as a live run would.
+func replayInto(dir string, opts archive.ReplayOptions) (*sensei.Histogram, int, error) {
+	rankDirs, err := archive.RankDirs(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var replays []*archive.Replay
+	var addrs []string
+	for _, rd := range rankDirs {
+		a, err := archive.Open(rd, archive.Options{})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer a.Close()
+		rp, err := archive.NewReplay(a, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		replays = append(replays, rp)
+		addrs = append(addrs, rp.Addr())
+	}
+
+	endpointXML := `<sensei>
+  <analysis type="histogram" array="temperature" bins="8"/>
+</sensei>`
+	type result struct {
+		hist *sensei.Histogram
+		n    int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var readers []*adios.Reader
+		defer func() {
+			for _, r := range readers {
+				r.Close()
+			}
+		}()
+		for _, addr := range addrs {
+			r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{Consumer: "hist", Arrays: opts.Arrays})
+			if err != nil {
+				done <- result{err: err}
+				return
+			}
+			readers = append(readers, r)
+		}
+		ctx := &sensei.Context{
+			Comm: mpirt.NewWorld(1).Comm(0), Acct: metrics.NewAccountant(),
+			Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter(),
+		}
+		ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), []byte(endpointXML))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		n, err := ep.Run()
+		if err != nil && !errors.Is(err, io.EOF) {
+			done <- result{err: err}
+			return
+		}
+		hist, _ := ep.Analysis().FindAdaptor("histogram").(*sensei.Histogram)
+		done <- result{hist: hist, n: n}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(replays))
+	for i, rp := range replays {
+		wg.Add(1)
+		go func(i int, rp *archive.Replay) {
+			defer wg.Done()
+			errs[i] = rp.Run()
+		}(i, rp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	res := <-done
+	return res.hist, res.n, res.err
+}
+
+func printHistogram(hist *sensei.Histogram) {
+	if hist == nil {
+		return
+	}
+	edges, counts := hist.Last()
+	if len(edges) == 0 {
+		return
+	}
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	fmt.Println("final temperature histogram (computed from disk):")
+	for i, c := range counts {
+		bar := ""
+		if max > 0 {
+			for j := int64(0); j < 30*c/max; j++ {
+				bar += "#"
+			}
+		}
+		fmt.Printf("  [%6.3f, %6.3f) %8d %s\n", edges[i], edges[i+1], c, bar)
+	}
+}

@@ -1,45 +1,131 @@
 package adios
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 )
 
 // Contact files are SST's rendezvous mechanism: writers publish their
 // listening addresses to a shared filesystem path; readers poll for
 // the file and connect. One line per writer rank.
+//
+// A contact file left behind by a crashed run is a trap: a reader
+// that connects to the defunct address consumes the (single-use)
+// accept of nothing, or hangs in a handshake that never answers. The
+// writer therefore stamps its pid into the file as a "#pid=N" comment
+// line, and ReadContact treats a file whose writing process is
+// provably dead as stale: it removes the file and keeps polling for a
+// fresh one instead of returning a dead address.
 
 // WriteContact publishes writer addresses (rank order) to path,
-// atomically via rename.
+// atomically via rename. The writing process's pid is stamped into a
+// leading comment line so readers can detect a file orphaned by a
+// crashed run (see ReadContact).
 func WriteContact(path string, addrs []string) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+	body := fmt.Sprintf("#pid=%d\n%s\n", os.Getpid(), strings.Join(addrs, "\n"))
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
 }
 
-// ReadContact polls for a contact file until it appears (or timeout)
-// and returns the advertised addresses.
-func ReadContact(path string, timeout time.Duration) ([]string, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		raw, err := os.ReadFile(path)
-		if err == nil {
-			var addrs []string
-			for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
-				if line = strings.TrimSpace(line); line != "" {
-					addrs = append(addrs, line)
+// parseContact splits a contact file into its advertised addresses
+// and the writer pid (0 if the file carries none — files written
+// before pid stamping, or by other tools). Comment lines are skipped.
+func parseContact(raw []byte) (addrs []string, pid int) {
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if v, ok := strings.CutPrefix(line, "#pid="); ok {
+				if p, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+					pid = p
 				}
 			}
+			continue
+		}
+		addrs = append(addrs, line)
+	}
+	return addrs, pid
+}
+
+// pidAlive reports whether the stamped writer process still exists.
+// Only a provable ESRCH counts as dead: permission errors, unknown
+// errors and platforms without signal probing all report alive, so a
+// reachable-but-foreign writer is never misclassified as stale.
+func pidAlive(pid int) bool {
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return true
+	}
+	err = proc.Signal(syscall.Signal(0))
+	if err == nil {
+		return true
+	}
+	return !errors.Is(err, os.ErrProcessDone) && !errors.Is(err, syscall.ESRCH)
+}
+
+// staleSeq distinguishes concurrent removeStale calls within one
+// process (several readers polling the same path).
+var staleSeq atomic.Int64
+
+// removeStale deletes a contact file previously judged stale, without
+// ever deleting a concurrently published fresh one: the file is
+// atomically renamed aside first, re-read, and — if it is no longer
+// the bytes that were judged stale (a live writer's rename won the
+// race) — renamed straight back.
+func removeStale(path string, seen []byte) {
+	tmp := fmt.Sprintf("%s.stale-%d-%d", path, os.Getpid(), staleSeq.Add(1))
+	if err := os.Rename(path, tmp); err != nil {
+		return // already gone (another reader, or the writer replaced it)
+	}
+	now, err := os.ReadFile(tmp)
+	if err == nil && bytes.Equal(now, seen) {
+		os.Remove(tmp) //nolint:errcheck // best effort
+		return
+	}
+	os.Rename(tmp, path) //nolint:errcheck // we grabbed a fresh publish: restore it
+}
+
+// ReadContact polls for a contact file until it appears (or timeout)
+// and returns the advertised addresses. A file stamped with the pid
+// of a process that no longer exists is a leftover from a dead prior
+// run: it is removed (best effort, never racing a concurrent fresh
+// publish) and polling continues until a live run publishes a fresh
+// file.
+func ReadContact(path string, timeout time.Duration) ([]string, error) {
+	deadline := time.Now().Add(timeout)
+	stale := 0
+	var lastErr error
+	for {
+		raw, err := os.ReadFile(path)
+		lastErr = err
+		if err == nil {
+			addrs, pid := parseContact(raw)
 			if len(addrs) > 0 {
-				return addrs, nil
+				if pid != 0 && pid != os.Getpid() && !pidAlive(pid) {
+					stale++
+					removeStale(path, raw)
+				} else {
+					return addrs, nil
+				}
 			}
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("adios: contact file %s not available: %v", path, err)
+			if stale > 0 {
+				return nil, fmt.Errorf("adios: contact file %s: removed %d stale file(s) from dead prior run(s), no live writer appeared", path, stale)
+			}
+			return nil, fmt.Errorf("adios: contact file %s not available: %v", path, lastErr)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

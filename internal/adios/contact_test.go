@@ -1,0 +1,97 @@
+package adios
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestContactRoundTrip covers the stamped format: addresses survive,
+// the pid comment is parsed, comment lines never leak into addresses.
+func TestContactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contact.txt")
+	want := []string{"127.0.0.1:1234", "127.0.0.1:5678"}
+	if err := WriteContact(path, want); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "#pid=") {
+		t.Fatalf("contact file not pid-stamped:\n%s", raw)
+	}
+	addrs, err := ReadContact(path, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != want[0] || addrs[1] != want[1] {
+		t.Fatalf("ReadContact = %v, want %v", addrs, want)
+	}
+}
+
+// deadPid returns a pid that provably does not exist (beyond
+// kernel.pid_max, which caps at 2^22 on 64-bit Linux).
+const deadPid = 1 << 30
+
+// TestContactStaleDetection: a contact file stamped by a dead process
+// is removed and never returned as a live rendezvous.
+func TestContactStaleDetection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contact.txt")
+	stale := "#pid=" + itoa(deadPid) + "\n127.0.0.1:1999\n"
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadContact(path, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("stale contact file returned as live")
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("error does not mention staleness: %v", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("stale contact file was not removed")
+	}
+}
+
+// TestContactStaleThenFresh: the reader outlives a stale file and
+// picks up the fresh one a live run publishes afterwards.
+func TestContactStaleThenFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contact.txt")
+	stale := "#pid=" + itoa(deadPid) + "\n127.0.0.1:1999\n"
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		WriteContact(path, []string{"127.0.0.1:2345"}) //nolint:errcheck
+	}()
+	addrs, err := ReadContact(path, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != "127.0.0.1:2345" {
+		t.Fatalf("ReadContact = %v after fresh publish", addrs)
+	}
+}
+
+// TestContactUnstampedCompat: files without a pid comment (older
+// format, foreign tools) are accepted as before.
+func TestContactUnstampedCompat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contact.txt")
+	if err := os.WriteFile(path, []byte("127.0.0.1:4321\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := ReadContact(path, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != "127.0.0.1:4321" {
+		t.Fatalf("ReadContact = %v", addrs)
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

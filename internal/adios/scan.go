@@ -1,0 +1,174 @@
+package adios
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the header-only walk of a marshaled frame: ScanFrame
+// recovers the frame's layout — step/time, the structure flag, and
+// every variable's byte span — without decoding any payload. The
+// persistent archive (internal/archive) indexes frames with it, and
+// subset frames are spliced from the recorded spans, so on-disk
+// record/replay and index-answered array subsetting never re-encode.
+
+// VarSpan locates one variable inside a marshaled frame: the full
+// record (header + payload, the unit subset splicing copies) and the
+// raw payload within it.
+type VarSpan struct {
+	Name string
+	Kind Kind
+
+	// RecordOff/RecordLen span the variable's whole record: name,
+	// kind, shape, element count and payload. Concatenating selected
+	// records after the frame header yields a valid subset frame.
+	RecordOff, RecordLen int64
+	// PayloadOff/PayloadLen span just the encoded payload bytes.
+	PayloadOff, PayloadLen int64
+	// Elems is the payload's element count.
+	Elems int64
+}
+
+// FrameInfo is the decoded layout of one marshaled frame.
+type FrameInfo struct {
+	Step      int64
+	Time      float64
+	Structure bool // the frame carries the grid structure
+
+	// VarsOff is the offset of the variable-count word: raw[:VarsOff]
+	// is the frame header (magic, step, time, attributes) shared by
+	// every subset spliced from this frame.
+	VarsOff int64
+	Vars    []VarSpan
+}
+
+// FindVar returns the span of the named variable, or nil.
+func (fi *FrameInfo) FindVar(name string) *VarSpan {
+	for i := range fi.Vars {
+		if fi.Vars[i].Name == name {
+			return &fi.Vars[i]
+		}
+	}
+	return nil
+}
+
+// ScanFrame walks a frame marshaled by Marshal/MarshalInto and
+// returns its layout without decoding payloads: header fields are
+// parsed, payload bytes are skipped. The scan validates the same
+// bounds as UnmarshalInto, so a frame that scans clean also decodes.
+func ScanFrame(raw []byte) (FrameInfo, error) {
+	var fi FrameInfo
+	if len(raw) < 4 || string(raw[:4]) != bpMagic {
+		return fi, fmt.Errorf("adios: bad magic")
+	}
+	pos := int64(4)
+	n := int64(len(raw))
+	getU64 := func() (uint64, error) {
+		if pos+8 > n {
+			return 0, fmt.Errorf("adios: truncated at %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(raw[pos:])
+		pos += 8
+		return v, nil
+	}
+	getBytes := func() ([]byte, error) {
+		l, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		if l > uint64(n-pos) {
+			return nil, fmt.Errorf("adios: truncated string")
+		}
+		b := raw[pos : pos+int64(l)]
+		pos += int64(l)
+		return b, nil
+	}
+	v, err := getU64()
+	if err != nil {
+		return fi, err
+	}
+	fi.Step = int64(v)
+	if v, err = getU64(); err != nil {
+		return fi, err
+	}
+	fi.Time = math.Float64frombits(v)
+	nattr, err := getU64()
+	if err != nil {
+		return fi, err
+	}
+	if nattr > uint64(n-pos)/16 {
+		return fi, fmt.Errorf("adios: attr count %d exceeds frame", nattr)
+	}
+	for i := uint64(0); i < nattr; i++ {
+		kb, err := getBytes()
+		if err != nil {
+			return fi, err
+		}
+		vb, err := getBytes()
+		if err != nil {
+			return fi, err
+		}
+		if string(kb) == "structure" && string(vb) == "1" {
+			fi.Structure = true
+		}
+	}
+	fi.VarsOff = pos
+	nvars, err := getU64()
+	if err != nil {
+		return fi, err
+	}
+	if nvars > uint64(n-pos)/25 {
+		return fi, fmt.Errorf("adios: var count %d exceeds frame", nvars)
+	}
+	fi.Vars = make([]VarSpan, 0, nvars)
+	for i := uint64(0); i < nvars; i++ {
+		var vs VarSpan
+		vs.RecordOff = pos
+		nb, err := getBytes()
+		if err != nil {
+			return fi, err
+		}
+		vs.Name = string(nb)
+		if pos >= n {
+			return fi, fmt.Errorf("adios: truncated kind")
+		}
+		vs.Kind = Kind(raw[pos])
+		pos++
+		ndim, err := getU64()
+		if err != nil {
+			return fi, err
+		}
+		if ndim > uint64(n-pos)/8 {
+			return fi, fmt.Errorf("adios: shape rank %d exceeds frame", ndim)
+		}
+		pos += 8 * int64(ndim)
+		elems, err := getU64()
+		if err != nil {
+			return fi, err
+		}
+		var width int64
+		switch vs.Kind {
+		case KindFloat64, KindInt64:
+			width = 8
+		case KindUint8:
+			width = 1
+		default:
+			return fi, fmt.Errorf("adios: unknown kind %d", vs.Kind)
+		}
+		if width > 1 && elems > uint64(n-pos)/uint64(width) ||
+			width == 1 && elems > uint64(n-pos) {
+			return fi, fmt.Errorf("adios: truncated payload for %q", vs.Name)
+		}
+		vs.Elems = int64(elems)
+		vs.PayloadOff = pos
+		vs.PayloadLen = int64(elems) * width
+		pos += vs.PayloadLen
+		vs.RecordLen = pos - vs.RecordOff
+		fi.Vars = append(fi.Vars, vs)
+	}
+	if pos != n {
+		return fi, fmt.Errorf("adios: %d trailing bytes after frame", n-pos)
+	}
+	return fi, nil
+}

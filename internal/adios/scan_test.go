@@ -1,0 +1,78 @@
+package adios
+
+import (
+	"bytes"
+	"testing"
+)
+
+func scanStep() *Step {
+	return &Step{
+		Step:  7,
+		Time:  1.75,
+		Attrs: map[string]string{"mesh": "mesh", "structure": "1"},
+		Vars: []Variable{
+			NewF64("points", []float64{0, 1, 2, 3, 4, 5}, 2, 3),
+			NewI64("connectivity", []int64{0, 1}),
+			NewU8("types", []byte{10, 10}),
+			NewF64("array/pressure", []float64{9, 8, 7}),
+		},
+	}
+}
+
+// TestScanFrameLayout cross-checks every span ScanFrame reports
+// against the actual marshaled bytes.
+func TestScanFrameLayout(t *testing.T) {
+	s := scanStep()
+	raw := Marshal(s)
+	fi, err := ScanFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Step != s.Step || fi.Time != s.Time || !fi.Structure {
+		t.Fatalf("header mismatch: %+v", fi)
+	}
+	if len(fi.Vars) != len(s.Vars) {
+		t.Fatalf("scanned %d vars, want %d", len(fi.Vars), len(s.Vars))
+	}
+	// Var records must tile the frame exactly from VarsOff+8 to the end.
+	pos := fi.VarsOff + 8
+	for i, vs := range fi.Vars {
+		if vs.Name != s.Vars[i].Name || vs.Kind != s.Vars[i].Kind {
+			t.Fatalf("var %d: %q/%d, want %q/%d", i, vs.Name, vs.Kind, s.Vars[i].Name, s.Vars[i].Kind)
+		}
+		if vs.RecordOff != pos {
+			t.Fatalf("var %d record offset %d, want %d", i, vs.RecordOff, pos)
+		}
+		if vs.Elems != int64(s.Vars[i].Len()) || vs.PayloadLen != s.Vars[i].Bytes() {
+			t.Fatalf("var %d payload span wrong: %+v", i, vs)
+		}
+		pos += vs.RecordLen
+	}
+	if pos != int64(len(raw)) {
+		t.Fatalf("var records tile to %d, frame is %d", pos, len(raw))
+	}
+	// A var record re-marshals to the same bytes as a one-var step.
+	one := &Step{Step: s.Step, Time: s.Time, Attrs: s.Attrs, Vars: s.Vars[3:4]}
+	oneRaw := Marshal(one)
+	vs := fi.Vars[3]
+	spliced := append([]byte(nil), raw[:fi.VarsOff]...)
+	spliced = append(spliced, oneRaw[fi.VarsOff:fi.VarsOff+8]...) // count word (1)
+	spliced = append(spliced, raw[vs.RecordOff:vs.RecordOff+vs.RecordLen]...)
+	if !bytes.Equal(spliced, oneRaw) {
+		t.Fatal("spliced single-var frame differs from direct marshal")
+	}
+}
+
+// TestScanFrameTruncated ensures the scan rejects torn frames at any
+// cut point instead of over-reading.
+func TestScanFrameTruncated(t *testing.T) {
+	raw := Marshal(scanStep())
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := ScanFrame(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d scanned clean", cut)
+		}
+	}
+	if _, err := ScanFrame(append(raw[:len(raw):len(raw)], 0)); err == nil {
+		t.Fatal("trailing byte scanned clean")
+	}
+}

@@ -57,6 +57,15 @@ func SpliceHandshake(dec *json.Decoder, rest io.Reader) (*bufio.Reader, error) {
 	return combined, nil
 }
 
+// FrameSink receives the exact marshaled wire frame of each step —
+// the recording seam of the persistent archive. AppendFrame returns
+// the record's ordinal in the sink (archives index records; sinks
+// that don't may return anything). The sink must copy or persist the
+// bytes before returning: pooled frames recycle after the call.
+type FrameSink interface {
+	AppendFrame(frame []byte) (int64, error)
+}
+
 // WriterOptions configures an SST writer.
 type WriterOptions struct {
 	// QueueLimit bounds the number of marshaled steps staged on the
@@ -75,6 +84,11 @@ type WriterOptions struct {
 	// (Role "rejected" with the offending name); when nil, any request
 	// is accepted and resolution is deferred to the producer's Execute.
 	Advertise []string
+	// Record, when non-nil, receives every staged frame (Put and
+	// PutFrame alike) before it enters the queue — the direct-path
+	// recording sink. The append is synchronous on the producer; a
+	// sink error fails the Put.
+	Record FrameSink
 }
 
 // queuedFrame is one staged step: the wire bytes plus the pooled
@@ -180,6 +194,15 @@ func (w *Writer) StepsSent() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.stepsSent
+}
+
+// SetRecord installs (or clears) the frame sink receiving every
+// staged frame — the recording seam for writers whose options were
+// fixed at construction (the XML-configured send adaptor).
+func (w *Writer) SetRecord(sink FrameSink) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.opts.Record = sink
 }
 
 // RequestedArrays reports the array subset the connected reader
@@ -345,10 +368,17 @@ func (w *Writer) putFrame(qf queuedFrame) error {
 		return fmt.Errorf("adios: put on closed writer")
 	}
 	err := w.sendErr
+	record := w.opts.Record
 	w.mu.Unlock()
 	if err != nil {
 		qf.release()
 		return err
+	}
+	if record != nil {
+		if _, err := record.AppendFrame(qf.b); err != nil {
+			qf.release()
+			return fmt.Errorf("adios: recording staged frame: %w", err)
+		}
 	}
 	w.opts.Acct.Alloc("sst-queue", int64(len(qf.b)))
 	w.mu.Lock()
@@ -393,8 +423,9 @@ type Reader struct {
 	conn net.Conn
 	br   *bufio.Reader
 
-	frameBuf []byte // grow-only receive scratch, reused per frame
-	spare    *Step  // recycled decode destination (see Recycle)
+	frameBuf []byte    // grow-only receive scratch, reused per frame
+	spare    *Step     // recycled decode destination (see Recycle)
+	record   FrameSink // receives every received frame (see SetRecord)
 	ack      [1]byte
 
 	stepsRecv int64
@@ -490,6 +521,11 @@ func (r *Reader) BeginStep() (*Step, error) {
 	if _, err := io.ReadFull(r.br, r.frameBuf); err != nil {
 		return nil, err
 	}
+	if r.record != nil {
+		if _, err := r.record.AppendFrame(r.frameBuf); err != nil {
+			return nil, fmt.Errorf("adios: recording received frame: %w", err)
+		}
+	}
 	r.ack[0] = 1
 	if _, err := r.conn.Write(r.ack[:]); err != nil {
 		return nil, fmt.Errorf("adios: returning step credit: %w", err)
@@ -517,6 +553,12 @@ func (r *Reader) Recycle(s *Step) {
 		r.spare = s
 	}
 }
+
+// SetRecord installs (or clears) a frame sink receiving the exact
+// wire bytes of every subsequently received step, before decode — the
+// consumer-side recording seam (zero re-encode: the bytes are the
+// producer's own frame). Call from the reader's single goroutine.
+func (r *Reader) SetRecord(sink FrameSink) { r.record = sink }
 
 // StepsReceived reports completed BeginStep calls.
 func (r *Reader) StepsReceived() int64 { return r.stepsRecv }

@@ -1,0 +1,149 @@
+package archive
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/staging"
+)
+
+// TestReplayConsumerGroup attaches R cooperating readers (the
+// endpoint-group deployment shape) to a replay: the staging server's
+// group brokering works unchanged post hoc, and every member sees
+// the identical step sequence.
+func TestReplayConsumerGroup(t *testing.T) {
+	const steps, members = 5, 2
+	_, dir := recordLiveRun(t, steps)
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	rp, err := NewReplay(a, ReplayOptions{
+		Consumers: []staging.ConsumerSpec{{Name: "grp", Policy: staging.Block, Depth: 2}},
+		From:      -1, To: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type seq struct {
+		steps []int64
+		err   error
+	}
+	done := make(chan seq, members)
+	for m := 0; m < members; m++ {
+		go func() {
+			r, err := adios.OpenReaderWith(rp.Addr(), adios.ReaderOptions{
+				Consumer: "grp", Group: members,
+			})
+			if err != nil {
+				done <- seq{err: err}
+				return
+			}
+			defer r.Close()
+			var s seq
+			for {
+				st, err := r.BeginStep()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					s.err = err
+					break
+				}
+				s.steps = append(s.steps, st.Step)
+			}
+			done <- s
+		}()
+	}
+	if err := rp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int64
+	for m := 0; m < members; m++ {
+		s := <-done
+		if s.err != nil {
+			t.Fatal(s.err)
+		}
+		got = append(got, s.steps)
+	}
+	if len(got[0]) != steps {
+		t.Fatalf("member saw %d steps, want %d", len(got[0]), steps)
+	}
+	if !reflect.DeepEqual(got[0], got[1]) {
+		t.Fatalf("group members saw different sequences: %v vs %v", got[0], got[1])
+	}
+}
+
+// TestXMLSpillAttribute exercises the full configuration path: a
+// staging analysis with spill="dir" and a pre-declared spill
+// consumer, backed by the archive opener this package registers.
+func TestXMLSpillAttribute(t *testing.T) {
+	dir := t.TempDir()
+	ctx := &sensei.Context{
+		Comm: mpirt.NewWorld(1).Comm(0), Acct: metrics.NewAccountant(),
+		Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter(),
+	}
+	an, err := sensei.NewAnalysisAdaptor("staging", ctx, map[string]string{
+		"spill":     dir,
+		"consumers": "slow:spill:2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := an.(*staging.Adaptor)
+	const steps = 12
+	for s := 0; s < steps; s++ {
+		if err := ad.Hub().Publish(hexStep(int64(s + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Publishing far past the depth-2 window must have demoted steps
+	// into an archive under dir.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sa, err := Open(filepath.Join(dir, "rank-0000", "slow"), Options{ReadOnly: true}); err == nil {
+			n := sa.Len()
+			sa.Close()
+			if n > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("spill archive never materialized under the XML spill dir")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The slow consumer still drains everything, in order.
+	r, err := adios.OpenReaderWith(ad.Server().Addr(), adios.ReaderOptions{Consumer: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := 0
+	go ad.Finalize() //nolint:errcheck // close the hub so the drain ends in EOF
+	for {
+		st, err := r.BeginStep()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(st.Step) != got+1 {
+			t.Fatalf("step %d delivered out of order as %d", got+1, st.Step)
+		}
+		got++
+	}
+	if got != steps {
+		t.Fatalf("spill consumer drained %d of %d steps", got, steps)
+	}
+}

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/archive"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/staging"
+)
+
+// ArchiveConfig parameterizes the record/replay measurement: a hub
+// streaming synthetic steps to one realistic (delayed) consumer, with
+// and without a recording sink riding along, then a post hoc replay
+// of the recorded archive.
+type ArchiveConfig struct {
+	Steps      int // timesteps (default 40)
+	Arrays     int // arrays per step (default 6)
+	PayloadF64 int // float64s per array (default 8192 = 64 KiB)
+
+	// ConsumerDelay models the live endpoint's per-step processing
+	// time (default 3ms) — the recording consumer runs concurrently
+	// with it, which is where the "recording is ~free" claim comes
+	// from: the disk append hides behind analysis time.
+	ConsumerDelay time.Duration
+
+	// Trials interleaves this many baseline/record pairs and reports
+	// the ratio of the minimum walls (default 5) — scheduler and
+	// page-cache noise shows up as slow outliers, so the best trial
+	// is the honest steady-state measurement for the CI gate.
+	Trials int
+
+	// Dir is where the recording lands (required; caller owns
+	// cleanup).
+	Dir string
+}
+
+func (c *ArchiveConfig) withDefaults() ArchiveConfig {
+	out := *c
+	if out.Steps == 0 {
+		out.Steps = 40
+	}
+	if out.Arrays == 0 {
+		out.Arrays = 6
+	}
+	if out.PayloadF64 == 0 {
+		out.PayloadF64 = 8192
+	}
+	if out.ConsumerDelay == 0 {
+		out.ConsumerDelay = 3 * time.Millisecond
+	}
+	if out.Trials == 0 {
+		out.Trials = 5
+	}
+	return out
+}
+
+// ArchiveResult is the record-overhead and replay-throughput
+// measurement.
+type ArchiveResult struct {
+	Config     ArchiveConfig
+	FrameBytes int64 // wire size of one steady-state step
+
+	// Producer wall time streaming all steps to the live consumer,
+	// without and with the recording sink attached.
+	BaselineWall time.Duration
+	RecordWall   time.Duration
+	BaselineMBps float64
+	RecordMBps   float64
+	// RecordOverhead is RecordWall/BaselineWall — the CI gate keeps
+	// it at or under 1.10 (<= 10% producer cost for durability).
+	RecordOverhead float64
+
+	ArchiveBytes int64 // recorded frame bytes on disk
+	Recorded     int   // steps in the archive
+
+	// Replay: draining the archive through a Source (disk read +
+	// decode), the post hoc analysis feed rate.
+	ReplayWall time.Duration
+	ReplayMBps float64
+}
+
+// archiveStep builds one synthetic multi-array timestep.
+func archiveStep(seq, arrays, n int) *adios.Step {
+	s := &adios.Step{
+		Step: int64(seq), Time: 0.01 * float64(seq),
+		Attrs: map[string]string{"mesh": "mesh"},
+	}
+	for a := 0; a < arrays; a++ {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(seq*n + a + i)
+		}
+		s.Vars = append(s.Vars, adios.NewF64(fmt.Sprintf("array/field%d", a), data))
+	}
+	return s
+}
+
+// streamOnce publishes the configured steps through a hub with one
+// delayed frame-pulling consumer (standing in for a network pump +
+// endpoint) and, optionally, a recording sink. Returns the producer
+// wall time.
+func streamOnce(c ArchiveConfig, a *archive.Archive) (time.Duration, error) {
+	hub := staging.NewHub(nil)
+	var rec *archive.HubRecorder
+	if a != nil {
+		r, err := archive.RecordHub(hub, "", 0, a)
+		if err != nil {
+			return 0, err
+		}
+		rec = r
+	}
+	cons, err := hub.Subscribe("endpoint", staging.Block, 2)
+	if err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	var consErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			ref, err := cons.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				consErr = err
+				return
+			}
+			_ = ref.Frame() // the pump cost: marshal once, shared
+			if c.ConsumerDelay > 0 {
+				time.Sleep(c.ConsumerDelay)
+			}
+			ref.Release()
+		}
+	}()
+
+	// Pre-build the steps: the timed region is the producer's actual
+	// per-step cost — Publish plus any backpressure — not synthetic
+	// array construction (which would otherwise contend for memory
+	// bandwidth with the recorder and pollute the comparison).
+	steps := make([]*adios.Step, c.Steps)
+	for s := range steps {
+		steps[s] = archiveStep(s, c.Arrays, c.PayloadF64)
+	}
+	start := time.Now()
+	for _, st := range steps {
+		if err := hub.Publish(st); err != nil {
+			return 0, err
+		}
+	}
+	wall := time.Since(start)
+	hub.Close()
+	wg.Wait()
+	if consErr != nil {
+		return 0, consErr
+	}
+	if rec != nil {
+		if err := rec.Wait(); err != nil {
+			return 0, err
+		}
+	}
+	return wall, nil
+}
+
+// RunArchive measures recording overhead (producer wall with vs
+// without the archive sink) and post hoc replay throughput over the
+// recorded archive.
+func RunArchive(cfg ArchiveConfig) (ArchiveResult, error) {
+	c := cfg.withDefaults()
+	if c.Dir == "" {
+		return ArchiveResult{}, fmt.Errorf("bench: ArchiveConfig.Dir is required")
+	}
+	res := ArchiveResult{Config: c}
+	res.FrameBytes = int64(len(adios.Marshal(archiveStep(1, c.Arrays, c.PayloadF64))))
+	payload := int64(c.Steps) * int64(c.Arrays) * int64(c.PayloadF64) * 8
+
+	// Interleaved trials, best wall on each side: transient noise
+	// (scheduler, writeback, thermal) only ever slows a trial down,
+	// so the minima are the steady-state costs the gate should judge.
+	// Every record trial writes a fresh per-trial archive, so each
+	// measures the same cold-store append and the reported archive
+	// holds exactly one run's steps.
+	var base, rec time.Duration
+	lastDir := c.Dir
+	for trial := 0; trial < c.Trials; trial++ {
+		b, err := streamOnce(c, nil)
+		if err != nil {
+			return res, fmt.Errorf("bench: archive baseline: %w", err)
+		}
+		lastDir = filepath.Join(c.Dir, fmt.Sprintf("trial-%d", trial))
+		a, err := archive.Open(lastDir, archive.Options{})
+		if err != nil {
+			return res, err
+		}
+		r, err := streamOnce(c, a)
+		if err != nil {
+			a.Close()
+			return res, fmt.Errorf("bench: archive record: %w", err)
+		}
+		res.ArchiveBytes = a.Bytes()
+		res.Recorded = a.Len()
+		if err := a.Close(); err != nil {
+			return res, err
+		}
+		if trial == 0 || b < base {
+			base = b
+		}
+		if trial == 0 || r < rec {
+			rec = r
+		}
+	}
+	res.BaselineWall, res.RecordWall = base, rec
+	res.BaselineMBps = mbps(payload, base)
+	res.RecordMBps = mbps(payload, rec)
+	if base > 0 {
+		res.RecordOverhead = float64(rec) / float64(base)
+	}
+
+	// Replay: a fresh Open (recovery path included) draining every
+	// step through the StepSource seam.
+	ra, err := archive.Open(lastDir, archive.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer ra.Close()
+	src := ra.Source(-1, -1, nil)
+	start := time.Now()
+	n := 0
+	for {
+		st, err := src.BeginStep()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		n++
+		src.Recycle(st)
+	}
+	res.ReplayWall = time.Since(start)
+	res.ReplayMBps = mbps(res.ArchiveBytes, res.ReplayWall)
+	if n != res.Recorded {
+		return res, fmt.Errorf("bench: replay drained %d of %d recorded steps", n, res.Recorded)
+	}
+	return res, nil
+}
+
+// ArchiveTable renders the measurement.
+func ArchiveTable(r ArchiveResult) *metrics.Table {
+	t := metrics.NewTable("Archive: record overhead & replay throughput",
+		"path", "wall [ms]", "MB/s", "vs baseline")
+	t.AddRow("publish (no record)", fmt.Sprintf("%.1f", float64(r.BaselineWall.Microseconds())/1000),
+		fmt.Sprintf("%.1f", r.BaselineMBps), "1.00x")
+	t.AddRow("publish + record", fmt.Sprintf("%.1f", float64(r.RecordWall.Microseconds())/1000),
+		fmt.Sprintf("%.1f", r.RecordMBps), fmt.Sprintf("%.2fx", r.RecordOverhead))
+	t.AddRow("replay (read+decode)", fmt.Sprintf("%.1f", float64(r.ReplayWall.Microseconds())/1000),
+		fmt.Sprintf("%.1f", r.ReplayMBps), "-")
+	return t
+}
+
+// WriteArchiveJSON emits the measurement as the BENCH_archive.json
+// artifact.
+func WriteArchiveJSON(w io.Writer, r ArchiveResult) error {
+	doc := struct {
+		Figure string `json:"figure"`
+		Config struct {
+			Steps           int     `json:"steps"`
+			Arrays          int     `json:"arrays"`
+			PayloadF64      int     `json:"payload_f64_per_array"`
+			ConsumerDelayMs float64 `json:"consumer_delay_ms"`
+		} `json:"config"`
+		FrameBytes int64 `json:"frame_bytes"`
+		Record     struct {
+			BaselineWallMs float64 `json:"baseline_wall_ms"`
+			RecordWallMs   float64 `json:"record_wall_ms"`
+			BaselineMBps   float64 `json:"baseline_mbps"`
+			RecordMBps     float64 `json:"record_mbps"`
+			OverheadRatio  float64 `json:"overhead_ratio"`
+			ArchiveBytes   int64   `json:"archive_bytes"`
+			Steps          int     `json:"steps"`
+		} `json:"record"`
+		Replay struct {
+			WallMs float64 `json:"wall_ms"`
+			MBps   float64 `json:"mbps"`
+		} `json:"replay"`
+	}{Figure: "archive"}
+	doc.Config.Steps = r.Config.Steps
+	doc.Config.Arrays = r.Config.Arrays
+	doc.Config.PayloadF64 = r.Config.PayloadF64
+	doc.Config.ConsumerDelayMs = float64(r.Config.ConsumerDelay.Microseconds()) / 1000
+	doc.FrameBytes = r.FrameBytes
+	doc.Record.BaselineWallMs = float64(r.BaselineWall.Microseconds()) / 1000
+	doc.Record.RecordWallMs = float64(r.RecordWall.Microseconds()) / 1000
+	doc.Record.BaselineMBps = r.BaselineMBps
+	doc.Record.RecordMBps = r.RecordMBps
+	doc.Record.OverheadRatio = r.RecordOverhead
+	doc.Record.ArchiveBytes = r.ArchiveBytes
+	doc.Record.Steps = r.Recorded
+	doc.Replay.WallMs = float64(r.ReplayWall.Microseconds()) / 1000
+	doc.Replay.MBps = r.ReplayMBps
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunArchiveSmoke runs a tiny record/replay measurement and
+// sanity-checks the result shape and the JSON artifact.
+func TestRunArchiveSmoke(t *testing.T) {
+	res, err := RunArchive(ArchiveConfig{
+		Steps: 6, Arrays: 2, PayloadF64: 1024,
+		ConsumerDelay: 200 * time.Microsecond,
+		Trials:        1,
+		Dir:           t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorded != 6 {
+		t.Fatalf("recorded %d steps, want 6", res.Recorded)
+	}
+	if res.ArchiveBytes <= 0 || res.FrameBytes <= 0 {
+		t.Fatalf("sizes not measured: %+v", res)
+	}
+	if res.RecordOverhead <= 0 {
+		t.Fatalf("overhead ratio not measured: %v", res.RecordOverhead)
+	}
+	if res.ReplayMBps <= 0 {
+		t.Fatalf("replay throughput not measured: %v", res.ReplayMBps)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteArchiveJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Figure string `json:"figure"`
+		Record struct {
+			OverheadRatio float64 `json:"overhead_ratio"`
+			Steps         int     `json:"steps"`
+		} `json:"record"`
+		Replay struct {
+			MBps float64 `json:"mbps"`
+		} `json:"replay"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Figure != "archive" || doc.Record.Steps != 6 ||
+		doc.Record.OverheadRatio <= 0 || doc.Replay.MBps <= 0 {
+		t.Fatalf("artifact malformed: %s", buf.String())
+	}
+}
+
+// TestRunArchiveRequiresDir: the bench refuses to scribble into an
+// implicit location.
+func TestRunArchiveRequiresDir(t *testing.T) {
+	if _, err := RunArchive(ArchiveConfig{Steps: 2}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+}

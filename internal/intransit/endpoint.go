@@ -273,9 +273,11 @@ func (a *StreamDataAdaptor) ReleaseData() error {
 }
 
 // StepSource delivers one stream of timesteps to an endpoint:
-// io.EOF signals a clean end-of-stream. Both *adios.Reader (a direct
-// SST stream) and *staging.Consumer (a fan-out hub subscription)
-// satisfy it, so the same endpoint runtime consumes either transport.
+// io.EOF signals a clean end-of-stream. *adios.Reader (a direct SST
+// stream), *staging.Consumer (a fan-out hub subscription) and
+// *archive.Source (a recorded run read back from disk) all satisfy
+// it, so the same endpoint runtime consumes a live transport or a
+// post hoc archive interchangeably.
 type StepSource interface {
 	BeginStep() (*adios.Step, error)
 }

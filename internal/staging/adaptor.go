@@ -2,9 +2,9 @@ package staging
 
 import (
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/sensei"
@@ -84,6 +84,11 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 //	arrays    comma-separated array names ("" = all advertised); also
 //	          the advertisement consumer subset requests are validated
 //	          against
+//	spill     directory for spill-policy consumers' disk tiers (one
+//	          store per rank and consumer, under rank-NNNN/; enables
+//	          policy "spill"). Requires a registered spill opener —
+//	          importing internal/archive registers the archive-backed
+//	          one
 //	consumers pre-declared consumers,
 //	          "name[:policy[:depth[:arrays]]],..." with +-separated
 //	          arrays (e.g. "render:latest-only:1:pressure+velocity_x")
@@ -101,13 +106,7 @@ type Adaptor struct {
 
 	defPolicy Policy
 	defDepth  int
-
-	mu         sync.Mutex
-	specs      map[string]ConsumerSpec // pre-declared consumer shapes
-	registered map[string]*Consumer    // current subscription per declared name
-	claimed    map[string]bool
-	groups     groupBroker // group members handed out per logical name
-	dynSeq     int
+	binder    *Binder // resolves reader handshakes, built at serve time
 
 	structureSent bool
 	stepsStaged   int
@@ -121,9 +120,7 @@ func New(ctx *sensei.Context, hub *Hub, meshName string, arrays []string) *Adapt
 	}
 	return &Adaptor{
 		ctx: ctx, hub: hub, meshName: meshName, arrays: arrays,
-		defDepth:   2,
-		specs:      map[string]ConsumerSpec{},
-		registered: map[string]*Consumer{}, claimed: map[string]bool{},
+		defDepth: 2,
 	}
 }
 
@@ -139,6 +136,16 @@ func init() {
 		// A configured array set is the advertisement consumer subset
 		// requests are validated against (handshake rejection).
 		hub.SetAdvertised(arrays)
+		if dir := strings.TrimSpace(attrs["spill"]); dir != "" {
+			// Every rank runs its own hub; namespace the spill stores
+			// per rank (the recording layout's rank-NNNN convention) so
+			// same-named consumers on different ranks never share — and
+			// corrupt — one on-disk store.
+			rankDir := filepath.Join(dir, fmt.Sprintf("rank-%04d", ctx.Comm.Rank()))
+			if err := hub.SetSpillDir(rankDir); err != nil {
+				return nil, err
+			}
+		}
 		ad := New(ctx, hub, attrs["mesh"], arrays)
 		if p := attrs["policy"]; p != "" {
 			pol, err := ParsePolicy(p)
@@ -158,22 +165,17 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
+		ad.binder = NewBinder(hub, ad.defPolicy, ad.defDepth)
 		for _, spec := range specs {
-			if spec.Depth == 0 {
-				spec.Depth = ad.defDepth
-			}
-			cons, err := hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, spec.Arrays)
-			if err != nil {
+			if _, err := ad.binder.Declare(spec); err != nil {
 				return nil, err
 			}
-			ad.specs[spec.Name] = spec
-			ad.registered[spec.Name] = cons
 		}
 		addr := attrs["address"]
 		if addr == "" {
 			addr = "127.0.0.1:0"
 		}
-		srv, err := Serve(hub, addr, ad.bindConsumer)
+		srv, err := Serve(hub, addr, ad.binder.Bind)
 		if err != nil {
 			return nil, err
 		}
@@ -195,81 +197,6 @@ func init() {
 		}
 		return ad, nil
 	})
-}
-
-// bindConsumer resolves a network reader's handshake: pre-declared
-// names are claimed (one live connection at a time — after a
-// disconnect, a reconnect gets a fresh subscription with the declared
-// policy); unknown names get fresh subscriptions with the reader's
-// announced policy/depth/arrays or the adaptor defaults. A reader
-// claiming a pre-declared name may narrow its subset further in the
-// hello; an array outside the advertisement rejects the handshake.
-// Readers announcing group > 1 are brokered into one consumer group
-// per logical name: the first member's claim converts the pre-declared
-// subscription (keeping its cursor, so pre-declared groups still lose
-// no steps) into the group's base, and the remaining members attach to
-// it.
-func (a *Adaptor) bindConsumer(name, policy string, depth, group int, arrays []string) (*Consumer, error) {
-	if group > 1 {
-		return a.groups.attach(a.hub, name, group, func() (*Consumer, error) {
-			return a.bindConsumer(name, policy, depth, 1, arrays)
-		})
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if spec, ok := a.specs[name]; ok {
-		cons := a.registered[name]
-		if !a.claimed[name] {
-			if len(arrays) > 0 {
-				// The reader narrowed (or set) the subset at attach
-				// time: re-subscribe at the declared cursor semantics
-				// closest equivalent — a fresh subscription with the
-				// declared policy/depth and the announced arrays, after
-				// validating them. The pre-declared cursor is kept by
-				// converting the existing subscription only when the
-				// announced subset matches the declaration.
-				if err := a.hub.validateSubset(arrays); err != nil {
-					return nil, err
-				}
-				a.hub.setConsumerArrays(cons, arrays)
-			}
-			a.claimed[name] = true
-			return cons, nil
-		}
-		if cons.IsClosed() {
-			// The previous connection dropped (its pump closed the
-			// subscription). Re-subscribe under the declared policy;
-			// steps shed in between are lost, the structure replays
-			// from the bootstrap.
-			sub := spec.Arrays
-			if len(arrays) > 0 {
-				sub = arrays
-			}
-			nc, err := a.hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, sub)
-			if err != nil {
-				return nil, err
-			}
-			a.registered[name] = nc
-			return nc, nil
-		}
-		return nil, fmt.Errorf("already attached")
-	}
-	pol := a.defPolicy
-	if policy != "" {
-		p, err := ParsePolicy(policy)
-		if err != nil {
-			return nil, err
-		}
-		pol = p
-	}
-	if depth <= 0 {
-		depth = a.defDepth
-	}
-	if name == "" {
-		a.dynSeq++
-		name = fmt.Sprintf("consumer-%d", a.dynSeq)
-	}
-	return a.hub.SubscribeArrays(name, pol, depth, arrays)
 }
 
 // RetainsStepData implements sensei.StepRetainer: published steps

@@ -1,0 +1,145 @@
+package staging
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Binder resolves network reader handshakes against a set of
+// pre-declared consumers: declared names are claimed (one live
+// connection at a time; a reconnect after a disconnect gets a fresh
+// subscription under the declared policy), unknown names get fresh
+// subscriptions with the reader's announced policy/depth/arrays or
+// the binder's defaults, and readers announcing group > 1 are
+// brokered into one consumer group per logical name — the first
+// member's claim converts a pre-declared subscription in place,
+// keeping its no-lost-steps cursor.
+//
+// The XML staging adaptor and the archive replay producer both serve
+// their hubs through a Binder, so live and post hoc attachment
+// semantics are identical. Use Bind as the staging.Serve
+// SubscribeFunc.
+type Binder struct {
+	hub       *Hub
+	defPolicy Policy
+	defDepth  int
+
+	mu         sync.Mutex
+	specs      map[string]ConsumerSpec // pre-declared consumer shapes
+	registered map[string]*Consumer    // current subscription per declared name
+	claimed    map[string]bool
+	groups     groupBroker // group members handed out per logical name
+	dynSeq     int
+}
+
+// NewBinder builds a binder over hub with defaults for dynamically
+// attaching readers (defDepth <= 0 selects 2).
+func NewBinder(hub *Hub, defPolicy Policy, defDepth int) *Binder {
+	if defDepth <= 0 {
+		defDepth = 2
+	}
+	return &Binder{
+		hub: hub, defPolicy: defPolicy, defDepth: defDepth,
+		specs:      map[string]ConsumerSpec{},
+		registered: map[string]*Consumer{},
+		claimed:    map[string]bool{},
+	}
+}
+
+// Declare pre-subscribes one consumer so no step is missed while its
+// reader attaches; the subscription is claimed by the first reader
+// announcing the name. A zero Depth takes the binder default.
+func (b *Binder) Declare(spec ConsumerSpec) (*Consumer, error) {
+	if spec.Depth == 0 {
+		spec.Depth = b.defDepth
+	}
+	cons, err := b.hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, spec.Arrays)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.specs[spec.Name] = spec
+	b.registered[spec.Name] = cons
+	b.mu.Unlock()
+	return cons, nil
+}
+
+// FullyAttached reports whether every pre-declared consumer has been
+// claimed by a reader — and, for names claimed as consumer groups,
+// whether all announced members have attached. A short-lived producer
+// (the archive replay) waits on this before publishing, so its server
+// cannot finish and close while declared consumers are still dialing.
+func (b *Binder) FullyAttached() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name := range b.specs {
+		if !b.claimed[name] || !b.groups.complete(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bind resolves one reader's handshake (the SubscribeFunc contract).
+// A reader claiming a pre-declared name may narrow its array subset
+// in the hello; an array outside the advertisement rejects the
+// handshake.
+func (b *Binder) Bind(name, policy string, depth, group int, arrays []string) (*Consumer, error) {
+	if group > 1 {
+		return b.groups.attach(b.hub, name, group, func() (*Consumer, error) {
+			return b.Bind(name, policy, depth, 1, arrays)
+		})
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if spec, ok := b.specs[name]; ok {
+		cons := b.registered[name]
+		if !b.claimed[name] {
+			if len(arrays) > 0 {
+				// The reader narrowed (or set) the subset at attach
+				// time: validate it, then swap it onto the pre-declared
+				// subscription so the kept cursor ships the narrowed
+				// set from here on.
+				if err := b.hub.validateSubset(arrays); err != nil {
+					return nil, err
+				}
+				b.hub.setConsumerArrays(cons, arrays)
+			}
+			b.claimed[name] = true
+			return cons, nil
+		}
+		if cons.IsClosed() {
+			// The previous connection dropped (its pump closed the
+			// subscription). Re-subscribe under the declared policy;
+			// steps shed in between are lost, the structure replays
+			// from the bootstrap.
+			sub := spec.Arrays
+			if len(arrays) > 0 {
+				sub = arrays
+			}
+			nc, err := b.hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, sub)
+			if err != nil {
+				return nil, err
+			}
+			b.registered[name] = nc
+			return nc, nil
+		}
+		return nil, fmt.Errorf("already attached")
+	}
+	pol := b.defPolicy
+	if policy != "" {
+		p, err := ParsePolicy(policy)
+		if err != nil {
+			return nil, err
+		}
+		pol = p
+	}
+	if depth <= 0 {
+		depth = b.defDepth
+	}
+	if name == "" {
+		b.dynSeq++
+		name = fmt.Sprintf("consumer-%d", b.dynSeq)
+	}
+	return b.hub.SubscribeArrays(name, pol, depth, arrays)
+}

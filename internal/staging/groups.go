@@ -80,6 +80,12 @@ func (h *Hub) GroupConsumer(base *Consumer, size int) ([]*Consumer, error) {
 	if base.grp != nil {
 		return nil, fmt.Errorf("staging: consumer %q is already a group member", base.name)
 	}
+	if base.policy == Spill {
+		// The group log already re-delivers through the base cursor;
+		// layering the spill queue's out-of-ring deliveries under it
+		// would need per-member disk reads the log cannot express.
+		return nil, fmt.Errorf("staging: consumer %q: spill policy is not supported for consumer groups", base.name)
+	}
 	gs := &groupState{base: base, active: size}
 	members := make([]*Consumer, size)
 	for i := range members {
@@ -257,6 +263,13 @@ func (b *groupBroker) attach(h *Hub, name string, size int, newBase func() (*Con
 		}
 		members, err := h.GroupConsumer(base, size)
 		if err != nil {
+			// The just-subscribed base must not outlive the rejected
+			// attach: left open it would keep accumulating (or, for a
+			// spill consumer, demoting) every published step, and a
+			// claimed pre-declared name would stay "already attached"
+			// forever. Closing it lets a later reader re-claim through
+			// the IsClosed re-subscription path.
+			base.Close()
 			return nil, err
 		}
 		// Members start unclaimed; each handout below claims one. Once
@@ -282,6 +295,16 @@ func (b *groupBroker) attach(h *Hub, name string, size int, newBase func() (*Con
 	m.grpClaimed = true
 	h.mu.Unlock()
 	return m, nil
+}
+
+// complete reports whether a brokered group under name has every
+// member handed out (true when no group was brokered for the name at
+// all — plain claims are complete by definition).
+func (b *groupBroker) complete(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.groups[name]
+	return g == nil || g.next >= len(g.members)
 }
 
 // dead reports whether every member this broker handed out has

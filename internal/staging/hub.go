@@ -170,6 +170,10 @@ type Hub struct {
 	// against it and rejected when they name an unknown array.
 	advertised []string
 
+	// spillFactory materializes the disk tier for Spill-policy
+	// subscriptions (nil: spill subscriptions are rejected).
+	spillFactory func(consumer string) (SpillStore, error)
+
 	// bootstrap is the first structure-carrying step, retained (one
 	// extra reference) until Close so consumers attaching mid-stream
 	// still receive the grid structure.
@@ -178,6 +182,7 @@ type Hub struct {
 	closed    bool
 	published int64
 	dropped   int64
+	spilled   int64
 }
 
 // NewHub creates an empty hub. Staged payload bytes are tracked under
@@ -206,8 +211,26 @@ type Consumer struct {
 	cursor    int64
 	delivered int64
 	dropped   int64
+	spilled   int64
 	wireBytes int64
 	closed    bool
+
+	// Spill-policy state: steps evicted from the ring window queue
+	// here (oldest first) and a background spiller demotes them to
+	// spillStore; delivery always drains spillQ before the ring, so
+	// order is preserved. spillWork is the spiller's own FIFO of
+	// not-yet-persisted entries (popped from the front, O(1) per
+	// demotion regardless of how deep spillQ has grown — entries
+	// delivered from memory before the spiller reaches them are
+	// skipped by their delivered flag). spillErr records a failed
+	// demotion — the affected entry stays deliverable from memory,
+	// but the window is effectively unbounded from then on.
+	spillQ      []*spillEntry
+	spillWork   []*spillEntry
+	spillStore  SpillStore
+	spillErr    error
+	spillerDone chan struct{}
+	closedCh    chan struct{} // closed on detach (spill consumers only)
 
 	// pendingBootstrap is delivered before ring steps when the
 	// consumer subscribed after the structure step was published.
@@ -246,6 +269,82 @@ type StepRef struct {
 	// returned (through the group's base ref) by the last member.
 	ge  *groupEntry
 	grp *groupState
+
+	// sp is set for views re-read from a consumer's spill tier: the
+	// step lives in sp's own storage (read back from disk), not in a
+	// ring entry, and Release has nothing to return to the hub.
+	sp *spillRead
+}
+
+// Spill entry states: evicted steps start in memory (holding the
+// queue's hub reference), a background spiller demotes them to disk,
+// and delivery drains whatever state the head is in.
+const (
+	spillMem     = iota // in memory, awaiting the spiller
+	spillWriting        // the spiller is persisting it
+	spillDisk           // on disk; e released, id valid
+)
+
+// spillEntry is one step evicted from a Spill consumer's ring window.
+// Guarded by the hub's mutex.
+type spillEntry struct {
+	e         *stepEntry // non-nil until demoted to disk
+	state     int
+	id        int64 // spill-store record, valid in state spillDisk
+	delivered bool  // popped by delivery; the spiller must not requeue it
+}
+
+// spillRead materializes one spilled step on catch-up: the frame is
+// read back from the store and decoded into the read's own storage
+// (Next performs the load outside the hub lock). Subset consumers get
+// a filtered view rebuilt locally — spilled frames are stored whole.
+type spillRead struct {
+	store SpillStore
+	id    int64
+
+	frame []byte
+	step  *adios.Step
+
+	sub      *adios.Step // filtered view, built on demand
+	subFrame []byte      // marshaled filtered frame, built on demand
+}
+
+// load reads and decodes the spilled frame; called once, outside the
+// hub lock, by the delivering consumer's goroutine.
+func (s *spillRead) load() error {
+	buf, err := s.store.ReadFrameInto(s.id, nil)
+	if err != nil {
+		return fmt.Errorf("staging: reading spilled step: %w", err)
+	}
+	st, err := adios.Unmarshal(buf)
+	if err != nil {
+		return fmt.Errorf("staging: decoding spilled step: %w", err)
+	}
+	s.frame, s.step = buf, st
+	return nil
+}
+
+// stepFor resolves the delivered view under the consumer's subset.
+func (s *spillRead) stepFor(arrays []string) *adios.Step {
+	if arrays == nil || s.step.Attrs["structure"] == "1" {
+		return s.step
+	}
+	if s.sub == nil {
+		s.sub = filterStep(s.step, arrays)
+	}
+	return s.sub
+}
+
+// frameFor resolves the wire form under the consumer's subset.
+func (s *spillRead) frameFor(arrays []string) []byte {
+	st := s.stepFor(arrays)
+	if st == s.step {
+		return s.frame
+	}
+	if s.subFrame == nil {
+		s.subFrame = adios.Marshal(st)
+	}
+	return s.subFrame
 }
 
 // subset resolves this view's subset form, nil for full delivery
@@ -261,6 +360,9 @@ func (r *StepRef) subset() *subsetForm {
 // Step returns the shared, read-only step payload, filtered to the
 // consumer's declared array subset.
 func (r *StepRef) Step() *adios.Step {
+	if r.sp != nil {
+		return r.sp.stepFor(r.arrays)
+	}
 	if f := r.subset(); f != nil {
 		return f.step
 	}
@@ -280,6 +382,9 @@ func (r *StepRef) releaseLocked() {
 		return
 	}
 	r.released = true
+	if r.sp != nil {
+		return // the read owns its storage; nothing to return to the hub
+	}
 	if r.ge != nil {
 		r.ge.remaining--
 		if r.ge.remaining == 0 {
@@ -299,6 +404,30 @@ func (h *Hub) releaseRef(e *stepEntry) {
 		h.acct.Free("staging-hub", e.bytes)
 		e.releaseFrames()
 	}
+}
+
+// SetSpillFactory installs the factory materializing a disk tier per
+// Spill-policy consumer. Must be set before the first Spill
+// subscription; stores implementing io.Closer are closed once their
+// consumer has detached and its spiller drained.
+func (h *Hub) SetSpillFactory(f func(consumer string) (SpillStore, error)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.spillFactory = f
+}
+
+// SetSpillDir is SetSpillFactory through the registered
+// directory-based opener (import internal/archive to register the
+// archive-backed one): each Spill consumer gets its own store under
+// dir.
+func (h *Hub) SetSpillDir(dir string) error {
+	if spillOpener == nil {
+		return fmt.Errorf("staging: no spill opener registered (import internal/archive)")
+	}
+	h.SetSpillFactory(func(consumer string) (SpillStore, error) {
+		return spillOpener(dir, consumer)
+	})
+	return nil
 }
 
 // SetAdvertised declares the array set this hub's producer publishes.
@@ -375,6 +504,26 @@ func (h *Hub) SubscribeArrays(name string, policy Policy, depth int, arrays []st
 		return nil, err
 	}
 	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, arrays: arrays, cursor: h.nextSeq}
+	if policy == Spill {
+		if h.spillFactory == nil {
+			return nil, fmt.Errorf("staging: consumer %q wants spill policy but the hub has no spill store (SetSpillFactory/SetSpillDir, or the adaptor's spill attribute)", name)
+		}
+		store, err := h.spillFactory(name)
+		if err != nil {
+			return nil, fmt.Errorf("staging: opening spill store for %q: %w", name, err)
+		}
+		c.spillStore = store
+		c.spillerDone = make(chan struct{})
+		c.closedCh = make(chan struct{})
+		go h.spiller(c)
+		if closer, ok := store.(io.Closer); ok {
+			go func() { // janitor: close the store once spiller and consumer are done with it
+				<-c.spillerDone
+				<-c.closedCh
+				closer.Close() //nolint:errcheck // nothing to report to
+			}()
+		}
+	}
 	if h.bootstrap != nil && h.nextSeq > h.bootstrap.seq {
 		c.pendingBootstrap = h.bootstrap
 		h.bootstrap.refs++
@@ -427,9 +576,14 @@ func (h *Hub) Publish(s *adios.Step) error {
 			continue
 		}
 		e.refs++
-		if c.policy != Block {
+		switch c.policy {
+		case DropOldest, LatestOnly:
 			for h.lag(c) > int64(c.depth) {
 				h.dropOldest(c)
+			}
+		case Spill:
+			for h.lag(c) > int64(c.depth) {
+				h.spillOldest(c)
 			}
 		}
 	}
@@ -455,6 +609,86 @@ func (h *Hub) dropOldest(c *Consumer) {
 	c.dropped++
 	h.dropped++
 	h.releaseRef(e)
+}
+
+// spillOldest demotes c's oldest undelivered ring step to its spill
+// queue: the entry's reference transfers from the ring claim to the
+// queue (payload stays alive in memory until the background spiller
+// persists it), the cursor advances, and the producer moves on — an
+// O(1) hand-off with no I/O under the hub lock. The structure step is
+// never spilled: like dropOldest, it defers into the bootstrap slot.
+// Caller holds h.mu.
+func (h *Hub) spillOldest(c *Consumer) {
+	e := h.ring[c.cursor-h.headSeq]
+	c.cursor++
+	if e == h.bootstrap && c.pendingBootstrap == nil {
+		c.pendingBootstrap = e // transfer the reference, deliver first
+		return
+	}
+	c.spilled++
+	h.spilled++
+	se := &spillEntry{e: e, state: spillMem}
+	c.spillQ = append(c.spillQ, se)
+	c.spillWork = append(c.spillWork, se)
+}
+
+// spiller is a Spill consumer's background demotion loop: it marshals
+// and appends queued entries to the store (outside the hub lock) and
+// releases their hub references once on disk. Exits when the consumer
+// detaches, or when the hub is closed and nothing is left to persist.
+// On an append error the entry stays deliverable from memory, the
+// error is recorded in spillErr, and demotion stops.
+func (h *Hub) spiller(c *Consumer) {
+	defer close(c.spillerDone)
+	h.mu.Lock()
+	for {
+		if c.closed {
+			h.mu.Unlock()
+			return
+		}
+		var se *spillEntry
+		for len(c.spillWork) > 0 {
+			cand := c.spillWork[0]
+			c.spillWork[0] = nil
+			c.spillWork = c.spillWork[1:]
+			if cand.delivered {
+				continue // consumed from memory before we got to it
+			}
+			se = cand
+			break
+		}
+		if se == nil {
+			if h.closed {
+				h.mu.Unlock()
+				return
+			}
+			h.cond.Wait()
+			continue
+		}
+		se.state = spillWriting
+		e := se.e
+		h.mu.Unlock()
+
+		frame := e.frameBytes(h.pool)
+		id, err := c.spillStore.AppendFrame(frame)
+
+		h.mu.Lock()
+		if err != nil {
+			c.spillErr = err
+			if se.delivered {
+				h.releaseRef(e) // delivery took its own reference
+			} else {
+				se.state = spillMem // still deliverable from memory
+			}
+			h.cond.Broadcast()
+			h.mu.Unlock()
+			return
+		}
+		se.id = id
+		se.state = spillDisk
+		se.e = nil
+		h.releaseRef(e)
+	}
 }
 
 // trim discards ring entries every open consumer has passed. Caller
@@ -520,6 +754,29 @@ func (h *Hub) Dropped() int64 {
 	return h.dropped
 }
 
+// Spilled reports steps demoted to disk tiers across all consumers.
+func (h *Hub) Spilled() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.spilled
+}
+
+// ActiveConsumers counts subscriptions that have not been closed —
+// the ones a publish still delivers to. Short-lived producers (the
+// archive replay) gate on this rather than Stats, which keeps closed
+// consumers for reporting.
+func (h *Hub) ActiveConsumers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, c := range h.consumers {
+		if !c.closed {
+			n++
+		}
+	}
+	return n
+}
+
 // ConsumerStats is one consumer's delivery record.
 type ConsumerStats struct {
 	Name      string
@@ -528,6 +785,7 @@ type ConsumerStats struct {
 	Arrays    []string // declared subset, nil = all
 	Delivered int64
 	Dropped   int64
+	Spilled   int64 // steps demoted to the consumer's disk tier
 	WireBytes int64 // marshaled bytes shipped by the network pump
 }
 
@@ -539,7 +797,8 @@ func (h *Hub) Stats() []ConsumerStats {
 	for i, c := range h.consumers {
 		out[i] = ConsumerStats{
 			Name: c.name, Policy: c.policy, Depth: c.depth, Arrays: c.arrays,
-			Delivered: c.delivered, Dropped: c.dropped, WireBytes: c.wireBytes,
+			Delivered: c.delivered, Dropped: c.dropped, Spilled: c.spilled,
+			WireBytes: c.wireBytes,
 		}
 	}
 	return out
@@ -566,6 +825,23 @@ func (c *Consumer) Dropped() int64 {
 	c.hub.mu.Lock()
 	defer c.hub.mu.Unlock()
 	return c.dropped
+}
+
+// Spilled reports steps demoted to this consumer's disk tier.
+func (c *Consumer) Spilled() int64 {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.spilled
+}
+
+// SpillErr reports a failed demotion (nil while the spill tier is
+// healthy). After a failure no step is lost — evicted steps stay
+// deliverable from memory — but the consumer's window is no longer
+// bounded by its depth.
+func (c *Consumer) SpillErr() error {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.spillErr
 }
 
 // Arrays reports the consumer's declared array subset (nil = all).
@@ -598,21 +874,37 @@ func (c *Consumer) IsClosed() bool {
 }
 
 // Next blocks for this consumer's next step, returning a shared,
-// reference-counted view. io.EOF signals a drained, closed hub.
+// reference-counted view. io.EOF signals a drained, closed hub. A
+// step re-read from the spill tier is loaded (disk read + decode)
+// here, outside the hub lock, so catch-up I/O never stalls the
+// producer or other consumers.
 func (c *Consumer) Next() (*StepRef, error) {
 	h := c.hub
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	var ref *StepRef
+	var err error
 	if c.grp != nil {
-		return c.grp.nextMemberLocked(c)
-	}
-	for {
-		ref, err := c.tryNextLocked()
-		if ref != nil || err != nil {
-			return ref, err
+		ref, err = c.grp.nextMemberLocked(c)
+	} else {
+		for {
+			ref, err = c.tryNextLocked()
+			if ref != nil || err != nil {
+				break
+			}
+			h.cond.Wait()
 		}
-		h.cond.Wait()
 	}
+	h.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if ref.sp != nil {
+		if lerr := ref.sp.load(); lerr != nil {
+			ref.Release()
+			return nil, lerr
+		}
+	}
+	return ref, nil
 }
 
 // tryNextLocked is the non-blocking core of Next: it returns the next
@@ -629,6 +921,28 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		c.pendingBootstrap = nil
 		c.delivered++
 		return &StepRef{hub: h, e: e, arrays: c.arrays}, nil
+	}
+	if len(c.spillQ) > 0 {
+		// Spilled steps are older than everything at the ring cursor:
+		// drain them first, from wherever they currently live.
+		se := c.spillQ[0]
+		c.spillQ[0] = nil
+		c.spillQ = c.spillQ[1:]
+		se.delivered = true
+		c.delivered++
+		switch se.state {
+		case spillMem:
+			// Not yet persisted: deliver from memory, inheriting the
+			// queue's hub reference (the spiller no longer sees it).
+			return &StepRef{hub: h, e: se.e, arrays: c.arrays}, nil
+		case spillWriting:
+			// The spiller owns the queue's reference mid-write; take
+			// our own for the delivery.
+			se.e.refs++
+			return &StepRef{hub: h, e: se.e, arrays: c.arrays}, nil
+		default: // spillDisk
+			return &StepRef{hub: h, sp: &spillRead{store: c.spillStore, id: se.id}, arrays: c.arrays}, nil
+		}
 	}
 	if c.cursor < h.nextSeq {
 		e := h.ring[c.cursor-h.headSeq]
@@ -685,6 +999,20 @@ func (c *Consumer) closeLocked() {
 		h.releaseRef(c.pendingBootstrap)
 		c.pendingBootstrap = nil
 	}
+	for _, se := range c.spillQ {
+		// Undelivered in-memory entries return their queue reference;
+		// a mid-write entry's reference is released by the spiller, and
+		// on-disk entries hold none.
+		if se.state == spillMem {
+			h.releaseRef(se.e)
+		}
+		se.delivered = true
+	}
+	c.spillQ = nil
+	c.spillWork = nil
+	if c.closedCh != nil {
+		close(c.closedCh)
+	}
 	for seq := c.cursor; seq < h.nextSeq; seq++ {
 		h.releaseRef(h.ring[seq-h.headSeq])
 	}
@@ -707,6 +1035,9 @@ func (e *stepEntry) frameBytes(pool *adios.FramePool) []byte {
 // bytes lease from the hub's frame pool through this reference — do
 // not touch them after Release.
 func (r *StepRef) Frame() []byte {
+	if r.sp != nil {
+		return r.sp.frameFor(r.arrays)
+	}
 	if f := r.subset(); f != nil {
 		f.marshalOnce.Do(func() { f.frame = adios.MarshalFrame(f.step, r.hub.pool) })
 		return f.frame.Bytes()

@@ -249,9 +249,9 @@ func TestServerRejectsDoubleClaim(t *testing.T) {
 	}
 	defer r1.Close()
 	waitFor(t, func() bool {
-		ad.mu.Lock()
-		defer ad.mu.Unlock()
-		return ad.claimed["solo"]
+		ad.binder.mu.Lock()
+		defer ad.binder.mu.Unlock()
+		return ad.binder.claimed["solo"]
 	})
 	if _, err := adios.OpenReaderWith(ad.Server().Addr(), adios.ReaderOptions{Consumer: "solo"}); err == nil {
 		t.Fatal("second claim succeeded; want handshake rejection")
@@ -284,9 +284,9 @@ func TestReconnectPreDeclaredConsumer(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, func() bool {
-		ad.mu.Lock()
-		defer ad.mu.Unlock()
-		return ad.claimed["solo"]
+		ad.binder.mu.Lock()
+		defer ad.binder.mu.Unlock()
+		return ad.binder.claimed["solo"]
 	})
 	r1.Close() // endpoint crash
 	// The pump notices the dead connection once a step flows.
@@ -294,9 +294,9 @@ func TestReconnectPreDeclaredConsumer(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, func() bool {
-		ad.mu.Lock()
-		cons := ad.registered["solo"]
-		ad.mu.Unlock()
+		ad.binder.mu.Lock()
+		cons := ad.binder.registered["solo"]
+		ad.binder.mu.Unlock()
 		return cons.IsClosed()
 	})
 	r2, err := adios.OpenReaderWith(ad.Server().Addr(), adios.ReaderOptions{Consumer: "solo"})
@@ -333,13 +333,13 @@ func TestAdaptorDoubleClaim(t *testing.T) {
 	}
 	ad := a.(*Adaptor)
 	defer ad.Finalize() //nolint:errcheck
-	if _, err := ad.bindConsumer("solo", "", 0, 0, nil); err != nil {
+	if _, err := ad.binder.Bind("solo", "", 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ad.bindConsumer("solo", "", 0, 0, nil); err == nil {
+	if _, err := ad.binder.Bind("solo", "", 0, 0, nil); err == nil {
 		t.Error("second claim of the same consumer should fail")
 	}
-	if _, err := ad.bindConsumer("", "bogus-policy", 0, 0, nil); err == nil {
+	if _, err := ad.binder.Bind("", "bogus-policy", 0, 0, nil); err == nil {
 		t.Error("bad policy should fail")
 	}
 }

@@ -7,7 +7,7 @@
 // zero-copy payloads: every consumer sees the same *adios.Step (and,
 // on the network path, the same marshaled frame), so fan-out to eight
 // consumers costs one marshal and no data copies on the producer.
-// Per-consumer cursors walk the ring under one of three backpressure
+// Per-consumer cursors walk the ring under one of four backpressure
 // policies:
 //
 //   - block: the producer waits while this consumer lags queue-depth
@@ -18,6 +18,10 @@
 //     full rate (steady-producer semantics).
 //   - latest-only: a drop-oldest window of one — visualization-style
 //     consumers always render the freshest state.
+//   - spill: a bounded window whose overflow demotes to a disk tier
+//     (SpillStore, typically an internal/archive archive) instead of
+//     being lost, transparently re-read on catch-up — the consumer
+//     sees every step, in order, and the producer never blocks.
 //
 // A consumer may also be a group of R cooperating readers (a parallel
 // endpoint's ranks): SubscribeGroup keeps ONE cursor and one policy
@@ -53,12 +57,16 @@
 // same contact-file rendezvous as direct SST streams.
 package staging
 
-import "fmt"
+import (
+	"fmt"
+
+	"nekrs-sensei/internal/adios"
+)
 
 // Policy selects a consumer's backpressure behaviour.
 type Policy int
 
-// The three backpressure policies.
+// The four backpressure policies.
 const (
 	// Block makes the producer wait while the consumer's lag reaches
 	// its queue depth (synchronous SST semantics).
@@ -68,6 +76,14 @@ const (
 	DropOldest
 	// LatestOnly keeps only the freshest undelivered step.
 	LatestOnly
+	// Spill bounds the consumer's in-ring window like DropOldest, but
+	// overflowing steps demote to a disk tier (SpillStore) instead of
+	// being lost, and are transparently re-read on catch-up: the
+	// producer never blocks on this consumer and the consumer still
+	// sees every step, in order. Requires a spill store (see
+	// Hub.SetSpillFactory / SetSpillDir, or the adaptor's `spill`
+	// XML attribute).
+	Spill
 )
 
 func (p Policy) String() string {
@@ -78,6 +94,8 @@ func (p Policy) String() string {
 		return "drop-oldest"
 	case LatestOnly:
 		return "latest-only"
+	case Spill:
+		return "spill"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
@@ -92,6 +110,31 @@ func ParsePolicy(s string) (Policy, error) {
 		return DropOldest, nil
 	case "latest-only", "latest_only", "latest", "latestonly":
 		return LatestOnly, nil
+	case "spill":
+		return Spill, nil
 	}
-	return Block, fmt.Errorf("staging: unknown policy %q (want block, drop-oldest or latest-only)", s)
+	return Block, fmt.Errorf("staging: unknown policy %q (want block, drop-oldest, latest-only or spill)", s)
+}
+
+// SpillStore is the disk tier behind the Spill policy: evicted steps
+// are appended as their marshaled wire frames and read back by record
+// id on catch-up. internal/archive's Archive implements it (the
+// frames land in a replayable archive). Implementations must be safe
+// for one concurrent appender plus readers.
+type SpillStore interface {
+	adios.FrameSink
+	ReadFrameInto(id int64, buf []byte) ([]byte, error)
+}
+
+// spillOpener is the registered directory-based spill-store opener
+// (set by internal/archive's init), used by SetSpillDir and the XML
+// adaptor's `spill` attribute. The indirection keeps staging free of
+// an archive dependency while archive builds on staging.
+var spillOpener func(dir, consumer string) (SpillStore, error)
+
+// RegisterSpillOpener installs the opener that materializes a spill
+// store under dir for a named consumer. Importing internal/archive
+// registers its archive-backed opener.
+func RegisterSpillOpener(f func(dir, consumer string) (SpillStore, error)) {
+	spillOpener = f
 }
