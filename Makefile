@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt bench clean all
+.PHONY: build test race vet fmt bench telemetry-smoke profile clean all
 
 all: build vet fmt test
 
@@ -18,7 +18,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/staging/... ./internal/intransit/... \
-		./internal/adios/... ./internal/archive/... ./internal/mpirt/...
+		./internal/adios/... ./internal/archive/... ./internal/mpirt/... \
+		./internal/telemetry/... ./internal/metrics/...
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +41,21 @@ bench:
 	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig archive -out .
 	@echo "bench artifacts in bench-out/"
 
+# Curl-smoke the live telemetry plane: real producer + endpoint with
+# -telemetry on, asserting /metrics, /statusz and /debug/pprof answer
+# on both while the stream runs.
+telemetry-smoke:
+	bash scripts/telemetry_smoke.sh
+
+# Capture a 10s CPU profile from a running process's telemetry
+# exporter (any of nekrs, sensei-endpoint, archive, examples/fanout
+# started with -telemetry). Inspect with `go tool pprof cpu.pprof`.
+TELEMETRY_URL ?= 127.0.0.1:9150
+profile:
+	curl -fsS -o cpu.pprof "http://$(TELEMETRY_URL)/debug/pprof/profile?seconds=10"
+	@echo "wrote cpu.pprof (go tool pprof cpu.pprof)"
+
 clean:
 	rm -rf ./*-out
 	rm -f BENCH_fanout.json BENCH_endpoint.json BENCH_archive.json
+	rm -f ./*.pprof

@@ -41,6 +41,7 @@ import (
 	"nekrs-sensei/internal/archive"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
 )
 
 func main() {
@@ -77,7 +78,8 @@ type command struct {
 	wait      int
 
 	// shared
-	arrays []string
+	arrays    []string
+	telemetry string // exporter listen address ("" = off)
 }
 
 func usage() error {
@@ -102,6 +104,7 @@ func parseArgs(argv []string) (*command, error) {
 		fs.IntVar(&c.depth, "depth", 8, "staging queue depth for the recording consumer")
 		fs.DurationVar(&c.timeout, "timeout", 60*time.Second, "how long to wait for the contact file")
 		fs.StringVar(&arraysFlag, "arrays", "", "comma-separated array subset to record (empty = everything)")
+		fs.StringVar(&c.telemetry, "telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (empty = off)")
 	case "replay":
 		fs.StringVar(&c.dir, "dir", "run-archive", "recording directory to replay")
 		fs.StringVar(&c.contact, "contact", "contact.txt", "contact file to publish for attaching consumers")
@@ -111,6 +114,7 @@ func parseArgs(argv []string) (*command, error) {
 		fs.StringVar(&arraysFlag, "arrays", "", "comma-separated array subset to replay (empty = everything recorded)")
 		fs.StringVar(&consumersFlag, "consumers", "", `pre-declared consumers "name[:policy[:depth[:arrays]]],..." (none = wait for dynamic attachments)`)
 		fs.IntVar(&c.wait, "wait", 1, "with no pre-declared consumers, reader attachments to wait for before publishing")
+		fs.StringVar(&c.telemetry, "telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (empty = off)")
 	case "inspect":
 		fs.StringVar(&c.dir, "dir", "run-archive", "recording directory to inspect")
 	default:
@@ -172,6 +176,24 @@ func (c *command) run() error {
 	return usage()
 }
 
+// serveTelemetry starts the metrics/statusz/pprof exporter when
+// -telemetry was given; otherwise it returns a nil (disabled) plane
+// whose handles all no-op.
+func (c *command) serveTelemetry(process string) (*telemetry.Telemetry, func(), error) {
+	if c.telemetry == "" {
+		return nil, func() {}, nil
+	}
+	tel := telemetry.New(process)
+	telemetry.RegisterRuntime(tel.Registry())
+	exp, err := tel.Serve(c.telemetry)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("telemetry: %s/metrics %s/statusz %s/debug/pprof\n",
+		exp.URL(), exp.URL(), exp.URL())
+	return tel, func() { exp.Close() }, nil
+}
+
 // record attaches one recording reader per live producer and streams
 // every received frame — unchanged wire bytes — into per-rank
 // archives until the producers close their streams.
@@ -181,6 +203,11 @@ func (c *command) record() error {
 		return err
 	}
 	fmt.Printf("recording %d producer stream(s) into %s (policy %s)\n", len(addrs), c.out, c.policy)
+	tel, stopTel, err := c.serveTelemetry("archive-record")
+	if err != nil {
+		return err
+	}
+	defer stopTel()
 	steps := make([]int64, len(addrs))
 	bytes := make([]int64, len(addrs))
 	errs := make([]error, len(addrs))
@@ -191,6 +218,7 @@ func (c *command) record() error {
 			return err
 		}
 		defer a.Close()
+		a.RegisterTelemetry(tel, fmt.Sprintf("rank-%d", i))
 		wg.Add(1)
 		go func(i int, addr string, a *archive.Archive) {
 			defer wg.Done()
@@ -203,6 +231,7 @@ func (c *command) record() error {
 			}
 			defer r.Close()
 			r.SetRecord(a)
+			r.SetTelemetry(tel, "source", fmt.Sprint(i))
 			for {
 				s, err := r.BeginStep()
 				if errors.Is(err, io.EOF) {
@@ -242,6 +271,11 @@ func (c *command) replay() error {
 	if err != nil {
 		return err
 	}
+	tel, stopTel, err := c.serveTelemetry("archive-replay")
+	if err != nil {
+		return err
+	}
+	defer stopTel()
 	replays := make([]*archive.Replay, len(dirs))
 	addrs := make([]string, len(dirs))
 	for i, dir := range dirs {
@@ -260,6 +294,7 @@ func (c *command) replay() error {
 		if err != nil {
 			return err
 		}
+		rp.RegisterTelemetry(tel, fmt.Sprintf("rank-%d", i))
 		replays[i] = rp
 		addrs[i] = rp.Addr()
 	}

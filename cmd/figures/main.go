@@ -191,8 +191,22 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 		if err := writeCSV(out, "fanout.csv", t); err != nil {
 			return err
 		}
+		// Telemetry overhead on a paced staged run: the sleep-dominated
+		// shape makes the <= 1.05 ratio gate robust to machine noise
+		// while still exercising the full plane (live exporter, scraper).
+		fmt.Println("measuring telemetry overhead (staged fan-out, exporter live)...")
+		tel, err := bench.RunTelemetryOverhead(bench.TelemetryOverheadConfig{
+			Fanout: bench.FanoutConfig{
+				Consumers: 2, Policy: staging.Block, Steps: 32,
+				PayloadF64: 8192, ConsumerDelay: time.Millisecond,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		bench.TelemetryOverheadTable(tel).Render(os.Stdout)
 		if err := writeJSON(filepath.Join(out, "BENCH_fanout.json"), func(w *os.File) error {
-			return bench.WriteFanoutJSON(w, results)
+			return bench.WriteFanoutJSON(w, results, &tel)
 		}); err != nil {
 			return err
 		}

@@ -24,6 +24,7 @@ import (
 	"nekrs-sensei/internal/mpirt"
 	"nekrs-sensei/internal/nekrs"
 	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/telemetry"
 
 	_ "nekrs-sensei/internal/catalyst"  // analysis type "catalyst"
 	_ "nekrs-sensei/internal/intransit" // analysis type "adios"
@@ -43,6 +44,7 @@ func main() {
 	order := flag.Int("order", 4, "polynomial order")
 	out := flag.String("out", "nekrs-out", "output directory")
 	logEvery := flag.Int("log-every", 10, "print step diagnostics every n steps")
+	telAddr := flag.String("telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9150; empty = off)")
 	flag.Parse()
 
 	if err := validateFlags(*ranks, *steps, *order); err != nil {
@@ -53,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nekrs: -record needs -sensei with a staging or adios analysis (there is no stream to record)")
 		os.Exit(2)
 	}
-	if err := run(*caseName, *parFile, *ranks, *steps, *senseiCfg, *record, *ckEvery, *refine, *order, *out, *logEvery); err != nil {
+	if err := run(*caseName, *parFile, *ranks, *steps, *senseiCfg, *record, *ckEvery, *refine, *order, *out, *logEvery, *telAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "nekrs:", err)
 		os.Exit(1)
 	}
@@ -74,7 +76,7 @@ func validateFlags(ranks, steps, order int) error {
 	return nil
 }
 
-func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, ckEvery, refine, order int, out string, logEvery int) error {
+func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, ckEvery, refine, order int, out string, logEvery int, telAddr string) error {
 	var par *nekrs.Par
 	if parFile != "" {
 		src, err := os.ReadFile(parFile)
@@ -98,6 +100,23 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, c
 		return err
 	}
 
+	// One telemetry plane for the whole process: the simulated ranks are
+	// goroutines sharing a heap, so they share one registry and one
+	// trace ring, labeled per rank. nil when disabled — every handle
+	// handed out downstream no-ops.
+	var tel *telemetry.Telemetry
+	if telAddr != "" {
+		tel = telemetry.New("nekrs")
+		telemetry.RegisterRuntime(tel.Registry())
+		exp, err := tel.Serve(telAddr)
+		if err != nil {
+			return err
+		}
+		defer exp.Close()
+		fmt.Printf("telemetry: %s/metrics %s/statusz %s/debug/pprof\n",
+			exp.URL(), exp.URL(), exp.URL())
+	}
+
 	errs := make([]error, ranks)
 	// Allocator window over the stepping loop (process-wide: all
 	// simulated ranks share one Go heap) — the steady-state alloc/GC
@@ -114,6 +133,16 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, c
 			errs[rank] = err
 			return
 		}
+		if tel != nil {
+			// Per-rank instruments bridge into the shared registry at
+			// scrape time; the stepping loop itself is untouched.
+			rankKV := []string{"rank", fmt.Sprint(rank)}
+			telemetry.RegisterTimer(tel.Registry(), sim.Timer, rankKV...)
+			telemetry.RegisterAccountant(tel.Registry(), sim.Acct, rankKV...)
+			if rank == 0 {
+				telemetry.RegisterStorage(tel.Registry(), sim.Storage)
+			}
+		}
 		if ckEvery > 0 {
 			sim.Checkpoint = &checkpoint.FldWriter{
 				Dir: out, Prefix: c.Name, Acct: sim.Acct, Storage: sim.Storage,
@@ -127,6 +156,7 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, c
 			ctx := &sensei.Context{
 				Comm: comm, Acct: sim.Acct, Timer: sim.Timer,
 				Storage: sim.Storage, OutputDir: out,
+				Telemetry: tel,
 			}
 			bridge, err = core.InitializeFile(ctx, sim.Solver, senseiCfg)
 			if err != nil {
@@ -144,10 +174,17 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, c
 					errs[rank] = err
 					return
 				}
+				if tel != nil {
+					recArchive.RegisterTelemetry(tel, fmt.Sprintf("record-rank-%d", rank))
+				}
 			}
 		}
 		err = sim.Run(steps, func(st fluid.StepStats) error {
 			allocBegin.Do(alloc.Begin)
+			// Stage 1 of the step trace: solver compute done, in-situ
+			// processing about to start. All ranks stamp the shared
+			// slot; last write wins, i.e. the slowest rank's finish.
+			tel.Tracer().Stamp(int64(st.Step), telemetry.StageCompute)
 			if rank == 0 && logEvery > 0 && st.Step%logEvery == 0 {
 				fmt.Printf("step %6d  t=%.4f  CFL=%.3f  iters p=%d v=%v\n",
 					st.Step, st.Time, st.CFL, st.PressureIters, st.ViscousIters)

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ import (
 	"nekrs-sensei/internal/mpirt"
 	"nekrs-sensei/internal/sensei"
 	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
 
 	_ "nekrs-sensei/internal/catalyst"   // analysis type "catalyst"
 	_ "nekrs-sensei/internal/checkpoint" // analysis type "checkpoint"
@@ -68,6 +70,10 @@ type options struct {
 	name      string
 	arrays    []string // array subset declared in the reader hello
 	record    string   // directory for per-source archives of the received streams
+
+	telemetry  string        // exporter listen address ("" = off)
+	peerStatus string        // producer /statusz base URL for the shutdown report
+	stepDelay  time.Duration // artificial per-step processing time
 
 	staged bool // a staging policy or consumer spec was given
 }
@@ -91,6 +97,9 @@ func parseArgs(argv []string) (*options, error) {
 	arraysFlag := fs.String("arrays", "", "comma-separated array subset to request in the reader hello (empty = every published array)")
 	fs.StringVar(&o.record, "record", "", "record the received streams into per-source archives under this directory (group mode records rank 0's sources)")
 	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth[:arrays]]]" (shorthand for -name/-policy/-depth/-arrays with +-separated arrays, enables staged mode)`)
+	fs.StringVar(&o.telemetry, "telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9151; empty = off)")
+	fs.StringVar(&o.peerStatus, "peer-status", "", "producer telemetry base URL (e.g. 127.0.0.1:9150); fetched at shutdown to report hub consumer lag and the merged cross-process step trace")
+	fs.DurationVar(&o.stepDelay, "step-delay", 0, "artificial processing time added per step (models a slow analysis)")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
 	}
@@ -136,6 +145,8 @@ func parseArgs(argv []string) (*options, error) {
 		return nil, fmt.Errorf("-ranks must be positive (got %d)", o.ranks)
 	case o.depth < 0:
 		return nil, fmt.Errorf("-depth must be non-negative (got %d)", o.depth)
+	case o.stepDelay < 0:
+		return nil, fmt.Errorf("-step-delay must be non-negative (got %v)", o.stepDelay)
 	case o.consumers < 1:
 		return nil, fmt.Errorf("-consumers must be positive (got %d)", o.consumers)
 	case o.group < 1:
@@ -207,19 +218,68 @@ func main() {
 	if err == flag.ErrHelp {
 		return
 	}
+	var tel *telemetry.Telemetry
+	if err == nil && o.telemetry != "" {
+		tel = telemetry.New("sensei-endpoint")
+		telemetry.RegisterRuntime(tel.Registry())
+		var exp *telemetry.Exporter
+		if exp, err = tel.Serve(o.telemetry); err == nil {
+			defer exp.Close()
+			fmt.Printf("telemetry: %s/metrics %s/statusz %s/debug/pprof\n",
+				exp.URL(), exp.URL(), exp.URL())
+		}
+	}
 	if err == nil {
 		switch {
 		case o.staged && o.group > 1:
-			err = runGroup(o)
+			err = runGroup(o, tel)
 		case o.staged:
-			err = runStaged(o)
+			err = runStaged(o, tel)
 		default:
-			err = runDirect(o)
+			err = runDirect(o, tel)
 		}
+	}
+	if err == nil && tel != nil {
+		reportTraces(o.peerStatus, tel)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensei-endpoint:", err)
 		os.Exit(1)
+	}
+}
+
+// reportTraces renders the shutdown observability report. With a
+// -peer-status URL it pulls the producer's /statusz and joins the two
+// halves of the pipeline: producer-side stamps (compute/marshal/
+// publish/deliver) from the peer's ring merged with this process's
+// stamps (decode/pull/analyze/render), keyed by the step ordinal
+// already on the wire, plus the hub's per-consumer backlog table. The
+// local trace ring is rendered even when the producer is already gone.
+func reportTraces(peerBase string, tel *telemetry.Telemetry) {
+	merged := tel.Tracer().Snapshot()
+	title := "step trace (endpoint stages, ms offsets)"
+	if peerBase != "" {
+		peer, err := telemetry.FetchStatusz(peerBase, 5*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sensei-endpoint: peer status:", err)
+		} else {
+			for name, raw := range peer.Status {
+				if !strings.HasPrefix(name, "staging-hub") {
+					continue
+				}
+				var hs staging.HubStatus
+				if err := json.Unmarshal(raw, &hs); err != nil {
+					fmt.Fprintf(os.Stderr, "sensei-endpoint: decoding %s: %v\n", name, err)
+					continue
+				}
+				staging.ConsumerTable("producer "+name, hs.Consumers).Render(os.Stdout)
+			}
+			merged = telemetry.MergeTraces(peer.Traces, merged)
+			title = "step trace (producer + endpoint, ms offsets)"
+		}
+	}
+	if len(merged) > 0 {
+		telemetry.TraceTable(title, merged).Render(os.Stdout)
 	}
 }
 
@@ -232,7 +292,7 @@ func readConfig(config string) ([]byte, error) {
 
 // runDirect is the classic one-consumer workflow: each endpoint rank
 // drains its share of the simulation's SST writers.
-func runDirect(o *options) error {
+func runDirect(o *options, tel *telemetry.Telemetry) error {
 	cfgXML, err := readConfig(o.config)
 	if err != nil {
 		return err
@@ -265,6 +325,7 @@ func runDirect(o *options) error {
 				return
 			}
 			defer r.Close()
+			r.SetTelemetry(tel, "source", fmt.Sprint(src))
 			if err := rec.attach(src, r); err != nil {
 				errs[rank] = err
 				return
@@ -274,12 +335,14 @@ func runDirect(o *options) error {
 		ctx := &sensei.Context{
 			Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
 			Storage: metrics.NewStorageCounter(), OutputDir: o.out,
+			Telemetry: tel,
 		}
 		ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), cfgXML)
 		if err != nil {
 			errs[rank] = err
 			return
 		}
+		ep.StepDelay = o.stepDelay
 		steps[rank], errs[rank] = ep.Run()
 		bytesOut[rank] = ctx.Storage.Bytes()
 	})
@@ -305,7 +368,7 @@ func runDirect(o *options) error {
 // every hub under its own name, announces the requested backpressure
 // policy, and runs the configured analysis over the merged stream in
 // its own output subdirectory.
-func runStaged(o *options) error {
+func runStaged(o *options, tel *telemetry.Telemetry) error {
 	cfgXML, err := readConfig(o.config)
 	if err != nil {
 		return err
@@ -356,18 +419,20 @@ func runStaged(o *options) error {
 					errs[i] = err
 					return
 				}
+				r.SetTelemetry(tel, "consumer", consumerName, "source", fmt.Sprint(src))
 				readers = append(readers, r)
 			}
 			ctx := &sensei.Context{
 				Comm: mpirt.NewWorld(1).Comm(0), Acct: metrics.NewAccountant(),
 				Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter(),
-				OutputDir: dir,
+				OutputDir: dir, Telemetry: tel,
 			}
 			ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), cfgXML)
 			if err != nil {
 				errs[i] = err
 				return
 			}
+			ep.StepDelay = o.stepDelay
 			steps[i], errs[i] = ep.Run()
 			skipped[i] = ep.StepsSkipped()
 			bytesOut[i] = ctx.Storage.Bytes()
@@ -404,7 +469,7 @@ func runStaged(o *options) error {
 // attaches to every hub as a member of the consumer group o.name, the
 // analyses shard by block range, and rank 0 writes the composited
 // outputs.
-func runGroup(o *options) error {
+func runGroup(o *options, tel *telemetry.Telemetry) error {
 	cfgXML, err := readConfig(o.config)
 	if err != nil {
 		return err
@@ -429,6 +494,8 @@ func runGroup(o *options) error {
 		Ranks:     o.group,
 		ConfigXML: cfgXML,
 		OutputDir: o.out,
+		StepDelay: o.stepDelay,
+		Telemetry: tel,
 		Sources: func(rank, ranks int) ([]intransit.StepSource, func(), error) {
 			allocBegin.Do(alloc.Begin)
 			var readers []*adios.Reader
@@ -453,6 +520,7 @@ func runGroup(o *options) error {
 						return nil, nil, err
 					}
 				}
+				r.SetTelemetry(tel, "rank", fmt.Sprint(rank), "source", fmt.Sprint(src))
 				readers = append(readers, r)
 			}
 			return intransit.Sources(readers...), cleanup, nil

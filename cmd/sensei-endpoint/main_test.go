@@ -116,6 +116,17 @@ func TestParseArgs(t *testing.T) {
 		{name: "replicas without staged mode", argv: []string{"-consumers", "3"}, wantErr: "needs staged mode"},
 		{name: "group and replicas together", argv: []string{"-policy", "block", "-group", "2", "-consumers", "2"}, wantErr: "mutually exclusive"},
 		{name: "positional junk", argv: []string{"stray"}, wantErr: "unexpected arguments"},
+		{
+			name: "telemetry flags pass through",
+			argv: []string{"-telemetry", "127.0.0.1:9151", "-peer-status", "127.0.0.1:9150", "-step-delay", "50ms"},
+			check: func(o *options) string {
+				if o.telemetry != "127.0.0.1:9151" || o.peerStatus != "127.0.0.1:9150" || o.stepDelay != 50*time.Millisecond {
+					return "want telemetry addr, peer-status addr and 50ms step delay"
+				}
+				return ""
+			},
+		},
+		{name: "negative step delay", argv: []string{"-step-delay", "-1s"}, wantErr: "-step-delay must be non-negative"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

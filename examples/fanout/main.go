@@ -14,9 +14,18 @@
 // -policy ...` processes would.
 //
 //	go run ./examples/fanout
+//
+// With -telemetry the whole pipeline shares one telemetry plane
+// (simulation and consumers are goroutines in this process), so
+// /statusz shows a complete 8-stage step trace; -hold keeps the
+// exporter alive after the run for curl:
+//
+//	go run ./examples/fanout -telemetry 127.0.0.1:9150 -hold 60s &
+//	curl http://127.0.0.1:9150/statusz
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -34,6 +43,7 @@ import (
 	"nekrs-sensei/internal/nekrs"
 	"nekrs-sensei/internal/sensei"
 	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
 
 	_ "nekrs-sensei/internal/catalyst" // analysis type "catalyst"
 	_ "nekrs-sensei/internal/probe"    // analysis type "probe"
@@ -46,7 +56,10 @@ const (
 )
 
 func main() {
-	if err := run(); err != nil {
+	telAddr := flag.String("telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9150; empty = off)")
+	hold := flag.Duration("hold", 0, "keep the telemetry exporter alive this long after the run, for curl against /statusz")
+	flag.Parse()
+	if err := run(*telAddr, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "fanout:", err)
 		os.Exit(1)
 	}
@@ -63,7 +76,7 @@ type consumer struct {
 	err   error
 }
 
-func (c *consumer) run(contact, out string, wg *sync.WaitGroup) {
+func (c *consumer) run(contact, out string, tel *telemetry.Telemetry, wg *sync.WaitGroup) {
 	defer wg.Done()
 	addrs, err := adios.ReadContact(contact, 30*time.Second)
 	if err != nil {
@@ -85,12 +98,13 @@ func (c *consumer) run(contact, out string, wg *sync.WaitGroup) {
 			c.err = err
 			return
 		}
+		r.SetTelemetry(tel, "consumer", c.name)
 		readers = append(readers, r)
 	}
 	ctx := &sensei.Context{
 		Comm: mpirt.NewWorld(1).Comm(0), Acct: metrics.NewAccountant(),
 		Timer: metrics.NewTimer(), Storage: metrics.NewStorageCounter(),
-		OutputDir: out,
+		OutputDir: out, Telemetry: tel,
 	}
 	ep, err := intransit.NewEndpoint(ctx, intransit.Sources(readers...), []byte(c.config))
 	if err != nil {
@@ -101,10 +115,26 @@ func (c *consumer) run(contact, out string, wg *sync.WaitGroup) {
 	c.steps, c.err = ep.Run()
 }
 
-func run() error {
+func run(telAddr string, hold time.Duration) error {
 	out := "fanout-out"
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
+	}
+
+	// One telemetry plane spans the whole pipeline: simulation ranks,
+	// hub, wire endpoints and analysis consumers are goroutines in this
+	// process, so a single trace ring collects all 8 stages of a step.
+	var tel *telemetry.Telemetry
+	if telAddr != "" {
+		tel = telemetry.New("fanout")
+		telemetry.RegisterRuntime(tel.Registry())
+		exp, err := tel.Serve(telAddr)
+		if err != nil {
+			return err
+		}
+		defer exp.Close()
+		fmt.Printf("telemetry: %s/metrics %s/statusz %s/debug/pprof\n\n",
+			exp.URL(), exp.URL(), exp.URL())
 	}
 	contact := filepath.Join(out, "contact.txt")
 	os.Remove(contact) //nolint:errcheck // stale rendezvous from a prior run
@@ -137,7 +167,7 @@ func run() error {
 	var wg sync.WaitGroup
 	for _, c := range consumers {
 		wg.Add(1)
-		go c.run(contact, out, &wg)
+		go c.run(contact, out, tel, &wg)
 	}
 
 	// Simulation side: the staging analysis declares the consumers and
@@ -162,7 +192,7 @@ func run() error {
 		}
 		ctx := &sensei.Context{
 			Comm: comm, Acct: sim.Acct, Timer: sim.Timer,
-			Storage: sim.Storage, OutputDir: out,
+			Storage: sim.Storage, OutputDir: out, Telemetry: tel,
 		}
 		bridge, err := core.Initialize(ctx, sim.Solver, []byte(senseiXML))
 		if err != nil {
@@ -170,6 +200,7 @@ func run() error {
 			return
 		}
 		err = sim.Run(steps, func(st fluid.StepStats) error {
+			tel.Tracer().Stamp(int64(st.Step), telemetry.StageCompute)
 			_, err := bridge.Update(st.Step, st.Time)
 			return err
 		})
@@ -244,6 +275,17 @@ func run() error {
 		return err
 	}
 	bench.FanoutTable(results).Render(os.Stdout)
+
+	if tel != nil {
+		if traces := tel.Tracer().Snapshot(); len(traces) > 0 {
+			fmt.Println()
+			telemetry.TraceTable("step trace (ms offsets from first stamp)", traces).Render(os.Stdout)
+		}
+		if hold > 0 {
+			fmt.Printf("\nholding telemetry endpoint for %v — try: curl http://%s/statusz\n", hold, telAddr)
+			time.Sleep(hold)
+		}
+	}
 	return nil
 }
 

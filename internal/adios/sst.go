@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // Hello is the control-plane handshake message, shared by every
@@ -116,6 +117,11 @@ type Writer struct {
 	closed    bool
 	accepted  bool
 	reqArrays []string // the reader's declared subset, nil until known
+
+	// tel is the writer's telemetry handles (zero value = disabled).
+	// Guarded by mu: SetTelemetry may race the serve goroutine's
+	// post-handshake read.
+	tel sstTelemetry
 
 	done chan struct{}
 }
@@ -288,6 +294,9 @@ func (w *Writer) serve() {
 	// the stack for the whole stream, not per step.
 	var ackBuf [1]byte
 	var lenBuf [8]byte
+	w.mu.Lock()
+	tel := w.tel
+	w.mu.Unlock()
 	for qf := range w.queue {
 		frame := qf.b
 		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
@@ -306,11 +315,16 @@ func (w *Writer) serve() {
 			w.finishFrame(qf)
 			break
 		}
+		creditBegin := time.Now()
 		if _, err := io.ReadFull(conn, ackBuf[:]); err != nil {
 			w.setErr(fmt.Errorf("adios: waiting for step credit: %w", err))
 			w.finishFrame(qf)
 			break
 		}
+		tel.creditWait.Observe(time.Since(creditBegin))
+		tel.credits.Inc()
+		tel.steps.Inc()
+		tel.bytes.Add(int64(len(frame)))
 		w.mu.Lock()
 		w.stepsSent++
 		w.mu.Unlock()
@@ -349,8 +363,16 @@ func (w *Writer) finishFrame(qf queuedFrame) {
 // steps stages without allocating. Returns any transport error
 // observed so far.
 func (w *Writer) Put(s *Step) error {
+	w.mu.Lock()
+	trace := w.tel.trace
+	w.mu.Unlock()
 	f := MarshalFrame(s, w.pool)
-	return w.putFrame(queuedFrame{b: f.Bytes(), f: f})
+	trace.Stamp(s.Step, telemetry.StageMarshal)
+	err := w.putFrame(queuedFrame{b: f.Bytes(), f: f})
+	if err == nil {
+		trace.Stamp(s.Step, telemetry.StagePublish)
+	}
+	return err
 }
 
 // PutFrame stages an already-marshaled step, the zero-copy path for
@@ -430,6 +452,10 @@ type Reader struct {
 
 	stepsRecv int64
 	bytesRecv int64
+
+	// tel is the reader's telemetry handles (zero value = disabled);
+	// owned by the reader's single goroutine like the rest.
+	tel sstTelemetry
 }
 
 // ReaderOptions carries the staging extensions of the reader
@@ -521,6 +547,9 @@ func (r *Reader) BeginStep() (*Step, error) {
 	if _, err := io.ReadFull(r.br, r.frameBuf); err != nil {
 		return nil, err
 	}
+	// Delivery time is when the payload finished arriving; the stamp
+	// itself waits for the decode below to learn the step ordinal.
+	recv := time.Now()
 	if r.record != nil {
 		if _, err := r.record.AppendFrame(r.frameBuf); err != nil {
 			return nil, fmt.Errorf("adios: recording received frame: %w", err)
@@ -532,14 +561,24 @@ func (r *Reader) BeginStep() (*Step, error) {
 	}
 	r.stepsRecv++
 	r.bytesRecv += int64(n)
-	if st := r.spare; st != nil {
+	r.tel.credits.Inc()
+	r.tel.steps.Inc()
+	r.tel.bytes.Add(int64(n))
+	st := r.spare
+	if st != nil {
 		r.spare = nil
 		if err := UnmarshalInto(r.frameBuf, st); err != nil {
 			return nil, err
 		}
-		return st, nil
+	} else {
+		var err error
+		if st, err = Unmarshal(r.frameBuf); err != nil {
+			return nil, err
+		}
 	}
-	return Unmarshal(r.frameBuf)
+	r.tel.trace.StampAt(st.Step, telemetry.StageDeliver, recv)
+	r.tel.trace.Stamp(st.Step, telemetry.StageDecode)
+	return st, nil
 }
 
 // Recycle returns a consumed step's storage to the reader so the next

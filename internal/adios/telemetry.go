@@ -1,0 +1,62 @@
+package adios
+
+import (
+	"nekrs-sensei/internal/telemetry"
+)
+
+// sstTelemetry is one endpoint's (writer's or reader's) slice of the
+// process telemetry plane. The zero value is the disabled plane:
+// every handle is nil and all stamps/increments no-op, so a stream
+// without telemetry keeps the PR 4 zero-allocation steady state
+// untouched.
+type sstTelemetry struct {
+	trace *telemetry.StepTracer
+	steps *telemetry.Counter
+	bytes *telemetry.Counter
+	// credits counts flow-control round trips; creditWait (writer
+	// only) is the distribution of time spent blocked on the reader's
+	// per-step credit — the direct signature of a slow endpoint.
+	credits    *telemetry.Counter
+	creditWait *telemetry.Histogram
+}
+
+// SetTelemetry attaches the writer to a telemetry plane: marshal and
+// publish stamps keyed by the step ordinal, sent-step/byte/credit
+// counters, and a credit-wait histogram. Labels are alternating
+// key,value pairs distinguishing multiple writers in one process
+// (e.g. "stream", "rank-0"). Call before streaming starts.
+func (w *Writer) SetTelemetry(tel *telemetry.Telemetry, labels ...string) {
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry()
+	w.mu.Lock()
+	w.tel = sstTelemetry{
+		trace:      tel.Tracer(),
+		steps:      reg.Counter("sst_writer_steps_total", labels...),
+		bytes:      reg.Counter("sst_writer_bytes_total", labels...),
+		credits:    reg.Counter("sst_writer_credits_total", labels...),
+		creditWait: reg.Histogram("sst_writer_credit_wait_seconds", labels...),
+	}
+	w.mu.Unlock()
+	reg.RegisterSampler(func(s *telemetry.Sample) {
+		s.Gauge("sst_writer_queued_bytes", float64(w.QueuedBytes()), labels...)
+	})
+}
+
+// SetTelemetry attaches the reader to a telemetry plane: deliver and
+// decode stamps keyed by the step ordinal carried in each frame, plus
+// received-step/byte/credit counters. Call from the reader's single
+// goroutine before the first BeginStep.
+func (r *Reader) SetTelemetry(tel *telemetry.Telemetry, labels ...string) {
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry()
+	r.tel = sstTelemetry{
+		trace:   tel.Tracer(),
+		steps:   reg.Counter("sst_reader_steps_total", labels...),
+		bytes:   reg.Counter("sst_reader_bytes_total", labels...),
+		credits: reg.Counter("sst_reader_credits_total", labels...),
+	}
+}

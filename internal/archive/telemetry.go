@@ -1,0 +1,70 @@
+package archive
+
+import (
+	"nekrs-sensei/internal/telemetry"
+)
+
+// ArchiveStatus is one archive's /statusz snapshot: on-disk layout
+// (segments) and index state — the live view of a recording or a
+// replay's source.
+type ArchiveStatus struct {
+	Dir      string `json:"dir"`
+	Steps    int    `json:"steps"`
+	Bytes    int64  `json:"frame_bytes"`
+	Segments int    `json:"segments"`
+	ReadOnly bool   `json:"read_only"`
+	Closed   bool   `json:"closed"`
+}
+
+// Status snapshots the archive for /statusz and shutdown reporting.
+func (a *Archive) Status() ArchiveStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := ArchiveStatus{
+		Dir: a.dir, Steps: len(a.index), Segments: len(a.segs),
+		ReadOnly: a.opts.ReadOnly, Closed: a.closed,
+	}
+	for i := range a.index {
+		st.Bytes += a.index[i].FrameLen
+	}
+	return st
+}
+
+// RegisterTelemetry attaches the archive to a telemetry plane under
+// the given label ("record-rank-0", "replay-rank-1", ...): scrape-time
+// gauges for step/segment/byte state plus a /statusz section. The
+// append hot path is untouched — everything is sampled at scrape.
+func (a *Archive) RegisterTelemetry(tel *telemetry.Telemetry, label string) {
+	if tel == nil {
+		return
+	}
+	tel.Registry().RegisterSampler(func(s *telemetry.Sample) {
+		st := a.Status()
+		kv := []string{"archive", label}
+		s.Gauge("archive_steps", float64(st.Steps), kv...)
+		s.Gauge("archive_frame_bytes", float64(st.Bytes), kv...)
+		s.Gauge("archive_segments", float64(st.Segments), kv...)
+	})
+	tel.RegisterStatus("archive/"+label, func() any { return a.Status() })
+}
+
+// RegisterTelemetry attaches a replay producer under the given label:
+// total/attached-consumer gauges, the source archive's state, and the
+// replay hub's full telemetry (publish stamps, consumer lag) under the
+// same label.
+func (r *Replay) RegisterTelemetry(tel *telemetry.Telemetry, label string) {
+	if tel == nil {
+		return
+	}
+	r.a.RegisterTelemetry(tel, label)
+	r.hub.SetTelemetry(tel, label)
+	selected := r.Steps() // immutable after NewReplay
+	tel.Registry().RegisterSampler(func(s *telemetry.Sample) {
+		kv := []string{"replay", label}
+		s.Gauge("replay_selected_steps", float64(selected), kv...)
+		// Published is read through the hub (mutex-guarded): Run's own
+		// counter is unsynchronized by design.
+		s.Gauge("replay_published_steps", float64(r.hub.Published()), kv...)
+		s.Gauge("replay_attached_consumers", float64(r.hub.ActiveConsumers()), kv...)
+	})
+}

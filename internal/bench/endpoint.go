@@ -363,8 +363,10 @@ func WriteEndpointJSON(w io.Writer, cfg EndpointScalingConfig, results []Endpoin
 }
 
 // WriteFanoutJSON emits the fan-out comparison as a JSON artifact
-// (BENCH_fanout.json), the machine-readable twin of FanoutTable.
-func WriteFanoutJSON(w io.Writer, results []FanoutResult) error {
+// (BENCH_fanout.json), the machine-readable twin of FanoutTable. A
+// non-nil tel adds the telemetry-overhead section the CI ratio gate
+// reads.
+func WriteFanoutJSON(w io.Writer, results []FanoutResult, tel *TelemetryOverhead) error {
 	type row struct {
 		Mode           string  `json:"mode"`
 		Policy         string  `json:"policy"`
@@ -375,10 +377,25 @@ func WriteFanoutJSON(w io.Writer, results []FanoutResult) error {
 		Delivered      int64   `json:"delivered"`
 		Dropped        int64   `json:"dropped"`
 	}
+	type telSection struct {
+		OffWallMs float64 `json:"off_wall_ms"`
+		OnWallMs  float64 `json:"on_wall_ms"`
+		Scrapes   int     `json:"scrapes"`
+		Ratio     float64 `json:"overhead_ratio"`
+	}
 	doc := struct {
-		Figure string `json:"figure"`
-		Rows   []row  `json:"rows"`
+		Figure    string      `json:"figure"`
+		Rows      []row       `json:"rows"`
+		Telemetry *telSection `json:"telemetry,omitempty"`
 	}{Figure: "fanout"}
+	if tel != nil {
+		doc.Telemetry = &telSection{
+			OffWallMs: float64(tel.OffWall.Microseconds()) / 1000,
+			OnWallMs:  float64(tel.OnWall.Microseconds()) / 1000,
+			Scrapes:   tel.Scrapes,
+			Ratio:     tel.Ratio,
+		}
+	}
 	for _, r := range results {
 		policy := "-"
 		if r.Mode == "staged" {

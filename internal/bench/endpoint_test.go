@@ -64,10 +64,22 @@ func TestWriteFanoutJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteFanoutJSON(&buf, []FanoutResult{res}); err != nil {
+	tel := &TelemetryOverhead{OffWall: 10 * time.Millisecond, OnWall: 10 * time.Millisecond, Ratio: 1.0}
+	if err := WriteFanoutJSON(&buf, []FanoutResult{res}, tel); err != nil {
 		t.Fatal(err)
 	}
 	if !json.Valid(buf.Bytes()) {
 		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var doc struct {
+		Telemetry *struct {
+			Ratio float64 `json:"overhead_ratio"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Telemetry == nil || doc.Telemetry.Ratio != 1.0 {
+		t.Errorf("telemetry section = %+v, want overhead_ratio 1.0", doc.Telemetry)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // FanoutConfig parameterizes one fan-out transport measurement: one
@@ -167,8 +168,16 @@ func RunFanoutDirect(cfg FanoutConfig) (FanoutResult, error) {
 // consumers under the configured backpressure policy: each step is
 // marshaled once and the frame shared by every connection.
 func RunFanoutStaged(cfg FanoutConfig) (FanoutResult, error) {
+	return runFanoutStaged(cfg, nil)
+}
+
+// runFanoutStaged is RunFanoutStaged with an optional telemetry plane
+// attached to the hub and every reader — the instrumented arm of the
+// telemetry-overhead measurement. tel == nil runs bare.
+func runFanoutStaged(cfg FanoutConfig, tel *telemetry.Telemetry) (FanoutResult, error) {
 	c := cfg.withDefaults()
 	hub := staging.NewHub(nil)
+	hub.SetTelemetry(tel, "bench")
 	srv, err := staging.Serve(hub, "127.0.0.1:0", nil)
 	if err != nil {
 		return FanoutResult{}, err
@@ -184,6 +193,7 @@ func RunFanoutStaged(cfg FanoutConfig) (FanoutResult, error) {
 		if err != nil {
 			return FanoutResult{}, err
 		}
+		r.SetTelemetry(tel, "consumer", fmt.Sprintf("bench-%d", i))
 		wg.Add(1)
 		go func(i int, r *adios.Reader) {
 			defer wg.Done()

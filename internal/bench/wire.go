@@ -13,6 +13,7 @@ import (
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // WireConfig parameterizes the wire/alloc measurement. The shape
@@ -69,6 +70,12 @@ type WireResult struct {
 	Steady metrics.AllocWindow
 	// HubStepsPerSec is the steady loop's step rate.
 	HubStepsPerSec float64
+
+	// SteadyTelemetry repeats the steady loop on a hub attached to a
+	// live telemetry plane (hot-path counters + trace stamps): the
+	// same per-step allocation budget must hold with telemetry on,
+	// which CI gates alongside Steady.
+	SteadyTelemetry metrics.AllocWindow
 }
 
 // marshalPrePR is the pre-PR adios.Marshal, kept verbatim as the
@@ -248,6 +255,27 @@ func RunWireAlloc(cfg WireConfig) (WireResult, error) {
 	if err := hub.Close(); err != nil {
 		return res, err
 	}
+
+	// The same steady loop with the telemetry plane attached: counter
+	// increments and trace stamps ride the hot path, so the per-step
+	// allocation budget must survive them (samplers are scrape-time
+	// only and never fire here).
+	hub = staging.NewHub(nil)
+	hub.SetTelemetry(telemetry.New("bench-wire"), "bench")
+	if cons, err = hub.Subscribe("wire", staging.Block, 4); err != nil {
+		return res, err
+	}
+	if err := loop(4, step); err != nil {
+		return res, err
+	}
+	alloc = metrics.NewAllocStats()
+	if err := loop(c.Steps, step); err != nil {
+		return res, err
+	}
+	res.SteadyTelemetry = alloc.Window(c.Steps)
+	if err := hub.Close(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -264,6 +292,9 @@ func WireTable(r WireResult) *metrics.Table {
 	t.AddRow("hub publish→consume (steady)", "—", "—",
 		fmt.Sprintf("%.1f", r.Steady.AllocsPerStep()),
 		fmt.Sprintf("%.2f", float64(r.Steady.GCPause.Microseconds())/1000))
+	t.AddRow("hub publish→consume (telemetry on)", "—", "—",
+		fmt.Sprintf("%.1f", r.SteadyTelemetry.AllocsPerStep()),
+		fmt.Sprintf("%.2f", float64(r.SteadyTelemetry.GCPause.Microseconds())/1000))
 	return t
 }
 
@@ -296,6 +327,12 @@ func WriteWireJSON(w io.Writer, r WireResult) error {
 			GCPauseMs     float64 `json:"gc_pause_ms"`
 			StepsPerSec   float64 `json:"steps_per_sec"`
 		} `json:"steady"`
+		SteadyTelemetry struct {
+			Steps         int     `json:"steps"`
+			AllocsPerStep float64 `json:"allocs_per_step"`
+			BytesPerStep  float64 `json:"bytes_per_step"`
+			GCs           uint32  `json:"gc_cycles"`
+		} `json:"steady_telemetry"`
 	}{Figure: "wire"}
 	doc.Config.Arrays = r.Config.Arrays
 	doc.Config.Steps = r.Config.Steps
@@ -314,6 +351,10 @@ func WriteWireJSON(w io.Writer, r WireResult) error {
 	doc.Steady.GCs = r.Steady.GCs
 	doc.Steady.GCPauseMs = float64(r.Steady.GCPause.Microseconds()) / 1000
 	doc.Steady.StepsPerSec = r.HubStepsPerSec
+	doc.SteadyTelemetry.Steps = r.SteadyTelemetry.Steps
+	doc.SteadyTelemetry.AllocsPerStep = r.SteadyTelemetry.AllocsPerStep()
+	doc.SteadyTelemetry.BytesPerStep = r.SteadyTelemetry.BytesPerStep()
+	doc.SteadyTelemetry.GCs = r.SteadyTelemetry.GCs
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

@@ -10,6 +10,7 @@ import (
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/mpirt"
 	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // Group is the parallel endpoint runtime: R cooperative ranks consume
@@ -54,6 +55,12 @@ type GroupConfig struct {
 	// StepDelay adds artificial processing time per rank per step
 	// (skew and slow-consumer experiments).
 	StepDelay time.Duration
+	// Telemetry, when non-nil, attaches the group to the process
+	// observability plane: per-rank straggler waits are exported as
+	// metrics and a /statusz section, and every rank's analysis
+	// multiplexer stamps pull/analyze/render stages into the shared
+	// step-trace ring.
+	Telemetry *telemetry.Telemetry
 }
 
 // GroupStats summarizes one Run.
@@ -205,6 +212,10 @@ func (rs *rankStream) advance(target int64) (int, int64) {
 func (g *Group) Run() (GroupStats, error) {
 	R := g.cfg.Ranks
 	straggler := metrics.NewStraggler(R)
+	if tel := g.cfg.Telemetry; tel != nil {
+		telemetry.RegisterStraggler(tel.Registry(), straggler)
+		tel.RegisterStatus("intransit-group", func() any { return straggler.Stats() })
+	}
 	stats := GroupStats{Ranks: R, Skipped: make([]int, R)}
 	stepsDone := make([]int, R)
 	bytesOut := make([]int64, R)
@@ -229,7 +240,8 @@ func (g *Group) Run() (GroupStats, error) {
 		ctx := &sensei.Context{
 			Comm: comm, Acct: metrics.NewAccountant(), Timer: metrics.NewTimer(),
 			Storage: metrics.NewStorageCounter(), OutputDir: g.cfg.OutputDir,
-			Shard: &sensei.Shard{Rank: rank, Ranks: R, BlockLo: lo, BlockHi: hi},
+			Shard:     &sensei.Shard{Rank: rank, Ranks: R, BlockLo: lo, BlockHi: hi},
+			Telemetry: g.cfg.Telemetry,
 		}
 		ca := sensei.NewConfigurableAnalysis(ctx)
 		if err == nil && len(g.cfg.ConfigXML) > 0 {

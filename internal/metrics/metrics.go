@@ -7,6 +7,23 @@
 // subsystem (solver fields, device mirrors, VTK copies, SST queues)
 // registers its allocations with the rank's Accountant, mirroring how
 // the paper reports the aggregate memory high-water mark across ranks.
+//
+// # Locking contract
+//
+// Accountant, Timer, StorageCounter and Straggler share one scheme:
+// a single sync.Mutex per instrument guards all internal state, every
+// exported method takes it for the full call, and no method ever calls
+// another exported method while holding it (so there is no lock
+// nesting and no self-deadlock). Reads return copies (Snapshot, Stats)
+// or scalars — never references into guarded state — so callers can
+// hold results across further mutations. Timer.Start captures the
+// begin time outside the lock; only the returned stop function takes
+// it (via Add), so a phase being timed never holds the mutex. All
+// methods are nil-receiver safe: a nil instrument is a disabled one.
+// The telemetry exporter relies on this contract — its scrape-time
+// samplers call Snapshot/Stats from the HTTP serving goroutine while
+// ranks are mid-step. TestInstrumentsConcurrent hammers exactly that
+// interleaving under -race.
 package metrics
 
 import (

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // ConfigurableAnalysis multiplexes several analysis adaptors selected
@@ -38,6 +40,9 @@ type ConfigurableAnalysis struct {
 	// step data (or declares opaquely), in which case every step pulls
 	// into fresh bookkeeping.
 	scratch *Step
+
+	pullHist    *telemetry.Histogram // planner pull timing, cached handle
+	telResolved bool                 // histogram handles resolved (once, first Execute)
 }
 
 type configEntry struct {
@@ -49,6 +54,8 @@ type configEntry struct {
 	executions  int
 	bytesPulled int64
 	stopped     bool
+
+	execHist *telemetry.Histogram // per-analysis execute timing, cached handle
 }
 
 // xml parse targets.
@@ -230,17 +237,37 @@ func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) (stop bool, err error) {
 	if len(triggered) == 0 {
 		return false, nil
 	}
-	stopPull := ca.ctx.Timer.Start("sensei:pull")
+	tel := ca.ctx.Telemetry
+	if !ca.telResolved {
+		// Resolve registry handles once (nil handles when telemetry is
+		// disabled — every Observe below then no-ops).
+		ca.pullHist = tel.Registry().Histogram("sensei_pull_seconds")
+		for i := range ca.entries {
+			e := &ca.entries[i]
+			e.execHist = tel.Registry().Histogram("sensei_execute_seconds", "analysis", e.typeName)
+		}
+		ca.telResolved = true
+	}
+	pullBegin := time.Now()
 	st, err := PullInto(da, union, ca.ctx.Shard, ca.scratch)
 	ca.scratch = nil
-	stopPull()
+	pullDur := time.Since(pullBegin)
+	ca.ctx.Timer.Add("sensei:pull", pullDur)
+	ca.pullHist.Observe(pullDur)
+	tel.Tracer().Stamp(int64(step), telemetry.StagePull)
 	if err != nil {
 		return false, err
 	}
 	for _, e := range triggered {
-		stopT := ca.ctx.Timer.Start("sensei:" + e.typeName)
+		execBegin := time.Now()
 		reqStop, err := e.adaptor.Execute(st)
-		stopT()
+		execDur := time.Since(execBegin)
+		ca.ctx.Timer.Add("sensei:"+e.typeName, execDur)
+		e.execHist.Observe(execDur)
+		if e.typeName == "catalyst" {
+			// Composite/render finished: the last stop of the trace.
+			tel.Tracer().Stamp(int64(step), telemetry.StageRender)
+		}
 		if err != nil {
 			return false, fmt.Errorf("sensei: analysis %s: %w", e.typeName, err)
 		}
@@ -253,6 +280,7 @@ func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) (stop bool, err error) {
 			stop = true
 		}
 	}
+	tel.Tracer().Stamp(int64(step), telemetry.StageAnalyze)
 	// Recycle the step's bookkeeping for the next pull once every
 	// triggered analysis has run — but only under the no-retention
 	// contract; a retaining analysis may still be reading it.

@@ -27,6 +27,7 @@ import (
 
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/telemetry"
 	"nekrs-sensei/internal/vtkdata"
 )
 
@@ -164,6 +165,11 @@ type Context struct {
 	// shard of a parallel endpoint group (see intransit.Group); nil
 	// for in situ and single-endpoint execution.
 	Shard *Shard
+	// Telemetry is the process's live observability plane (nil when
+	// disabled — all downstream handles no-op): the planner stamps
+	// pull/analyze/render stages and publishes pull/execute timing
+	// histograms into it.
+	Telemetry *telemetry.Telemetry
 }
 
 // Factory instantiates an Analysis from its XML attributes. Factories

@@ -136,6 +136,9 @@ func init() {
 		// A configured array set is the advertisement consumer subset
 		// requests are validated against (handshake rejection).
 		hub.SetAdvertised(arrays)
+		// One hub per simulated rank: attach each to the process
+		// telemetry plane under its rank label (no-op when disabled).
+		hub.SetTelemetry(ctx.Telemetry, RankLabel(ctx.Comm.Rank()))
 		if dir := strings.TrimSpace(attrs["spill"]); dir != "" {
 			// Every rank runs its own hub; namespace the spill stores
 			// per rank (the recording layout's rank-NNNN convention) so

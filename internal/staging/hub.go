@@ -9,6 +9,7 @@ import (
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // ErrClosed is returned by Publish and Subscribe after Close.
@@ -33,6 +34,11 @@ type stepEntry struct {
 	step  *adios.Step
 	bytes int64
 	refs  int // consumers (plus the bootstrap hold) yet to release
+
+	// trace is the hub's step tracer at publish time (nil when
+	// telemetry is disabled); immutable after construction, so the
+	// marshal path can stamp without taking the hub lock.
+	trace *telemetry.StepTracer
 
 	marshalOnce sync.Once
 	frame       *adios.Frame
@@ -183,6 +189,21 @@ type Hub struct {
 	published int64
 	dropped   int64
 	spilled   int64
+
+	// tel holds the hub's telemetry handles; the zero value (all nil)
+	// is the disabled plane and every stamp/increment no-ops.
+	tel hubTelemetry
+}
+
+// hubTelemetry is the hub's slice of the process telemetry plane: a
+// step tracer for marshal/publish/deliver stamps plus lock-free
+// counters mirroring the hub's own totals.
+type hubTelemetry struct {
+	trace     *telemetry.StepTracer
+	published *telemetry.Counter
+	dropped   *telemetry.Counter
+	spilled   *telemetry.Counter
+	wireBytes *telemetry.Counter
 }
 
 // NewHub creates an empty hub. Staged payload bytes are tracked under
@@ -562,9 +583,11 @@ func (h *Hub) Publish(s *adios.Step) error {
 		h.cond.Wait()
 	}
 
-	e := &stepEntry{seq: h.nextSeq, step: s, bytes: s.Bytes()}
+	e := &stepEntry{seq: h.nextSeq, step: s, bytes: s.Bytes(), trace: h.tel.trace}
 	h.nextSeq++
 	h.published++
+	h.tel.published.Inc()
+	h.tel.trace.Stamp(s.Step, telemetry.StagePublish)
 	h.ring = append(h.ring, e)
 	h.acct.Alloc("staging-hub", e.bytes)
 	if h.bootstrap == nil && s.Attrs["structure"] == "1" {
@@ -608,6 +631,7 @@ func (h *Hub) dropOldest(c *Consumer) {
 	}
 	c.dropped++
 	h.dropped++
+	h.tel.dropped.Inc()
 	h.releaseRef(e)
 }
 
@@ -627,6 +651,7 @@ func (h *Hub) spillOldest(c *Consumer) {
 	}
 	c.spilled++
 	h.spilled++
+	h.tel.spilled.Inc()
 	se := &spillEntry{e: e, state: spillMem}
 	c.spillQ = append(c.spillQ, se)
 	c.spillWork = append(c.spillWork, se)
@@ -777,16 +802,40 @@ func (h *Hub) ActiveConsumers() int {
 	return n
 }
 
-// ConsumerStats is one consumer's delivery record.
+// ConsumerStats is one consumer's delivery record and live position.
 type ConsumerStats struct {
-	Name      string
-	Policy    Policy
-	Depth     int
-	Arrays    []string // declared subset, nil = all
-	Delivered int64
-	Dropped   int64
-	Spilled   int64 // steps demoted to the consumer's disk tier
-	WireBytes int64 // marshaled bytes shipped by the network pump
+	Name      string   `json:"name"`
+	Policy    Policy   `json:"policy"`
+	Depth     int      `json:"depth"`
+	Arrays    []string `json:"arrays,omitempty"` // declared subset, nil = all
+	Delivered int64    `json:"delivered"`
+	Dropped   int64    `json:"dropped"`
+	Spilled   int64    `json:"spilled"`    // steps demoted to the consumer's disk tier
+	WireBytes int64    `json:"wire_bytes"` // marshaled bytes shipped by the network pump
+	Cursor    int64    `json:"cursor"`     // next ring sequence this consumer will read
+	// Lag counts published-but-undelivered steps: the ring distance
+	// behind the producer plus anything parked in the spill queue and
+	// a pending bootstrap step. Closed consumers report 0.
+	Lag        int64 `json:"lag"`
+	SpillQueue int   `json:"spill_queue"` // evicted steps queued for (or on) the disk tier
+	Closed     bool  `json:"closed"`      // detached consumers stay listed for reporting
+}
+
+// statsLocked builds one consumer's snapshot. Caller holds h.mu.
+func (h *Hub) statsLocked(c *Consumer) ConsumerStats {
+	lag := h.lag(c) + int64(len(c.spillQ))
+	if c.pendingBootstrap != nil {
+		lag++
+	}
+	if c.closed {
+		lag = 0
+	}
+	return ConsumerStats{
+		Name: c.name, Policy: c.policy, Depth: c.depth, Arrays: c.arrays,
+		Delivered: c.delivered, Dropped: c.dropped, Spilled: c.spilled,
+		WireBytes: c.wireBytes,
+		Cursor:    c.cursor, Lag: lag, SpillQueue: len(c.spillQ), Closed: c.closed,
+	}
 }
 
 // Stats snapshots every consumer's counters in subscription order.
@@ -795,11 +844,7 @@ func (h *Hub) Stats() []ConsumerStats {
 	defer h.mu.Unlock()
 	out := make([]ConsumerStats, len(h.consumers))
 	for i, c := range h.consumers {
-		out[i] = ConsumerStats{
-			Name: c.name, Policy: c.policy, Depth: c.depth, Arrays: c.arrays,
-			Delivered: c.delivered, Dropped: c.dropped, Spilled: c.spilled,
-			WireBytes: c.wireBytes,
-		}
+		out[i] = h.statsLocked(c)
 	}
 	return out
 }
@@ -864,6 +909,7 @@ func (c *Consumer) addWireBytes(n int64) {
 	c.hub.mu.Lock()
 	defer c.hub.mu.Unlock()
 	c.wireBytes += n
+	c.hub.tel.wireBytes.Add(n)
 }
 
 // IsClosed reports whether the consumer has been detached.
@@ -948,6 +994,7 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		e := h.ring[c.cursor-h.headSeq]
 		c.cursor++
 		c.delivered++
+		h.tel.trace.Stamp(e.step.Step, telemetry.StageDeliver)
 		h.trim()
 		h.cond.Broadcast() // a Block producer may be waiting on us
 		return &StepRef{hub: h, e: e, arrays: c.arrays}, nil
@@ -1025,7 +1072,10 @@ func (c *Consumer) closeLocked() {
 // once into a pooled frame and sharing it across all network
 // consumers.
 func (e *stepEntry) frameBytes(pool *adios.FramePool) []byte {
-	e.marshalOnce.Do(func() { e.frame = adios.MarshalFrame(e.step, pool) })
+	e.marshalOnce.Do(func() {
+		e.frame = adios.MarshalFrame(e.step, pool)
+		e.trace.Stamp(e.step.Step, telemetry.StageMarshal)
+	})
 	return e.frame.Bytes()
 }
 

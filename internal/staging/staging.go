@@ -58,6 +58,7 @@
 package staging
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"nekrs-sensei/internal/adios"
@@ -98,6 +99,27 @@ func (p Policy) String() string {
 		return "spill"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// MarshalJSON renders the policy by name so /statusz documents carry
+// "block" rather than an opaque ordinal.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a policy name, accepting the same spellings as
+// ParsePolicy — the decode half of cross-process status reporting.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	got, err := ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = got
+	return nil
 }
 
 // ParsePolicy parses a policy name as it appears in XML attributes and

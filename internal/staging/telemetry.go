@@ -1,0 +1,100 @@
+package staging
+
+import (
+	"fmt"
+
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/telemetry"
+)
+
+// SetTelemetry attaches the hub to a process telemetry plane under the
+// given label (one hub per simulated rank: labels like "rank-0" keep
+// their series apart). It installs:
+//
+//   - lock-free counters mirroring the hub totals (published, dropped,
+//     spilled, wire bytes), incremented on the hot path;
+//   - marshal/publish/deliver stamps into the process step-trace ring;
+//   - a scrape-time sampler exporting per-consumer gauges (lag,
+//     cursor, spill-queue depth, delivered, wire bytes) — pull-based,
+//     so the steady-state loop never pays for them;
+//   - a /statusz section ("staging-hub/<label>") carrying the full
+//     HubStatus snapshot.
+//
+// Call before streaming starts; a nil tel is a no-op.
+func (h *Hub) SetTelemetry(tel *telemetry.Telemetry, label string) {
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry()
+	h.mu.Lock()
+	h.tel = hubTelemetry{
+		trace:     tel.Tracer(),
+		published: reg.Counter("staging_published_steps_total", "hub", label),
+		dropped:   reg.Counter("staging_dropped_steps_total", "hub", label),
+		spilled:   reg.Counter("staging_spilled_steps_total", "hub", label),
+		wireBytes: reg.Counter("staging_wire_bytes_total", "hub", label),
+	}
+	h.mu.Unlock()
+	reg.RegisterSampler(func(s *telemetry.Sample) {
+		st := h.Status()
+		s.Gauge("staging_ring_steps", float64(st.Ring), "hub", label)
+		for _, c := range st.Consumers {
+			if c.Closed {
+				continue
+			}
+			kv := []string{"hub", label, "consumer", c.Name}
+			s.Gauge("staging_consumer_lag_steps", float64(c.Lag), kv...)
+			s.Gauge("staging_consumer_cursor", float64(c.Cursor), kv...)
+			s.Gauge("staging_consumer_spill_queue", float64(c.SpillQueue), kv...)
+			s.Counter("staging_consumer_delivered_total", float64(c.Delivered), kv...)
+			s.Counter("staging_consumer_wire_bytes_total", float64(c.WireBytes), kv...)
+		}
+	})
+	tel.RegisterStatus("staging-hub/"+label, func() any { return h.Status() })
+}
+
+// HubStatus is the hub's /statusz snapshot: producer totals, ring
+// occupancy, and every consumer's position and policy.
+type HubStatus struct {
+	Published int64           `json:"published"`
+	Dropped   int64           `json:"dropped"`
+	Spilled   int64           `json:"spilled"`
+	Ring      int             `json:"ring_steps"`
+	Closed    bool            `json:"closed"`
+	Consumers []ConsumerStats `json:"consumers"`
+}
+
+// Status snapshots the hub for /statusz and shutdown reporting.
+func (h *Hub) Status() HubStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HubStatus{
+		Published: h.published, Dropped: h.dropped, Spilled: h.spilled,
+		Ring: len(h.ring), Closed: h.closed,
+	}
+	st.Consumers = make([]ConsumerStats, len(h.consumers))
+	for i, c := range h.consumers {
+		st.Consumers[i] = h.statsLocked(c)
+	}
+	return st
+}
+
+// ConsumerTable renders consumer stats as a text table — the shutdown
+// report of producers and (via /statusz) remote endpoints.
+func ConsumerTable(title string, stats []ConsumerStats) *metrics.Table {
+	t := metrics.NewTable(title,
+		"consumer", "policy", "depth", "delivered", "dropped", "spilled",
+		"lag", "spill-q", "wire")
+	for _, c := range stats {
+		name := c.Name
+		if c.Closed {
+			name += " (closed)"
+		}
+		t.AddRow(name, c.Policy.String(), c.Depth, c.Delivered, c.Dropped,
+			c.Spilled, c.Lag, c.SpillQueue, metrics.HumanBytes(c.WireBytes))
+	}
+	return t
+}
+
+// label helper for per-rank hubs.
+func RankLabel(rank int) string { return fmt.Sprintf("rank-%d", rank) }

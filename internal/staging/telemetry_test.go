@@ -1,0 +1,285 @@
+package staging
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/telemetry"
+)
+
+// TestSteadyStateAllocBudgetTelemetry is TestSteadyStateAllocBudget
+// with the telemetry plane attached: counters and trace stamps on the
+// hot path must fit in the same per-step allocation budget, so turning
+// observability on cannot cost the PR 4 zero-allocation steady state.
+func TestSteadyStateAllocBudgetTelemetry(t *testing.T) {
+	hub := NewHub(nil)
+	hub.SetTelemetry(telemetry.New("alloc-gate"), "gate")
+	cons, err := hub.Subscribe("gate", Block, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	step := allocStep(2, 6)
+	iter := func() {
+		if err := hub.Publish(step); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := cons.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ref.Frame()
+		ref.Release()
+	}
+	for i := 0; i < 8; i++ {
+		iter()
+	}
+	avg := testing.AllocsPerRun(200, iter)
+	if avg > steadyAllocBudget {
+		t.Errorf("telemetry-on steady state allocates %.1f/step, budget %d", avg, steadyAllocBudget)
+	}
+}
+
+// TestConsumerStatsSnapshot pins the /statusz lag semantics: lag is
+// the ring distance behind the producer plus spill-queue depth, a
+// closed consumer reports zero, and cursors advance with delivery.
+func TestConsumerStatsSnapshot(t *testing.T) {
+	hub := NewHub(nil)
+	ahead, err := hub.Subscribe("ahead", Block, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	behind, err := hub.Subscribe("behind", Block, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := hub.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ahead drains 3 of 5; behind drains none.
+	for i := 0; i < 3; i++ {
+		ref, err := ahead.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+	}
+
+	byName := func(stats []ConsumerStats, name string) ConsumerStats {
+		t.Helper()
+		for _, c := range stats {
+			if c.Name == name {
+				return c
+			}
+		}
+		t.Fatalf("no consumer %q in %+v", name, stats)
+		return ConsumerStats{}
+	}
+	st := hub.Status()
+	if st.Published != 5 || st.Closed {
+		t.Errorf("status = published %d closed %v, want 5 false", st.Published, st.Closed)
+	}
+	a := byName(st.Consumers, "ahead")
+	if a.Cursor != 3 || a.Lag != 2 || a.Delivered != 3 || a.SpillQueue != 0 {
+		t.Errorf("ahead = cursor %d lag %d delivered %d spillq %d, want 3 2 3 0",
+			a.Cursor, a.Lag, a.Delivered, a.SpillQueue)
+	}
+	b := byName(st.Consumers, "behind")
+	if b.Cursor != 0 || b.Lag != 5 {
+		t.Errorf("behind = cursor %d lag %d, want 0 5", b.Cursor, b.Lag)
+	}
+
+	// Closing a consumer zeroes its reported lag.
+	behind.Close()
+	b = byName(hub.Stats(), "behind")
+	if !b.Closed || b.Lag != 0 {
+		t.Errorf("closed behind = closed %v lag %d, want true 0", b.Closed, b.Lag)
+	}
+
+	out := ConsumerTable("consumers", hub.Stats()).String()
+	for _, want := range []string{"ahead", "behind (closed)", "block"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("consumer table missing %q:\n%s", want, out)
+		}
+	}
+	hub.Close()
+}
+
+// TestHubTelemetryCounters verifies the hot-path counters the hub
+// mirrors into the registry and the /statusz section it registers.
+func TestHubTelemetryCounters(t *testing.T) {
+	tel := telemetry.New("hub-test")
+	hub := NewHub(nil)
+	hub.SetTelemetry(tel, "rank-0")
+	cons, err := hub.Subscribe("viz", LatestOnly, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish 4 without consuming: latest-only drops all but the newest.
+	for i := 0; i < 4; i++ {
+		if err := hub.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First Next delivers the deferred bootstrap (step 0), the second
+	// the surviving latest step. Frame() marshals on demand, stamping
+	// StageMarshal for each.
+	for i := 0; i < 2; i++ {
+		ref, err := cons.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			t.Fatal("no step ready")
+		}
+		_ = ref.Frame()
+		ref.Release()
+	}
+	hub.Close()
+
+	reg := tel.Registry()
+	if got := reg.Counter("staging_published_steps_total", "hub", "rank-0").Value(); got != 4 {
+		t.Errorf("published counter = %d, want 4", got)
+	}
+	if got := reg.Counter("staging_dropped_steps_total", "hub", "rank-0").Value(); got != hub.Dropped() || got == 0 {
+		t.Errorf("dropped counter = %d, want hub total %d (nonzero)", got, hub.Dropped())
+	}
+	// Marshal/publish stamps landed in the process trace ring.
+	traces := telemetry.MergeTraces(tel.Tracer().Snapshot())
+	if len(traces) != 4 {
+		t.Fatalf("trace ring has %d steps, want 4", len(traces))
+	}
+	for _, want := range []string{"marshal", "publish"} {
+		if _, ok := traces[3].Stamps[want]; !ok {
+			t.Errorf("step %d trace missing %q stamp: %+v", traces[3].Step, want, traces[3].Stamps)
+		}
+	}
+	// The /statusz section carries the hub snapshot.
+	doc, err := fetchOwnStatusz(tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := doc.Status["staging-hub/rank-0"]
+	if !ok {
+		t.Fatalf("statusz missing staging-hub section: %v", doc.Status)
+	}
+	if !strings.Contains(string(raw), `"published": 4`) &&
+		!strings.Contains(string(raw), `"published":4`) {
+		t.Errorf("hub section lacks published total: %s", raw)
+	}
+}
+
+func fetchOwnStatusz(tel *telemetry.Telemetry) (*telemetry.Statusz, error) {
+	exp, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer exp.Close()
+	return telemetry.FetchStatusz(exp.Addr(), 2*time.Second)
+}
+
+// TestCrossProcessTrace is the end-to-end observability check: a
+// producer-side telemetry plane (hub + server) and a consumer-side
+// plane (network reader) each record their half of a step's journey
+// over the real SST wire, both expose it over HTTP, and merging the
+// two /statusz trace rings yields one contiguous
+// marshal→publish→deliver→decode timeline keyed by the step ordinal.
+func TestCrossProcessTrace(t *testing.T) {
+	telProd := telemetry.New("producer")
+	hub := NewHub(nil)
+	hub.SetTelemetry(telProd, "rank-0")
+	srv, err := Serve(hub, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	telCons := telemetry.New("endpoint")
+	r, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{
+		Consumer: "trace", Policy: "block", Depth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTelemetry(telCons, "source", "0")
+
+	waitFor(t, func() bool {
+		hub.mu.Lock()
+		defer hub.mu.Unlock()
+		return len(hub.consumers) == 1
+	})
+	const steps = 6
+	var (
+		got     []int64
+		readErr error
+		done    = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		defer r.Close()
+		for {
+			s, err := r.BeginStep()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				readErr = err
+				return
+			}
+			got = append(got, s.Step)
+		}
+	}()
+	for i := 0; i < steps; i++ {
+		telProd.Tracer().Stamp(int64(i), telemetry.StageCompute)
+		if err := hub.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub.Close()
+	<-done
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(got) != steps {
+		t.Fatalf("block reader saw %d of %d steps", len(got), steps)
+	}
+
+	// Both exporters are live; the endpoint assembles the cross-process
+	// view exactly as cmd/sensei-endpoint's -peer-status path does.
+	prodDoc, err := fetchOwnStatusz(telProd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prodDoc.Status["staging-hub/rank-0"]; !ok {
+		t.Fatalf("producer statusz missing hub section: %v", prodDoc.Status)
+	}
+	merged := telemetry.MergeTraces(prodDoc.Traces, telCons.Tracer().Snapshot())
+	if len(merged) != steps {
+		t.Fatalf("merged trace has %d steps, want %d", len(merged), steps)
+	}
+	for _, tr := range merged {
+		for _, stage := range []string{"compute", "marshal", "publish", "deliver", "decode"} {
+			if _, ok := tr.Stamps[stage]; !ok {
+				t.Errorf("step %d missing %q in merged trace: %+v", tr.Step, stage, tr.Stamps)
+			}
+		}
+		if tr.Stages < 5 {
+			t.Errorf("step %d has %d stages, want >= 5", tr.Step, tr.Stages)
+		}
+	}
+	// Stage ordering holds within one merged step: marshal before
+	// deliver, deliver no later than decode.
+	last := merged[len(merged)-1]
+	if last.Stamps["marshal"] > last.Stamps["deliver"] {
+		t.Errorf("step %d marshal stamp after deliver", last.Step)
+	}
+	if last.Stamps["deliver"] > last.Stamps["decode"] {
+		t.Errorf("step %d deliver stamp after decode", last.Step)
+	}
+}

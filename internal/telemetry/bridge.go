@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"runtime"
+	"strconv"
+
+	"nekrs-sensei/internal/metrics"
+)
+
+// This file bridges the mutex-based legacy instruments of
+// internal/metrics into the registry. The bridge is pull-based: each
+// Register* call installs a SampleFunc that reads the instrument's
+// snapshot at scrape time, so the instruments' hot paths (Timer.Add
+// under one mutex, Accountant.Alloc under another) gain zero cost and
+// no new lock ordering — the sampler takes the instrument's mutex
+// only while a /metrics or /statusz request is being served.
+
+// RegisterTimer exports a metrics.Timer's phases as cumulative
+// timer_seconds_total / timer_invocations_total series, one pair per
+// phase, tagged with the given extra labels (alternating key,value).
+func RegisterTimer(r *Registry, t *metrics.Timer, labels ...string) {
+	if r == nil || t == nil {
+		return
+	}
+	r.RegisterSampler(func(s *Sample) {
+		for phase, st := range t.Snapshot() {
+			kv := append(append([]string(nil), labels...), "phase", phase)
+			s.Counter("timer_seconds_total", st.Total.Seconds(), kv...)
+			s.Counter("timer_invocations_total", float64(st.Count), kv...)
+		}
+	})
+}
+
+// RegisterAccountant exports an Accountant's logical memory state:
+// in-use/peak totals plus per-category in-use bytes.
+func RegisterAccountant(r *Registry, a *metrics.Accountant, labels ...string) {
+	if r == nil || a == nil {
+		return
+	}
+	r.RegisterSampler(func(s *Sample) {
+		s.Gauge("accountant_inuse_bytes", float64(a.InUse()), labels...)
+		s.Gauge("accountant_peak_bytes", float64(a.Peak()), labels...)
+		for _, cat := range a.Categories() {
+			kv := append(append([]string(nil), labels...), "category", cat)
+			s.Gauge("accountant_category_inuse_bytes", float64(a.CategoryInUse(cat)), kv...)
+		}
+	})
+}
+
+// RegisterStorage exports a StorageCounter's written bytes/files.
+func RegisterStorage(r *Registry, c *metrics.StorageCounter, labels ...string) {
+	if r == nil || c == nil {
+		return
+	}
+	r.RegisterSampler(func(s *Sample) {
+		s.Counter("storage_bytes_total", float64(c.Bytes()), labels...)
+		s.Counter("storage_files_total", float64(c.Files()), labels...)
+	})
+}
+
+// RegisterStraggler exports per-rank barrier waits (total seconds,
+// worst single wait, barrier count) from an intransit group.
+func RegisterStraggler(r *Registry, st *metrics.Straggler, labels ...string) {
+	if r == nil || st == nil {
+		return
+	}
+	r.RegisterSampler(func(s *Sample) {
+		for _, rw := range st.Stats().Ranks {
+			kv := append(append([]string(nil), labels...), "rank", strconv.Itoa(rw.Rank))
+			s.Counter("barrier_wait_seconds_total", rw.Total.Seconds(), kv...)
+			s.Gauge("barrier_wait_max_seconds", rw.Max.Seconds(), kv...)
+			s.Counter("barrier_waits_total", float64(rw.Count), kv...)
+		}
+	})
+}
+
+// RegisterRuntime exports Go runtime health — goroutines, heap
+// alloc/objects, cumulative mallocs and GC pause — the live
+// counterpart of metrics.AllocStats' end-of-run windows.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterSampler(func(s *Sample) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.Gauge("go_goroutines", float64(runtime.NumGoroutine()))
+		s.Gauge("go_heap_alloc_bytes", float64(ms.HeapAlloc))
+		s.Gauge("go_heap_objects", float64(ms.HeapObjects))
+		s.Counter("go_mallocs_total", float64(ms.Mallocs))
+		s.Counter("go_gc_cycles_total", float64(ms.NumGC))
+		s.Counter("go_gc_pause_seconds_total", float64(ms.PauseTotalNs)/1e9)
+	})
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Telemetry bundles a process's registry, trace ring, and named
+// status sections behind one handle. A nil *Telemetry is the disabled
+// plane: Registry()/Tracer() return nil (whose methods no-op), so a
+// process without -telemetry pays nothing and branches nowhere.
+type Telemetry struct {
+	process string
+	start   time.Time
+	reg     *Registry
+	trace   *StepTracer
+
+	mu       sync.Mutex
+	names    []string
+	sections map[string]func() any
+}
+
+// New returns an enabled telemetry plane for the named process
+// ("nekrs", "sensei-endpoint", ...).
+func New(process string) *Telemetry {
+	return &Telemetry{
+		process:  process,
+		start:    time.Now(),
+		reg:      NewRegistry(),
+		trace:    NewStepTracer(DefaultTraceRing),
+		sections: make(map[string]func() any),
+	}
+}
+
+// Process reports the process name ("" when disabled).
+func (t *Telemetry) Process() string {
+	if t == nil {
+		return ""
+	}
+	return t.process
+}
+
+// Registry returns the process registry (nil when disabled).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Tracer returns the process step-trace ring (nil when disabled).
+func (t *Telemetry) Tracer() *StepTracer {
+	if t == nil {
+		return nil
+	}
+	return t.trace
+}
+
+// RegisterStatus adds a named /statusz section; f runs per request and
+// must return a JSON-marshalable value. Duplicate names (e.g. one hub
+// per simulated rank registering under the same label) get a #N
+// suffix instead of clobbering each other.
+func (t *Telemetry) RegisterStatus(name string, f func() any) {
+	if t == nil || f == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := name
+	for n := 2; ; n++ {
+		if _, taken := t.sections[key]; !taken {
+			break
+		}
+		key = fmt.Sprintf("%s#%d", name, n)
+	}
+	t.sections[key] = f
+	t.names = append(t.names, key)
+}
+
+// Statusz is the /statusz document: process identity, every
+// registered status section, the step-trace ring, and a flattened
+// metric snapshot. Status sections are raw JSON so callers can decode
+// the ones they know (e.g. a staging.HubStatus) with their own types.
+type Statusz struct {
+	Process   string                     `json:"process"`
+	PID       int                        `json:"pid"`
+	UptimeSec float64                    `json:"uptime_sec"`
+	Status    map[string]json.RawMessage `json:"status"`
+	Traces    []StepTrace                `json:"traces"`
+	Metrics   []MetricPoint              `json:"metrics"`
+}
+
+// statusz builds the document (sections marshaled eagerly so one bad
+// section degrades to an error string instead of failing the scrape).
+func (t *Telemetry) statusz() *Statusz {
+	doc := &Statusz{
+		Process:   t.process,
+		PID:       os.Getpid(),
+		UptimeSec: time.Since(t.start).Seconds(),
+		Status:    make(map[string]json.RawMessage),
+		Traces:    t.trace.Snapshot(),
+		Metrics:   t.reg.Snapshot(),
+	}
+	t.mu.Lock()
+	names := append([]string(nil), t.names...)
+	sections := make([]func() any, len(names))
+	for i, n := range names {
+		sections[i] = t.sections[n]
+	}
+	t.mu.Unlock()
+	for i, name := range names {
+		b, err := json.Marshal(sections[i]())
+		if err != nil {
+			b, _ = json.Marshal(map[string]string{"error": err.Error()})
+		}
+		doc.Status[name] = b
+	}
+	return doc
+}
+
+// Handler returns the exporter's HTTP mux: /metrics, /statusz, and
+// the /debug/pprof family. Usable directly in tests via httptest.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.reg.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.statusz()) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "%s telemetry\n/metrics\n/statusz\n/debug/pprof/\n", t.process)
+	})
+	return mux
+}
+
+// Exporter is a running telemetry HTTP server.
+type Exporter struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exporter on addr ("host:port"; ":0" picks an
+// ephemeral port). An empty addr or nil receiver returns (nil, nil):
+// telemetry stays queryable in-process but unserved.
+func (t *Telemetry) Serve(addr string) (*Exporter, error) {
+	if t == nil || addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	e := &Exporter{ln: ln, srv: &http.Server{Handler: t.Handler()}}
+	go e.srv.Serve(ln) //nolint:errcheck // reported via Close
+	return e, nil
+}
+
+// Addr reports the bound address ("" for a nil exporter).
+func (e *Exporter) Addr() string {
+	if e == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// URL reports the exporter's base URL ("" for a nil exporter).
+func (e *Exporter) URL() string {
+	if e == nil {
+		return ""
+	}
+	return "http://" + e.Addr()
+}
+
+// Close stops the exporter. Safe on nil.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	return e.srv.Close()
+}
+
+// FetchStatusz fetches and decodes a peer's /statusz. base may be a
+// bare host:port or a full http:// URL, with or without the /statusz
+// path — the cross-process half of trace assembly.
+func FetchStatusz(base string, timeout time.Duration) (*Statusz, error) {
+	url := strings.TrimSuffix(base, "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/statusz") {
+		url += "/statusz"
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("telemetry: fetch %s: %s", url, resp.Status)
+	}
+	var doc Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("telemetry: decode %s: %w", url, err)
+	}
+	return &doc, nil
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry whose exposition is fully
+// deterministic: fixed counter/gauge values and histogram observations
+// at exact bucket bounds.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("staging_published_steps_total", "hub", "rank-0").Add(42)
+	r.Counter("staging_dropped_steps_total", "hub", "rank-0")
+	r.Gauge("staging_consumer_lag_steps", "consumer", "hist", "hub", "rank-0").Set(3)
+	h := r.Histogram("sensei_pull_seconds")
+	h.Observe(500 * time.Nanosecond)  // -> 1µs bucket
+	h.Observe(3 * time.Microsecond)   // -> 4µs bucket
+	h.Observe(3 * time.Microsecond)   // -> 4µs bucket
+	h.Observe(900 * time.Microsecond) // -> 1024µs bucket
+	h.Observe(30 * time.Second)       // -> +Inf-adjacent top bucket
+	r.RegisterSampler(func(s *Sample) {
+		s.Gauge("go_goroutines", 12)
+		s.Counter("timer_seconds_total", 1.5, "phase", "solve", "rank", "0")
+	})
+	return r
+}
+
+func TestMetricsGoldenExposition(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run Golden -update)", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestStatuszRoundTrip(t *testing.T) {
+	tel := New("test-proc")
+	tel.Registry().Counter("steps_total").Add(5)
+	tel.Tracer().Stamp(9, StageCompute)
+	tel.Tracer().Stamp(9, StageAnalyze)
+	type section struct {
+		Cursor int64 `json:"cursor"`
+	}
+	tel.RegisterStatus("hub", func() any { return section{Cursor: 11} })
+
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Process != "test-proc" || doc.PID != os.Getpid() {
+		t.Errorf("identity = %s/%d", doc.Process, doc.PID)
+	}
+	if doc.UptimeSec < 0 {
+		t.Errorf("uptime = %g", doc.UptimeSec)
+	}
+	var sec section
+	if err := json.Unmarshal(doc.Status["hub"], &sec); err != nil || sec.Cursor != 11 {
+		t.Errorf("section round-trip = (%+v, %v), want cursor 11", sec, err)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].Step != 9 || doc.Traces[0].Stages != 2 {
+		t.Errorf("traces = %+v, want one 2-stage trace of step 9", doc.Traces)
+	}
+	found := false
+	for _, m := range doc.Metrics {
+		if m.Name == "steps_total" && m.Value == 5 && m.Type == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("metrics snapshot missing steps_total=5: %+v", doc.Metrics)
+	}
+}
+
+func TestRegisterStatusDedup(t *testing.T) {
+	tel := New("p")
+	tel.RegisterStatus("hub", func() any { return 1 })
+	tel.RegisterStatus("hub", func() any { return 2 })
+	doc := tel.statusz()
+	if string(doc.Status["hub"]) != "1" || string(doc.Status["hub#2"]) != "2" {
+		t.Errorf("dedup sections = %v", doc.Status)
+	}
+}
+
+func TestBadSectionDegrades(t *testing.T) {
+	tel := New("p")
+	tel.RegisterStatus("bad", func() any { return func() {} }) // unmarshalable
+	doc := tel.statusz()
+	if !strings.Contains(string(doc.Status["bad"]), "error") {
+		t.Errorf("bad section = %s, want an error object", doc.Status["bad"])
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	tel := New("proc-x")
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+	for path, wantInBody := range map[string]string{
+		"/":                    "proc-x telemetry",
+		"/metrics":             "",
+		"/debug/pprof/":        "goroutine",
+		"/debug/pprof/cmdline": "",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s -> %d", path, resp.StatusCode)
+		}
+		if wantInBody != "" && !strings.Contains(string(body), wantInBody) {
+			t.Errorf("%s body missing %q", path, wantInBody)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/nope -> %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeAndFetchStatusz(t *testing.T) {
+	tel := New("fetch-me")
+	tel.Tracer().Stamp(4, StagePublish)
+	exp, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if exp.Addr() == "" || !strings.HasPrefix(exp.URL(), "http://") {
+		t.Fatalf("exporter addr/url = %q / %q", exp.Addr(), exp.URL())
+	}
+	// All accepted base spellings resolve to the same document.
+	for _, base := range []string{exp.Addr(), exp.URL(), exp.URL() + "/statusz"} {
+		doc, err := FetchStatusz(base, 2*time.Second)
+		if err != nil {
+			t.Fatalf("FetchStatusz(%q): %v", base, err)
+		}
+		if doc.Process != "fetch-me" || len(doc.Traces) != 1 {
+			t.Errorf("FetchStatusz(%q) = %s with %d traces", base, doc.Process, len(doc.Traces))
+		}
+	}
+	if _, err := FetchStatusz("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("FetchStatusz against a dead port did not fail")
+	}
+}
+
+func TestExporterNilSafety(t *testing.T) {
+	var e *Exporter
+	if e.Addr() != "" || e.URL() != "" || e.Close() != nil {
+		t.Error("nil exporter methods not inert")
+	}
+	tel := New("p")
+	if exp, err := tel.Serve(""); exp != nil || err != nil {
+		t.Errorf("empty addr Serve = (%v, %v), want (nil, nil)", exp, err)
+	}
+}

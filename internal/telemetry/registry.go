@@ -1,0 +1,482 @@
+// Package telemetry is the live observability plane of the
+// reproduction: a process-wide metrics registry (counters, gauges,
+// log-bucketed histograms), a per-step pipeline trace ring, and an
+// HTTP exporter serving /metrics (Prometheus text exposition),
+// /statusz (JSON snapshot) and /debug/pprof on every long-running
+// process.
+//
+// Hot-path cost is the design constraint: every metric handle is a
+// single atomic word (or a fixed atomic bucket array), all methods are
+// nil-receiver safe, and a process with telemetry disabled passes nil
+// handles everywhere — so the PR 4 zero-allocation steady state is
+// preserved with or without an exporter attached. Mutex-based legacy
+// instruments (metrics.Timer, Accountant, StorageCounter, Straggler)
+// are bridged at scrape time through SampleFuncs instead of per-event
+// publication, keeping their cost out of the step loop entirely.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero of a nil
+// receiver: every method is a no-op, so disabled telemetry costs one
+// predicted branch per event.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative n is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n (either sign).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every histogram: upper
+// bounds 2^i microseconds for i = 0..histBuckets-2 (1µs .. ~16.8s)
+// plus a final +Inf bucket. Fixed log2 bounds make the hot path one
+// bits.Len64 and one atomic add — no search, no allocation.
+const histBuckets = 26
+
+// Histogram records durations into fixed log-scale buckets. Counts are
+// stored per bucket (non-cumulative) and cumulated at export, so
+// Observe touches exactly one bucket.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= 2^i microseconds (ceil semantics on sub-microsecond remainders).
+func bucketIndex(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		return 0
+	}
+	us := uint64(ns+999) / 1000
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1)
+	if i > histBuckets-1 {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBound reports bucket i's upper bound in seconds (+Inf for the
+// last bucket).
+func bucketBound(i int) float64 {
+	if i >= histBuckets-1 {
+		return inf
+	}
+	return float64(uint64(1)<<uint(i)) * 1e-6
+}
+
+var inf = func() float64 { f, _ := strconv.ParseFloat("+Inf", 64); return f }()
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Time runs f and observes its wall duration.
+func (h *Histogram) Time(f func()) {
+	if h == nil {
+		f()
+		return
+	}
+	begin := time.Now()
+	f()
+	h.Observe(time.Since(begin))
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the accumulated observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// Sample collects point-in-time series contributed by registered
+// SampleFuncs during one scrape. Sampled series are transient: they
+// exist only in the exposition they were collected for.
+type Sample struct {
+	points []samplePoint
+}
+
+type samplePoint struct {
+	name   string
+	labels string // canonical rendered label set, "" or `{k="v",...}`
+	kind   metricKind
+	value  float64
+}
+
+// Gauge contributes one gauge point to the scrape.
+func (s *Sample) Gauge(name string, v float64, labels ...string) {
+	s.points = append(s.points, samplePoint{name: name, labels: renderLabels(labels), kind: kindGauge, value: v})
+}
+
+// Counter contributes one cumulative point to the scrape (the caller
+// owns monotonicity — e.g. a mutex-guarded total read at scrape time).
+func (s *Sample) Counter(name string, v float64, labels ...string) {
+	s.points = append(s.points, samplePoint{name: name, labels: renderLabels(labels), kind: kindCounter, value: v})
+}
+
+// SampleFunc contributes scrape-time series to a Registry; it runs on
+// every /metrics and /statusz request, outside the registry lock, and
+// may take its own locks (hub mutex, timer mutex, ...).
+type SampleFunc func(s *Sample)
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metricEntry struct {
+	name   string
+	labels string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry owns every live metric of a process. Lookup/creation takes
+// a mutex; the returned handles are lock-free. A nil *Registry hands
+// out nil handles, so call sites never branch on "telemetry enabled".
+type Registry struct {
+	mu       sync.Mutex
+	metrics  map[string]*metricEntry
+	order    []string // insertion order kept for stable iteration cost
+	samplers []SampleFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metricEntry)}
+}
+
+// renderLabels canonicalizes alternating k,v pairs to `{k="v",...}`
+// sorted by key ("" for no labels).
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label list (want alternating key, value)")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) entry(name string, kind metricKind, labels []string) *metricEntry {
+	ls := renderLabels(labels)
+	id := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.metrics[id]; e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q redeclared as %v (was %v)", id, kind, e.kind))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, labels: ls, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.counter = &Counter{}
+	case kindGauge:
+		e.gauge = &Gauge{}
+	case kindHistogram:
+		e.hist = &Histogram{}
+	}
+	r.metrics[id] = e
+	r.order = append(r.order, id)
+	return e
+}
+
+// Counter returns (creating on first use) the counter with the given
+// name and alternating key,value label pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.entry(name, kindCounter, labels).counter
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.entry(name, kindGauge, labels).gauge
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.entry(name, kindHistogram, labels).hist
+}
+
+// RegisterSampler adds a scrape-time contributor (see SampleFunc).
+func (r *Registry) RegisterSampler(f SampleFunc) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.samplers = append(r.samplers, f)
+	r.mu.Unlock()
+}
+
+// collect snapshots live metrics and runs every sampler (outside the
+// registry lock: samplers take subsystem locks of their own).
+func (r *Registry) collect() ([]*metricEntry, []samplePoint) {
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.order))
+	for _, id := range r.order {
+		entries = append(entries, r.metrics[id])
+	}
+	samplers := append([]SampleFunc(nil), r.samplers...)
+	r.mu.Unlock()
+	var s Sample
+	for _, f := range samplers {
+		f(&s)
+	}
+	return entries, s.points
+}
+
+// formatValue renders a float the way the exposition format expects.
+func formatValue(v float64) string {
+	if v == inf {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the whole registry — live metrics plus
+// sampler contributions — in Prometheus text exposition format, with
+// series sorted by name then label set for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	entries, sampled := r.collect()
+
+	type series struct {
+		labels string
+		kind   metricKind
+		value  float64
+		hist   *Histogram
+	}
+	byName := make(map[string][]series)
+	var names []string
+	add := func(name string, s series) {
+		if _, ok := byName[name]; !ok {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], s)
+	}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			add(e.name, series{labels: e.labels, kind: kindCounter, value: float64(e.counter.Value())})
+		case kindGauge:
+			add(e.name, series{labels: e.labels, kind: kindGauge, value: float64(e.gauge.Value())})
+		case kindHistogram:
+			add(e.name, series{labels: e.labels, kind: kindHistogram, hist: e.hist})
+		}
+	}
+	for _, p := range sampled {
+		add(p.name, series{labels: p.labels, kind: p.kind, value: p.value})
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := byName[name]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %v\n", name, ss[0].kind); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			if s.kind != kindHistogram {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(s.value)); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeHistogram(w, name, s.labels, s.hist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count series of
+// one histogram. Empty buckets below the highest occupied bound are
+// still emitted (cumulative counts require the full ladder).
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	inner := labels
+	if inner != "" {
+		inner = strings.TrimSuffix(strings.TrimPrefix(inner, "{"), "}") + ","
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", name, inner, formatValue(bucketBound(i)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatValue(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+	return err
+}
+
+// MetricPoint is one flattened metric sample for the /statusz JSON
+// snapshot. Histograms flatten to two points: <name>_count and
+// <name>_sum (seconds).
+type MetricPoint struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot flattens the registry (live metrics plus sampler
+// contributions) into sorted MetricPoints.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	entries, sampled := r.collect()
+	out := make([]MetricPoint, 0, len(entries)+len(sampled))
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			out = append(out, MetricPoint{Name: e.name + e.labels, Type: "counter", Value: float64(e.counter.Value())})
+		case kindGauge:
+			out = append(out, MetricPoint{Name: e.name + e.labels, Type: "gauge", Value: float64(e.gauge.Value())})
+		case kindHistogram:
+			out = append(out,
+				MetricPoint{Name: e.name + "_count" + e.labels, Type: "counter", Value: float64(e.hist.Count())},
+				MetricPoint{Name: e.name + "_sum" + e.labels, Type: "counter", Value: e.hist.Sum().Seconds()},
+			)
+		}
+	}
+	for _, p := range sampled {
+		out = append(out, MetricPoint{Name: p.name + p.labels, Type: p.kind.String(), Value: p.value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

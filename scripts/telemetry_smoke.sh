@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# telemetry_smoke.sh — curl-smoke the live telemetry plane end to end.
+#
+# Starts a real producer (cmd/nekrs staging a case over the SST wire)
+# and a real consumer (cmd/sensei-endpoint) with -telemetry enabled on
+# both, then asserts while they run that every observability endpoint
+# answers: /metrics carries the staging/SST series, the producer's
+# /statusz carries the staging-hub section with per-consumer lag, the
+# endpoint's /statusz carries a step trace with consumer-side stages,
+# and /debug/pprof/profile produces a CPU profile on each process.
+#
+# Usage: scripts/telemetry_smoke.sh   (from the repo root)
+set -eu
+
+PROD=127.0.0.1:19301
+CONS=127.0.0.1:19302
+
+workdir=$(mktemp -d)
+sim_pid=""
+ep_pid=""
+cleanup() {
+    [ -n "$ep_pid" ] && kill "$ep_pid" 2>/dev/null || true
+    [ -n "$sim_pid" ] && kill "$sim_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries"
+go build -o "$workdir/nekrs" ./cmd/nekrs
+go build -o "$workdir/sensei-endpoint" ./cmd/sensei-endpoint
+
+cat > "$workdir/staging.xml" <<EOF
+<sensei>
+  <analysis type="staging" frequency="1" contact="$workdir/contact.txt"
+            consumers="smoke:block:4" arrays="pressure"/>
+</sensei>
+EOF
+
+cat > "$workdir/endpoint.xml" <<EOF
+<sensei>
+  <analysis type="histogram" mesh="mesh" array="pressure" bins="16" frequency="1"/>
+</sensei>
+EOF
+
+echo "== starting producer (nekrs) with -telemetry $PROD"
+"$workdir/nekrs" -case tgv -ranks 2 -steps 80 -refine 1 -order 2 \
+    -sensei "$workdir/staging.xml" -out "$workdir/nekrs-out" \
+    -log-every 0 -telemetry "$PROD" >"$workdir/nekrs.log" 2>&1 &
+sim_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/contact.txt" ] && break
+    kill -0 "$sim_pid" 2>/dev/null || { cat "$workdir/nekrs.log"; echo "producer died before rendezvous"; exit 1; }
+    sleep 0.1
+done
+[ -s "$workdir/contact.txt" ] || { echo "contact file never appeared"; exit 1; }
+
+echo "== starting endpoint (sensei-endpoint) with -telemetry $CONS"
+"$workdir/sensei-endpoint" -contact "$workdir/contact.txt" \
+    -config "$workdir/endpoint.xml" -consumer smoke:block:4 \
+    -step-delay 100ms -out "$workdir/ep-out" \
+    -telemetry "$CONS" -peer-status "$PROD" >"$workdir/endpoint.log" 2>&1 &
+ep_pid=$!
+
+# fetch URL SUBSTRING — retry until the body contains the marker.
+fetch() {
+    url=$1 substr=$2
+    for _ in $(seq 1 60); do
+        if body=$(curl -fsS "$url" 2>/dev/null); then
+            if [ -z "$substr" ] || printf '%s' "$body" | grep -q "$substr"; then
+                echo "ok: $url${substr:+ (found: $substr)}"
+                return 0
+            fi
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: $url never served${substr:+ marker \"$substr\"}"
+    exit 1
+}
+
+fetch "http://$PROD/metrics" "staging_published_steps_total"
+fetch "http://$PROD/statusz" "staging-hub"
+fetch "http://$PROD/statusz" '"lag"'
+fetch "http://$CONS/metrics" "sst_reader_steps_total"
+fetch "http://$CONS/statusz" '"deliver"'
+fetch "http://$CONS/statusz" '"analyze"'
+
+echo "== capturing 1s CPU profiles"
+curl -fsS -o "$workdir/prod.pprof" "http://$PROD/debug/pprof/profile?seconds=1"
+curl -fsS -o "$workdir/cons.pprof" "http://$CONS/debug/pprof/profile?seconds=1"
+for p in prod cons; do
+    [ -s "$workdir/$p.pprof" ] || { echo "FAIL: empty $p CPU profile"; exit 1; }
+done
+echo "ok: pprof profiles on both processes"
+
+echo "== waiting for clean exits"
+wait "$ep_pid"; ep_pid=""
+wait "$sim_pid"; sim_pid=""
+
+# The endpoint's -peer-status report is best-effort (the producer may
+# already be gone by drain time); the trace table printed from its own
+# ring is not.
+grep -q "step trace" "$workdir/endpoint.log" || {
+    echo "FAIL: endpoint never printed a step trace"
+    cat "$workdir/endpoint.log"
+    exit 1
+}
+
+echo "telemetry smoke passed"
