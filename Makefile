@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./internal/staging/... ./internal/intransit/... \
 		./internal/adios/... ./internal/archive/... ./internal/mpirt/... \
-		./internal/telemetry/... ./internal/metrics/...
+		./internal/telemetry/... ./internal/metrics/... ./internal/codec/...
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,7 @@ bench:
 	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig subset -requested 1,2,4 -steps 10 -out .
 	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig wire -out .
 	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig archive -out .
+	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig codec -out .
 	@echo "bench artifacts in bench-out/"
 
 # Curl-smoke the live telemetry plane: real producer + endpoint with

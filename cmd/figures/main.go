@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, archive, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, archive, codec, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -82,7 +82,8 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 	wantSubset := fig == "all" || fig == "subset"
 	wantWire := fig == "all" || fig == "wire"
 	wantArchive := fig == "all" || fig == "archive"
-	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire && !wantArchive {
+	wantCodec := fig == "all" || fig == "codec"
+	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire && !wantArchive && !wantCodec {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -354,6 +355,39 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 		for _, path := range paths {
 			if err := writeJSON(path, func(w *os.File) error {
 				return bench.WriteArchiveJSON(w, res)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	if wantCodec {
+		cfg := bench.CodecConfig{}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		fmt.Println("running wire-compression matrix (codec x field + staged fan-out arm)...")
+		res, err := bench.RunCodecMatrix(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.CodecTable(res)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "codec.csv", t); err != nil {
+			return err
+		}
+		fmt.Println()
+		bench.CodecFanoutTable(res).Render(os.Stdout)
+		// Like the other sweeps, an explicit codec run also drops the
+		// artifact in the working directory, where harnesses look for it.
+		paths := []string{filepath.Join(out, "BENCH_codec.json")}
+		if fig != "all" {
+			paths = append(paths, "BENCH_codec.json")
+		}
+		for _, path := range paths {
+			if err := writeJSON(path, func(w *os.File) error {
+				return bench.WriteCodecJSON(w, res)
 			}); err != nil {
 				return err
 			}

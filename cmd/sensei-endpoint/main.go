@@ -38,12 +38,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/archive"
+	"nekrs-sensei/internal/codec"
 	"nekrs-sensei/internal/intransit"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/mpirt"
@@ -69,6 +71,7 @@ type options struct {
 	group     int
 	name      string
 	arrays    []string // array subset declared in the reader hello
+	codecs    []string // wire-codec request declared in the reader hello
 	record    string   // directory for per-source archives of the received streams
 
 	telemetry  string        // exporter listen address ("" = off)
@@ -95,8 +98,9 @@ func parseArgs(argv []string) (*options, error) {
 	fs.IntVar(&o.group, "group", 1, "cooperating endpoint ranks claiming one consumer name as a group (staged mode)")
 	fs.StringVar(&o.name, "name", "endpoint", "consumer name announced to the hub")
 	arraysFlag := fs.String("arrays", "", "comma-separated array subset to request in the reader hello (empty = every published array)")
+	codecsFlag := fs.String("codecs", "", "comma-separated wire codec request, e.g. transpose-delta or pressure=quantize:1e-3 (empty = plain frames, or a quantize bound derived from the config's maxerror attributes)")
 	fs.StringVar(&o.record, "record", "", "record the received streams into per-source archives under this directory (group mode records rank 0's sources)")
-	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth[:arrays]]]" (shorthand for -name/-policy/-depth/-arrays with +-separated arrays, enables staged mode)`)
+	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth[:arrays[:codecs]]]]" (shorthand for -name/-policy/-depth/-arrays/-codecs with +-separated fields, enables staged mode)`)
 	fs.StringVar(&o.telemetry, "telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9151; empty = off)")
 	fs.StringVar(&o.peerStatus, "peer-status", "", "producer telemetry base URL (e.g. 127.0.0.1:9150); fetched at shutdown to report hub consumer lag and the merged cross-process step trace")
 	fs.DurationVar(&o.stepDelay, "step-delay", 0, "artificial processing time added per step (models a slow analysis)")
@@ -116,9 +120,19 @@ func parseArgs(argv []string) (*options, error) {
 			}
 		}
 	}
+	if *codecsFlag != "" {
+		for _, c := range strings.Split(*codecsFlag, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				o.codecs = append(o.codecs, c)
+			}
+		}
+		if _, err := codec.ParseSpec(o.codecs); err != nil {
+			return nil, err
+		}
+	}
 	if *spec != "" {
-		if set["policy"] || set["depth"] || set["name"] || set["arrays"] {
-			return nil, fmt.Errorf("-consumer replaces -name/-policy/-depth/-arrays; do not combine them")
+		if set["policy"] || set["depth"] || set["name"] || set["arrays"] || set["codecs"] {
+			return nil, fmt.Errorf("-consumer replaces -name/-policy/-depth/-arrays/-codecs; do not combine them")
 		}
 		specs, err := staging.ParseConsumers(*spec)
 		if err != nil {
@@ -131,6 +145,7 @@ func parseArgs(argv []string) (*options, error) {
 		o.policy = specs[0].Policy.String()
 		o.depth = specs[0].Depth
 		o.arrays = specs[0].Arrays
+		o.codecs = specs[0].Codecs
 		o.staged = true
 	}
 	if o.policy != "" {
@@ -290,6 +305,21 @@ func readConfig(config string) ([]byte, error) {
 	return os.ReadFile(config)
 }
 
+// deriveCodecs fills an absent -codecs request from the analysis
+// configuration: when every enabled analysis declares a maxerror
+// tolerance, the endpoint asks the producer to quantize at the
+// strictest bound — lossy wire compression negotiated the same way
+// the requirements-driven array subset is.
+func deriveCodecs(o *options, cfgXML []byte) {
+	if len(o.codecs) > 0 || len(cfgXML) == 0 {
+		return
+	}
+	if bound, ok := sensei.ConfigMaxError(cfgXML); ok {
+		o.codecs = []string{"quantize:" + strconv.FormatFloat(bound, 'g', -1, 64)}
+		fmt.Printf("derived codec request %q from the config's maxerror attributes\n", o.codecs[0])
+	}
+}
+
 // runDirect is the classic one-consumer workflow: each endpoint rank
 // drains its share of the simulation's SST writers.
 func runDirect(o *options, tel *telemetry.Telemetry) error {
@@ -297,6 +327,7 @@ func runDirect(o *options, tel *telemetry.Telemetry) error {
 	if err != nil {
 		return err
 	}
+	deriveCodecs(o, cfgXML)
 	if err := os.MkdirAll(o.out, 0o755); err != nil {
 		return err
 	}
@@ -319,7 +350,7 @@ func runDirect(o *options, tel *telemetry.Telemetry) error {
 		var readers []*adios.Reader
 		for s := 0; s < perRank; s++ {
 			src := rank*perRank + s
-			r, err := adios.OpenReaderWith(addrs[src], adios.ReaderOptions{Arrays: o.arrays})
+			r, err := adios.OpenReaderWith(addrs[src], adios.ReaderOptions{Arrays: o.arrays, Codecs: o.codecs})
 			if err != nil {
 				errs[rank] = err
 				return
@@ -373,6 +404,7 @@ func runStaged(o *options, tel *telemetry.Telemetry) error {
 	if err != nil {
 		return err
 	}
+	deriveCodecs(o, cfgXML)
 	addrs, err := adios.ReadContact(o.contact, o.timeout)
 	if err != nil {
 		return err
@@ -410,6 +442,7 @@ func runStaged(o *options, tel *telemetry.Telemetry) error {
 			for src, addr := range addrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
 					Consumer: consumerName, Policy: o.policy, Depth: o.depth, Arrays: o.arrays,
+					Codecs: o.codecs,
 				})
 				if err != nil {
 					errs[i] = err
@@ -474,6 +507,7 @@ func runGroup(o *options, tel *telemetry.Telemetry) error {
 	if err != nil {
 		return err
 	}
+	deriveCodecs(o, cfgXML)
 	if err := os.MkdirAll(o.out, 0o755); err != nil {
 		return err
 	}
@@ -507,6 +541,7 @@ func runGroup(o *options, tel *telemetry.Telemetry) error {
 			for src, addr := range addrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
 					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: ranks, Arrays: o.arrays,
+					Codecs: o.codecs,
 				})
 				if err != nil {
 					cleanup()

@@ -100,7 +100,30 @@ func TestParseArgs(t *testing.T) {
 				return ""
 			},
 		},
-		{name: "spec with too many fields", argv: []string{"-consumer", "a:block:2:x:y"}, wantErr: "want name[:policy[:depth[:arrays]]]"},
+		{name: "spec with too many fields", argv: []string{"-consumer", "a:block:2:x:quantize;1e-3:z"}, wantErr: "want name[:policy[:depth[:arrays[:codecs]]]]"},
+		{name: "spec with unknown codec", argv: []string{"-consumer", "a:block:2:x:y"}, wantErr: `unknown codec "y"`},
+		{
+			name: "spec with codecs field",
+			argv: []string{"-consumer", "viz:block:2:pressure:quantize;1e-3+velocity_x=transpose-delta"},
+			check: func(o *options) string {
+				if len(o.codecs) != 2 || o.codecs[0] != "quantize:1e-3" || o.codecs[1] != "velocity_x=transpose-delta" {
+					return "want codecs [quantize:1e-3 velocity_x=transpose-delta]"
+				}
+				return ""
+			},
+		},
+		{
+			name: "codecs flag",
+			argv: []string{"-policy", "block", "-codecs", "temporal-delta, pressure=quantize:1e-6"},
+			check: func(o *options) string {
+				if len(o.codecs) != 2 || o.codecs[0] != "temporal-delta" || o.codecs[1] != "pressure=quantize:1e-6" {
+					return "want codecs [temporal-delta pressure=quantize:1e-6]"
+				}
+				return ""
+			},
+		},
+		{name: "bad codecs flag", argv: []string{"-policy", "block", "-codecs", "lzma"}, wantErr: `unknown codec "lzma"`},
+		{name: "spec conflicts with codecs flag", argv: []string{"-consumer", "a:block", "-codecs", "transpose-delta"}, wantErr: "do not combine"},
 		{name: "spec conflicts with arrays flag", argv: []string{"-consumer", "a:block:2:x", "-arrays", "y"}, wantErr: "do not combine"},
 		{name: "spec with empty name", argv: []string{"-consumer", ":block"}, wantErr: "empty name"},
 		{name: "two specs", argv: []string{"-consumer", "a:block,b:block"}, wantErr: "exactly one spec"},

@@ -19,6 +19,15 @@
 // refcounted FramePool (MarshalFrame), and readers decode into
 // recycled Step storage (UnmarshalInto / ReuseStep). See DESIGN.md
 // "Memory discipline" for the ownership rules.
+//
+// A reader may negotiate per-array wire compression in its hello
+// (ReaderOptions.Codecs, checked against the producer's
+// advertisement); such a connection carries "BPC5" frames produced by
+// a StreamEncoder and decoded by a StreamDecoder — per-variable codec
+// stages from internal/codec, temporal-delta chains with shared
+// keyframes, and the same pooled-frame discipline. Connections that
+// negotiate nothing are byte-identical to the plain BP05 wire. See
+// DESIGN.md "Wire compression".
 package adios
 
 import (
@@ -289,6 +298,84 @@ func ReuseStep(s *Step) *Step {
 	return s
 }
 
+// decodeAttrsInto decodes an attribute section — the attr-count word
+// at pos followed by length-prefixed key/value pairs — into out's
+// attribute map, reusing it. Fast path: verify — without mutating —
+// that the frame's attrs are exactly the map's current contents (the
+// steady state, where attrs repeat per step: zero allocations). Any
+// mismatch, a stale or missing key, or a duplicate key in a hostile
+// frame falls back to a full rebuild, so the decoded map is always
+// exactly the frame's attrs (last write wins on duplicates, matching
+// a fresh decode). Returns the offset just past the section. Shared
+// by the BP05 and BPC5 decoders.
+func decodeAttrsInto(raw []byte, pos int, out *Step) (int, error) {
+	getU64 := func() (uint64, error) {
+		if pos+8 > len(raw) {
+			return 0, fmt.Errorf("adios: truncated at %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(raw[pos:])
+		pos += 8
+		return v, nil
+	}
+	getBytes := func() ([]byte, error) {
+		n, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(raw)-pos) {
+			return nil, fmt.Errorf("adios: truncated string")
+		}
+		b := raw[pos : pos+int(n)]
+		pos += int(n)
+		return b, nil
+	}
+	nattr, err := getU64()
+	if err != nil {
+		return pos, err
+	}
+	if nattr > uint64(len(raw)-pos)/16 { // each attr needs two length words
+		return pos, fmt.Errorf("adios: attr count %d exceeds frame", nattr)
+	}
+	if out.Attrs == nil {
+		out.Attrs = make(map[string]string, nattr)
+	}
+	const attrFastPathMax = 16
+	attrStart := pos
+	match := nattr <= attrFastPathMax && uint64(len(out.Attrs)) == nattr
+	var seenKeys [attrFastPathMax][]byte
+	for i := uint64(0); i < nattr; i++ {
+		kb, err := getBytes()
+		if err != nil {
+			return pos, err
+		}
+		vb, err := getBytes()
+		if err != nil {
+			return pos, err
+		}
+		if match {
+			for j := uint64(0); j < i; j++ {
+				if bytes.Equal(seenKeys[j], kb) {
+					match = false // duplicate key: counting is unreliable
+				}
+			}
+			seenKeys[i] = kb
+			if cur, ok := out.Attrs[string(kb)]; !ok || cur != string(vb) {
+				match = false
+			}
+		}
+	}
+	if !match {
+		clear(out.Attrs)
+		pos = attrStart
+		for i := uint64(0); i < nattr; i++ {
+			kb, _ := getBytes() // region validated by the first pass
+			vb, _ := getBytes()
+			out.Attrs[string(kb)] = string(vb)
+		}
+	}
+	return pos, nil
+}
+
 // decodeF64 bulk-decodes little-endian floats, chunking large arrays.
 func decodeF64(dst []float64, raw []byte) {
 	if len(dst) >= parallelEncodeMin {
@@ -328,6 +415,9 @@ func decodeI64(dst []int64, raw []byte) {
 // unspecified.
 func UnmarshalInto(raw []byte, out *Step) error {
 	if len(raw) < 4 || string(raw[:4]) != bpMagic {
+		if IsEncodedFrame(raw) {
+			return fmt.Errorf("adios: encoded (BPC5) frame needs a StreamDecoder")
+		}
 		return fmt.Errorf("adios: bad magic")
 	}
 	pos := 4
@@ -365,56 +455,9 @@ func UnmarshalInto(raw []byte, out *Step) error {
 		return err
 	}
 	out.Time = math.Float64frombits(v)
-	nattr, err := getU64()
+	pos, err = decodeAttrsInto(raw, pos, out)
 	if err != nil {
 		return err
-	}
-	if nattr > uint64(len(raw)-pos)/16 { // each attr needs two length words
-		return fmt.Errorf("adios: attr count %d exceeds frame", nattr)
-	}
-	if out.Attrs == nil {
-		out.Attrs = make(map[string]string, nattr)
-	}
-	// Reuse the attribute map. Fast path: verify — without mutating —
-	// that the frame's attrs are exactly the map's current contents
-	// (the steady state, where attrs repeat per step: zero
-	// allocations). Any mismatch, a stale or missing key, or a
-	// duplicate key in a hostile frame falls back to a full rebuild,
-	// so the decoded map is always exactly the frame's attrs (last
-	// write wins on duplicates, matching a fresh decode).
-	const attrFastPathMax = 16
-	attrStart := pos
-	match := nattr <= attrFastPathMax && uint64(len(out.Attrs)) == nattr
-	var seenKeys [attrFastPathMax][]byte
-	for i := uint64(0); i < nattr; i++ {
-		kb, err := getBytes()
-		if err != nil {
-			return err
-		}
-		vb, err := getBytes()
-		if err != nil {
-			return err
-		}
-		if match {
-			for j := uint64(0); j < i; j++ {
-				if bytes.Equal(seenKeys[j], kb) {
-					match = false // duplicate key: counting is unreliable
-				}
-			}
-			seenKeys[i] = kb
-			if cur, ok := out.Attrs[string(kb)]; !ok || cur != string(vb) {
-				match = false
-			}
-		}
-	}
-	if !match {
-		clear(out.Attrs)
-		pos = attrStart
-		for i := uint64(0); i < nattr; i++ {
-			kb, _ := getBytes() // region validated by the first pass
-			vb, _ := getBytes()
-			out.Attrs[string(kb)] = string(vb)
-		}
 	}
 	nvars, err := getU64()
 	if err != nil {

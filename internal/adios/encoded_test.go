@@ -1,0 +1,474 @@
+package adios
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"nekrs-sensei/internal/codec"
+)
+
+// codedStep builds a step with one codec-eligible array whose values
+// evolve smoothly with the step number (temporal deltas stay small),
+// plus an ineligible int64 variable and a non-array float64 variable
+// that must always ship verbatim.
+func codedStep(step int64, n int) *Step {
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(float64(i)/40) + 1e-3*float64(step)
+	}
+	return &Step{
+		Step: step, Time: float64(step) * 0.01,
+		Attrs: map[string]string{"case": "rbc"},
+		Vars: []Variable{
+			NewF64("array/u", u, int64(n)),
+			NewF64("meta/residual", []float64{1e-6 * float64(step)}),
+			NewI64("connectivity", []int64{0, 1, 2, 3}),
+		},
+	}
+}
+
+func mustSpec(t *testing.T, entries ...string) codec.Spec {
+	t.Helper()
+	sp, err := codec.ParseSpec(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func f64BitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeFrame runs one frame through a decoder into fresh storage.
+func decodeFrame(t *testing.T, d *StreamDecoder, raw []byte) *Step {
+	t.Helper()
+	var out Step
+	if err := d.DecodeInto(raw, &out); err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	return &out
+}
+
+// TestStreamRoundTripAllCodecs chains five steps through an
+// encoder/decoder pair under every codec and checks the decoded steps
+// against the originals: bit-exact for the lossless codecs and the
+// always-verbatim variables, within the declared bound for quantize.
+func TestStreamRoundTripAllCodecs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		spec  []string
+		bound float64 // 0 = lossless
+	}{
+		{name: "identity", spec: nil},
+		{name: "transpose-delta", spec: []string{"transpose-delta"}},
+		{name: "temporal-delta", spec: []string{"temporal-delta"}},
+		{name: "quantize", spec: []string{"quantize:1e-6"}, bound: 1e-6},
+		{name: "per-array override", spec: []string{"transpose-delta", "u=temporal-delta"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := mustSpec(t, tc.spec...)
+			enc := NewStreamEncoder(spec)
+			dec := NewStreamDecoder(spec.UsesTemporal())
+			pool := NewFramePool()
+			for step := int64(0); step < 5; step++ {
+				in := codedStep(step, 257) // odd length: partial transpose lane
+				f, base := enc.EncodeFrame(in, pool)
+				if !IsEncodedFrame(f.Bytes()) {
+					t.Fatalf("step %d: EncodeFrame produced non-BPC5 frame", step)
+				}
+				wantBase := int64(-1)
+				if spec.UsesTemporal() && step > 0 {
+					wantBase = step - 1
+				}
+				if base != wantBase {
+					t.Fatalf("step %d: base = %d, want %d", step, base, wantBase)
+				}
+				out := decodeFrame(t, dec, f.Bytes())
+				f.Release()
+				if out.Step != in.Step || out.Time != in.Time || out.Attrs["case"] != "rbc" {
+					t.Fatalf("step %d: header mismatch: %+v", step, out)
+				}
+				u := out.FindVar("array/u")
+				if u == nil || len(u.Shape) != 1 || u.Shape[0] != 257 {
+					t.Fatalf("step %d: array/u missing or misshapen", step)
+				}
+				src := in.FindVar("array/u").F64
+				if tc.bound == 0 {
+					if !f64BitsEqual(src, u.F64) {
+						t.Fatalf("step %d: lossless codec not byte-exact", step)
+					}
+				} else {
+					for i := range src {
+						if e := math.Abs(src[i] - u.F64[i]); !(e <= tc.bound) {
+							t.Fatalf("step %d: element %d error %g exceeds %g", step, i, e, tc.bound)
+						}
+					}
+				}
+				// Ineligible variables are always verbatim and exact.
+				if !f64BitsEqual(in.Vars[1].F64, out.FindVar("meta/residual").F64) {
+					t.Fatalf("step %d: non-array float64 variable corrupted", step)
+				}
+				cv := out.FindVar("connectivity")
+				if cv == nil || len(cv.I64) != 4 || cv.I64[3] != 3 {
+					t.Fatalf("step %d: int64 variable corrupted", step)
+				}
+			}
+			if !spec.IsIdentity() {
+				if r := enc.Ratio(); !(r > 0 && r < 1) {
+					t.Errorf("ratio = %v, want compression on the smooth field", r)
+				}
+				if enc.BytesRaw() != 5*257*8 {
+					t.Errorf("BytesRaw = %d, want %d", enc.BytesRaw(), 5*257*8)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamTemporalKeyframes covers the chain-repair paths: a
+// consumer that missed the base step must get EncodeKeyFrame's
+// self-contained form, a chain frame against the wrong base must be
+// refused, and Reset restarts the chain.
+func TestStreamTemporalKeyframes(t *testing.T) {
+	spec := mustSpec(t, "temporal-delta")
+	enc := NewStreamEncoder(spec)
+	pool := NewFramePool()
+
+	s0, s1, s2 := codedStep(0, 64), codedStep(1, 64), codedStep(2, 64)
+	f0, _ := enc.EncodeFrame(s0, pool)
+	f1, base1 := enc.EncodeFrame(s1, pool)
+	key1 := enc.EncodeKeyFrame(s1, pool)
+	f2, base2 := enc.EncodeFrame(s2, pool)
+	if base1 != 0 || base2 != 1 {
+		t.Fatalf("bases = %d, %d, want 0, 1", base1, base2)
+	}
+
+	// The chain decoder follows f0 -> f1 -> f2.
+	chain := NewStreamDecoder(true)
+	decodeFrame(t, chain, f0.Bytes())
+	decodeFrame(t, chain, f1.Bytes())
+	got := decodeFrame(t, chain, f2.Bytes())
+	if !f64BitsEqual(s2.FindVar("array/u").F64, got.FindVar("array/u").F64) {
+		t.Fatal("chain decode diverged")
+	}
+
+	// A decoder that missed step 0 cannot take the chain frame...
+	late := NewStreamDecoder(true)
+	var scratch Step
+	if err := late.DecodeInto(f1.Bytes(), &scratch); err == nil ||
+		!strings.Contains(err.Error(), "base step") {
+		t.Fatalf("chain frame without base: err = %v", err)
+	}
+	// ...but the keyframe is self-contained and re-anchors the chain.
+	got = decodeFrame(t, late, key1.Bytes())
+	if !f64BitsEqual(s1.FindVar("array/u").F64, got.FindVar("array/u").F64) {
+		t.Fatal("keyframe decode mismatch")
+	}
+	got = decodeFrame(t, late, f2.Bytes())
+	if !f64BitsEqual(s2.FindVar("array/u").F64, got.FindVar("array/u").F64) {
+		t.Fatal("chain after keyframe diverged")
+	}
+
+	// EncodeKeyFrame must not have advanced the encoder's chain: after
+	// Reset the next frame is again a keyframe.
+	enc.Reset()
+	f3, base3 := enc.EncodeFrame(codedStep(3, 64), pool)
+	if base3 != -1 {
+		t.Fatalf("base after Reset = %d, want -1", base3)
+	}
+	for _, f := range []*Frame{f0, f1, key1, f2, f3} {
+		f.Release()
+	}
+}
+
+// TestStreamDecoderResetOnPlainFrame: a BP05 frame (structure step,
+// spill catch-up) invalidates the decoder's temporal state, so a chain
+// frame right after it is refused until a keyframe re-anchors.
+func TestStreamDecoderResetOnPlainFrame(t *testing.T) {
+	spec := mustSpec(t, "temporal-delta")
+	enc := NewStreamEncoder(spec)
+	pool := NewFramePool()
+	dec := NewStreamDecoder(true)
+
+	f0, _ := enc.EncodeFrame(codedStep(0, 32), pool)
+	decodeFrame(t, dec, f0.Bytes())
+
+	// A plain frame interleaves (the hub ships structure steps and
+	// spill catch-ups as BP05).
+	structure := codedStep(1, 32)
+	structure.Attrs["structure"] = "1"
+	decodeFrame(t, dec, Marshal(structure))
+
+	s2 := codedStep(2, 32)
+	f2, base2 := enc.EncodeFrame(s2, pool)
+	if base2 != 0 {
+		t.Fatalf("base = %d, want 0", base2)
+	}
+	var scratch Step
+	if err := dec.DecodeInto(f2.Bytes(), &scratch); err == nil {
+		t.Fatal("chain frame after plain frame should fail")
+	}
+	key2 := enc.EncodeKeyFrame(s2, pool)
+	got := decodeFrame(t, dec, key2.Bytes())
+	if !f64BitsEqual(s2.FindVar("array/u").F64, got.FindVar("array/u").F64) {
+		t.Fatal("keyframe after plain frame mismatch")
+	}
+	for _, f := range []*Frame{f0, f2, key2} {
+		f.Release()
+	}
+}
+
+// TestEncodedGoldenFrame pins the BPC5 byte layout against an
+// independently constructed frame: header words, the per-variable
+// codec byte and param, and the coded payload from the codec package's
+// own golden test.
+func TestEncodedGoldenFrame(t *testing.T) {
+	s := &Step{
+		Step: 9, Time: 0.25,
+		Attrs: map[string]string{"case": "rbc"},
+		Vars:  []Variable{NewF64("array/p", []float64{1.0, 1.0, 1.5}, 3)},
+	}
+	enc := NewStreamEncoder(mustSpec(t, "transpose-delta"))
+	pool := NewFramePool()
+	f, _ := enc.EncodeFrame(s, pool)
+	defer f.Release()
+
+	var want bytes.Buffer
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		want.Write(b[:])
+	}
+	str := func(s string) { u64(uint64(len(s))); want.WriteString(s) }
+	want.WriteString("BPC5")
+	u64(9)                      // step
+	u64(math.Float64bits(0.25)) // time
+	u64(0)                      // base+1: keyframe
+	u64(1)                      // one attribute
+	str("case")
+	str("rbc")
+	u64(1) // one variable
+	str("array/p")
+	want.WriteByte(byte(KindFloat64))
+	want.WriteByte(byte(codec.TransposeDelta))
+	u64(math.Float64bits(0)) // param: unused for lossless codecs
+	u64(1)                   // rank
+	u64(3)                   // shape
+	u64(3)                   // elems
+	// The coded payload for {1.0, 1.0, 1.5} as pinned by the codec
+	// package's golden layout test.
+	payload := []byte{0x01, 0x91, 0x03, 0xf0, 0x00, 0x08, 0x3f, 0x81}
+	u64(uint64(len(payload)))
+	want.Write(payload)
+
+	if !bytes.Equal(f.Bytes(), want.Bytes()) {
+		t.Errorf("BPC5 frame layout changed:\n got %x\nwant %x", f.Bytes(), want.Bytes())
+	}
+}
+
+// TestScanFrameEncoded: the header-only walk recovers a BPC5 frame's
+// layout — codec bytes, quantizer params, enclen-sized payload spans —
+// without decoding.
+func TestScanFrameEncoded(t *testing.T) {
+	enc := NewStreamEncoder(mustSpec(t, "temporal-delta", "p=quantize:0.001"))
+	pool := NewFramePool()
+	mkStep := func(step int64) *Step {
+		s := codedStep(step, 100)
+		s.Vars = append(s.Vars, NewF64("array/p", []float64{1, 2, 3, 4}, 4))
+		return s
+	}
+	f0, _ := enc.EncodeFrame(mkStep(0), pool)
+	f1, _ := enc.EncodeFrame(mkStep(1), pool)
+	defer f0.Release()
+	defer f1.Release()
+
+	fi, err := ScanFrame(f0.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.Encoded || fi.Base != -1 || fi.Step != 0 {
+		t.Fatalf("keyframe scan: %+v", fi)
+	}
+	// First frame: no temporal base yet, so array/u demotes to
+	// transpose-delta.
+	if vs := fi.FindVar("array/u"); vs == nil || vs.Codec != byte(codec.TransposeDelta) {
+		t.Fatalf("array/u span: %+v", vs)
+	}
+	if vs := fi.FindVar("array/p"); vs == nil || vs.Codec != byte(codec.Quantize) || vs.Param != 0.001 {
+		t.Fatalf("array/p span: %+v", vs)
+	}
+	if vs := fi.FindVar("connectivity"); vs == nil || vs.Codec != 0 ||
+		vs.PayloadLen != 4*8 || vs.Elems != 4 {
+		t.Fatalf("connectivity span: %+v", vs)
+	}
+
+	fi, err = ScanFrame(f1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Base != 0 {
+		t.Fatalf("chain frame Base = %d, want 0", fi.Base)
+	}
+	if vs := fi.FindVar("array/u"); vs == nil || vs.Codec != byte(codec.TemporalDelta) {
+		t.Fatalf("chained array/u span: %+v", vs)
+	}
+	// The payload span is the coded length, smaller than the raw array.
+	if vs := fi.FindVar("array/u"); vs.PayloadLen >= 100*8 {
+		t.Errorf("coded payload span %d bytes not smaller than raw %d", vs.PayloadLen, 100*8)
+	}
+	for _, vs := range fi.Vars {
+		if int(vs.PayloadOff+vs.PayloadLen) > len(f1.Bytes()) {
+			t.Fatalf("span %q overruns frame", vs.Name)
+		}
+	}
+
+	// Truncations scan as errors, never panic.
+	raw := f1.Bytes()
+	for cut := 1; cut < len(raw); cut += 13 {
+		if _, err := ScanFrame(raw[:cut]); err == nil {
+			t.Fatalf("truncated frame at %d scanned clean", cut)
+		}
+	}
+}
+
+// TestPlainUnmarshalRejectsEncoded: a BP05-only decode path meeting a
+// BPC5 frame must fail loudly, not misparse, and plain marshaling is
+// byte-identical to what it was before codecs existed (same magic,
+// decodable by UnmarshalInto).
+func TestPlainUnmarshalRejectsEncoded(t *testing.T) {
+	enc := NewStreamEncoder(mustSpec(t, "transpose-delta"))
+	pool := NewFramePool()
+	f, _ := enc.EncodeFrame(codedStep(0, 16), pool)
+	defer f.Release()
+	var out Step
+	if err := UnmarshalInto(f.Bytes(), &out); err == nil {
+		t.Fatal("UnmarshalInto accepted a BPC5 frame")
+	}
+	plain := Marshal(codedStep(0, 16))
+	if string(plain[:4]) != "BP05" {
+		t.Fatalf("plain magic = %q", plain[:4])
+	}
+	if err := UnmarshalInto(plain, &out); err != nil {
+		t.Fatal(err)
+	}
+	// And a codec-capable decoder accepts the plain frame unchanged.
+	dec := NewStreamDecoder(true)
+	if err := dec.DecodeInto(plain, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSTCodecNegotiation drives the direct writer/reader pair: codec
+// requests outside the advertisement are rejected at handshake, and an
+// accepted request compresses the stream end-to-end — including a
+// structure step mid-stream that resets the temporal chain.
+func TestSSTCodecNegotiation(t *testing.T) {
+	t.Run("reject unadvertised codec", func(t *testing.T) {
+		w, err := ListenWriter("127.0.0.1:0", WriterOptions{
+			AdvertiseCodecs: []string{"transpose-delta"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		_, err = OpenReaderWith(w.Addr(), ReaderOptions{Codecs: []string{"quantize:1e-3"}})
+		if err == nil || !strings.Contains(err.Error(), "quantize") {
+			t.Fatalf("err = %v, want quantize rejection", err)
+		}
+	})
+
+	t.Run("bad codec spec fails before dial", func(t *testing.T) {
+		if _, err := OpenReaderWith("127.0.0.1:1", ReaderOptions{Codecs: []string{"bogus"}}); err == nil ||
+			!strings.Contains(err.Error(), "bogus") {
+			t.Fatalf("err = %v, want unknown codec", err)
+		}
+	})
+
+	t.Run("temporal stream with structure step", func(t *testing.T) {
+		w, err := ListenWriter("127.0.0.1:0", WriterOptions{QueueLimit: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const steps = 8
+		want := make([]*Step, steps)
+		for i := range want {
+			want[i] = codedStep(int64(i), 300)
+			if i == 4 {
+				want[i].Attrs["structure"] = "1"
+			}
+		}
+		errCh := make(chan error, 1)
+		go func() {
+			for _, s := range want {
+				if err := w.Put(s); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- w.Close()
+		}()
+		r, err := OpenReaderWith(w.Addr(), ReaderOptions{Codecs: []string{"temporal-delta"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		for i := 0; i < steps; i++ {
+			got, err := r.BeginStep()
+			if err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			if got.Step != int64(i) {
+				t.Fatalf("step order: got %d want %d", got.Step, i)
+			}
+			if !f64BitsEqual(want[i].FindVar("array/u").F64, got.FindVar("array/u").F64) {
+				t.Fatalf("step %d: payload mismatch over the wire", i)
+			}
+		}
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		if got := w.RequestedCodecs(); len(got) != 1 || got[0] != "temporal-delta" {
+			t.Errorf("RequestedCodecs = %v", got)
+		}
+		if r := w.CodecRatio(); !(r > 0 && r < 1) {
+			t.Errorf("CodecRatio = %v, want < 1 on the smooth field", r)
+		}
+	})
+
+	t.Run("identity request leaves the wire plain", func(t *testing.T) {
+		w, err := ListenWriter("127.0.0.1:0", WriterOptions{QueueLimit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			w.Put(codedStep(0, 10)) //nolint:errcheck
+			w.Close()               //nolint:errcheck
+		}()
+		r, err := OpenReader(w.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if _, err := r.BeginStep(); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.RequestedCodecs(); got != nil {
+			t.Errorf("RequestedCodecs = %v, want nil", got)
+		}
+		if r := w.CodecRatio(); r != 1 {
+			t.Errorf("CodecRatio = %v, want 1", r)
+		}
+	})
+}

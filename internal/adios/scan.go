@@ -28,6 +28,10 @@ type VarSpan struct {
 	PayloadOff, PayloadLen int64
 	// Elems is the payload's element count.
 	Elems int64
+	// Codec is the wire codec byte (BPC5 frames only; 0 = verbatim)
+	// and Param its parameter (the quantizer's error bound).
+	Codec uint8
+	Param float64
 }
 
 // FrameInfo is the decoded layout of one marshaled frame.
@@ -36,9 +40,14 @@ type FrameInfo struct {
 	Time      float64
 	Structure bool // the frame carries the grid structure
 
+	// Encoded reports a BPC5 (codec-encoded) frame; Base is the step
+	// its temporal payloads difference against (-1 for a keyframe).
+	Encoded bool
+	Base    int64
+
 	// VarsOff is the offset of the variable-count word: raw[:VarsOff]
-	// is the frame header (magic, step, time, attributes) shared by
-	// every subset spliced from this frame.
+	// is the frame header (magic, step, time, base word, attributes)
+	// shared by every subset spliced from this frame.
 	VarsOff int64
 	Vars    []VarSpan
 }
@@ -59,9 +68,11 @@ func (fi *FrameInfo) FindVar(name string) *VarSpan {
 // bounds as UnmarshalInto, so a frame that scans clean also decodes.
 func ScanFrame(raw []byte) (FrameInfo, error) {
 	var fi FrameInfo
-	if len(raw) < 4 || string(raw[:4]) != bpMagic {
+	if len(raw) < 4 || string(raw[:4]) != bpMagic && string(raw[:4]) != bpcMagic {
 		return fi, fmt.Errorf("adios: bad magic")
 	}
+	fi.Encoded = string(raw[:4]) == bpcMagic
+	fi.Base = -1
 	pos := int64(4)
 	n := int64(len(raw))
 	getU64 := func() (uint64, error) {
@@ -93,6 +104,13 @@ func ScanFrame(raw []byte) (FrameInfo, error) {
 		return fi, err
 	}
 	fi.Time = math.Float64frombits(v)
+	if fi.Encoded {
+		bw, err := getU64()
+		if err != nil {
+			return fi, err
+		}
+		fi.Base = int64(bw) - 1
+	}
 	nattr, err := getU64()
 	if err != nil {
 		return fi, err
@@ -135,6 +153,18 @@ func ScanFrame(raw []byte) (FrameInfo, error) {
 		}
 		vs.Kind = Kind(raw[pos])
 		pos++
+		if fi.Encoded {
+			if pos >= n {
+				return fi, fmt.Errorf("adios: truncated codec byte")
+			}
+			vs.Codec = raw[pos]
+			pos++
+			pw, err := getU64()
+			if err != nil {
+				return fi, err
+			}
+			vs.Param = math.Float64frombits(pw)
+		}
 		ndim, err := getU64()
 		if err != nil {
 			return fi, err
@@ -156,13 +186,25 @@ func ScanFrame(raw []byte) (FrameInfo, error) {
 		default:
 			return fi, fmt.Errorf("adios: unknown kind %d", vs.Kind)
 		}
-		if width > 1 && elems > uint64(n-pos)/uint64(width) ||
-			width == 1 && elems > uint64(n-pos) {
-			return fi, fmt.Errorf("adios: truncated payload for %q", vs.Name)
-		}
 		vs.Elems = int64(elems)
-		vs.PayloadOff = pos
-		vs.PayloadLen = int64(elems) * width
+		if fi.Encoded {
+			enclen, err := getU64()
+			if err != nil {
+				return fi, err
+			}
+			if enclen > uint64(n-pos) {
+				return fi, fmt.Errorf("adios: truncated payload for %q", vs.Name)
+			}
+			vs.PayloadOff = pos
+			vs.PayloadLen = int64(enclen)
+		} else {
+			if width > 1 && elems > uint64(n-pos)/uint64(width) ||
+				width == 1 && elems > uint64(n-pos) {
+				return fi, fmt.Errorf("adios: truncated payload for %q", vs.Name)
+			}
+			vs.PayloadOff = pos
+			vs.PayloadLen = int64(elems) * width
+		}
 		pos += vs.PayloadLen
 		vs.RecordLen = pos - vs.RecordOff
 		fi.Vars = append(fi.Vars, vs)

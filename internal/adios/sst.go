@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"nekrs-sensei/internal/codec"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/telemetry"
 )
@@ -40,6 +41,11 @@ type Hello struct {
 	// before the handshake arrived — at most the writer's queue depth
 	// — still carry the full configured set.
 	Arrays []string `json:"arrays,omitempty"`
+	// Codecs is the reader's wire-compression request (codec.ParseSpec
+	// grammar: a default choice and/or "array=choice" overrides). The
+	// producer rejects a hello naming a codec it does not advertise,
+	// mirroring the Arrays rule; empty means identity (plain BP05).
+	Codecs []string `json:"codecs,omitempty"`
 	Error  string   `json:"error,omitempty"`
 }
 
@@ -85,6 +91,10 @@ type WriterOptions struct {
 	// (Role "rejected" with the offending name); when nil, any request
 	// is accepted and resolution is deferred to the producer's Execute.
 	Advertise []string
+	// AdvertiseCodecs lists the codec names this producer is willing to
+	// apply; a reader handshake requesting one outside the list is
+	// rejected. Nil advertises every codec the build implements.
+	AdvertiseCodecs []string
 	// Record, when non-nil, receives every staged frame (Put and
 	// PutFrame alike) before it enters the queue — the direct-path
 	// recording sink. The append is synchronous on the producer; a
@@ -116,7 +126,9 @@ type Writer struct {
 	stepsSent int64
 	closed    bool
 	accepted  bool
-	reqArrays []string // the reader's declared subset, nil until known
+	reqArrays []string       // the reader's declared subset, nil until known
+	reqCodecs []string       // the reader's codec request, nil until known
+	enc       *StreamEncoder // non-nil once a non-identity codec spec arrived
 
 	// tel is the writer's telemetry handles (zero value = disabled).
 	// Guarded by mu: SetTelemetry may race the serve goroutine's
@@ -221,6 +233,27 @@ func (w *Writer) RequestedArrays() []string {
 	return w.reqArrays
 }
 
+// RequestedCodecs reports the codec entries the connected reader
+// declared in its handshake, nil while none arrived (or for an
+// identity request).
+func (w *Writer) RequestedCodecs() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reqCodecs
+}
+
+// CodecRatio reports encoded/raw bytes over the writer's codec
+// stream, 1 when no codec is active.
+func (w *Writer) CodecRatio() float64 {
+	w.mu.Lock()
+	enc := w.enc
+	w.mu.Unlock()
+	if enc == nil {
+		return 1
+	}
+	return enc.Ratio()
+}
+
 func (w *Writer) setErr(err error) {
 	w.mu.Lock()
 	if w.sendErr == nil {
@@ -272,12 +305,26 @@ func (w *Writer) serve() {
 		w.drain()
 		return
 	}
-	if len(h.Arrays) > 0 {
-		w.mu.Lock()
-		w.reqArrays = append([]string(nil), h.Arrays...)
-		w.mu.Unlock()
+	spec, err := codec.CheckAdvertised(h.Codecs, w.opts.AdvertiseCodecs)
+	if err != nil {
+		enc.Encode(Hello{Type: "hello", Role: "rejected", Error: err.Error()}) //nolint:errcheck // best-effort reject
+		w.setErr(err)
+		w.drain()
+		return
 	}
-	if err := enc.Encode(Hello{Type: "hello", Role: "writer", Engine: "sst", Marshal: "bp"}); err != nil {
+	w.mu.Lock()
+	if len(h.Arrays) > 0 {
+		w.reqArrays = append([]string(nil), h.Arrays...)
+	}
+	if !spec.IsIdentity() {
+		w.reqCodecs = append([]string(nil), h.Codecs...)
+		w.enc = NewStreamEncoder(spec)
+	}
+	w.mu.Unlock()
+	// The reply echoes the effective codec entries so the reader
+	// configures its decoder from what the producer will actually ship.
+	if err := enc.Encode(Hello{Type: "hello", Role: "writer", Engine: "sst", Marshal: "bp",
+		Codecs: spec.Entries()}); err != nil {
 		w.setErr(err)
 		w.drain()
 		return
@@ -365,8 +412,23 @@ func (w *Writer) finishFrame(qf queuedFrame) {
 func (w *Writer) Put(s *Step) error {
 	w.mu.Lock()
 	trace := w.tel.trace
+	enc := w.enc
 	w.mu.Unlock()
-	f := MarshalFrame(s, w.pool)
+	var f *Frame
+	if enc != nil && s.Attrs["structure"] != "1" {
+		// The reader negotiated wire compression: encode under its spec.
+		// Only Put (one producer goroutine) touches the encoder after the
+		// handshake installs it.
+		f, _ = enc.EncodeFrame(s, w.pool)
+	} else {
+		if enc != nil {
+			// A structure step ships as plain BP05 and resets the reader's
+			// temporal state; restart the chain so the next coded frame is
+			// a keyframe.
+			enc.Reset()
+		}
+		f = MarshalFrame(s, w.pool)
+	}
 	trace.Stamp(s.Step, telemetry.StageMarshal)
 	err := w.putFrame(queuedFrame{b: f.Bytes(), f: f})
 	if err == nil {
@@ -445,9 +507,10 @@ type Reader struct {
 	conn net.Conn
 	br   *bufio.Reader
 
-	frameBuf []byte    // grow-only receive scratch, reused per frame
-	spare    *Step     // recycled decode destination (see Recycle)
-	record   FrameSink // receives every received frame (see SetRecord)
+	frameBuf []byte         // grow-only receive scratch, reused per frame
+	spare    *Step          // recycled decode destination (see Recycle)
+	record   FrameSink      // receives every received frame (see SetRecord)
+	dec      *StreamDecoder // non-nil when the reader negotiated codecs
 	ack      [1]byte
 
 	stepsRecv int64
@@ -479,6 +542,10 @@ type ReaderOptions struct {
 	// handshake if one of them is not advertised. Empty requests every
 	// published array.
 	Arrays []string
+	// Codecs requests wire compression (codec.ParseSpec grammar). The
+	// producer rejects the handshake if it names a codec outside the
+	// producer's advertisement. Empty requests plain BP05.
+	Codecs []string
 }
 
 // OpenReader connects to a writer's advertised address and completes
@@ -490,6 +557,9 @@ func OpenReader(addr string) (*Reader, error) {
 // OpenReaderWith is OpenReader carrying staging consumer options in
 // the handshake.
 func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
+	if _, err := codec.ParseSpec(opts.Codecs); err != nil {
+		return nil, err
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("adios: dial %s: %w", addr, err)
@@ -497,7 +567,7 @@ func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 	enc := json.NewEncoder(conn)
 	h0 := Hello{Type: "hello", Role: "reader",
 		Consumer: opts.Consumer, Policy: opts.Policy, Depth: opts.Depth,
-		Group: opts.Group, Arrays: opts.Arrays}
+		Group: opts.Group, Arrays: opts.Arrays, Codecs: opts.Codecs}
 	if err := enc.Encode(h0); err != nil {
 		conn.Close()
 		return nil, err
@@ -522,7 +592,24 @@ func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 		conn.Close()
 		return nil, err
 	}
-	return &Reader{conn: conn, br: combined}, nil
+	r := &Reader{conn: conn, br: combined}
+	// Configure the decoder from the echoed effective codecs (the
+	// producer may assign codecs to a pre-declared staging consumer the
+	// reader never asked for); fall back to the request when talking to
+	// a producer that does not echo.
+	eff := h.Codecs
+	if eff == nil {
+		eff = opts.Codecs
+	}
+	espec, err := codec.ParseSpec(eff)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("adios: writer announced bad codecs: %w", err)
+	}
+	if !espec.IsIdentity() {
+		r.dec = NewStreamDecoder(espec.UsesTemporal())
+	}
+	return r, nil
 }
 
 // BeginStep blocks for the next step; io.EOF signals a clean
@@ -565,16 +652,17 @@ func (r *Reader) BeginStep() (*Step, error) {
 	r.tel.steps.Inc()
 	r.tel.bytes.Add(int64(n))
 	st := r.spare
-	if st != nil {
-		r.spare = nil
-		if err := UnmarshalInto(r.frameBuf, st); err != nil {
-			return nil, err
-		}
+	if st == nil {
+		st = &Step{}
 	} else {
-		var err error
-		if st, err = Unmarshal(r.frameBuf); err != nil {
+		r.spare = nil
+	}
+	if r.dec != nil {
+		if err := r.dec.DecodeInto(r.frameBuf, st); err != nil {
 			return nil, err
 		}
+	} else if err := UnmarshalInto(r.frameBuf, st); err != nil {
+		return nil, err
 	}
 	r.tel.trace.StampAt(st.Step, telemetry.StageDeliver, recv)
 	r.tel.trace.Stamp(st.Step, telemetry.StageDecode)

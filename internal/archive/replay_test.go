@@ -205,6 +205,149 @@ func TestRecordReplayEndpointEquivalence(t *testing.T) {
 	}
 }
 
+// TestRecordReplayEquivalenceCompressed re-runs the acceptance shape
+// with a wire codec on the endpoint connection: the analysis inputs
+// must match the plain run bit-for-bit under the lossless codecs and
+// within the declared bound under the quantizer, live and replayed
+// alike — and the archive must keep recording the producer's plain
+// BP05 frames verbatim while a codec consumer is attached.
+func TestRecordReplayEquivalenceCompressed(t *testing.T) {
+	const steps = 6
+	const bound = 1e-6
+	// The reference inputs, straight from the generator.
+	want := map[int][]float64{}
+	for s := 0; s < steps; s++ {
+		want[s] = hexStep(int64(s)).FindVar("array/f").F64
+	}
+	check := func(t *testing.T, got map[int][]float64, bound float64) {
+		t.Helper()
+		if len(got) != steps {
+			t.Fatalf("captured %d steps, want %d", len(got), steps)
+		}
+		for s, w := range want {
+			g := got[s]
+			if len(g) != len(w) {
+				t.Fatalf("step %d: %d values, want %d", s, len(g), len(w))
+			}
+			for i := range w {
+				if bound == 0 {
+					if w[i] != g[i] {
+						t.Fatalf("step %d: value %d = %v, want %v exactly", s, i, g[i], w[i])
+					}
+				} else if e := abs(w[i] - g[i]); !(e <= bound) {
+					t.Fatalf("step %d: value %d error %g exceeds %g", s, i, e, bound)
+				}
+			}
+		}
+	}
+
+	for _, tc := range []struct {
+		codec string
+		bound float64
+	}{
+		{codec: "transpose-delta"},
+		{codec: "temporal-delta"},
+		{codec: "quantize:1e-6", bound: bound},
+	} {
+		t.Run(tc.codec, func(t *testing.T) {
+			dir := t.TempDir()
+			a, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hub := staging.NewHub(nil)
+			rec, err := RecordHub(hub, "", 0, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binder := staging.NewBinder(hub, staging.Block, 2)
+			if _, err := binder.Declare(staging.ConsumerSpec{Name: "hist", Policy: staging.Block, Depth: 2}); err != nil {
+				t.Fatal(err)
+			}
+			srv, err := staging.Serve(hub, "127.0.0.1:0", binder.Bind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type result struct {
+				perStep map[int][]float64
+				err     error
+			}
+			done := make(chan result, 1)
+			go func() {
+				perStep, _, err := runEndpoint(srv.Addr(), adios.ReaderOptions{
+					Consumer: "hist", Codecs: []string{tc.codec},
+				})
+				done <- result{perStep, err}
+			}()
+			for s := 0; s < steps; s++ {
+				if err := hub.Publish(hexStep(int64(s))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			hub.Close()
+			if err := rec.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			srv.Close()
+			res := <-done
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+			check(t, res.perStep, tc.bound)
+
+			// The archive tier is untouched by wire codecs: recorded
+			// frames are the producer's plain marshals, byte for byte.
+			for id := 0; id < steps; id++ {
+				got, err := a.ReadFrameInto(int64(id), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, adios.Marshal(hexStep(int64(id)))) {
+					t.Fatalf("recorded frame %d is not the plain BP05 marshal", id)
+				}
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replay with the same codec on the endpoint connection.
+			a2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a2.Close()
+			rp, err := NewReplay(a2, ReplayOptions{
+				Consumers: []staging.ConsumerSpec{{Name: "hist", Policy: staging.Block, Depth: 2}},
+				From:      -1, To: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() {
+				perStep, _, err := runEndpoint(rp.Addr(), adios.ReaderOptions{
+					Consumer: "hist", Codecs: []string{tc.codec},
+				})
+				done <- result{perStep, err}
+			}()
+			if err := rp.Run(); err != nil {
+				t.Fatal(err)
+			}
+			res = <-done
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+			check(t, res.perStep, tc.bound)
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // TestReplayRangeAndSubset replays a recorded run restricted by step
 // range and array subset: the endpoint sees only the selected window,
 // and the wire never carries the unrequested array.

@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/codec"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/staging"
+)
+
+// CodecConfig parameterizes the wire-compression measurement: a
+// codec x field-type matrix of compression ratio and encode/decode
+// throughput, plus a staged fan-out arm comparing producer throughput
+// with and without wire compression at multiple consumers.
+type CodecConfig struct {
+	PayloadF64 int // float64s per matrix step (default 16384 = 128 KiB)
+	Steps      int // steps per matrix cell (default 32)
+
+	FanoutConsumers  int     // staged consumers in the fan-out arm (default 2)
+	FanoutSteps      int     // steps streamed in the fan-out arm (default 32)
+	FanoutPayloadF64 int     // float64s per fan-out step (default 65536 = 512 KiB)
+	FanoutCodec      string  // compressed arm's codec (default "temporal-delta")
+	FanoutLinkMBps   float64 // emulated per-consumer link bandwidth (default 96)
+	Trials           int     // fan-out runs per arm, best kept (default 3)
+}
+
+func (c *CodecConfig) withDefaults() CodecConfig {
+	out := *c
+	if out.PayloadF64 == 0 {
+		out.PayloadF64 = 16384
+	}
+	if out.Steps == 0 {
+		out.Steps = 32
+	}
+	if out.FanoutConsumers == 0 {
+		out.FanoutConsumers = 2
+	}
+	if out.FanoutSteps == 0 {
+		out.FanoutSteps = 32
+	}
+	if out.FanoutPayloadF64 == 0 {
+		out.FanoutPayloadF64 = 65536
+	}
+	if out.FanoutCodec == "" {
+		out.FanoutCodec = "temporal-delta"
+	}
+	if out.FanoutLinkMBps == 0 {
+		out.FanoutLinkMBps = 96
+	}
+	if out.Trials == 0 {
+		out.Trials = 3
+	}
+	return out
+}
+
+// matrixCodecs and codecFields span the measurement matrix. Identity
+// is the plain-marshal baseline; the quantize bound matches the CI
+// alloc-gate arm.
+var (
+	matrixCodecs = []string{"identity", "transpose-delta", "temporal-delta", "quantize:1e-6"}
+	codecFields  = []string{"smooth", "linear", "random"}
+)
+
+// codecField fills one step of the named synthetic field:
+//
+//	smooth — a spatial sine wave with a slow per-step drift, the
+//	         CFD-like shape the delta codecs are built for
+//	linear — grid-like coordinates shifted per step
+//	random — deterministic white noise, fresh each step: the
+//	         incompressible worst case
+func codecField(field string, seq int, data []float64) {
+	switch field {
+	case "linear":
+		for i := range data {
+			data[i] = float64(i)*0.5 + float64(seq)
+		}
+	case "random":
+		s := uint64(seq)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+		for i := range data {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			data[i] = float64(s>>11) / float64(uint64(1)<<53)
+		}
+	default: // smooth
+		for i := range data {
+			data[i] = math.Sin(float64(i)*0.003) + 0.001*float64(seq)
+		}
+	}
+}
+
+// CodecFieldResult is one matrix cell: one codec streaming one field
+// type for Steps steps.
+type CodecFieldResult struct {
+	Codec      string
+	Field      string
+	Ratio      float64 // encoded/raw bytes over the stream
+	EncodeMBps float64 // raw payload volume / encode wall
+	DecodeMBps float64 // raw payload volume / decode wall
+	MaxAbsErr  float64 // observed decode error (0 for lossless codecs)
+}
+
+// CodecFanoutResult compares the staged fan-out's producer throughput
+// raw vs compressed at the same consumer count.
+type CodecFanoutResult struct {
+	Consumers  int
+	Codec      string
+	Steps      int
+	PayloadF64 int
+
+	RawMBps        float64
+	CompressedMBps float64
+	// ThroughputRatio is compressed/raw producer MB/s — the CI gate
+	// requires >= 1: with fan-out, encoding once and shipping fewer
+	// bytes N times must not cost the producer throughput.
+	ThroughputRatio float64
+	// WireRatio is encoded/raw bytes on the compressed run.
+	WireRatio float64
+}
+
+// CodecResult is the full wire-compression measurement.
+type CodecResult struct {
+	Config CodecConfig
+	Matrix []CodecFieldResult
+	Fanout CodecFanoutResult
+}
+
+// runCodecCell measures one codec over one field: encode Steps frames
+// through a StreamEncoder, decode them back, and verify every element
+// (byte-exact for lossless codecs, within the declared bound for
+// quantize).
+func runCodecCell(cdc, field string, steps, width int) (CodecFieldResult, error) {
+	res := CodecFieldResult{Codec: cdc, Field: field}
+	spec, err := codec.ParseSpec([]string{cdc})
+	if err != nil {
+		return res, err
+	}
+	src := make([]*adios.Step, steps)
+	for i := range src {
+		data := make([]float64, width)
+		codecField(field, i, data)
+		src[i] = &adios.Step{
+			Step: int64(i), Time: float64(i),
+			Attrs: map[string]string{"field": field},
+			Vars:  []adios.Variable{adios.NewF64("array/f", data)},
+		}
+	}
+
+	enc := adios.NewStreamEncoder(spec)
+	pool := adios.NewFramePool()
+	frames := make([]*adios.Frame, steps)
+	start := time.Now()
+	for i, s := range src {
+		frames[i], _ = enc.EncodeFrame(s, pool)
+	}
+	encWall := time.Since(start)
+
+	out := &adios.Step{}
+	dec := adios.NewStreamDecoder(spec.UsesTemporal())
+	start = time.Now()
+	for _, f := range frames {
+		if err := dec.DecodeInto(f.Bytes(), out); err != nil {
+			return res, fmt.Errorf("bench: %s/%s decode: %w", cdc, field, err)
+		}
+	}
+	decWall := time.Since(start)
+
+	// Correctness pass (untimed): a fresh decoder replays the chain and
+	// every element is checked against the source.
+	check := adios.NewStreamDecoder(spec.UsesTemporal())
+	ch := spec.For("f")
+	for i, f := range frames {
+		if err := check.DecodeInto(f.Bytes(), out); err != nil {
+			return res, fmt.Errorf("bench: %s/%s verify decode: %w", cdc, field, err)
+		}
+		v := out.FindVar("array/f")
+		if v == nil || len(v.F64) != width {
+			return res, fmt.Errorf("bench: %s/%s step %d lost its array", cdc, field, i)
+		}
+		want := src[i].Vars[0].F64
+		for j := range want {
+			if ch.ID == codec.Quantize {
+				d := math.Abs(v.F64[j] - want[j])
+				if d > ch.Bound {
+					return res, fmt.Errorf("bench: %s/%s step %d[%d]: error %g exceeds bound %g",
+						cdc, field, i, j, d, ch.Bound)
+				}
+				if d > res.MaxAbsErr {
+					res.MaxAbsErr = d
+				}
+			} else if math.Float64bits(v.F64[j]) != math.Float64bits(want[j]) {
+				return res, fmt.Errorf("bench: %s/%s step %d[%d]: lossless codec not byte-exact",
+					cdc, field, i, j)
+			}
+		}
+	}
+	for _, f := range frames {
+		f.Release()
+	}
+
+	payload := int64(steps) * int64(width) * 8
+	res.Ratio = enc.Ratio()
+	res.EncodeMBps = mbps(payload, encWall)
+	res.DecodeMBps = mbps(payload, decWall)
+	return res, nil
+}
+
+// runCodecFanout runs the staged fan-out raw and compressed over an
+// emulated bandwidth-limited consumer link and keeps each arm's
+// best-of-Trials producer throughput: the comparison the CI gate
+// holds at >= 1. The payload is the grid-like linear field, where
+// delta coding bites hardest (wire ratio ~0.13), and the link
+// emulation is what lets fewer wire bytes translate into producer
+// headroom — on raw loopback the transport is never the bottleneck.
+func runCodecFanout(c CodecConfig) (CodecFanoutResult, error) {
+	base := FanoutConfig{
+		Consumers: c.FanoutConsumers, Policy: staging.Block,
+		Steps: c.FanoutSteps, PayloadF64: c.FanoutPayloadF64,
+		Field: "linear", LinkMBps: c.FanoutLinkMBps,
+	}
+	best := func(cfg FanoutConfig) (top, wire float64, err error) {
+		wire = 1
+		for i := 0; i < c.Trials; i++ {
+			res, err := RunFanoutStaged(cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.ProducerMBps > top {
+				top, wire = res.ProducerMBps, res.WireRatio
+			}
+		}
+		return top, wire, nil
+	}
+	rawMBps, _, err := best(base)
+	if err != nil {
+		return CodecFanoutResult{}, fmt.Errorf("bench: raw fan-out: %w", err)
+	}
+	comp := base
+	comp.Codecs = []string{c.FanoutCodec}
+	compMBps, wire, err := best(comp)
+	if err != nil {
+		return CodecFanoutResult{}, fmt.Errorf("bench: compressed fan-out: %w", err)
+	}
+	res := CodecFanoutResult{
+		Consumers: c.FanoutConsumers, Codec: c.FanoutCodec,
+		Steps: c.FanoutSteps, PayloadF64: c.FanoutPayloadF64,
+		RawMBps: rawMBps, CompressedMBps: compMBps, WireRatio: wire,
+	}
+	if rawMBps > 0 {
+		res.ThroughputRatio = compMBps / rawMBps
+	}
+	return res, nil
+}
+
+// RunCodecMatrix runs the full wire-compression measurement: every
+// codec over every field type, then the raw-vs-compressed staged
+// fan-out arm.
+func RunCodecMatrix(cfg CodecConfig) (CodecResult, error) {
+	c := cfg.withDefaults()
+	res := CodecResult{Config: c}
+	for _, cdc := range matrixCodecs {
+		for _, field := range codecFields {
+			cell, err := runCodecCell(cdc, field, c.Steps, c.PayloadF64)
+			if err != nil {
+				return res, err
+			}
+			res.Matrix = append(res.Matrix, cell)
+		}
+	}
+	fan, err := runCodecFanout(c)
+	if err != nil {
+		return res, err
+	}
+	res.Fanout = fan
+	return res, nil
+}
+
+// CodecTable renders the codec x field matrix.
+func CodecTable(r CodecResult) *metrics.Table {
+	t := metrics.NewTable("Wire compression: codec x field matrix",
+		"codec", "field", "ratio", "encode MB/s", "decode MB/s", "max abs err")
+	for _, c := range r.Matrix {
+		errCol := "0 (exact)"
+		if c.MaxAbsErr > 0 {
+			errCol = fmt.Sprintf("%.2e", c.MaxAbsErr)
+		}
+		t.AddRow(c.Codec, c.Field, fmt.Sprintf("%.3f", c.Ratio),
+			fmt.Sprintf("%.1f", c.EncodeMBps), fmt.Sprintf("%.1f", c.DecodeMBps), errCol)
+	}
+	return t
+}
+
+// CodecFanoutTable renders the raw-vs-compressed fan-out comparison.
+func CodecFanoutTable(r CodecResult) *metrics.Table {
+	f := r.Fanout
+	t := metrics.NewTable(
+		fmt.Sprintf("Fan-out producer throughput, %d consumers", f.Consumers),
+		"wire", "producer MB/s", "wire ratio", "vs raw")
+	t.AddRow("raw BP05", fmt.Sprintf("%.1f", f.RawMBps), "1.000", "1.00x")
+	t.AddRow(f.Codec, fmt.Sprintf("%.1f", f.CompressedMBps),
+		fmt.Sprintf("%.3f", f.WireRatio), fmt.Sprintf("%.2fx", f.ThroughputRatio))
+	return t
+}
+
+// WriteCodecJSON emits the measurement as the BENCH_codec.json
+// artifact CI gates on.
+func WriteCodecJSON(w io.Writer, r CodecResult) error {
+	type cell struct {
+		Codec      string  `json:"codec"`
+		Field      string  `json:"field"`
+		Ratio      float64 `json:"ratio"`
+		EncodeMBps float64 `json:"encode_mbps"`
+		DecodeMBps float64 `json:"decode_mbps"`
+		MaxAbsErr  float64 `json:"max_abs_err"`
+	}
+	doc := struct {
+		Figure string `json:"figure"`
+		Config struct {
+			PayloadF64 int `json:"payload_f64"`
+			Steps      int `json:"steps"`
+		} `json:"config"`
+		Matrix []cell `json:"matrix"`
+		Fanout struct {
+			Consumers       int     `json:"consumers"`
+			Codec           string  `json:"codec"`
+			Steps           int     `json:"steps"`
+			PayloadF64      int     `json:"payload_f64"`
+			RawMBps         float64 `json:"raw_mbps"`
+			CompressedMBps  float64 `json:"compressed_mbps"`
+			ThroughputRatio float64 `json:"throughput_ratio"`
+			WireRatio       float64 `json:"wire_ratio"`
+		} `json:"fanout"`
+	}{Figure: "codec"}
+	doc.Config.PayloadF64 = r.Config.PayloadF64
+	doc.Config.Steps = r.Config.Steps
+	for _, c := range r.Matrix {
+		doc.Matrix = append(doc.Matrix, cell{
+			Codec: c.Codec, Field: c.Field, Ratio: c.Ratio,
+			EncodeMBps: c.EncodeMBps, DecodeMBps: c.DecodeMBps, MaxAbsErr: c.MaxAbsErr,
+		})
+	}
+	doc.Fanout.Consumers = r.Fanout.Consumers
+	doc.Fanout.Codec = r.Fanout.Codec
+	doc.Fanout.Steps = r.Fanout.Steps
+	doc.Fanout.PayloadF64 = r.Fanout.PayloadF64
+	doc.Fanout.RawMBps = r.Fanout.RawMBps
+	doc.Fanout.CompressedMBps = r.Fanout.CompressedMBps
+	doc.Fanout.ThroughputRatio = r.Fanout.ThroughputRatio
+	doc.Fanout.WireRatio = r.Fanout.WireRatio
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCodecMatrixSmoke runs a tiny wire-compression matrix end to end:
+// every cell must verify (the cell runner element-checks each decode),
+// the delta codecs must actually compress the smooth field, and the
+// JSON artifact must round-trip with the fields CI gates on.
+func TestCodecMatrixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network fan-out arm")
+	}
+	cfg := CodecConfig{
+		PayloadF64: 2048, Steps: 6,
+		FanoutConsumers: 2, FanoutSteps: 8, FanoutPayloadF64: 8192,
+		Trials: 1,
+	}
+	res, err := RunCodecMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(matrixCodecs) * len(codecFields); len(res.Matrix) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(res.Matrix), want)
+	}
+	for _, c := range res.Matrix {
+		if c.Ratio <= 0 {
+			t.Errorf("%s/%s: ratio %g not positive", c.Codec, c.Field, c.Ratio)
+		}
+		if c.EncodeMBps <= 0 || c.DecodeMBps <= 0 {
+			t.Errorf("%s/%s: throughput not measured (%g / %g MB/s)",
+				c.Codec, c.Field, c.EncodeMBps, c.DecodeMBps)
+		}
+		// The cell runner already element-checks every decode; pin the
+		// summary fields too.
+		switch c.Codec {
+		case "quantize:1e-6":
+			if c.MaxAbsErr > 1e-6 {
+				t.Errorf("%s/%s: max error %g exceeds bound", c.Codec, c.Field, c.MaxAbsErr)
+			}
+		default:
+			if c.MaxAbsErr != 0 {
+				t.Errorf("%s/%s: lossless codec reports error %g", c.Codec, c.Field, c.MaxAbsErr)
+			}
+		}
+		// The delta codecs must beat raw on compressible fields: the
+		// sine field's low mantissa bits are noise, so only the top
+		// lanes zero out (~0.88); the dyadic grid field collapses hard.
+		if c.Codec == "transpose-delta" || c.Codec == "temporal-delta" {
+			if c.Field == "smooth" && c.Ratio >= 0.95 {
+				t.Errorf("%s/smooth: ratio %.3f, want < 0.95", c.Codec, c.Ratio)
+			}
+			if c.Field == "linear" && c.Ratio >= 0.3 {
+				t.Errorf("%s/linear: ratio %.3f, want < 0.3", c.Codec, c.Ratio)
+			}
+		}
+	}
+
+	f := res.Fanout
+	if f.Consumers != 2 || f.Codec != "temporal-delta" {
+		t.Fatalf("fanout arm config leaked: %+v", f)
+	}
+	if f.RawMBps <= 0 || f.CompressedMBps <= 0 {
+		t.Errorf("fan-out throughput not measured: %+v", f)
+	}
+	if f.WireRatio <= 0 || f.WireRatio >= 1 {
+		t.Errorf("compressed fan-out wire ratio %.3f, want in (0,1)", f.WireRatio)
+	}
+	// No throughput-ratio assertion here: the tiny smoke shape is too
+	// noisy for a latency gate — CI holds the real gate on the
+	// full-size BENCH_codec.json run.
+
+	var buf bytes.Buffer
+	if err := WriteCodecJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Figure string `json:"figure"`
+		Matrix []struct {
+			Codec string  `json:"codec"`
+			Ratio float64 `json:"ratio"`
+		} `json:"matrix"`
+		Fanout struct {
+			ThroughputRatio float64 `json:"throughput_ratio"`
+			WireRatio       float64 `json:"wire_ratio"`
+		} `json:"fanout"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Figure != "codec" || len(doc.Matrix) != len(res.Matrix) {
+		t.Errorf("artifact shape wrong: figure %q, %d cells", doc.Figure, len(doc.Matrix))
+	}
+	if doc.Fanout.ThroughputRatio != f.ThroughputRatio || doc.Fanout.WireRatio != f.WireRatio {
+		t.Error("artifact fanout fields do not match the result")
+	}
+}

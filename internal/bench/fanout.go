@@ -30,6 +30,25 @@ type FanoutConfig struct {
 	// producer to the slowest consumer, drop-oldest and latest-only
 	// keep it at full rate and shed steps instead.
 	ConsumerDelay time.Duration
+
+	// LinkMBps emulates a bandwidth-limited consumer link: each
+	// consumer sleeps wire_bytes/LinkMBps per received step (0 = no
+	// limit). The wire-compression comparison uses it to model the
+	// interconnect a real fan-out crosses — on raw loopback the
+	// transport is never the bottleneck, so smaller frames could
+	// never pay for their encode cost.
+	LinkMBps float64
+
+	// Field selects the synthetic payload: "" keeps the original
+	// integer-ramp shape, any codecField name ("smooth", "linear",
+	// "random") swaps in the wire-compression benchmark's fields.
+	Field string
+
+	// Codecs is the wire-compression request every staged consumer
+	// makes (codec.ParseSpec grammar); nil streams plain BP05. The
+	// direct arm ignores it — per-consumer codecs are a staging
+	// feature.
+	Codecs []string
 }
 
 func (c *FanoutConfig) withDefaults() FanoutConfig {
@@ -66,13 +85,24 @@ type FanoutResult struct {
 
 	Delivered int64 // steps received across all consumers
 	Dropped   int64 // steps shed by drop policies
+
+	// WireRatio is encoded/raw bytes over the staged run's shared
+	// codec chains — 1 when the wire is plain (no codecs negotiated,
+	// or direct mode).
+	WireRatio float64
 }
 
-// fanoutStep builds one synthetic timestep of n float64s.
-func fanoutStep(seq, n int) *adios.Step {
+// fanoutStep builds one synthetic timestep of n float64s. An empty
+// field keeps the original integer ramp; otherwise the payload comes
+// from the codec benchmark's field generators.
+func fanoutStep(seq, n int, field string) *adios.Step {
 	data := make([]float64, n)
-	for i := range data {
-		data[i] = float64(seq*n + i)
+	if field == "" {
+		for i := range data {
+			data[i] = float64(seq*n + i)
+		}
+	} else {
+		codecField(field, seq, data)
 	}
 	return &adios.Step{
 		Step:  int64(seq),
@@ -87,6 +117,15 @@ func mbps(bytes int64, wall time.Duration) float64 {
 		return 0
 	}
 	return float64(bytes) / wall.Seconds() / (1 << 20)
+}
+
+// linkPace sleeps for the time an emulated link of rate MB/s would
+// take to carry n wire bytes.
+func linkPace(n int64, rate float64) {
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(n) / (rate * (1 << 20)) * float64(time.Second)))
 }
 
 // RunFanoutDirect streams through N independent SST writers, the only
@@ -116,6 +155,7 @@ func RunFanoutDirect(cfg FanoutConfig) (FanoutResult, error) {
 				return
 			}
 			defer r.Close()
+			var seen int64
 			for {
 				if _, err := r.BeginStep(); err != nil {
 					if !errors.Is(err, io.EOF) {
@@ -124,6 +164,8 @@ func RunFanoutDirect(cfg FanoutConfig) (FanoutResult, error) {
 					return
 				}
 				recvd[i]++
+				linkPace(r.BytesReceived()-seen, c.LinkMBps)
+				seen = r.BytesReceived()
 				if c.ConsumerDelay > 0 {
 					time.Sleep(c.ConsumerDelay)
 				}
@@ -134,7 +176,7 @@ func RunFanoutDirect(cfg FanoutConfig) (FanoutResult, error) {
 	var payload int64
 	start := time.Now()
 	for s := 0; s < c.Steps; s++ {
-		step := fanoutStep(s, c.PayloadF64)
+		step := fanoutStep(s, c.PayloadF64, c.Field)
 		payload += step.Bytes()
 		for _, w := range writers {
 			if err := w.Put(step); err != nil {
@@ -157,6 +199,7 @@ func RunFanoutDirect(cfg FanoutConfig) (FanoutResult, error) {
 	res := FanoutResult{
 		Mode: "direct", Policy: staging.Block, Consumers: c.Consumers,
 		Steps: c.Steps, ProducerWall: wall, ProducerMBps: mbps(payload, wall),
+		WireRatio: 1,
 	}
 	for _, n := range recvd {
 		res.Delivered += n
@@ -189,6 +232,7 @@ func runFanoutStaged(cfg FanoutConfig, tel *telemetry.Telemetry) (FanoutResult, 
 			Consumer: fmt.Sprintf("bench-%d", i),
 			Policy:   c.Policy.String(),
 			Depth:    c.Depth,
+			Codecs:   c.Codecs,
 		})
 		if err != nil {
 			return FanoutResult{}, err
@@ -198,6 +242,7 @@ func runFanoutStaged(cfg FanoutConfig, tel *telemetry.Telemetry) (FanoutResult, 
 		go func(i int, r *adios.Reader) {
 			defer wg.Done()
 			defer r.Close()
+			var seen int64
 			for {
 				if _, err := r.BeginStep(); err != nil {
 					if !errors.Is(err, io.EOF) {
@@ -205,6 +250,8 @@ func runFanoutStaged(cfg FanoutConfig, tel *telemetry.Telemetry) (FanoutResult, 
 					}
 					return
 				}
+				linkPace(r.BytesReceived()-seen, c.LinkMBps)
+				seen = r.BytesReceived()
 				if c.ConsumerDelay > 0 {
 					time.Sleep(c.ConsumerDelay)
 				}
@@ -218,7 +265,7 @@ func runFanoutStaged(cfg FanoutConfig, tel *telemetry.Telemetry) (FanoutResult, 
 	var payload int64
 	start := time.Now()
 	for s := 0; s < c.Steps; s++ {
-		step := fanoutStep(s, c.PayloadF64)
+		step := fanoutStep(s, c.PayloadF64, c.Field)
 		payload += step.Bytes()
 		if err := hub.Publish(step); err != nil {
 			return FanoutResult{}, err
@@ -240,10 +287,21 @@ func runFanoutStaged(cfg FanoutConfig, tel *telemetry.Telemetry) (FanoutResult, 
 	res := FanoutResult{
 		Mode: "staged", Policy: c.Policy, Consumers: c.Consumers,
 		Steps: c.Steps, ProducerWall: wall, ProducerMBps: mbps(payload, wall),
+		WireRatio: 1,
 	}
 	for _, s := range hub.Stats() {
 		res.Delivered += s.Delivered
 		res.Dropped += s.Dropped
+	}
+	if cs := hub.Status().CodecStreams; len(cs) > 0 {
+		var raw, enc int64
+		for _, s := range cs {
+			raw += s.RawBytes
+			enc += s.EncodedBytes
+		}
+		if raw > 0 {
+			res.WireRatio = float64(enc) / float64(raw)
+		}
 	}
 	return res, nil
 }

@@ -50,6 +50,7 @@ type configEntry struct {
 	frequency int // lcm of the XML frequency and the declared cadence
 	adaptor   Analysis
 	reqs      Requirements // cached Describe() from initialization
+	maxErr    float64      // XML maxerror attribute, 0 = lossless; folded into reqs
 
 	executions  int
 	bytesPulled int64
@@ -100,11 +101,20 @@ func (ca *ConfigurableAnalysis) InitializeXML(doc []byte) error {
 			}
 			freq = v
 		}
+		maxErr := 0.0
+		if me, ok := attrs["maxerror"]; ok {
+			v, err := strconv.ParseFloat(me, 64)
+			if err != nil || !(v > 0) {
+				return fmt.Errorf("sensei: analysis %d: bad maxerror %q (want a positive absolute error bound)", i, me)
+			}
+			maxErr = v
+		}
 		adaptor, err := NewAnalysisAdaptor(typeName, ca.ctx, attrs)
 		if err != nil {
 			return err
 		}
 		ca.add(typeName, freq, adaptor)
+		ca.entries[len(ca.entries)-1].setMaxError(maxErr)
 	}
 	return nil
 }
@@ -133,6 +143,16 @@ func (ca *ConfigurableAnalysis) add(typeName string, freq int, a Analysis) {
 		adaptor:   a,
 		reqs:      reqs,
 	})
+}
+
+// setMaxError installs the XML maxerror declaration on an entry,
+// folding it into the cached requirements (the fold repeats after
+// every per-step re-Describe).
+func (e *configEntry) setMaxError(bound float64) {
+	e.maxErr = bound
+	if bound > 0 {
+		e.reqs = e.reqs.WithMaxError(bound)
+	}
 }
 
 // AddAnalysis appends a programmatically constructed analysis with the
@@ -212,6 +232,58 @@ func (ca *ConfigurableAnalysis) Requirements() Requirements {
 	return u
 }
 
+// MaxError reports the wire error bound the whole configuration
+// tolerates: the smallest declared maxerror, and only when EVERY
+// enabled analysis that pulls data declares one — a single lossless
+// (or opaque legacy) analysis makes the configuration lossless.
+// Endpoints use it to derive a quantize codec request when the user
+// gave none.
+func (ca *ConfigurableAnalysis) MaxError() (bound float64, ok bool) {
+	for _, e := range ca.entries {
+		if e.reqs.Empty() && e.maxErr <= 0 {
+			continue // needs no data; constrains nothing
+		}
+		b, set := e.reqs.MaxError()
+		if !set || e.reqs.IsOpaque() {
+			return 0, false
+		}
+		if !ok || b < bound {
+			bound, ok = b, true
+		}
+	}
+	return bound, ok
+}
+
+// ConfigMaxError inspects a configuration document WITHOUT
+// instantiating its analyses and reports the wire error bound it
+// tolerates: the smallest maxerror attribute, and only when every
+// enabled analysis declares one. Endpoints call this before dialing —
+// deriving a codec request must not construct adaptors (and their
+// side effects) twice.
+func ConfigMaxError(doc []byte) (bound float64, ok bool) {
+	var cfg xSensei
+	if err := xml.Unmarshal(doc, &cfg); err != nil {
+		return 0, false
+	}
+	for _, an := range cfg.Analyses {
+		attrs := make(map[string]string, len(an.Attrs))
+		for _, a := range an.Attrs {
+			attrs[a.Name.Local] = a.Value
+		}
+		if en, okEn := attrs["enabled"]; okEn && (en == "0" || en == "false") {
+			continue
+		}
+		v, err := strconv.ParseFloat(attrs["maxerror"], 64)
+		if err != nil || !(v > 0) || v > maxFinite {
+			return 0, false
+		}
+		if !ok || v < bound {
+			bound, ok = v, true
+		}
+	}
+	return bound, ok
+}
+
 // Execute runs every enabled analysis whose frequency divides the
 // adaptor's current timestep: the union of the triggered analyses'
 // requirements is pulled ONCE into a shared Step (each mesh fetched
@@ -231,6 +303,9 @@ func (ca *ConfigurableAnalysis) Execute(da DataAdaptor) (stop bool, err error) {
 		// in-transit sender whose reader announced an array subset
 		// mid-run) shrink the pull as soon as they know less is needed.
 		e.reqs = e.adaptor.Describe()
+		if e.maxErr > 0 {
+			e.reqs = e.reqs.WithMaxError(e.maxErr)
+		}
 		triggered = append(triggered, e)
 		union = union.Union(e.reqs)
 	}

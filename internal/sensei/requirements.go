@@ -80,6 +80,13 @@ type Requirements struct {
 	// planner cannot pull or subset on its behalf and must hand it the
 	// raw DataAdaptor.
 	opaque bool
+
+	// maxErr, when maxErrSet, is the largest absolute per-value error
+	// the analysis tolerates on its required arrays — the bound an
+	// in-transit reader may hand the wire quantizer. Unset means the
+	// analysis needs lossless data.
+	maxErr    float64
+	maxErrSet bool
 }
 
 func normMesh(name string) string {
@@ -134,6 +141,28 @@ func (r Requirements) EveryN(n int) Requirements {
 	return out
 }
 
+// WithMaxError returns a copy declaring the analysis tolerates up to
+// bound of absolute error per array value (bound <= 0 or non-finite
+// clears the declaration back to lossless).
+func (r Requirements) WithMaxError(bound float64) Requirements {
+	out := r.clone()
+	if bound > 0 && bound <= maxFinite {
+		out.maxErr, out.maxErrSet = bound, true
+	} else {
+		out.maxErr, out.maxErrSet = 0, false
+	}
+	return out
+}
+
+// maxFinite gates WithMaxError against Inf/NaN without importing math.
+const maxFinite = 0x1p1023 * (1 + (1 - 0x1p-52))
+
+// MaxError reports the declared error tolerance; ok is false when the
+// analysis needs lossless data.
+func (r Requirements) MaxError() (bound float64, ok bool) {
+	return r.maxErr, r.maxErrSet
+}
+
 // Frequency reports the declared cadence (1 = every trigger).
 func (r Requirements) Frequency() int {
 	if r.frequency < 1 {
@@ -184,6 +213,15 @@ func (r Requirements) Union(o Requirements) Requirements {
 	out := r.clone()
 	out.opaque = r.opaque || o.opaque
 	out.frequency = gcd(r.Frequency(), o.Frequency())
+	// Error tolerances union to the strictest demand: both sides must
+	// tolerate loss for the union to, and the smaller bound wins.
+	out.maxErr, out.maxErrSet = 0, false
+	if r.maxErrSet && o.maxErrSet {
+		out.maxErr, out.maxErrSet = r.maxErr, true
+		if o.maxErr < out.maxErr {
+			out.maxErr = o.maxErr
+		}
+	}
 	for _, om := range o.meshes {
 		merged := false
 		for i := range out.meshes {

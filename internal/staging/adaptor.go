@@ -7,19 +7,26 @@ import (
 	"strings"
 
 	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/codec"
 	"nekrs-sensei/internal/sensei"
 )
 
 // ConsumerSpec is one pre-declared consumer from the XML consumers
-// attribute: "name[:policy[:depth[:arrays]]]" where arrays is a
-// `+`-separated subset of the published arrays (e.g.
-// "render:latest-only:1:pressure+velocity_x"). An empty arrays field
-// means every published array.
+// attribute: "name[:policy[:depth[:arrays[:codecs]]]]" where arrays
+// is a `+`-separated subset of the published arrays (e.g.
+// "render:latest-only:1:pressure+velocity_x") and codecs a
+// `+`-separated wire-codec request in codec.ParseSpec grammar (e.g.
+// "probe:block:2::transpose-delta" or
+// "render:latest-only:1:pressure:quantize;1e-3" — a quantizer bound
+// uses `;` in place of `:` inside the spec field). An empty arrays
+// field means every published array; an empty codecs field means
+// plain frames.
 type ConsumerSpec struct {
 	Name   string
 	Policy Policy
 	Depth  int
 	Arrays []string // declared subset, nil = all
+	Codecs []string // wire-codec entries (codec.ParseSpec), nil = identity
 }
 
 // ParseConsumers parses a comma-separated consumer list, e.g.
@@ -33,8 +40,8 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 			continue
 		}
 		fields := strings.Split(part, ":")
-		if len(fields) > 4 {
-			return nil, fmt.Errorf("staging: consumer spec %q: want name[:policy[:depth[:arrays]]]", part)
+		if len(fields) > 5 {
+			return nil, fmt.Errorf("staging: consumer spec %q: want name[:policy[:depth[:arrays[:codecs]]]]", part)
 		}
 		spec := ConsumerSpec{Name: strings.TrimSpace(fields[0])}
 		if spec.Name == "" {
@@ -64,8 +71,26 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 					spec.Arrays = append(spec.Arrays, a)
 				}
 			}
-			if len(spec.Arrays) == 0 {
+			if len(spec.Arrays) == 0 && len(fields) == 4 {
+				// An empty arrays field is only meaningful as a
+				// placeholder before a codecs field ("name:::codecs"
+				// keeps every array).
 				return nil, fmt.Errorf("staging: consumer %q: empty arrays field", spec.Name)
+			}
+		}
+		if len(fields) > 4 {
+			for _, c := range strings.Split(fields[4], "+") {
+				if c = strings.TrimSpace(c); c != "" {
+					// `;` stands in for the quantizer bound's `:`
+					// (":" separates the spec's own fields).
+					spec.Codecs = append(spec.Codecs, strings.ReplaceAll(c, ";", ":"))
+				}
+			}
+			if len(spec.Codecs) == 0 {
+				return nil, fmt.Errorf("staging: consumer %q: empty codecs field", spec.Name)
+			}
+			if _, err := codec.ParseSpec(spec.Codecs); err != nil {
+				return nil, fmt.Errorf("staging: consumer %q: %w", spec.Name, err)
 			}
 		}
 		out = append(out, spec)
@@ -90,11 +115,15 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 //	          importing internal/archive registers the archive-backed
 //	          one
 //	consumers pre-declared consumers,
-//	          "name[:policy[:depth[:arrays]]],..." with +-separated
-//	          arrays (e.g. "render:latest-only:1:pressure+velocity_x")
-//	          — subscribed at initialization so no step is missed
-//	          while endpoints attach; the arrays field subsets what is
-//	          shipped to that consumer
+//	          "name[:policy[:depth[:arrays[:codecs]]]],..." with
+//	          +-separated arrays (e.g.
+//	          "render:latest-only:1:pressure+velocity_x") — subscribed
+//	          at initialization so no step is missed while endpoints
+//	          attach; the arrays field subsets what is shipped to that
+//	          consumer, the codecs field compresses its wire frames
+//	codecs    comma-separated codec names consumer requests are
+//	          validated against ("" = every implemented codec); an
+//	          unlisted codec in a hello rejects the handshake
 //	policy    default policy for consumers not pre-declared
 //	depth     default queue depth (default 2)
 type Adaptor struct {
@@ -136,6 +165,13 @@ func init() {
 		// A configured array set is the advertisement consumer subset
 		// requests are validated against (handshake rejection).
 		hub.SetAdvertised(arrays)
+		if c := strings.TrimSpace(attrs["codecs"]); c != "" {
+			adv, err := codec.ParseAdvertise(c)
+			if err != nil {
+				return nil, fmt.Errorf("staging: %w", err)
+			}
+			hub.SetCodecAdvertised(adv)
+		}
 		// One hub per simulated rank: attach each to the process
 		// telemetry plane under its rank label (no-op when disabled).
 		hub.SetTelemetry(ctx.Telemetry, RankLabel(ctx.Comm.Rank()))

@@ -153,6 +153,46 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocBudgetCompressed holds the compressed data
+// plane to the same per-step allocation budget as the plain one: the
+// encoder's scratch, the temporal snapshots, and the pooled frames
+// must all reuse their storage once warm.
+func TestSteadyStateAllocBudgetCompressed(t *testing.T) {
+	for _, codecs := range [][]string{
+		{"transpose-delta"},
+		{"temporal-delta"},
+		{"quantize:1e-6"},
+	} {
+		t.Run(codecs[0], func(t *testing.T) {
+			hub := NewHub(nil)
+			cons, err := hub.SubscribeCodecs("gate", Block, 4, nil, codecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hub.Close()
+			step := allocStep(2, 6)
+			iter := func() {
+				if err := hub.Publish(step); err != nil {
+					t.Fatal(err)
+				}
+				ref, err := cons.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = ref.Frame()
+				ref.Release()
+			}
+			for i := 0; i < 8; i++ {
+				iter()
+			}
+			avg := testing.AllocsPerRun(200, iter)
+			if avg > steadyAllocBudget {
+				t.Errorf("compressed steady state allocates %.1f/step, budget %d", avg, steadyAllocBudget)
+			}
+		})
+	}
+}
+
 // BenchmarkHubPublishConsume measures the steady-state loop with
 // -benchmem so alloc regressions show up in CI bench output.
 func BenchmarkHubPublishConsume(b *testing.B) {

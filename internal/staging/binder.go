@@ -53,7 +53,7 @@ func (b *Binder) Declare(spec ConsumerSpec) (*Consumer, error) {
 	if spec.Depth == 0 {
 		spec.Depth = b.defDepth
 	}
-	cons, err := b.hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, spec.Arrays)
+	cons, err := b.hub.SubscribeCodecs(spec.Name, spec.Policy, spec.Depth, spec.Arrays, spec.Codecs)
 	if err != nil {
 		return nil, err
 	}
@@ -82,12 +82,14 @@ func (b *Binder) FullyAttached() bool {
 
 // Bind resolves one reader's handshake (the SubscribeFunc contract).
 // A reader claiming a pre-declared name may narrow its array subset
-// in the hello; an array outside the advertisement rejects the
-// handshake.
-func (b *Binder) Bind(name, policy string, depth, group int, arrays []string) (*Consumer, error) {
+// and request wire codecs in the hello; an array outside the
+// advertisement or an unsupported codec rejects the handshake. A
+// reader announcing no codecs inherits the declared spec's codecs
+// (the server's handshake reply echoes the effective set either way).
+func (b *Binder) Bind(name, policy string, depth, group int, arrays, codecs []string) (*Consumer, error) {
 	if group > 1 {
 		return b.groups.attach(b.hub, name, group, func() (*Consumer, error) {
-			return b.Bind(name, policy, depth, 1, arrays)
+			return b.Bind(name, policy, depth, 1, arrays, codecs)
 		})
 	}
 	b.mu.Lock()
@@ -105,6 +107,16 @@ func (b *Binder) Bind(name, policy string, depth, group int, arrays []string) (*
 				}
 				b.hub.setConsumerArrays(cons, arrays)
 			}
+			// (Re)install the codec binding after any array narrowing so
+			// the shared-encode form key reflects the final subset. The
+			// reader's announced codecs override the declared ones.
+			eff := spec.Codecs
+			if len(codecs) > 0 {
+				eff = codecs
+			}
+			if err := b.hub.setConsumerCodecs(cons, eff); err != nil {
+				return nil, err
+			}
 			b.claimed[name] = true
 			return cons, nil
 		}
@@ -117,7 +129,11 @@ func (b *Binder) Bind(name, policy string, depth, group int, arrays []string) (*
 			if len(arrays) > 0 {
 				sub = arrays
 			}
-			nc, err := b.hub.SubscribeArrays(spec.Name, spec.Policy, spec.Depth, sub)
+			eff := spec.Codecs
+			if len(codecs) > 0 {
+				eff = codecs
+			}
+			nc, err := b.hub.SubscribeCodecs(spec.Name, spec.Policy, spec.Depth, sub, eff)
 			if err != nil {
 				return nil, err
 			}
@@ -141,5 +157,5 @@ func (b *Binder) Bind(name, policy string, depth, group int, arrays []string) (*
 		b.dynSeq++
 		name = fmt.Sprintf("consumer-%d", b.dynSeq)
 	}
-	return b.hub.SubscribeArrays(name, pol, depth, arrays)
+	return b.hub.SubscribeCodecs(name, pol, depth, arrays, codecs)
 }

@@ -92,6 +92,11 @@ func (h *Hub) GroupConsumer(base *Consumer, size int) ([]*Consumer, error) {
 		members[i] = &Consumer{
 			hub: h, name: base.name, policy: base.policy, depth: base.depth,
 			arrays: base.arrays, grp: gs, grpClaimed: true,
+			// Each member carries the base's codec binding with its own
+			// wire chain: members are separate connections, so each
+			// receiver needs its own keyframe/chain bookkeeping.
+			codecs: base.codecs, spec: base.spec, hasCodec: base.hasCodec,
+			formKey: base.formKey, stream: base.stream, wirePrev: -1,
 		}
 	}
 	gs.members = members
@@ -119,7 +124,7 @@ func (g *groupState) nextMemberLocked(c *Consumer) (*StepRef, error) {
 			ge := g.log[pos]
 			c.grpIdx++
 			c.delivered++
-			return &StepRef{hub: h, e: ge.ref.e, arrays: c.arrays, ge: ge, grp: g}, nil
+			return &StepRef{hub: h, e: ge.ref.e, arrays: c.arrays, cons: c, ge: ge, grp: g}, nil
 		}
 		if g.done {
 			return nil, g.err

@@ -6,8 +6,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/codec"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/telemetry"
 )
@@ -45,6 +47,7 @@ type stepEntry struct {
 
 	subMu sync.Mutex
 	subs  map[string]*subsetForm
+	encs  []*encodedForm // one per codec form key; linear scan (1-3 entries)
 }
 
 // subsetForm is one array subset's shared view of a step entry: the
@@ -55,6 +58,36 @@ type subsetForm struct {
 
 	marshalOnce sync.Once
 	frame       *adios.Frame
+}
+
+// encodedForm is one (subset, codec spec) pair's shared wire form of
+// a step entry: the chain frame — encoded as part of the stream's
+// temporal chain, recording which step its deltas difference against
+// — and, built only when some consumer missed that base, a
+// self-contained keyframe. Same-spec consumers share both encodes,
+// exactly like shared subset frames.
+// Encodes happen under the form's codecStream mutex (every consumer
+// sharing the form key shares the stream); the atomic ready flags
+// publish the finished frames to releaseFrames, which runs only after
+// the last reference dropped and so never races an in-flight encode.
+// Plain fields instead of sync.Once keep the steady-state delivery
+// path free of per-step closure allocations.
+type encodedForm struct {
+	form string // canonical form key this encode belongs to
+
+	chainReady atomic.Bool
+	chain      *adios.Frame
+	base       int64 // temporal base step, -1 = self-contained
+
+	keyReady atomic.Bool
+	key      *adios.Frame
+}
+
+// codecStream serializes the shared temporal chain of one
+// (subset, spec) encode stream across the consumers that share it.
+type codecStream struct {
+	mu  sync.Mutex
+	enc *adios.StreamEncoder
 }
 
 // releaseFrames returns the entry's pooled frame leases (full form and
@@ -75,7 +108,32 @@ func (e *stepEntry) releaseFrames() {
 			f.frame = nil
 		}
 	}
+	for _, f := range e.encs {
+		if f.chainReady.Load() && f.chain != nil {
+			f.chain.Release()
+			f.chain = nil
+		}
+		if f.keyReady.Load() && f.key != nil {
+			f.key.Release()
+			f.key = nil
+		}
+	}
 	e.subMu.Unlock()
+}
+
+// encFormFor returns the shared encoded form of this entry under the
+// given canonical form key, creating it on first use.
+func (e *stepEntry) encFormFor(key string) *encodedForm {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	for _, f := range e.encs {
+		if f.form == key {
+			return f
+		}
+	}
+	f := &encodedForm{form: key}
+	e.encs = append(e.encs, f)
+	return f
 }
 
 // subsetKey canonicalizes an array subset (sorted, comma-joined).
@@ -176,6 +234,16 @@ type Hub struct {
 	// against it and rejected when they name an unknown array.
 	advertised []string
 
+	// codecAdvertised, when non-nil, restricts which wire codecs
+	// subscriptions may request; nil accepts every codec the build
+	// implements. Unknown codec names are always rejected.
+	codecAdvertised []string
+
+	// codecStreams holds the shared encode chain per canonical
+	// (subset, spec) form key; same-spec consumers share one encoder
+	// (and thus one encode per step).
+	codecStreams map[string]*codecStream
+
 	// spillFactory materializes the disk tier for Spill-policy
 	// subscriptions (nil: spill subscriptions are rejected).
 	spillFactory func(consumer string) (SpillStore, error)
@@ -228,6 +296,20 @@ type Consumer struct {
 	// means every published array. Delivered steps and network frames
 	// are filtered to it (the structure step always travels whole).
 	arrays []string
+
+	// Wire-compression state. codecs holds the negotiated request
+	// entries, spec their parsed form; formKey is the canonical
+	// "subset|spec" cache key and stream the shared encode chain for
+	// it. wirePrev is the step number of the last coded frame shipped
+	// on this consumer's connection (-1 after anything that resets the
+	// receiver's temporal state: attach, structure step, spill
+	// catch-up) — owned by the consumer's pump goroutine, like prev.
+	codecs   []string
+	spec     codec.Spec
+	hasCodec bool
+	formKey  string
+	stream   *codecStream
+	wirePrev int64
 
 	cursor    int64
 	delivered int64
@@ -284,6 +366,10 @@ type StepRef struct {
 	// arrays is the owning consumer's declared subset: Step and Frame
 	// deliver the filtered shared view (structure steps excepted).
 	arrays []string
+
+	// cons is the owning consumer; Frame consults its negotiated
+	// codec spec and per-connection temporal-chain position.
+	cons *Consumer
 
 	// ge is set for group-member views: Release decrements the log
 	// entry's member count instead of the hub reference, which is
@@ -451,6 +537,82 @@ func (h *Hub) SetSpillDir(dir string) error {
 	return nil
 }
 
+// SetCodecAdvertised restricts the wire codecs this hub's producer is
+// willing to apply: subscriptions requesting a codec outside the list
+// are rejected (and, through the network server, reject the reader's
+// handshake), mirroring SetAdvertised for arrays. Nil clears the
+// restriction — any implemented codec is accepted; unknown codec
+// names are rejected either way.
+func (h *Hub) SetCodecAdvertised(codecs []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.codecAdvertised = codecs
+}
+
+// CodecAdvertised reports the declared codec restriction (nil = any).
+func (h *Hub) CodecAdvertised() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.codecAdvertised
+}
+
+// validateCodecsLocked parses and validates a codec request against
+// the advertisement. Caller holds h.mu.
+func (h *Hub) validateCodecsLocked(codecs []string) (codec.Spec, error) {
+	spec, err := codec.CheckAdvertised(codecs, h.codecAdvertised)
+	if err != nil {
+		return codec.Spec{}, fmt.Errorf("staging: %w", err)
+	}
+	return spec, nil
+}
+
+// validateCodecs is validateCodecsLocked for external callers.
+func (h *Hub) validateCodecs(codecs []string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.validateCodecsLocked(codecs)
+	return err
+}
+
+// setConsumerCodecsLocked installs a validated codec spec on a
+// consumer, binding it to the shared encode stream for its
+// (subset, spec) form. Caller holds h.mu.
+func (h *Hub) setConsumerCodecsLocked(c *Consumer, spec codec.Spec) {
+	if spec.IsIdentity() {
+		c.codecs, c.hasCodec, c.stream, c.formKey = nil, false, nil, ""
+		return
+	}
+	c.codecs = spec.Entries()
+	c.spec = spec
+	c.hasCodec = true
+	c.formKey = subsetKey(c.arrays) + "|" + spec.Key()
+	c.wirePrev = -1
+	if h.codecStreams == nil {
+		h.codecStreams = map[string]*codecStream{}
+	}
+	st := h.codecStreams[c.formKey]
+	if st == nil {
+		st = &codecStream{enc: adios.NewStreamEncoder(spec)}
+		h.codecStreams[c.formKey] = st
+	}
+	c.stream = st
+}
+
+// setConsumerCodecs validates and installs a codec request on an
+// existing subscription — the path that lets a reader claim a
+// pre-declared consumer with its own compression request at attach
+// time (after any array narrowing, so the form key is final).
+func (h *Hub) setConsumerCodecs(c *Consumer, codecs []string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	spec, err := h.validateCodecsLocked(codecs)
+	if err != nil {
+		return err
+	}
+	h.setConsumerCodecsLocked(c, spec)
+	return nil
+}
+
 // SetAdvertised declares the array set this hub's producer publishes.
 // Once set, subscriptions declaring a subset are validated against it:
 // naming an unknown array fails the Subscribe (and, through the
@@ -509,6 +671,16 @@ func (h *Hub) Subscribe(name string, policy Policy, depth int) (*Consumer, error
 // empty arrays mean everything. When the producer advertised its array
 // set, a subset naming an unknown array is rejected.
 func (h *Hub) SubscribeArrays(name string, policy Policy, depth int, arrays []string) (*Consumer, error) {
+	return h.SubscribeCodecs(name, policy, depth, arrays, nil)
+}
+
+// SubscribeCodecs is SubscribeArrays with a wire-compression request:
+// delivered network frames are encoded under the given codec entries
+// (codec.ParseSpec grammar), with same-spec consumers sharing one
+// encode per step. An unknown codec, or one outside the hub's codec
+// advertisement, is rejected. Codecs affect only the wire form
+// (StepRef.Frame); in-process consumers read the shared step as is.
+func (h *Hub) SubscribeCodecs(name string, policy Policy, depth int, arrays, codecs []string) (*Consumer, error) {
 	if depth <= 0 {
 		depth = 2
 	}
@@ -524,7 +696,12 @@ func (h *Hub) SubscribeArrays(name string, policy Policy, depth int, arrays []st
 	if err := h.validateSubsetLocked(arrays); err != nil {
 		return nil, err
 	}
-	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, arrays: arrays, cursor: h.nextSeq}
+	spec, err := h.validateCodecsLocked(codecs)
+	if err != nil {
+		return nil, err
+	}
+	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, arrays: arrays, cursor: h.nextSeq, wirePrev: -1}
+	h.setConsumerCodecsLocked(c, spec)
 	if policy == Spill {
 		if h.spillFactory == nil {
 			return nil, fmt.Errorf("staging: consumer %q wants spill policy but the hub has no spill store (SetSpillFactory/SetSpillDir, or the adaptor's spill attribute)", name)
@@ -808,6 +985,7 @@ type ConsumerStats struct {
 	Policy    Policy   `json:"policy"`
 	Depth     int      `json:"depth"`
 	Arrays    []string `json:"arrays,omitempty"` // declared subset, nil = all
+	Codecs    []string `json:"codecs,omitempty"` // negotiated wire codecs, nil = identity
 	Delivered int64    `json:"delivered"`
 	Dropped   int64    `json:"dropped"`
 	Spilled   int64    `json:"spilled"`    // steps demoted to the consumer's disk tier
@@ -832,6 +1010,7 @@ func (h *Hub) statsLocked(c *Consumer) ConsumerStats {
 	}
 	return ConsumerStats{
 		Name: c.name, Policy: c.policy, Depth: c.depth, Arrays: c.arrays,
+		Codecs:    c.codecs,
 		Delivered: c.delivered, Dropped: c.dropped, Spilled: c.spilled,
 		WireBytes: c.wireBytes,
 		Cursor:    c.cursor, Lag: lag, SpillQueue: len(c.spillQ), Closed: c.closed,
@@ -894,6 +1073,14 @@ func (c *Consumer) Arrays() []string {
 	c.hub.mu.Lock()
 	defer c.hub.mu.Unlock()
 	return c.arrays
+}
+
+// Codecs reports the consumer's negotiated wire-codec entries in
+// canonical form (nil = identity, plain BP05 frames).
+func (c *Consumer) Codecs() []string {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	return c.codecs
 }
 
 // WireBytes reports the marshaled bytes the network pump shipped to
@@ -966,7 +1153,7 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		e := c.pendingBootstrap
 		c.pendingBootstrap = nil
 		c.delivered++
-		return &StepRef{hub: h, e: e, arrays: c.arrays}, nil
+		return &StepRef{hub: h, e: e, arrays: c.arrays, cons: c}, nil
 	}
 	if len(c.spillQ) > 0 {
 		// Spilled steps are older than everything at the ring cursor:
@@ -980,14 +1167,14 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		case spillMem:
 			// Not yet persisted: deliver from memory, inheriting the
 			// queue's hub reference (the spiller no longer sees it).
-			return &StepRef{hub: h, e: se.e, arrays: c.arrays}, nil
+			return &StepRef{hub: h, e: se.e, arrays: c.arrays, cons: c}, nil
 		case spillWriting:
 			// The spiller owns the queue's reference mid-write; take
 			// our own for the delivery.
 			se.e.refs++
-			return &StepRef{hub: h, e: se.e, arrays: c.arrays}, nil
+			return &StepRef{hub: h, e: se.e, arrays: c.arrays, cons: c}, nil
 		default: // spillDisk
-			return &StepRef{hub: h, sp: &spillRead{store: c.spillStore, id: se.id}, arrays: c.arrays}, nil
+			return &StepRef{hub: h, sp: &spillRead{store: c.spillStore, id: se.id}, arrays: c.arrays, cons: c}, nil
 		}
 	}
 	if c.cursor < h.nextSeq {
@@ -997,7 +1184,7 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		h.tel.trace.Stamp(e.step.Step, telemetry.StageDeliver)
 		h.trim()
 		h.cond.Broadcast() // a Block producer may be waiting on us
-		return &StepRef{hub: h, e: e, arrays: c.arrays}, nil
+		return &StepRef{hub: h, e: e, arrays: c.arrays, cons: c}, nil
 	}
 	if h.closed {
 		return nil, io.EOF
@@ -1081,18 +1268,71 @@ func (e *stepEntry) frameBytes(pool *adios.FramePool) []byte {
 
 // Frame exposes the shared marshaled form of a delivered step (the
 // network pump's zero-copy path), filtered to the consumer's declared
-// subset: consumers sharing a subset share one marshal. The returned
+// subset: consumers sharing a subset share one marshal, and consumers
+// sharing a (subset, codec spec) form share one encode. The returned
 // bytes lease from the hub's frame pool through this reference — do
 // not touch them after Release.
 func (r *StepRef) Frame() []byte {
 	if r.sp != nil {
+		// Spill catch-ups replay the stored plain frame; the receiver's
+		// decoder drops its temporal state on a plain frame, so the
+		// next live coded delivery must not difference against a step
+		// the decoder no longer holds.
+		if r.cons != nil && r.cons.hasCodec {
+			r.cons.wirePrev = -1
+		}
 		return r.sp.frameFor(r.arrays)
 	}
-	if f := r.subset(); f != nil {
-		f.marshalOnce.Do(func() { f.frame = adios.MarshalFrame(f.step, r.hub.pool) })
-		return f.frame.Bytes()
+	structure := r.e.step.Attrs["structure"] == "1"
+	if r.cons == nil || !r.cons.hasCodec || structure {
+		if r.cons != nil && r.cons.hasCodec {
+			r.cons.wirePrev = -1 // structure steps travel plain and reset the chain
+		}
+		if f := r.subset(); f != nil {
+			f.marshalOnce.Do(func() { f.frame = adios.MarshalFrame(f.step, r.hub.pool) })
+			return f.frame.Bytes()
+		}
+		return r.e.frameBytes(r.hub.pool)
 	}
-	return r.e.frameBytes(r.hub.pool)
+	return r.encodedFrame()
+}
+
+// encodedFrame resolves the coded wire form for a codec consumer:
+// the shared chain frame when this consumer's receiver holds the
+// frame's temporal base, the shared self-contained keyframe
+// otherwise (first delivery, or a gap after drop/spill/structure).
+func (r *StepRef) encodedFrame() []byte {
+	c := r.cons
+	form := r.e.encFormFor(c.formKey)
+	st := r.e.step
+	if f := r.subset(); f != nil {
+		st = f.step
+	}
+	if !form.chainReady.Load() {
+		c.stream.mu.Lock()
+		if !form.chainReady.Load() {
+			form.chain, form.base = c.stream.enc.EncodeFrame(st, r.hub.pool)
+			r.e.trace.Stamp(r.e.step.Step, telemetry.StageMarshal)
+			form.chainReady.Store(true)
+		}
+		c.stream.mu.Unlock()
+	}
+	var out []byte
+	if form.base >= 0 && form.base != c.wirePrev {
+		if !form.keyReady.Load() {
+			c.stream.mu.Lock()
+			if !form.keyReady.Load() {
+				form.key = c.stream.enc.EncodeKeyFrame(st, r.hub.pool)
+				form.keyReady.Store(true)
+			}
+			c.stream.mu.Unlock()
+		}
+		out = form.key.Bytes()
+	} else {
+		out = form.chain.Bytes()
+	}
+	c.wirePrev = r.e.step.Step
+	return out
 }
 
 // String describes the hub for logs.

@@ -22,9 +22,10 @@ import (
 // consumer group (see Hub.SubscribeGroup): the implementation must
 // hand each of the group readers announcing the same name a distinct
 // member of one shared group. arrays is the reader's declared array
-// subset (nil = everything); returning an error — e.g. for an
-// unadvertised array — rejects the handshake.
-type SubscribeFunc func(name, policy string, depth, group int, arrays []string) (*Consumer, error)
+// subset (nil = everything) and codecs its wire-compression request
+// (nil = plain frames); returning an error — e.g. for an unadvertised
+// array or an unsupported codec — rejects the handshake.
+type SubscribeFunc func(name, policy string, depth, group int, arrays, codecs []string) (*Consumer, error)
 
 // Server accepts any number of SST readers on one address and pumps
 // each one from its own hub consumer: the multi-consumer counterpart
@@ -56,17 +57,17 @@ func Serve(hub *Hub, addr string, subscribe SubscribeFunc) (*Server, error) {
 	s := &Server{hub: hub, ln: ln, subscribe: subscribe, conns: map[net.Conn]*Consumer{}}
 	if s.subscribe == nil {
 		var broker groupBroker
-		s.subscribe = func(name, policy string, depth, group int, arrays []string) (*Consumer, error) {
+		s.subscribe = func(name, policy string, depth, group int, arrays, codecs []string) (*Consumer, error) {
 			p, err := ParsePolicy(policy)
 			if err != nil {
 				return nil, err
 			}
 			if group > 1 {
 				return broker.attach(hub, name, group, func() (*Consumer, error) {
-					return hub.SubscribeArrays(name, p, depth, arrays)
+					return hub.SubscribeCodecs(name, p, depth, arrays, codecs)
 				})
 			}
-			return hub.SubscribeArrays(name, p, depth, arrays)
+			return hub.SubscribeCodecs(name, p, depth, arrays, codecs)
 		}
 	}
 	s.wg.Add(1)
@@ -142,7 +143,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Bind before replying so a failed subscription is rejected in the
 	// handshake (the client would otherwise read a closed connection
 	// as a clean, empty end-of-stream).
-	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth, h.Group, h.Arrays)
+	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth, h.Group, h.Arrays, h.Codecs)
 	if err != nil {
 		err = fmt.Errorf("staging: consumer %q: %w", h.Consumer, err)
 		s.setErr(err)
@@ -152,8 +153,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	defer cons.Close()
+	// Echo the consumer's effective codecs: a pre-declared consumer may
+	// carry a codec spec the reader did not announce, and the reader
+	// configures its decoder from this reply.
 	if err := json.NewEncoder(conn).Encode(adios.Hello{
 		Type: "hello", Role: "writer", Engine: "sst-staging", Marshal: "bp",
+		Codecs: cons.Codecs(),
 	}); err != nil {
 		s.setErr(err)
 		return

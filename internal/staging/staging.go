@@ -40,6 +40,17 @@
 // the network, rejects the reader's handshake. Per-consumer shipped
 // bytes are accounted in ConsumerStats.WireBytes.
 //
+// Consumers may likewise negotiate wire compression (SubscribeCodecs,
+// or the reader hello's `codecs` field, checked against
+// SetCodecAdvertised): their network frames are re-encoded through
+// per-array codec stages (internal/codec) by a shared StreamEncoder —
+// same-codec, same-subset consumers share one encode the way subset
+// consumers share one marshal, with temporal-delta chains anchored by
+// shared keyframes when a consumer's last delivered step is not the
+// chain's base. Codecs affect only the wire form: in-process
+// consumers, the recording sink, and the spill tier all see the plain
+// marshaled frame (see DESIGN.md "Wire compression").
+//
 // The hub's steady state is allocation-free: marshaled frames lease
 // from a refcounted adios.FramePool and recycle when the last
 // consumer releases its step reference, the ring compacts in place,

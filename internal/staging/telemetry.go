@@ -2,6 +2,7 @@ package staging
 
 import (
 	"fmt"
+	"sort"
 
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/telemetry"
@@ -49,6 +50,11 @@ func (h *Hub) SetTelemetry(tel *telemetry.Telemetry, label string) {
 			s.Counter("staging_consumer_delivered_total", float64(c.Delivered), kv...)
 			s.Counter("staging_consumer_wire_bytes_total", float64(c.WireBytes), kv...)
 		}
+		for _, cs := range st.CodecStreams {
+			kv := []string{"hub", label, "form", cs.Form}
+			s.Counter("staging_codec_raw_bytes_total", float64(cs.RawBytes), kv...)
+			s.Counter("staging_codec_encoded_bytes_total", float64(cs.EncodedBytes), kv...)
+		}
 	})
 	tel.RegisterStatus("staging-hub/"+label, func() any { return h.Status() })
 }
@@ -62,6 +68,23 @@ type HubStatus struct {
 	Ring      int             `json:"ring_steps"`
 	Closed    bool            `json:"closed"`
 	Consumers []ConsumerStats `json:"consumers"`
+
+	// CodecStreams reports each shared wire-codec encode chain's
+	// compression record (empty when no consumer negotiated codecs).
+	CodecStreams []CodecStreamStatus `json:"codec_streams,omitempty"`
+}
+
+// CodecStreamStatus is one shared (subset, codec spec) encode chain's
+// compression accounting.
+type CodecStreamStatus struct {
+	// Form is the chain's canonical key, "<arrays>|<codec entries>".
+	Form string `json:"form"`
+	// RawBytes / EncodedBytes total the codec-eligible payload volume
+	// before and after coding, across every step this chain encoded.
+	RawBytes     int64 `json:"raw_bytes"`
+	EncodedBytes int64 `json:"encoded_bytes"`
+	// Ratio is EncodedBytes/RawBytes (1 until something was coded).
+	Ratio float64 `json:"ratio"`
 }
 
 // Status snapshots the hub for /statusz and shutdown reporting.
@@ -76,7 +99,27 @@ func (h *Hub) Status() HubStatus {
 	for i, c := range h.consumers {
 		st.Consumers[i] = h.statsLocked(c)
 	}
+	st.CodecStreams = h.codecStreamStatusLocked()
 	return st
+}
+
+// codecStreamStatusLocked snapshots the shared encode chains, sorted
+// by form key. Caller holds h.mu; the encoder counters are atomics,
+// so in-flight encodes on other goroutines are safe to read through.
+func (h *Hub) codecStreamStatusLocked() []CodecStreamStatus {
+	if len(h.codecStreams) == 0 {
+		return nil
+	}
+	out := make([]CodecStreamStatus, 0, len(h.codecStreams))
+	for form, cs := range h.codecStreams {
+		out = append(out, CodecStreamStatus{
+			Form:     form,
+			RawBytes: cs.enc.BytesRaw(), EncodedBytes: cs.enc.BytesEncoded(),
+			Ratio: cs.enc.Ratio(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Form < out[j].Form })
+	return out
 }
 
 // ConsumerTable renders consumer stats as a text table — the shutdown
