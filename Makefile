@@ -19,7 +19,8 @@ test:
 race:
 	$(GO) test -race ./internal/staging/... ./internal/intransit/... \
 		./internal/adios/... ./internal/archive/... ./internal/mpirt/... \
-		./internal/telemetry/... ./internal/metrics/... ./internal/codec/...
+		./internal/telemetry/... ./internal/metrics/... ./internal/codec/... \
+		./internal/relay/...
 
 vet:
 	$(GO) vet ./...

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, archive, codec, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, archive, codec, relay, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -83,7 +83,8 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 	wantWire := fig == "all" || fig == "wire"
 	wantArchive := fig == "all" || fig == "archive"
 	wantCodec := fig == "all" || fig == "codec"
-	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire && !wantArchive && !wantCodec {
+	wantRelay := fig == "all" || fig == "relay"
+	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire && !wantArchive && !wantCodec && !wantRelay {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -388,6 +389,45 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 		for _, path := range paths {
 			if err := writeJSON(path, func(w *os.File) error {
 				return bench.WriteCodecJSON(w, res)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	if wantRelay {
+		cfg := bench.RelayConfig{}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		fmt.Println("running staging-mesh matrix (tier depths 0/1/2 under an egress budget, overhead + M x N arms)...")
+		res, err := bench.RunRelayMatrix(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.RelayTable(res)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "relay.csv", t); err != nil {
+			return err
+		}
+		fmt.Printf("\n  relay overhead (no egress, %d consumers): %.1f ms direct vs %.1f ms relayed (%.2fx)\n",
+			res.Overhead.Consumers,
+			float64(res.Overhead.DirectWall.Microseconds())/1000,
+			float64(res.Overhead.RelayedWall.Microseconds())/1000,
+			res.Overhead.Ratio)
+		fmt.Printf("  M x N repartition (%d -> %d): each endpoint rank pulls %.2f of the full stream (ideal %.2f)\n",
+			res.Repartition.Producers, res.Repartition.OutRanks,
+			res.Repartition.RelayShare, res.Repartition.IdealShare)
+		// Like the other sweeps, an explicit relay run also drops the
+		// artifact in the working directory, where harnesses look for it.
+		paths := []string{filepath.Join(out, "BENCH_relay.json")}
+		if fig != "all" {
+			paths = append(paths, "BENCH_relay.json")
+		}
+		for _, path := range paths {
+			if err := writeJSON(path, func(w *os.File) error {
+				return bench.WriteRelayJSON(w, cfg, res)
 			}); err != nil {
 				return err
 			}

@@ -1,0 +1,199 @@
+// Command relay is one node of the distributed staging mesh: it
+// attaches to an upstream tier's staging hubs (or other relays) as an
+// ordinary SST consumer, re-blocks the P upstream rank streams into R
+// shard-ranged output streams, and serves them from its own local
+// hubs — so hubs compose into fan-out trees and a P-rank simulation
+// feeds an R-rank endpoint group without every rank pulling every
+// stream:
+//
+//	relay -contact-dir run/mesh -upstream sim -publish tier1 -out-ranks 2
+//
+// Downstream, a relay is indistinguishable from a producer hub: the
+// same handshake, backpressure policies, consumer groups and wire
+// codecs, so sensei-endpoint (or another relay) points -contact at
+// the relay's published contact entry and never knows how deep in the
+// tree it attached. Declared consumers' array subsets and -maxerror
+// tolerances union into the upstream request, so a subtree that only
+// reads "pressure" costs "pressure" on every trunk above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/codec"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/relay"
+	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
+)
+
+// options carries the parsed, validated command line.
+type options struct {
+	upstream   string
+	publish    string
+	contactDir string
+	timeout    time.Duration
+
+	name        string
+	policy      string
+	depth       int
+	outRanks    int
+	listen      string
+	mesh        string
+	tier        int
+	maxError    float64
+	trunkCodecs []string
+	consumers   []staging.ConsumerSpec
+
+	telemetry string
+}
+
+// parseArgs parses argv (without the program name) into options; the
+// consumer-spec grammar and cross-flag rules are checked here so the
+// whole surface is unit-testable.
+func parseArgs(argv []string) (*options, error) {
+	fs := flag.NewFlagSet("relay", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.upstream, "upstream", "contact.txt", "upstream tier's contact file (with -contact-dir: the entry name)")
+	fs.StringVar(&o.publish, "publish", "", "contact file to write this relay's output addresses to (with -contact-dir: the entry name; empty = print only)")
+	fs.StringVar(&o.contactDir, "contact-dir", "", "contact directory of a multi-hub topology: -upstream and -publish then name entries (<dir>/<name>.contact) instead of file paths")
+	fs.DurationVar(&o.timeout, "timeout", 60*time.Second, "how long to wait for the upstream contact file")
+	fs.StringVar(&o.name, "name", "relay", "consumer name announced upstream (distinct relays on one upstream need distinct names)")
+	fs.StringVar(&o.policy, "policy", "block", "backpressure policy of the upstream trunk edge: block, drop-oldest or latest-only")
+	fs.IntVar(&o.depth, "depth", 2, "queue depth of the upstream trunk edge")
+	fs.IntVar(&o.outRanks, "out-ranks", 0, "R, the number of shard-ranged output streams (0 = one per upstream stream, a pure fan-out tier)")
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "listen address for the output servers (each output picks its own port)")
+	fs.StringVar(&o.mesh, "mesh", "mesh", "mesh name for the requirement union")
+	fs.IntVar(&o.tier, "tier", 0, "this relay's depth in the mesh (0 = attached straight to producer hubs); reported in /statusz")
+	fs.Float64Var(&o.maxError, "maxerror", 0, "absolute per-value error every declared consumer tolerates (> 0 lets the relay request a quantized trunk)")
+	consumersFlag := fs.String("consumers", "", `pre-declared downstream consumers, "name[:policy[:depth[:arrays[:codecs]]]],..." (staging consumer-spec grammar); their array declarations union into the upstream request`)
+	trunkFlag := fs.String("trunk-codecs", "", "comma-separated wire-codec request on the upstream edge (empty = derived from -maxerror, plain frames otherwise; a coded trunk disables the raw splice path)")
+	fs.StringVar(&o.telemetry, "telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (empty = off)")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *consumersFlag != "" {
+		specs, err := staging.ParseConsumers(*consumersFlag)
+		if err != nil {
+			return nil, err
+		}
+		o.consumers = specs
+	}
+	if *trunkFlag != "" {
+		for _, c := range strings.Split(*trunkFlag, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				o.trunkCodecs = append(o.trunkCodecs, c)
+			}
+		}
+		if _, err := codec.ParseSpec(o.trunkCodecs); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := staging.ParsePolicy(o.policy); err != nil {
+		return nil, err
+	}
+	switch {
+	case o.depth < 1:
+		return nil, fmt.Errorf("-depth must be positive (got %d)", o.depth)
+	case o.outRanks < 0:
+		return nil, fmt.Errorf("-out-ranks must be non-negative (got %d)", o.outRanks)
+	case o.maxError < 0:
+		return nil, fmt.Errorf("-maxerror must be non-negative (got %v)", o.maxError)
+	case o.contactDir != "" && o.upstream == "":
+		return nil, fmt.Errorf("-contact-dir needs an -upstream entry name")
+	}
+	return o, nil
+}
+
+// downstream converts the declared consumer specs into relay
+// declarations, attaching the shared -maxerror tolerance to each.
+func (o *options) downstream() []relay.Downstream {
+	out := make([]relay.Downstream, len(o.consumers))
+	for i, spec := range o.consumers {
+		out[i] = relay.Downstream{Spec: spec, MaxError: o.maxError}
+	}
+	return out
+}
+
+// readUpstream resolves the upstream contact addresses, polling the
+// file (or directory entry) until it appears.
+func (o *options) readUpstream() ([]string, error) {
+	if o.contactDir != "" {
+		return adios.ReadContactEntry(o.contactDir, o.upstream, o.timeout)
+	}
+	return adios.ReadContact(o.upstream, o.timeout)
+}
+
+// writePublish publishes the relay's own output addresses for the
+// next tier down (no-op without -publish).
+func (o *options) writePublish(addrs []string) error {
+	if o.publish == "" {
+		return nil
+	}
+	if o.contactDir != "" {
+		return adios.WriteContactEntry(o.contactDir, o.publish, addrs)
+	}
+	return adios.WriteContact(o.publish, addrs)
+}
+
+func run(o *options, tel *telemetry.Telemetry) error {
+	upstream, err := o.readUpstream()
+	if err != nil {
+		return err
+	}
+	r, err := relay.New(upstream, relay.Options{
+		Name: o.name, Policy: o.policy, Depth: o.depth,
+		OutRanks: o.outRanks, Listen: o.listen, Mesh: o.mesh,
+		Downstream: o.downstream(), TrunkCodecs: o.trunkCodecs,
+		Tier: o.tier, Telemetry: tel,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if err := o.writePublish(r.Addrs()); err != nil {
+		return err
+	}
+	fmt.Printf("relay %q tier %d: %d upstream -> %d output stream(s) at %s\n",
+		o.name, o.tier, r.Upstreams(), r.OutRanks(), strings.Join(r.Addrs(), " "))
+	if err := r.Run(); err != nil {
+		return err
+	}
+	st := r.Status()
+	fmt.Printf("relayed %d step(s) (%d skipped in realignment), %s in, %s out\n",
+		st.Steps, st.Skipped, metrics.HumanBytes(st.BytesIn), metrics.HumanBytes(st.BytesOut))
+	return nil
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:])
+	if err == flag.ErrHelp {
+		return
+	}
+	var tel *telemetry.Telemetry
+	if err == nil && o.telemetry != "" {
+		tel = telemetry.New("relay")
+		telemetry.RegisterRuntime(tel.Registry())
+		var exp *telemetry.Exporter
+		if exp, err = tel.Serve(o.telemetry); err == nil {
+			defer exp.Close()
+			fmt.Printf("telemetry: %s/metrics %s/statusz %s/debug/pprof\n",
+				exp.URL(), exp.URL(), exp.URL())
+		}
+	}
+	if err == nil {
+		err = run(o, tel)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relay:", err)
+		os.Exit(1)
+	}
+}

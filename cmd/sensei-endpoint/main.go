@@ -60,19 +60,21 @@ import (
 
 // options carries the parsed, validated command line.
 type options struct {
-	contact   string
-	config    string
-	ranks     int
-	timeout   time.Duration
-	out       string
-	policy    string
-	depth     int
-	consumers int
-	group     int
-	name      string
-	arrays    []string // array subset declared in the reader hello
-	codecs    []string // wire-codec request declared in the reader hello
-	record    string   // directory for per-source archives of the received streams
+	contact    string
+	contactDir string
+	config     string
+	ranks      int
+	timeout    time.Duration
+	out        string
+	policy     string
+	depth      int
+	consumers  int
+	group      int
+	presharded bool
+	name       string
+	arrays     []string // array subset declared in the reader hello
+	codecs     []string // wire-codec request declared in the reader hello
+	record     string   // directory for per-source archives of the received streams
 
 	telemetry  string        // exporter listen address ("" = off)
 	peerStatus string        // producer /statusz base URL for the shutdown report
@@ -87,7 +89,8 @@ type options struct {
 func parseArgs(argv []string) (*options, error) {
 	fs := flag.NewFlagSet("sensei-endpoint", flag.ContinueOnError)
 	o := &options{}
-	fs.StringVar(&o.contact, "contact", "contact.txt", "SST contact file published by the simulation")
+	fs.StringVar(&o.contact, "contact", "contact.txt", "SST contact file published by the simulation (with -contact-dir: the entry name)")
+	fs.StringVar(&o.contactDir, "contact-dir", "", "contact directory of a multi-hub topology: -contact then names an entry (<dir>/<name>.contact) instead of a file path")
 	fs.StringVar(&o.config, "config", "", "SENSEI XML configuration for the endpoint analyses")
 	fs.IntVar(&o.ranks, "ranks", 1, "endpoint ranks (direct SST mode)")
 	fs.DurationVar(&o.timeout, "timeout", 60*time.Second, "how long to wait for the contact file")
@@ -96,6 +99,7 @@ func parseArgs(argv []string) (*options, error) {
 	fs.IntVar(&o.depth, "depth", 0, "staging queue depth per consumer (0 = hub default)")
 	fs.IntVar(&o.consumers, "consumers", 1, "independent consumer replicas (staged fan-out mode)")
 	fs.IntVar(&o.group, "group", 1, "cooperating endpoint ranks claiming one consumer name as a group (staged mode)")
+	fs.BoolVar(&o.presharded, "presharded", false, "the contact's streams are already shard-ranged (a repartitioning relay's outputs): each group rank attaches to its own address range as a plain consumer and analyzes every local source")
 	fs.StringVar(&o.name, "name", "endpoint", "consumer name announced to the hub")
 	arraysFlag := fs.String("arrays", "", "comma-separated array subset to request in the reader hello (empty = every published array)")
 	codecsFlag := fs.String("codecs", "", "comma-separated wire codec request, e.g. transpose-delta or pressure=quantize:1e-3 (empty = plain frames, or a quantize bound derived from the config's maxerror attributes)")
@@ -174,6 +178,8 @@ func parseArgs(argv []string) (*options, error) {
 		return nil, fmt.Errorf("-consumers > 1 needs staged mode: give -policy or -consumer")
 	case o.consumers > 1 && o.record != "":
 		return nil, fmt.Errorf("-record captures one consumer's stream; drop -consumers (replicas would record duplicates)")
+	case o.presharded && o.group < 2:
+		return nil, fmt.Errorf("-presharded shards sources across group ranks: give -group")
 	}
 	return o, nil
 }
@@ -320,6 +326,16 @@ func deriveCodecs(o *options, cfgXML []byte) {
 	}
 }
 
+// readContact resolves the rendezvous: a plain contact file, or — in
+// -contact-dir mode — the named entry of a shared contact directory
+// (one entry per hub/relay of a staging mesh).
+func (o *options) readContact() ([]string, error) {
+	if o.contactDir != "" {
+		return adios.ReadContactEntry(o.contactDir, o.contact, o.timeout)
+	}
+	return adios.ReadContact(o.contact, o.timeout)
+}
+
 // runDirect is the classic one-consumer workflow: each endpoint rank
 // drains its share of the simulation's SST writers.
 func runDirect(o *options, tel *telemetry.Telemetry) error {
@@ -331,7 +347,7 @@ func runDirect(o *options, tel *telemetry.Telemetry) error {
 	if err := os.MkdirAll(o.out, 0o755); err != nil {
 		return err
 	}
-	addrs, err := adios.ReadContact(o.contact, o.timeout)
+	addrs, err := o.readContact()
 	if err != nil {
 		return err
 	}
@@ -405,7 +421,7 @@ func runStaged(o *options, tel *telemetry.Telemetry) error {
 		return err
 	}
 	deriveCodecs(o, cfgXML)
-	addrs, err := adios.ReadContact(o.contact, o.timeout)
+	addrs, err := o.readContact()
 	if err != nil {
 		return err
 	}
@@ -511,7 +527,7 @@ func runGroup(o *options, tel *telemetry.Telemetry) error {
 	if err := os.MkdirAll(o.out, 0o755); err != nil {
 		return err
 	}
-	addrs, err := adios.ReadContact(o.contact, o.timeout)
+	addrs, err := o.readContact()
 	if err != nil {
 		return err
 	}
@@ -525,22 +541,33 @@ func runGroup(o *options, tel *telemetry.Telemetry) error {
 	var allocBegin sync.Once
 	rec := &recorder{dir: o.record}
 	group, err := intransit.NewGroup(intransit.GroupConfig{
-		Ranks:     o.group,
-		ConfigXML: cfgXML,
-		OutputDir: o.out,
-		StepDelay: o.stepDelay,
-		Telemetry: tel,
+		Ranks:      o.group,
+		ConfigXML:  cfgXML,
+		OutputDir:  o.out,
+		Presharded: o.presharded,
+		StepDelay:  o.stepDelay,
+		Telemetry:  tel,
 		Sources: func(rank, ranks int) ([]intransit.StepSource, func(), error) {
 			allocBegin.Do(alloc.Begin)
+			// Ordinarily every rank attaches to every hub as a consumer-
+			// group member and shards the blocks locally. Behind a
+			// repartitioning relay the shard ranges already exist as
+			// separate streams, so each rank claims only its own address
+			// range, as a plain (group-of-one) consumer.
+			rankAddrs, announce := addrs, ranks
+			if o.presharded {
+				lo, hi := intransit.ShardRange(len(addrs), ranks, rank)
+				rankAddrs, announce = addrs[lo:hi], 1
+			}
 			var readers []*adios.Reader
 			cleanup := func() {
 				for _, r := range readers {
 					r.Close()
 				}
 			}
-			for src, addr := range addrs {
+			for src, addr := range rankAddrs {
 				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
-					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: ranks, Arrays: o.arrays,
+					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: announce, Arrays: o.arrays,
 					Codecs: o.codecs,
 				})
 				if err != nil {

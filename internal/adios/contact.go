@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -95,6 +96,49 @@ func removeStale(path string, seen []byte) {
 		return
 	}
 	os.Rename(tmp, path) //nolint:errcheck // we grabbed a fresh publish: restore it
+}
+
+// Contact directories generalize the single shared file to multi-hub
+// topologies (a staging mesh of producer hubs and relay tiers): each
+// hub or relay publishes one named entry — "<name>.contact" inside a
+// shared directory — instead of all of them colliding on one path.
+// Every entry is an ordinary contact file, so pid staleness detection
+// and the atomic-rename publish apply per entry, and single-file mode
+// keeps working unchanged.
+
+// ContactEntryPath locates the named entry inside a contact
+// directory. Names must be bare (no path separators): entries are
+// flat by design, one per hub/relay.
+func ContactEntryPath(dir, name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return "", fmt.Errorf("adios: bad contact entry name %q", name)
+	}
+	return filepath.Join(dir, name+".contact"), nil
+}
+
+// WriteContactEntry publishes addrs as the named entry of a contact
+// directory, creating the directory if needed. The entry is written
+// with WriteContact's atomic rename and pid stamp.
+func WriteContactEntry(dir, name string, addrs []string) error {
+	path, err := ContactEntryPath(dir, name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return WriteContact(path, addrs)
+}
+
+// ReadContactEntry polls for the named entry of a contact directory
+// with ReadContact's semantics (stale entries from dead prior runs
+// are removed per entry and polling continues).
+func ReadContactEntry(dir, name string, timeout time.Duration) ([]string, error) {
+	path, err := ContactEntryPath(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	return ReadContact(path, timeout)
 }
 
 // ReadContact polls for a contact file until it appears (or timeout)

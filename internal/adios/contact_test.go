@@ -95,3 +95,61 @@ func TestContactUnstampedCompat(t *testing.T) {
 }
 
 func itoa(v int) string { return strconv.Itoa(v) }
+
+func TestContactDirEntries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "mesh-contacts")
+	if err := WriteContactEntry(dir, "hub", []string{"127.0.0.1:9000", "127.0.0.1:9001"}); err != nil {
+		t.Fatalf("WriteContactEntry hub: %v", err)
+	}
+	if err := WriteContactEntry(dir, "relay-0", []string{"127.0.0.1:9100"}); err != nil {
+		t.Fatalf("WriteContactEntry relay-0: %v", err)
+	}
+	addrs, err := ReadContactEntry(dir, "hub", time.Second)
+	if err != nil {
+		t.Fatalf("ReadContactEntry hub: %v", err)
+	}
+	if len(addrs) != 2 || addrs[1] != "127.0.0.1:9001" {
+		t.Fatalf("hub entry = %v", addrs)
+	}
+	addrs, err = ReadContactEntry(dir, "relay-0", time.Second)
+	if err != nil || len(addrs) != 1 {
+		t.Fatalf("relay-0 entry = %v, %v", addrs, err)
+	}
+	// Entries are plain contact files: single-file readers can point
+	// straight at one.
+	path, err := ContactEntryPath(dir, "hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs, err = ReadContact(path, time.Second); err != nil || len(addrs) != 2 {
+		t.Fatalf("ReadContact on entry path = %v, %v", addrs, err)
+	}
+}
+
+func TestContactDirEntryStaleness(t *testing.T) {
+	dir := t.TempDir()
+	path, err := ContactEntryPath(dir, "dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An entry stamped with a provably dead pid is a leftover: the
+	// reader removes it and times out waiting for a live publish.
+	body := "#pid=" + itoa(deadPid) + "\n127.0.0.1:1\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadContactEntry(dir, "dead", 50*time.Millisecond); err == nil {
+		t.Fatal("want timeout after removing stale entry")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("stale entry not removed: %v", err)
+	}
+}
+
+func TestContactEntryNameValidation(t *testing.T) {
+	for _, bad := range []string{"", "a/b", `a\b`, ".", ".."} {
+		if _, err := ContactEntryPath("d", bad); err == nil {
+			t.Fatalf("name %q: want error", bad)
+		}
+	}
+}

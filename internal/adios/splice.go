@@ -1,0 +1,156 @@
+package adios
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the relay's block-range splice: SpliceFrames merges
+// the marshaled frames of several producer ranks' same-numbered steps
+// into one frame, payload bytes copied span-to-span over the
+// ScanFrame layout — the M×N repartitioner's fast path never decodes
+// a float. The subset-frame machinery splices records *out* of one
+// frame; this is its dual, splicing same-named records *across*
+// frames.
+
+// ErrSpliceStructure marks a splice refused because an input frame
+// carries the grid structure: connectivity and offsets need per-block
+// rebasing (see intransit.StreamDataAdaptor.Seal), which is a decode,
+// not a byte splice. Callers merge structure steps at the Step level
+// instead.
+var ErrSpliceStructure = fmt.Errorf("adios: splice of structure frames needs a decoded merge")
+
+// varHeader is the per-variable header layout SpliceFrames re-reads
+// from a record span: ScanFrame skips shapes, so the splice recovers
+// them here (the shape words sit between the kind byte and the
+// element count).
+func varShape(raw []byte, vs *VarSpan) ([]uint64, error) {
+	// record = name(8+len) kind(1) ndim(8) dims elems(8) payload
+	pos := vs.RecordOff + 8 + int64(len(vs.Name)) + 1
+	if pos+8 > int64(len(raw)) {
+		return nil, fmt.Errorf("adios: truncated shape for %q", vs.Name)
+	}
+	ndim := binary.LittleEndian.Uint64(raw[pos:])
+	pos += 8
+	dims := make([]uint64, ndim)
+	for i := range dims {
+		if pos+8 > int64(len(raw)) {
+			return nil, fmt.Errorf("adios: truncated shape for %q", vs.Name)
+		}
+		dims[i] = binary.LittleEndian.Uint64(raw[pos:])
+		pos += 8
+	}
+	return dims, nil
+}
+
+// SpliceFrames concatenates P same-step plain BP05 frames into one:
+// the output carries frames[0]'s header (step, time, attributes) and
+// variable order, with each variable's payload the concatenation of
+// every input's payload bytes in frame order — the wire form the
+// producers would have marshaled had they been one rank. Shaped
+// variables sum their first (block-distributed) dimension; trailing
+// dimensions must agree. Every input must carry the same variable
+// names, kinds and step number; codec-encoded (BPC5) and
+// structure-carrying frames are refused (ErrSpliceStructure for the
+// latter — rebase-merge those at the Step level).
+//
+// The result is leased from pool: release it when done (a staging hub
+// publish takes ownership instead, see Hub.PublishFrame).
+func SpliceFrames(frames [][]byte, pool *FramePool) (*Frame, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("adios: splice of no frames")
+	}
+	infos := make([]FrameInfo, len(frames))
+	for i, raw := range frames {
+		fi, err := ScanFrame(raw)
+		if err != nil {
+			return nil, fmt.Errorf("adios: splice input %d: %w", i, err)
+		}
+		if fi.Encoded {
+			return nil, fmt.Errorf("adios: splice input %d: codec-encoded frame", i)
+		}
+		if fi.Structure {
+			return nil, ErrSpliceStructure
+		}
+		if fi.Step != infos[0].Step && i > 0 {
+			return nil, fmt.Errorf("adios: splice step mismatch: input %d has step %d, input 0 has %d", i, fi.Step, infos[0].Step)
+		}
+		if i > 0 && len(fi.Vars) != len(infos[0].Vars) {
+			return nil, fmt.Errorf("adios: splice input %d has %d vars, input 0 has %d", i, len(fi.Vars), len(infos[0].Vars))
+		}
+		infos[i] = fi
+	}
+
+	// Size pass: header + var count + per-var headers and summed
+	// payloads (shapes validated as they are read).
+	shapes := make([][]uint64, len(infos[0].Vars))
+	size := int64(infos[0].VarsOff) + 8
+	for v := range infos[0].Vars {
+		v0 := &infos[0].Vars[v]
+		shape, err := varShape(frames[0], v0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(frames); i++ {
+			vi := &infos[i].Vars[v]
+			if vi.Name != v0.Name || vi.Kind != v0.Kind {
+				return nil, fmt.Errorf("adios: splice input %d var %d is %q/%d, input 0 has %q/%d",
+					i, v, vi.Name, vi.Kind, v0.Name, v0.Kind)
+			}
+			si, err := varShape(frames[i], vi)
+			if err != nil {
+				return nil, err
+			}
+			if len(si) != len(shape) {
+				return nil, fmt.Errorf("adios: splice var %q: rank %d vs %d", v0.Name, len(si), len(shape))
+			}
+			for d := 1; d < len(shape); d++ {
+				if si[d] != shape[d] {
+					return nil, fmt.Errorf("adios: splice var %q: dim %d is %d vs %d", v0.Name, d, si[d], shape[d])
+				}
+			}
+			if len(shape) > 0 {
+				shape[0] += si[0]
+			}
+		}
+		shapes[v] = shape
+		size += 8 + int64(len(v0.Name)) + 1 + 8 + 8*int64(len(shape)) + 8
+		for i := range frames {
+			size += infos[i].Vars[v].PayloadLen
+		}
+	}
+
+	f := pool.Lease(int(size))
+	dst := f.Bytes()
+	off := copy(dst, frames[0][:infos[0].VarsOff])
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(dst[off:], v)
+		off += 8
+	}
+	putU64(uint64(len(infos[0].Vars)))
+	for v := range infos[0].Vars {
+		v0 := &infos[0].Vars[v]
+		putU64(uint64(len(v0.Name)))
+		off += copy(dst[off:], v0.Name)
+		dst[off] = byte(v0.Kind)
+		off++
+		putU64(uint64(len(shapes[v])))
+		for _, d := range shapes[v] {
+			putU64(d)
+		}
+		var elems int64
+		for i := range frames {
+			elems += infos[i].Vars[v].Elems
+		}
+		putU64(uint64(elems))
+		for i, raw := range frames {
+			vs := &infos[i].Vars[v]
+			off += copy(dst[off:], raw[vs.PayloadOff:vs.PayloadOff+vs.PayloadLen])
+		}
+	}
+	if int64(off) != size {
+		f.Release()
+		return nil, fmt.Errorf("adios: splice size accounting: wrote %d of %d", off, size)
+	}
+	return f, nil
+}

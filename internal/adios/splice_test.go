@@ -1,0 +1,120 @@
+package adios
+
+import (
+	"bytes"
+	"testing"
+)
+
+// blockStep builds rank r's block of a synthetic P-rank step: each
+// rank carries its slice of the global arrays.
+func blockStep(seq, rank, perRank int) *Step {
+	press := make([]float64, perRank)
+	vel := make([]float64, perRank)
+	ids := make([]int64, perRank)
+	for i := range press {
+		g := rank*perRank + i
+		press[i] = float64(seq*1000 + g)
+		vel[i] = float64(g) * 0.5
+		ids[i] = int64(g)
+	}
+	return &Step{
+		Step: int64(seq), Time: float64(seq) * 0.1,
+		Attrs: map[string]string{"mesh": "mesh"},
+		Vars: []Variable{
+			NewF64("array/pressure", press),
+			NewF64("array/velocity", vel),
+			NewI64("array/ids", ids),
+		},
+	}
+}
+
+// mergedBlockStep is what the P blocks would look like marshaled as
+// one rank.
+func mergedBlockStep(seq, ranks, perRank int) *Step {
+	out := blockStep(seq, 0, perRank)
+	for r := 1; r < ranks; r++ {
+		b := blockStep(seq, r, perRank)
+		for i := range out.Vars {
+			out.Vars[i].F64 = append(out.Vars[i].F64, b.Vars[i].F64...)
+			out.Vars[i].I64 = append(out.Vars[i].I64, b.Vars[i].I64...)
+		}
+	}
+	return out
+}
+
+func TestSpliceFramesMatchesMergedMarshal(t *testing.T) {
+	const ranks, perRank = 4, 17
+	pool := NewFramePool()
+	frames := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		frames[r] = Marshal(blockStep(7, r, perRank))
+	}
+	f, err := SpliceFrames(frames, pool)
+	if err != nil {
+		t.Fatalf("SpliceFrames: %v", err)
+	}
+	defer f.Release()
+	want := Marshal(mergedBlockStep(7, ranks, perRank))
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatalf("spliced frame differs from merged marshal: %d vs %d bytes", len(f.Bytes()), len(want))
+	}
+}
+
+func TestSpliceFramesShapedFirstDim(t *testing.T) {
+	pool := NewFramePool()
+	a := &Step{Step: 1, Attrs: map[string]string{},
+		Vars: []Variable{NewF64("array/x", []float64{1, 2, 3, 4, 5, 6}, 2, 3)}}
+	b := &Step{Step: 1, Attrs: map[string]string{},
+		Vars: []Variable{NewF64("array/x", []float64{7, 8, 9}, 1, 3)}}
+	f, err := SpliceFrames([][]byte{Marshal(a), Marshal(b)}, pool)
+	if err != nil {
+		t.Fatalf("SpliceFrames: %v", err)
+	}
+	defer f.Release()
+	out, err := Unmarshal(f.Bytes())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	v := out.FindVar("array/x")
+	if v == nil || len(v.Shape) != 2 || v.Shape[0] != 3 || v.Shape[1] != 3 {
+		t.Fatalf("merged shape = %v, want [3 3]", v.Shape)
+	}
+	if len(v.F64) != 9 || v.F64[6] != 7 {
+		t.Fatalf("merged payload = %v", v.F64)
+	}
+}
+
+func TestSpliceFramesSingleInputIsVerbatim(t *testing.T) {
+	pool := NewFramePool()
+	raw := Marshal(blockStep(3, 0, 5))
+	f, err := SpliceFrames([][]byte{raw}, pool)
+	if err != nil {
+		t.Fatalf("SpliceFrames: %v", err)
+	}
+	defer f.Release()
+	if !bytes.Equal(f.Bytes(), raw) {
+		t.Fatal("single-input splice should reproduce the frame byte for byte")
+	}
+}
+
+func TestSpliceFramesRefusals(t *testing.T) {
+	pool := NewFramePool()
+	if _, err := SpliceFrames(nil, pool); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	st := &Step{Step: 1, Attrs: map[string]string{"structure": "1"},
+		Vars: []Variable{NewF64("points", []float64{0, 0, 0}, 1, 3)}}
+	if _, err := SpliceFrames([][]byte{Marshal(st)}, pool); err != ErrSpliceStructure {
+		t.Fatalf("structure frame: got %v, want ErrSpliceStructure", err)
+	}
+	a := Marshal(blockStep(1, 0, 4))
+	b := Marshal(blockStep(2, 1, 4))
+	if _, err := SpliceFrames([][]byte{a, b}, pool); err == nil {
+		t.Fatal("want error for step mismatch")
+	}
+	c := &Step{Step: 1, Attrs: map[string]string{},
+		Vars: []Variable{NewF64("array/other", []float64{1})}}
+	if _, err := SpliceFrames([][]byte{a, Marshal(c)}, pool); err == nil {
+		t.Fatal("want error for var mismatch")
+	}
+}

@@ -618,39 +618,10 @@ func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 // fresh storage unless the caller recycled a previous one (Recycle),
 // in which case it is decoded in place.
 func (r *Reader) BeginStep() (*Step, error) {
-	var lenBuf [8]byte
-	if _, err := io.ReadFull(r.br, lenBuf[:]); err != nil {
+	recv, err := r.receiveFrame()
+	if err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint64(lenBuf[:])
-	if n == 0 {
-		return nil, io.EOF
-	}
-	if uint64(cap(r.frameBuf)) >= n {
-		r.frameBuf = r.frameBuf[:n]
-	} else {
-		r.frameBuf = make([]byte, n)
-	}
-	if _, err := io.ReadFull(r.br, r.frameBuf); err != nil {
-		return nil, err
-	}
-	// Delivery time is when the payload finished arriving; the stamp
-	// itself waits for the decode below to learn the step ordinal.
-	recv := time.Now()
-	if r.record != nil {
-		if _, err := r.record.AppendFrame(r.frameBuf); err != nil {
-			return nil, fmt.Errorf("adios: recording received frame: %w", err)
-		}
-	}
-	r.ack[0] = 1
-	if _, err := r.conn.Write(r.ack[:]); err != nil {
-		return nil, fmt.Errorf("adios: returning step credit: %w", err)
-	}
-	r.stepsRecv++
-	r.bytesRecv += int64(n)
-	r.tel.credits.Inc()
-	r.tel.steps.Inc()
-	r.tel.bytes.Add(int64(n))
 	st := r.spare
 	if st == nil {
 		st = &Step{}
@@ -667,6 +638,66 @@ func (r *Reader) BeginStep() (*Step, error) {
 	r.tel.trace.StampAt(st.Step, telemetry.StageDeliver, recv)
 	r.tel.trace.Stamp(st.Step, telemetry.StageDecode)
 	return st, nil
+}
+
+// receiveFrame pulls the next frame off the wire into the reader's
+// reusable scratch buffer, records it, returns the step credit and
+// bumps the counters — the transport half of BeginStep, shared with
+// BeginRawStep. Returns the delivery timestamp; io.EOF on the
+// zero-length end-of-stream marker.
+func (r *Reader) receiveFrame() (time.Time, error) {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r.br, lenBuf[:]); err != nil {
+		return time.Time{}, err
+	}
+	n := binary.LittleEndian.Uint64(lenBuf[:])
+	if n == 0 {
+		return time.Time{}, io.EOF
+	}
+	if uint64(cap(r.frameBuf)) >= n {
+		r.frameBuf = r.frameBuf[:n]
+	} else {
+		r.frameBuf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r.br, r.frameBuf); err != nil {
+		return time.Time{}, err
+	}
+	// Delivery time is when the payload finished arriving; BeginStep's
+	// trace stamp waits for its decode to learn the step ordinal.
+	recv := time.Now()
+	if r.record != nil {
+		if _, err := r.record.AppendFrame(r.frameBuf); err != nil {
+			return time.Time{}, fmt.Errorf("adios: recording received frame: %w", err)
+		}
+	}
+	r.ack[0] = 1
+	if _, err := r.conn.Write(r.ack[:]); err != nil {
+		return time.Time{}, fmt.Errorf("adios: returning step credit: %w", err)
+	}
+	r.stepsRecv++
+	r.bytesRecv += int64(n)
+	r.tel.credits.Inc()
+	r.tel.steps.Inc()
+	r.tel.bytes.Add(int64(n))
+	return recv, nil
+}
+
+// BeginRawStep receives the next step's marshaled frame without
+// decoding it — the relay's splice path, which re-blocks frames span
+// by span (SpliceFrames) and never needs the floats. The returned
+// bytes are the reader's internal receive buffer, valid only until
+// the next BeginStep/BeginRawStep; ScanFrame recovers the layout.
+// io.EOF signals a clean end-of-stream. Streams that negotiated wire
+// codecs refuse raw reads: their frames are BPC5 temporal deltas that
+// only the connection's stateful decoder can interpret.
+func (r *Reader) BeginRawStep() ([]byte, error) {
+	if r.dec != nil {
+		return nil, fmt.Errorf("adios: raw step read on a codec-negotiated stream (frames are BPC5 deltas; use BeginStep)")
+	}
+	if _, err := r.receiveFrame(); err != nil {
+		return nil, err
+	}
+	return r.frameBuf, nil
 }
 
 // Recycle returns a consumed step's storage to the reader so the next

@@ -1,0 +1,637 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/relay"
+	"nekrs-sensei/internal/staging"
+)
+
+// RelayConfig parameterizes the staging-mesh measurement: a producer
+// hub under an emulated per-process egress budget, relay tiers fanned
+// out below it, and consumers attached at the leaves. On raw loopback
+// a relay tier could never win — one process can serve any number of
+// local sockets — so every process (producer and each relay) gets a
+// virtual NIC of EgressMBps shared by all its outgoing streams; the
+// mesh's claim is that trees move the egress bottleneck off the
+// producer, which is exactly what the paper's M:N staging layout does
+// to the simulation's network budget.
+type RelayConfig struct {
+	Steps      int     // timesteps per run (default 32)
+	PayloadF64 int     // float64s per step (default 8192 = 64 KiB)
+	EgressMBps float64 // virtual NIC budget per process (default 24)
+
+	Depths    []int // relay tier depths to sweep (default 0, 1, 2)
+	Fanout    int   // relays per node in the tree (default 2)
+	Consumers []int // consumer counts per depth (default 1, 2, 4, 8)
+
+	// RefFraction sets the "same producer throughput" bar for the
+	// consumers-at-reference metric: a depth sustains consumer count N
+	// if its producer throughput stays >= RefFraction x the depth-0
+	// single-consumer throughput (default 0.4).
+	RefFraction float64
+
+	// The relay-overhead arm runs without egress emulation: one hub
+	// feeding OverheadConsumers directly vs through one mirror relay,
+	// interleaved Trials times, best wall each (defaults 2 and 3). The
+	// ConsumerDelay-paced shape keeps the ratio robust to machine
+	// noise, like the telemetry-overhead gate.
+	OverheadConsumers int
+	OverheadDelay     time.Duration // default 1ms
+	Trials            int
+
+	// The M x N repartition arm: RepartProducers rank streams
+	// re-blocked into RepartOutRanks shard-ranged outputs (defaults
+	// 4 and 2), measuring received bytes per endpoint rank against a
+	// rank that pulls every producer stream in full.
+	RepartProducers int
+	RepartOutRanks  int
+}
+
+func (c *RelayConfig) withDefaults() RelayConfig {
+	out := *c
+	if out.Steps == 0 {
+		out.Steps = 32
+	}
+	if out.PayloadF64 == 0 {
+		out.PayloadF64 = 8192
+	}
+	if out.EgressMBps == 0 {
+		out.EgressMBps = 24
+	}
+	if out.Depths == nil {
+		out.Depths = []int{0, 1, 2}
+	}
+	if out.Fanout == 0 {
+		out.Fanout = 2
+	}
+	if out.Consumers == nil {
+		out.Consumers = []int{1, 2, 4, 8}
+	}
+	if out.RefFraction == 0 {
+		out.RefFraction = 0.4
+	}
+	if out.OverheadConsumers == 0 {
+		out.OverheadConsumers = 2
+	}
+	if out.OverheadDelay == 0 {
+		out.OverheadDelay = time.Millisecond
+	}
+	if out.Trials == 0 {
+		out.Trials = 3
+	}
+	if out.RepartProducers == 0 {
+		out.RepartProducers = 4
+	}
+	if out.RepartOutRanks == 0 {
+		out.RepartOutRanks = 2
+	}
+	return out
+}
+
+// egress is one process's virtual NIC: a token schedule shared by
+// every stream leaving that process. take blocks until the link has
+// carried n more bytes — concurrent callers serialize on the
+// schedule, so two consumers of one process each see half its budget.
+type egress struct {
+	mu   sync.Mutex
+	next time.Time
+	rate float64 // bytes per second
+}
+
+func newEgress(mbps float64) *egress {
+	if mbps <= 0 {
+		return nil
+	}
+	return &egress{rate: mbps * (1 << 20)}
+}
+
+func (e *egress) take(n int64) {
+	if e == nil || n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / e.rate * float64(time.Second))
+	e.mu.Lock()
+	if now := time.Now(); e.next.Before(now) {
+		e.next = now
+	}
+	e.next = e.next.Add(d)
+	end := e.next
+	e.mu.Unlock()
+	time.Sleep(time.Until(end))
+}
+
+// TierRow is one (depth, consumer count) measurement.
+type TierRow struct {
+	Consumers    int
+	ProducerWall time.Duration
+	ProducerMBps float64
+}
+
+// TierResult is the consumer sweep at one relay tier depth.
+type TierResult struct {
+	Depth  int
+	Relays int // relay nodes in the tree at this depth
+	Rows   []TierRow
+	// ConsumersAtRef is the largest swept consumer count whose
+	// producer throughput stayed at or above the reference bar — the
+	// "how many consumers at the same producer throughput" number.
+	ConsumersAtRef int
+}
+
+// RelayOverhead is the no-egress control: the wall-clock cost of
+// inserting one relay between a hub and its consumers.
+type RelayOverhead struct {
+	Consumers   int
+	DirectWall  time.Duration
+	RelayedWall time.Duration
+	Ratio       float64
+}
+
+// RelayRepartition is the M x N arm: bytes received per endpoint rank
+// behind a P -> R repartitioning relay vs a rank pulling all P
+// streams in full.
+type RelayRepartition struct {
+	Producers       int
+	OutRanks        int
+	FullPullPerRank int64 // bytes one full-pull rank received
+	RelayPerRank    int64 // mean bytes one relay-attached rank received
+	RelayShare      float64
+	IdealShare      float64 // 1/R
+}
+
+// RelayResult is the complete staging-mesh measurement.
+type RelayResult struct {
+	EgressMBps  float64
+	RefMBps     float64 // the consumers-at-reference throughput bar
+	Tiers       []TierResult
+	Overhead    RelayOverhead
+	Repartition RelayRepartition
+}
+
+// relayTreeNode is one attach point in the bench tree: an address to
+// dial and the virtual NIC its outgoing bytes are charged to.
+type relayTreeNode struct {
+	addr string
+	nic  *egress
+}
+
+// runRelayTier measures the producer's publish wall at one tree depth
+// and consumer count: hub -> fanout^1 relays -> ... -> fanout^depth
+// leaves, consumers round-robin across the leaves, every link charged
+// to its sending process's egress NIC.
+func runRelayTier(c RelayConfig, depth, consumers int) (TierRow, error) {
+	hub := staging.NewHub(nil)
+	srv, err := staging.Serve(hub, "127.0.0.1:0", nil)
+	if err != nil {
+		return TierRow{}, err
+	}
+	defer srv.Close()
+	defer hub.Close()
+
+	leaves := []relayTreeNode{{addr: srv.Addr(), nic: newEgress(c.EgressMBps)}}
+	var relays []*relay.Relay
+	var relayRuns []chan error
+	defer func() {
+		for _, rl := range relays {
+			rl.Close()
+		}
+	}()
+	for level := 1; level <= depth; level++ {
+		var next []relayTreeNode
+		for pi, parent := range leaves {
+			for f := 0; f < c.Fanout; f++ {
+				upNIC := parent.nic
+				rl, err := relay.New([]string{parent.addr}, relay.Options{
+					Name: fmt.Sprintf("relay-L%d-%d-%d", level, pi, f),
+					// Trunk ingest crosses the parent's virtual NIC.
+					OnIngest: func(_ int, n int64) { upNIC.take(n) },
+				})
+				if err != nil {
+					return TierRow{}, err
+				}
+				ch := make(chan error, 1)
+				go func(rl *relay.Relay) { ch <- rl.Run() }(rl)
+				relays = append(relays, rl)
+				relayRuns = append(relayRuns, ch)
+				next = append(next, relayTreeNode{addr: rl.Addrs()[0], nic: newEgress(c.EgressMBps)})
+			}
+		}
+		leaves = next
+	}
+
+	recvd := make([]int64, consumers)
+	errs := make([]error, consumers)
+	var wg sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		leaf := leaves[i%len(leaves)]
+		r, err := adios.OpenReaderWith(leaf.addr, adios.ReaderOptions{
+			Consumer: fmt.Sprintf("mesh-%d", i), Policy: "block", Depth: 2,
+		})
+		if err != nil {
+			return TierRow{}, err
+		}
+		wg.Add(1)
+		go func(i int, r *adios.Reader, nic *egress) {
+			defer wg.Done()
+			defer r.Close()
+			var seen int64
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						errs[i] = err
+					}
+					return
+				}
+				recvd[i]++
+				nic.take(r.BytesReceived() - seen)
+				seen = r.BytesReceived()
+			}
+		}(i, r, leaf.nic)
+	}
+
+	var payload int64
+	start := time.Now()
+	for s := 0; s < c.Steps; s++ {
+		step := fanoutStep(s, c.PayloadF64, "")
+		payload += step.Bytes()
+		if err := hub.Publish(step); err != nil {
+			return TierRow{}, err
+		}
+	}
+	wall := time.Since(start)
+	if err := hub.Close(); err != nil {
+		return TierRow{}, err
+	}
+	if err := srv.Close(); err != nil {
+		return TierRow{}, err
+	}
+	for _, ch := range relayRuns {
+		if err := <-ch; err != nil {
+			return TierRow{}, fmt.Errorf("relay: %w", err)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return TierRow{}, fmt.Errorf("consumer %d: %w", i, err)
+		}
+		if recvd[i] != int64(c.Steps) {
+			return TierRow{}, fmt.Errorf("consumer %d received %d of %d steps on a block tree", i, recvd[i], c.Steps)
+		}
+	}
+	return TierRow{
+		Consumers: consumers, ProducerWall: wall, ProducerMBps: mbps(payload, wall),
+	}, nil
+}
+
+// runRelayOverheadArm measures one no-egress wall: producer to
+// drained consumers, optionally through a single mirror relay.
+func runRelayOverheadArm(c RelayConfig, viaRelay bool) (time.Duration, error) {
+	hub := staging.NewHub(nil)
+	srv, err := staging.Serve(hub, "127.0.0.1:0", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	defer hub.Close()
+	attach := srv.Addr()
+	var relayRun chan error
+	if viaRelay {
+		rl, err := relay.New([]string{srv.Addr()}, relay.Options{Name: "overhead"})
+		if err != nil {
+			return 0, err
+		}
+		defer rl.Close()
+		relayRun = make(chan error, 1)
+		go func() { relayRun <- rl.Run() }()
+		attach = rl.Addrs()[0]
+	}
+
+	errs := make([]error, c.OverheadConsumers)
+	var wg sync.WaitGroup
+	for i := 0; i < c.OverheadConsumers; i++ {
+		r, err := adios.OpenReaderWith(attach, adios.ReaderOptions{
+			Consumer: fmt.Sprintf("ovh-%d", i), Policy: "block", Depth: 2,
+		})
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(i int, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						errs[i] = err
+					}
+					return
+				}
+				time.Sleep(c.OverheadDelay)
+			}
+		}(i, r)
+	}
+
+	start := time.Now()
+	for s := 0; s < c.Steps; s++ {
+		if err := hub.Publish(fanoutStep(s, c.PayloadF64, "")); err != nil {
+			return 0, err
+		}
+	}
+	if err := hub.Close(); err != nil {
+		return 0, err
+	}
+	if err := srv.Close(); err != nil {
+		return 0, err
+	}
+	if relayRun != nil {
+		if err := <-relayRun; err != nil {
+			return 0, fmt.Errorf("relay: %w", err)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("consumer %d: %w", i, err)
+		}
+	}
+	return wall, nil
+}
+
+// runRelayRepartition measures the M x N byte economics: P producer
+// streams re-blocked by one relay into R shard-ranged outputs, with
+// full-pull ranks (one reader per producer stream each) as the
+// every-rank-reads-everything baseline, all consuming concurrently.
+func runRelayRepartition(c RelayConfig) (RelayRepartition, error) {
+	P, R := c.RepartProducers, c.RepartOutRanks
+	hubs := make([]*staging.Hub, P)
+	addrs := make([]string, P)
+	for i := range hubs {
+		hubs[i] = staging.NewHub(nil)
+		srv, err := staging.Serve(hubs[i], "127.0.0.1:0", nil)
+		if err != nil {
+			return RelayRepartition{}, err
+		}
+		defer srv.Close()
+		defer hubs[i].Close()
+		addrs[i] = srv.Addr()
+	}
+	rl, err := relay.New(addrs, relay.Options{
+		Name: "repart", OutRanks: R,
+		Downstream: []relay.Downstream{
+			{Spec: staging.ConsumerSpec{Name: "rank", Policy: staging.Block, Depth: 4}},
+		},
+	})
+	if err != nil {
+		return RelayRepartition{}, err
+	}
+	defer rl.Close()
+	relayRun := make(chan error, 1)
+	go func() { relayRun <- rl.Run() }()
+
+	relayBytes := make([]int64, R)
+	fullBytes := make([]int64, R)
+	errs := make([]error, 2*R)
+	var wg sync.WaitGroup
+	drain := func(r *adios.Reader, total *int64, slot int) {
+		defer wg.Done()
+		defer r.Close()
+		for {
+			if _, err := r.BeginStep(); err != nil {
+				if !errors.Is(err, io.EOF) {
+					errs[slot] = err
+				}
+				*total += r.BytesReceived()
+				return
+			}
+		}
+	}
+	for rank := 0; rank < R; rank++ {
+		r, err := adios.OpenReaderWith(rl.Addrs()[rank], adios.ReaderOptions{Consumer: "rank"})
+		if err != nil {
+			return RelayRepartition{}, err
+		}
+		wg.Add(1)
+		go drain(r, &relayBytes[rank], rank)
+		for src := 0; src < P; src++ {
+			fr, err := adios.OpenReaderWith(addrs[src], adios.ReaderOptions{
+				Consumer: fmt.Sprintf("full-%d", rank), Policy: "block", Depth: 2,
+			})
+			if err != nil {
+				return RelayRepartition{}, err
+			}
+			wg.Add(1)
+			go drain(fr, &fullBytes[rank], R+rank)
+		}
+	}
+
+	for s := 0; s < c.Steps; s++ {
+		for _, h := range hubs {
+			if err := h.Publish(fanoutStep(s, c.PayloadF64, "")); err != nil {
+				return RelayRepartition{}, err
+			}
+		}
+	}
+	for _, h := range hubs {
+		if err := h.Close(); err != nil {
+			return RelayRepartition{}, err
+		}
+	}
+	if err := <-relayRun; err != nil {
+		return RelayRepartition{}, fmt.Errorf("relay: %w", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return RelayRepartition{}, fmt.Errorf("rank reader %d: %w", i, err)
+		}
+	}
+
+	res := RelayRepartition{
+		Producers: P, OutRanks: R, IdealShare: 1 / float64(R),
+	}
+	for rank := 0; rank < R; rank++ {
+		res.RelayPerRank += relayBytes[rank]
+		if fullBytes[rank] > res.FullPullPerRank {
+			res.FullPullPerRank = fullBytes[rank]
+		}
+	}
+	res.RelayPerRank /= int64(R)
+	if res.FullPullPerRank > 0 {
+		res.RelayShare = float64(res.RelayPerRank) / float64(res.FullPullPerRank)
+	}
+	return res, nil
+}
+
+// RunRelayMatrix runs the complete staging-mesh measurement: the
+// egress-limited tier sweep (how many consumers each tree depth
+// serves at the same producer throughput), the no-egress relay
+// overhead control, and the M x N repartition byte economics.
+func RunRelayMatrix(cfg RelayConfig) (RelayResult, error) {
+	c := cfg.withDefaults()
+	res := RelayResult{EgressMBps: c.EgressMBps}
+	for _, d := range c.Depths {
+		relays := 0
+		for l, pow := 1, 1; l <= d; l++ {
+			pow *= c.Fanout
+			relays += pow
+		}
+		tier := TierResult{Depth: d, Relays: relays}
+		for _, n := range c.Consumers {
+			row, err := runRelayTier(c, d, n)
+			if err != nil {
+				return res, fmt.Errorf("bench: relay depth %d x%d: %w", d, n, err)
+			}
+			tier.Rows = append(tier.Rows, row)
+		}
+		res.Tiers = append(res.Tiers, tier)
+	}
+	if len(res.Tiers) > 0 && len(res.Tiers[0].Rows) > 0 {
+		res.RefMBps = c.RefFraction * res.Tiers[0].Rows[0].ProducerMBps
+	}
+	for i := range res.Tiers {
+		for _, row := range res.Tiers[i].Rows {
+			if row.ProducerMBps >= res.RefMBps && row.Consumers > res.Tiers[i].ConsumersAtRef {
+				res.Tiers[i].ConsumersAtRef = row.Consumers
+			}
+		}
+	}
+
+	// Relay overhead, interleaved best-of-Trials so machine noise hits
+	// both arms alike.
+	res.Overhead.Consumers = c.OverheadConsumers
+	for t := 0; t < c.Trials; t++ {
+		direct, err := runRelayOverheadArm(c, false)
+		if err != nil {
+			return res, fmt.Errorf("bench: relay overhead direct: %w", err)
+		}
+		relayed, err := runRelayOverheadArm(c, true)
+		if err != nil {
+			return res, fmt.Errorf("bench: relay overhead relayed: %w", err)
+		}
+		if t == 0 || direct < res.Overhead.DirectWall {
+			res.Overhead.DirectWall = direct
+		}
+		if t == 0 || relayed < res.Overhead.RelayedWall {
+			res.Overhead.RelayedWall = relayed
+		}
+	}
+	if res.Overhead.DirectWall > 0 {
+		res.Overhead.Ratio = float64(res.Overhead.RelayedWall) / float64(res.Overhead.DirectWall)
+	}
+
+	repart, err := runRelayRepartition(c)
+	if err != nil {
+		return res, fmt.Errorf("bench: relay repartition: %w", err)
+	}
+	res.Repartition = repart
+	return res, nil
+}
+
+// RelayTable renders the tier sweep.
+func RelayTable(res RelayResult) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Staging mesh: consumers served per tier depth (egress %.0f MB/s per process)", res.EgressMBps),
+		"depth", "relays", "consumers", "producer wall [ms]", "producer MB/s", "at ref?")
+	for _, tier := range res.Tiers {
+		for _, row := range tier.Rows {
+			at := ""
+			if row.ProducerMBps >= res.RefMBps {
+				at = "yes"
+			}
+			t.AddRow(tier.Depth, tier.Relays, row.Consumers,
+				fmt.Sprintf("%.1f", float64(row.ProducerWall.Microseconds())/1000),
+				fmt.Sprintf("%.1f", row.ProducerMBps), at)
+		}
+	}
+	return t
+}
+
+// WriteRelayJSON emits the staging-mesh measurement as the
+// BENCH_relay.json artifact the CI gates read.
+func WriteRelayJSON(w io.Writer, cfg RelayConfig, res RelayResult) error {
+	c := cfg.withDefaults()
+	type tierRow struct {
+		Consumers      int     `json:"consumers"`
+		ProducerWallMs float64 `json:"producer_wall_ms"`
+		ProducerMBps   float64 `json:"producer_mbps"`
+	}
+	type tier struct {
+		Depth          int       `json:"depth"`
+		Relays         int       `json:"relays"`
+		ConsumersAtRef int       `json:"consumers_at_ref"`
+		Rows           []tierRow `json:"rows"`
+	}
+	doc := struct {
+		Figure     string  `json:"figure"`
+		Steps      int     `json:"steps"`
+		PayloadF64 int     `json:"payload_f64"`
+		EgressMBps float64 `json:"egress_mbps"`
+		Fanout     int     `json:"fanout"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		RefMBps    float64 `json:"ref_mbps"`
+		Tiers      []tier  `json:"tiers"`
+		Scaling    struct {
+			ConsumersAtRefDepth0  int  `json:"consumers_at_ref_depth0"`
+			ConsumersAtRefDeepest int  `json:"consumers_at_ref_deepest"`
+			DeeperServesMore      bool `json:"deeper_serves_more"`
+		} `json:"scaling"`
+		Overhead struct {
+			Consumers     int     `json:"consumers"`
+			DirectWallMs  float64 `json:"direct_wall_ms"`
+			RelayedWallMs float64 `json:"relayed_wall_ms"`
+			Ratio         float64 `json:"ratio"`
+		} `json:"overhead"`
+		Repartition struct {
+			Producers       int     `json:"producers"`
+			OutRanks        int     `json:"out_ranks"`
+			FullPullPerRank int64   `json:"full_pull_bytes_per_rank"`
+			RelayPerRank    int64   `json:"relay_bytes_per_rank"`
+			RelayShare      float64 `json:"relay_share"`
+			IdealShare      float64 `json:"ideal_share"`
+		} `json:"repartition"`
+	}{
+		Figure: "relay", Steps: c.Steps, PayloadF64: c.PayloadF64,
+		EgressMBps: res.EgressMBps, Fanout: c.Fanout,
+		GoMaxProcs: runtime.GOMAXPROCS(0), RefMBps: res.RefMBps,
+	}
+	for _, t := range res.Tiers {
+		row := tier{Depth: t.Depth, Relays: t.Relays, ConsumersAtRef: t.ConsumersAtRef}
+		for _, r := range t.Rows {
+			row.Rows = append(row.Rows, tierRow{
+				Consumers:      r.Consumers,
+				ProducerWallMs: float64(r.ProducerWall.Microseconds()) / 1000,
+				ProducerMBps:   r.ProducerMBps,
+			})
+		}
+		doc.Tiers = append(doc.Tiers, row)
+	}
+	if len(res.Tiers) > 0 {
+		doc.Scaling.ConsumersAtRefDepth0 = res.Tiers[0].ConsumersAtRef
+		doc.Scaling.ConsumersAtRefDeepest = res.Tiers[len(res.Tiers)-1].ConsumersAtRef
+		doc.Scaling.DeeperServesMore = doc.Scaling.ConsumersAtRefDeepest > doc.Scaling.ConsumersAtRefDepth0
+	}
+	doc.Overhead.Consumers = res.Overhead.Consumers
+	doc.Overhead.DirectWallMs = float64(res.Overhead.DirectWall.Microseconds()) / 1000
+	doc.Overhead.RelayedWallMs = float64(res.Overhead.RelayedWall.Microseconds()) / 1000
+	doc.Overhead.Ratio = res.Overhead.Ratio
+	doc.Repartition.Producers = res.Repartition.Producers
+	doc.Repartition.OutRanks = res.Repartition.OutRanks
+	doc.Repartition.FullPullPerRank = res.Repartition.FullPullPerRank
+	doc.Repartition.RelayPerRank = res.Repartition.RelayPerRank
+	doc.Repartition.RelayShare = res.Repartition.RelayShare
+	doc.Repartition.IdealShare = res.Repartition.IdealShare
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -52,6 +52,12 @@ type GroupConfig struct {
 	// assigned writer. Called inside the rank's goroutine; the
 	// returned cleanup (may be nil) runs when the rank finishes.
 	Sources func(rank, ranks int) ([]StepSource, func(), error)
+	// Presharded declares that each rank's Sources already hold only
+	// that rank's block range — the partitioning happened upstream (a
+	// repartitioning relay's shard-ranged output streams) — so the
+	// rank analyzes every local source instead of re-sharding the
+	// local source list by rank.
+	Presharded bool
 	// StepDelay adds artificial processing time per rank per step
 	// (skew and slow-consumer experiments).
 	StepDelay time.Duration
@@ -235,6 +241,9 @@ func (g *Group) Run() (GroupStats, error) {
 		}
 
 		lo, hi := ShardRange(len(sources), R, rank)
+		if g.cfg.Presharded {
+			lo, hi = 0, len(sources)
+		}
 		da := NewStreamDataAdaptor(comm, len(sources))
 		err = da.SetShard(lo, hi)
 		ctx := &sensei.Context{

@@ -1,0 +1,54 @@
+package relay
+
+import (
+	"testing"
+
+	"nekrs-sensei/internal/cases"
+	"nekrs-sensei/internal/core"
+	"nekrs-sensei/internal/fluid"
+	"nekrs-sensei/internal/mpirt"
+	"nekrs-sensei/internal/nekrs"
+	"nekrs-sensei/internal/sensei"
+
+	_ "nekrs-sensei/internal/catalyst" // analysis type "catalyst" for the render leaf
+)
+
+// runPB146Sim drives the pb146 case for `steps` timesteps across
+// `ranks` simulated MPI ranks, with senseiXML configuring the
+// in-transit side (the staging analysis publishing the mesh). Blocks
+// until the simulation finishes and its bridge finalizes.
+func runPB146Sim(t *testing.T, ranks, steps int, senseiXML, out string) {
+	t.Helper()
+	pb := cases.PB146(1, 4)
+	errs := make([]error, ranks)
+	mpirt.Run(ranks, func(comm *mpirt.Comm) {
+		rank := comm.Rank()
+		sim, err := nekrs.NewSim(comm, nil, pb)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		ctx := &sensei.Context{
+			Comm: comm, Acct: sim.Acct, Timer: sim.Timer,
+			Storage: sim.Storage, OutputDir: out,
+		}
+		bridge, err := core.Initialize(ctx, sim.Solver, []byte(senseiXML))
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		err = sim.Run(steps, func(st fluid.StepStats) error {
+			_, err := bridge.Update(st.Step, st.Time)
+			return err
+		})
+		if err == nil {
+			err = bridge.Finalize()
+		}
+		errs[rank] = err
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("sim rank %d: %v", rank, err)
+		}
+	}
+}

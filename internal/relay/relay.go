@@ -1,0 +1,721 @@
+// Package relay implements the distributed staging mesh: relay nodes
+// that attach to upstream staging hubs (or other relays) as ordinary
+// SST consumers and re-publish the stream into their own local hubs,
+// so hubs compose into fan-out trees where consumer count is no
+// longer bounded by one process's sockets, memory or egress — the
+// prerequisite the ROADMAP names for the "millions of consumers"
+// north star, and the M:N shape the paper's SENSEI/ADIOS in-transit
+// configuration is built around (P simulation ranks, R analysis
+// ranks, P ≠ R).
+//
+// A relay is two things at once:
+//
+//   - A fan-out tier: downstream it is indistinguishable from a
+//     producer-side staging hub — same SST handshake, same
+//     backpressure policies, same consumer groups, same wire codecs —
+//     so a consumer (or another relay) never knows how deep in the
+//     tree it attached.
+//
+//   - An M×N repartitioner: it merges P upstream rank streams at a
+//     step agreement and re-blocks them into R shard-ranged output
+//     streams (intransit.ShardRange block partition), so each
+//     endpoint group rank attaches to exactly one relay output and
+//     receives only its block range, instead of every rank pulling
+//     all P full streams.
+//
+// Requirements flow upstream through the tree: the relay unions its
+// declared downstream consumers' array/error declarations
+// (sensei.Requirements.Union) and requests exactly that union from
+// its upstream in the hello — re-advertising it downward — so a
+// subtree that only ever reads "pressure" costs "pressure" on every
+// trunk above it.
+//
+// The data path never decodes a float when it can avoid it: with a
+// plain (uncoded) trunk, upstream frames are received raw
+// (adios.Reader.BeginRawStep), re-blocked span-by-span
+// (adios.SpliceFrames over ScanFrame layouts), and published
+// pre-marshaled (staging.Hub.PublishFrame), so the splice output
+// bytes are shared by every downstream connection. Structure steps —
+// once per stream — and coded trunks fall back to a decoded
+// Step-level merge with connectivity/offsets rebasing (the same rule
+// as intransit.StreamDataAdaptor.Seal).
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/intransit"
+	"nekrs-sensei/internal/sensei"
+	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
+)
+
+// Downstream is one pre-declared consumer of a relay's output hubs
+// (the staging.ConsumerSpec shape plus the requirement metadata that
+// flows upstream).
+type Downstream struct {
+	Spec staging.ConsumerSpec
+	// MaxError, when > 0, declares the consumer tolerates up to this
+	// absolute per-value error: if every declared consumer is lossy,
+	// the relay may request quantized trunk frames from upstream at
+	// the strictest declared bound.
+	MaxError float64
+}
+
+// Options configures a relay node.
+type Options struct {
+	// Name is the consumer name the relay announces to each upstream
+	// hub (default "relay"). Distinct relays attaching to the same
+	// upstream need distinct names.
+	Name string
+	// Policy/Depth shape the relay's upstream subscriptions (default
+	// block / 2): the trunk edge has its own backpressure contract,
+	// independent of what leaf consumers request below.
+	Policy string
+	Depth  int
+	// OutRanks is R, the number of shard-ranged output streams the
+	// relay re-blocks its P upstream streams into. 0 keeps R = P (a
+	// pure fan-out tier: output o mirrors upstream o).
+	OutRanks int
+	// Listen is the listen address for every output server (default
+	// "127.0.0.1:0"; each output picks its own ephemeral port).
+	Listen string
+	// Mesh names the mesh for the requirement union (default "mesh").
+	Mesh string
+	// Downstream pre-declares consumers on every output hub (claimed
+	// by name like any staging consumer); their array/error
+	// declarations union into the upstream request.
+	Downstream []Downstream
+	// DefaultPolicy/DefaultDepth apply to dynamically attaching
+	// readers not pre-declared above (default block / 2).
+	DefaultPolicy staging.Policy
+	DefaultDepth  int
+	// TrunkCodecs overrides the wire-codec request on the upstream
+	// edge (codec.ParseSpec grammar). Empty derives it from the
+	// downstream declarations: a quantize request when every declared
+	// consumer tolerates loss, plain frames otherwise. Note a coded
+	// trunk disables the raw splice path (frames must be decoded).
+	TrunkCodecs []string
+	// AdvertiseCodecs is the codec advertisement the relay re-exports
+	// to its own consumers (nil = every implemented codec).
+	AdvertiseCodecs []string
+	// Tier is this relay's depth in the mesh (0 attaches straight to
+	// producer hubs); reported in /statusz.
+	Tier int
+	// Telemetry, when non-nil, attaches the relay and its output hubs
+	// to the process observability plane (a "relay/<name>" /statusz
+	// section plus the usual per-hub series).
+	Telemetry *telemetry.Telemetry
+	// OnIngest, when non-nil, is called from the relay loop after
+	// every upstream step receive with the source index and its wire
+	// size — the tap the bench harness uses to emulate trunk-link
+	// bandwidth.
+	OnIngest func(source int, wireBytes int64)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Name == "" {
+		out.Name = "relay"
+	}
+	if out.Policy == "" {
+		out.Policy = "block"
+	}
+	if out.Depth <= 0 {
+		out.Depth = 2
+	}
+	if out.Listen == "" {
+		out.Listen = "127.0.0.1:0"
+	}
+	if out.Mesh == "" {
+		out.Mesh = "mesh"
+	}
+	if out.DefaultDepth <= 0 {
+		out.DefaultDepth = 2
+	}
+	return out
+}
+
+// Relay is one node of the staging mesh. Build with New, drive with
+// Run, tear down with Close (Run tears down on its own when the
+// upstream ends).
+type Relay struct {
+	opts Options
+
+	readers []*adios.Reader
+	hubs    []*staging.Hub
+	servers []*staging.Server
+	binders []*staging.Binder
+	pool    *adios.FramePool
+
+	req    sensei.Requirements // downstream union
+	arrays []string            // upstream subset request (nil = all)
+	codecs []string            // trunk codec request
+	raw    bool                // splice path active (plain trunk)
+
+	// Per-source/per-output stream state, owned by the Run goroutine.
+	pendingStruct []*adios.Step // structure held from skipped steps
+	structSent    []bool        // per output
+
+	steps   atomic.Int64
+	skipped atomic.Int64
+	bytesIn atomic.Int64
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New dials every upstream address as one SST consumer (requesting
+// the unioned downstream requirements), builds R output hubs with
+// their servers and pre-declared consumers, and returns the relay
+// ready to Run. The upstream addresses are one contact file's worth
+// of producer (or upstream-relay) endpoints, in rank order.
+func New(upstream []string, opts Options) (*Relay, error) {
+	if len(upstream) == 0 {
+		return nil, fmt.Errorf("relay: no upstream addresses")
+	}
+	o := opts.withDefaults()
+	r := &Relay{opts: o, pool: adios.NewFramePool()}
+	if o.OutRanks == 0 {
+		o.OutRanks = len(upstream)
+		r.opts.OutRanks = o.OutRanks
+	}
+	if o.OutRanks < 1 || o.OutRanks > len(upstream) {
+		return nil, fmt.Errorf("relay: out-ranks %d outside [1, %d upstreams]", o.OutRanks, len(upstream))
+	}
+
+	r.req = unionRequirements(o.Mesh, o.Downstream)
+	if m := r.req.Mesh(o.Mesh); m != nil && !m.AllArrays && !r.req.IsOpaque() {
+		r.arrays = m.PointArrayNames()
+	}
+	r.codecs = o.TrunkCodecs
+	if len(r.codecs) == 0 {
+		if bound, ok := r.req.MaxError(); ok {
+			r.codecs = []string{"quantize:" + strconv.FormatFloat(bound, 'g', -1, 64)}
+		}
+	}
+	r.raw = len(r.codecs) == 0
+
+	// Upstream edge: one reader per source, announcing the subtree's
+	// unioned needs.
+	for i, addr := range upstream {
+		rd, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
+			Consumer: o.Name, Policy: o.Policy, Depth: o.Depth,
+			Arrays: r.arrays, Codecs: r.codecs,
+		})
+		if err != nil {
+			r.teardown()
+			return nil, fmt.Errorf("relay: upstream %d (%s): %w", i, addr, err)
+		}
+		r.readers = append(r.readers, rd)
+	}
+
+	// Downstream edge: R hubs, each re-advertising the union and
+	// carrying every pre-declared consumer.
+	for i := 0; i < o.OutRanks; i++ {
+		hub := staging.NewHub(nil)
+		hub.SetAdvertised(r.arrays)
+		hub.SetCodecAdvertised(o.AdvertiseCodecs)
+		hub.SetTelemetry(o.Telemetry, fmt.Sprintf("%s-out%d", o.Name, i))
+		binder := staging.NewBinder(hub, o.DefaultPolicy, o.DefaultDepth)
+		for _, d := range o.Downstream {
+			if _, err := binder.Declare(d.Spec); err != nil {
+				hub.Close()
+				r.teardown()
+				return nil, fmt.Errorf("relay: declare %q: %w", d.Spec.Name, err)
+			}
+		}
+		srv, err := staging.Serve(hub, o.Listen, binder.Bind)
+		if err != nil {
+			hub.Close()
+			r.teardown()
+			return nil, fmt.Errorf("relay: listen: %w", err)
+		}
+		r.hubs = append(r.hubs, hub)
+		r.binders = append(r.binders, binder)
+		r.servers = append(r.servers, srv)
+	}
+	r.pendingStruct = make([]*adios.Step, len(upstream))
+	r.structSent = make([]bool, o.OutRanks)
+
+	if o.Telemetry != nil {
+		o.Telemetry.RegisterStatus("relay/"+o.Name, func() any { return r.Status() })
+	}
+	return r, nil
+}
+
+// unionRequirements folds the declared downstream consumers into one
+// sensei.Requirements — the subtree's need, which becomes the
+// upstream hello. No declarations means the relay must be able to
+// serve anything (dynamic attachment), i.e. all arrays, lossless.
+func unionRequirements(mesh string, ds []Downstream) sensei.Requirements {
+	if len(ds) == 0 {
+		return sensei.RequireAllArrays(mesh)
+	}
+	var req sensei.Requirements
+	for i, d := range ds {
+		var one sensei.Requirements
+		if len(d.Spec.Arrays) == 0 {
+			one = sensei.RequireAllArrays(mesh)
+		} else {
+			one = sensei.RequireArrays(mesh, sensei.AssocPoint, d.Spec.Arrays...)
+		}
+		if d.MaxError > 0 {
+			one = one.WithMaxError(d.MaxError)
+		}
+		if i == 0 {
+			req = one
+		} else {
+			req = req.Union(one)
+		}
+	}
+	return req
+}
+
+// Addrs lists the relay's output server addresses in shard-rank order
+// — the contact file a downstream tier reads. Output o serves shard
+// intransit.ShardRange(P, R, o) of the upstream block range.
+func (r *Relay) Addrs() []string {
+	out := make([]string, len(r.servers))
+	for i, s := range r.servers {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// OutRanks reports R, the number of output streams.
+func (r *Relay) OutRanks() int { return len(r.hubs) }
+
+// Upstreams reports P, the number of upstream streams.
+func (r *Relay) Upstreams() int { return len(r.readers) }
+
+// Requirements returns the unioned downstream declaration the relay
+// requested upstream.
+func (r *Relay) Requirements() sensei.Requirements { return r.req }
+
+// RequestedArrays returns the array subset requested upstream (nil =
+// every published array).
+func (r *Relay) RequestedArrays() []string { return r.arrays }
+
+// Hub returns output o's staging hub (programmatic subscription,
+// stats).
+func (r *Relay) Hub(o int) *staging.Hub { return r.hubs[o] }
+
+// Steps reports aligned steps relayed; Skipped reports per-source
+// steps discarded during stream realignment.
+func (r *Relay) Steps() int64   { return r.steps.Load() }
+func (r *Relay) Skipped() int64 { return r.skipped.Load() }
+
+// Status is the relay's /statusz section.
+type Status struct {
+	Name     string   `json:"name"`
+	Tier     int      `json:"tier"`
+	Upstream int      `json:"upstream_streams"`
+	OutRanks int      `json:"out_ranks"`
+	Mode     string   `json:"mode"` // "splice" (raw re-block) or "decode" (coded trunk)
+	Requires string   `json:"requires"`
+	Arrays   []string `json:"trunk_arrays,omitempty"` // empty = all
+	Codecs   []string `json:"trunk_codecs,omitempty"`
+	Steps    int64    `json:"steps_relayed"`
+	Skipped  int64    `json:"steps_skipped"`
+	BytesIn  int64    `json:"trunk_bytes_in"`
+	BytesOut int64    `json:"bytes_out"`
+}
+
+// Status snapshots the relay's topology and counters (safe from any
+// goroutine).
+func (r *Relay) Status() Status {
+	st := Status{
+		Name: r.opts.Name, Tier: r.opts.Tier,
+		Upstream: len(r.readers), OutRanks: len(r.hubs),
+		Mode: "splice", Requires: r.req.String(),
+		Arrays: r.arrays, Codecs: r.codecs,
+		Steps: r.steps.Load(), Skipped: r.skipped.Load(),
+		BytesIn: r.bytesIn.Load(),
+	}
+	if !r.raw {
+		st.Mode = "decode"
+	}
+	for _, h := range r.hubs {
+		for _, c := range h.Stats() {
+			st.BytesOut += c.WireBytes
+		}
+	}
+	return st
+}
+
+// Run pumps the mesh: receive one step from every upstream source,
+// realign skewed streams to the max step (structure from skipped
+// steps is never lost), re-block into R output shards, publish, and
+// repeat until the upstream ends. On return — clean end-of-stream,
+// upstream failure, or Close from another goroutine — the output hubs
+// and servers are always torn down cleanly, so downstream consumers
+// (and relays) finish with io.EOF, never a raw connection error.
+func (r *Relay) Run() (err error) {
+	defer func() {
+		r.teardown()
+		if r.closed.Load() {
+			err = nil // deliberate Close mid-run is a clean stop
+		}
+	}()
+	if r.raw {
+		return r.runFrames()
+	}
+	return r.runSteps()
+}
+
+// Close tears the relay down: upstream readers, then output hubs
+// (downstream pumps drain and send end-of-stream), then servers.
+// Safe to call concurrently with Run, which then returns nil.
+func (r *Relay) Close() error {
+	r.closed.Store(true)
+	r.teardown()
+	return r.closeErr
+}
+
+func (r *Relay) teardown() {
+	r.closeOnce.Do(func() {
+		// Readers first: unblocks a Run stuck receiving.
+		for _, rd := range r.readers {
+			rd.Close()
+		}
+		// Hubs before servers: pumps drain remaining steps and exit
+		// through the end-of-stream path.
+		for _, h := range r.hubs {
+			if err := h.Close(); err != nil && !errors.Is(err, staging.ErrClosed) && r.closeErr == nil {
+				r.closeErr = err
+			}
+		}
+		for _, s := range r.servers {
+			if err := s.Close(); err != nil && r.closeErr == nil {
+				r.closeErr = err
+			}
+		}
+	})
+}
+
+// shard returns output o's upstream source range.
+func (r *Relay) shard(o int) (lo, hi int) {
+	return intransit.ShardRange(len(r.readers), len(r.hubs), o)
+}
+
+// publishPendingStructure delivers the merged structure held from
+// skipped steps to output o, if o has not yet seen one and every
+// shard source holds one. Streams without structure (bare array
+// streams) never trigger it.
+func (r *Relay) publishPendingStructure(o int) error {
+	if r.structSent[o] {
+		return nil
+	}
+	lo, hi := r.shard(o)
+	for i := lo; i < hi; i++ {
+		if r.pendingStruct[i] == nil {
+			return nil
+		}
+	}
+	merged, err := mergeSteps(r.pendingStruct[lo:hi])
+	if err != nil {
+		return err
+	}
+	if err := r.hubs[o].Publish(merged); err != nil {
+		return err
+	}
+	r.structSent[o] = true
+	return nil
+}
+
+var errEndedEarly = fmt.Errorf("relay: upstream source ended mid-stream while peers continued")
+
+// runFrames is the plain-trunk pump: raw frames in, spliced frames
+// out, floats never decoded except for the once-per-stream structure
+// merge.
+func (r *Relay) runFrames() error {
+	P := len(r.readers)
+	raws := make([][]byte, P)
+	infos := make([]adios.FrameInfo, P)
+	fetch := func(i int) (bool, error) {
+		raw, err := r.readers[i].BeginRawStep()
+		if errors.Is(err, io.EOF) {
+			return true, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("relay: upstream %d: %w", i, err)
+		}
+		fi, err := adios.ScanFrame(raw)
+		if err != nil {
+			return false, fmt.Errorf("relay: upstream %d: %w", i, err)
+		}
+		raws[i], infos[i] = raw, fi
+		r.bytesIn.Add(int64(len(raw)))
+		if r.opts.OnIngest != nil {
+			r.opts.OnIngest(i, int64(len(raw)))
+		}
+		return false, nil
+	}
+	for {
+		eofs := 0
+		for i := 0; i < P; i++ {
+			if raws[i] != nil {
+				continue
+			}
+			eof, err := fetch(i)
+			if err != nil {
+				return err
+			}
+			if eof {
+				eofs++
+			}
+		}
+		if eofs == P {
+			return nil
+		}
+		if eofs > 0 {
+			return errEndedEarly
+		}
+		// Step agreement: realign every source to the max step seen,
+		// preserving skipped structure.
+		target := infos[0].Step
+		for i := 1; i < P; i++ {
+			if infos[i].Step > target {
+				target = infos[i].Step
+			}
+		}
+		aligned := true
+		for i := 0; i < P; i++ {
+			for infos[i].Step < target {
+				if infos[i].Structure {
+					st, err := adios.Unmarshal(raws[i])
+					if err != nil {
+						return fmt.Errorf("relay: upstream %d structure: %w", i, err)
+					}
+					r.pendingStruct[i] = st
+				}
+				r.skipped.Add(1)
+				eof, err := fetch(i)
+				if err != nil {
+					return err
+				}
+				if eof {
+					return errEndedEarly
+				}
+				if infos[i].Step > target {
+					aligned = false // overshoot: re-agree next round
+					break
+				}
+			}
+		}
+		if !aligned {
+			continue
+		}
+
+		if err := r.relayAlignedFrames(raws, infos); err != nil {
+			return err
+		}
+		r.steps.Add(1)
+		for i := range raws {
+			raws[i] = nil
+		}
+	}
+}
+
+// relayAlignedFrames re-blocks one aligned step (every source at the
+// same step number) into the R outputs.
+func (r *Relay) relayAlignedFrames(raws [][]byte, infos []adios.FrameInfo) error {
+	structured := infos[0].Structure
+	for i := range infos {
+		if infos[i].Structure != structured {
+			return fmt.Errorf("relay: step %d: source %d structure flag disagrees with source 0", infos[0].Step, i)
+		}
+	}
+	for o := range r.hubs {
+		lo, hi := r.shard(o)
+		if structured {
+			// Once per stream: decode the shard's frames and merge with
+			// point/connectivity rebasing. The hub retains it as the
+			// bootstrap for late subscribers.
+			parts := make([]*adios.Step, hi-lo)
+			for i := lo; i < hi; i++ {
+				st, err := adios.Unmarshal(raws[i])
+				if err != nil {
+					return fmt.Errorf("relay: upstream %d: %w", i, err)
+				}
+				parts[i-lo] = st
+			}
+			merged, err := mergeSteps(parts)
+			if err != nil {
+				return err
+			}
+			if err := r.hubs[o].Publish(merged); err != nil {
+				return err
+			}
+			r.structSent[o] = true
+			continue
+		}
+		if err := r.publishPendingStructure(o); err != nil {
+			return err
+		}
+		// The fast path: block-range splice over the recorded spans,
+		// published pre-marshaled so every downstream connection ships
+		// these exact bytes.
+		f, err := adios.SpliceFrames(raws[lo:hi], r.pool)
+		if err != nil {
+			return fmt.Errorf("relay: splice step %d for output %d: %w", infos[0].Step, o, err)
+		}
+		st := &adios.Step{}
+		if err := adios.UnmarshalInto(f.Bytes(), st); err != nil {
+			f.Release()
+			return err
+		}
+		if err := r.hubs[o].PublishFrame(st, f); err != nil {
+			return err
+		}
+	}
+	if structured {
+		for i := range r.pendingStruct {
+			r.pendingStruct[i] = nil
+		}
+	}
+	return nil
+}
+
+// runSteps is the coded-trunk pump: the connection's stream decoder
+// owns the wire format, so the relay merges decoded steps and lets
+// each output hub marshal lazily. Decode-into-reuse still applies:
+// sources fully copied into a merged step are recycled to their
+// readers.
+func (r *Relay) runSteps() error {
+	P := len(r.readers)
+	steps := make([]*adios.Step, P)
+	fetch := func(i int) (bool, error) {
+		prev := r.readers[i].BytesReceived()
+		st, err := r.readers[i].BeginStep()
+		if errors.Is(err, io.EOF) {
+			return true, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("relay: upstream %d: %w", i, err)
+		}
+		steps[i] = st
+		n := r.readers[i].BytesReceived() - prev
+		r.bytesIn.Add(n)
+		if r.opts.OnIngest != nil {
+			r.opts.OnIngest(i, n)
+		}
+		return false, nil
+	}
+	for {
+		eofs := 0
+		for i := 0; i < P; i++ {
+			if steps[i] != nil {
+				continue
+			}
+			eof, err := fetch(i)
+			if err != nil {
+				return err
+			}
+			if eof {
+				eofs++
+			}
+		}
+		if eofs == P {
+			return nil
+		}
+		if eofs > 0 {
+			return errEndedEarly
+		}
+		target := steps[0].Step
+		for i := 1; i < P; i++ {
+			if steps[i].Step > target {
+				target = steps[i].Step
+			}
+		}
+		aligned := true
+		for i := 0; i < P; i++ {
+			for steps[i].Step < target {
+				if steps[i].Attrs["structure"] == "1" {
+					r.pendingStruct[i] = steps[i]
+				}
+				r.skipped.Add(1)
+				steps[i] = nil
+				eof, err := fetch(i)
+				if err != nil {
+					return err
+				}
+				if eof {
+					return errEndedEarly
+				}
+				if steps[i].Step > target {
+					aligned = false
+					break
+				}
+			}
+		}
+		if !aligned {
+			continue
+		}
+
+		if err := r.relayAlignedSteps(steps); err != nil {
+			return err
+		}
+		r.steps.Add(1)
+		for i := range steps {
+			steps[i] = nil
+		}
+	}
+}
+
+// relayAlignedSteps re-blocks one aligned step of decoded steps.
+func (r *Relay) relayAlignedSteps(steps []*adios.Step) error {
+	structured := steps[0].Attrs["structure"] == "1"
+	for i := range steps {
+		if (steps[i].Attrs["structure"] == "1") != structured {
+			return fmt.Errorf("relay: step %d: source %d structure flag disagrees with source 0", steps[0].Step, i)
+		}
+	}
+	for o := range r.hubs {
+		lo, hi := r.shard(o)
+		if !structured {
+			if err := r.publishPendingStructure(o); err != nil {
+				return err
+			}
+		}
+		if hi-lo == 1 && !structured {
+			// Single-source shard: pass the decoded step through
+			// unmerged. The hub shares its storage with every consumer,
+			// so it cannot be recycled.
+			if err := r.hubs[o].Publish(steps[lo]); err != nil {
+				return err
+			}
+			continue
+		}
+		merged, err := mergeSteps(steps[lo:hi])
+		if err != nil {
+			return err
+		}
+		if err := r.hubs[o].Publish(merged); err != nil {
+			return err
+		}
+		if structured {
+			r.structSent[o] = true
+		} else if hi-lo > 1 {
+			// The merge copied every payload: hand the source steps back
+			// to their readers for decode-into-reuse.
+			for i := lo; i < hi; i++ {
+				r.readers[i].Recycle(steps[i])
+			}
+		}
+	}
+	if structured {
+		for i := range r.pendingStruct {
+			r.pendingStruct[i] = nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package relay
+
+import (
+	"fmt"
+
+	"nekrs-sensei/internal/adios"
+)
+
+// mergeSteps merges P same-step decoded steps into one, as if their
+// producer ranks had been a single rank — the decoded counterpart of
+// adios.SpliceFrames, used for structure steps (which need index
+// rebasing) and coded trunks (which arrive decoded). Array payloads
+// concatenate in source order; for structure steps the geometry
+// merges under the same rule as intransit.StreamDataAdaptor.Seal:
+// points concatenate, connectivity rebases by the running point
+// count, offsets rebase by the running connectivity length, cell
+// types concatenate.
+func mergeSteps(parts []*adios.Step) (*adios.Step, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("relay: merge of no steps")
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	first := parts[0]
+	out := &adios.Step{Step: first.Step, Time: first.Time, Attrs: map[string]string{}}
+	for k, v := range first.Attrs {
+		out.Attrs[k] = v
+	}
+
+	var pointBase, connBase int64
+	bases := make([]int64, len(parts)) // per-part point base, for connectivity
+	connBases := make([]int64, len(parts))
+	for i, p := range parts {
+		bases[i], connBases[i] = pointBase, connBase
+		if v := p.FindVar("points"); v != nil {
+			pointBase += int64(len(v.F64)) / 3
+		}
+		if v := p.FindVar("connectivity"); v != nil {
+			connBase += int64(len(v.I64))
+		}
+	}
+
+	for vi := range first.Vars {
+		v0 := &first.Vars[vi]
+		mv := adios.Variable{Name: v0.Name, Kind: v0.Kind}
+		var firstDim int64
+		for i, p := range parts {
+			v := p.FindVar(v0.Name)
+			if v == nil || v.Kind != v0.Kind {
+				return nil, fmt.Errorf("relay: step %d: source %d missing variable %q", first.Step, i, v0.Name)
+			}
+			if len(v.Shape) != len(v0.Shape) {
+				return nil, fmt.Errorf("relay: step %d: variable %q rank differs across sources", first.Step, v0.Name)
+			}
+			for d := 1; d < len(v.Shape); d++ {
+				if v.Shape[d] != v0.Shape[d] {
+					return nil, fmt.Errorf("relay: step %d: variable %q dim %d differs across sources", first.Step, v0.Name, d)
+				}
+			}
+			if len(v.Shape) > 0 {
+				firstDim += v.Shape[0]
+			}
+			switch v0.Name {
+			case "connectivity":
+				for _, c := range v.I64 {
+					mv.I64 = append(mv.I64, c+bases[i])
+				}
+			case "offsets":
+				for _, off := range v.I64 {
+					mv.I64 = append(mv.I64, off+connBases[i])
+				}
+			default:
+				switch v.Kind {
+				case adios.KindFloat64:
+					mv.F64 = append(mv.F64, v.F64...)
+				case adios.KindInt64:
+					mv.I64 = append(mv.I64, v.I64...)
+				case adios.KindUint8:
+					mv.U8 = append(mv.U8, v.U8...)
+				}
+			}
+		}
+		if len(v0.Shape) > 0 {
+			mv.Shape = append([]int64{firstDim}, v0.Shape[1:]...)
+		}
+		out.Vars = append(out.Vars, mv)
+	}
+	return out, nil
+}

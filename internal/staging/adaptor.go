@@ -104,7 +104,12 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 // consumers fan out. XML attributes:
 //
 //	address   server listen address (default 127.0.0.1:0)
-//	contact   contact file for the rendezvous (rank 0 writes it)
+//	contact   contact file for the rendezvous (rank 0 writes it); with
+//	          contact-dir set, the entry name instead
+//	contact-dir
+//	          contact directory of a multi-hub topology: the rendezvous
+//	          is written as <dir>/<contact>.contact so several hubs and
+//	          relay tiers share one directory without colliding
 //	mesh      mesh name (default "mesh")
 //	arrays    comma-separated array names ("" = all advertised); also
 //	          the advertisement consumer subset requests are validated
@@ -229,8 +234,14 @@ func init() {
 				for i, b := range all {
 					addrs[i] = string(b)
 				}
-				if err := adios.WriteContact(contact, addrs); err != nil {
-					return nil, err
+				var werr error
+				if dir := strings.TrimSpace(attrs["contact-dir"]); dir != "" {
+					werr = adios.WriteContactEntry(dir, contact, addrs)
+				} else {
+					werr = adios.WriteContact(contact, addrs)
+				}
+				if werr != nil {
+					return nil, werr
 				}
 			}
 		}

@@ -740,7 +740,28 @@ func (h *Hub) lag(c *Consumer) int64 { return h.nextSeq - c.cursor }
 // instead lose their oldest undelivered steps. Publishing with no
 // consumers subscribed discards the step (but still retains the first
 // structure step for late subscribers).
-func (h *Hub) Publish(s *adios.Step) error {
+func (h *Hub) Publish(s *adios.Step) error { return h.publish(s, nil) }
+
+// PublishFrame is Publish for producers that already hold the step's
+// marshaled wire form — the relay, whose M×N splice assembles output
+// frames byte-for-byte from upstream spans. The frame is installed as
+// the entry's shared full-form frame, so network pumps ship the
+// producer's bytes without ever re-marshaling s (subset and encoded
+// forms still derive from s lazily, as usual). The hub takes
+// ownership of one reference of f in all cases, including errors;
+// f.Bytes() must equal adios.Marshal(s).
+func (h *Hub) PublishFrame(s *adios.Step, f *adios.Frame) error {
+	if f == nil {
+		return h.publish(s, nil)
+	}
+	if err := h.publish(s, f); err != nil {
+		f.Release()
+		return err
+	}
+	return nil
+}
+
+func (h *Hub) publish(s *adios.Step, f *adios.Frame) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for {
@@ -761,6 +782,13 @@ func (h *Hub) Publish(s *adios.Step) error {
 	}
 
 	e := &stepEntry{seq: h.nextSeq, step: s, bytes: s.Bytes(), trace: h.tel.trace}
+	if f != nil {
+		// Install the producer's frame before the entry is visible and
+		// burn the marshal once, so frameBytes hands every pump these
+		// bytes instead of re-marshaling.
+		e.frame = f
+		e.marshalOnce.Do(func() {})
+	}
 	h.nextSeq++
 	h.published++
 	h.tel.published.Inc()
@@ -789,6 +817,7 @@ func (h *Hub) Publish(s *adios.Step) error {
 	}
 	if e.refs == 0 {
 		h.acct.Free("staging-hub", e.bytes)
+		e.releaseFrames() // no consumer will ever marshal or read it
 	}
 	h.trim()
 	h.cond.Broadcast()

@@ -170,6 +170,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.mu.Unlock()
 	if closed {
+		// The server closed between handshake and pump start: hand the
+		// reader an empty-but-clean stream instead of a dropped
+		// connection.
+		var eos [8]byte
+		conn.Write(eos[:]) //nolint:errcheck // best-effort EOS
 		return
 	}
 
@@ -194,7 +199,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if err != nil {
-			return // consumer closed under us (server shutdown)
+			// Consumer closed under us (server shutdown with the hub
+			// still open, or a forced detach). The stream is truncated
+			// but the connection is healthy, so propagate a clean
+			// end-of-stream: the reader — possibly a downstream relay
+			// with its own subscribers — finishes with io.EOF instead of
+			// surfacing a raw connection error to its whole subtree.
+			binary.LittleEndian.PutUint64(lenBuf[:], 0)
+			bw.Write(lenBuf[:]) //nolint:errcheck // best-effort EOS
+			bw.Flush()          //nolint:errcheck
+			return
 		}
 		frame := ref.Frame()
 		cons.addWireBytes(int64(len(frame)))
@@ -230,7 +244,10 @@ func (s *Server) serveConn(conn net.Conn) {
 // and waits for every pump to finish. Close the hub first: pumps then
 // drain their consumers' remaining steps and exit through the
 // end-of-stream path. If the hub is still open, consumers are closed
-// forcibly instead (undelivered steps are returned to the hub).
+// forcibly instead (undelivered steps are returned to the hub) — but
+// their readers still receive a clean end-of-stream marker, so an
+// abrupt producer-side shutdown surfaces downstream as io.EOF, never
+// as a raw connection error.
 //
 // Close always returns nil: per-connection failures are consumer-side
 // conditions (a crashed endpoint, a rejected claim) and must not fail

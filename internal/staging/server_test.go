@@ -357,3 +357,89 @@ func TestAdaptorBadAttrs(t *testing.T) {
 		}
 	}
 }
+
+// TestServerForcedCloseCleanEOS: closing the server while the hub is
+// still open force-closes the pump's consumer mid-stream — the
+// attached reader (possibly a downstream relay feeding a whole
+// subtree) must see a clean end-of-stream, not a raw connection
+// error.
+func TestServerForcedCloseCleanEOS(t *testing.T) {
+	h := NewHub(nil)
+	srv, err := Serve(h, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := adios.OpenReaderWith(srv.Addr(), adios.ReaderOptions{Consumer: "leaf", Policy: "block", Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	waitFor(t, func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return len(h.consumers) == 1
+	})
+	for i := 0; i < 2; i++ {
+		if err := h.Publish(mkStep(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(chan error, 1)
+	go func() {
+		var err error
+		for err == nil {
+			_, err = r.BeginStep()
+		}
+		got <- err
+	}()
+	// Abrupt shutdown: server first, hub still open.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("reader ended with %v, want io.EOF", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader never saw end-of-stream")
+	}
+	h.Close()
+}
+
+// TestPublishFrameSharesBytes: a pre-marshaled publish (the relay's
+// splice path) must hand network pumps the producer's exact frame
+// bytes — no re-marshal.
+func TestPublishFrameSharesBytes(t *testing.T) {
+	h := NewHub(nil)
+	cons, err := h.Subscribe("c", Block, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := adios.NewFramePool()
+	st := mkStep(0)
+	f := adios.MarshalFrame(st, pool)
+	want := f.Bytes()
+	if err := h.PublishFrame(st, f); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cons.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := ref.Frame()
+	if &frame[0] != &want[0] {
+		t.Fatal("PublishFrame re-marshaled instead of sharing the producer frame")
+	}
+	ref.Release()
+	// With no consumers the frame lease is returned at publish time
+	// (refs == 0 path) rather than leaking until GC.
+	h2 := NewHub(nil)
+	st2 := mkStep(1)
+	f2 := adios.MarshalFrame(st2, pool)
+	if err := h2.PublishFrame(st2, f2); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	h2.Close()
+}
