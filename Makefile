@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./internal/staging/... ./internal/intransit/... \
 		./internal/adios/... ./internal/archive/... ./internal/mpirt/... \
 		./internal/telemetry/... ./internal/metrics/... ./internal/codec/... \
-		./internal/relay/...
+		./internal/relay/... ./internal/faultnet/...
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,7 @@ bench:
 	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig wire -out .
 	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig archive -out .
 	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig codec -out .
+	cd bench-out && $(GO) run nekrs-sensei/cmd/figures -fig recovery -out .
 	@echo "bench artifacts in bench-out/"
 
 # Curl-smoke the live telemetry plane: real producer + endpoint with

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, archive, codec, relay, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, storage, 5, 6, fanout, endpoint-scaling, subset, wire, archive, codec, relay, recovery, all")
 	out := flag.String("out", "figures-out", "output directory (images, checkpoints, CSVs)")
 	ranksFlag := flag.String("ranks", "", "comma-separated rank counts (default 1,2,4 in situ; 4,8,16 in transit)")
 	steps := flag.Int("steps", 0, "timesteps per run (default 30 in situ, 20 in transit)")
@@ -84,7 +84,8 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 	wantArchive := fig == "all" || fig == "archive"
 	wantCodec := fig == "all" || fig == "codec"
 	wantRelay := fig == "all" || fig == "relay"
-	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire && !wantArchive && !wantCodec && !wantRelay {
+	wantRecovery := fig == "all" || fig == "recovery"
+	if !wantInSitu && !wantInTransit && !wantFanout && !wantEndpoint && !wantSubset && !wantWire && !wantArchive && !wantCodec && !wantRelay && !wantRecovery {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 
@@ -428,6 +429,47 @@ func run(fig, out, ranksFlag string, steps, interval, refine, order, imagePx int
 		for _, path := range paths {
 			if err := writeJSON(path, func(w *os.File) error {
 				return bench.WriteRelayJSON(w, cfg, res)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	if wantRecovery {
+		cfg := bench.RecoveryConfig{SpillDir: filepath.Join(out, "recovery-spill")}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		// A fresh spill tier per run: resume latency must not include
+		// catching up over an ever-growing archive from earlier sweeps.
+		if err := os.RemoveAll(cfg.SpillDir); err != nil {
+			return err
+		}
+		fmt.Println("running self-healing matrix (heartbeat overhead + injected-kill recovery, block and spill)...")
+		res, err := bench.RunRecoveryMatrix(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := bench.RecoveryTable(res)
+		t.Render(os.Stdout)
+		if err := writeCSV(out, "recovery.csv", t); err != nil {
+			return err
+		}
+		fmt.Printf("\n  heartbeat overhead (interval %.0f ms, %d consumers): %.1f ms off vs %.1f ms on (%.2fx)\n",
+			res.Heartbeat.IntervalMs, res.Heartbeat.Consumers,
+			float64(res.Heartbeat.OffWall.Microseconds())/1000,
+			float64(res.Heartbeat.OnWall.Microseconds())/1000,
+			res.Heartbeat.Ratio)
+		// Like the other sweeps, an explicit recovery run also drops the
+		// artifact in the working directory, where harnesses look for it.
+		paths := []string{filepath.Join(out, "BENCH_recovery.json")}
+		if fig != "all" {
+			paths = append(paths, "BENCH_recovery.json")
+		}
+		for _, path := range paths {
+			if err := writeJSON(path, func(w *os.File) error {
+				return bench.WriteRecoveryJSON(w, cfg, res)
 			}); err != nil {
 				return err
 			}

@@ -44,6 +44,8 @@ func main() {
 	order := flag.Int("order", 4, "polynomial order")
 	out := flag.String("out", "nekrs-out", "output directory")
 	logEvery := flag.Int("log-every", 10, "print step diagnostics every n steps")
+	retry := flag.Int("retry", 0, "mid-stream consumer reattach budget for direct SST writers (adios analysis; 0 = a disconnect ends the stream)")
+	sessionTTL := flag.Duration("session-ttl", 0, "staging analysis: retain a disconnected consumer's cursor and queue for this long, resumable exactly-once (0 = off)")
 	telAddr := flag.String("telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9150; empty = off)")
 	flag.Parse()
 
@@ -55,7 +57,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nekrs: -record needs -sensei with a staging or adios analysis (there is no stream to record)")
 		os.Exit(2)
 	}
-	if err := run(*caseName, *parFile, *ranks, *steps, *senseiCfg, *record, *ckEvery, *refine, *order, *out, *logEvery, *telAddr); err != nil {
+	if *retry < 0 || *sessionTTL < 0 {
+		fmt.Fprintln(os.Stderr, "nekrs: -retry and -session-ttl must be non-negative")
+		os.Exit(2)
+	}
+	// The resilience flags become attribute defaults for the
+	// XML-configured analyses: an explicit attribute in the config wins.
+	attrDefaults := map[string]string{}
+	if *retry > 0 {
+		attrDefaults["reattach"] = fmt.Sprint(*retry)
+	}
+	if *sessionTTL > 0 {
+		attrDefaults["session-ttl"] = sessionTTL.String()
+	}
+	if err := run(*caseName, *parFile, *ranks, *steps, *senseiCfg, *record, *ckEvery, *refine, *order, *out, *logEvery, *telAddr, attrDefaults); err != nil {
 		fmt.Fprintln(os.Stderr, "nekrs:", err)
 		os.Exit(1)
 	}
@@ -76,7 +91,7 @@ func validateFlags(ranks, steps, order int) error {
 	return nil
 }
 
-func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, ckEvery, refine, order int, out string, logEvery int, telAddr string) error {
+func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, ckEvery, refine, order int, out string, logEvery int, telAddr string, attrDefaults map[string]string) error {
 	var par *nekrs.Par
 	if parFile != "" {
 		src, err := os.ReadFile(parFile)
@@ -156,7 +171,7 @@ func run(caseName, parFile string, ranks, steps int, senseiCfg, record string, c
 			ctx := &sensei.Context{
 				Comm: comm, Acct: sim.Acct, Timer: sim.Timer,
 				Storage: sim.Storage, OutputDir: out,
-				Telemetry: tel,
+				Telemetry: tel, AttrDefaults: attrDefaults,
 			}
 			bridge, err = core.InitializeFile(ctx, sim.Solver, senseiCfg)
 			if err != nil {

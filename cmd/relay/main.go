@@ -30,6 +30,8 @@ import (
 	"nekrs-sensei/internal/relay"
 	"nekrs-sensei/internal/staging"
 	"nekrs-sensei/internal/telemetry"
+
+	_ "nekrs-sensei/internal/archive" // archive-backed spill stores for -spill
 )
 
 // options carries the parsed, validated command line.
@@ -49,6 +51,13 @@ type options struct {
 	maxError    float64
 	trunkCodecs []string
 	consumers   []staging.ConsumerSpec
+
+	spillDir       string
+	retry          int
+	sessionTTL     time.Duration
+	heartbeat      time.Duration
+	liveness       time.Duration
+	waitDownstream time.Duration
 
 	telemetry string
 }
@@ -73,6 +82,12 @@ func parseArgs(argv []string) (*options, error) {
 	fs.Float64Var(&o.maxError, "maxerror", 0, "absolute per-value error every declared consumer tolerates (> 0 lets the relay request a quantized trunk)")
 	consumersFlag := fs.String("consumers", "", `pre-declared downstream consumers, "name[:policy[:depth[:arrays[:codecs]]]],..." (staging consumer-spec grammar); their array declarations union into the upstream request`)
 	trunkFlag := fs.String("trunk-codecs", "", "comma-separated wire-codec request on the upstream edge (empty = derived from -maxerror, plain frames otherwise; a coded trunk disables the raw splice path)")
+	fs.StringVar(&o.spillDir, "spill", "", "spill directory for the output hubs (enables spill-policy consumers below this relay)")
+	fs.IntVar(&o.retry, "retry", 0, "reconnect attempts after an upstream dial or mid-stream failure (0 = fail fast); > 0 also announces a resumable session upstream and defers trunk credits until steps retire downstream")
+	fs.DurationVar(&o.sessionTTL, "session-ttl", 30*time.Second, "how long this relay's hubs retain a disconnected session's cursor and queue (0 = sessions off); also requested upstream with -retry")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 5*time.Second, "keepalive interval on idle output streams (0 = off)")
+	fs.DurationVar(&o.liveness, "liveness", 0, "declare a silent downstream consumer dead after this long (0 = wait forever)")
+	fs.DurationVar(&o.waitDownstream, "wait-downstream", 0, "with -retry: wait up to this long for pre-declared consumers to re-attach before announcing a resume position upstream")
 	fs.StringVar(&o.telemetry, "telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
@@ -107,6 +122,10 @@ func parseArgs(argv []string) (*options, error) {
 		return nil, fmt.Errorf("-out-ranks must be non-negative (got %d)", o.outRanks)
 	case o.maxError < 0:
 		return nil, fmt.Errorf("-maxerror must be non-negative (got %v)", o.maxError)
+	case o.retry < 0:
+		return nil, fmt.Errorf("-retry must be non-negative (got %d)", o.retry)
+	case o.sessionTTL < 0:
+		return nil, fmt.Errorf("-session-ttl must be non-negative (got %v)", o.sessionTTL)
 	case o.contactDir != "" && o.upstream == "":
 		return nil, fmt.Errorf("-contact-dir needs an -upstream entry name")
 	}
@@ -149,12 +168,19 @@ func run(o *options, tel *telemetry.Telemetry) error {
 	if err != nil {
 		return err
 	}
-	r, err := relay.New(upstream, relay.Options{
+	ropts := relay.Options{
 		Name: o.name, Policy: o.policy, Depth: o.depth,
 		OutRanks: o.outRanks, Listen: o.listen, Mesh: o.mesh,
 		Downstream: o.downstream(), TrunkCodecs: o.trunkCodecs,
-		Tier: o.tier, Telemetry: tel,
-	})
+		Tier: o.tier, Telemetry: tel, SpillDir: o.spillDir,
+		SessionTTL: o.sessionTTL, Heartbeat: o.heartbeat, Liveness: o.liveness,
+	}
+	if o.retry > 0 {
+		ropts.Retry = adios.DefaultRetryPolicy(o.retry)
+		ropts.WaitDownstream = o.waitDownstream
+		ropts.RedialUpstream = o.readUpstream
+	}
+	r, err := relay.New(upstream, ropts)
 	if err != nil {
 		return err
 	}

@@ -76,11 +76,33 @@ type options struct {
 	codecs     []string // wire-codec request declared in the reader hello
 	record     string   // directory for per-source archives of the received streams
 
+	retry      int           // reconnect attempts after dial/mid-stream failures
+	sessionTTL time.Duration // resumable-session grace period requested from the hub
+	liveness   time.Duration // declare a silent producer dead after this long
+
 	telemetry  string        // exporter listen address ("" = off)
 	peerStatus string        // producer /statusz base URL for the shutdown report
 	stepDelay  time.Duration // artificial per-step processing time
 
 	staged bool // a staging policy or consumer spec was given
+}
+
+// readerOptions folds the resilience flags into a reader hello: with
+// -retry the reader redials through backoff (re-resolving the contact
+// file, in case a restarted hub republished new addresses) and — in
+// staged, non-group mode — announces a resumable session so the hub
+// parks its cursor and queue across the outage.
+func (o *options) readerOptions(base adios.ReaderOptions) adios.ReaderOptions {
+	base.LivenessTimeout = o.liveness
+	if o.retry <= 0 {
+		return base
+	}
+	base.Retry = adios.DefaultRetryPolicy(o.retry)
+	if base.Consumer != "" && base.Group <= 1 && o.sessionTTL > 0 {
+		base.Session = true
+		base.SessionTTL = o.sessionTTL
+	}
+	return base
 }
 
 // parseArgs parses argv (without the program name) into options; the
@@ -105,6 +127,9 @@ func parseArgs(argv []string) (*options, error) {
 	codecsFlag := fs.String("codecs", "", "comma-separated wire codec request, e.g. transpose-delta or pressure=quantize:1e-3 (empty = plain frames, or a quantize bound derived from the config's maxerror attributes)")
 	fs.StringVar(&o.record, "record", "", "record the received streams into per-source archives under this directory (group mode records rank 0's sources)")
 	spec := fs.String("consumer", "", `consumer spec "name[:policy[:depth[:arrays[:codecs]]]]" (shorthand for -name/-policy/-depth/-arrays/-codecs with +-separated fields, enables staged mode)`)
+	fs.IntVar(&o.retry, "retry", 0, "reconnect attempts after a dial or mid-stream failure (0 = fail fast); exponential backoff with jitter")
+	fs.DurationVar(&o.sessionTTL, "session-ttl", 30*time.Second, "with -retry in staged mode: ask the hub to park this consumer's cursor and queue for this long across a disconnect (0 = plain reconnect)")
+	fs.DurationVar(&o.liveness, "liveness", 0, "declare a silent producer dead after this long without frames or keepalives (0 = wait forever)")
 	fs.StringVar(&o.telemetry, "telemetry", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9151; empty = off)")
 	fs.StringVar(&o.peerStatus, "peer-status", "", "producer telemetry base URL (e.g. 127.0.0.1:9150); fetched at shutdown to report hub consumer lag and the merged cross-process step trace")
 	fs.DurationVar(&o.stepDelay, "step-delay", 0, "artificial processing time added per step (models a slow analysis)")
@@ -166,6 +191,12 @@ func parseArgs(argv []string) (*options, error) {
 		return nil, fmt.Errorf("-depth must be non-negative (got %d)", o.depth)
 	case o.stepDelay < 0:
 		return nil, fmt.Errorf("-step-delay must be non-negative (got %v)", o.stepDelay)
+	case o.retry < 0:
+		return nil, fmt.Errorf("-retry must be non-negative (got %d)", o.retry)
+	case o.sessionTTL < 0:
+		return nil, fmt.Errorf("-session-ttl must be non-negative (got %v)", o.sessionTTL)
+	case o.liveness < 0:
+		return nil, fmt.Errorf("-liveness must be non-negative (got %v)", o.liveness)
 	case o.consumers < 1:
 		return nil, fmt.Errorf("-consumers must be positive (got %d)", o.consumers)
 	case o.group < 1:
@@ -336,6 +367,22 @@ func (o *options) readContact() ([]string, error) {
 	return adios.ReadContact(o.contact, o.timeout)
 }
 
+// redial returns a per-source redial callback that re-resolves the
+// contact (a restarted hub republishes fresh addresses), or nil
+// without -retry.
+func (o *options) redial(src int) func() (string, error) {
+	if o.retry <= 0 {
+		return nil
+	}
+	return func() (string, error) {
+		addrs, err := o.readContact()
+		if err != nil || src >= len(addrs) {
+			return "", err
+		}
+		return addrs[src], nil
+	}
+}
+
 // runDirect is the classic one-consumer workflow: each endpoint rank
 // drains its share of the simulation's SST writers.
 func runDirect(o *options, tel *telemetry.Telemetry) error {
@@ -366,7 +413,9 @@ func runDirect(o *options, tel *telemetry.Telemetry) error {
 		var readers []*adios.Reader
 		for s := 0; s < perRank; s++ {
 			src := rank*perRank + s
-			r, err := adios.OpenReaderWith(addrs[src], adios.ReaderOptions{Arrays: o.arrays, Codecs: o.codecs})
+			r, err := adios.OpenReaderWith(addrs[src], o.readerOptions(adios.ReaderOptions{
+				Arrays: o.arrays, Codecs: o.codecs, Redial: o.redial(src),
+			}))
 			if err != nil {
 				errs[rank] = err
 				return
@@ -456,10 +505,10 @@ func runStaged(o *options, tel *telemetry.Telemetry) error {
 				}
 			}()
 			for src, addr := range addrs {
-				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
+				r, err := adios.OpenReaderWith(addr, o.readerOptions(adios.ReaderOptions{
 					Consumer: consumerName, Policy: o.policy, Depth: o.depth, Arrays: o.arrays,
-					Codecs: o.codecs,
-				})
+					Codecs: o.codecs, Redial: o.redial(src),
+				}))
 				if err != nil {
 					errs[i] = err
 					return
@@ -554,10 +603,10 @@ func runGroup(o *options, tel *telemetry.Telemetry) error {
 			// repartitioning relay the shard ranges already exist as
 			// separate streams, so each rank claims only its own address
 			// range, as a plain (group-of-one) consumer.
-			rankAddrs, announce := addrs, ranks
+			rankAddrs, announce, base := addrs, ranks, 0
 			if o.presharded {
 				lo, hi := intransit.ShardRange(len(addrs), ranks, rank)
-				rankAddrs, announce = addrs[lo:hi], 1
+				rankAddrs, announce, base = addrs[lo:hi], 1, lo
 			}
 			var readers []*adios.Reader
 			cleanup := func() {
@@ -566,10 +615,10 @@ func runGroup(o *options, tel *telemetry.Telemetry) error {
 				}
 			}
 			for src, addr := range rankAddrs {
-				r, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
+				r, err := adios.OpenReaderWith(addr, o.readerOptions(adios.ReaderOptions{
 					Consumer: o.name, Policy: o.policy, Depth: o.depth, Group: announce, Arrays: o.arrays,
-					Codecs: o.codecs,
-				})
+					Codecs: o.codecs, Redial: o.redial(base + src),
+				}))
 				if err != nil {
 					cleanup()
 					return nil, nil, err

@@ -25,17 +25,28 @@ import (
 // provably dead as stale: it removes the file and keeps polling for a
 // fresh one instead of returning a dead address.
 
+// contactSeq distinguishes concurrent WriteContact calls within one
+// process, so two publishers never collide on the temp name.
+var contactSeq atomic.Int64
+
 // WriteContact publishes writer addresses (rank order) to path,
-// atomically via rename. The writing process's pid is stamped into a
-// leading comment line so readers can detect a file orphaned by a
-// crashed run (see ReadContact).
+// atomically via rename. The temp name is unique per process and call
+// — a restarting producer racing a leftover publisher can never tear
+// each other's temp file, and pollers only ever observe complete
+// files. The writing process's pid is stamped into a leading comment
+// line so readers can detect a file orphaned by a crashed run (see
+// ReadContact).
 func WriteContact(path string, addrs []string) error {
-	tmp := path + ".tmp"
+	tmp := fmt.Sprintf("%s.tmp-%d-%d", path, os.Getpid(), contactSeq.Add(1))
 	body := fmt.Sprintf("#pid=%d\n%s\n", os.Getpid(), strings.Join(addrs, "\n"))
 	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best effort: don't leave the temp behind
+		return err
+	}
+	return nil
 }
 
 // parseContact splits a contact file into its advertised addresses

@@ -1,0 +1,88 @@
+package adios
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy shapes reconnect behavior for resilient readers:
+// exponential backoff between attempts, full jitter, and two bounds —
+// attempt count and total elapsed time — whichever trips first. The
+// zero value is "no retry"; DefaultRetryPolicy returns the tuning the
+// CLI flags use.
+type RetryPolicy struct {
+	// MaxAttempts bounds consecutive failed attempts (a successful
+	// reconnect resets the count). <= 0 means a single attempt.
+	MaxAttempts int
+	// BaseDelay is the first backoff interval (default 50ms); each
+	// failed attempt doubles it up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// MaxElapsed, when > 0, bounds the total time spent retrying one
+	// outage regardless of attempt count.
+	MaxElapsed time.Duration
+	// Jitter in [0, 1] randomizes each delay down to delay*(1-Jitter):
+	// restarted subtrees don't re-dial their upstream in lockstep.
+	// Default 0.5.
+	Jitter float64
+}
+
+// DefaultRetryPolicy returns the policy behind "-retry n": n attempts,
+// 50ms..2s exponential backoff with half jitter, 30s total budget.
+func DefaultRetryPolicy(attempts int) *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		MaxElapsed:  30 * time.Second,
+		Jitter:      0.5,
+	}
+}
+
+func (p *RetryPolicy) withDefaults() RetryPolicy {
+	out := *p
+	if out.BaseDelay <= 0 {
+		out.BaseDelay = 50 * time.Millisecond
+	}
+	if out.MaxDelay <= 0 {
+		out.MaxDelay = 2 * time.Second
+	}
+	if out.Jitter == 0 {
+		out.Jitter = 0.5
+	}
+	if out.Jitter < 0 {
+		out.Jitter = 0
+	}
+	if out.Jitter > 1 {
+		out.Jitter = 1
+	}
+	return out
+}
+
+// backoffRand is the shared jitter source; the paired mutex keeps
+// concurrent readers' backoff calls race-free (rand.Rand is not).
+var (
+	backoffMu   sync.Mutex
+	backoffRand = rand.New(rand.NewSource(time.Now().UnixNano())) //nolint:gosec // jitter, not crypto
+)
+
+// Backoff returns the delay before attempt (0-based): exponential in
+// the attempt number, capped at MaxDelay, jittered downward.
+func (p *RetryPolicy) Backoff(attempt int) time.Duration {
+	e := p.withDefaults()
+	d := e.BaseDelay
+	for i := 0; i < attempt && d < e.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > e.MaxDelay {
+		d = e.MaxDelay
+	}
+	if e.Jitter > 0 {
+		backoffMu.Lock()
+		f := backoffRand.Float64()
+		backoffMu.Unlock()
+		d = d - time.Duration(f*e.Jitter*float64(d))
+	}
+	return d
+}

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,6 +49,56 @@ type Hello struct {
 	// mirroring the Arrays rule; empty means identity (plain BP05).
 	Codecs []string `json:"codecs,omitempty"`
 	Error  string   `json:"error,omitempty"`
+
+	// Session state (staging hubs only; plain SST writers ignore it).
+	// A reader sets NewSession to request a resumable session; the
+	// hub's reply carries the issued token in Session. On reconnect the
+	// reader presents the token in Session, and Resume names the first
+	// sim-step ordinal it has NOT yet consumed (0 = nothing consumed /
+	// resume from the parked cursor), so the hub redelivers exactly the
+	// steps the reader is missing. SessionTTL is the reader's requested
+	// grace period in seconds (the hub clamps it to its configured
+	// maximum).
+	Session    string  `json:"session,omitempty"`
+	NewSession bool    `json:"new_session,omitempty"`
+	Resume     int64   `json:"resume,omitempty"`
+	SessionTTL float64 `json:"session_ttl,omitempty"`
+}
+
+// Heartbeat wire encoding. Both are invisible to the frame payloads:
+// a producer emits HeartbeatMarker as a length prefix with no frame
+// following it (the receiver discards it and keeps waiting), and a
+// consumer emits CreditKeepalive bytes on the credit channel (the
+// producer's credit wait skips them). Liveness-checking peers treat
+// either as proof of life.
+const HeartbeatMarker = ^uint64(0)
+
+const (
+	CreditStep      = 1 // one step consumed: release the staged frame
+	CreditKeepalive = 2 // consumer idle but alive: reset liveness clock
+)
+
+// ReasonUnknownSession prefixes the rejection reason a staging hub
+// gives a reader presenting a session token it no longer (or never)
+// knew — the one rejection a resilient reader recovers from, by
+// downgrading to a fresh subscription that carries its Resume ordinal.
+const ReasonUnknownSession = "unknown session"
+
+// ReasonStillAttached marks the rejection a hub gives a session
+// resume whose previous connection has not been declared dead yet
+// (its liveness window is still counting down). Transient: the reader
+// keeps its token and retries after backoff.
+const ReasonStillAttached = "session still attached"
+
+// RejectedError reports a handshake the producer refused (unknown
+// array, unsupported codec, session conflict). Permanent: retrying the
+// same handshake cannot succeed, except for the unknown-session case
+// the resilient reader downgrades on and the still-attached case it
+// backs off and retries.
+type RejectedError struct{ Reason string }
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("adios: writer rejected reader: %s", e.Reason)
 }
 
 // SpliceHandshake builds the data-plane reader that follows a JSON
@@ -100,6 +152,26 @@ type WriterOptions struct {
 	// recording sink. The append is synchronous on the producer; a
 	// sink error fails the Put.
 	Record FrameSink
+	// Heartbeat, when > 0, emits a keepalive marker on the idle stream
+	// every interval so liveness-checking readers can tell "no steps
+	// yet" from "producer hung". No frame payload changes: the marker
+	// is a reserved length prefix the reader discards.
+	Heartbeat time.Duration
+	// LivenessTimeout, when > 0, bounds how long the writer waits for
+	// a reader's step credit without any sign of life (credits or
+	// keepalives) before declaring the peer hung. Set it above the
+	// consumer's worst-case per-step analysis time unless the consumer
+	// also runs with a liveness timeout (which makes it keepalive
+	// while waiting).
+	LivenessTimeout time.Duration
+	// MaxReattach lets the writer survive a mid-stream reader
+	// disconnect: up to this many successor connections are accepted,
+	// the unacknowledged in-flight frame is resent (or skipped when
+	// the successor's hello Resume proves it was delivered), and the
+	// stream continues. 0 keeps the classic single-shot stream. Only
+	// plain (uncoded) streams can reattach: a codec stream's queued
+	// frames are temporal deltas against the lost receiver's state.
+	MaxReattach int
 }
 
 // queuedFrame is one staged step: the wire bytes plus the pooled
@@ -120,15 +192,16 @@ type Writer struct {
 
 	queue chan queuedFrame
 
-	mu        sync.Mutex
-	sendErr   error
-	queued    int64
-	stepsSent int64
-	closed    bool
-	accepted  bool
-	reqArrays []string       // the reader's declared subset, nil until known
-	reqCodecs []string       // the reader's codec request, nil until known
-	enc       *StreamEncoder // non-nil once a non-identity codec spec arrived
+	mu         sync.Mutex
+	sendErr    error
+	queued     int64
+	stepsSent  int64
+	reattaches int64
+	closed     bool
+	accepted   bool
+	reqArrays  []string       // the reader's declared subset, nil until known
+	reqCodecs  []string       // the reader's codec request, nil until known
+	enc        *StreamEncoder // non-nil once a non-identity codec spec arrived
 
 	// tel is the writer's telemetry handles (zero value = disabled).
 	// Guarded by mu: SetTelemetry may race the serve goroutine's
@@ -214,6 +287,14 @@ func (w *Writer) StepsSent() int64 {
 	return w.stepsSent
 }
 
+// Reattaches reports how many successor readers took over the stream
+// after a mid-stream disconnect (see WriterOptions.MaxReattach).
+func (w *Writer) Reattaches() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reattaches
+}
+
 // SetRecord installs (or clears) the frame sink receiving every
 // staged frame — the recording seam for writers whose options were
 // fixed at construction (the XML-configured send adaptor).
@@ -276,41 +357,78 @@ func (w *Writer) drain() {
 	}
 }
 
-// serve accepts the single reader, handshakes, and drains the queue.
+// serve accepts the reader (and, with MaxReattach > 0, successor
+// readers after a mid-stream disconnect), handshakes, and drains the
+// queue. The unacknowledged in-flight frame survives a disconnect and
+// is resent to the successor — unless its hello Resume ordinal proves
+// it was already consumed.
 func (w *Writer) serve() {
 	defer close(w.done)
-	conn, err := w.ln.Accept()
-	if err != nil {
-		w.setErr(fmt.Errorf("adios: accept: %w", err))
-		w.drain()
-		return
+	reattach := w.opts.MaxReattach
+	var pending *queuedFrame
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			w.setErr(fmt.Errorf("adios: accept: %w", err))
+			break
+		}
+		w.mu.Lock()
+		w.accepted = true
+		w.mu.Unlock()
+		done, serr := w.serveConn(conn, &pending)
+		conn.Close()
+		if done {
+			if serr != nil {
+				w.setErr(serr)
+			}
+			break
+		}
+		w.mu.Lock()
+		closed := w.closed
+		coded := w.enc != nil
+		w.mu.Unlock()
+		if reattach <= 0 || closed || coded {
+			if serr == nil {
+				serr = fmt.Errorf("adios: reader disconnected mid-stream")
+			}
+			if coded && reattach > 0 {
+				serr = fmt.Errorf("adios: cannot reattach a codec stream (queued frames are temporal deltas): %w", serr)
+			}
+			w.setErr(serr)
+			break
+		}
+		reattach--
+		w.mu.Lock()
+		w.reattaches++
+		w.mu.Unlock()
 	}
-	defer conn.Close()
-	w.mu.Lock()
-	w.accepted = true
-	w.mu.Unlock()
+	if pending != nil {
+		w.finishFrame(*pending)
+	}
+	w.drain()
+}
 
+// serveConn handshakes and pumps one reader connection. It returns
+// done=true when the stream is finished for good (queue drained and
+// end-of-stream sent) and done=false when the connection failed and a
+// successor may take over. On the false path the in-flight frame, if
+// any, is parked in *pending for the successor.
+func (w *Writer) serveConn(conn net.Conn, pending **queuedFrame) (done bool, err error) {
 	// Control plane: exchange hello messages.
 	dec := json.NewDecoder(conn)
 	var h Hello
 	if err := dec.Decode(&h); err != nil || h.Role != "reader" {
-		w.setErr(fmt.Errorf("adios: bad reader handshake: %v", err))
-		w.drain()
-		return
+		return false, fmt.Errorf("adios: bad reader handshake: %v", err)
 	}
 	enc := json.NewEncoder(conn)
 	if err := CheckAdvertised(h.Arrays, w.opts.Advertise); err != nil {
 		enc.Encode(Hello{Type: "hello", Role: "rejected", Error: err.Error()}) //nolint:errcheck // best-effort reject
-		w.setErr(err)
-		w.drain()
-		return
+		return false, err
 	}
 	spec, err := codec.CheckAdvertised(h.Codecs, w.opts.AdvertiseCodecs)
 	if err != nil {
 		enc.Encode(Hello{Type: "hello", Role: "rejected", Error: err.Error()}) //nolint:errcheck // best-effort reject
-		w.setErr(err)
-		w.drain()
-		return
+		return false, err
 	}
 	w.mu.Lock()
 	if len(h.Arrays) > 0 {
@@ -325,9 +443,7 @@ func (w *Writer) serve() {
 	// configures its decoder from what the producer will actually ship.
 	if err := enc.Encode(Hello{Type: "hello", Role: "writer", Engine: "sst", Marshal: "bp",
 		Codecs: spec.Entries()}); err != nil {
-		w.setErr(err)
-		w.drain()
-		return
+		return false, err
 	}
 
 	// Data plane: length-prefixed frames; zero length terminates.
@@ -337,36 +453,28 @@ func (w *Writer) serve() {
 	// endpoint is visible as producer-side queue growth regardless of
 	// kernel socket buffering.
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	// Connection-scoped scratch: the ack byte and length prefix live on
-	// the stack for the whole stream, not per step.
-	var ackBuf [1]byte
+	// Connection-scoped scratch: the length prefix lives on the stack
+	// for the whole stream, not per step.
 	var lenBuf [8]byte
 	w.mu.Lock()
 	tel := w.tel
 	w.mu.Unlock()
-	for qf := range w.queue {
+
+	sendOne := func(qf queuedFrame) error {
 		frame := qf.b
 		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
 		if _, err := bw.Write(lenBuf[:]); err != nil {
-			w.setErr(err)
-			w.finishFrame(qf)
-			break
+			return err
 		}
 		if _, err := bw.Write(frame); err != nil {
-			w.setErr(err)
-			w.finishFrame(qf)
-			break
+			return err
 		}
 		if err := bw.Flush(); err != nil {
-			w.setErr(err)
-			w.finishFrame(qf)
-			break
+			return err
 		}
 		creditBegin := time.Now()
-		if _, err := io.ReadFull(conn, ackBuf[:]); err != nil {
-			w.setErr(fmt.Errorf("adios: waiting for step credit: %w", err))
-			w.finishFrame(qf)
-			break
+		if err := awaitCredit(conn, w.opts.LivenessTimeout); err != nil {
+			return fmt.Errorf("adios: waiting for step credit: %w", err)
 		}
 		tel.creditWait.Observe(time.Since(creditBegin))
 		tel.credits.Inc()
@@ -375,13 +483,108 @@ func (w *Writer) serve() {
 		w.mu.Lock()
 		w.stepsSent++
 		w.mu.Unlock()
+		return nil
+	}
+
+	// A successor connection first settles the predecessor's in-flight
+	// frame: resend it, unless the reader's Resume ordinal shows it
+	// was consumed before the disconnect.
+	if *pending != nil {
+		qf := **pending
+		if h.Resume > 0 {
+			if fi, err := ScanFrame(qf.b); err == nil && fi.Step < h.Resume {
+				w.finishFrame(qf)
+				*pending = nil
+			}
+		}
+		if *pending != nil {
+			if err := sendOne(qf); err != nil {
+				return false, err
+			}
+			w.finishFrame(qf)
+			*pending = nil
+		}
+	}
+
+	var tick <-chan time.Time
+	if w.opts.Heartbeat > 0 {
+		t := time.NewTicker(w.opts.Heartbeat)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		var qf queuedFrame
+		var ok bool
+		select {
+		case qf, ok = <-w.queue:
+		case <-tick:
+			// Idle keepalive: a reserved length prefix with no frame
+			// behind it, discarded by the reader.
+			binary.LittleEndian.PutUint64(lenBuf[:], HeartbeatMarker)
+			if _, err := bw.Write(lenBuf[:]); err != nil {
+				return false, err
+			}
+			if err := bw.Flush(); err != nil {
+				return false, err
+			}
+			continue
+		}
+		if !ok {
+			binary.LittleEndian.PutUint64(lenBuf[:], 0)
+			bw.Write(lenBuf[:]) //nolint:errcheck // best-effort EOS
+			bw.Flush()          //nolint:errcheck
+			return true, nil
+		}
+		if err := sendOne(qf); err != nil {
+			*pending = &qf
+			return false, err
+		}
 		w.finishFrame(qf)
 	}
-	// Unblock any producers if we exited on error.
-	w.drain()
-	binary.LittleEndian.PutUint64(lenBuf[:], 0)
-	bw.Write(lenBuf[:]) //nolint:errcheck // best-effort EOS
-	bw.Flush()          //nolint:errcheck
+}
+
+// awaitCredit blocks for one step credit, skipping keepalive bytes.
+// With a liveness timeout the wait polls under short read deadlines
+// and fails once the peer has shown no sign of life — neither credits
+// nor keepalives — for the full timeout.
+func awaitCredit(conn net.Conn, liveness time.Duration) error {
+	var b [1]byte
+	if liveness <= 0 {
+		for {
+			if _, err := io.ReadFull(conn, b[:]); err != nil {
+				return err
+			}
+			if b[0] == CreditKeepalive {
+				continue
+			}
+			return nil
+		}
+	}
+	interval := liveness / 3
+	if interval <= 0 {
+		interval = liveness
+	}
+	last := time.Now()
+	defer conn.SetReadDeadline(time.Time{}) //nolint:errcheck // restore blocking reads
+	for {
+		conn.SetReadDeadline(time.Now().Add(interval)) //nolint:errcheck // best effort
+		_, err := conn.Read(b[:])
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if time.Since(last) >= liveness {
+					return fmt.Errorf("peer silent for %v (liveness timeout)", liveness)
+				}
+				continue
+			}
+			return err
+		}
+		last = time.Now()
+		if b[0] == CreditKeepalive {
+			continue
+		}
+		return nil
+	}
 }
 
 // release returns the pooled lease behind a staged frame, if any.
@@ -513,6 +716,27 @@ type Reader struct {
 	dec      *StreamDecoder // non-nil when the reader negotiated codecs
 	ack      [1]byte
 
+	// Resilience state. addr/opts are retained for reconnects; session
+	// is the staging hub's resume token; lastStep tracks the highest
+	// consumed sim-step ordinal (-1 before any) so a reconnect hello can
+	// name the first step still owed; dedup is set after a reconnect to
+	// drop replayed steps at or below lastStep.
+	addr       string
+	opts       ReaderOptions
+	engine     string
+	session    string
+	lastStep   int64
+	dedup      bool
+	reconnects int64
+
+	// Deferred-credit plumbing: Credit may run on another goroutine, so
+	// it uses its own guarded view of the connection; creditedFloor is
+	// the highest step ordinal the latest handshake already settled
+	// (credits at or below it are swallowed).
+	wmu           sync.Mutex
+	wconn         net.Conn
+	creditedFloor int64
+
 	stepsRecv int64
 	bytesRecv int64
 
@@ -546,6 +770,42 @@ type ReaderOptions struct {
 	// producer rejects the handshake if it names a codec outside the
 	// producer's advertisement. Empty requests plain BP05.
 	Codecs []string
+
+	// Retry, when non-nil, makes the reader resilient: the initial dial
+	// retries under the policy's backoff, and a mid-stream transport
+	// failure on a staging stream reconnects and resumes transparently
+	// instead of surfacing an error.
+	Retry *RetryPolicy
+	// Redial, when non-nil, re-resolves the producer's address before a
+	// reconnect attempt (a restarted producer rendezvouses again with a
+	// fresh port). Returning "" falls back to the previous address.
+	Redial func() (string, error)
+	// Session requests a resumable session from a staging hub: on
+	// disconnect the hub parks this consumer's cursor, window, and spill
+	// queue for a grace TTL, and a reconnect presenting the issued token
+	// resumes exactly-once from the acked position.
+	Session bool
+	// SessionTTL is the requested park grace period (0 = the server's
+	// default; the server clamps requests to its configured maximum).
+	SessionTTL time.Duration
+	// Resume, when > 0, names the first sim-step ordinal this reader
+	// has NOT yet consumed: the hub suppresses earlier steps, so a
+	// restarted process picks up where its predecessor stopped.
+	Resume int64
+	// LivenessTimeout, when > 0, bounds how long the reader waits with
+	// no producer traffic at all — neither frames nor heartbeat markers
+	// — before declaring the peer hung. While waiting it emits
+	// keepalive credit bytes so a liveness-checking producer sees it
+	// alive; pair it with the producer's Heartbeat interval.
+	LivenessTimeout time.Duration
+	// DeferCredit suppresses the automatic per-frame step credit: the
+	// caller acknowledges each received step explicitly with Credit,
+	// once it has truly finished with it (a relay credits upstream only
+	// after the step drained its downstream hubs). The producer then
+	// retains each step until the deferred credit arrives, which is
+	// what makes a crash between receive and downstream delivery
+	// recoverable: the step is still parked upstream.
+	DeferCredit bool
 }
 
 // OpenReader connects to a writer's advertised address and completes
@@ -555,61 +815,184 @@ func OpenReader(addr string) (*Reader, error) {
 }
 
 // OpenReaderWith is OpenReader carrying staging consumer options in
-// the handshake.
+// the handshake. With opts.Retry set the initial dial retries under
+// exponential backoff with jitter; handshake rejections are permanent
+// and fail immediately.
 func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 	if _, err := codec.ParseSpec(opts.Codecs); err != nil {
 		return nil, err
 	}
+	r := &Reader{addr: addr, opts: opts, lastStep: opts.Resume - 1}
+	if opts.Resume <= 0 {
+		r.lastStep = -1
+	}
+	if opts.Retry == nil {
+		return r, r.connectTo(addr)
+	}
+	pol := opts.Retry.withDefaults()
+	attempts := pol.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	start := time.Now()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(pol.Backoff(a - 1))
+			if pol.MaxElapsed > 0 && time.Since(start) >= pol.MaxElapsed {
+				break
+			}
+			if opts.Redial != nil {
+				if fresh, err := opts.Redial(); err == nil && fresh != "" {
+					r.addr = fresh
+				}
+			}
+		}
+		err := r.connectTo(r.addr)
+		if err == nil {
+			return r, nil
+		}
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			if strings.Contains(rej.Reason, ReasonStillAttached) {
+				// The hub still counts a previous incarnation of this
+				// consumer as live; back off until liveness parks it.
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// connectTo dials addr and runs the reader handshake, installing the
+// connection, splice buffer, and (fresh) stream decoder on r. Called
+// for the initial attach and every reconnect: the decoder is rebuilt
+// each time because temporal codec chains cannot survive a reconnect —
+// the hub restarts the chain from a keyframe on resume.
+func (r *Reader) connectTo(addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("adios: dial %s: %w", addr, err)
+		return fmt.Errorf("adios: dial %s: %w", addr, err)
 	}
 	enc := json.NewEncoder(conn)
 	h0 := Hello{Type: "hello", Role: "reader",
-		Consumer: opts.Consumer, Policy: opts.Policy, Depth: opts.Depth,
-		Group: opts.Group, Arrays: opts.Arrays, Codecs: opts.Codecs}
+		Consumer: r.opts.Consumer, Policy: r.opts.Policy, Depth: r.opts.Depth,
+		Group: r.opts.Group, Arrays: r.opts.Arrays, Codecs: r.opts.Codecs,
+		Session:    r.session,
+		NewSession: r.opts.Session && r.session == "",
+		Resume:     r.lastStep + 1}
+	if r.opts.SessionTTL > 0 {
+		h0.SessionTTL = r.opts.SessionTTL.Seconds()
+	}
 	if err := enc.Encode(h0); err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
 	br := bufio.NewReaderSize(conn, 1<<16)
 	dec := json.NewDecoder(br)
 	var h Hello
 	if err := dec.Decode(&h); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("adios: bad writer handshake: %v", err)
+		return fmt.Errorf("adios: bad writer handshake: %v", err)
 	}
 	if h.Role == "rejected" {
 		conn.Close()
-		return nil, fmt.Errorf("adios: writer rejected reader: %s", h.Error)
+		return &RejectedError{Reason: h.Error}
 	}
 	if h.Role != "writer" {
 		conn.Close()
-		return nil, fmt.Errorf("adios: bad writer handshake: unexpected role %q", h.Role)
+		return fmt.Errorf("adios: bad writer handshake: unexpected role %q", h.Role)
 	}
 	combined, err := SpliceHandshake(dec, br)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
-	r := &Reader{conn: conn, br: combined}
 	// Configure the decoder from the echoed effective codecs (the
 	// producer may assign codecs to a pre-declared staging consumer the
 	// reader never asked for); fall back to the request when talking to
 	// a producer that does not echo.
 	eff := h.Codecs
 	if eff == nil {
-		eff = opts.Codecs
+		eff = r.opts.Codecs
 	}
 	espec, err := codec.ParseSpec(eff)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("adios: writer announced bad codecs: %w", err)
+		return fmt.Errorf("adios: writer announced bad codecs: %w", err)
+	}
+	r.conn, r.br = conn, combined
+	r.wmu.Lock()
+	// This handshake's Resume ordinal (lastStep+1) settles everything
+	// below it on the producer; deferred credits for those steps must
+	// be swallowed, not sent, or the credit stream desynchronizes.
+	r.wconn, r.creditedFloor = conn, r.lastStep
+	r.wmu.Unlock()
+	r.engine = h.Engine
+	if h.Session != "" {
+		r.session = h.Session
 	}
 	if !espec.IsIdentity() {
 		r.dec = NewStreamDecoder(espec.UsesTemporal())
+	} else {
+		r.dec = nil
 	}
-	return r, nil
+	return nil
+}
+
+// redial runs the reconnect loop after a mid-stream failure: backoff
+// with jitter, optional address re-resolution, and the unknown-session
+// downgrade (the hub forgot the session — TTL expiry or hub restart —
+// so retry as a fresh subscription carrying the Resume ordinal; the
+// hub's resume floor suppresses already-consumed steps).
+func (r *Reader) redial() error {
+	pol := r.opts.Retry.withDefaults()
+	attempts := pol.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	start := time.Now()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		time.Sleep(pol.Backoff(a))
+		if pol.MaxElapsed > 0 && time.Since(start) >= pol.MaxElapsed {
+			break
+		}
+		if r.opts.Redial != nil {
+			if fresh, err := r.opts.Redial(); err == nil && fresh != "" {
+				r.addr = fresh
+			}
+		}
+		err := r.connectTo(r.addr)
+		if err == nil {
+			return nil
+		}
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			if r.session != "" && strings.Contains(rej.Reason, ReasonUnknownSession) {
+				// The hub lost (or expired) the session: downgrade to a
+				// fresh subscription carrying our Resume ordinal.
+				r.session = ""
+				lastErr = err
+				continue
+			}
+			if r.session != "" && strings.Contains(rej.Reason, ReasonStillAttached) {
+				// The hub has not declared our old connection dead yet:
+				// keep the token, back off, retry.
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("adios: reconnect retry budget exhausted")
+	}
+	return lastErr
 }
 
 // BeginStep blocks for the next step; io.EOF signals a clean
@@ -618,68 +1001,194 @@ func OpenReaderWith(addr string, opts ReaderOptions) (*Reader, error) {
 // fresh storage unless the caller recycled a previous one (Recycle),
 // in which case it is decoded in place.
 func (r *Reader) BeginStep() (*Step, error) {
-	recv, err := r.receiveFrame()
-	if err != nil {
-		return nil, err
-	}
-	st := r.spare
-	if st == nil {
-		st = &Step{}
-	} else {
-		r.spare = nil
-	}
-	if r.dec != nil {
-		if err := r.dec.DecodeInto(r.frameBuf, st); err != nil {
+	for {
+		recv, err := r.receiveFrame()
+		if err != nil {
 			return nil, err
 		}
-	} else if err := UnmarshalInto(r.frameBuf, st); err != nil {
-		return nil, err
+		st := r.spare
+		if st == nil {
+			st = &Step{}
+		} else {
+			r.spare = nil
+		}
+		if r.dec != nil {
+			if err := r.dec.DecodeInto(r.frameBuf, st); err != nil {
+				return nil, err
+			}
+		} else if err := UnmarshalInto(r.frameBuf, st); err != nil {
+			return nil, err
+		}
+		structure := st.Attrs["structure"] == "1"
+		if r.dedup && !structure && st.Step <= r.lastStep {
+			// Replay after a reconnect (a resent in-flight frame or a
+			// resume overlap): already consumed, drop silently. Structure
+			// steps pass through — redelivery is idempotent and the
+			// decoder chain needs them.
+			r.Recycle(st)
+			continue
+		}
+		if st.Step > r.lastStep {
+			r.lastStep = st.Step
+			r.dedup = false
+		}
+		r.tel.trace.StampAt(st.Step, telemetry.StageDeliver, recv)
+		r.tel.trace.Stamp(st.Step, telemetry.StageDecode)
+		return st, nil
 	}
-	r.tel.trace.StampAt(st.Step, telemetry.StageDeliver, recv)
-	r.tel.trace.Stamp(st.Step, telemetry.StageDecode)
-	return st, nil
 }
 
-// receiveFrame pulls the next frame off the wire into the reader's
-// reusable scratch buffer, records it, returns the step credit and
-// bumps the counters — the transport half of BeginStep, shared with
-// BeginRawStep. Returns the delivery timestamp; io.EOF on the
-// zero-length end-of-stream marker.
+// receiveFrame is the resilient transport half of BeginStep, shared
+// with BeginRawStep: it pulls the next frame via receiveFrameOnce and,
+// when the reader is configured for retry against a staging hub,
+// reconnects and resumes on transport failure instead of surfacing the
+// error. A clean end-of-stream (io.EOF from the zero-length marker)
+// never triggers a reconnect.
 func (r *Reader) receiveFrame() (time.Time, error) {
-	var lenBuf [8]byte
-	if _, err := io.ReadFull(r.br, lenBuf[:]); err != nil {
-		return time.Time{}, err
+	for {
+		recv, retryable, err := r.receiveFrameOnce()
+		if err == nil {
+			return recv, nil
+		}
+		if !retryable || r.opts.Retry == nil || r.engine != "sst-staging" {
+			return time.Time{}, err
+		}
+		r.conn.Close()
+		if rerr := r.redial(); rerr != nil {
+			return time.Time{}, fmt.Errorf("adios: stream failed (%v); reconnect failed: %w", err, rerr)
+		}
+		r.reconnects++
+		r.tel.reconnects.Inc()
+		// Resume may overlap what we already consumed (a credit lost in
+		// flight); BeginStep drops replays at or below lastStep.
+		r.dedup = true
 	}
-	n := binary.LittleEndian.Uint64(lenBuf[:])
+}
+
+// receiveFrameOnce pulls the next frame off the wire into the reader's
+// reusable scratch buffer, records it, returns the step credit and
+// bumps the counters. Heartbeat markers are consumed invisibly.
+// Returns the delivery timestamp; io.EOF on the zero-length
+// end-of-stream marker. retryable distinguishes transport failures a
+// reconnect could heal from reader-local ones (clean EOS, a recording
+// sink failure, a decode-state error).
+func (r *Reader) receiveFrameOnce() (recv time.Time, retryable bool, err error) {
+	var lenBuf [8]byte
+	var n uint64
+	for {
+		if err := r.readFullLiveness(lenBuf[:]); err != nil {
+			// An abrupt close at a frame boundary surfaces as io.EOF from
+			// the prefix read; without the explicit zero-length marker it
+			// is a transport failure, not a clean end-of-stream.
+			return time.Time{}, true, err
+		}
+		n = binary.LittleEndian.Uint64(lenBuf[:])
+		if n == HeartbeatMarker {
+			continue // producer keepalive: proof of life, no payload
+		}
+		break
+	}
 	if n == 0 {
-		return time.Time{}, io.EOF
+		return time.Time{}, false, io.EOF
 	}
 	if uint64(cap(r.frameBuf)) >= n {
 		r.frameBuf = r.frameBuf[:n]
 	} else {
 		r.frameBuf = make([]byte, n)
 	}
-	if _, err := io.ReadFull(r.br, r.frameBuf); err != nil {
-		return time.Time{}, err
+	if err := r.readFullLiveness(r.frameBuf); err != nil {
+		return time.Time{}, true, err
 	}
 	// Delivery time is when the payload finished arriving; BeginStep's
 	// trace stamp waits for its decode to learn the step ordinal.
-	recv := time.Now()
+	recv = time.Now()
 	if r.record != nil {
 		if _, err := r.record.AppendFrame(r.frameBuf); err != nil {
-			return time.Time{}, fmt.Errorf("adios: recording received frame: %w", err)
+			return time.Time{}, false, fmt.Errorf("adios: recording received frame: %w", err)
 		}
 	}
-	r.ack[0] = 1
-	if _, err := r.conn.Write(r.ack[:]); err != nil {
-		return time.Time{}, fmt.Errorf("adios: returning step credit: %w", err)
+	if !r.opts.DeferCredit {
+		r.ack[0] = CreditStep
+		if _, err := r.conn.Write(r.ack[:]); err != nil {
+			return time.Time{}, true, fmt.Errorf("adios: returning step credit: %w", err)
+		}
+		r.tel.credits.Inc()
 	}
 	r.stepsRecv++
 	r.bytesRecv += int64(n)
-	r.tel.credits.Inc()
 	r.tel.steps.Inc()
 	r.tel.bytes.Add(int64(n))
-	return recv, nil
+	return recv, false, nil
+}
+
+// Credit acknowledges one received step under DeferCredit, in receive
+// order. Safe to call from a goroutine other than the receiving one.
+// Credits for steps a reconnect handshake already settled (the hello's
+// Resume ordinal proves them consumed) are swallowed, so the credit
+// byte stream never desynchronizes from the producer's pending frame.
+func (r *Reader) Credit(step int64) error {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	if step >= 0 && step <= r.creditedFloor {
+		return nil
+	}
+	b := [1]byte{CreditStep}
+	if _, err := r.wconn.Write(b[:]); err != nil {
+		return fmt.Errorf("adios: returning deferred step credit: %w", err)
+	}
+	r.tel.credits.Inc()
+	return nil
+}
+
+// readFullLiveness fills buf from the stream. Without a liveness
+// timeout it is io.ReadFull; with one, it polls under short read
+// deadlines, emits keepalive credit bytes while idle so the producer's
+// liveness clock sees this reader alive, and fails once the producer
+// has been silent for the full timeout. Partial progress resets the
+// clock, and the buffered reader recovers cleanly from deadline
+// errors, so slow-but-alive streams are never cut.
+func (r *Reader) readFullLiveness(buf []byte) error {
+	liveness := r.opts.LivenessTimeout
+	if liveness <= 0 {
+		_, err := io.ReadFull(r.br, buf)
+		return err
+	}
+	interval := liveness / 3
+	if interval <= 0 {
+		interval = liveness
+	}
+	last := time.Now()
+	defer r.conn.SetReadDeadline(time.Time{}) //nolint:errcheck // restore blocking reads
+	off := 0
+	for off < len(buf) {
+		r.conn.SetReadDeadline(time.Now().Add(interval)) //nolint:errcheck // best effort
+		m, err := r.br.Read(buf[off:])
+		off += m
+		if m > 0 {
+			last = time.Now()
+		}
+		if err != nil {
+			if off == len(buf) && errors.Is(err, io.EOF) {
+				break
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if time.Since(last) >= liveness {
+					return fmt.Errorf("adios: producer silent for %v (liveness timeout)", liveness)
+				}
+				kb := [1]byte{CreditKeepalive}
+				if _, werr := r.conn.Write(kb[:]); werr != nil {
+					return fmt.Errorf("adios: sending keepalive: %w", werr)
+				}
+				continue
+			}
+			if off > 0 && errors.Is(err, io.EOF) {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // BeginRawStep receives the next step's marshaled frame without
@@ -694,11 +1203,45 @@ func (r *Reader) BeginRawStep() ([]byte, error) {
 	if r.dec != nil {
 		return nil, fmt.Errorf("adios: raw step read on a codec-negotiated stream (frames are BPC5 deltas; use BeginStep)")
 	}
-	if _, err := r.receiveFrame(); err != nil {
-		return nil, err
+	for {
+		if _, err := r.receiveFrame(); err != nil {
+			return nil, err
+		}
+		if !r.dedup {
+			return r.frameBuf, nil
+		}
+		fi, err := ScanFrame(r.frameBuf)
+		if err != nil {
+			return r.frameBuf, nil // let the caller surface the scan error
+		}
+		if !fi.Structure && fi.Step <= r.lastStep {
+			continue // replay after reconnect: already consumed
+		}
+		if fi.Step > r.lastStep {
+			r.lastStep = fi.Step
+			r.dedup = false
+		}
+		return r.frameBuf, nil
 	}
-	return r.frameBuf, nil
 }
+
+// NoteStep records a consumed sim-step ordinal for resume tracking.
+// BeginStep tracks automatically; raw-path callers (the relay) that
+// scan frames themselves call this after fully handing a step
+// downstream, so a reconnect hello names the right Resume ordinal.
+func (r *Reader) NoteStep(step int64) {
+	if step > r.lastStep {
+		r.lastStep = step
+	}
+}
+
+// Session reports the resume token issued by a staging hub, "" when
+// none was negotiated.
+func (r *Reader) Session() string { return r.session }
+
+// Reconnects reports how many mid-stream reconnects this reader has
+// performed.
+func (r *Reader) Reconnects() int64 { return r.reconnects }
 
 // Recycle returns a consumed step's storage to the reader so the next
 // BeginStep decodes into it instead of allocating. Call only once the

@@ -18,6 +18,9 @@ type sstTelemetry struct {
 	// per-step credit — the direct signature of a slow endpoint.
 	credits    *telemetry.Counter
 	creditWait *telemetry.Histogram
+	// reconnects (reader only) counts mid-stream reconnect + resume
+	// cycles — the self-healing plane's visible heartbeat.
+	reconnects *telemetry.Counter
 }
 
 // SetTelemetry attaches the writer to a telemetry plane: marshal and
@@ -54,9 +57,10 @@ func (r *Reader) SetTelemetry(tel *telemetry.Telemetry, labels ...string) {
 	}
 	reg := tel.Registry()
 	r.tel = sstTelemetry{
-		trace:   tel.Tracer(),
-		steps:   reg.Counter("sst_reader_steps_total", labels...),
-		bytes:   reg.Counter("sst_reader_bytes_total", labels...),
-		credits: reg.Counter("sst_reader_credits_total", labels...),
+		trace:      tel.Tracer(),
+		steps:      reg.Counter("sst_reader_steps_total", labels...),
+		bytes:      reg.Counter("sst_reader_bytes_total", labels...),
+		credits:    reg.Counter("sst_reader_credits_total", labels...),
+		reconnects: reg.Counter("sst_reader_reconnects_total", labels...),
 	}
 }

@@ -161,7 +161,7 @@ func NewReplay(a *Archive, opts ReplayOptions) (*Replay, error) {
 			return nil, err
 		}
 	}
-	srv, err := staging.Serve(hub, opts.Addr, binder.Bind)
+	srv, err := staging.Serve(hub, opts.Addr, binder.Resolve)
 	if err != nil {
 		hub.Close()
 		return nil, err

@@ -110,7 +110,7 @@ func recordLiveRun(t *testing.T, steps int) (live map[int][]float64, dir string)
 	if _, err := binder.Declare(staging.ConsumerSpec{Name: "hist", Policy: staging.Block, Depth: 2}); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := staging.Serve(hub, "127.0.0.1:0", binder.Bind)
+	srv, err := staging.Serve(hub, "127.0.0.1:0", binder.Resolve)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestRecordReplayEquivalenceCompressed(t *testing.T) {
 			if _, err := binder.Declare(staging.ConsumerSpec{Name: "hist", Policy: staging.Block, Depth: 2}); err != nil {
 				t.Fatal(err)
 			}
-			srv, err := staging.Serve(hub, "127.0.0.1:0", binder.Bind)
+			srv, err := staging.Serve(hub, "127.0.0.1:0", binder.Resolve)
 			if err != nil {
 				t.Fatal(err)
 			}

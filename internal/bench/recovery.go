@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/faultnet"
+	"nekrs-sensei/internal/metrics"
+	"nekrs-sensei/internal/staging"
+)
+
+// RecoveryConfig parameterizes the self-healing measurement: the
+// steady-state cost of the liveness machinery (heartbeats on an
+// otherwise identical staged run) and the recovery behaviour of
+// resumable sessions under injected connection kills.
+type RecoveryConfig struct {
+	Steps      int // timesteps per run (default 48)
+	PayloadF64 int // float64s per step (default 8192 = 64 KiB)
+
+	// The heartbeat-overhead arm: a paced staged fan-out run with the
+	// full liveness stack on (server heartbeats + reader liveness
+	// deadlines) vs entirely off, interleaved Trials times, best wall
+	// each. The ConsumerDelay-paced shape keeps the ratio robust to
+	// machine noise, like the telemetry and relay overhead gates.
+	Heartbeat     time.Duration // keepalive interval when on (default 20ms)
+	ConsumerDelay time.Duration // default 1ms
+	Consumers     int           // default 2
+	Trials        int           // default 3
+
+	// The recovery arm: a sessioned consumer stream cut Kills times by
+	// a fault-injection proxy; the session parks, the reader redials
+	// and resumes, and the run must still deliver every step exactly
+	// once. Run once per policy (block and spill).
+	Kills      int           // injected connection resets (default 2)
+	SessionTTL time.Duration // park grace (default 10s)
+	StepPace   time.Duration // publish pacing (default 2ms)
+	SpillDir   string        // disk tier for the spill arm (required)
+}
+
+func (c *RecoveryConfig) withDefaults() RecoveryConfig {
+	out := *c
+	if out.Steps == 0 {
+		out.Steps = 48
+	}
+	if out.PayloadF64 == 0 {
+		out.PayloadF64 = 8192
+	}
+	if out.Heartbeat == 0 {
+		out.Heartbeat = 20 * time.Millisecond
+	}
+	if out.ConsumerDelay == 0 {
+		out.ConsumerDelay = time.Millisecond
+	}
+	if out.Consumers == 0 {
+		out.Consumers = 2
+	}
+	if out.Trials == 0 {
+		out.Trials = 3
+	}
+	if out.Kills == 0 {
+		out.Kills = 2
+	}
+	if out.SessionTTL == 0 {
+		out.SessionTTL = 10 * time.Second
+	}
+	if out.StepPace == 0 {
+		out.StepPace = 2 * time.Millisecond
+	}
+	return out
+}
+
+// HeartbeatOverhead is the liveness-stack control: the wall-clock cost
+// of running the identical staged fan-out with heartbeats and
+// liveness deadlines armed.
+type HeartbeatOverhead struct {
+	IntervalMs float64
+	Consumers  int
+	OffWall    time.Duration
+	OnWall     time.Duration
+	Ratio      float64
+}
+
+// RecoveryRow is one injected-failure run: a sessioned consumer under
+// one backpressure policy, its stream cut Kills times.
+type RecoveryRow struct {
+	Policy     string
+	Steps      int
+	Kills      int
+	Reconnects int64
+	Lost       int           // expected steps never delivered
+	Duplicates int           // deliveries beyond exactly-once
+	OutOfOrder int           // deliveries that stepped backwards
+	ResumeMean time.Duration // mean cut -> next-delivery latency
+	ResumeMax  time.Duration
+}
+
+// RecoveryResult is the complete self-healing measurement.
+type RecoveryResult struct {
+	Heartbeat HeartbeatOverhead
+	Rows      []RecoveryRow
+}
+
+// runHeartbeatArm measures one paced staged fan-out wall, with the
+// liveness stack fully on (server heartbeat + liveness, reader
+// liveness deadlines and keepalive credits) or fully off.
+func runHeartbeatArm(c RecoveryConfig, on bool) (time.Duration, error) {
+	hub := staging.NewHub(nil)
+	defer hub.Close()
+	sopts := staging.ServerOptions{}
+	if on {
+		sopts.Heartbeat = c.Heartbeat
+		sopts.LivenessTimeout = 100 * c.Heartbeat
+	}
+	srv, err := staging.ServeWith(hub, "127.0.0.1:0", nil, sopts)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	errs := make([]error, c.Consumers)
+	var wg sync.WaitGroup
+	for i := 0; i < c.Consumers; i++ {
+		ropts := adios.ReaderOptions{
+			Consumer: fmt.Sprintf("hb-%d", i), Policy: "block", Depth: 2,
+		}
+		if on {
+			ropts.LivenessTimeout = 100 * c.Heartbeat
+		}
+		r, err := adios.OpenReaderWith(srv.Addr(), ropts)
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(i int, r *adios.Reader) {
+			defer wg.Done()
+			defer r.Close()
+			for {
+				if _, err := r.BeginStep(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						errs[i] = err
+					}
+					return
+				}
+				time.Sleep(c.ConsumerDelay)
+			}
+		}(i, r)
+	}
+
+	start := time.Now()
+	for s := 0; s < c.Steps; s++ {
+		if err := hub.Publish(fanoutStep(s, c.PayloadF64, "")); err != nil {
+			return 0, err
+		}
+	}
+	if err := hub.Close(); err != nil {
+		return 0, err
+	}
+	if err := srv.Close(); err != nil {
+		return 0, err
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("consumer %d: %w", i, err)
+		}
+	}
+	return wall, nil
+}
+
+// runRecoveryArm runs one injected-failure stream: a sessioned,
+// retrying reader behind a fault-injection proxy, the connection
+// hard-reset Kills times while the producer keeps publishing. Returns
+// the delivery accounting and resume latencies.
+func runRecoveryArm(c RecoveryConfig, policy staging.Policy) (RecoveryRow, error) {
+	row := RecoveryRow{Policy: policy.String(), Steps: c.Steps, Kills: c.Kills}
+	hub := staging.NewHub(nil)
+	defer hub.Close()
+	if policy == staging.Spill {
+		if c.SpillDir == "" {
+			return row, fmt.Errorf("bench: recovery spill arm needs a spill dir")
+		}
+		if err := hub.SetSpillDir(c.SpillDir); err != nil {
+			return row, err
+		}
+	}
+	binder := staging.NewBinder(hub, policy, 4)
+	binder.EnableSessions(c.SessionTTL)
+	srv, err := staging.ServeWith(hub, "127.0.0.1:0", binder.Resolve, staging.ServerOptions{
+		Heartbeat: c.Heartbeat, LivenessTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer srv.Close()
+	proxy, err := faultnet.NewProxy("127.0.0.1:0", srv.Addr(), faultnet.NewProfile())
+	if err != nil {
+		return row, err
+	}
+	defer proxy.Close()
+
+	rd, err := adios.OpenReaderWith(proxy.Addr(), adios.ReaderOptions{
+		Consumer: "rec", Policy: policy.String(), Depth: 4,
+		Session: true, SessionTTL: c.SessionTTL,
+		Retry:           adios.DefaultRetryPolicy(200),
+		Redial:          func() (string, error) { return proxy.Addr(), nil },
+		LivenessTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return row, err
+	}
+
+	var count atomic.Int64
+	var steps []int64
+	readErr := make(chan error, 1)
+	go func() {
+		defer rd.Close()
+		for {
+			st, err := rd.BeginStep()
+			if errors.Is(err, io.EOF) {
+				readErr <- nil
+				return
+			}
+			if err != nil {
+				readErr <- err
+				return
+			}
+			steps = append(steps, st.Step)
+			count.Add(1)
+		}
+	}()
+
+	pubErr := make(chan error, 1)
+	go func() {
+		for s := 0; s < c.Steps; s++ {
+			if err := hub.Publish(fanoutStep(s, c.PayloadF64, "")); err != nil {
+				pubErr <- fmt.Errorf("publish step %d: %w", s, err)
+				return
+			}
+			time.Sleep(c.StepPace)
+		}
+		pubErr <- hub.Close()
+	}()
+
+	// Injected failures at evenly spaced delivery marks; each cut's
+	// resume latency is the wall from the reset to the next delivery.
+	waitCount := func(n int64) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for count.Load() < n {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: recovery stalled at %d/%d deliveries", count.Load(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+	var latencies []time.Duration
+	for k := 1; k <= c.Kills; k++ {
+		mark := int64(k * c.Steps / (c.Kills + 1))
+		if err := waitCount(mark); err != nil {
+			return row, err
+		}
+		before := count.Load()
+		cut := time.Now()
+		proxy.Profile().ResetAll()
+		if err := waitCount(before + 1); err != nil {
+			return row, err
+		}
+		latencies = append(latencies, time.Since(cut))
+	}
+
+	if err := <-pubErr; err != nil {
+		return row, err
+	}
+	select {
+	case err := <-readErr:
+		if err != nil {
+			return row, err
+		}
+	case <-time.After(60 * time.Second):
+		return row, fmt.Errorf("bench: recovery reader never finished")
+	}
+
+	row.Reconnects = rd.Reconnects()
+	seen := make(map[int64]int, c.Steps)
+	last := int64(-1)
+	for _, s := range steps {
+		seen[s]++
+		if s < last {
+			row.OutOfOrder++
+		}
+		last = s
+	}
+	for s := 0; s < c.Steps; s++ {
+		n := seen[int64(s)]
+		if n == 0 {
+			row.Lost++
+		} else if n > 1 {
+			row.Duplicates += n - 1
+		}
+	}
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+		if l > row.ResumeMax {
+			row.ResumeMax = l
+		}
+	}
+	if len(latencies) > 0 {
+		row.ResumeMean = sum / time.Duration(len(latencies))
+	}
+	return row, nil
+}
+
+// RunRecoveryMatrix runs the complete self-healing measurement: the
+// interleaved heartbeat-overhead control, then one injected-failure
+// recovery run per lossless policy (block and spill).
+func RunRecoveryMatrix(cfg RecoveryConfig) (RecoveryResult, error) {
+	c := cfg.withDefaults()
+	res := RecoveryResult{Heartbeat: HeartbeatOverhead{
+		IntervalMs: float64(c.Heartbeat.Microseconds()) / 1000,
+		Consumers:  c.Consumers,
+	}}
+	for t := 0; t < c.Trials; t++ {
+		off, err := runHeartbeatArm(c, false)
+		if err != nil {
+			return res, fmt.Errorf("bench: heartbeat off: %w", err)
+		}
+		on, err := runHeartbeatArm(c, true)
+		if err != nil {
+			return res, fmt.Errorf("bench: heartbeat on: %w", err)
+		}
+		if t == 0 || off < res.Heartbeat.OffWall {
+			res.Heartbeat.OffWall = off
+		}
+		if t == 0 || on < res.Heartbeat.OnWall {
+			res.Heartbeat.OnWall = on
+		}
+	}
+	if res.Heartbeat.OffWall > 0 {
+		res.Heartbeat.Ratio = float64(res.Heartbeat.OnWall) / float64(res.Heartbeat.OffWall)
+	}
+
+	for _, policy := range []staging.Policy{staging.Block, staging.Spill} {
+		row, err := runRecoveryArm(c, policy)
+		if err != nil {
+			return res, fmt.Errorf("bench: recovery %s: %w", policy, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RecoveryTable renders the injected-failure accounting.
+func RecoveryTable(res RecoveryResult) *metrics.Table {
+	t := metrics.NewTable(
+		"Self-healing: resumable sessions under injected connection kills",
+		"policy", "steps", "kills", "reconnects", "lost", "dup", "out-of-order", "resume mean [ms]", "resume max [ms]")
+	for _, r := range res.Rows {
+		t.AddRow(r.Policy, r.Steps, r.Kills, r.Reconnects, r.Lost, r.Duplicates, r.OutOfOrder,
+			fmt.Sprintf("%.1f", float64(r.ResumeMean.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(r.ResumeMax.Microseconds())/1000))
+	}
+	return t
+}
+
+// WriteRecoveryJSON emits the self-healing measurement as the
+// BENCH_recovery.json artifact the CI gates read.
+func WriteRecoveryJSON(w io.Writer, cfg RecoveryConfig, res RecoveryResult) error {
+	c := cfg.withDefaults()
+	type row struct {
+		Policy       string  `json:"policy"`
+		Steps        int     `json:"steps"`
+		Kills        int     `json:"kills"`
+		Reconnects   int64   `json:"reconnects"`
+		Lost         int     `json:"lost_steps"`
+		Duplicates   int     `json:"duplicate_steps"`
+		OutOfOrder   int     `json:"out_of_order"`
+		ResumeMeanMs float64 `json:"resume_mean_ms"`
+		ResumeMaxMs  float64 `json:"resume_max_ms"`
+	}
+	doc := struct {
+		Figure     string `json:"figure"`
+		Steps      int    `json:"steps"`
+		PayloadF64 int    `json:"payload_f64"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		Heartbeat  struct {
+			IntervalMs float64 `json:"interval_ms"`
+			Consumers  int     `json:"consumers"`
+			OffWallMs  float64 `json:"off_wall_ms"`
+			OnWallMs   float64 `json:"on_wall_ms"`
+			Ratio      float64 `json:"overhead_ratio"`
+		} `json:"heartbeat"`
+		Recovery []row `json:"recovery"`
+	}{
+		Figure: "recovery", Steps: c.Steps, PayloadF64: c.PayloadF64,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	doc.Heartbeat.IntervalMs = res.Heartbeat.IntervalMs
+	doc.Heartbeat.Consumers = res.Heartbeat.Consumers
+	doc.Heartbeat.OffWallMs = float64(res.Heartbeat.OffWall.Microseconds()) / 1000
+	doc.Heartbeat.OnWallMs = float64(res.Heartbeat.OnWall.Microseconds()) / 1000
+	doc.Heartbeat.Ratio = res.Heartbeat.Ratio
+	for _, r := range res.Rows {
+		doc.Recovery = append(doc.Recovery, row{
+			Policy: r.Policy, Steps: r.Steps, Kills: r.Kills,
+			Reconnects: r.Reconnects, Lost: r.Lost, Duplicates: r.Duplicates,
+			OutOfOrder:   r.OutOfOrder,
+			ResumeMeanMs: float64(r.ResumeMean.Microseconds()) / 1000,
+			ResumeMaxMs:  float64(r.ResumeMax.Microseconds()) / 1000,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunRecoveryMatrix runs the self-healing measurement at its
+// smallest meaningful size and checks the gated invariants directly:
+// zero lost steps under injected kills, at least one reconnect per
+// kill, and a sane heartbeat-overhead ratio.
+func TestRunRecoveryMatrix(t *testing.T) {
+	cfg := RecoveryConfig{
+		Steps: 18, PayloadF64: 512, Trials: 1, Kills: 1,
+		StepPace: time.Millisecond, SpillDir: t.TempDir(),
+	}
+	res, err := RunRecoveryMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heartbeat.OffWall <= 0 || res.Heartbeat.OnWall <= 0 || res.Heartbeat.Ratio <= 0 {
+		t.Errorf("heartbeat arm not measured: %+v", res.Heartbeat)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d recovery rows, want block and spill", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Lost != 0 || row.Duplicates != 0 || row.OutOfOrder != 0 {
+			t.Errorf("%s: lost=%d dup=%d ooo=%d, want exactly-once in order",
+				row.Policy, row.Lost, row.Duplicates, row.OutOfOrder)
+		}
+		if row.Reconnects < int64(cfg.Kills) {
+			t.Errorf("%s: %d reconnects for %d kills", row.Policy, row.Reconnects, cfg.Kills)
+		}
+		if row.ResumeMean <= 0 || row.ResumeMax < row.ResumeMean {
+			t.Errorf("%s: resume latencies not measured: mean=%v max=%v",
+				row.Policy, row.ResumeMean, row.ResumeMax)
+		}
+	}
+
+	// The JSON artifact must carry the gated fields under their gated
+	// names (.heartbeat.overhead_ratio, .recovery[].lost_steps).
+	var buf bytes.Buffer
+	if err := WriteRecoveryJSON(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Figure    string `json:"figure"`
+		Heartbeat struct {
+			Ratio float64 `json:"overhead_ratio"`
+		} `json:"heartbeat"`
+		Recovery []struct {
+			Policy string `json:"policy"`
+			Lost   int    `json:"lost_steps"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Figure != "recovery" || doc.Heartbeat.Ratio != res.Heartbeat.Ratio {
+		t.Errorf("artifact mismatch: %+v", doc)
+	}
+	if len(doc.Recovery) != 2 || doc.Recovery[0].Policy != "block" || doc.Recovery[1].Policy != "spill" {
+		t.Errorf("artifact recovery rows: %+v", doc.Recovery)
+	}
+}

@@ -79,6 +79,13 @@ func init() {
 			}
 			opts.QueueLimit = v
 		}
+		if rt := attrs["reattach"]; rt != "" {
+			v, err := strconv.Atoi(rt)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("intransit: bad reattach %q", rt)
+			}
+			opts.MaxReattach = v
+		}
 		var arrays []string
 		if a := strings.TrimSpace(attrs["arrays"]); a != "" {
 			for _, s := range strings.Split(a, ",") {

@@ -1,0 +1,129 @@
+// Deferred upstream crediting: the piece that makes a relay restart
+// lossless end-to-end.
+//
+// A plain SST reader returns its flow-control credit the moment a
+// frame lands, which tells the producer "this step is safe to drop".
+// For a relay that is a lie — the step has only reached the relay's
+// ring, and a crash loses it. In Retry mode the relay therefore opens
+// its upstream readers with ReaderOptions.DeferCredit and returns each
+// step's credit only once the step has RETIRED from every output hub:
+// all downstream references released, nothing in this subtree can ask
+// for it again. With the credit-synchronous producer pump (one
+// in-flight step per session) the upstream's parked session then holds
+// exactly the steps the subtree had not drained, and the restarted
+// relay's resume hello (min over its binders' resume floors) replays
+// them — zero loss, and the resume floors suppress duplicates.
+//
+// Two classes of step never retire and are credited immediately:
+// structure steps (hubs hold them forever as late-subscriber
+// bootstrap) and frames discarded during stream realignment (never
+// published at all).
+
+package relay
+
+import (
+	"sync"
+
+	"nekrs-sensei/internal/adios"
+)
+
+// creditEntry is one received-but-uncredited upstream frame. Credits
+// are a positional byte stream — one byte per frame, in frame order —
+// so entries form a per-reader FIFO and a credit can only be sent when
+// every entry ahead of it has been sent.
+type creditEntry struct {
+	sim       int64
+	immediate bool // skipped or structure: credit without waiting for retire
+}
+
+// crediter tracks retirement across the relay's output hubs and
+// releases upstream credits in order. Every published step lands in
+// all `need` hubs, so its credit is due when `need` retire
+// notifications for its sim ordinal have arrived.
+type crediter struct {
+	mu      sync.Mutex
+	need    int           // output hubs each published step must retire from
+	retired map[int64]int // sim -> hubs retired so far
+	popped  map[int64]int // sim -> readers whose credit was sent (deferred only)
+	queues  [][]creditEntry
+	readers []*adios.Reader
+	sent    int64
+}
+
+func newCrediter(readers []*adios.Reader, need int) *crediter {
+	return &crediter{
+		need:    need,
+		retired: make(map[int64]int),
+		popped:  make(map[int64]int),
+		queues:  make([][]creditEntry, len(readers)),
+		readers: readers,
+	}
+}
+
+// enqueue records that reader i received a frame for step sim.
+// Immediate entries (realignment skips, structure steps) are
+// creditable at once; the rest wait for retirement.
+func (c *crediter) enqueue(i int, sim int64, immediate bool) {
+	c.mu.Lock()
+	c.queues[i] = append(c.queues[i], creditEntry{sim: sim, immediate: immediate})
+	c.pumpLocked()
+	c.mu.Unlock()
+}
+
+// onRetired accepts a batch of sim ordinals whose last downstream
+// reference was released in some output hub.
+func (c *crediter) onRetired(sims []int64) {
+	if len(sims) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, sim := range sims {
+		c.retired[sim]++
+	}
+	c.pumpLocked()
+	c.mu.Unlock()
+}
+
+// pumpLocked sends every credit that has become due, preserving each
+// reader's frame order. Credit write errors are deliberately ignored:
+// a broken upstream connection is about to reconnect, and the resume
+// hello re-settles the producer's pending count below the announced
+// floor (Reader.Credit then swallows stale ordinals itself).
+func (c *crediter) pumpLocked() {
+	for i := range c.queues {
+		for len(c.queues[i]) > 0 {
+			head := c.queues[i][0]
+			if !head.immediate && c.retired[head.sim] < c.need {
+				break
+			}
+			_ = c.readers[i].Credit(head.sim)
+			c.sent++
+			c.queues[i] = c.queues[i][1:]
+			if !head.immediate {
+				c.popped[head.sim]++
+				if c.popped[head.sim] == len(c.queues) {
+					delete(c.popped, head.sim)
+					delete(c.retired, head.sim)
+				}
+			}
+		}
+	}
+}
+
+// Sent reports credits returned upstream (telemetry).
+func (c *crediter) Sent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// Pending reports frames still holding their upstream credit.
+func (c *crediter) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.queues {
+		n += len(c.queues[i])
+	}
+	return n
+}

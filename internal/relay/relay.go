@@ -45,9 +45,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/intransit"
@@ -117,6 +119,40 @@ type Options struct {
 	// size — the tap the bench harness uses to emulate trunk-link
 	// bandwidth.
 	OnIngest func(source int, wireBytes int64)
+
+	// Retry, when non-nil, makes the relay self-healing: upstream dials
+	// and mid-stream failures retry under the policy's backoff, the
+	// relay announces resumable sessions upstream (the upstream hub
+	// parks its cursor across a disconnect), and — crucially — upstream
+	// step credits are deferred until each step has fully drained the
+	// relay's own output hubs, so a crashed-and-restarted relay finds
+	// every not-yet-delivered step still parked upstream and no lossless
+	// consumer below it misses a step.
+	Retry *adios.RetryPolicy
+	// SessionTTL enables resumable sessions on the relay's output
+	// servers (downstream readers park and resume across disconnects)
+	// and is also the park grace the relay requests upstream. 0
+	// disables downstream sessions.
+	SessionTTL time.Duration
+	// Heartbeat is the idle keepalive period on downstream connections
+	// (0 disables); Liveness bounds both the downstream credit wait and
+	// the upstream silent-producer wait (0 disables).
+	Heartbeat time.Duration
+	Liveness  time.Duration
+	// SpillDir, when non-empty, gives every output hub a disk tier so
+	// Spill-policy consumers can be declared (or attach dynamically)
+	// below this relay; each hub spills under its own subdirectory.
+	SpillDir string
+	// WaitDownstream, when > 0, bounds a wait for every pre-declared
+	// downstream consumer to (re)attach before the relay dials
+	// upstream — a restarted mid-tier relay learns its subtree's resume
+	// positions first, so the upstream resume suppresses only steps the
+	// subtree truly has.
+	WaitDownstream time.Duration
+	// RedialUpstream, when non-nil, re-resolves the upstream address
+	// list before a reconnect attempt (a restarted upstream tier
+	// rendezvouses again with fresh ports).
+	RedialUpstream func() ([]string, error)
 }
 
 func (o *Options) withDefaults() Options {
@@ -167,7 +203,16 @@ type Relay struct {
 	skipped atomic.Int64
 	bytesIn atomic.Int64
 
+	// Deferred-credit machinery (Retry mode): output hubs signal
+	// retired steps on retireCh; the crediting goroutine drains them
+	// and releases upstream credits in receive order per reader.
+	crediter   *crediter
+	retireCh   chan struct{}
+	creditDone chan struct{}
+	creditWG   sync.WaitGroup
+
 	closed    atomic.Bool
+	killed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -203,28 +248,27 @@ func New(upstream []string, opts Options) (*Relay, error) {
 	}
 	r.raw = len(r.codecs) == 0
 
-	// Upstream edge: one reader per source, announcing the subtree's
-	// unioned needs.
-	for i, addr := range upstream {
-		rd, err := adios.OpenReaderWith(addr, adios.ReaderOptions{
-			Consumer: o.Name, Policy: o.Policy, Depth: o.Depth,
-			Arrays: r.arrays, Codecs: r.codecs,
-		})
-		if err != nil {
-			r.teardown()
-			return nil, fmt.Errorf("relay: upstream %d (%s): %w", i, addr, err)
-		}
-		r.readers = append(r.readers, rd)
-	}
-
-	// Downstream edge: R hubs, each re-advertising the union and
-	// carrying every pre-declared consumer.
+	// Downstream edge first: R hubs, each re-advertising the union and
+	// carrying every pre-declared consumer. Building (and listening)
+	// before the upstream dial lets a restarted relay re-admit its
+	// subtree — and learn its resume positions — before announcing a
+	// resume upstream.
 	for i := 0; i < o.OutRanks; i++ {
 		hub := staging.NewHub(nil)
 		hub.SetAdvertised(r.arrays)
 		hub.SetCodecAdvertised(o.AdvertiseCodecs)
 		hub.SetTelemetry(o.Telemetry, fmt.Sprintf("%s-out%d", o.Name, i))
+		if o.SpillDir != "" {
+			if err := hub.SetSpillDir(filepath.Join(o.SpillDir, fmt.Sprintf("out%d", i))); err != nil {
+				hub.Close()
+				r.teardown()
+				return nil, fmt.Errorf("relay: spill dir: %w", err)
+			}
+		}
 		binder := staging.NewBinder(hub, o.DefaultPolicy, o.DefaultDepth)
+		if o.SessionTTL > 0 {
+			binder.EnableSessions(o.SessionTTL)
+		}
 		for _, d := range o.Downstream {
 			if _, err := binder.Declare(d.Spec); err != nil {
 				hub.Close()
@@ -232,7 +276,9 @@ func New(upstream []string, opts Options) (*Relay, error) {
 				return nil, fmt.Errorf("relay: declare %q: %w", d.Spec.Name, err)
 			}
 		}
-		srv, err := staging.Serve(hub, o.Listen, binder.Bind)
+		srv, err := staging.ServeWith(hub, o.Listen, binder.Resolve, staging.ServerOptions{
+			Heartbeat: o.Heartbeat, LivenessTimeout: o.Liveness,
+		})
 		if err != nil {
 			hub.Close()
 			r.teardown()
@@ -245,10 +291,119 @@ func New(upstream []string, opts Options) (*Relay, error) {
 	r.pendingStruct = make([]*adios.Step, len(upstream))
 	r.structSent = make([]bool, o.OutRanks)
 
+	if o.WaitDownstream > 0 && len(o.Downstream) > 0 {
+		deadline := time.Now().Add(o.WaitDownstream)
+		for !r.fullyAttached() && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Upstream edge: one reader per source, announcing the subtree's
+	// unioned needs. In Retry mode the hello also announces a resumable
+	// session, the subtree's minimum resume position, and deferred
+	// credits (see Options.Retry).
+	resume := int64(0)
+	if o.Retry != nil {
+		resume = r.minResume()
+	}
+	for i, addr := range upstream {
+		ropts := adios.ReaderOptions{
+			Consumer: o.Name, Policy: o.Policy, Depth: o.Depth,
+			Arrays: r.arrays, Codecs: r.codecs,
+		}
+		if o.Retry != nil {
+			ropts.Retry = o.Retry
+			ropts.Session = true
+			ropts.SessionTTL = o.SessionTTL
+			ropts.Resume = resume
+			ropts.LivenessTimeout = o.Liveness
+			ropts.DeferCredit = true
+			if o.RedialUpstream != nil {
+				src := i
+				ropts.Redial = func() (string, error) {
+					addrs, err := o.RedialUpstream()
+					if err != nil || src >= len(addrs) {
+						return "", err
+					}
+					return addrs[src], nil
+				}
+			}
+		}
+		rd, err := adios.OpenReaderWith(addr, ropts)
+		if err != nil {
+			r.teardown()
+			return nil, fmt.Errorf("relay: upstream %d (%s): %w", i, addr, err)
+		}
+		r.readers = append(r.readers, rd)
+	}
+
+	if o.Retry != nil {
+		r.startCrediting()
+	}
+
 	if o.Telemetry != nil {
 		o.Telemetry.RegisterStatus("relay/"+o.Name, func() any { return r.Status() })
 	}
 	return r, nil
+}
+
+// fullyAttached reports whether every output binder's pre-declared
+// consumers have been claimed.
+func (r *Relay) fullyAttached() bool {
+	for _, b := range r.binders {
+		if !b.FullyAttached() {
+			return false
+		}
+	}
+	return true
+}
+
+// minResume folds the output binders' resume positions into the
+// ordinal the relay announces upstream: the first step some part of
+// the subtree still needs. Deferred credits make 0 (everything) safe
+// when nothing has attached yet — the upstream cursor itself only
+// ever advances past fully-drained steps.
+func (r *Relay) minResume() int64 {
+	min := int64(-1)
+	for _, b := range r.binders {
+		n := b.MinResume()
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// startCrediting arms deferred upstream crediting: every output hub
+// reports step retirements on a shared channel, and a listener
+// goroutine folds them into the crediter, which releases upstream
+// credits in frame order (see credit.go).
+func (r *Relay) startCrediting() {
+	r.crediter = newCrediter(r.readers, len(r.hubs))
+	r.retireCh = make(chan struct{}, 1)
+	r.creditDone = make(chan struct{})
+	for _, h := range r.hubs {
+		h.SetRetireNotify(r.retireCh)
+	}
+	r.creditWG.Add(1)
+	go func() {
+		defer r.creditWG.Done()
+		for {
+			select {
+			case <-r.retireCh:
+			case <-r.creditDone:
+				return
+			}
+			var sims []int64
+			for _, h := range r.hubs {
+				sims = append(sims, h.DrainRetired()...)
+			}
+			r.crediter.onRetired(sims)
+		}
+	}()
 }
 
 // unionRequirements folds the declared downstream consumers into one
@@ -327,6 +482,11 @@ type Status struct {
 	Skipped  int64    `json:"steps_skipped"`
 	BytesIn  int64    `json:"trunk_bytes_in"`
 	BytesOut int64    `json:"bytes_out"`
+
+	// Resilience counters (Retry mode only).
+	UpstreamReconnects int64 `json:"upstream_reconnects,omitempty"`
+	CreditsSent        int64 `json:"credits_sent,omitempty"`
+	CreditsPending     int   `json:"credits_pending,omitempty"`
 }
 
 // Status snapshots the relay's topology and counters (safe from any
@@ -347,6 +507,13 @@ func (r *Relay) Status() Status {
 		for _, c := range h.Stats() {
 			st.BytesOut += c.WireBytes
 		}
+	}
+	for _, rd := range r.readers {
+		st.UpstreamReconnects += rd.Reconnects()
+	}
+	if r.crediter != nil {
+		st.CreditsSent = r.crediter.Sent()
+		st.CreditsPending = r.crediter.Pending()
 	}
 	return st
 }
@@ -398,6 +565,38 @@ func (r *Relay) teardown() {
 				r.closeErr = err
 			}
 		}
+		r.stopCrediting()
+	})
+}
+
+func (r *Relay) stopCrediting() {
+	if r.creditDone != nil {
+		close(r.creditDone)
+		r.creditWG.Wait()
+	}
+}
+
+// Kill terminates the relay abruptly — the fault-injection model of a
+// crashed mid-tier process. Unlike Close, the output servers are
+// aborted (connections reset mid-frame, no end-of-stream drain) and
+// the upstream connection is dropped without returning outstanding
+// credits, so the producer parks this relay's session holding every
+// undrained step. A replacement relay with the same session/consumer
+// identity then resumes losslessly.
+func (r *Relay) Kill() {
+	r.killed.Store(true)
+	r.closed.Store(true)
+	r.closeOnce.Do(func() {
+		for _, rd := range r.readers {
+			rd.Close()
+		}
+		for _, s := range r.servers {
+			s.Abort()
+		}
+		for _, h := range r.hubs {
+			h.Close()
+		}
+		r.stopCrediting()
 	})
 }
 
@@ -498,6 +697,11 @@ func (r *Relay) runFrames() error {
 					r.pendingStruct[i] = st
 				}
 				r.skipped.Add(1)
+				if r.crediter != nil {
+					// Discarded during realignment: never published, so
+					// nothing downstream can retire it. Credit at once.
+					r.crediter.enqueue(i, infos[i].Step, true)
+				}
 				eof, err := fetch(i)
 				if err != nil {
 					return err
@@ -517,6 +721,14 @@ func (r *Relay) runFrames() error {
 
 		if err := r.relayAlignedFrames(raws, infos); err != nil {
 			return err
+		}
+		if r.crediter != nil {
+			// Structure steps live in the hubs forever (bootstrap), so
+			// they never retire — credit immediately. Data steps wait
+			// for retirement from every output hub.
+			for i := 0; i < P; i++ {
+				r.crediter.enqueue(i, target, infos[0].Structure)
+			}
 		}
 		r.steps.Add(1)
 		for i := range raws {
@@ -643,6 +855,9 @@ func (r *Relay) runSteps() error {
 					r.pendingStruct[i] = steps[i]
 				}
 				r.skipped.Add(1)
+				if r.crediter != nil {
+					r.crediter.enqueue(i, steps[i].Step, true)
+				}
 				steps[i] = nil
 				eof, err := fetch(i)
 				if err != nil {
@@ -661,8 +876,14 @@ func (r *Relay) runSteps() error {
 			continue
 		}
 
+		structured := steps[0].Attrs["structure"] == "1"
 		if err := r.relayAlignedSteps(steps); err != nil {
 			return err
+		}
+		if r.crediter != nil {
+			for i := 0; i < P; i++ {
+				r.crediter.enqueue(i, target, structured)
+			}
 		}
 		r.steps.Add(1)
 		for i := range steps {

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/codec"
@@ -131,6 +132,21 @@ func ParseConsumers(s string) ([]ConsumerSpec, error) {
 //	          unlisted codec in a hello rejects the handshake
 //	policy    default policy for consumers not pre-declared
 //	depth     default queue depth (default 2)
+//	session-ttl
+//	          enables resumable consumer sessions: a disconnected
+//	          reader's cursor, policy window, and spill queue are
+//	          retained for this grace period (Go duration, e.g. "30s")
+//	          and an exactly-once resume picks up from the acked
+//	          position
+//	heartbeat per-connection idle keepalive period (Go duration; ""
+//	          disables) so reader-side liveness checks survive a slow
+//	          producer
+//	liveness  credit-wait liveness bound (Go duration; "" disables): a
+//	          reader that neither credits nor keepalives within the
+//	          window is declared dead (parked when sessions are on)
+//	handshake-timeout
+//	          bound on an accepted connection completing its hello
+//	          (default 10s; "off" disables)
 type Adaptor struct {
 	ctx      *sensei.Context
 	hub      *Hub
@@ -215,11 +231,44 @@ func init() {
 				return nil, err
 			}
 		}
+		var sopts ServerOptions
+		parseDur := func(key string) (time.Duration, error) {
+			v := strings.TrimSpace(attrs[key])
+			if v == "" || v == "off" {
+				return 0, nil
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return 0, fmt.Errorf("staging: bad %s %q: %w", key, v, err)
+			}
+			return d, nil
+		}
+		if ttl, err := parseDur("session-ttl"); err != nil {
+			return nil, err
+		} else if ttl > 0 {
+			ad.binder.EnableSessions(ttl)
+		}
+		if sopts.Heartbeat, err = parseDur("heartbeat"); err != nil {
+			return nil, err
+		}
+		if sopts.LivenessTimeout, err = parseDur("liveness"); err != nil {
+			return nil, err
+		}
+		if v := strings.TrimSpace(attrs["handshake-timeout"]); v == "off" {
+			sopts.HandshakeTimeout = -1
+		} else if sopts.HandshakeTimeout, err = parseDur("handshake-timeout"); err != nil {
+			return nil, err
+		}
+		if ctx.Telemetry != nil {
+			binder := ad.binder
+			ctx.Telemetry.RegisterStatus("staging-sessions/"+RankLabel(ctx.Comm.Rank()),
+				func() any { return binder.SessionStatus() })
+		}
 		addr := attrs["address"]
 		if addr == "" {
 			addr = "127.0.0.1:0"
 		}
-		srv, err := Serve(hub, addr, ad.binder.Bind)
+		srv, err := ServeWith(hub, addr, ad.binder.Resolve, sopts)
 		if err != nil {
 			return nil, err
 		}
@@ -330,6 +379,11 @@ func (a *Adaptor) Execute(st *sensei.Step) (bool, error) {
 // remaining steps.
 func (a *Adaptor) Finalize() error {
 	err := a.hub.Close()
+	if a.binder != nil {
+		// Parked sessions would otherwise hold their backpressure claims
+		// (and step references) until their TTLs fire mid-shutdown.
+		a.binder.Shutdown()
+	}
 	if a.server != nil {
 		if serr := a.server.Close(); err == nil {
 			err = serr

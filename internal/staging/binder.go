@@ -2,7 +2,12 @@ package staging
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
 )
 
 // Binder resolves network reader handshakes against a set of
@@ -15,10 +20,20 @@ import (
 // member's claim converts a pre-declared subscription in place,
 // keeping its no-lost-steps cursor.
 //
+// With EnableSessions, the binder also owns resumable-session
+// lifecycle: a reader asking for a session gets a resume token, its
+// consumer parks (cursor, window, spill queue, and backpressure claim
+// intact) instead of closing when the connection dies, and a
+// reconnect presenting the token — or, for a reader that lost its
+// token across a restart, re-announcing the same name with a session
+// request — resumes exactly where the acked position left off. Parked
+// sessions expire after a grace TTL and fall back to the classic
+// close path.
+//
 // The XML staging adaptor and the archive replay producer both serve
 // their hubs through a Binder, so live and post hoc attachment
-// semantics are identical. Use Bind as the staging.Serve
-// SubscribeFunc.
+// semantics are identical. Use Resolve as the staging.Serve
+// SubscribeFunc; Bind remains the positional non-session veneer.
 type Binder struct {
 	hub       *Hub
 	defPolicy Policy
@@ -30,7 +45,35 @@ type Binder struct {
 	claimed    map[string]bool
 	groups     groupBroker // group members handed out per logical name
 	dynSeq     int
+
+	// Resumable-session state (nil maps until EnableSessions).
+	sessTTL      time.Duration
+	sessMax      int
+	sessions     map[string]*boundSession // by token
+	parkedByName map[string]*boundSession // parked sessions per logical name
+	sessSeq      int
+	sessIssued   int64
+	sessResumed  int64
+	sessAdopted  int64
+	sessExpired  int64
 }
+
+// boundSession is one resumable consumer binding. gen increments on
+// every resume so a stale pump's late park (its connection died after
+// the reader already reattached) is recognized and ignored.
+type boundSession struct {
+	token  string
+	name   string // logical consumer name ("" = dynamic, not adoptable)
+	cons   *Consumer
+	ttl    time.Duration
+	timer  *time.Timer // armed while parked
+	parked bool
+	gen    int
+}
+
+// defaultSessionMax bounds concurrently tracked sessions so a token
+// churn cannot grow binder state without bound.
+const defaultSessionMax = 256
 
 // NewBinder builds a binder over hub with defaults for dynamically
 // attaching readers (defDepth <= 0 selects 2).
@@ -44,6 +87,25 @@ func NewBinder(hub *Hub, defPolicy Policy, defDepth int) *Binder {
 		registered: map[string]*Consumer{},
 		claimed:    map[string]bool{},
 	}
+}
+
+// EnableSessions turns on resumable sessions with the given park
+// grace TTL (how long a disconnected consumer's position and
+// backpressure claim are retained; ttl <= 0 selects 30s).
+func (b *Binder) EnableSessions(ttl time.Duration) {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	b.mu.Lock()
+	b.sessTTL = ttl
+	if b.sessMax == 0 {
+		b.sessMax = defaultSessionMax
+	}
+	if b.sessions == nil {
+		b.sessions = map[string]*boundSession{}
+		b.parkedByName = map[string]*boundSession{}
+	}
+	b.mu.Unlock()
 }
 
 // Declare pre-subscribes one consumer so no step is missed while its
@@ -80,10 +142,249 @@ func (b *Binder) FullyAttached() bool {
 	return true
 }
 
-// Bind resolves one reader's handshake (the SubscribeFunc contract).
-// A reader claiming a pre-declared name may narrow its array subset
-// and request wire codecs in the hello; an array outside the
-// advertisement or an unsupported codec rejects the handshake. A
+// Resolve resolves one reader's handshake — the staging.Serve
+// SubscribeFunc. Session semantics, in precedence order:
+//
+//  1. a presented token resumes its parked session (a token the
+//     binder no longer holds is rejected as unknown, telling the
+//     reader to downgrade to a fresh subscription with its Resume
+//     ordinal; a token whose connection the server has not yet
+//     declared dead is rejected as still attached, telling the reader
+//     to back off and retry);
+//  2. a session request without a token adopts the parked session of
+//     the same logical name, if one exists — the restarted-relay
+//     case, where the token died with the process but the name and
+//     resume position survive;
+//  3. otherwise the classic bind runs, a resume floor installs when
+//     the reader announced one, and a fresh token is issued when
+//     sessions are enabled and the reader asked for one.
+func (b *Binder) Resolve(req SubscribeRequest) (*Subscription, error) {
+	if req.Group > 1 {
+		// Consumer groups keep their own attachment discipline and do
+		// not participate in sessions.
+		cons, err := b.groups.attach(b.hub, req.Name, req.Group, func() (*Consumer, error) {
+			return b.Bind(req.Name, req.Policy, req.Depth, 1, req.Arrays, req.Codecs)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Subscription{Cons: cons}, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if req.Session != "" {
+		s := b.sessions[req.Session]
+		if s == nil || s.cons.IsClosed() {
+			if s != nil {
+				b.dropSessionLocked(s)
+			}
+			return nil, fmt.Errorf("%s %q", adios.ReasonUnknownSession, req.Session)
+		}
+		if !s.parked {
+			// The previous connection has not been declared dead yet
+			// (liveness still counting down). Resuming now would race
+			// the old pump for the consumer; the reader backs off and
+			// retries instead.
+			return nil, fmt.Errorf("%s %q", adios.ReasonStillAttached, req.Session)
+		}
+		return b.resumeLocked(s, req.Resume), nil
+	}
+	if req.NewSession && req.Name != "" && b.sessions != nil {
+		// A live (unparked) session under the same name means the hub
+		// has not yet declared the previous incarnation dead: transient,
+		// the reader backs off rather than hitting "already attached".
+		for _, s := range b.sessions {
+			if s.name == req.Name && !s.parked && !s.cons.IsClosed() {
+				return nil, fmt.Errorf("%s (consumer %q)", adios.ReasonStillAttached, req.Name)
+			}
+		}
+		if s := b.parkedByName[req.Name]; s != nil && !s.cons.IsClosed() {
+			// Adopt: the reader lost its token (typically a restarted
+			// relay) but the parked position survives under the logical
+			// name. Rotate the token so the old one cannot resurrect
+			// the session later.
+			delete(b.sessions, s.token)
+			s.token = b.newTokenLocked()
+			b.sessions[s.token] = s
+			b.sessAdopted++
+			sub := b.resumeLocked(s, req.Resume)
+			// The adopting process never saw the structure step (the
+			// grid died with the old process): queue the bootstrap for
+			// redelivery ahead of the resumed cursor.
+			b.hub.rearmBootstrap(s.cons)
+			return sub, nil
+		}
+	}
+	cons, err := b.bindLocked(req.Name, req.Policy, req.Depth, req.Arrays, req.Codecs)
+	if err != nil {
+		return nil, err
+	}
+	b.hub.setResumeFloor(cons, req.Resume)
+	sub := &Subscription{Cons: cons}
+	if req.NewSession && b.sessTTL > 0 && len(b.sessions) < b.sessMax {
+		ttl := b.sessTTL
+		if req.SessionTTL > 0 {
+			ttl = req.SessionTTL
+		}
+		s := &boundSession{
+			token: b.newTokenLocked(), name: req.Name, cons: cons, ttl: ttl, gen: 1,
+		}
+		b.sessions[s.token] = s
+		b.sessIssued++
+		sub.Session = s.token
+		sub.Park = b.parkFunc(s, s.gen)
+	}
+	return sub, nil
+}
+
+func (b *Binder) newTokenLocked() string {
+	b.sessSeq++
+	return fmt.Sprintf("sess-%d-%d", os.Getpid(), b.sessSeq)
+}
+
+// resumeLocked reattaches a parked session: grace timer disarmed,
+// consumer resumed (in-flight step settled against the reader's
+// Resume ordinal, codec chain reset to a keyframe), and a
+// fresh-generation park handed to the new pump.
+func (b *Binder) resumeLocked(s *boundSession, resume int64) *Subscription {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if s.name != "" && b.parkedByName[s.name] == s {
+		delete(b.parkedByName, s.name)
+	}
+	s.parked = false
+	s.gen++
+	b.hub.resumeConsumer(s.cons, resume)
+	b.sessResumed++
+	return &Subscription{Cons: s.cons, Session: s.token, Park: b.parkFunc(s, s.gen)}
+}
+
+// parkFunc builds the Subscription.Park hook for one connection
+// generation of a session. Returning true means the binder took
+// ownership of the consumer's disposal (parked, or superseded by a
+// newer generation); false sends the pump down the close path.
+func (b *Binder) parkFunc(s *boundSession, gen int) func(inflight *StepRef) bool {
+	return func(inflight *StepRef) bool {
+		b.mu.Lock()
+		if s.gen != gen || b.sessions[s.token] != s {
+			// A newer connection already resumed (or the session was
+			// dropped): this pump's consumer is no longer its to close.
+			b.mu.Unlock()
+			if inflight != nil {
+				inflight.Release()
+			}
+			return true
+		}
+		if !b.hub.parkConsumer(s.cons, inflight) {
+			// Consumer already closed (server abort, hub shutdown):
+			// the session cannot survive it.
+			b.dropSessionLocked(s)
+			b.mu.Unlock()
+			return false
+		}
+		s.parked = true
+		if s.name != "" {
+			b.parkedByName[s.name] = s
+		}
+		s.timer = time.AfterFunc(s.ttl, func() { b.expireSession(s, gen) })
+		b.mu.Unlock()
+		return true
+	}
+}
+
+// expireSession ends a parked session whose grace TTL lapsed.
+func (b *Binder) expireSession(s *boundSession, gen int) {
+	b.mu.Lock()
+	if s.gen != gen || !s.parked || b.sessions[s.token] != s {
+		b.mu.Unlock()
+		return
+	}
+	b.dropSessionLocked(s)
+	b.sessExpired++
+	cons := s.cons
+	b.mu.Unlock()
+	// The consumer closes through the normal path: undelivered
+	// references release, the producer's backpressure claim lifts, and
+	// a later reconnect under the name takes the classic
+	// fresh-resubscription route.
+	b.hub.discardParked(cons)
+}
+
+func (b *Binder) dropSessionLocked(s *boundSession) {
+	delete(b.sessions, s.token)
+	if s.name != "" && b.parkedByName[s.name] == s {
+		delete(b.parkedByName, s.name)
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.parked = false
+}
+
+// Shutdown discards every session immediately — parked consumers
+// close and their backpressure claims lift. Call it when tearing the
+// serving process down; without it a parked Block consumer would
+// stall the producer until its TTL fired mid-shutdown.
+func (b *Binder) Shutdown() {
+	b.mu.Lock()
+	var discard []*Consumer
+	for _, s := range b.sessions {
+		if s.timer != nil {
+			s.timer.Stop()
+			s.timer = nil
+		}
+		if s.parked {
+			discard = append(discard, s.cons)
+		}
+		s.parked = false
+	}
+	b.sessions = map[string]*boundSession{}
+	b.parkedByName = map[string]*boundSession{}
+	b.mu.Unlock()
+	for _, c := range discard {
+		b.hub.discardParked(c)
+	}
+}
+
+// MinResume reports the smallest sim-step ordinal any bound consumer
+// still needs — what a restarted relay announces as its own Resume
+// when redialing upstream, so the upstream suppresses only steps the
+// entire subtree has acknowledged. Returns 0 (resume from the start)
+// when nothing is bound.
+func (b *Binder) MinResume() int64 {
+	b.mu.Lock()
+	conss := make(map[*Consumer]struct{})
+	for _, s := range b.sessions {
+		conss[s.cons] = struct{}{}
+	}
+	for _, c := range b.registered {
+		conss[c] = struct{}{}
+	}
+	b.mu.Unlock()
+	min := int64(-1)
+	for c := range conss {
+		if c.IsClosed() {
+			continue
+		}
+		n := c.NextNeeded()
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Bind resolves one reader's handshake positionally — the pre-session
+// SubscribeFunc shape, kept for callers that manage consumers
+// directly. A reader claiming a pre-declared name may narrow its
+// array subset and request wire codecs in the hello; an array outside
+// the advertisement or an unsupported codec rejects the handshake. A
 // reader announcing no codecs inherits the declared spec's codecs
 // (the server's handshake reply echoes the effective set either way).
 func (b *Binder) Bind(name, policy string, depth, group int, arrays, codecs []string) (*Consumer, error) {
@@ -94,6 +395,10 @@ func (b *Binder) Bind(name, policy string, depth, group int, arrays, codecs []st
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.bindLocked(name, policy, depth, arrays, codecs)
+}
+
+func (b *Binder) bindLocked(name, policy string, depth int, arrays, codecs []string) (*Consumer, error) {
 	if spec, ok := b.specs[name]; ok {
 		cons := b.registered[name]
 		if !b.claimed[name] {
@@ -158,4 +463,52 @@ func (b *Binder) Bind(name, policy string, depth, group int, arrays, codecs []st
 		name = fmt.Sprintf("consumer-%d", b.dynSeq)
 	}
 	return b.hub.SubscribeCodecs(name, pol, depth, arrays, codecs)
+}
+
+// SessionStats is one resumable session's /statusz row.
+type SessionStats struct {
+	Token      string  `json:"token"`
+	Name       string  `json:"name,omitempty"`
+	Parked     bool    `json:"parked"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+	NextNeeded int64   `json:"next_needed"`
+}
+
+// SessionStatus is the binder's /statusz session table.
+type SessionStatus struct {
+	Enabled    bool           `json:"enabled"`
+	TTLSeconds float64        `json:"ttl_seconds,omitempty"`
+	Issued     int64          `json:"issued"`
+	Resumed    int64          `json:"resumed"`
+	Adopted    int64          `json:"adopted"`
+	Expired    int64          `json:"expired"`
+	Sessions   []SessionStats `json:"sessions,omitempty"`
+}
+
+// SessionStatus snapshots the binder's session table for /statusz.
+func (b *Binder) SessionStatus() SessionStatus {
+	b.mu.Lock()
+	st := SessionStatus{
+		Enabled:    b.sessTTL > 0,
+		TTLSeconds: b.sessTTL.Seconds(),
+		Issued:     b.sessIssued, Resumed: b.sessResumed,
+		Adopted: b.sessAdopted, Expired: b.sessExpired,
+	}
+	rows := make([]SessionStats, 0, len(b.sessions))
+	conss := make([]*Consumer, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		rows = append(rows, SessionStats{
+			Token: s.token, Name: s.name, Parked: s.parked,
+			TTLSeconds: s.ttl.Seconds(),
+		})
+		conss = append(conss, s.cons)
+	}
+	b.mu.Unlock()
+	// NextNeeded takes the hub lock; fill it outside the binder lock.
+	for i := range rows {
+		rows[i].NextNeeded = conss[i].NextNeeded()
+	}
+	st.Sessions = rows
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].Token < st.Sessions[j].Token })
+	return st
 }

@@ -253,6 +253,11 @@ type Hub struct {
 	// still receive the grid structure.
 	bootstrap *stepEntry
 
+	// Retire notification (SetRetireNotify): data steps whose last
+	// reference dropped are queued here for the owner's crediting loop.
+	retiredQ []int64
+	retireCh chan<- struct{}
+
 	closed    bool
 	published int64
 	dropped   int64
@@ -267,11 +272,12 @@ type Hub struct {
 // step tracer for marshal/publish/deliver stamps plus lock-free
 // counters mirroring the hub's own totals.
 type hubTelemetry struct {
-	trace     *telemetry.StepTracer
-	published *telemetry.Counter
-	dropped   *telemetry.Counter
-	spilled   *telemetry.Counter
-	wireBytes *telemetry.Counter
+	trace      *telemetry.StepTracer
+	published  *telemetry.Counter
+	dropped    *telemetry.Counter
+	spilled    *telemetry.Counter
+	wireBytes  *telemetry.Counter
+	suppressed *telemetry.Counter
 }
 
 // NewHub creates an empty hub. Staged payload bytes are tracked under
@@ -317,6 +323,22 @@ type Consumer struct {
 	spilled   int64
 	wireBytes int64
 	closed    bool
+
+	// Session state (see session.go). A parked consumer keeps its
+	// cursor, window, spill queue, and backpressure claim while its
+	// reader is disconnected; inflight is the delivered-but-unacked step
+	// handed back by the pump at park time, redelivered first on resume
+	// unless the reader's Resume ordinal proves it was consumed.
+	// resumeFloor suppresses delivery of sim steps below it (a
+	// reattached reader that already consumed them elsewhere); lastSim
+	// is the highest sim-step ordinal the pump shipped AND got credit
+	// for (-1 before any), so nextNeeded() names the first step still
+	// owed to the reader.
+	parked      bool
+	inflight    *StepRef
+	resumeFloor int64
+	lastSim     int64
+	suppressed  int64
 
 	// Spill-policy state: steps evicted from the ring window queue
 	// here (oldest first) and a background spiller demotes them to
@@ -398,6 +420,7 @@ type spillEntry struct {
 	e         *stepEntry // non-nil until demoted to disk
 	state     int
 	id        int64 // spill-store record, valid in state spillDisk
+	sim       int64 // the step's sim ordinal, known without a disk read
 	delivered bool  // popped by delivery; the spiller must not requeue it
 }
 
@@ -416,9 +439,13 @@ type spillRead struct {
 	subFrame []byte      // marshaled filtered frame, built on demand
 }
 
-// load reads and decodes the spilled frame; called once, outside the
-// hub lock, by the delivering consumer's goroutine.
+// load reads and decodes the spilled frame; called outside the hub
+// lock by the delivering consumer's goroutine. Idempotent, so a step
+// redelivered after a park/resume cycle is not re-read.
 func (s *spillRead) load() error {
+	if s.step != nil {
+		return nil
+	}
 	buf, err := s.store.ReadFrameInto(s.id, nil)
 	if err != nil {
 		return fmt.Errorf("staging: reading spilled step: %w", err)
@@ -510,7 +537,46 @@ func (h *Hub) releaseRef(e *stepEntry) {
 	if e.refs == 0 {
 		h.acct.Free("staging-hub", e.bytes)
 		e.releaseFrames()
+		h.noteRetiredLocked(e)
 	}
+}
+
+// noteRetiredLocked queues a fully-released data step's sim ordinal
+// for the retire-notify subscriber (no-op otherwise). Structure steps
+// are exempt: the bootstrap hold keeps them referenced by design.
+// Caller holds h.mu.
+func (h *Hub) noteRetiredLocked(e *stepEntry) {
+	if h.retireCh == nil || e.step.Attrs["structure"] == "1" {
+		return
+	}
+	h.retiredQ = append(h.retiredQ, e.step.Step)
+	select {
+	case h.retireCh <- struct{}{}:
+	default: // a signal is already pending; DrainRetired batches
+	}
+}
+
+// SetRetireNotify installs a retire signal channel: whenever a
+// published data step's last reference drops — every consumer
+// consumed, dropped, or persisted it — the step's sim ordinal is
+// queued and ch receives a non-blocking signal. Collect the queue
+// with DrainRetired. A relay uses this to defer its upstream step
+// credits until each step has fully drained its downstream hubs,
+// making the upstream hold the end-to-end recovery copy.
+func (h *Hub) SetRetireNotify(ch chan<- struct{}) {
+	h.mu.Lock()
+	h.retireCh = ch
+	h.mu.Unlock()
+}
+
+// DrainRetired returns the retired sim ordinals queued since the last
+// drain (in retirement order).
+func (h *Hub) DrainRetired() []int64 {
+	h.mu.Lock()
+	q := h.retiredQ
+	h.retiredQ = nil
+	h.mu.Unlock()
+	return q
 }
 
 // SetSpillFactory installs the factory materializing a disk tier per
@@ -700,7 +766,7 @@ func (h *Hub) SubscribeCodecs(name string, policy Policy, depth int, arrays, cod
 	if err != nil {
 		return nil, err
 	}
-	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, arrays: arrays, cursor: h.nextSeq, wirePrev: -1}
+	c := &Consumer{hub: h, name: name, policy: policy, depth: depth, arrays: arrays, cursor: h.nextSeq, wirePrev: -1, lastSim: -1}
 	h.setConsumerCodecsLocked(c, spec)
 	if policy == Spill {
 		if h.spillFactory == nil {
@@ -818,6 +884,7 @@ func (h *Hub) publish(s *adios.Step, f *adios.Frame) error {
 	if e.refs == 0 {
 		h.acct.Free("staging-hub", e.bytes)
 		e.releaseFrames() // no consumer will ever marshal or read it
+		h.noteRetiredLocked(e)
 	}
 	h.trim()
 	h.cond.Broadcast()
@@ -858,7 +925,7 @@ func (h *Hub) spillOldest(c *Consumer) {
 	c.spilled++
 	h.spilled++
 	h.tel.spilled.Inc()
-	se := &spillEntry{e: e, state: spillMem}
+	se := &spillEntry{e: e, state: spillMem, sim: e.step.Step}
 	c.spillQ = append(c.spillQ, se)
 	c.spillWork = append(c.spillWork, se)
 }
@@ -1026,6 +1093,12 @@ type ConsumerStats struct {
 	Lag        int64 `json:"lag"`
 	SpillQueue int   `json:"spill_queue"` // evicted steps queued for (or on) the disk tier
 	Closed     bool  `json:"closed"`      // detached consumers stay listed for reporting
+	// Parked marks a session consumer whose reader is disconnected but
+	// whose cursor and window are retained for resume; Suppressed
+	// counts steps withheld below the consumer's resume floor (already
+	// consumed by the reattached reader in a previous connection).
+	Parked     bool  `json:"parked,omitempty"`
+	Suppressed int64 `json:"suppressed,omitempty"`
 }
 
 // statsLocked builds one consumer's snapshot. Caller holds h.mu.
@@ -1043,6 +1116,7 @@ func (h *Hub) statsLocked(c *Consumer) ConsumerStats {
 		Delivered: c.delivered, Dropped: c.dropped, Spilled: c.spilled,
 		WireBytes: c.wireBytes,
 		Cursor:    c.cursor, Lag: lag, SpillQueue: len(c.spillQ), Closed: c.closed,
+		Parked: c.parked, Suppressed: c.suppressed,
 	}
 }
 
@@ -1179,18 +1253,43 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 		return nil, errConsumerClosed
 	}
 	if c.pendingBootstrap != nil {
+		// The structure bootstrap precedes everything — including a
+		// redelivered in-flight step: an adopted session's new process
+		// has never seen the grid, and data before structure is a hard
+		// error one tier down.
 		e := c.pendingBootstrap
 		c.pendingBootstrap = nil
 		c.delivered++
 		return &StepRef{hub: h, e: e, arrays: c.arrays, cons: c}, nil
 	}
-	if len(c.spillQ) > 0 {
+	if c.inflight != nil {
+		// Redeliver the step that was in flight when the previous
+		// connection died (already counted in delivered). A codec
+		// consumer's wirePrev was reset at resume, so the re-shipped
+		// wire form is a self-contained keyframe.
+		ref := c.inflight
+		c.inflight = nil
+		return ref, nil
+	}
+	for len(c.spillQ) > 0 {
 		// Spilled steps are older than everything at the ring cursor:
 		// drain them first, from wherever they currently live.
 		se := c.spillQ[0]
 		c.spillQ[0] = nil
 		c.spillQ = c.spillQ[1:]
 		se.delivered = true
+		if c.resumeFloor > 0 && se.sim < c.resumeFloor {
+			// Below the resume floor: the reattached reader already
+			// consumed this step in a previous life. In-memory entries
+			// return the queue's reference; a mid-write entry's reference
+			// is released by the spiller, and on-disk entries hold none.
+			c.suppressed++
+			h.tel.suppressed.Inc()
+			if se.state == spillMem {
+				h.releaseRef(se.e)
+			}
+			continue
+		}
 		c.delivered++
 		switch se.state {
 		case spillMem:
@@ -1206,9 +1305,19 @@ func (c *Consumer) tryNextLocked() (*StepRef, error) {
 			return &StepRef{hub: h, sp: &spillRead{store: c.spillStore, id: se.id}, arrays: c.arrays, cons: c}, nil
 		}
 	}
-	if c.cursor < h.nextSeq {
+	for c.cursor < h.nextSeq {
 		e := h.ring[c.cursor-h.headSeq]
 		c.cursor++
+		if c.resumeFloor > 0 && e.step.Step < c.resumeFloor && e.step.Attrs["structure"] != "1" {
+			// Below the resume floor (structure steps excepted — the
+			// reattached receiver needs the grid either way): suppress.
+			c.suppressed++
+			h.tel.suppressed.Inc()
+			h.releaseRef(e)
+			h.trim()
+			h.cond.Broadcast()
+			continue
+		}
 		c.delivered++
 		h.tel.trace.Stamp(e.step.Step, telemetry.StageDeliver)
 		h.trim()
@@ -1258,6 +1367,11 @@ func (c *Consumer) closeLocked() {
 		return
 	}
 	c.closed = true
+	c.parked = false
+	if c.inflight != nil {
+		c.inflight.releaseLocked()
+		c.inflight = nil
+	}
 	if c.pendingBootstrap != nil {
 		h.releaseRef(c.pendingBootstrap)
 		c.pendingBootstrap = nil

@@ -14,18 +14,84 @@ import (
 	"nekrs-sensei/internal/adios"
 )
 
+// SubscribeRequest carries everything an incoming reader handshake
+// announced. Name/Policy/Depth/Group/Arrays/Codecs are the classic
+// subscription shape (any may be empty/zero); the session fields are
+// the resumable-consumer extension:
+//
+//   - Session is a resume token from a previous connection ("" = none);
+//   - NewSession asks for a resumable session (a token comes back in
+//     the reply when the subscriber supports them);
+//   - Resume is the first sim-step ordinal the reader has NOT yet
+//     seen (0 = from the start) — on a fresh subscription it becomes
+//     the consumer's resume floor, on a token resume it settles the
+//     parked in-flight step;
+//   - SessionTTL is the reader's requested park grace (0 = default).
+type SubscribeRequest struct {
+	Name   string
+	Policy string
+	Depth  int
+	Group  int
+	Arrays []string
+	Codecs []string
+
+	Session    string
+	NewSession bool
+	Resume     int64
+	SessionTTL time.Duration
+}
+
+// Subscription is a resolved handshake: the consumer to pump, plus
+// session state when the subscriber supports resumable consumers.
+type Subscription struct {
+	Cons *Consumer
+
+	// Session is the resume token issued (or confirmed) for this
+	// connection; "" means the subscription is not resumable and a
+	// transport failure closes the consumer.
+	Session string
+
+	// Park, when non-nil, is offered the consumer after a transport
+	// failure instead of a close; inflight is the delivered-but-unacked
+	// step (nil if none — ownership transfers on true). It reports
+	// whether the session was parked: false sends the caller down the
+	// normal close path.
+	Park func(inflight *StepRef) bool
+}
+
 // SubscribeFunc resolves an incoming reader handshake to a hub
-// consumer. name/policy/depth/group/arrays are the reader's announced
-// values (any may be empty/zero); implementations typically claim a
-// pre-registered consumer by name or subscribe a new one. group > 1
-// declares the reader to be one of group cooperating members of a
-// consumer group (see Hub.SubscribeGroup): the implementation must
-// hand each of the group readers announcing the same name a distinct
-// member of one shared group. arrays is the reader's declared array
-// subset (nil = everything) and codecs its wire-compression request
-// (nil = plain frames); returning an error — e.g. for an unadvertised
-// array or an unsupported codec — rejects the handshake.
-type SubscribeFunc func(name, policy string, depth, group int, arrays, codecs []string) (*Consumer, error)
+// consumer. Implementations typically claim a pre-registered consumer
+// by name or subscribe a new one. req.Group > 1 declares the reader
+// to be one of Group cooperating members of a consumer group (see
+// Hub.SubscribeGroup): the implementation must hand each of the group
+// readers announcing the same name a distinct member of one shared
+// group. Returning an error — e.g. for an unadvertised array, an
+// unsupported codec, or an unknown session token — rejects the
+// handshake.
+type SubscribeFunc func(req SubscribeRequest) (*Subscription, error)
+
+// ServerOptions tune the per-connection failure-detection behavior.
+type ServerOptions struct {
+	// HandshakeTimeout bounds how long an accepted connection may sit
+	// before completing its hello (a dialer that connects and goes
+	// silent would otherwise pin a goroutine forever). 0 means a 10s
+	// default; negative disables the bound.
+	HandshakeTimeout time.Duration
+
+	// Heartbeat, when > 0, emits a keepalive marker on idle streams at
+	// this period, so reader-side liveness checks survive a slow
+	// producer. Group consumers are exempt (their shared log has its
+	// own wait discipline).
+	Heartbeat time.Duration
+
+	// LivenessTimeout, when > 0, bounds the credit wait: a reader that
+	// neither credits the delivered step nor sends keepalives within
+	// this window is declared dead and its connection dropped (a
+	// resumable session parks instead of closing).
+	LivenessTimeout time.Duration
+}
+
+const defaultHandshakeTimeout = 10 * time.Second
 
 // Server accepts any number of SST readers on one address and pumps
 // each one from its own hub consumer: the multi-consumer counterpart
@@ -35,6 +101,7 @@ type Server struct {
 	hub       *Hub
 	ln        net.Listener
 	subscribe SubscribeFunc
+	opts      ServerOptions
 
 	wg sync.WaitGroup
 
@@ -45,29 +112,49 @@ type Server struct {
 }
 
 // Serve starts a staging server on addr (use "127.0.0.1:0" for an
-// ephemeral port). subscribe may be nil, in which case every reader
-// gets a fresh consumer with its announced name/policy/depth (policy
-// defaults to block), and readers announcing group > 1 are brokered
-// into shared consumer groups by name.
+// ephemeral port) with default options. subscribe may be nil, in
+// which case every reader gets a fresh consumer with its announced
+// name/policy/depth (policy defaults to block), readers announcing
+// group > 1 are brokered into shared consumer groups by name, and
+// session tokens are rejected as unknown (no resumable sessions —
+// reconnecting readers downgrade to a fresh subscription whose Resume
+// ordinal still suppresses already-consumed steps).
 func Serve(hub *Hub, addr string, subscribe SubscribeFunc) (*Server, error) {
+	return ServeWith(hub, addr, subscribe, ServerOptions{})
+}
+
+// ServeWith is Serve with explicit failure-detection options.
+func ServeWith(hub *Hub, addr string, subscribe SubscribeFunc, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("staging: listen: %w", err)
 	}
-	s := &Server{hub: hub, ln: ln, subscribe: subscribe, conns: map[net.Conn]*Consumer{}}
+	s := &Server{hub: hub, ln: ln, subscribe: subscribe, opts: opts, conns: map[net.Conn]*Consumer{}}
 	if s.subscribe == nil {
 		var broker groupBroker
-		s.subscribe = func(name, policy string, depth, group int, arrays, codecs []string) (*Consumer, error) {
-			p, err := ParsePolicy(policy)
+		s.subscribe = func(req SubscribeRequest) (*Subscription, error) {
+			if req.Session != "" {
+				return nil, fmt.Errorf("%s %q", adios.ReasonUnknownSession, req.Session)
+			}
+			p, err := ParsePolicy(req.Policy)
 			if err != nil {
 				return nil, err
 			}
-			if group > 1 {
-				return broker.attach(hub, name, group, func() (*Consumer, error) {
-					return hub.SubscribeCodecs(name, p, depth, arrays, codecs)
+			if req.Group > 1 {
+				cons, err := broker.attach(hub, req.Name, req.Group, func() (*Consumer, error) {
+					return hub.SubscribeCodecs(req.Name, p, req.Depth, req.Arrays, req.Codecs)
 				})
+				if err != nil {
+					return nil, err
+				}
+				return &Subscription{Cons: cons}, nil
 			}
-			return hub.SubscribeCodecs(name, p, depth, arrays, codecs)
+			cons, err := hub.SubscribeCodecs(req.Name, p, req.Depth, req.Arrays, req.Codecs)
+			if err != nil {
+				return nil, err
+			}
+			hub.setResumeFloor(cons, req.Resume)
+			return &Subscription{Cons: cons}, nil
 		}
 	}
 	s.wg.Add(1)
@@ -129,6 +216,15 @@ func (s *Server) acceptLoop() {
 // frames with the credit-per-step flow control of the SST data plane.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	// Bound the handshake: an accepted connection that never completes
+	// its hello must not pin this goroutine (and its conns slot) for
+	// the life of the server.
+	if ht := s.opts.HandshakeTimeout; ht >= 0 {
+		if ht == 0 {
+			ht = defaultHandshakeTimeout
+		}
+		conn.SetReadDeadline(time.Now().Add(ht)) //nolint:errcheck // best effort
+	}
 	br := bufio.NewReaderSize(conn, 1<<16)
 	dec := json.NewDecoder(br)
 	var h adios.Hello
@@ -140,10 +236,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.setErr(fmt.Errorf("staging: bad reader handshake: unexpected role %q", h.Role))
 		return
 	}
+	req := SubscribeRequest{
+		Name: h.Consumer, Policy: h.Policy, Depth: h.Depth, Group: h.Group,
+		Arrays: h.Arrays, Codecs: h.Codecs,
+		Session: h.Session, NewSession: h.NewSession, Resume: h.Resume,
+	}
+	if h.SessionTTL > 0 {
+		req.SessionTTL = time.Duration(h.SessionTTL * float64(time.Second))
+	}
 	// Bind before replying so a failed subscription is rejected in the
 	// handshake (the client would otherwise read a closed connection
 	// as a clean, empty end-of-stream).
-	cons, err := s.subscribe(h.Consumer, h.Policy, h.Depth, h.Group, h.Arrays, h.Codecs)
+	sub, err := s.subscribe(req)
 	if err != nil {
 		err = fmt.Errorf("staging: consumer %q: %w", h.Consumer, err)
 		s.setErr(err)
@@ -152,17 +256,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		})
 		return
 	}
-	defer cons.Close()
+	cons := sub.Cons
+	// A resumable session parks on transport failure instead of
+	// closing; everything else — clean end-of-stream, handshake-era
+	// errors, refused parks — closes the consumer on the way out.
+	parked := false
+	defer func() {
+		if !parked {
+			cons.Close()
+		}
+	}()
+	parkOr := func(inflight *StepRef, err error) {
+		s.setErr(err)
+		if sub.Park != nil && sub.Park(inflight) {
+			parked = true
+			return
+		}
+		if inflight != nil {
+			inflight.Release()
+		}
+	}
 	// Echo the consumer's effective codecs: a pre-declared consumer may
 	// carry a codec spec the reader did not announce, and the reader
-	// configures its decoder from this reply.
+	// configures its decoder from this reply. Session confirms (or
+	// issues) the resume token.
 	if err := json.NewEncoder(conn).Encode(adios.Hello{
 		Type: "hello", Role: "writer", Engine: "sst-staging", Marshal: "bp",
-		Codecs: cons.Codecs(),
+		Codecs: cons.Codecs(), Session: sub.Session,
 	}); err != nil {
 		s.setErr(err)
 		return
 	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // handshake done; pump manages its own deadlines
 	s.mu.Lock()
 	closed := s.closed
 	if !closed {
@@ -189,9 +314,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Connection-scoped scratch: the length prefix and credit byte are
 	// stack arrays reused for every step of the pump.
 	var lenBuf [8]byte
-	var ack [1]byte
 	for {
-		ref, err := cons.Next()
+		ref, err := cons.NextTimeout(s.opts.Heartbeat)
+		if IsNextTimeout(err) {
+			// Idle stream: prove liveness without touching the frame
+			// sequence. A reader that vanished surfaces here as a write
+			// error instead of a silent forever-blocked Next.
+			binary.LittleEndian.PutUint64(lenBuf[:], adios.HeartbeatMarker)
+			if _, werr := bw.Write(lenBuf[:]); werr != nil {
+				parkOr(nil, werr)
+				return
+			}
+			if werr := bw.Flush(); werr != nil {
+				parkOr(nil, werr)
+				return
+			}
+			continue
+		}
 		if errors.Is(err, io.EOF) {
 			binary.LittleEndian.PutUint64(lenBuf[:], 0)
 			bw.Write(lenBuf[:]) //nolint:errcheck // best-effort EOS
@@ -214,29 +353,67 @@ func (s *Server) serveConn(conn net.Conn) {
 		cons.addWireBytes(int64(len(frame)))
 		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
 		if _, err := bw.Write(lenBuf[:]); err != nil {
-			ref.Release()
-			s.setErr(err)
+			parkOr(ref, err)
 			return
 		}
 		if _, err := bw.Write(frame); err != nil {
-			ref.Release()
-			s.setErr(err)
+			parkOr(ref, err)
 			return
 		}
 		if err := bw.Flush(); err != nil {
-			ref.Release()
-			s.setErr(err)
+			parkOr(ref, err)
 			return
 		}
 		// Reader-driven flow control: hold this step's reference until
 		// the consumer returns its credit, so a slow endpoint shows up
 		// as staged-byte growth on the hub.
-		if _, err := io.ReadFull(credits, ack[:]); err != nil {
-			ref.Release()
-			s.setErr(fmt.Errorf("staging: waiting for step credit: %w", err))
+		if err := awaitCredit(conn, credits, s.opts.LivenessTimeout); err != nil {
+			parkOr(ref, fmt.Errorf("staging: waiting for step credit: %w", err))
 			return
 		}
+		cons.noteShipped(ref.SimStep())
 		ref.Release()
+	}
+}
+
+// awaitCredit blocks for one step credit, skipping keepalive bytes.
+// With liveness > 0 the wait is bounded: the connection's read
+// deadline polls at liveness/3 so a genuinely dead reader (no credit,
+// no keepalives) is detected within roughly the liveness window.
+func awaitCredit(conn net.Conn, credits io.Reader, liveness time.Duration) error {
+	var b [1]byte
+	for {
+		if liveness > 0 {
+			interval := liveness / 3
+			if interval < 10*time.Millisecond {
+				interval = 10 * time.Millisecond
+			}
+			deadline := time.Now().Add(liveness)
+			for {
+				conn.SetReadDeadline(time.Now().Add(interval)) //nolint:errcheck // best effort
+				_, err := io.ReadFull(credits, b[:])
+				if err == nil {
+					break
+				}
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					if time.Now().After(deadline) {
+						conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+						return fmt.Errorf("consumer liveness timeout after %v", liveness)
+					}
+					continue
+				}
+				conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+				return err
+			}
+			conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+		} else if _, err := io.ReadFull(credits, b[:]); err != nil {
+			return err
+		}
+		if b[0] == adios.CreditKeepalive {
+			continue // proof of life, not a step credit
+		}
+		return nil
 	}
 }
 
@@ -273,4 +450,32 @@ func (s *Server) Close() error {
 	s.ln.Close()
 	s.wg.Wait()
 	return nil
+}
+
+// Abort tears the server down abruptly — no drain deadline, no clean
+// end-of-stream: live connections are hard-reset (linger zero where
+// the transport allows) and every bound consumer is closed. It models
+// a crashed process for chaos testing and powers forced relay
+// restarts; downstream readers see a transport error and enter their
+// retry path.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for conn, cons := range s.conns {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetLinger(0) //nolint:errcheck // best effort: RST, not FIN
+		}
+		conn.Close() //nolint:errcheck
+		if cons != nil {
+			cons.Close()
+		}
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
 }

@@ -29,11 +29,12 @@ func (h *Hub) SetTelemetry(tel *telemetry.Telemetry, label string) {
 	reg := tel.Registry()
 	h.mu.Lock()
 	h.tel = hubTelemetry{
-		trace:     tel.Tracer(),
-		published: reg.Counter("staging_published_steps_total", "hub", label),
-		dropped:   reg.Counter("staging_dropped_steps_total", "hub", label),
-		spilled:   reg.Counter("staging_spilled_steps_total", "hub", label),
-		wireBytes: reg.Counter("staging_wire_bytes_total", "hub", label),
+		trace:      tel.Tracer(),
+		published:  reg.Counter("staging_published_steps_total", "hub", label),
+		dropped:    reg.Counter("staging_dropped_steps_total", "hub", label),
+		spilled:    reg.Counter("staging_spilled_steps_total", "hub", label),
+		wireBytes:  reg.Counter("staging_wire_bytes_total", "hub", label),
+		suppressed: reg.Counter("staging_suppressed_steps_total", "hub", label),
 	}
 	h.mu.Unlock()
 	reg.RegisterSampler(func(s *telemetry.Sample) {
