@@ -26,6 +26,7 @@ import (
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/codec"
+	"nekrs-sensei/internal/meshobs"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/relay"
 	"nekrs-sensei/internal/staging"
@@ -152,15 +153,17 @@ func (o *options) readUpstream() ([]string, error) {
 }
 
 // writePublish publishes the relay's own output addresses for the
-// next tier down (no-op without -publish).
-func (o *options) writePublish(addrs []string) error {
+// next tier down (no-op without -publish), stamping the telemetry
+// exporter address into the entry so the mesh observatory can find
+// this relay.
+func (o *options) writePublish(addrs []string, telAddr string) error {
 	if o.publish == "" {
 		return nil
 	}
 	if o.contactDir != "" {
-		return adios.WriteContactEntry(o.contactDir, o.publish, addrs)
+		return adios.WriteContactEntryWith(o.contactDir, o.publish, addrs, telAddr)
 	}
-	return adios.WriteContact(o.publish, addrs)
+	return adios.WriteContactWith(o.publish, addrs, telAddr)
 }
 
 func run(o *options, tel *telemetry.Telemetry) error {
@@ -185,8 +188,11 @@ func run(o *options, tel *telemetry.Telemetry) error {
 		return err
 	}
 	defer r.Close()
-	if err := o.writePublish(r.Addrs()); err != nil {
+	if err := o.writePublish(r.Addrs(), tel.ServeAddr()); err != nil {
 		return err
+	}
+	if o.contactDir != "" {
+		meshobs.Install(tel, o.contactDir)
 	}
 	fmt.Printf("relay %q tier %d: %d upstream -> %d output stream(s) at %s\n",
 		o.name, o.tier, r.Upstreams(), r.OutRanks(), strings.Join(r.Addrs(), " "))

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,6 +48,7 @@ import (
 	"nekrs-sensei/internal/archive"
 	"nekrs-sensei/internal/codec"
 	"nekrs-sensei/internal/intransit"
+	"nekrs-sensei/internal/meshobs"
 	"nekrs-sensei/internal/metrics"
 	"nekrs-sensei/internal/mpirt"
 	"nekrs-sensei/internal/sensei"
@@ -280,6 +282,15 @@ func main() {
 			fmt.Printf("telemetry: %s/metrics %s/statusz %s/debug/pprof\n",
 				exp.URL(), exp.URL(), exp.URL())
 		}
+		// In a contact-directory mesh the endpoint publishes a
+		// telemetry-only observer entry under its consumer name — no
+		// data addresses, just the exporter — so the mesh observatory
+		// can scrape this process's trace ring and resolve hub
+		// consumer rows to it. It also mounts /meshz locally.
+		if err == nil && o.contactDir != "" {
+			err = adios.WriteContactEntryWith(o.contactDir, o.name, nil, tel.ServeAddr())
+			meshobs.Install(tel, o.contactDir)
+		}
 	}
 	if err == nil {
 		switch {
@@ -302,16 +313,18 @@ func main() {
 
 // reportTraces renders the shutdown observability report. With a
 // -peer-status URL it pulls the producer's /statusz and joins the two
-// halves of the pipeline: producer-side stamps (compute/marshal/
-// publish/deliver) from the peer's ring merged with this process's
-// stamps (decode/pull/analyze/render), keyed by the step ordinal
-// already on the wire, plus the hub's per-consumer backlog table. The
-// local trace ring is rendered even when the producer is already gone.
+// halves of the pipeline as a process-keyed mesh timeline:
+// producer-side stamps (compute/marshal/publish) from the peer's ring
+// alongside this process's stamps (deliver/decode/pull/analyze/
+// render), keyed by (process, step ordinal), plus the hub's
+// per-consumer backlog table and a bottleneck verdict. The local
+// trace ring is rendered even when the producer is already gone.
 func reportTraces(peerBase string, tel *telemetry.Telemetry) {
-	merged := tel.Tracer().Snapshot()
-	title := "step trace (endpoint stages, ms offsets)"
+	local := tel.Tracer().Snapshot()
 	if peerBase != "" {
-		peer, err := telemetry.FetchStatusz(peerBase, 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		peer, err := telemetry.FetchStatusz(ctx, peerBase)
+		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sensei-endpoint: peer status:", err)
 		} else {
@@ -326,12 +339,25 @@ func reportTraces(peerBase string, tel *telemetry.Telemetry) {
 				}
 				staging.ConsumerTable("producer "+name, hs.Consumers).Render(os.Stdout)
 			}
-			merged = telemetry.MergeTraces(peer.Traces, merged)
-			title = "step trace (producer + endpoint, ms offsets)"
+			peerName := peer.Process
+			if peerName == "" || peerName == tel.Process() {
+				peerName = "producer"
+			}
+			mesh := telemetry.MergeTraces(
+				telemetry.ProcessRing{Process: peerName, Traces: peer.Traces},
+				telemetry.ProcessRing{Process: tel.Process(), Traces: local},
+			)
+			if len(mesh) > 0 {
+				telemetry.MeshTraceTable("step trace (producer + endpoint, ms offsets)", mesh).Render(os.Stdout)
+				if b, ok := telemetry.FindBottleneck(mesh, 16); ok {
+					fmt.Printf("bottleneck: %s\n", b.Verdict())
+				}
+			}
+			return
 		}
 	}
-	if len(merged) > 0 {
-		telemetry.TraceTable(title, merged).Render(os.Stdout)
+	if len(local) > 0 {
+		telemetry.TraceTable("step trace (endpoint stages, ms offsets)", local).Render(os.Stdout)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -37,9 +38,28 @@ var contactSeq atomic.Int64
 // line so readers can detect a file orphaned by a crashed run (see
 // ReadContact).
 func WriteContact(path string, addrs []string) error {
+	return WriteContactWith(path, addrs, "")
+}
+
+// WriteContactWith is WriteContact plus an optional telemetry
+// exporter address, stamped as a "#telemetry=host:port" comment line.
+// Pre-observatory readers skip it as a comment, so the format stays
+// backwards compatible; the mesh crawler reads it to find every
+// process's /statusz. addrs may be empty for a telemetry-only
+// observer entry (a leaf consumer announcing itself to the crawler
+// without serving anything).
+func WriteContactWith(path string, addrs []string, telemetry string) error {
 	tmp := fmt.Sprintf("%s.tmp-%d-%d", path, os.Getpid(), contactSeq.Add(1))
-	body := fmt.Sprintf("#pid=%d\n%s\n", os.Getpid(), strings.Join(addrs, "\n"))
-	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#pid=%d\n", os.Getpid())
+	if telemetry != "" {
+		fmt.Fprintf(&b, "#telemetry=%s\n", telemetry)
+	}
+	for _, a := range addrs {
+		b.WriteString(a)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -49,10 +69,12 @@ func WriteContact(path string, addrs []string) error {
 	return nil
 }
 
-// parseContact splits a contact file into its advertised addresses
-// and the writer pid (0 if the file carries none — files written
-// before pid stamping, or by other tools). Comment lines are skipped.
-func parseContact(raw []byte) (addrs []string, pid int) {
+// parseContact splits a contact file into its advertised addresses,
+// the writer pid (0 if the file carries none — files written before
+// pid stamping, or by other tools), and the writer's telemetry
+// exporter address ("" if unadvertised). Other comment lines are
+// skipped.
+func parseContact(raw []byte) (addrs []string, pid int, telemetry string) {
 	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -64,11 +86,14 @@ func parseContact(raw []byte) (addrs []string, pid int) {
 					pid = p
 				}
 			}
+			if v, ok := strings.CutPrefix(line, "#telemetry="); ok {
+				telemetry = strings.TrimSpace(v)
+			}
 			continue
 		}
 		addrs = append(addrs, line)
 	}
-	return addrs, pid
+	return addrs, pid, telemetry
 }
 
 // pidAlive reports whether the stamped writer process still exists.
@@ -131,6 +156,12 @@ func ContactEntryPath(dir, name string) (string, error) {
 // directory, creating the directory if needed. The entry is written
 // with WriteContact's atomic rename and pid stamp.
 func WriteContactEntry(dir, name string, addrs []string) error {
+	return WriteContactEntryWith(dir, name, addrs, "")
+}
+
+// WriteContactEntryWith is WriteContactEntry plus a telemetry
+// exporter address (see WriteContactWith).
+func WriteContactEntryWith(dir, name string, addrs []string, telemetry string) error {
 	path, err := ContactEntryPath(dir, name)
 	if err != nil {
 		return err
@@ -138,7 +169,52 @@ func WriteContactEntry(dir, name string, addrs []string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return WriteContact(path, addrs)
+	return WriteContactWith(path, addrs, telemetry)
+}
+
+// ContactEntry is one parsed entry of a contact directory, as seen by
+// the mesh crawler: the advertised addresses, the writer's liveness
+// (pid probe), and its telemetry exporter address if it published
+// one. Addrs may be empty for telemetry-only observer entries.
+type ContactEntry struct {
+	Name      string   `json:"name"`
+	Addrs     []string `json:"addrs,omitempty"`
+	PID       int      `json:"pid,omitempty"`
+	Telemetry string   `json:"telemetry,omitempty"`
+	Alive     bool     `json:"alive"`
+}
+
+// ListContactEntries parses every "<name>.contact" entry in a contact
+// directory, sorted by name. Unlike ReadContact it does not poll or
+// remove stale entries — the crawler wants the directory as-is,
+// including entries from dead processes (reported with Alive=false).
+// In-flight temp and stale-quarantine files are skipped.
+func ListContactEntries(dir string) ([]ContactEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ContactEntry
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".contact") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue // unlinked between ReadDir and read
+		}
+		addrs, pid, tel := parseContact(raw)
+		out = append(out, ContactEntry{
+			Name:      strings.TrimSuffix(name, ".contact"),
+			Addrs:     addrs,
+			PID:       pid,
+			Telemetry: tel,
+			Alive:     pid == 0 || pid == os.Getpid() || pidAlive(pid),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
 // ReadContactEntry polls for the named entry of a contact directory
@@ -166,7 +242,7 @@ func ReadContact(path string, timeout time.Duration) ([]string, error) {
 		raw, err := os.ReadFile(path)
 		lastErr = err
 		if err == nil {
-			addrs, pid := parseContact(raw)
+			addrs, pid, _ := parseContact(raw)
 			if len(addrs) > 0 {
 				if pid != 0 && pid != os.Getpid() && !pidAlive(pid) {
 					stale++

@@ -153,3 +153,87 @@ func TestContactEntryNameValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestContactTelemetryStamp: the optional #telemetry= stamp round-
+// trips through write and list, and its absence stays compatible.
+func TestContactTelemetryStamp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contact.txt")
+	if err := WriteContactWith(path, []string{"127.0.0.1:9000"}, "127.0.0.1:9150"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "#telemetry=127.0.0.1:9150") {
+		t.Fatalf("contact file not telemetry-stamped:\n%s", raw)
+	}
+	// The stamp is a comment: plain address readers never see it.
+	addrs, err := ReadContact(path, time.Second)
+	if err != nil || len(addrs) != 1 || addrs[0] != "127.0.0.1:9000" {
+		t.Fatalf("ReadContact = %v, %v", addrs, err)
+	}
+}
+
+// TestListContactEntries covers the crawler's directory walk: data
+// entries with and without telemetry, a telemetry-only observer entry
+// (no addresses), liveness from the pid stamp, and name-sorted output.
+func TestListContactEntries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "mesh")
+	if err := WriteContactEntryWith(dir, "sim", []string{"127.0.0.1:9000", "127.0.0.1:9001"}, "127.0.0.1:9150"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteContactEntry(dir, "dark", []string{"127.0.0.1:9200"}); err != nil {
+		t.Fatal(err)
+	}
+	// A consumer publishes a telemetry-only observer entry: no data
+	// addresses, just the exporter.
+	if err := WriteContactEntryWith(dir, "endpoint", nil, "127.0.0.1:9152"); err != nil {
+		t.Fatal(err)
+	}
+	// A dead process's leftover entry is listed but flagged.
+	deadPath, err := ContactEntryPath(dir, "zombie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := "#pid=" + itoa(deadPid) + "\n#telemetry=127.0.0.1:9153\n127.0.0.1:9300\n"
+	if err := os.WriteFile(deadPath, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ListContactEntries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("listed %d entries, want 4: %+v", len(entries), entries)
+	}
+	byName := map[string]ContactEntry{}
+	var names []string
+	for _, e := range entries {
+		byName[e.Name] = e
+		names = append(names, e.Name)
+	}
+	if strings.Join(names, ",") != "dark,endpoint,sim,zombie" {
+		t.Errorf("entries not name-sorted: %v", names)
+	}
+	sim := byName["sim"]
+	if sim.Telemetry != "127.0.0.1:9150" || len(sim.Addrs) != 2 || !sim.Alive || sim.PID != os.Getpid() {
+		t.Errorf("sim entry = %+v", sim)
+	}
+	if dark := byName["dark"]; dark.Telemetry != "" || !dark.Alive {
+		t.Errorf("dark entry = %+v", dark)
+	}
+	if ep := byName["endpoint"]; len(ep.Addrs) != 0 || ep.Telemetry != "127.0.0.1:9152" {
+		t.Errorf("observer entry = %+v", ep)
+	}
+	if z := byName["zombie"]; z.Alive {
+		t.Errorf("dead-pid entry reported alive: %+v", z)
+	}
+}
+
+func TestListContactEntriesMissingDir(t *testing.T) {
+	if _, err := ListContactEntries(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for a missing directory")
+	}
+}

@@ -1050,6 +1050,10 @@ func (r *Reader) receiveFrame() (time.Time, error) {
 		if err == nil {
 			return recv, nil
 		}
+		if errors.Is(err, errProducerSilent) {
+			r.tel.events.Emit(telemetry.EventHeartbeatMiss, r.tel.subject, r.lastStep+1,
+				fmt.Sprintf("producer %s silent past liveness timeout", r.addr))
+		}
 		if !retryable || r.opts.Retry == nil || r.engine != "sst-staging" {
 			return time.Time{}, err
 		}
@@ -1059,6 +1063,8 @@ func (r *Reader) receiveFrame() (time.Time, error) {
 		}
 		r.reconnects++
 		r.tel.reconnects.Inc()
+		r.tel.events.Emit(telemetry.EventReconnect, r.tel.subject, r.lastStep+1,
+			fmt.Sprintf("reattached to %s (reconnect #%d)", r.addr, r.reconnects))
 		// Resume may overlap what we already consumed (a credit lost in
 		// flight); BeginStep drops replays at or below lastStep.
 		r.dedup = true
@@ -1140,6 +1146,11 @@ func (r *Reader) Credit(step int64) error {
 	return nil
 }
 
+// errProducerSilent marks a producer liveness timeout — kept as a
+// sentinel so receiveFrame can journal the heartbeat miss distinctly
+// from ordinary transport failures.
+var errProducerSilent = errors.New("liveness timeout")
+
 // readFullLiveness fills buf from the stream. Without a liveness
 // timeout it is io.ReadFull; with one, it polls under short read
 // deadlines, emits keepalive credit bytes while idle so the producer's
@@ -1174,7 +1185,7 @@ func (r *Reader) readFullLiveness(buf []byte) error {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				if time.Since(last) >= liveness {
-					return fmt.Errorf("adios: producer silent for %v (liveness timeout)", liveness)
+					return fmt.Errorf("adios: producer silent for %v (%w)", liveness, errProducerSilent)
 				}
 				kb := [1]byte{CreditKeepalive}
 				if _, werr := r.conn.Write(kb[:]); werr != nil {
@@ -1204,10 +1215,12 @@ func (r *Reader) BeginRawStep() ([]byte, error) {
 		return nil, fmt.Errorf("adios: raw step read on a codec-negotiated stream (frames are BPC5 deltas; use BeginStep)")
 	}
 	for {
-		if _, err := r.receiveFrame(); err != nil {
+		recv, err := r.receiveFrame()
+		if err != nil {
 			return nil, err
 		}
 		if !r.dedup {
+			r.stampRawDeliver(recv)
 			return r.frameBuf, nil
 		}
 		fi, err := ScanFrame(r.frameBuf)
@@ -1221,7 +1234,21 @@ func (r *Reader) BeginRawStep() ([]byte, error) {
 			r.lastStep = fi.Step
 			r.dedup = false
 		}
+		r.stampRawDeliver(recv)
 		return r.frameBuf, nil
+	}
+}
+
+// stampRawDeliver records the deliver stage for a raw-path frame.
+// The step ordinal takes a header scan the splice path otherwise
+// skips, so it runs only with tracing attached — the no-telemetry
+// relay keeps its zero-overhead receive.
+func (r *Reader) stampRawDeliver(recv time.Time) {
+	if r.tel.trace == nil {
+		return
+	}
+	if fi, err := ScanFrame(r.frameBuf); err == nil && !fi.Structure {
+		r.tel.trace.StampAt(fi.Step, telemetry.StageDeliver, recv)
 	}
 }
 

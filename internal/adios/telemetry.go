@@ -21,6 +21,11 @@ type sstTelemetry struct {
 	// reconnects (reader only) counts mid-stream reconnect + resume
 	// cycles — the self-healing plane's visible heartbeat.
 	reconnects *telemetry.Counter
+	// events (reader only) is the process recovery journal; subject
+	// names this stream in emitted events (the consumer name, or the
+	// dialed address when anonymous).
+	events  *telemetry.EventJournal
+	subject string
 }
 
 // SetTelemetry attaches the writer to a telemetry plane: marshal and
@@ -56,11 +61,17 @@ func (r *Reader) SetTelemetry(tel *telemetry.Telemetry, labels ...string) {
 		return
 	}
 	reg := tel.Registry()
+	subject := r.opts.Consumer
+	if subject == "" {
+		subject = r.addr
+	}
 	r.tel = sstTelemetry{
 		trace:      tel.Tracer(),
 		steps:      reg.Counter("sst_reader_steps_total", labels...),
 		bytes:      reg.Counter("sst_reader_bytes_total", labels...),
 		credits:    reg.Counter("sst_reader_credits_total", labels...),
 		reconnects: reg.Counter("sst_reader_reconnects_total", labels...),
+		events:     tel.Events(),
+		subject:    subject,
 	}
 }

@@ -383,10 +383,16 @@ func WriteFanoutJSON(w io.Writer, results []FanoutResult, tel *TelemetryOverhead
 		Scrapes   int     `json:"scrapes"`
 		Ratio     float64 `json:"overhead_ratio"`
 	}
+	type obsSection struct {
+		WallMs float64 `json:"wall_ms"`
+		Crawls int     `json:"crawls"`
+		Ratio  float64 `json:"overhead_ratio"`
+	}
 	doc := struct {
-		Figure    string      `json:"figure"`
-		Rows      []row       `json:"rows"`
-		Telemetry *telSection `json:"telemetry,omitempty"`
+		Figure      string      `json:"figure"`
+		Rows        []row       `json:"rows"`
+		Telemetry   *telSection `json:"telemetry,omitempty"`
+		Observatory *obsSection `json:"observatory,omitempty"`
 	}{Figure: "fanout"}
 	if tel != nil {
 		doc.Telemetry = &telSection{
@@ -394,6 +400,11 @@ func WriteFanoutJSON(w io.Writer, results []FanoutResult, tel *TelemetryOverhead
 			OnWallMs:  float64(tel.OnWall.Microseconds()) / 1000,
 			Scrapes:   tel.Scrapes,
 			Ratio:     tel.Ratio,
+		}
+		doc.Observatory = &obsSection{
+			WallMs: float64(tel.ObsWall.Microseconds()) / 1000,
+			Crawls: tel.Crawls,
+			Ratio:  tel.ObsRatio,
 		}
 	}
 	for _, r := range results {

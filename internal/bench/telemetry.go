@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,14 +17,14 @@ import (
 // a live HTTP exporter, and a concurrent scraper hammering /metrics).
 type TelemetryOverheadConfig struct {
 	Fanout FanoutConfig
-	Rounds int           // interleaved off/on rounds, best wall kept (default 3)
+	Rounds int           // interleaved off/on rounds, best wall kept (default 7)
 	Scrape time.Duration // scraper period while the instrumented arm runs (default 10ms)
 }
 
 func (c *TelemetryOverheadConfig) withDefaults() TelemetryOverheadConfig {
 	out := *c
 	if out.Rounds == 0 {
-		out.Rounds = 3
+		out.Rounds = 7
 	}
 	if out.Scrape == 0 {
 		out.Scrape = 10 * time.Millisecond
@@ -33,13 +34,19 @@ func (c *TelemetryOverheadConfig) withDefaults() TelemetryOverheadConfig {
 
 // TelemetryOverhead is the result of the measurement: producer wall
 // time with telemetry off vs on (best of N interleaved rounds each),
-// and their ratio — the number the <= 1.05 CI gate holds.
+// and their ratio — the number the <= 1.05 CI gate holds. The third,
+// observatory arm runs the same instrumented producer while a mesh
+// crawler scrapes /statusz + /eventz and assembles the merged
+// timeline every period — what a live meshtop costs the producer.
 type TelemetryOverhead struct {
-	Config  TelemetryOverheadConfig
-	OffWall time.Duration // best bare producer wall
-	OnWall  time.Duration // best instrumented producer wall
-	Scrapes int           // /metrics responses served during the on arms
-	Ratio   float64       // OnWall / OffWall
+	Config   TelemetryOverheadConfig
+	OffWall  time.Duration // best bare producer wall
+	OnWall   time.Duration // best instrumented producer wall
+	ObsWall  time.Duration // best wall with an observatory crawler attached
+	Scrapes  int           // /metrics responses served during the on arms
+	Crawls   int           // statusz+eventz crawl cycles during the observatory arms
+	Ratio    float64       // OnWall / OffWall
+	ObsRatio float64       // ObsWall / OffWall
 }
 
 // RunTelemetryOverhead measures what the telemetry plane costs the
@@ -97,9 +104,52 @@ func RunTelemetryOverhead(cfg TelemetryOverheadConfig) (TelemetryOverhead, error
 		if res.OnWall == 0 || on.ProducerWall < res.OnWall {
 			res.OnWall = on.ProducerWall
 		}
+
+		// Observatory arm: same instrumented producer, but the scraper
+		// is a mesh crawler — full /statusz + /eventz documents pulled
+		// and the cross-tier timeline assembled every period, the load
+		// a live meshtop puts on the plane.
+		telObs := telemetry.New("bench-fanout")
+		expObs, err := telObs.Serve("127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		stopObs := make(chan struct{})
+		crawled := make(chan int, 1)
+		go func() {
+			n := 0
+			for {
+				select {
+				case <-stopObs:
+					crawled <- n
+					return
+				case <-time.After(c.Scrape):
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				doc, err := telemetry.FetchStatusz(ctx, expObs.Addr())
+				if err == nil {
+					telemetry.FetchEventz(ctx, expObs.Addr()) //nolint:errcheck // journal may be empty
+					mesh := telemetry.MergeTraces(telemetry.ProcessRing{Process: doc.Process, Traces: doc.Traces})
+					telemetry.FindBottleneck(mesh, 16)
+					n++
+				}
+				cancel()
+			}
+		}()
+		obs, err := runFanoutStaged(c.Fanout, telObs)
+		close(stopObs)
+		res.Crawls += <-crawled
+		expObs.Close()
+		if err != nil {
+			return res, fmt.Errorf("bench: observatory round %d: %w", r, err)
+		}
+		if res.ObsWall == 0 || obs.ProducerWall < res.ObsWall {
+			res.ObsWall = obs.ProducerWall
+		}
 	}
 	if res.OffWall > 0 {
 		res.Ratio = float64(res.OnWall) / float64(res.OffWall)
+		res.ObsRatio = float64(res.ObsWall) / float64(res.OffWall)
 	}
 	return res, nil
 }
@@ -111,5 +161,7 @@ func TelemetryOverheadTable(r TelemetryOverhead) *metrics.Table {
 	t.AddRow("telemetry off", fmt.Sprintf("%.1f", float64(r.OffWall.Microseconds())/1000), "1.00x", "—")
 	t.AddRow("telemetry on", fmt.Sprintf("%.1f", float64(r.OnWall.Microseconds())/1000),
 		fmt.Sprintf("%.3fx", r.Ratio), r.Scrapes)
+	t.AddRow("observatory crawled", fmt.Sprintf("%.1f", float64(r.ObsWall.Microseconds())/1000),
+		fmt.Sprintf("%.3fx", r.ObsRatio), r.Crawls)
 	return t
 }

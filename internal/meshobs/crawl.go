@@ -1,0 +1,127 @@
+package meshobs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/telemetry"
+)
+
+// Options tunes a crawl.
+type Options struct {
+	// Timeout bounds the whole crawl (scrapes run concurrently under
+	// one budget); <= 0 selects 5s. A caller context that expires
+	// sooner wins.
+	Timeout time.Duration
+	// LastK bounds the latency-attribution window; <= 0 selects 16.
+	LastK int
+}
+
+const (
+	defaultCrawlTimeout = 5 * time.Second
+	defaultLastK        = 16
+)
+
+// Crawl walks a contact directory and assembles the mesh snapshot:
+// entries sharing a telemetry exporter fold into one node, every
+// exporter's /statusz and /eventz are scraped concurrently under the
+// caller's context, and scrape failures degrade to topology-only
+// nodes rather than failing the crawl.
+func Crawl(ctx context.Context, dir string, opts Options) (*Snapshot, error) {
+	entries, err := adios.ListContactEntries(dir)
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = defaultCrawlTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Fold entries advertising the same exporter into one node: one
+	// process often publishes several entries (a relay's output entry
+	// plus aliases), and scraping it twice would double its trace ring
+	// in the merged timeline.
+	byTel := make(map[string]int)
+	var nodes []*Node
+	for _, e := range entries {
+		if e.Telemetry != "" {
+			if i, ok := byTel[e.Telemetry]; ok {
+				nodes[i].Aliases = append(nodes[i].Aliases, e.Name)
+				continue
+			}
+			byTel[e.Telemetry] = len(nodes)
+		}
+		e := e
+		nodes = append(nodes, &Node{Entry: e})
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		if n.Entry.Telemetry == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			st, err := telemetry.FetchStatusz(ctx, n.Entry.Telemetry)
+			if err != nil {
+				n.Err = err
+				return
+			}
+			n.Status = st
+			// /eventz may be absent on older processes: topology and
+			// traces still assemble without the journal.
+			if ev, err := telemetry.FetchEventz(ctx, n.Entry.Telemetry); err == nil {
+				n.Events = ev
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	flat := make([]Node, len(nodes))
+	for i, n := range nodes {
+		sort.Strings(n.Aliases)
+		flat[i] = *n
+	}
+	snap := Assemble(dir, flat, opts.LastK)
+	snap.CrawledUnixNs = time.Now().UnixNano()
+	return snap, nil
+}
+
+// Install mounts /meshz on the process's telemetry exporter: each
+// request crawls the contact directory live and returns the Snapshot
+// as JSON. Any process that knows the directory — producer adaptor,
+// relay, endpoint — can serve the whole mesh's view.
+func Install(tel *telemetry.Telemetry, dir string) {
+	if tel == nil || dir == "" {
+		return
+	}
+	tel.RegisterHandler("/meshz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap, err := Crawl(r.Context(), dir, Options{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap) //nolint:errcheck // client went away
+	}))
+}
+
+// FetchMeshz fetches and decodes a peer's /meshz under the caller's
+// context — meshtop's remote mode.
+func FetchMeshz(ctx context.Context, base string) (*Snapshot, error) {
+	var snap Snapshot
+	if err := telemetry.FetchJSON(ctx, base, "/meshz", &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

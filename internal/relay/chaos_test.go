@@ -11,6 +11,7 @@ import (
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/staging"
+	"nekrs-sensei/internal/telemetry"
 
 	_ "nekrs-sensei/internal/archive" // archive-backed spill stores
 )
@@ -35,10 +36,13 @@ func chaosStep(b, seq int) *adios.Step {
 
 // chaosServedHub is one producer rank: a hub behind a TCP staging
 // server with resumable sessions, heartbeats and liveness detection —
-// the upstream tier the mid-tree relay attaches to.
-func chaosServedHub(t *testing.T) (*staging.Hub, string) {
+// the upstream tier the mid-tree relay attaches to. Each hub carries
+// its own telemetry plane so session park/adopt events are journaled.
+func chaosServedHub(t *testing.T, name string) (*staging.Hub, string, *telemetry.Telemetry) {
 	t.Helper()
+	tel := telemetry.New(name)
 	hub := staging.NewHub(nil)
+	hub.SetTelemetry(tel, "rank-0")
 	binder := staging.NewBinder(hub, staging.Block, 4)
 	binder.EnableSessions(10 * time.Second)
 	srv, err := staging.ServeWith(hub, "127.0.0.1:0", binder.Resolve, staging.ServerOptions{
@@ -48,7 +52,7 @@ func chaosServedHub(t *testing.T) (*staging.Hub, string) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	return hub, srv.Addr()
+	return hub, srv.Addr(), tel
 }
 
 // chaosLeaf drains one lossless consumer below the relay, resiliently:
@@ -57,6 +61,7 @@ func chaosServedHub(t *testing.T) (*staging.Hub, string) {
 type chaosLeaf struct {
 	name   string
 	rd     *adios.Reader
+	tel    *telemetry.Telemetry
 	steps  []int64
 	frames [][]byte
 	err    error
@@ -76,7 +81,9 @@ func startChaosLeaf(t *testing.T, name, addr string) *chaosLeaf {
 	if err != nil {
 		t.Fatalf("%s attach: %v", name, err)
 	}
-	l := &chaosLeaf{name: name, rd: rd, done: make(chan struct{})}
+	tel := telemetry.New(name)
+	rd.SetTelemetry(tel, "leaf", name)
+	l := &chaosLeaf{name: name, rd: rd, tel: tel, done: make(chan struct{})}
 	go func() {
 		defer close(l.done)
 		defer rd.Close()
@@ -110,8 +117,9 @@ func TestChaosRelayKillRestart(t *testing.T) {
 	const P, N = 2, 36
 	hubs := make([]*staging.Hub, P)
 	prodAddrs := make([]string, P)
+	prodTels := make([]*telemetry.Telemetry, P)
 	for b := range hubs {
-		hubs[b], prodAddrs[b] = chaosServedHub(t)
+		hubs[b], prodAddrs[b], prodTels[b] = chaosServedHub(t, fmt.Sprintf("prod-%d", b))
 	}
 
 	// Reserve a fixed output address so the replacement relay serves
@@ -123,10 +131,10 @@ func TestChaosRelayKillRestart(t *testing.T) {
 	relayAddr := ln.Addr().String()
 	ln.Close()
 
-	relayOpts := func(wait time.Duration, spill string) Options {
+	relayOpts := func(wait time.Duration, spill string, tel *telemetry.Telemetry) Options {
 		return Options{
 			Name: "mid", Policy: "block", Depth: 2, OutRanks: 1,
-			Listen: relayAddr, SpillDir: spill,
+			Listen: relayAddr, SpillDir: spill, Telemetry: tel,
 			Downstream: []Downstream{
 				{Spec: staging.ConsumerSpec{Name: "leaf-block", Policy: staging.Block, Depth: 2}},
 				{Spec: staging.ConsumerSpec{Name: "leaf-spill", Policy: staging.Spill, Depth: 2}},
@@ -139,7 +147,8 @@ func TestChaosRelayKillRestart(t *testing.T) {
 		}
 	}
 
-	r1, err := New(prodAddrs, relayOpts(0, t.TempDir()))
+	tel1, tel2 := telemetry.New("relay-r1"), telemetry.New("relay-r2")
+	r1, err := New(prodAddrs, relayOpts(0, t.TempDir(), tel1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +208,7 @@ func TestChaosRelayKillRestart(t *testing.T) {
 	// The replacement: same identity, same output address. It waits for
 	// the leaves to re-attach first, so the resume position it announces
 	// upstream reflects what the subtree actually still needs.
-	r2, err := New(prodAddrs, relayOpts(15*time.Second, t.TempDir()))
+	r2, err := New(prodAddrs, relayOpts(15*time.Second, t.TempDir(), tel2))
 	if err != nil {
 		t.Fatalf("replacement relay: %v", err)
 	}
@@ -259,5 +268,54 @@ func TestChaosRelayKillRestart(t *testing.T) {
 	}
 	if st := r2.Status(); st.CreditsSent == 0 {
 		t.Errorf("replacement relay sent no deferred credits: %+v", st)
+	}
+
+	// The recovery journals tell the same story as the data plane, and
+	// the ordinals line up: the replacement's rebind event carries the
+	// subtree's resume position, and every producer's adoption event
+	// resumed its session at or past that ordinal.
+	findEvent := func(tel *telemetry.Telemetry, kind, subject string) *telemetry.Event {
+		for _, ev := range tel.Events().Snapshot() {
+			if ev.Kind == kind && ev.Subject == subject {
+				return &ev
+			}
+		}
+		return nil
+	}
+	kill := findEvent(tel1, telemetry.EventRelayKill, "mid")
+	if kill == nil {
+		t.Fatalf("killed relay journaled no %s event: %+v", telemetry.EventRelayKill, tel1.Events().Snapshot())
+	}
+	rebind := findEvent(tel2, telemetry.EventRelayRebind, "mid")
+	if rebind == nil {
+		t.Fatalf("replacement relay journaled no %s event: %+v", telemetry.EventRelayRebind, tel2.Events().Snapshot())
+	}
+	// The leaves drained >= 8 steps before the kill, so the announced
+	// resume ordinal sits past them; the kill landing mid-run keeps it
+	// below N.
+	if rebind.Step < 8 || rebind.Step >= N {
+		t.Errorf("rebind resumed at step %d, want within [8, %d)", rebind.Step, N)
+	}
+	for b, tel := range prodTels {
+		if ev := findEvent(tel, telemetry.EventSessionParked, "mid"); ev == nil {
+			t.Errorf("producer %d never journaled the dead relay's session park: %+v", b, tel.Events().Snapshot())
+		}
+		adopt := findEvent(tel, telemetry.EventSessionAdopted, "mid")
+		if adopt == nil {
+			t.Fatalf("producer %d journaled no %s event: %+v", b, telemetry.EventSessionAdopted, tel.Events().Snapshot())
+		}
+		// Adoption resumes at max(producer cursor, announced resume):
+		// never behind the subtree's position, never past the run.
+		if adopt.Step < rebind.Step || adopt.Step > N {
+			t.Errorf("producer %d adopted at step %d, not correlated with rebind at %d", b, adopt.Step, rebind.Step)
+		}
+	}
+	for _, l := range leaves {
+		rec := findEvent(l.tel, telemetry.EventReconnect, l.name)
+		if rec == nil {
+			t.Errorf("%s journaled no %s event: %+v", l.name, telemetry.EventReconnect, l.tel.Events().Snapshot())
+		} else if rec.Step < 8 || rec.Step > int64(N) {
+			t.Errorf("%s reconnect resumed at step %d, want within [8, %d]", l.name, rec.Step, N)
+		}
 	}
 }

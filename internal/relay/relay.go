@@ -334,11 +334,18 @@ func New(upstream []string, opts Options) (*Relay, error) {
 			r.teardown()
 			return nil, fmt.Errorf("relay: upstream %d (%s): %w", i, addr, err)
 		}
+		rd.SetTelemetry(o.Telemetry, "relay", o.Name, "upstream", strconv.Itoa(i))
 		r.readers = append(r.readers, rd)
 	}
 
 	if o.Retry != nil {
 		r.startCrediting()
+		if resume > 0 {
+			// A non-zero resume means a predecessor's subtree position
+			// survived into this instance — the restarted-relay path.
+			o.Telemetry.Events().Emit(telemetry.EventRelayRebind, o.Name, resume,
+				fmt.Sprintf("resumed %d upstream stream(s) at the subtree's position", len(upstream)))
+		}
 	}
 
 	if o.Telemetry != nil {
@@ -487,6 +494,11 @@ type Status struct {
 	UpstreamReconnects int64 `json:"upstream_reconnects,omitempty"`
 	CreditsSent        int64 `json:"credits_sent,omitempty"`
 	CreditsPending     int   `json:"credits_pending,omitempty"`
+
+	// Sessions is the per-output-hub resumable-session table (indexed
+	// like the output hubs), so the mesh crawler sees mid-tier session
+	// state without scraping /metrics.
+	Sessions []staging.SessionStatus `json:"sessions,omitempty"`
 }
 
 // Status snapshots the relay's topology and counters (safe from any
@@ -514,6 +526,12 @@ func (r *Relay) Status() Status {
 	if r.crediter != nil {
 		st.CreditsSent = r.crediter.Sent()
 		st.CreditsPending = r.crediter.Pending()
+	}
+	if r.opts.SessionTTL > 0 {
+		st.Sessions = make([]staging.SessionStatus, len(r.binders))
+		for i, b := range r.binders {
+			st.Sessions[i] = b.SessionStatus()
+		}
 	}
 	return st
 }
@@ -584,6 +602,8 @@ func (r *Relay) stopCrediting() {
 // undrained step. A replacement relay with the same session/consumer
 // identity then resumes losslessly.
 func (r *Relay) Kill() {
+	r.opts.Telemetry.Events().Emit(telemetry.EventRelayKill, r.opts.Name, r.steps.Load(),
+		"abrupt abort: connections reset, outstanding credits withheld")
 	r.killed.Store(true)
 	r.closed.Store(true)
 	r.closeOnce.Do(func() {

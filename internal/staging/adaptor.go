@@ -9,6 +9,7 @@ import (
 
 	"nekrs-sensei/internal/adios"
 	"nekrs-sensei/internal/codec"
+	"nekrs-sensei/internal/meshobs"
 	"nekrs-sensei/internal/sensei"
 )
 
@@ -275,7 +276,11 @@ func init() {
 		ad.server = srv
 		// Rendezvous: gather every rank's server address; rank 0
 		// publishes the contact file readers poll — the same mechanism
-		// as direct SST streams.
+		// as direct SST streams. When a telemetry exporter is live its
+		// address rides along as a "#telemetry=" stamp so the mesh
+		// observatory can find this process, and the contact directory
+		// itself gets a /meshz mount (any process that knows the
+		// directory can serve the whole tree's view).
 		if contact := attrs["contact"]; contact != "" {
 			all := ctx.Comm.GatherBytes(0, []byte(srv.Addr()))
 			if ctx.Comm.Rank() == 0 {
@@ -283,11 +288,13 @@ func init() {
 				for i, b := range all {
 					addrs[i] = string(b)
 				}
+				telAddr := ctx.Telemetry.ServeAddr()
 				var werr error
 				if dir := strings.TrimSpace(attrs["contact-dir"]); dir != "" {
-					werr = adios.WriteContactEntry(dir, contact, addrs)
+					werr = adios.WriteContactEntryWith(dir, contact, addrs, telAddr)
+					meshobs.Install(ctx.Telemetry, dir)
 				} else {
-					werr = adios.WriteContact(contact, addrs)
+					werr = adios.WriteContactWith(contact, addrs, telAddr)
 				}
 				if werr != nil {
 					return nil, werr

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // Binder resolves network reader handshakes against a set of
@@ -212,6 +213,8 @@ func (b *Binder) Resolve(req SubscribeRequest) (*Subscription, error) {
 			// grid died with the old process): queue the bootstrap for
 			// redelivery ahead of the resumed cursor.
 			b.hub.rearmBootstrap(s.cons)
+			b.hub.event(telemetry.EventSessionAdopted, s.subject(), s.cons.NextNeeded(),
+				"replacement process claimed the name; token rotated, bootstrap rearmed")
 			return sub, nil
 		}
 	}
@@ -242,6 +245,15 @@ func (b *Binder) newTokenLocked() string {
 	return fmt.Sprintf("sess-%d-%d", os.Getpid(), b.sessSeq)
 }
 
+// subject names a session in journal events: the logical consumer
+// name when it has one, else the token.
+func (s *boundSession) subject() string {
+	if s.name != "" {
+		return s.name
+	}
+	return s.token
+}
+
 // resumeLocked reattaches a parked session: grace timer disarmed,
 // consumer resumed (in-flight step settled against the reader's
 // Resume ordinal, codec chain reset to a keyframe), and a
@@ -258,6 +270,8 @@ func (b *Binder) resumeLocked(s *boundSession, resume int64) *Subscription {
 	s.gen++
 	b.hub.resumeConsumer(s.cons, resume)
 	b.sessResumed++
+	b.hub.event(telemetry.EventSessionResumed, s.subject(), s.cons.NextNeeded(),
+		fmt.Sprintf("connection generation %d", s.gen))
 	return &Subscription{Cons: s.cons, Session: s.token, Park: b.parkFunc(s, s.gen)}
 }
 
@@ -289,6 +303,8 @@ func (b *Binder) parkFunc(s *boundSession, gen int) func(inflight *StepRef) bool
 			b.parkedByName[s.name] = s
 		}
 		s.timer = time.AfterFunc(s.ttl, func() { b.expireSession(s, gen) })
+		b.hub.event(telemetry.EventSessionParked, s.subject(), s.cons.NextNeeded(),
+			fmt.Sprintf("position retained for %v grace", s.ttl))
 		b.mu.Unlock()
 		return true
 	}
@@ -304,6 +320,8 @@ func (b *Binder) expireSession(s *boundSession, gen int) {
 	b.dropSessionLocked(s)
 	b.sessExpired++
 	cons := s.cons
+	b.hub.event(telemetry.EventSessionExpired, s.subject(), cons.NextNeeded(),
+		fmt.Sprintf("park grace %v elapsed; consumer discarded", s.ttl))
 	b.mu.Unlock()
 	// The consumer closes through the normal path: undelivered
 	// references release, the producer's backpressure claim lifts, and

@@ -269,8 +269,9 @@ type Hub struct {
 }
 
 // hubTelemetry is the hub's slice of the process telemetry plane: a
-// step tracer for marshal/publish/deliver stamps plus lock-free
-// counters mirroring the hub's own totals.
+// step tracer for marshal/publish/deliver stamps, lock-free counters
+// mirroring the hub's own totals, and the process recovery journal
+// for session/spill/liveness events.
 type hubTelemetry struct {
 	trace      *telemetry.StepTracer
 	published  *telemetry.Counter
@@ -278,6 +279,13 @@ type hubTelemetry struct {
 	spilled    *telemetry.Counter
 	wireBytes  *telemetry.Counter
 	suppressed *telemetry.Counter
+	events     *telemetry.EventJournal
+}
+
+// event journals a recovery event against this hub (no-op without
+// telemetry; the journal is its own leaf lock, safe under h.mu).
+func (h *Hub) event(kind, subject string, step int64, detail string) {
+	h.tel.events.Emit(kind, subject, step, detail)
 }
 
 // NewHub creates an empty hub. Staged payload bytes are tracked under
@@ -928,6 +936,8 @@ func (h *Hub) spillOldest(c *Consumer) {
 	se := &spillEntry{e: e, state: spillMem, sim: e.step.Step}
 	c.spillQ = append(c.spillQ, se)
 	c.spillWork = append(c.spillWork, se)
+	h.event(telemetry.EventSpillDemote, c.name, e.step.Step,
+		fmt.Sprintf("spill queue depth %d", len(c.spillQ)))
 }
 
 // spiller is a Spill consumer's background demotion loop: it marshals

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nekrs-sensei/internal/adios"
+	"nekrs-sensei/internal/telemetry"
 )
 
 // SubscribeRequest carries everything an incoming reader handshake
@@ -368,6 +369,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		// the consumer returns its credit, so a slow endpoint shows up
 		// as staged-byte growth on the hub.
 		if err := awaitCredit(conn, credits, s.opts.LivenessTimeout); err != nil {
+			if errors.Is(err, errConsumerSilent) {
+				s.hub.event(telemetry.EventHeartbeatMiss, cons.name, ref.SimStep(),
+					"no credit or keepalive from consumer")
+			}
 			parkOr(ref, fmt.Errorf("staging: waiting for step credit: %w", err))
 			return
 		}
@@ -375,6 +380,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		ref.Release()
 	}
 }
+
+// errConsumerSilent marks a consumer liveness timeout — a sentinel so
+// the pump can journal the heartbeat miss distinctly from ordinary
+// connection failures.
+var errConsumerSilent = errors.New("consumer liveness timeout")
 
 // awaitCredit blocks for one step credit, skipping keepalive bytes.
 // With liveness > 0 the wait is bounded: the connection's read
@@ -399,7 +409,7 @@ func awaitCredit(conn net.Conn, credits io.Reader, liveness time.Duration) error
 				if errors.As(err, &ne) && ne.Timeout() {
 					if time.Now().After(deadline) {
 						conn.SetReadDeadline(time.Time{}) //nolint:errcheck
-						return fmt.Errorf("consumer liveness timeout after %v", liveness)
+						return fmt.Errorf("%w after %v", errConsumerSilent, liveness)
 					}
 					continue
 				}

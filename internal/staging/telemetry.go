@@ -35,6 +35,7 @@ func (h *Hub) SetTelemetry(tel *telemetry.Telemetry, label string) {
 		spilled:    reg.Counter("staging_spilled_steps_total", "hub", label),
 		wireBytes:  reg.Counter("staging_wire_bytes_total", "hub", label),
 		suppressed: reg.Counter("staging_suppressed_steps_total", "hub", label),
+		events:     tel.Events(),
 	}
 	h.mu.Unlock()
 	reg.RegisterSampler(func(s *telemetry.Sample) {

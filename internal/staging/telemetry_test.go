@@ -1,6 +1,7 @@
 package staging
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -151,7 +152,7 @@ func TestHubTelemetryCounters(t *testing.T) {
 		t.Errorf("dropped counter = %d, want hub total %d (nonzero)", got, hub.Dropped())
 	}
 	// Marshal/publish stamps landed in the process trace ring.
-	traces := telemetry.MergeTraces(tel.Tracer().Snapshot())
+	traces := telemetry.UnionTraces(tel.Tracer().Snapshot())
 	if len(traces) != 4 {
 		t.Fatalf("trace ring has %d steps, want 4", len(traces))
 	}
@@ -181,7 +182,9 @@ func fetchOwnStatusz(tel *telemetry.Telemetry) (*telemetry.Statusz, error) {
 		return nil, err
 	}
 	defer exp.Close()
-	return telemetry.FetchStatusz(exp.Addr(), 2*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return telemetry.FetchStatusz(ctx, exp.Addr())
 }
 
 // TestCrossProcessTrace is the end-to-end observability check: a
@@ -259,7 +262,7 @@ func TestCrossProcessTrace(t *testing.T) {
 	if _, ok := prodDoc.Status["staging-hub/rank-0"]; !ok {
 		t.Fatalf("producer statusz missing hub section: %v", prodDoc.Status)
 	}
-	merged := telemetry.MergeTraces(prodDoc.Traces, telCons.Tracer().Snapshot())
+	merged := telemetry.UnionTraces(prodDoc.Traces, telCons.Tracer().Snapshot())
 	if len(merged) != steps {
 		t.Fatalf("merged trace has %d steps, want %d", len(merged), steps)
 	}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Recovery event kinds. These name the mesh's self-healing moments —
+// the things an operator asks "when did that last happen, and at what
+// step?" about. Emitters live in adios (reader reconnect, producer
+// liveness), staging (session lifecycle, spill demotion, consumer
+// liveness), and relay (kill/rebind).
+const (
+	EventReconnect      = "reconnect"       // reader redialed and reattached
+	EventSessionParked  = "session-parked"  // consumer connection died, session retained
+	EventSessionResumed = "session-resumed" // same process reattached by token
+	EventSessionAdopted = "session-adopted" // replacement process claimed the name
+	EventSessionExpired = "session-expired" // park grace elapsed, session discarded
+	EventSpillDemote    = "spill-demote"    // overflow step demoted to the spill queue
+	EventHeartbeatMiss  = "heartbeat-miss"  // peer silent past the liveness timeout
+	EventRelayKill      = "relay-kill"      // relay abruptly aborted (chaos/crash path)
+	EventRelayRebind    = "relay-rebind"    // replacement relay resumed a subtree
+)
+
+// Event is one structured recovery-journal entry. Step is the sim-step
+// ordinal the event correlates with (the resume position, the demoted
+// step, ...), -1 when no ordinal applies — it is what lets a gap in a
+// step timeline be explained from the journal alone.
+type Event struct {
+	TimeUnixNs int64  `json:"time_unix_ns"`
+	Kind       string `json:"kind"`
+	Subject    string `json:"subject,omitempty"` // consumer/session/relay name
+	Step       int64  `json:"step"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// DefaultEventRing is the journal capacity used when NewEventJournal
+// is given n <= 0.
+const DefaultEventRing = 256
+
+// EventJournal is a bounded in-memory ring of recovery events.
+// Recovery is rare and bursty: a fixed ring keeps the hot path
+// allocation-free after warm-up and the scrape cost constant, while
+// Total preserves the true count across overwrites. All methods are
+// nil-receiver safe, so disabled telemetry pays nothing.
+type EventJournal struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total int64
+}
+
+// NewEventJournal returns a journal retaining the last n events.
+func NewEventJournal(n int) *EventJournal {
+	if n <= 0 {
+		n = DefaultEventRing
+	}
+	return &EventJournal{ring: make([]Event, 0, n)}
+}
+
+// Emit appends an event stamped now. Safe on nil.
+func (j *EventJournal) Emit(kind, subject string, step int64, detail string) {
+	j.EmitAt(time.Now(), kind, subject, step, detail)
+}
+
+// EmitAt appends an event with an explicit time (tests, replayed
+// journals). Safe on nil.
+func (j *EventJournal) EmitAt(at time.Time, kind, subject string, step int64, detail string) {
+	if j == nil {
+		return
+	}
+	ev := Event{TimeUnixNs: at.UnixNano(), Kind: kind, Subject: subject, Step: step, Detail: detail}
+	j.mu.Lock()
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, ev)
+	} else {
+		j.ring[j.next] = ev
+		j.next = (j.next + 1) % len(j.ring)
+	}
+	j.total++
+	j.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first. Safe on nil.
+func (j *EventJournal) Snapshot() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.ring))
+	out = append(out, j.ring[j.next:]...)
+	out = append(out, j.ring[:j.next]...)
+	return out
+}
+
+// Total reports how many events were ever emitted (>= len(Snapshot())
+// once the ring has wrapped). Safe on nil.
+func (j *EventJournal) Total() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}

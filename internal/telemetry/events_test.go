@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventJournalBounded(t *testing.T) {
+	j := NewEventJournal(4)
+	for i := 0; i < 10; i++ {
+		j.EmitAt(time.Unix(0, int64(i+1)), EventReconnect, "c", int64(i), "")
+	}
+	if j.Total() != 10 {
+		t.Errorf("total = %d, want 10", j.Total())
+	}
+	evs := j.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot holds %d events, want ring size 4", len(evs))
+	}
+	// Oldest-first: the surviving window is steps 6..9.
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Step != want {
+			t.Errorf("event %d step = %d, want %d", i, ev.Step, want)
+		}
+	}
+	if evs[0].TimeUnixNs >= evs[3].TimeUnixNs {
+		t.Errorf("snapshot not oldest-first: %d .. %d", evs[0].TimeUnixNs, evs[3].TimeUnixNs)
+	}
+}
+
+func TestEventJournalPreWrap(t *testing.T) {
+	j := NewEventJournal(8)
+	j.Emit(EventSessionParked, "viz", 3, "grace 30s")
+	j.Emit(EventSessionResumed, "viz", 3, "generation 2")
+	evs := j.Snapshot()
+	if len(evs) != 2 || j.Total() != 2 {
+		t.Fatalf("snapshot/total = %d/%d, want 2/2", len(evs), j.Total())
+	}
+	if evs[0].Kind != EventSessionParked || evs[1].Kind != EventSessionResumed {
+		t.Errorf("order = %s, %s; want parked then resumed", evs[0].Kind, evs[1].Kind)
+	}
+	if evs[0].Subject != "viz" || evs[0].Step != 3 || evs[0].Detail != "grace 30s" {
+		t.Errorf("fields lost: %+v", evs[0])
+	}
+	if evs[0].TimeUnixNs == 0 {
+		t.Error("Emit did not stamp a time")
+	}
+}
+
+func TestEventJournalDefaultsAndNil(t *testing.T) {
+	if n := cap(NewEventJournal(0).ring); n != DefaultEventRing {
+		t.Errorf("default ring = %d, want %d", n, DefaultEventRing)
+	}
+	var j *EventJournal
+	j.Emit(EventRelayKill, "x", 1, "") // must not panic
+	if j.Snapshot() != nil || j.Total() != 0 {
+		t.Error("nil journal not inert")
+	}
+}
+
+// TestEventJournalConcurrent hammers Emit from many goroutines while
+// snapshots run — the serveConn/binder emit paths vs a concurrent
+// /eventz scrape, checked under -race.
+func TestEventJournalConcurrent(t *testing.T) {
+	j := NewEventJournal(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Emit(EventHeartbeatMiss, "c", int64(i), "")
+				if i%50 == 0 {
+					_ = j.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.Total() != 1600 {
+		t.Errorf("total = %d, want 1600", j.Total())
+	}
+	if evs := j.Snapshot(); len(evs) != 32 {
+		t.Errorf("snapshot holds %d, want full ring of 32", len(evs))
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -21,10 +22,13 @@ type Telemetry struct {
 	start   time.Time
 	reg     *Registry
 	trace   *StepTracer
+	events  *EventJournal
 
 	mu       sync.Mutex
+	addr     string
 	names    []string
 	sections map[string]func() any
+	handlers map[string]http.Handler
 }
 
 // New returns an enabled telemetry plane for the named process
@@ -35,7 +39,9 @@ func New(process string) *Telemetry {
 		start:    time.Now(),
 		reg:      NewRegistry(),
 		trace:    NewStepTracer(DefaultTraceRing),
+		events:   NewEventJournal(DefaultEventRing),
 		sections: make(map[string]func() any),
+		handlers: make(map[string]http.Handler),
 	}
 }
 
@@ -61,6 +67,59 @@ func (t *Telemetry) Tracer() *StepTracer {
 		return nil
 	}
 	return t.trace
+}
+
+// Events returns the process recovery-event journal (nil when
+// disabled; a nil journal's methods no-op).
+func (t *Telemetry) Events() *EventJournal {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// ServeAddr reports the exporter address Serve bound ("" when
+// unserved or disabled) — what a process advertises in its contact
+// entry so the mesh crawler can find it.
+func (t *Telemetry) ServeAddr() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addr
+}
+
+// corePath reports whether path belongs to the exporter's fixed
+// surface, which dynamic registrations must not shadow.
+func corePath(path string) bool {
+	switch path {
+	case "/", "/metrics", "/statusz", "/eventz":
+		return true
+	}
+	return strings.HasPrefix(path, "/debug/pprof")
+}
+
+// RegisterHandler mounts an extra HTTP handler on the exporter at
+// path (e.g. "/meshz"). Registration is dynamic: it takes effect on
+// the next request even if Serve already started — command wiring
+// typically serves telemetry first and discovers the contact
+// directory later. Core paths cannot be shadowed; registrations on
+// them are ignored.
+func (t *Telemetry) RegisterHandler(path string, h http.Handler) {
+	if t == nil || path == "" || h == nil || corePath(path) {
+		return
+	}
+	t.mu.Lock()
+	t.handlers[path] = h
+	t.mu.Unlock()
+}
+
+// extraHandler resolves a dynamically registered handler.
+func (t *Telemetry) extraHandler(path string) http.Handler {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handlers[path]
 }
 
 // RegisterStatus adds a named /statusz section; f runs per request and
@@ -125,8 +184,50 @@ func (t *Telemetry) statusz() *Statusz {
 	return doc
 }
 
-// Handler returns the exporter's HTTP mux: /metrics, /statusz, and
-// the /debug/pprof family. Usable directly in tests via httptest.
+// Eventz is the /eventz document: process identity plus the retained
+// recovery-event ring (oldest first) and the all-time emit count.
+type Eventz struct {
+	Process string  `json:"process"`
+	PID     int     `json:"pid"`
+	Total   int64   `json:"total_events"`
+	Events  []Event `json:"events"`
+}
+
+// EventzSnapshot builds the /eventz document in-process — the same
+// view a remote scrape gets, without HTTP.
+func (t *Telemetry) EventzSnapshot() *Eventz {
+	if t == nil {
+		return nil
+	}
+	return &Eventz{
+		Process: t.process,
+		PID:     os.Getpid(),
+		Total:   t.events.Total(),
+		Events:  t.events.Snapshot(),
+	}
+}
+
+// StatuszSnapshot builds the /statusz document in-process — what a
+// crawler includes for its own process without a loopback scrape.
+func (t *Telemetry) StatuszSnapshot() *Statusz {
+	if t == nil {
+		return nil
+	}
+	return t.statusz()
+}
+
+// writeJSON renders v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+// Handler returns the exporter's HTTP mux: /metrics, /statusz,
+// /eventz, the /debug/pprof family, and any RegisterHandler mounts
+// (resolved per request, so late registration works). Usable directly
+// in tests via httptest.
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -134,10 +235,10 @@ func (t *Telemetry) Handler() http.Handler {
 		t.reg.WritePrometheus(w) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(t.statusz()) //nolint:errcheck // client went away
+		writeJSON(w, t.statusz())
+	})
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, t.EventzSnapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -149,9 +250,15 @@ func (t *Telemetry) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "%s telemetry\n/metrics\n/statusz\n/debug/pprof/\n", t.process)
+		fmt.Fprintf(w, "%s telemetry\n/metrics\n/statusz\n/eventz\n/debug/pprof/\n", t.process)
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := t.extraHandler(r.URL.Path); h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Exporter is a running telemetry HTTP server.
@@ -172,6 +279,9 @@ func (t *Telemetry) Serve(addr string) (*Exporter, error) {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	e := &Exporter{ln: ln, srv: &http.Server{Handler: t.Handler()}}
+	t.mu.Lock()
+	t.addr = ln.Addr().String()
+	t.mu.Unlock()
 	go e.srv.Serve(ln) //nolint:errcheck // reported via Close
 	return e, nil
 }
@@ -200,29 +310,66 @@ func (e *Exporter) Close() error {
 	return e.srv.Close()
 }
 
-// FetchStatusz fetches and decodes a peer's /statusz. base may be a
-// bare host:port or a full http:// URL, with or without the /statusz
-// path — the cross-process half of trace assembly.
-func FetchStatusz(base string, timeout time.Duration) (*Statusz, error) {
+// peerURL normalizes a peer base (bare host:port or full http:// URL,
+// with or without the endpoint path) to one exporter endpoint URL.
+func peerURL(base, endpoint string) string {
 	url := strings.TrimSuffix(base, "/")
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
-	if !strings.HasSuffix(url, "/statusz") {
-		url += "/statusz"
+	if !strings.HasSuffix(url, endpoint) {
+		url += endpoint
 	}
-	client := &http.Client{Timeout: timeout}
-	resp, err := client.Get(url)
+	return url
+}
+
+// fetchPeerJSON GETs url under ctx and decodes the JSON body into v.
+// Cancellation and deadline come from the caller's context, so a
+// crawler sweeping many peers shares one budget and can abandon a
+// hung scrape cleanly.
+func fetchPeerJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, fmt.Errorf("telemetry: fetch %s: %w", url, err)
+		return fmt.Errorf("telemetry: fetch %s: %w", url, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("telemetry: fetch %s: %w", url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("telemetry: fetch %s: %s", url, resp.Status)
+		return fmt.Errorf("telemetry: fetch %s: %s", url, resp.Status)
 	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("telemetry: decode %s: %w", url, err)
+	}
+	return nil
+}
+
+// FetchJSON fetches a peer exporter's endpoint (e.g. "/meshz") under
+// the caller's context and decodes the JSON body into v — the generic
+// form behind FetchStatusz/FetchEventz, exported for endpoints other
+// packages mount via RegisterHandler.
+func FetchJSON(ctx context.Context, base, endpoint string, v any) error {
+	return fetchPeerJSON(ctx, peerURL(base, endpoint), v)
+}
+
+// FetchStatusz fetches and decodes a peer's /statusz under the
+// caller's context — the cross-process half of trace assembly.
+func FetchStatusz(ctx context.Context, base string) (*Statusz, error) {
 	var doc Statusz
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("telemetry: decode %s: %w", url, err)
+	if err := fetchPeerJSON(ctx, peerURL(base, "/statusz"), &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// FetchEventz fetches and decodes a peer's /eventz under the caller's
+// context.
+func FetchEventz(ctx context.Context, base string) (*Eventz, error) {
+	var doc Eventz
+	if err := fetchPeerJSON(ctx, peerURL(base, "/eventz"), &doc); err != nil {
+		return nil, err
 	}
 	return &doc, nil
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
@@ -171,8 +172,9 @@ func TestServeAndFetchStatusz(t *testing.T) {
 		t.Fatalf("exporter addr/url = %q / %q", exp.Addr(), exp.URL())
 	}
 	// All accepted base spellings resolve to the same document.
+	ctx := context.Background()
 	for _, base := range []string{exp.Addr(), exp.URL(), exp.URL() + "/statusz"} {
-		doc, err := FetchStatusz(base, 2*time.Second)
+		doc, err := FetchStatusz(ctx, base)
 		if err != nil {
 			t.Fatalf("FetchStatusz(%q): %v", base, err)
 		}
@@ -180,8 +182,73 @@ func TestServeAndFetchStatusz(t *testing.T) {
 			t.Errorf("FetchStatusz(%q) = %s with %d traces", base, doc.Process, len(doc.Traces))
 		}
 	}
-	if _, err := FetchStatusz("127.0.0.1:1", 200*time.Millisecond); err == nil {
+	short, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer cancel()
+	if _, err := FetchStatusz(short, "127.0.0.1:1"); err == nil {
 		t.Error("FetchStatusz against a dead port did not fail")
+	}
+	// A pre-canceled context aborts the fetch — the crawler's
+	// cancellation path.
+	canceled, cancel2 := context.WithCancel(ctx)
+	cancel2()
+	if _, err := FetchStatusz(canceled, exp.Addr()); err == nil {
+		t.Error("FetchStatusz under a canceled context did not fail")
+	}
+}
+
+func TestEventzEndpoint(t *testing.T) {
+	tel := New("journaled")
+	tel.Events().Emit(EventSessionParked, "viz", 7, "grace 30s")
+	tel.Events().Emit(EventSessionResumed, "viz", 7, "generation 2")
+	exp, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	doc, err := FetchEventz(context.Background(), exp.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Process != "journaled" || doc.Total != 2 || len(doc.Events) != 2 {
+		t.Fatalf("eventz = %s total %d with %d events, want journaled/2/2", doc.Process, doc.Total, len(doc.Events))
+	}
+	if doc.Events[0].Kind != EventSessionParked || doc.Events[1].Step != 7 {
+		t.Errorf("events round-trip lost fields: %+v", doc.Events)
+	}
+}
+
+// TestRegisterHandlerDynamic mounts a handler after Serve — the
+// meshobs.Install path, which runs once the contact directory is known
+// and must still reach an already-listening exporter.
+func TestRegisterHandlerDynamic(t *testing.T) {
+	tel := New("p")
+	exp, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if got := tel.ServeAddr(); got != exp.Addr() {
+		t.Errorf("ServeAddr = %q, want %q", got, exp.Addr())
+	}
+	tel.RegisterHandler("/meshz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "mesh-doc") //nolint:errcheck
+	}))
+	resp, err := http.Get(exp.URL() + "/meshz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "mesh-doc" {
+		t.Errorf("/meshz -> %d %q", resp.StatusCode, body)
+	}
+	// Core paths cannot be shadowed by a dynamic registration.
+	tel.RegisterHandler("/statusz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "shadowed") //nolint:errcheck
+	}))
+	doc, err := FetchStatusz(context.Background(), exp.Addr())
+	if err != nil || doc.Process != "p" {
+		t.Errorf("core /statusz shadowed: (%+v, %v)", doc, err)
 	}
 }
 

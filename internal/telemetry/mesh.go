@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"nekrs-sensei/internal/metrics"
+)
+
+// Mesh-wide trace assembly. A 2-tier staging tree runs the same stage
+// names at several tiers (the producer publishes, and so does every
+// relay), so a flat stamp union would silently overwrite one tier
+// with another. MergeTraces instead keys stamps by (process, step
+// ordinal): each process keeps its own stamp set per step, and the
+// derived timeline spans every tier the step actually crossed.
+
+// ProcessRing is one process's trace ring tagged with its identity —
+// the unit MergeTraces consumes. Process is any stable label (the
+// /statusz process name, a contact-directory entry, ...).
+type ProcessRing struct {
+	Process string      `json:"process"`
+	Traces  []StepTrace `json:"traces"`
+}
+
+// ProcessStamps is one process's stamps for one step of a mesh trace.
+type ProcessStamps struct {
+	Process string           `json:"process"`
+	Stamps  map[string]int64 `json:"stamps_unix_ns"`
+}
+
+// MeshTrace is one step's end-to-end timeline across the mesh. Stages
+// counts stamps over all processes (a stage reached at two tiers
+// counts twice); Processes counts the tiers that stamped anything;
+// SpanMs is last-stamp minus first-stamp mesh-wide.
+type MeshTrace struct {
+	Step      int64           `json:"step"`
+	Procs     []ProcessStamps `json:"procs"`
+	Stages    int             `json:"stages"`
+	Processes int             `json:"processes"`
+	SpanMs    float64         `json:"span_ms"`
+}
+
+// finish recomputes the derived fields from Procs.
+func (m *MeshTrace) finish() {
+	m.Stages, m.Processes = 0, 0
+	var min, max int64
+	for _, p := range m.Procs {
+		if len(p.Stamps) == 0 {
+			continue
+		}
+		m.Processes++
+		m.Stages += len(p.Stamps)
+		for _, ns := range p.Stamps {
+			if min == 0 || ns < min {
+				min = ns
+			}
+			if ns > max {
+				max = ns
+			}
+		}
+	}
+	if m.Stages >= 2 {
+		m.SpanMs = float64(max-min) / 1e6
+	} else {
+		m.SpanMs = 0
+	}
+}
+
+// MergeTraces assembles mesh-wide step timelines from N process-
+// tagged rings, keyed by (process, step ordinal). Rings sharing a
+// Process label union their stamps (later rings win conflicts, and
+// duplicate ordinals within one ring union the same way); rings are
+// free to cover different ordinal windows — eviction skew between a
+// fast tier's ring and a slow one's simply yields partial timelines
+// at the edges. Output is sorted by step, processes in first-stamp
+// time order within each step.
+func MergeTraces(rings ...ProcessRing) []MeshTrace {
+	type key struct {
+		proc string
+		step int64
+	}
+	byKey := make(map[key]map[string]int64)
+	bySim := make(map[int64][]string) // step -> process labels, first-seen order
+	for _, ring := range rings {
+		for _, tr := range ring.Traces {
+			k := key{ring.Process, tr.Step}
+			dst := byKey[k]
+			if dst == nil {
+				dst = make(map[string]int64, NumStages)
+				byKey[k] = dst
+				bySim[tr.Step] = append(bySim[tr.Step], ring.Process)
+			}
+			for name, ns := range tr.Stamps {
+				dst[name] = ns
+			}
+		}
+	}
+	steps := make([]int64, 0, len(bySim))
+	for s := range bySim {
+		steps = append(steps, s)
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	out := make([]MeshTrace, 0, len(steps))
+	for _, s := range steps {
+		m := MeshTrace{Step: s}
+		for _, proc := range bySim[s] {
+			m.Procs = append(m.Procs, ProcessStamps{Process: proc, Stamps: byKey[key{proc, s}]})
+		}
+		sort.SliceStable(m.Procs, func(i, j int) bool {
+			return earliestStamp(m.Procs[i].Stamps) < earliestStamp(m.Procs[j].Stamps)
+		})
+		m.finish()
+		out = append(out, m)
+	}
+	return out
+}
+
+// earliestStamp reports the smallest stamp in the set (max int64 when
+// empty, so stamp-less processes sort last).
+func earliestStamp(stamps map[string]int64) int64 {
+	min := int64(1<<63 - 1)
+	for _, ns := range stamps {
+		if ns < min {
+			min = ns
+		}
+	}
+	return min
+}
+
+// StageLatency is one attributed pipeline interval: the mean/max time
+// from stage From to stage To inside Process, over Steps steps. A
+// From of "wire" marks the cross-process handoff into this process
+// (upstream's last stamp to our first).
+type StageLatency struct {
+	Process string  `json:"process"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	MeanMs  float64 `json:"mean_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	Steps   int     `json:"steps"`
+}
+
+// Verdict renders the row as a one-line bottleneck statement.
+func (s StageLatency) Verdict() string {
+	return fmt.Sprintf("%s: %s→%s mean %.2f ms (max %.2f) over %d step(s)",
+		s.Process, s.From, s.To, s.MeanMs, s.MaxMs, s.Steps)
+}
+
+// stampSeq flattens one mesh trace into time order: every (process,
+// stage, ns) stamp, globally sorted.
+type stampPoint struct {
+	proc  string
+	stage string
+	ns    int64
+}
+
+func stampSeq(m MeshTrace) []stampPoint {
+	var seq []stampPoint
+	for _, p := range m.Procs {
+		for name, ns := range p.Stamps {
+			seq = append(seq, stampPoint{p.Process, name, ns})
+		}
+	}
+	sort.Slice(seq, func(i, j int) bool {
+		if seq[i].ns != seq[j].ns {
+			return seq[i].ns < seq[j].ns
+		}
+		if seq[i].proc != seq[j].proc {
+			return seq[i].proc < seq[j].proc
+		}
+		return stageOrder(seq[i].stage) < stageOrder(seq[j].stage)
+	})
+	return seq
+}
+
+// stageOrder breaks stamp-time ties by pipeline position.
+func stageOrder(name string) int {
+	if s, ok := StageFromString(name); ok {
+		return int(s)
+	}
+	return int(NumStages)
+}
+
+// AttributeLatency walks the last K mesh timelines and attributes
+// every consecutive-stamp interval to the process that produced the
+// later stamp: within a process the row is from→to between its own
+// stages; across processes the row is "wire"→first-stage of the
+// receiving tier. Rows are aggregated over steps and sorted slowest
+// mean first — the per-tier latency breakdown behind the bottleneck
+// verdict. lastK <= 0 means all.
+func AttributeLatency(traces []MeshTrace, lastK int) []StageLatency {
+	if lastK > 0 && len(traces) > lastK {
+		traces = traces[len(traces)-lastK:]
+	}
+	type key struct{ proc, from, to string }
+	type acc struct {
+		sum, max int64
+		n        int
+	}
+	rows := make(map[key]*acc)
+	for _, m := range traces {
+		seq := stampSeq(m)
+		for i := 1; i < len(seq); i++ {
+			prev, cur := seq[i-1], seq[i]
+			k := key{proc: cur.proc, from: prev.stage, to: cur.stage}
+			if prev.proc != cur.proc {
+				k.from = "wire"
+			}
+			a := rows[k]
+			if a == nil {
+				a = &acc{}
+				rows[k] = a
+			}
+			d := cur.ns - prev.ns
+			a.sum += d
+			a.n++
+			if d > a.max {
+				a.max = d
+			}
+		}
+	}
+	out := make([]StageLatency, 0, len(rows))
+	for k, a := range rows {
+		out = append(out, StageLatency{
+			Process: k.proc, From: k.from, To: k.to,
+			MeanMs: float64(a.sum) / float64(a.n) / 1e6,
+			MaxMs:  float64(a.max) / 1e6,
+			Steps:  a.n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanMs != out[j].MeanMs {
+			return out[i].MeanMs > out[j].MeanMs
+		}
+		if out[i].Process != out[j].Process {
+			return out[i].Process < out[j].Process
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// FindBottleneck reports the slowest attributed stage×process
+// interval over the last K steps; ok is false when fewer than two
+// stamps exist anywhere.
+func FindBottleneck(traces []MeshTrace, lastK int) (StageLatency, bool) {
+	rows := AttributeLatency(traces, lastK)
+	if len(rows) == 0 {
+		return StageLatency{}, false
+	}
+	return rows[0], true
+}
+
+// MeshTraceTable renders mesh timelines: one row per (step, process),
+// each stage a +ms offset from the step's mesh-wide first stamp.
+func MeshTraceTable(title string, traces []MeshTrace) *metrics.Table {
+	headers := []string{"step", "process"}
+	for s := Stage(0); s < NumStages; s++ {
+		headers = append(headers, s.String())
+	}
+	headers = append(headers, "span_ms")
+	t := metrics.NewTable(title, headers...)
+	for _, m := range traces {
+		var base int64
+		for _, p := range m.Procs {
+			if e := earliestStamp(p.Stamps); base == 0 || e < base {
+				base = e
+			}
+		}
+		for pi, p := range m.Procs {
+			row := make([]interface{}, 0, len(headers))
+			row = append(row, m.Step, p.Process)
+			for s := Stage(0); s < NumStages; s++ {
+				ns, ok := p.Stamps[s.String()]
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("+%.2f", float64(ns-base)/1e6))
+			}
+			if pi == len(m.Procs)-1 {
+				row = append(row, fmt.Sprintf("%.2f", m.SpanMs))
+			} else {
+				row = append(row, "")
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMergeTracesThreeTiers merges producer, relay, and endpoint rings
+// for one step: the relay's publish stamp must NOT overwrite the
+// producer's (they are keyed by process), and the derived counts span
+// the whole tree.
+func TestMergeTracesThreeTiers(t *testing.T) {
+	mesh := MergeTraces(
+		ProcessRing{Process: "sim", Traces: []StepTrace{
+			{Step: 4, Stamps: map[string]int64{"compute": 100, "marshal": 110, "publish": 120}},
+		}},
+		ProcessRing{Process: "tier1", Traces: []StepTrace{
+			{Step: 4, Stamps: map[string]int64{"deliver": 130, "publish": 140}},
+		}},
+		ProcessRing{Process: "endpoint", Traces: []StepTrace{
+			{Step: 4, Stamps: map[string]int64{"deliver": 150, "decode": 160, "analyze": 170}},
+		}},
+	)
+	if len(mesh) != 1 {
+		t.Fatalf("merged %d steps, want 1", len(mesh))
+	}
+	m := mesh[0]
+	if m.Step != 4 || m.Processes != 3 || m.Stages != 8 {
+		t.Fatalf("step/processes/stages = %d/%d/%d, want 4/3/8", m.Step, m.Processes, m.Stages)
+	}
+	// Processes sort by first stamp: sim, tier1, endpoint.
+	var order []string
+	for _, p := range m.Procs {
+		order = append(order, p.Process)
+	}
+	if strings.Join(order, ",") != "sim,tier1,endpoint" {
+		t.Errorf("process order = %v, want sim,tier1,endpoint", order)
+	}
+	// Both publish stamps survive, each under its own process.
+	if m.Procs[0].Stamps["publish"] != 120 || m.Procs[1].Stamps["publish"] != 140 {
+		t.Errorf("per-tier publish stamps lost: %+v", m.Procs)
+	}
+	if m.SpanMs != float64(170-100)/1e6 {
+		t.Errorf("span = %g ms", m.SpanMs)
+	}
+}
+
+// TestMergeTracesEvictionSkew covers rings over different ordinal
+// windows (a fast tier's ring evicted older steps): partial timelines
+// assemble at the edges instead of dropping steps.
+func TestMergeTracesEvictionSkew(t *testing.T) {
+	mesh := MergeTraces(
+		ProcessRing{Process: "a", Traces: []StepTrace{
+			{Step: 5, Stamps: map[string]int64{"publish": 10}},
+			{Step: 6, Stamps: map[string]int64{"publish": 20}},
+		}},
+		ProcessRing{Process: "b", Traces: []StepTrace{
+			{Step: 6, Stamps: map[string]int64{"deliver": 25}},
+			{Step: 7, Stamps: map[string]int64{"deliver": 35}},
+		}},
+	)
+	if len(mesh) != 3 {
+		t.Fatalf("merged %d steps, want 3 (5,6,7)", len(mesh))
+	}
+	if mesh[0].Processes != 1 || mesh[1].Processes != 2 || mesh[2].Processes != 1 {
+		t.Errorf("process counts = %d,%d,%d; want 1,2,1",
+			mesh[0].Processes, mesh[1].Processes, mesh[2].Processes)
+	}
+}
+
+// TestMergeTracesDuplicates pins the union semantics: rings sharing a
+// Process label merge their stamps with later rings winning conflicts,
+// and duplicate ordinals within one ring union the same way.
+func TestMergeTracesDuplicates(t *testing.T) {
+	mesh := MergeTraces(
+		ProcessRing{Process: "p", Traces: []StepTrace{
+			{Step: 1, Stamps: map[string]int64{"compute": 10, "marshal": 20}},
+			{Step: 1, Stamps: map[string]int64{"marshal": 22, "publish": 30}},
+		}},
+		ProcessRing{Process: "p", Traces: []StepTrace{
+			{Step: 1, Stamps: map[string]int64{"publish": 33}},
+		}},
+	)
+	if len(mesh) != 1 || len(mesh[0].Procs) != 1 {
+		t.Fatalf("want one step with one process, got %+v", mesh)
+	}
+	st := mesh[0].Procs[0].Stamps
+	if st["compute"] != 10 || st["marshal"] != 22 || st["publish"] != 33 {
+		t.Errorf("union stamps = %v, want compute 10, marshal 22 (later dup), publish 33 (later ring)", st)
+	}
+}
+
+// TestAttributeLatency checks interval attribution: within a process
+// the interval belongs to that process's from→to pair; across the
+// wire it is charged to the receiver as wire→first-stage.
+func TestAttributeLatency(t *testing.T) {
+	mesh := MergeTraces(
+		ProcessRing{Process: "sim", Traces: []StepTrace{
+			{Step: 1, Stamps: map[string]int64{"marshal": 1_000_000, "publish": 2_000_000}},
+			{Step: 2, Stamps: map[string]int64{"marshal": 11_000_000, "publish": 12_000_000}},
+		}},
+		ProcessRing{Process: "ep", Traces: []StepTrace{
+			{Step: 1, Stamps: map[string]int64{"deliver": 5_000_000, "decode": 6_000_000}},
+			{Step: 2, Stamps: map[string]int64{"deliver": 17_000_000, "decode": 18_000_000}},
+		}},
+	)
+	rows := AttributeLatency(mesh, 0)
+	byKey := func(proc, from, to string) (StageLatency, bool) {
+		for _, r := range rows {
+			if r.Process == proc && r.From == from && r.To == to {
+				return r, true
+			}
+		}
+		return StageLatency{}, false
+	}
+	wire, ok := byKey("ep", "wire", "deliver")
+	if !ok || wire.Steps != 2 {
+		t.Fatalf("missing wire→deliver row for ep: %+v", rows)
+	}
+	// Step 1 waits 3ms on the wire, step 2 waits 5ms: mean 4, max 5.
+	if wire.MeanMs != 4 || wire.MaxMs != 5 {
+		t.Errorf("wire row mean/max = %g/%g ms, want 4/5", wire.MeanMs, wire.MaxMs)
+	}
+	if _, ok := byKey("sim", "marshal", "publish"); !ok {
+		t.Errorf("missing in-process marshal→publish row: %+v", rows)
+	}
+	// Slowest mean first — the wire hop dominates this pipeline.
+	if rows[0] != wire {
+		t.Errorf("rows not sorted slowest-first: %+v", rows[0])
+	}
+	b, ok := FindBottleneck(mesh, 0)
+	if !ok || b != wire {
+		t.Errorf("bottleneck = %+v, want the wire row", b)
+	}
+	if !strings.Contains(b.Verdict(), "wire→deliver") || !strings.Contains(b.Verdict(), "ep") {
+		t.Errorf("verdict = %q", b.Verdict())
+	}
+}
+
+func TestMeshTraceTable(t *testing.T) {
+	mesh := MergeTraces(
+		ProcessRing{Process: "sim", Traces: []StepTrace{
+			{Step: 9, Stamps: map[string]int64{"publish": 1_000_000}},
+		}},
+		ProcessRing{Process: "ep", Traces: []StepTrace{
+			{Step: 9, Stamps: map[string]int64{"deliver": 3_000_000}},
+		}},
+	)
+	out := MeshTraceTable("mesh", mesh).String()
+	for _, want := range []string{"sim", "ep", "+0.00", "+2.00", "2.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeTracesEmpty(t *testing.T) {
+	if mesh := MergeTraces(); mesh != nil && len(mesh) != 0 {
+		t.Errorf("no rings merged to %+v", mesh)
+	}
+	if _, ok := FindBottleneck(nil, 5); ok {
+		t.Error("bottleneck reported on an empty mesh")
+	}
+}

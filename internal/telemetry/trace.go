@@ -171,12 +171,13 @@ func (t *StepTracer) Snapshot() []StepTrace {
 	return out
 }
 
-// MergeTraces assembles cross-process step traces: stamps for the
-// same step ordinal are unioned across the given rings (later rings
-// win stamp conflicts). This is how an endpoint combines its own
-// deliver/decode/pull/analyze stamps with the producer's
-// compute/marshal/publish stamps fetched over /statusz.
-func MergeTraces(rings ...[]StepTrace) []StepTrace {
+// UnionTraces flattens step traces across rings: stamps for the same
+// step ordinal are unioned (later rings win stamp conflicts), with
+// process identity discarded. Useful when the rings are known to hold
+// disjoint stages of one pipeline; for a mesh where the same stage
+// recurs per tier (a relay publishes too), use MergeTraces, which
+// keys by (process, ordinal).
+func UnionTraces(rings ...[]StepTrace) []StepTrace {
 	byStep := make(map[int64]*StepTrace)
 	var steps []int64
 	for _, ring := range rings {

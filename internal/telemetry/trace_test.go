@@ -103,7 +103,7 @@ func TestTracerNilAndBadInput(t *testing.T) {
 	}
 }
 
-func TestMergeTraces(t *testing.T) {
+func TestUnionTraces(t *testing.T) {
 	producer := []StepTrace{
 		{Step: 7, Stamps: map[string]int64{"compute": 100, "marshal": 110, "publish": 120}},
 		{Step: 8, Stamps: map[string]int64{"compute": 200}},
@@ -112,7 +112,7 @@ func TestMergeTraces(t *testing.T) {
 		{Step: 7, Stamps: map[string]int64{"deliver": 130, "decode": 140, "publish": 121}},
 		{Step: 9, Stamps: map[string]int64{"deliver": 300}},
 	}
-	merged := MergeTraces(producer, endpoint)
+	merged := UnionTraces(producer, endpoint)
 	if len(merged) != 3 {
 		t.Fatalf("merged %d steps, want 3", len(merged))
 	}

@@ -9,17 +9,28 @@
 # endpoint's /statusz carries a step trace with consumer-side stages,
 # and /debug/pprof/profile produces a CPU profile on each process.
 #
+# Phase 2 boots a 2-tier relay tree (nekrs -> relay -> endpoint) in a
+# shared contact directory with -telemetry on all three, then asserts
+# the mesh observatory over it: /meshz reports every process in the
+# topology and at least one complete cross-tier step timeline (>= 6
+# stages spanning >= 3 processes), and meshtop -once renders it.
+#
 # Usage: scripts/telemetry_smoke.sh   (from the repo root)
 set -eu
 
 PROD=127.0.0.1:19301
 CONS=127.0.0.1:19302
+PROD2=127.0.0.1:19303
+RELAY2=127.0.0.1:19304
+CONS2=127.0.0.1:19305
 
 workdir=$(mktemp -d)
 sim_pid=""
 ep_pid=""
+relay_pid=""
 cleanup() {
     [ -n "$ep_pid" ] && kill "$ep_pid" 2>/dev/null || true
+    [ -n "$relay_pid" ] && kill "$relay_pid" 2>/dev/null || true
     [ -n "$sim_pid" ] && kill "$sim_pid" 2>/dev/null || true
     rm -rf "$workdir"
 }
@@ -28,6 +39,8 @@ trap cleanup EXIT INT TERM
 echo "== building binaries"
 go build -o "$workdir/nekrs" ./cmd/nekrs
 go build -o "$workdir/sensei-endpoint" ./cmd/sensei-endpoint
+go build -o "$workdir/relay" ./cmd/relay
+go build -o "$workdir/meshtop" ./cmd/meshtop
 
 cat > "$workdir/staging.xml" <<EOF
 <sensei>
@@ -105,5 +118,91 @@ grep -q "step trace" "$workdir/endpoint.log" || {
     cat "$workdir/endpoint.log"
     exit 1
 }
+
+echo "== phase 2: 2-tier relay tree + mesh observatory"
+mesh="$workdir/mesh"
+mkdir -p "$mesh"
+
+cat > "$workdir/staging2.xml" <<EOF
+<sensei>
+  <analysis type="staging" frequency="1" contact="sim" contact-dir="$mesh"
+            consumers="relay:block:4" arrays="pressure"/>
+</sensei>
+EOF
+
+"$workdir/nekrs" -case tgv -ranks 2 -steps 200 -refine 1 -order 2 \
+    -sensei "$workdir/staging2.xml" -out "$workdir/nekrs2-out" \
+    -log-every 0 -telemetry "$PROD2" >"$workdir/nekrs2.log" 2>&1 &
+sim_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$mesh/sim.contact" ] && break
+    kill -0 "$sim_pid" 2>/dev/null || { cat "$workdir/nekrs2.log"; echo "producer died before rendezvous"; exit 1; }
+    sleep 0.1
+done
+[ -s "$mesh/sim.contact" ] || { echo "mesh contact entry never appeared"; exit 1; }
+grep -q "#telemetry=" "$mesh/sim.contact" || {
+    echo "FAIL: producer contact entry lacks the #telemetry= stamp"
+    cat "$mesh/sim.contact"
+    exit 1
+}
+
+"$workdir/relay" -contact-dir "$mesh" -upstream sim -publish tier1 \
+    -name relay -out-ranks 1 -consumers smoke:block:4 \
+    -telemetry "$RELAY2" >"$workdir/relay.log" 2>&1 &
+relay_pid=$!
+
+"$workdir/sensei-endpoint" -contact-dir "$mesh" -contact tier1 \
+    -config "$workdir/endpoint.xml" -consumer smoke:block:4 \
+    -step-delay 50ms -out "$workdir/ep2-out" \
+    -telemetry "$CONS2" >"$workdir/endpoint2.log" 2>&1 &
+ep_pid=$!
+
+# fetch_jq URL JQ_EXPR — retry until the expression evaluates true.
+fetch_jq() {
+    url=$1 expr=$2 label=$3
+    for _ in $(seq 1 100); do
+        if body=$(curl -fsS "$url" 2>/dev/null); then
+            if [ "$(printf '%s' "$body" | jq "$expr" 2>/dev/null)" = "true" ]; then
+                echo "ok: $url ($label)"
+                return 0
+            fi
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: $url never satisfied $label ($expr)"
+    curl -fsS "$url" 2>/dev/null | jq '{processes: [.processes[].entry], edges: [.edges[] | {from, consumer, to}], steps: [.steps[] | {step, stages, processes}]}' || true
+    exit 1
+}
+
+# Every tier is in the crawled topology: producer, relay, and the
+# endpoint's telemetry-only observer entry.
+fetch_jq "http://$PROD2/meshz" '.processes | length >= 3' "topology has >= 3 processes"
+# At least one step's timeline is complete across the tree: >= 6 stage
+# stamps spanning >= 3 processes.
+fetch_jq "http://$PROD2/meshz" \
+    '[.steps[] | select(.stages >= 6 and .processes >= 3)] | length >= 1' \
+    "a cross-tier step timeline spans the tree"
+# The relay serves the same mesh view from its own exporter.
+fetch_jq "http://$RELAY2/meshz" '.processes | length >= 3' "relay serves /meshz too"
+# The merged recovery journal is reachable (the clean run may have no
+# events; the endpoint must answer with a valid document).
+fetch "http://$CONS2/eventz" '"total_events"'
+
+echo "== meshtop -once against the live tree"
+"$workdir/meshtop" -contact-dir "$mesh" -once > "$workdir/meshtop.out"
+for marker in "meshtop —" "sim" "tier1" "step timeline"; do
+    grep -q "$marker" "$workdir/meshtop.out" || {
+        echo "FAIL: meshtop output missing \"$marker\""
+        cat "$workdir/meshtop.out"
+        exit 1
+    }
+done
+echo "ok: meshtop rendered the topology and timeline"
+
+echo "== waiting for clean exits"
+wait "$ep_pid"; ep_pid=""
+wait "$relay_pid"; relay_pid=""
+wait "$sim_pid"; sim_pid=""
 
 echo "telemetry smoke passed"
